@@ -1,0 +1,86 @@
+// Ablation — calibrated vs emergent establishment.
+//
+// The headline corpus decides the `established` column with per-endpoint
+// probabilities calibrated to the paper's per-bucket rates. This ablation
+// re-runs the same traffic with establishment decided by *actual client
+// validation* under a browser/strict/permissive client mix, and compares the
+// per-bucket hybrid establishment rates both ways against the paper. The
+// point: the paper's ordering (complete > contains > no-path) emerges from
+// chain structure + store contents alone — it is not an artifact of the
+// calibration.
+#include "bench_common.hpp"
+
+#include "zeek/joiner.hpp"
+
+namespace {
+
+struct BucketRates {
+  double complete = 0;
+  double contains = 0;
+  double no_path = 0;
+};
+
+BucketRates hybrid_rates(const certchain::core::StudyReport& report) {
+  return BucketRates{
+      report.hybrid.usage_complete.establish_rate(),
+      report.hybrid.usage_contains.establish_rate(),
+      report.hybrid.usage_no_path.establish_rate(),
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace certchain;
+  bench::print_header(
+      "Ablation: calibrated vs emergent establishment",
+      "Re-running the corpus with `established` decided by real client "
+      "validation under a browser/strict/permissive mix");
+
+  bench::StudyContext context = bench::build_context();
+  const BucketRates calibrated = hybrid_rates(context.report);
+
+  // Re-run the same endpoints/seed with the emergent model.
+  netsim::TrafficConfig traffic = context.scenario->traffic;
+  traffic.establishment = netsim::EstablishmentModel::kEmergent;
+  traffic.stores = &context.scenario->world.stores();
+  traffic.host_store = &context.scenario->world.host_store();
+  const netsim::CampusSimulator simulator(context.scenario->endpoints);
+  const netsim::GeneratedLogs emergent_logs = simulator.run(traffic);
+
+  const core::StudyPipeline pipeline(
+      context.scenario->world.stores(), context.scenario->world.ct_logs(),
+      context.scenario->vendors, &context.scenario->world.cross_signs());
+  const core::StudyReport emergent_report = pipeline.run(emergent_logs);
+  const BucketRates emergent = hybrid_rates(emergent_report);
+
+  bench::print_section("Hybrid establishment rates by structure bucket");
+  util::TextTable table({"Bucket", "Paper %", "Calibrated %", "Emergent %"});
+  table.add_row({"complete matched path", "97.69",
+                 bench::pct(calibrated.complete, 1.0),
+                 bench::pct(emergent.complete, 1.0)});
+  table.add_row({"contains complete path", "92.04",
+                 bench::pct(calibrated.contains, 1.0),
+                 bench::pct(emergent.contains, 1.0)});
+  table.add_row({"no complete matched path", "57.42",
+                 bench::pct(calibrated.no_path, 1.0),
+                 bench::pct(emergent.no_path, 1.0)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "client mix: %.0f%% browser-like, %.0f%% strict, %.0f%% permissive\n\n",
+      100 * traffic.client_mix.browser_fraction,
+      100 * traffic.client_mix.strict_fraction,
+      100 * traffic.client_mix.permissive_fraction);
+
+  const bool ordering = emergent.complete > emergent.contains &&
+                        emergent.contains > emergent.no_path;
+  std::printf("Paper's establishment ordering (complete > contains > no-path) "
+              "under emergent validation: %s\n",
+              ordering ? "EMERGES" : "does NOT emerge");
+  std::printf(
+      "Reading: unnecessary certificates and missing anchors depress the\n"
+      "acceptance of exactly the structures the paper found failing — the\n"
+      "mechanism behind Sec. 4.2's establishment gradient.\n");
+  return 0;
+}

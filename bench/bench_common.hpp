@@ -1,0 +1,84 @@
+// Shared bench-harness plumbing.
+//
+// Every experiment binary regenerates the calibrated study corpus, runs the
+// full analysis pipeline, and prints two tables: the paper's reported
+// numbers (hard-coded from the publication) and the numbers measured on the
+// simulated corpus. Absolute counts differ by the configured scale; the
+// *shape* — who dominates, by what factor, where the buckets sit — is the
+// reproduction target (see EXPERIMENTS.md).
+//
+// Environment knobs:
+//   CERTCHAIN_SCALE        chain-population scale (default 1/200 of paper)
+//   CERTCHAIN_CONNECTIONS  simulated TLS connections (default 120000)
+//   CERTCHAIN_SEED         corpus seed (default 20200901)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/revisit.hpp"
+#include "datagen/scenario.hpp"
+#include "scanner/scanner.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace certchain::bench {
+
+struct StudyContext {
+  std::unique_ptr<datagen::Scenario> scenario;
+  netsim::GeneratedLogs logs;
+  core::StudyReport report;
+};
+
+inline datagen::ScenarioConfig config_from_env() {
+  datagen::ScenarioConfig config;
+  if (const char* scale = std::getenv("CERTCHAIN_SCALE")) {
+    config.chain_scale = std::atof(scale);
+  }
+  if (const char* connections = std::getenv("CERTCHAIN_CONNECTIONS")) {
+    config.total_connections = std::strtoull(connections, nullptr, 10);
+  }
+  if (const char* seed = std::getenv("CERTCHAIN_SEED")) {
+    config.seed = std::strtoull(seed, nullptr, 10);
+  }
+  return config;
+}
+
+inline StudyContext build_context() {
+  StudyContext context;
+  const datagen::ScenarioConfig config = config_from_env();
+  std::fprintf(stderr,
+               "[certchain] building corpus (scale=%.5f, connections=%llu, "
+               "seed=%llu)...\n",
+               config.chain_scale,
+               static_cast<unsigned long long>(config.total_connections),
+               static_cast<unsigned long long>(config.seed));
+  context.scenario = datagen::build_study_scenario(config);
+  context.logs = context.scenario->generate_logs();
+  const core::StudyPipeline pipeline(
+      context.scenario->world.stores(), context.scenario->world.ct_logs(),
+      context.scenario->vendors, &context.scenario->world.cross_signs());
+  context.report = pipeline.run(context.logs);
+  return context;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+inline void print_section(const std::string& title) {
+  std::printf("--- %s ---\n", title.c_str());
+}
+
+inline std::string pct(double numerator, double denominator, int decimals = 2) {
+  return util::percent(numerator, denominator, decimals);
+}
+
+}  // namespace certchain::bench

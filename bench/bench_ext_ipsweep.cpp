@@ -1,0 +1,84 @@
+// Extension — IP-space sweep vs SNI-limited rescanning (Sec. 6.3 future work).
+//
+// The paper could only revisit servers whose connections carried an SNI
+// (12,404 of the non-public population); it names full IP-space scanning as
+// future work. This experiment runs both scan strategies over the simulated
+// population and quantifies the coverage gap — how much of the non-public
+// ecosystem the SNI route misses.
+#include "bench_common.hpp"
+
+#include "chain/matcher.hpp"
+
+int main() {
+  using namespace certchain;
+  bench::print_header(
+      "Extension: SNI-limited rescan vs full IP-space sweep (Sec. 6.3)",
+      "Coverage comparison of the two active-scanning strategies over the "
+      "2024 population");
+
+  bench::StudyContext context = bench::build_context();
+  const scanner::ActiveScanner scanner(context.scenario->endpoints);
+
+  struct Coverage {
+    std::size_t targets = 0;
+    std::size_t reachable = 0;
+    std::size_t non_public = 0;
+    std::size_t single_cert = 0;
+    std::size_t multi_matched = 0;
+  };
+  const auto tally = [&](const std::vector<scanner::ScanResult>& results) {
+    Coverage coverage;
+    coverage.targets = results.size();
+    for (const auto& result : results) {
+      if (!result.reachable || result.chain.empty()) continue;
+      ++coverage.reachable;
+      bool all_non_public = true;
+      for (const auto& cert : result.chain) {
+        all_non_public = all_non_public &&
+                         context.scenario->world.stores().classify_certificate(cert) ==
+                             truststore::IssuerClass::kNonPublicDb;
+      }
+      if (!all_non_public) continue;
+      ++coverage.non_public;
+      if (result.chain.is_single()) {
+        ++coverage.single_cert;
+      } else if (chain::analyze_paths(result.chain, nullptr, false).is_complete_path()) {
+        ++coverage.multi_matched;
+      }
+    }
+    return coverage;
+  };
+
+  const Coverage by_domain = tally(scanner.scan_all_domains());
+  const Coverage by_ip = tally(scanner.scan_all_ips());
+
+  util::TextTable table({"Metric", "SNI-limited (paper)", "IP-space sweep (future work)"});
+  table.add_row({"scan targets", util::with_commas(by_domain.targets),
+                 util::with_commas(by_ip.targets)});
+  table.add_row({"reachable servers", util::with_commas(by_domain.reachable),
+                 util::with_commas(by_ip.reachable)});
+  table.add_row({"non-public-DB-only servers", util::with_commas(by_domain.non_public),
+                 util::with_commas(by_ip.non_public)});
+  table.add_row({"  still single-certificate", util::with_commas(by_domain.single_cert),
+                 util::with_commas(by_ip.single_cert)});
+  table.add_row({"  multi-cert, complete matched path",
+                 util::with_commas(by_domain.multi_matched),
+                 util::with_commas(by_ip.multi_matched)});
+  std::printf("%s\n", table.render().c_str());
+
+  const double missed =
+      by_ip.non_public == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(by_domain.non_public) /
+                      static_cast<double>(by_ip.non_public);
+  std::printf(
+      "Coverage gap: the SNI-limited strategy misses %.1f%% of the reachable "
+      "non-public population (the paper's 79.49%% SNI-less connection share "
+      "predicts a large gap).\n",
+      100.0 * missed);
+  std::printf(
+      "Caveat reproduced from the paper: the sweep sees the chains but not "
+      "their *usage*; connection statistics still require operator traffic "
+      "logs (Sec. 6.3).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension — monthly time series over the 12-month collection window:
+// connection volume and newly-observed unique chains per category.
+#include "bench_common.hpp"
+
+#include "core/timeline.hpp"
+#include "zeek/joiner.hpp"
+
+int main() {
+  using namespace certchain;
+  using chain::ChainCategory;
+  bench::print_header(
+      "Extension: monthly timeline of the collection window",
+      "Per-month connections and newly-seen chains per category (the "
+      "longitudinal axis the paper's aggregate tables collapse)");
+
+  bench::StudyContext context = bench::build_context();
+
+  const zeek::LogJoiner joiner(context.logs.x509);
+  core::CorpusIndex corpus;
+  for (const auto& record : context.logs.ssl) corpus.add(joiner.join(record));
+  const core::TimelineReport timeline = core::build_timeline(
+      corpus, context.scenario->world.stores(),
+      context.report.interception.issuer_set());
+
+  const ChainCategory categories[] = {
+      ChainCategory::kPublicDbOnly, ChainCategory::kNonPublicDbOnly,
+      ChainCategory::kHybrid, ChainCategory::kTlsInterception};
+
+  bench::print_section("Connections per month");
+  {
+    util::TextTable table({"Month", "Public", "Non-public", "Hybrid", "Intercept"});
+    for (std::size_t m = 0; m < timeline.months.size(); ++m) {
+      std::vector<std::string> row{timeline.months[m]};
+      for (const ChainCategory category : categories) {
+        const auto it = timeline.series.find(category);
+        row.push_back(it == timeline.series.end()
+                          ? "0"
+                          : util::with_commas(it->second[m].connections));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  bench::print_section("Newly observed unique chains per month");
+  {
+    util::TextTable table({"Month", "Public", "Non-public", "Hybrid", "Intercept"});
+    for (std::size_t m = 0; m < timeline.months.size(); ++m) {
+      std::vector<std::string> row{timeline.months[m]};
+      for (const ChainCategory category : categories) {
+        const auto it = timeline.series.find(category);
+        row.push_back(it == timeline.series.end()
+                          ? "0"
+                          : std::to_string(it->second[m].new_chains));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf(
+      "Shape expectations: discovery front-loads (most unique chains are first\n"
+      "seen early — the coverage sweep models the long-lived population being\n"
+      "present all year), while connection volume stays roughly stationary\n"
+      "across the window, as expected for a stable campus population.\n");
+  return 0;
+}

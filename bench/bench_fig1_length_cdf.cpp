@@ -1,0 +1,70 @@
+// Figure 1 — Distribution (CDF) of certificate chain length per category.
+//
+// Paper shape: >60% of public-DB-only chains have length 2; ~80% of
+// non-public-DB-only chains are single certificates; >80% of interception
+// chains have 3 certificates; hybrid chains show no dominant length. Three
+// outlier chains (3,822 / 921 / 41) are excluded, as in the paper.
+#include "bench_common.hpp"
+
+#include "util/stats.hpp"
+
+int main() {
+  using namespace certchain;
+  using chain::ChainCategory;
+  bench::print_header("Figure 1: Distribution of certificate chain length",
+                      "Per-category empirical CDF over unique chains");
+
+  bench::StudyContext context = bench::build_context();
+
+  const ChainCategory categories[] = {
+      ChainCategory::kPublicDbOnly, ChainCategory::kHybrid,
+      ChainCategory::kNonPublicDbOnly, ChainCategory::kTlsInterception};
+  const std::vector<double> grid = {1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24};
+
+  bench::print_section("Measured CDF  P(length <= x)");
+  util::TextTable table({"x", "Public-DB-only", "Hybrid", "Non-public-DB-only",
+                         "TLS interception"});
+  std::map<ChainCategory, util::EmpiricalCdf> cdfs;
+  for (const ChainCategory category : categories) {
+    const auto it = context.report.chain_lengths.find(category);
+    if (it == context.report.chain_lengths.end()) continue;
+    for (const std::size_t length : it->second) {
+      cdfs[category].add(static_cast<double>(length));
+    }
+  }
+  for (const double x : grid) {
+    std::vector<std::string> row{util::format_double(x, 0)};
+    for (const ChainCategory category : categories) {
+      row.push_back(util::format_double(cdfs[category].at(x), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::print_section("Shape checks against the paper");
+  const auto mass_at = [&](ChainCategory category, double x) {
+    return cdfs[category].at(x) - cdfs[category].at(x - 1);
+  };
+  std::printf("  public-DB-only mass at length 2:    paper >0.60 | measured %.3f\n",
+              mass_at(ChainCategory::kPublicDbOnly, 2));
+  std::printf("  non-public-only mass at length 1:   paper ~0.80 | measured %.3f\n",
+              mass_at(ChainCategory::kNonPublicDbOnly, 1));
+  std::printf("  interception mass at length 3:      paper >0.80 | measured %.3f\n",
+              mass_at(ChainCategory::kTlsInterception, 3));
+  const double hybrid_max_mass = std::max(
+      {mass_at(ChainCategory::kHybrid, 1), mass_at(ChainCategory::kHybrid, 2),
+       mass_at(ChainCategory::kHybrid, 3), mass_at(ChainCategory::kHybrid, 4),
+       mass_at(ChainCategory::kHybrid, 5)});
+  std::printf("  hybrid has no dominant length:      paper yes   | measured max mass %.3f\n",
+              hybrid_max_mass);
+
+  bench::print_section("Excluded outliers (paper: 3,822 / 921 / 41, each seen once)");
+  for (const auto& outlier : context.report.excluded_outliers) {
+    std::printf("  length %5zu  category=%s  connections=%llu  established=%s\n",
+                outlier.length,
+                std::string(chain::chain_category_name(outlier.category)).c_str(),
+                static_cast<unsigned long long>(outlier.connections),
+                outlier.established_any ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark): throughput of the primitives the
+// pipeline leans on — DN parsing and canonicalization, chain matching, path
+// analysis, CT queries, Merkle proofs, Zeek TSV parsing, and the end-to-end
+// per-connection pipeline cost.
+#include <benchmark/benchmark.h>
+
+#include "chain/matcher.hpp"
+#include "core/corpus.hpp"
+#include "ct/ct_log.hpp"
+#include "netsim/pki_world.hpp"
+#include "x509/distinguished_name.hpp"
+#include "x509/pem.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_io.hpp"
+
+namespace {
+
+using namespace certchain;
+
+const char* kDnSamples[] = {
+    "CN=example.com",
+    "CN=www.example.org,O=Example Inc,C=US",
+    "emailAddress=webmaster@localhost,CN=localhost,OU=none,O=none,L=Sometown,"
+    "ST=Someprovince,C=US",
+    R"(CN=Acme\, Inc.,OU=R\=D,O=Acme Holdings International Ltd,L=New York,ST=NY,C=US)",
+};
+
+void BM_DnParse(benchmark::State& state) {
+  const char* text = kDnSamples[state.range(0)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x509::DistinguishedName::parse(text));
+  }
+}
+BENCHMARK(BM_DnParse)->DenseRange(0, 3);
+
+void BM_DnCanonical(benchmark::State& state) {
+  const auto dn = x509::DistinguishedName::parse_or_die(kDnSamples[3]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dn.canonical());
+  }
+}
+BENCHMARK(BM_DnCanonical);
+
+netsim::PkiWorld& shared_world() {
+  static netsim::PkiWorld world(42);
+  return world;
+}
+
+chain::CertificateChain bench_chain(std::size_t length) {
+  auto& world = shared_world();
+  auto chain = world.issue_public_chain(
+      "digicert", "bench" + std::to_string(length) + ".example",
+      netsim::PkiWorld::default_leaf_validity(), true);
+  while (chain.length() < length) {
+    chain.push_back(world.make_self_signed(
+        "Bench Extra", "extra-" + std::to_string(chain.length()),
+        netsim::PkiWorld::default_leaf_validity()));
+  }
+  return chain;
+}
+
+void BM_MatchChain(benchmark::State& state) {
+  const auto chain = bench_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain::match_chain(chain));
+  }
+  state.SetItemsProcessed(state.iterations() * (chain.length() - 1));
+}
+BENCHMARK(BM_MatchChain)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_AnalyzePaths(benchmark::State& state) {
+  const auto chain = bench_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain::analyze_paths(chain));
+  }
+}
+BENCHMARK(BM_AnalyzePaths)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_CertificateFingerprint(benchmark::State& state) {
+  const auto chain = bench_chain(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.first().fingerprint());
+  }
+}
+BENCHMARK(BM_CertificateFingerprint);
+
+void BM_PemRoundTrip(benchmark::State& state) {
+  const auto chain = bench_chain(3);
+  for (auto _ : state) {
+    const std::string pem = x509::encode_pem(chain.first());
+    benchmark::DoNotOptimize(x509::decode_pem(pem));
+  }
+}
+BENCHMARK(BM_PemRoundTrip);
+
+void BM_CtDomainQuery(benchmark::State& state) {
+  static ct::CtLog log("bench-log");
+  static bool filled = [] {
+    auto& world = shared_world();
+    for (int i = 0; i < 2000; ++i) {
+      log.submit(world
+                     .issue_public_chain("sectigo",
+                                         "q" + std::to_string(i) + ".bench.example",
+                                         netsim::PkiWorld::default_leaf_validity())
+                     .first(),
+                 i);
+    }
+    return true;
+  }();
+  (void)filled;
+  const util::TimeRange period = netsim::PkiWorld::default_leaf_validity();
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        log.issuers_for_domain("q" + std::to_string(i++ % 2000) + ".bench.example",
+                               period));
+  }
+}
+BENCHMARK(BM_CtDomainQuery);
+
+void BM_MerkleInclusionProof(benchmark::State& state) {
+  ct::MerkleTree tree;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) tree.append("leaf-" + std::to_string(i));
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.inclusion_proof(index++ % n));
+  }
+}
+BENCHMARK(BM_MerkleInclusionProof)->Arg(256)->Arg(4096);
+
+void BM_ZeekSslRowRoundTrip(benchmark::State& state) {
+  zeek::SslLogRecord record;
+  record.ts = 1598918400;
+  record.uid = "CAbCdEf123456789ab";
+  record.id_orig_h = "10.1.2.3";
+  record.id_orig_p = 51515;
+  record.id_resp_h = "198.51.100.7";
+  record.id_resp_p = 443;
+  record.version = "TLSv12";
+  record.server_name = "www.example.org";
+  record.established = true;
+  record.cert_chain_fuids = {"Fa", "Fb", "Fc"};
+  record.subject = "CN=www.example.org,O=Example, Inc.";
+  record.issuer = "CN=Issuing CA,O=Example";
+  for (auto _ : state) {
+    zeek::SslLogWriter writer;
+    writer.add(record);
+    benchmark::DoNotOptimize(zeek::parse_ssl_log(writer.finish()));
+  }
+}
+BENCHMARK(BM_ZeekSslRowRoundTrip);
+
+void BM_CorpusIngest(benchmark::State& state) {
+  const auto chain = bench_chain(3);
+  zeek::JoinedConnection connection;
+  connection.ssl.id_orig_h = "10.0.0.1";
+  connection.ssl.id_resp_h = "198.51.100.1";
+  connection.ssl.id_resp_p = 443;
+  connection.ssl.established = true;
+  connection.ssl.server_name = "bench3.example";
+  connection.chain = chain;
+  for (auto _ : state) {
+    core::CorpusIndex corpus;
+    for (int i = 0; i < 100; ++i) corpus.add(connection);
+    benchmark::DoNotOptimize(corpus.unique_chain_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CorpusIngest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

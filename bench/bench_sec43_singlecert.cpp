@@ -1,0 +1,49 @@
+// Section 4.3 — Single-certificate chains: self-signed share, SNI-less
+// traffic, and the DGA special case.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace certchain;
+  bench::print_header(
+      "Sec. 4.3: Single-certificate chains and the DGA cluster",
+      "Self-signed shares, SNI presence, and the www<random>com cluster");
+
+  bench::StudyContext context = bench::build_context();
+  const core::NonPublicReport& non_public = context.report.non_public;
+  const core::NonPublicReport& interception = context.report.interception_chains;
+
+  bench::print_section("Paper vs measured");
+  util::TextTable table({"Metric", "Paper", "Measured"});
+  table.add_row({"Non-public-only chains that are single-cert (%)", "78.10",
+                 bench::pct(non_public.single_fraction(), 1.0)});
+  table.add_row({"...of which self-signed (%)", "94.19",
+                 bench::pct(non_public.single_self_signed_fraction(), 1.0)});
+  table.add_row({"Single-cert connections without SNI (%)", "86.70",
+                 bench::pct(static_cast<double>(non_public.single_no_sni_connections),
+                            static_cast<double>(non_public.single_connections))});
+  table.add_row({"Interception chains that are single-cert (%)", "13.24",
+                 bench::pct(static_cast<double>(interception.single_chains),
+                            static_cast<double>(interception.chains))});
+  table.add_row({"...of which self-signed (%)", "93.43",
+                 bench::pct(static_cast<double>(interception.single_self_signed),
+                            static_cast<double>(interception.single_chains))});
+  std::printf("%s\n", table.render().c_str());
+
+  bench::print_section("DGA special case");
+  std::printf(
+      "  cluster: single-cert chains whose issuer and subject are distinct\n"
+      "  www<random>com names with validity drawn from 4..365 days\n");
+  util::TextTable dga({"Metric", "Paper", "Measured"});
+  dga.add_row({"DGA chains", "(cluster)", util::with_commas(non_public.dga_chains)});
+  dga.add_row({"DGA connections", "21,880",
+               util::with_commas(non_public.dga_connections)});
+  dga.add_row({"DGA client IPs", "761", util::with_commas(non_public.dga_client_ips)});
+  std::printf("%s\n", dga.render().c_str());
+
+  std::printf("Single-cert population: %s chains over %s connections from %s "
+              "client IPs (paper: 140 M connections from 221,924 IPs)\n",
+              util::with_commas(non_public.single_chains).c_str(),
+              util::with_commas(non_public.single_connections).c_str(),
+              util::with_commas(non_public.single_client_ips).c_str());
+  return 0;
+}

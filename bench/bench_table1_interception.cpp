@@ -1,0 +1,51 @@
+// Table 1 — Categories of issuers conducting TLS interception.
+//
+// Paper: 80 issuers across six categories; Security & Network carries 94.74%
+// of interception connections and 17,915 client IPs.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace certchain;
+  bench::print_header(
+      "Table 1: Categories of issuers conducting TLS interception",
+      "Interception identification via trust-store filtering + CT issuer "
+      "cross-reference + vendor directory (Sec. 3.2.1)");
+
+  bench::StudyContext context = bench::build_context();
+  const auto rows = context.report.interception.category_rows();
+
+  bench::print_section("Paper (reported)");
+  {
+    util::TextTable table({"Category", "#. Issuers", "% Connections", "#. Client IPs"});
+    table.add_row({"Security & Network", "31", "94.74", "17,915"});
+    table.add_row({"Business & Corporate", "27", "4.99", "4,787"});
+    table.add_row({"Health & Education", "10", "0.02", "35"});
+    table.add_row({"Government & Public Service", "6", "0.24", "25"});
+    table.add_row({"Bank & Finance", "3", "0.00", "14"});
+    table.add_row({"Other", "3", "0.00", "73"});
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  bench::print_section("Measured (simulated campus corpus)");
+  {
+    std::uint64_t total_connections = 0;
+    for (const auto& row : rows) total_connections += row.connections;
+
+    util::TextTable table({"Category", "#. Issuers", "% Connections", "#. Client IPs"});
+    std::size_t total_issuers = 0;
+    for (const auto& row : rows) {
+      table.add_row({row.category, std::to_string(row.issuers),
+                     bench::pct(static_cast<double>(row.connections),
+                                static_cast<double>(total_connections)),
+                     util::with_commas(row.client_ips)});
+      total_issuers += row.issuers;
+    }
+    table.add_separator();
+    table.add_row({"Total", std::to_string(total_issuers), "100.00", ""});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("CT-mismatch candidates left unconfirmed by the directory: %zu\n",
+                context.report.interception.unconfirmed_candidates.size());
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 6 / Appendix F.1 — Non-public-DB issuer-issued certificates chained
+// to public trust anchors: sector attribution, CT compliance, expiry.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace certchain;
+  bench::print_header(
+      "Table 6: Non-public-DB issuer-issued certificates chained to public "
+      "trust anchors",
+      "The 26 complete-path hybrid chains with non-public leaves, split by "
+      "sector (Appendix F.1)");
+
+  bench::StudyContext context = bench::build_context();
+  const core::HybridReport& hybrid = context.report.hybrid;
+
+  bench::print_section("Paper (reported)");
+  {
+    util::TextTable table({"Category", "Entity", "#. Chains"});
+    table.add_row({"Corporate", "Symantec, SignKorea and others", "10"});
+    table.add_row({"Government", "Korea, Brazil, USA", "16"});
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  bench::print_section("Measured (simulated campus corpus)");
+  {
+    util::TextTable table({"Category", "Entity", "#. Chains"});
+    for (const auto& row : hybrid.anchored_rows) {
+      std::string entities;
+      for (std::size_t i = 0; i < row.entities.size() && i < 3; ++i) {
+        if (i != 0) entities += ", ";
+        entities += row.entities[i];
+      }
+      if (row.entities.size() > 3) entities += " and others";
+      table.add_row({row.sector, entities, std::to_string(row.chains)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("CT-logging compliance of the anchored leaves: %zu/%zu logged "
+              "(paper: all 26 properly logged)\n",
+              hybrid.anchored_ct_logged, hybrid.complete_nonpub_to_pub);
+  std::printf("Chains with expired leaves: %zu (paper: 3, the longest expired "
+              "by more than 5 years)\n",
+              hybrid.anchored_expired_leaf);
+  std::printf(
+      "Pub.-chained-to-private chains (Scalyr/Canal+ pattern): %zu "
+      "(paper: 10, >98.49%% of their connections established)\n",
+      hybrid.complete_pub_to_private);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Quickstart: the core public API in ~100 lines.
+//
+//   1. stand up a tiny PKI (root CA -> issuing CA -> leaf);
+//   2. register it in trust stores the way browsers / CCADB would;
+//   3. deliver a chain with an unnecessary certificate appended;
+//   4. run the paper's issuer-subject structure analysis;
+//   5. validate with a Chrome-like and an OpenSSL-like client and see them
+//      disagree.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "chain/categorizer.hpp"
+#include "chain/matcher.hpp"
+#include "truststore/trust_store.hpp"
+#include "validation/client_validators.hpp"
+#include "x509/builder.hpp"
+
+int main() {
+  using namespace certchain;
+
+  // --- 1. a tiny PKI ---------------------------------------------------------
+  const util::TimeRange validity{util::make_time(2024, 1, 1),
+                                 util::make_time(2026, 1, 1)};
+  x509::CertificateAuthority root_ca(
+      x509::DistinguishedName::parse_or_die("CN=Demo Root CA,O=Demo Trust,C=US"),
+      "demo-root");
+  x509::CertificateAuthority issuing_ca(
+      x509::DistinguishedName::parse_or_die("CN=Demo Issuing CA,O=Demo Trust,C=US"),
+      "demo-int");
+  const x509::Certificate root_cert = root_ca.make_root(validity);
+  const x509::Certificate issuing_cert =
+      root_ca.issue_intermediate(issuing_ca, validity);
+
+  x509::DistinguishedName subject;
+  subject.add("CN", "shop.example");
+  const x509::Certificate leaf =
+      issuing_ca.issue_leaf(subject, "shop.example", validity);
+
+  // --- 2. the public databases ------------------------------------------------
+  truststore::TrustStoreSet stores;          // browser view (roots + CCADB)
+  stores.add_to_all_programs(root_cert);
+  truststore::CcadbRecord disclosure;
+  disclosure.certificate = issuing_cert;
+  disclosure.chains_to_participating_root = true;
+  disclosure.publicly_audited = true;
+  stores.ccadb().add(disclosure);
+
+  truststore::TrustStore host_store(truststore::RootProgram::kMozillaNss);
+  host_store.add(root_cert);                 // host OS view (roots only)
+
+  // --- 3. a misconfigured delivery ---------------------------------------------
+  // The server appends a stale internal certificate after the valid path —
+  // the paper's "unnecessary certificate" pattern.
+  const auto stale_keys = crypto::generate_keypair(crypto::KeyAlgorithm::kRsa2048,
+                                                   "stale-internal");
+  x509::DistinguishedName internal_name;
+  internal_name.add("CN", "legacy-ca.internal").add("O", "Shop Ops");
+  const x509::Certificate stale = x509::CertificateBuilder()
+                                      .serial("1337")
+                                      .subject(internal_name)
+                                      .validity(validity)
+                                      .no_basic_constraints()
+                                      .self_sign(stale_keys.private_key);
+
+  chain::CertificateChain delivered({leaf, issuing_cert, root_cert, stale});
+
+  // --- 4. structure analysis ----------------------------------------------------
+  const chain::PathAnalysis analysis = chain::analyze_paths(delivered);
+  std::printf("delivered chain length: %zu\n", delivered.length());
+  std::printf("mismatch ratio:         %.2f\n", analysis.match.mismatch_ratio());
+  if (analysis.complete_path) {
+    std::printf("complete matched path:  certificates %zu..%zu\n",
+                analysis.complete_path->begin, analysis.complete_path->end);
+  }
+  for (const std::size_t index : analysis.unnecessary_certificates) {
+    std::printf("unnecessary certificate at position %zu: %s\n", index,
+                delivered.at(index).subject.to_string().c_str());
+  }
+
+  const chain::HybridClassification verdict =
+      chain::classify_hybrid(delivered, stores);
+  std::printf("structure class:        %s\n",
+              std::string(chain::hybrid_structure_name(verdict.structure)).c_str());
+
+  // --- 5. client validation -------------------------------------------------------
+  const util::SimTime now = util::make_time(2025, 1, 15);
+  const validation::ChromeLikeValidator chrome(stores);
+  const validation::OpenSslLikeValidator openssl(host_store);
+  const auto chrome_result = chrome.validate(delivered, now);
+  const auto openssl_result = openssl.validate(delivered, now);
+  std::printf("Chrome-like verdict:    %s\n",
+              std::string(validation::client_verdict_name(chrome_result.verdict)).c_str());
+  std::printf("OpenSSL-like verdict:   %s%s%s\n",
+              std::string(validation::client_verdict_name(openssl_result.verdict)).c_str(),
+              openssl_result.detail.empty() ? "" : " — ",
+              openssl_result.detail.c_str());
+
+  // A reordered delivery (stale certificate spliced between leaf and
+  // intermediate) breaks the strict ordered walk but not the path builder.
+  chain::CertificateChain reordered({leaf, stale, issuing_cert, root_cert});
+  std::printf("\nafter splicing the stale certificate into the order:\n");
+  std::printf("Chrome-like verdict:    %s\n",
+              std::string(validation::client_verdict_name(
+                              chrome.validate(reordered, now).verdict))
+                  .c_str());
+  std::printf("OpenSSL-like verdict:   %s\n",
+              std::string(validation::client_verdict_name(
+                              openssl.validate(reordered, now).verdict))
+                  .c_str());
+  return 0;
+}

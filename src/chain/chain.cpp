@@ -1,0 +1,27 @@
+#include "chain/chain.hpp"
+
+#include "util/hash.hpp"
+
+namespace certchain::chain {
+
+CertificateChain::CertificateChain(std::vector<x509::Certificate> certs)
+    : certs_(std::move(certs)) {}
+
+void CertificateChain::push_back(x509::Certificate cert) {
+  certs_.push_back(std::move(cert));
+  cached_id_.clear();
+}
+
+const std::string& CertificateChain::id() const {
+  if (cached_id_.empty() && !certs_.empty()) {
+    std::string bytes;
+    for (const x509::Certificate& cert : certs_) {
+      bytes.append(cert.fingerprint());
+      bytes.push_back('|');
+    }
+    cached_id_ = util::digest256_hex(bytes);
+  }
+  return cached_id_;
+}
+
+}  // namespace certchain::chain

@@ -1,0 +1,54 @@
+// Certificate chains as delivered by servers.
+//
+// A CertificateChain is the ordered certificate list a server presented in a
+// TLS handshake, leaf-first (the RFC 5246 ordering servers are *supposed* to
+// follow; much of the paper is about servers that don't). The chain identity
+// used for deduplication across connections is a digest over the ordered
+// certificate fingerprints, matching how the study counts "unique certificate
+// chains".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace certchain::chain {
+
+class CertificateChain {
+ public:
+  CertificateChain() = default;
+  explicit CertificateChain(std::vector<x509::Certificate> certs);
+
+  std::size_t length() const { return certs_.size(); }
+  bool empty() const { return certs_.empty(); }
+  bool is_single() const { return certs_.size() == 1; }
+
+  const x509::Certificate& at(std::size_t index) const { return certs_.at(index); }
+  const std::vector<x509::Certificate>& certs() const { return certs_; }
+
+  /// First certificate as delivered (the nominal leaf).
+  const x509::Certificate& first() const { return certs_.front(); }
+
+  void push_back(x509::Certificate cert);
+
+  /// Digest over the ordered certificate fingerprints; two deliveries with
+  /// identical certificates in identical order share an id.
+  const std::string& id() const;
+
+  /// True if the single certificate (or the first one) has identical issuer
+  /// and subject — the study's self-signed test.
+  bool first_is_self_signed() const { return certs_.front().is_self_signed(); }
+
+  bool operator==(const CertificateChain& other) const { return certs_ == other.certs_; }
+
+  auto begin() const { return certs_.begin(); }
+  auto end() const { return certs_.end(); }
+
+ private:
+  std::vector<x509::Certificate> certs_;
+  mutable std::string cached_id_;
+};
+
+}  // namespace certchain::chain

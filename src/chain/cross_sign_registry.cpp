@@ -1,0 +1,54 @@
+#include "chain/cross_sign_registry.hpp"
+
+namespace certchain::chain {
+
+void CrossSignRegistry::add_pair(const x509::DistinguishedName& issuer,
+                                 const x509::DistinguishedName& subject) {
+  pairs_.emplace(issuer.canonical(), subject.canonical());
+}
+
+const std::string* CrossSignRegistry::find_root(const std::string& canonical) const {
+  auto it = parent_.find(canonical);
+  if (it == parent_.end()) return nullptr;
+  while (it->second != it->first) {
+    const auto next = parent_.find(it->second);
+    if (next == parent_.end()) break;
+    it = next;
+  }
+  return &it->first;
+}
+
+void CrossSignRegistry::add_equivalence(const x509::DistinguishedName& a,
+                                        const x509::DistinguishedName& b) {
+  const std::string ca = a.canonical();
+  const std::string cb = b.canonical();
+  parent_.try_emplace(ca, ca);
+  parent_.try_emplace(cb, cb);
+  const std::string* root_a = find_root(ca);
+  const std::string* root_b = find_root(cb);
+  if (root_a != nullptr && root_b != nullptr && *root_a != *root_b) {
+    parent_[*root_a] = *root_b;
+  }
+}
+
+std::size_t CrossSignRegistry::equivalence_count() const {
+  std::size_t roots = 0;
+  for (const auto& [node, parent] : parent_) {
+    if (node == parent) ++roots;
+  }
+  // Groups with more than one member = total nodes - singleton roots; report
+  // the number of non-trivial groups.
+  return parent_.empty() ? 0 : parent_.size() - roots;
+}
+
+bool CrossSignRegistry::covers(const x509::DistinguishedName& issuer,
+                               const x509::DistinguishedName& subject) const {
+  const std::string ci = issuer.canonical();
+  const std::string cs = subject.canonical();
+  if (pairs_.contains({ci, cs})) return true;
+  const std::string* root_i = find_root(ci);
+  const std::string* root_s = find_root(cs);
+  return root_i != nullptr && root_s != nullptr && *root_i == *root_s;
+}
+
+}  // namespace certchain::chain

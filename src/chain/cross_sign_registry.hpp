@@ -1,0 +1,60 @@
+// Cross-signing knowledge base.
+//
+// Cross-signed CAs make a textual issuer–subject comparison report a
+// mismatch even though the chain is valid (Appendix D.1): the same CA key is
+// certified under two different issuer names. The paper suppresses these
+// false positives by consulting Zeek's validation verdicts and CA
+// cross-signing disclosures [32]. CrossSignRegistry is that knowledge base:
+// a set of (issuer DN, subject DN) pairs that must be treated as matching,
+// plus DN equivalence groups ("these two names identify the same CA").
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "x509/distinguished_name.hpp"
+
+namespace certchain::chain {
+
+class CrossSignRegistry {
+ public:
+  /// Declares that a certificate whose issuer is `issuer` may legitimately
+  /// follow a certificate whose subject is `subject` (directed pair, read as
+  /// "issuer-of-lower-cert is known to cross-sign as subject-of-upper-cert").
+  void add_pair(const x509::DistinguishedName& issuer,
+                const x509::DistinguishedName& subject);
+
+  /// Declares two DNs as naming the same CA entity (symmetric; e.g. the CA's
+  /// self-operated root name and its cross-signed intermediate name).
+  void add_equivalence(const x509::DistinguishedName& a,
+                       const x509::DistinguishedName& b);
+
+  /// True if the (issuer, subject) pair should be accepted despite the
+  /// textual mismatch.
+  bool covers(const x509::DistinguishedName& issuer,
+              const x509::DistinguishedName& subject) const;
+
+  std::size_t pair_count() const { return pairs_.size(); }
+  std::size_t equivalence_count() const;
+
+  /// Learns pairs from an external validator's verdicts: when a chain is
+  /// externally reported valid but position i has a textual mismatch, the
+  /// pair at i is recorded (the paper's "compare with Zeek's validation
+  /// results" step).
+  void learn_pair(const x509::DistinguishedName& issuer,
+                  const x509::DistinguishedName& subject) {
+    add_pair(issuer, subject);
+  }
+
+ private:
+  const std::string* find_root(const std::string& canonical) const;
+
+  std::set<std::pair<std::string, std::string>> pairs_;
+  // Union-find over canonical DNs, path-compressed on mutation only (lookup
+  // is const); groups are tiny so the linear find is fine.
+  std::map<std::string, std::string> parent_;
+};
+
+}  // namespace certchain::chain

@@ -1,0 +1,96 @@
+#include "chain/matcher.hpp"
+
+namespace certchain::chain {
+
+std::size_t MatchResult::mismatch_count() const {
+  std::size_t count = 0;
+  for (const PairMatch& pair : pairs) {
+    if (!pair.matched) ++count;
+  }
+  return count;
+}
+
+std::vector<std::size_t> MatchResult::mismatch_indices() const {
+  std::vector<std::size_t> out;
+  for (const PairMatch& pair : pairs) {
+    if (!pair.matched) out.push_back(pair.index);
+  }
+  return out;
+}
+
+double MatchResult::mismatch_ratio() const {
+  if (pairs.empty()) return 0.0;
+  return static_cast<double>(mismatch_count()) / static_cast<double>(pairs.size());
+}
+
+MatchResult match_chain(const CertificateChain& chain,
+                        const CrossSignRegistry* registry) {
+  MatchResult result;
+  if (chain.length() < 2) return result;
+  result.pairs.reserve(chain.length() - 1);
+  for (std::size_t i = 0; i + 1 < chain.length(); ++i) {
+    PairMatch pair;
+    pair.index = i;
+    const auto& issuer = chain.at(i).issuer;
+    const auto& next_subject = chain.at(i + 1).subject;
+    if (issuer.matches(next_subject)) {
+      pair.matched = true;
+    } else if (registry != nullptr && registry->covers(issuer, next_subject)) {
+      pair.matched = true;
+      pair.via_cross_sign = true;
+    }
+    result.pairs.push_back(pair);
+  }
+  return result;
+}
+
+bool is_plausible_leaf(const CertificateChain& chain, std::size_t index) {
+  const x509::Certificate& candidate = chain.at(index);
+  if (candidate.is_ca()) return false;
+  // Nothing else in the chain may chain *to* this certificate.
+  for (std::size_t i = 0; i < chain.length(); ++i) {
+    if (i == index) continue;
+    if (chain.at(i).issuer.matches(candidate.subject)) return false;
+  }
+  return true;
+}
+
+PathAnalysis analyze_paths(const CertificateChain& chain,
+                           const CrossSignRegistry* registry, bool require_leaf) {
+  PathAnalysis analysis;
+  analysis.match = match_chain(chain, registry);
+  if (chain.empty()) return analysis;
+
+  // Split into maximal matched runs at every mismatched pair.
+  std::size_t run_begin = 0;
+  for (std::size_t i = 0; i + 1 < chain.length(); ++i) {
+    if (!analysis.match.pairs[i].matched) {
+      analysis.runs.push_back(MatchedRun{run_begin, i});
+      run_begin = i + 1;
+    }
+  }
+  analysis.runs.push_back(MatchedRun{run_begin, chain.length() - 1});
+
+  // Select the complete matched path: longest qualifying run, earliest wins
+  // ties. A path needs at least two certificates; the leaf test applies only
+  // in hybrid mode.
+  for (const MatchedRun& run : analysis.runs) {
+    if (run.cert_count() < 2) continue;
+    if (require_leaf && !is_plausible_leaf(chain, run.begin)) continue;
+    if (!analysis.complete_path ||
+        run.cert_count() > analysis.complete_path->cert_count()) {
+      analysis.complete_path = run;
+    }
+  }
+
+  if (analysis.complete_path) {
+    for (std::size_t i = 0; i < chain.length(); ++i) {
+      if (i < analysis.complete_path->begin || i > analysis.complete_path->end) {
+        analysis.unnecessary_certificates.push_back(i);
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace certchain::chain

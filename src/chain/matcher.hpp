@@ -1,0 +1,101 @@
+// Issuer–subject chain matching and matched-path detection (§4.2, App. D.1).
+//
+// The study's methodology: traverse the delivered chain leaf-upward and check
+// whether each certificate's issuer DN matches the next certificate's subject
+// DN, recording the positions of mismatched pairs. On top of the pairwise
+// results it detects *matched paths* (maximal contiguous runs of matching
+// pairs), decides whether a run is a *complete matched path* (all pairs match
+// and the run starts with a valid leaf), and derives the *mismatch ratio*
+// (mismatched pairs / total pairs) and the set of *unnecessary certificates*
+// (certificates outside the selected complete matched path).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "chain/cross_sign_registry.hpp"
+
+namespace certchain::chain {
+
+/// One adjacent (certificate i, certificate i+1) comparison.
+struct PairMatch {
+  std::size_t index = 0;        // position of the lower certificate
+  bool matched = false;         // issuer(i) == subject(i+1) canonically
+  bool via_cross_sign = false;  // matched only thanks to the registry
+};
+
+/// Pairwise comparison over a whole chain.
+struct MatchResult {
+  std::vector<PairMatch> pairs;  // length-1 chains have no pairs
+
+  std::size_t pair_count() const { return pairs.size(); }
+  std::size_t mismatch_count() const;
+  std::vector<std::size_t> mismatch_indices() const;
+
+  /// Mismatched pairs / total pairs; 0 for single-certificate chains.
+  double mismatch_ratio() const;
+
+  /// True if every adjacent pair matched.
+  bool all_matched() const { return mismatch_count() == 0; }
+};
+
+/// Runs the issuer–subject comparison. `registry` (optional) suppresses
+/// known cross-signing mismatches.
+MatchResult match_chain(const CertificateChain& chain,
+                        const CrossSignRegistry* registry = nullptr);
+
+/// A maximal contiguous run [begin_cert, end_cert] (inclusive certificate
+/// indices) whose internal pairs all match.
+struct MatchedRun {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t cert_count() const { return end - begin + 1; }
+  bool operator==(const MatchedRun&) const = default;
+};
+
+/// Leaf plausibility test used for hybrid chains (§4.2): the certificate is
+/// not a CA (basicConstraints CA:TRUE) and no other certificate in the chain
+/// claims it as its issuer (i.e. nothing chains *to* it from below).
+bool is_plausible_leaf(const CertificateChain& chain, std::size_t index);
+
+/// Full structural analysis of one chain.
+struct PathAnalysis {
+  MatchResult match;
+
+  /// Maximal matched runs, in chain order. Single certificates form runs of
+  /// one; a fully matched chain is a single run covering everything.
+  std::vector<MatchedRun> runs;
+
+  /// The selected complete matched path, if any: the longest run (earliest on
+  /// ties) that begins with a plausible leaf when `require_leaf` was set.
+  std::optional<MatchedRun> complete_path;
+
+  /// Indices of certificates outside the complete matched path (empty when
+  /// there is no complete path — then *no* certificate is on a trust path,
+  /// and the chain belongs in the "no complete matched path" bucket instead).
+  std::vector<std::size_t> unnecessary_certificates;
+
+  /// True when the whole chain is exactly the complete matched path.
+  bool is_complete_path() const {
+    return complete_path.has_value() && unnecessary_certificates.empty();
+  }
+  /// True when a complete path exists but extras surround it.
+  bool contains_complete_path() const {
+    return complete_path.has_value() && !unnecessary_certificates.empty();
+  }
+  bool no_complete_path() const { return !complete_path.has_value(); }
+};
+
+/// Analyzes a chain. `require_leaf` enables the hybrid-chain leaf test; the
+/// non-public-DB-only / interception analysis disables it because those
+/// issuers routinely omit basicConstraints (§4.3) — there a complete path is
+/// any run covering >= 2 certificates (or the whole chain).
+PathAnalysis analyze_paths(const CertificateChain& chain,
+                           const CrossSignRegistry* registry = nullptr,
+                           bool require_leaf = true);
+
+}  // namespace certchain::chain

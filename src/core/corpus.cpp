@@ -1,0 +1,54 @@
+#include "core/corpus.hpp"
+
+namespace certchain::core {
+
+void CorpusIndex::add(const zeek::JoinedConnection& connection) {
+  ++totals_.connections;
+  if (connection.ssl.version == "TLSv13") ++totals_.tls13_connections;
+  if (!connection.missing_fuids.empty()) ++totals_.incomplete_joins;
+  if (connection.chain.empty()) return;
+  ++totals_.with_certificates;
+
+  for (const x509::Certificate& cert : connection.chain) {
+    if (certificate_fingerprints_.insert(cert.fingerprint()).second) {
+      ++totals_.distinct_certificates;
+    }
+  }
+
+  ChainObservation& observation = chains_[connection.chain.id()];
+  if (observation.connections == 0) {
+    observation.chain = connection.chain;
+    observation.first_seen = connection.ssl.ts;
+    observation.last_seen = connection.ssl.ts;
+  } else {
+    observation.first_seen = std::min(observation.first_seen, connection.ssl.ts);
+    observation.last_seen = std::max(observation.last_seen, connection.ssl.ts);
+  }
+  ++observation.connections;
+  if (connection.ssl.established) ++observation.established;
+  observation.client_ips.insert(connection.ssl.id_orig_h);
+  observation.server_keys.insert(connection.ssl.id_resp_h + ":" +
+                                 std::to_string(connection.ssl.id_resp_p));
+  observation.ports.add(connection.ssl.id_resp_p);
+  if (connection.ssl.server_name.empty()) {
+    ++observation.without_sni;
+  } else {
+    ++observation.with_sni;
+    observation.domains.insert(connection.ssl.server_name);
+  }
+}
+
+void CorpusIndex::add_all(const std::vector<zeek::JoinedConnection>& connections) {
+  for (const zeek::JoinedConnection& connection : connections) add(connection);
+}
+
+std::size_t CorpusIndex::distinct_clients(
+    const std::vector<const ChainObservation*>& observations) {
+  std::set<std::string> clients;
+  for (const ChainObservation* observation : observations) {
+    clients.insert(observation->client_ips.begin(), observation->client_ips.end());
+  }
+  return clients.size();
+}
+
+}  // namespace certchain::core

@@ -1,0 +1,78 @@
+// Corpus indexing: from joined connections to deduplicated chains with usage
+// statistics.
+//
+// The study counts three things per certificate chain: how many TLS
+// connections delivered it, how many completed the handshake, and how many
+// distinct client IPs were involved (§3.2.2, Table 2). CorpusIndex folds a
+// stream of joined SSL/X509 records into one ChainObservation per unique
+// chain (identity = ordered certificate fingerprints) plus corpus-wide
+// counters, preserving exactly the fields the downstream analyzers read.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+#include "zeek/joiner.hpp"
+
+namespace certchain::core {
+
+/// Everything the study tracks about one unique certificate chain.
+struct ChainObservation {
+  chain::CertificateChain chain;
+
+  std::uint64_t connections = 0;
+  std::uint64_t established = 0;
+  std::set<std::string> client_ips;
+  std::set<std::string> server_keys;  // "ip:port" delivery points
+  util::Counter<std::uint16_t> ports;
+  std::uint64_t with_sni = 0;
+  std::uint64_t without_sni = 0;
+  std::set<std::string> domains;  // observed SNI values
+  util::SimTime first_seen = 0;
+  util::SimTime last_seen = 0;
+
+  double establish_rate() const {
+    return connections == 0 ? 0.0
+                            : static_cast<double>(established) /
+                                  static_cast<double>(connections);
+  }
+};
+
+/// Corpus-wide counters that don't belong to a single chain.
+struct CorpusTotals {
+  std::uint64_t connections = 0;          // all SSL.log rows
+  std::uint64_t with_certificates = 0;    // rows that delivered a chain
+  std::uint64_t tls13_connections = 0;    // certificates invisible (§6.3)
+  std::uint64_t incomplete_joins = 0;     // rows with missing fuids
+  std::size_t distinct_certificates = 0;  // unique cert fingerprints
+};
+
+class CorpusIndex {
+ public:
+  /// Folds connections in. Connections without certificates (TLS 1.3,
+  /// resumed) contribute to totals only.
+  void add(const zeek::JoinedConnection& connection);
+  void add_all(const std::vector<zeek::JoinedConnection>& connections);
+
+  const std::map<std::string, ChainObservation>& chains() const { return chains_; }
+  const CorpusTotals& totals() const { return totals_; }
+
+  std::size_t unique_chain_count() const { return chains_.size(); }
+
+  /// Union of client IPs across a set of chain ids.
+  static std::size_t distinct_clients(
+      const std::vector<const ChainObservation*>& observations);
+
+ private:
+  std::map<std::string, ChainObservation> chains_;  // by chain id
+  std::set<std::string> certificate_fingerprints_;
+  CorpusTotals totals_;
+};
+
+}  // namespace certchain::core

@@ -1,0 +1,124 @@
+#include "core/interception.hpp"
+
+#include <algorithm>
+
+namespace certchain::core {
+
+chain::InterceptionIssuerSet InterceptionReport::issuer_set() const {
+  chain::InterceptionIssuerSet out = vendor_issuer_dns;
+  for (const InterceptionFinding& finding : findings) {
+    out.insert(finding.issuer_canonical);
+  }
+  return out;
+}
+
+std::vector<InterceptionCategoryRow> InterceptionReport::category_rows() const {
+  std::map<std::string, InterceptionCategoryRow> by_category;
+  std::map<std::string, std::set<std::string>> vendors_by_category;
+  for (const InterceptionFinding& finding : findings) {
+    InterceptionCategoryRow& row = by_category[finding.vendor.category];
+    row.category = finding.vendor.category;
+    vendors_by_category[finding.vendor.category].insert(finding.vendor.vendor);
+    row.connections += finding.connections;
+  }
+  for (auto& [category, row] : by_category) {
+    row.issuers = vendors_by_category[category].size();
+  }
+  // Client IPs must be deduplicated per category, not summed per issuer.
+  std::map<std::string, std::set<std::string>> clients_by_category;
+  for (const InterceptionFinding& finding : findings) {
+    clients_by_category[finding.vendor.category].insert(finding.client_ips.begin(),
+                                                        finding.client_ips.end());
+  }
+  for (auto& [category, row] : by_category) {
+    row.client_ips = clients_by_category[category].size();
+  }
+
+  std::vector<InterceptionCategoryRow> rows;
+  rows.reserve(by_category.size());
+  for (auto& [category, row] : by_category) rows.push_back(std::move(row));
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const InterceptionCategoryRow& a, const InterceptionCategoryRow& b) {
+                     return a.connections > b.connections;
+                   });
+  return rows;
+}
+
+bool InterceptionDetector::is_interception_candidate(
+    const chain::CertificateChain& chain, const std::string& domain) const {
+  if (chain.empty() || domain.empty()) return false;
+  const x509::Certificate& leaf = chain.first();
+  // Step 1: leaf issuer absent from every public database.
+  if (stores_->classify_certificate(leaf) == truststore::IssuerClass::kPublicDb) {
+    return false;
+  }
+  // Step 2: CT cross-reference for the same domain and validity period. No
+  // CT record at all is inconclusive (the genuine certificate may itself be
+  // non-public and unlogged, Appendix B) — only a *different* recorded
+  // issuer implies interception.
+  const auto ct_issuers = ct_logs_->issuers_for_domain(domain, leaf.validity);
+  if (ct_issuers.empty()) return false;
+  for (const x509::DistinguishedName& recorded : ct_issuers) {
+    if (recorded.matches(leaf.issuer)) return false;  // observed issuer is on file
+  }
+  return true;
+}
+
+InterceptionReport InterceptionDetector::detect(const CorpusIndex& corpus) const {
+  InterceptionReport report;
+  std::map<std::string, InterceptionFinding> findings;  // by issuer canonical
+
+  for (const auto& [chain_id, observation] : corpus.chains()) {
+    if (observation.chain.empty()) continue;
+    // Evaluate against each observed SNI; the first confirming domain wins.
+    bool candidate = false;
+    for (const std::string& domain : observation.domains) {
+      if (is_interception_candidate(observation.chain, domain)) {
+        candidate = true;
+        break;
+      }
+    }
+    if (!candidate) continue;
+
+    const x509::Certificate& leaf = observation.chain.first();
+    const std::string canonical = leaf.issuer.canonical();
+    const auto directory_entry = directory_->find(canonical);
+    if (directory_entry == directory_->end()) {
+      report.unconfirmed_candidates.insert(canonical);
+      continue;
+    }
+    InterceptionFinding& finding = findings[canonical];
+    if (finding.issuer_canonical.empty()) {
+      finding.issuer_canonical = canonical;
+      finding.issuer_display = leaf.issuer.to_string();
+      finding.vendor = directory_entry->second;
+    }
+    finding.connections += observation.connections;
+    finding.client_ips.insert(observation.client_ips.begin(),
+                              observation.client_ips.end());
+    report.total_connections += observation.connections;
+  }
+
+  // Vendor expansion: every directory DN of a confirmed vendor.
+  std::set<std::string> confirmed_vendors;
+  for (const auto& [canonical, finding] : findings) {
+    confirmed_vendors.insert(finding.vendor.vendor);
+  }
+  for (const auto& [canonical, info] : *directory_) {
+    if (confirmed_vendors.contains(info.vendor)) {
+      report.vendor_issuer_dns.insert(canonical);
+    }
+  }
+
+  report.findings.reserve(findings.size());
+  for (auto& [canonical, finding] : findings) {
+    report.findings.push_back(std::move(finding));
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const InterceptionFinding& a, const InterceptionFinding& b) {
+                     return a.connections > b.connections;
+                   });
+  return report;
+}
+
+}  // namespace certchain::core

@@ -1,0 +1,92 @@
+#include "core/pipeline.hpp"
+
+#include <set>
+
+#include "zeek/joiner.hpp"
+
+namespace certchain::core {
+
+using chain::ChainCategory;
+
+StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
+                               const std::vector<zeek::X509LogRecord>& x509) const {
+  StudyReport report;
+
+  // Stage 0: join SSL and X509 rows and deduplicate chains.
+  const zeek::LogJoiner joiner(x509);
+  CorpusIndex corpus;
+  for (const zeek::SslLogRecord& record : ssl) corpus.add(joiner.join(record));
+  report.totals = corpus.totals();
+  report.unique_chains = corpus.unique_chain_count();
+
+  // Stage 1: certificate enrichment — interception identification (the
+  // issuer classification itself happens lazily via the trust-store set).
+  const InterceptionDetector detector(*stores_, *ct_logs_, *vendors_);
+  report.interception = detector.detect(corpus);
+  const chain::InterceptionIssuerSet interception_issuers =
+      report.interception.issuer_set();
+
+  // Stage 2: chain categorization + usage statistics + Figure 1 data.
+  std::map<ChainCategory, std::vector<const ChainObservation*>> slices;
+  std::map<ChainCategory, std::set<std::string>> clients_by_category;
+  for (const auto& [chain_id, observation] : corpus.chains()) {
+    const ChainCategory category =
+        chain::categorize_chain(observation.chain, *stores_, interception_issuers);
+    slices[category].push_back(&observation);
+
+    CategoryUsage& usage = report.categories[category];
+    ++usage.chains;
+    usage.connections += observation.connections;
+    clients_by_category[category].insert(observation.client_ips.begin(),
+                                         observation.client_ips.end());
+
+    // Figure 1 series with the outlier rule.
+    if (observation.chain.length() > kOutlierLength && observation.connections == 1) {
+      ExcludedOutlier outlier;
+      outlier.length = observation.chain.length();
+      outlier.category = category;
+      outlier.connections = observation.connections;
+      outlier.established_any = observation.established > 0;
+      report.excluded_outliers.push_back(outlier);
+    } else {
+      report.chain_lengths[category].push_back(observation.chain.length());
+    }
+
+    if (category == ChainCategory::kHybrid) {
+      for (const auto& [port, count] : observation.ports.items()) {
+        report.ports_hybrid.add(port, count);
+      }
+    }
+  }
+  for (auto& [category, clients] : clients_by_category) {
+    report.categories[category].client_ips = clients.size();
+  }
+
+  // Stage 3: per-category structure analysis.
+  const HybridAnalyzer hybrid_analyzer(*stores_, *ct_logs_, registry_);
+  report.hybrid = hybrid_analyzer.analyze(slices[ChainCategory::kHybrid]);
+
+  const NonPublicAnalyzer non_public_analyzer(registry_);
+  report.non_public = non_public_analyzer.analyze(
+      "Non-public-DB-only", slices[ChainCategory::kNonPublicDbOnly]);
+  report.interception_chains = non_public_analyzer.analyze(
+      "TLS interception", slices[ChainCategory::kTlsInterception]);
+
+  // Stage 4: PKI relationship graphs.
+  report.hybrid_graph = build_pki_graph(slices[ChainCategory::kHybrid], *stores_);
+  report.non_public_graph =
+      build_pki_graph(slices[ChainCategory::kNonPublicDbOnly], *stores_);
+  report.interception_graph =
+      build_pki_graph(slices[ChainCategory::kTlsInterception], *stores_);
+
+  return report;
+}
+
+StudyReport StudyPipeline::run_from_text(std::string_view ssl_log_text,
+                                         std::string_view x509_log_text) const {
+  const std::vector<zeek::SslLogRecord> ssl = zeek::parse_ssl_log(ssl_log_text);
+  const std::vector<zeek::X509LogRecord> x509 = zeek::parse_x509_log(x509_log_text);
+  return run(ssl, x509);
+}
+
+}  // namespace certchain::core

@@ -1,0 +1,109 @@
+// The certificate chain structure analyzer (Figure 2).
+//
+// StudyPipeline wires the stages of the paper's pipeline together:
+//
+//   Certificate Enrichment  -> issuer classification against the public
+//                              databases + interception identification
+//   Chain Categorization    -> public-DB-only / non-public-DB-only / hybrid /
+//                              TLS interception (§3.2.2, Table 2)
+//   Mismatch & Cross-sign   -> issuer-subject matching with the registry
+//   Path Detection          -> complete/partial matched paths, unnecessary
+//                              certificates, per-category reports
+//
+// Input is raw Zeek log content (or already-parsed records); output is a
+// StudyReport holding every table/figure's data. Each analyzer can also be
+// driven standalone — the pipeline only orchestrates.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chain/categorizer.hpp"
+#include "chain/cross_sign_registry.hpp"
+#include "core/corpus.hpp"
+#include "core/hybrid_analysis.hpp"
+#include "core/interception.hpp"
+#include "core/nonpublic_analysis.hpp"
+#include "core/pki_graph.hpp"
+#include "ct/ct_log.hpp"
+#include "netsim/simulator.hpp"
+#include "truststore/trust_store.hpp"
+#include "util/stats.hpp"
+#include "zeek/log_io.hpp"
+
+namespace certchain::core {
+
+/// Table 2 row.
+struct CategoryUsage {
+  std::size_t chains = 0;
+  std::uint64_t connections = 0;
+  std::size_t client_ips = 0;
+};
+
+/// A chain excluded from Figure 1 as a length outlier (the paper dropped
+/// three chains of lengths 3,822, 921 and 41, each seen once).
+struct ExcludedOutlier {
+  std::size_t length = 0;
+  chain::ChainCategory category = chain::ChainCategory::kNonPublicDbOnly;
+  std::uint64_t connections = 0;
+  bool established_any = false;
+};
+
+struct StudyReport {
+  CorpusTotals totals;
+  std::size_t unique_chains = 0;
+
+  InterceptionReport interception;                        // Table 1
+  std::map<chain::ChainCategory, CategoryUsage> categories;  // Table 2
+
+  /// Figure 1: per-category unique-chain lengths (outliers excluded).
+  std::map<chain::ChainCategory, std::vector<std::size_t>> chain_lengths;
+  std::vector<ExcludedOutlier> excluded_outliers;
+
+  HybridReport hybrid;                  // Tables 3/6/7, Figures 4/6
+  NonPublicReport non_public;           // §4.3, Table 8 left column
+  NonPublicReport interception_chains;  // §4.3, Table 8 right column
+
+  /// Table 4 first column: hybrid-chain port usage.
+  util::Counter<std::uint16_t> ports_hybrid;
+
+  PkiGraph hybrid_graph;        // Figure 5
+  PkiGraph non_public_graph;    // Figure 7
+  PkiGraph interception_graph;  // Figure 8
+};
+
+class StudyPipeline {
+ public:
+  StudyPipeline(const truststore::TrustStoreSet& stores, const ct::CtLogSet& ct_logs,
+                const VendorDirectory& vendors,
+                const chain::CrossSignRegistry* registry = nullptr)
+      : stores_(&stores), ct_logs_(&ct_logs), vendors_(&vendors),
+        registry_(registry) {}
+
+  /// Runs on parsed records.
+  StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
+                  const std::vector<zeek::X509LogRecord>& x509) const;
+
+  /// Convenience overloads.
+  StudyReport run(const netsim::GeneratedLogs& logs) const {
+    return run(logs.ssl, logs.x509);
+  }
+
+  /// Runs on raw Zeek log text (the full parse -> join -> analyze path).
+  StudyReport run_from_text(std::string_view ssl_log_text,
+                            std::string_view x509_log_text) const;
+
+  /// Figure 1 outlier rule: drop unique chains longer than this when they
+  /// were observed exactly once.
+  static constexpr std::size_t kOutlierLength = 30;
+
+ private:
+  const truststore::TrustStoreSet* stores_;
+  const ct::CtLogSet* ct_logs_;
+  const VendorDirectory* vendors_;
+  const chain::CrossSignRegistry* registry_;
+};
+
+}  // namespace certchain::core

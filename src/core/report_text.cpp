@@ -1,0 +1,118 @@
+#include "core/report_text.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace certchain::core {
+
+namespace {
+
+void render_totals(std::string& out, const StudyReport& report) {
+  out += util::render_banner("Corpus");
+  out += "connections: " + util::with_commas(report.totals.connections) +
+         " (with certificates: " + util::with_commas(report.totals.with_certificates) +
+         ", TLS1.3-opaque: " + util::with_commas(report.totals.tls13_connections) +
+         ", incomplete joins: " + util::with_commas(report.totals.incomplete_joins) +
+         ")\n";
+  out += "unique chains: " + util::with_commas(report.unique_chains) +
+         "   distinct certificates: " +
+         util::with_commas(report.totals.distinct_certificates) + "\n";
+  if (!report.excluded_outliers.empty()) {
+    out += "length outliers excluded from Figure 1 series: " +
+           std::to_string(report.excluded_outliers.size()) + "\n";
+  }
+  out += "\n";
+}
+
+void render_categories(std::string& out, const StudyReport& report) {
+  out += util::render_banner("Chain categories (Table 2)");
+  util::TextTable table({"Category", "Chains", "Connections", "Client IPs"});
+  for (const auto& [category, usage] : report.categories) {
+    table.add_row({std::string(chain::chain_category_name(category)),
+                   util::with_commas(usage.chains),
+                   util::with_commas(usage.connections),
+                   util::with_commas(usage.client_ips)});
+  }
+  out += table.render();
+  out += "\n";
+}
+
+void render_interception(std::string& out, const StudyReport& report) {
+  out += util::render_banner("TLS interception (Table 1)");
+  util::TextTable table({"Category", "Issuers", "Connections", "Client IPs"});
+  for (const auto& row : report.interception.category_rows()) {
+    table.add_row({row.category, std::to_string(row.issuers),
+                   util::with_commas(row.connections),
+                   util::with_commas(row.client_ips)});
+  }
+  out += table.render();
+  out += "unconfirmed CT-mismatch candidates: " +
+         std::to_string(report.interception.unconfirmed_candidates.size()) + "\n\n";
+}
+
+void render_hybrid(std::string& out, const StudyReport& report) {
+  const HybridReport& hybrid = report.hybrid;
+  out += util::render_banner("Hybrid chain structures (Tables 3/6/7)");
+  util::TextTable table({"Structure", "Chains", "Est. rate %"});
+  table.add_row({"complete matched path",
+                 std::to_string(hybrid.complete_nonpub_to_pub +
+                                hybrid.complete_pub_to_private),
+                 util::percent(hybrid.usage_complete.establish_rate(), 1.0)});
+  table.add_row({"contains complete path + extras",
+                 std::to_string(hybrid.contains_complete_path),
+                 util::percent(hybrid.usage_contains.establish_rate(), 1.0)});
+  table.add_row({"no complete matched path",
+                 std::to_string(hybrid.no_complete_path),
+                 util::percent(hybrid.usage_no_path.establish_rate(), 1.0)});
+  out += table.render();
+  out += "anchored non-public leaves CT-logged: " +
+         std::to_string(hybrid.anchored_ct_logged) + "/" +
+         std::to_string(hybrid.complete_nonpub_to_pub) +
+         "; expired leaves: " + std::to_string(hybrid.anchored_expired_leaf) +
+         "; Fake-LE leftovers: " + std::to_string(hybrid.fake_le_chains) + "\n\n";
+}
+
+void render_non_public(std::string& out, const StudyReport& report) {
+  const NonPublicReport& nonpub = report.non_public;
+  out += util::render_banner("Non-public-DB-only chains (Sec. 4.3)");
+  out += "single-cert: " + util::percent(nonpub.single_fraction(), 1.0) +
+         "% (self-signed " +
+         util::percent(nonpub.single_self_signed_fraction(), 1.0) +
+         "%); DGA cluster: " + std::to_string(nonpub.dga_chains) + " chains\n";
+  out += "multi-cert matched paths: " +
+         util::percent(nonpub.is_matched_path_fraction(), 1.0) +
+         "%; basicConstraints omitted: first " +
+         util::percent(nonpub.bc_omitted_first_fraction(), 1.0) + "% / later " +
+         util::percent(nonpub.bc_omitted_later_fraction(), 1.0) + "%\n\n";
+}
+
+void render_graphs(std::string& out, const StudyReport& report) {
+  out += util::render_banner("PKI graphs (Figures 5/7/8)");
+  const auto line = [&](const char* name, const PkiGraph& graph) {
+    out += std::string(name) + ": " + std::to_string(graph.node_count()) +
+           " nodes, " + std::to_string(graph.issuance_links().size()) +
+           " issuance links, " +
+           std::to_string(graph.complex_intermediates().size()) +
+           " complex intermediates\n";
+  };
+  line("hybrid", report.hybrid_graph);
+  line("non-public", report.non_public_graph);
+  line("interception", report.interception_graph);
+  out += "\n";
+}
+
+}  // namespace
+
+std::string render_report_text(const StudyReport& report,
+                               const ReportTextOptions& options) {
+  std::string out;
+  if (options.totals) render_totals(out, report);
+  if (options.categories) render_categories(out, report);
+  if (options.interception) render_interception(out, report);
+  if (options.hybrid) render_hybrid(out, report);
+  if (options.non_public) render_non_public(out, report);
+  if (options.graphs) render_graphs(out, report);
+  return out;
+}
+
+}  // namespace certchain::core

@@ -1,0 +1,28 @@
+// Text rendering for StudyReport.
+//
+// One place that turns the pipeline's report into the aligned-table text the
+// CLI (tools/certchain_analyze) and examples print, so downstream users get
+// the condensed study summary without re-implementing the formatting.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace certchain::core {
+
+/// Sections the renderer can emit.
+struct ReportTextOptions {
+  bool totals = true;
+  bool categories = true;        // Table 2-style
+  bool interception = true;      // Table 1-style
+  bool hybrid = true;            // Table 3/6/7 digest
+  bool non_public = true;        // §4.3 digest
+  bool graphs = false;           // node/edge summaries
+};
+
+/// Renders the selected sections of the report as plain text.
+std::string render_report_text(const StudyReport& report,
+                               const ReportTextOptions& options = {});
+
+}  // namespace certchain::core

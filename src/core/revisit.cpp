@@ -1,0 +1,118 @@
+#include "core/revisit.hpp"
+
+#include "chain/matcher.hpp"
+#include "util/strings.hpp"
+
+namespace certchain::core {
+
+using truststore::IssuerClass;
+
+bool RevisitAnalyzer::all_public(const chain::CertificateChain& chain) const {
+  if (chain.empty()) return false;
+  for (const x509::Certificate& cert : chain) {
+    if (stores_->classify_certificate(cert) != IssuerClass::kPublicDb) return false;
+  }
+  return true;
+}
+
+bool RevisitAnalyzer::all_non_public(const chain::CertificateChain& chain) const {
+  if (chain.empty()) return false;
+  for (const x509::Certificate& cert : chain) {
+    if (stores_->classify_certificate(cert) != IssuerClass::kNonPublicDb) return false;
+  }
+  return true;
+}
+
+bool RevisitAnalyzer::is_lets_encrypt_chain(const chain::CertificateChain& chain) {
+  if (chain.empty()) return false;
+  const auto organization = chain.first().issuer.organization();
+  const auto cn = chain.first().issuer.common_name();
+  const std::string haystack = util::to_lower(organization.value_or("")) + "/" +
+                               util::to_lower(cn.value_or(""));
+  return util::contains(haystack, "let's encrypt") ||
+         util::contains(haystack, "lets encrypt") || util::contains(haystack, "isrg");
+}
+
+HybridRevisitReport RevisitAnalyzer::analyze_hybrid(
+    const std::vector<const netsim::ServerEndpoint*>& servers,
+    const scanner::ActiveScanner& scanner) const {
+  HybridRevisitReport report;
+  report.previous_servers = servers.size();
+
+  for (const netsim::ServerEndpoint* server : servers) {
+    const scanner::ScanResult scan =
+        server->domain.empty() ? scanner.scan_ip(server->ip, server->port)
+                               : scanner.scan_domain(server->domain, server->port);
+    if (!scan.reachable || scan.chain.empty()) continue;
+    ++report.reachable;
+
+    if (all_public(scan.chain)) {
+      ++report.now_all_public;
+      if (is_lets_encrypt_chain(scan.chain)) ++report.now_lets_encrypt;
+      continue;
+    }
+    if (all_non_public(scan.chain)) {
+      ++report.now_all_non_public;
+      continue;
+    }
+    ++report.still_hybrid;
+    const chain::HybridClassification cls =
+        chain::classify_hybrid(scan.chain, *stores_, registry_);
+    switch (cls.structure) {
+      case chain::HybridStructure::kCompleteNonPubToPub:
+      case chain::HybridStructure::kCompletePubToPrivate:
+        ++report.still_complete_no_extras;
+        break;
+      case chain::HybridStructure::kContainsCompletePath:
+        ++report.still_complete_with_extras;
+        break;
+      case chain::HybridStructure::kNoCompletePath:
+        ++report.still_no_path;
+        break;
+    }
+  }
+  return report;
+}
+
+NonPublicRevisitReport RevisitAnalyzer::analyze_non_public(
+    const std::vector<const netsim::ServerEndpoint*>& servers,
+    const scanner::ActiveScanner& scanner,
+    std::uint64_t previous_connections,
+    std::uint64_t previous_no_sni_connections) const {
+  NonPublicRevisitReport report;
+  report.previous_connections = previous_connections;
+  report.previous_no_sni_connections = previous_no_sni_connections;
+
+  for (const netsim::ServerEndpoint* server : servers) {
+    // Without an SNI on record there is nothing to connect to by name — the
+    // paper could only extract servers whose connections carried one.
+    if (server->domain.empty()) continue;
+    ++report.scannable_servers;
+
+    const scanner::ScanResult scan =
+        scanner.scan_domain(server->domain, server->port);
+    if (!scan.reachable || scan.chain.empty()) continue;
+    ++report.reachable;
+
+    if (all_non_public(scan.chain)) ++report.still_non_public;
+
+    if (scan.chain.length() > 1) {
+      ++report.now_multi_cert;
+      // Classify what this server used to serve.
+      const auto& previous = server->chain;
+      if (previous.length() > 1) {
+        ++report.previously_multi;
+      } else if (previous.length() == 1 && previous.first_is_self_signed()) {
+        ++report.previously_single_self_signed;
+      } else if (previous.length() == 1) {
+        ++report.previously_single_distinct;
+      }
+      const chain::PathAnalysis analysis =
+          chain::analyze_paths(scan.chain, registry_, /*require_leaf=*/false);
+      if (analysis.is_complete_path()) ++report.now_multi_complete_matched;
+    }
+  }
+  return report;
+}
+
+}  // namespace certchain::core

@@ -1,0 +1,86 @@
+// The November-2024 retrospective study (§5).
+//
+// The paper re-contacted the servers that had delivered hybrid and
+// non-public-DB-only chains during the collection window and compared the
+// freshly scanned chains with the logged ones. Two findings: (1) most former
+// hybrid servers moved to public-DB issuers — largely Let's Encrypt; (2)
+// formerly single-certificate non-public servers now deliver hierarchical
+// multi-certificate chains, almost all of them complete matched paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/categorizer.hpp"
+#include "netsim/endpoint.hpp"
+#include "scanner/scanner.hpp"
+#include "truststore/trust_store.hpp"
+
+namespace certchain::core {
+
+struct HybridRevisitReport {
+  std::size_t previous_servers = 0;
+  std::size_t reachable = 0;
+
+  std::size_t now_all_public = 0;
+  std::size_t now_lets_encrypt = 0;  // subset of now_all_public
+  std::size_t now_all_non_public = 0;
+  std::size_t still_hybrid = 0;
+
+  // Breakdown of the still-hybrid servers.
+  std::size_t still_complete_no_extras = 0;
+  std::size_t still_complete_with_extras = 0;
+  std::size_t still_no_path = 0;
+};
+
+struct NonPublicRevisitReport {
+  std::uint64_t previous_connections = 0;
+  std::uint64_t previous_no_sni_connections = 0;
+
+  std::size_t scannable_servers = 0;  // had an SNI we could extract
+  std::size_t reachable = 0;
+  std::size_t still_non_public = 0;
+
+  std::size_t now_multi_cert = 0;
+  // History of the now-multi-cert servers (the paper's 39.00% / 53.44% /
+  // 7.56% split).
+  std::size_t previously_multi = 0;
+  std::size_t previously_single_self_signed = 0;
+  std::size_t previously_single_distinct = 0;
+
+  std::size_t now_multi_complete_matched = 0;  // 97.61% in the paper
+};
+
+class RevisitAnalyzer {
+ public:
+  RevisitAnalyzer(const truststore::TrustStoreSet& stores,
+                  const chain::CrossSignRegistry* registry = nullptr)
+      : stores_(&stores), registry_(registry) {}
+
+  /// Revisits the servers that delivered hybrid chains in epoch 1.
+  HybridRevisitReport analyze_hybrid(
+      const std::vector<const netsim::ServerEndpoint*>& servers,
+      const scanner::ActiveScanner& scanner) const;
+
+  /// Revisits the servers that delivered non-public-DB-only chains.
+  NonPublicRevisitReport analyze_non_public(
+      const std::vector<const netsim::ServerEndpoint*>& servers,
+      const scanner::ActiveScanner& scanner,
+      std::uint64_t previous_connections,
+      std::uint64_t previous_no_sni_connections) const;
+
+  /// True if every certificate in the chain was issued by a public-DB
+  /// issuer.
+  bool all_public(const chain::CertificateChain& chain) const;
+  bool all_non_public(const chain::CertificateChain& chain) const;
+
+  /// Heuristic Let's Encrypt detection on the scanned leaf.
+  static bool is_lets_encrypt_chain(const chain::CertificateChain& chain);
+
+ private:
+  const truststore::TrustStoreSet* stores_;
+  const chain::CrossSignRegistry* registry_;
+};
+
+}  // namespace certchain::core

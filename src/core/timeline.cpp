@@ -1,0 +1,104 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace certchain::core {
+
+std::string month_key(util::SimTime t) {
+  const util::CivilTime civil = util::to_civil(t);
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d", civil.year, civil.month);
+  return buffer;
+}
+
+namespace {
+
+/// Months from `begin` to `end` inclusive, chronological.
+std::vector<std::string> month_span(util::SimTime begin, util::SimTime end) {
+  std::vector<std::string> months;
+  util::CivilTime civil = util::to_civil(begin);
+  int year = civil.year;
+  int month = civil.month;
+  const std::string last = month_key(end);
+  while (true) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%04d-%02d", year, month);
+    months.emplace_back(buffer);
+    if (months.back() == last) break;
+    if (++month > 12) {
+      month = 1;
+      ++year;
+    }
+    if (months.size() > 1200) break;  // defensive bound
+  }
+  return months;
+}
+
+}  // namespace
+
+TimelineReport build_timeline(const CorpusIndex& corpus,
+                              const truststore::TrustStoreSet& stores,
+                              const chain::InterceptionIssuerSet& interception) {
+  TimelineReport report;
+  if (corpus.chains().empty()) return report;
+
+  // Corpus-wide month span.
+  util::SimTime earliest = 0;
+  util::SimTime latest = 0;
+  bool first = true;
+  for (const auto& [id, observation] : corpus.chains()) {
+    if (first) {
+      earliest = observation.first_seen;
+      latest = observation.last_seen;
+      first = false;
+    } else {
+      earliest = std::min(earliest, observation.first_seen);
+      latest = std::max(latest, observation.last_seen);
+    }
+  }
+  report.months = month_span(earliest, latest);
+  std::map<std::string, std::size_t> month_index;
+  for (std::size_t i = 0; i < report.months.size(); ++i) {
+    month_index[report.months[i]] = i;
+  }
+
+  const auto series_for = [&](chain::ChainCategory category)
+      -> std::vector<MonthlyRow>& {
+    auto& series = report.series[category];
+    if (series.empty()) {
+      series.resize(report.months.size());
+      for (std::size_t i = 0; i < report.months.size(); ++i) {
+        series[i].month = report.months[i];
+      }
+    }
+    return series;
+  };
+
+  for (const auto& [id, observation] : corpus.chains()) {
+    const chain::ChainCategory category =
+        chain::categorize_chain(observation.chain, stores, interception);
+    auto& series = series_for(category);
+
+    // New-chain attribution: month of first observation.
+    series[month_index.at(month_key(observation.first_seen))].new_chains += 1;
+
+    // Connection attribution: uniform spread across the observation span
+    // (documented approximation — per-connection timestamps are not retained
+    // in the deduplicated corpus).
+    const std::size_t begin = month_index.at(month_key(observation.first_seen));
+    const std::size_t end = month_index.at(month_key(observation.last_seen));
+    const std::size_t span = end - begin + 1;
+    for (std::size_t i = begin; i <= end; ++i) {
+      series[i].connections += observation.connections / span;
+      series[i].established += observation.established / span;
+    }
+    // Remainders land in the first month so totals are preserved.
+    series[begin].connections += observation.connections % span;
+    series[begin].established += observation.established % span;
+  }
+  return report;
+}
+
+}  // namespace certchain::core

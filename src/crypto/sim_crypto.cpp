@@ -1,0 +1,131 @@
+#include "crypto/sim_crypto.hpp"
+
+#include "util/hash.hpp"
+
+namespace certchain::crypto {
+
+namespace {
+
+// Internal trapdoor: the secret is a fixed digest of the seed, and the public
+// material is a digest of the secret. verify() re-derives the secret from the
+// *seed registry* implicitly by storing secret-derivation inside material:
+// material = digest(secret || "pub"), and signatures bind to material rather
+// than the secret directly, so verification needs only public data.
+std::string derive_secret(std::string_view seed, KeyAlgorithm algorithm) {
+  std::string tagged("secret/");
+  tagged.append(key_algorithm_name(algorithm));
+  tagged.push_back('/');
+  tagged.append(seed);
+  return certchain::util::digest256_hex(tagged);
+}
+
+std::string derive_material(std::string_view secret) {
+  std::string tagged("pub/");
+  tagged.append(secret);
+  return certchain::util::digest256_hex(tagged);
+}
+
+std::string compute_signature_value(std::string_view material,
+                                    SignatureAlgorithm algorithm,
+                                    std::string_view message) {
+  // Signatures bind to the public material so that verification is possible
+  // from public data alone. (In a real scheme this would be forgeable; here
+  // the simulation only needs sign/verify consistency.)
+  std::string tagged("sig/");
+  tagged.append(signature_algorithm_name(algorithm));
+  tagged.push_back('/');
+  tagged.append(material);
+  tagged.push_back('/');
+  tagged.append(message);
+  return certchain::util::digest256_hex(tagged);
+}
+
+}  // namespace
+
+std::string_view key_algorithm_name(KeyAlgorithm algorithm) {
+  switch (algorithm) {
+    case KeyAlgorithm::kRsa2048: return "rsa2048";
+    case KeyAlgorithm::kRsa4096: return "rsa4096";
+    case KeyAlgorithm::kEcdsaP256: return "ecdsa-p256";
+    case KeyAlgorithm::kEd25519: return "ed25519";
+    case KeyAlgorithm::kGostR3410: return "gost-r3410";
+  }
+  return "unknown";
+}
+
+std::string_view signature_algorithm_name(SignatureAlgorithm algorithm) {
+  switch (algorithm) {
+    case SignatureAlgorithm::kSimSha256WithRsa: return "sha256WithRSAEncryption";
+    case SignatureAlgorithm::kSimSha1WithRsa: return "sha1WithRSAEncryption";
+    case SignatureAlgorithm::kSimEcdsaSha256: return "ecdsa-with-SHA256";
+    case SignatureAlgorithm::kSimEd25519: return "Ed25519";
+    case SignatureAlgorithm::kSimGost: return "gostSignature";
+  }
+  return "unknown";
+}
+
+SignatureAlgorithm default_signature_algorithm(KeyAlgorithm key_algorithm) {
+  switch (key_algorithm) {
+    case KeyAlgorithm::kRsa2048:
+    case KeyAlgorithm::kRsa4096:
+      return SignatureAlgorithm::kSimSha256WithRsa;
+    case KeyAlgorithm::kEcdsaP256:
+      return SignatureAlgorithm::kSimEcdsaSha256;
+    case KeyAlgorithm::kEd25519:
+      return SignatureAlgorithm::kSimEd25519;
+    case KeyAlgorithm::kGostR3410:
+      return SignatureAlgorithm::kSimGost;
+  }
+  return SignatureAlgorithm::kSimSha256WithRsa;
+}
+
+int SimPublicKey::bits() const {
+  switch (algorithm) {
+    case KeyAlgorithm::kRsa2048: return 2048;
+    case KeyAlgorithm::kRsa4096: return 4096;
+    case KeyAlgorithm::kEcdsaP256: return 256;
+    case KeyAlgorithm::kEd25519: return 255;
+    case KeyAlgorithm::kGostR3410: return 256;
+  }
+  return 0;
+}
+
+SimKeyPair generate_keypair(KeyAlgorithm algorithm, std::string_view seed) {
+  SimKeyPair pair;
+  pair.private_key.secret = derive_secret(seed, algorithm);
+  pair.public_key.algorithm = algorithm;
+  pair.public_key.material = derive_material(pair.private_key.secret);
+  pair.private_key.public_key = pair.public_key;
+  return pair;
+}
+
+SimSignature sign(const SimPrivateKey& key, std::string_view message) {
+  SimSignature signature;
+  signature.algorithm = default_signature_algorithm(key.public_key.algorithm);
+  signature.value =
+      compute_signature_value(key.public_key.material, signature.algorithm, message);
+  return signature;
+}
+
+VerifyStatus verify(const SimPublicKey& key, std::string_view message,
+                    const SimSignature& signature, bool accept_all_algorithms) {
+  if (key.malformed) return VerifyStatus::kMalformedKey;
+  if (!accept_all_algorithms && key.algorithm == KeyAlgorithm::kGostR3410) {
+    return VerifyStatus::kUnrecognizedKey;
+  }
+  const std::string expected =
+      compute_signature_value(key.material, signature.algorithm, message);
+  return expected == signature.value ? VerifyStatus::kOk : VerifyStatus::kBadSignature;
+}
+
+std::string_view verify_status_name(VerifyStatus status) {
+  switch (status) {
+    case VerifyStatus::kOk: return "ok";
+    case VerifyStatus::kBadSignature: return "bad-signature";
+    case VerifyStatus::kUnrecognizedKey: return "unrecognized-key";
+    case VerifyStatus::kMalformedKey: return "malformed-key";
+  }
+  return "unknown";
+}
+
+}  // namespace certchain::crypto

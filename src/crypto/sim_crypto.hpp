@@ -1,0 +1,113 @@
+// Simulated public-key cryptography.
+//
+// The paper's X509 logs carry no keys or signatures; only the Appendix D
+// evaluation (on actively rescanned chains) performs key–signature chain
+// validation. To reproduce that comparison without a real crypto library, we
+// implement a *deterministic simulated* signature scheme:
+//
+//   - a keypair is derived from a seed; the private "secret" is a digest of
+//     the seed, and the public key material is a digest of the secret;
+//   - sign(message) = digest(secret || algorithm || message);
+//   - verify re-derives the expected signature from the public key via an
+//     internal trapdoor (the secret is recoverable from key material inside
+//     this module only).
+//
+// The scheme preserves exactly the semantics the study needs — a signature
+// verifies iff it was produced by the matching key over the same bytes — and
+// supports the corner cases of Table 5: "unrecognized key algorithms" that a
+// validator cannot process, and malformed key blobs that fail to parse.
+// It provides NO security whatsoever.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace certchain::crypto {
+
+/// Key algorithms. kGostR3410 plays the role of the keys the Python
+/// `cryptography` package did not recognize in the paper's Appendix D.
+enum class KeyAlgorithm : std::uint8_t {
+  kRsa2048,
+  kRsa4096,
+  kEcdsaP256,
+  kEd25519,
+  kGostR3410,  // treated as "unrecognized" by the standard validator
+};
+
+std::string_view key_algorithm_name(KeyAlgorithm algorithm);
+
+/// Signature algorithms (hash + key family). kSimSha1WithRsa models legacy
+/// issuers still seen among non-public-DB CAs.
+enum class SignatureAlgorithm : std::uint8_t {
+  kSimSha256WithRsa,
+  kSimSha1WithRsa,
+  kSimEcdsaSha256,
+  kSimEd25519,
+  kSimGost,
+};
+
+std::string_view signature_algorithm_name(SignatureAlgorithm algorithm);
+
+/// The signature algorithm conventionally paired with a key algorithm.
+SignatureAlgorithm default_signature_algorithm(KeyAlgorithm key_algorithm);
+
+/// A public key. `material` is an opaque hex blob; `malformed` marks blobs
+/// that fail to parse (ASN.1-level damage in the real world).
+struct SimPublicKey {
+  KeyAlgorithm algorithm = KeyAlgorithm::kRsa2048;
+  std::string material;
+  bool malformed = false;
+
+  bool operator==(const SimPublicKey&) const = default;
+
+  /// Nominal key size in bits, as a real parser would report.
+  int bits() const;
+};
+
+/// A private key; holds the matching public key for convenience.
+struct SimPrivateKey {
+  SimPublicKey public_key;
+  std::string secret;  // never serialized into certificates
+};
+
+struct SimKeyPair {
+  SimPrivateKey private_key;
+  SimPublicKey public_key;
+};
+
+/// A detached signature over some message bytes.
+struct SimSignature {
+  SignatureAlgorithm algorithm = SignatureAlgorithm::kSimSha256WithRsa;
+  std::string value;  // hex digest
+  bool operator==(const SimSignature&) const = default;
+};
+
+/// Deterministically derives a keypair from a seed string. The same seed and
+/// algorithm always produce the same pair, which keeps simulated CA
+/// hierarchies stable across runs.
+SimKeyPair generate_keypair(KeyAlgorithm algorithm, std::string_view seed);
+
+/// Signs message bytes.
+SimSignature sign(const SimPrivateKey& key, std::string_view message);
+
+/// Signature verification outcome. kUnrecognizedKey reproduces the Appendix D
+/// "public keys not recognized by the package" rows; kMalformedKey reproduces
+/// the ASN.1 parsing failure row.
+enum class VerifyStatus : std::uint8_t {
+  kOk,
+  kBadSignature,
+  kUnrecognizedKey,
+  kMalformedKey,
+};
+
+std::string_view verify_status_name(VerifyStatus status);
+
+/// Verifies `signature` over `message` with `key`. A verifier modeled on the
+/// paper's toolchain (Python cryptography) rejects kGostR3410 keys as
+/// unrecognized; set `accept_all_algorithms` to model a tolerant verifier.
+VerifyStatus verify(const SimPublicKey& key, std::string_view message,
+                    const SimSignature& signature,
+                    bool accept_all_algorithms = false);
+
+}  // namespace certchain::crypto

@@ -1,0 +1,222 @@
+#include "ct/ct_log.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace certchain::ct {
+
+CtLog::CtLog(std::string name)
+    : name_(std::move(name)), log_id_(util::digest256_hex("ct-log-id/" + name_)) {}
+
+std::string CtLog::entry_leaf_bytes(const x509::Certificate& cert) {
+  // The tree commits to the full certificate content.
+  return cert.tbs_bytes() + cert.signature.value;
+}
+
+x509::EmbeddedSct CtLog::submit(const x509::Certificate& cert, util::SimTime now) {
+  const std::string fingerprint = cert.fingerprint();
+  const auto existing = by_fingerprint_.find(fingerprint);
+  if (existing != by_fingerprint_.end()) {
+    return x509::EmbeddedSct{log_id_, entries_[existing->second].logged_at};
+  }
+
+  LogEntry entry;
+  entry.index = tree_.append(entry_leaf_bytes(cert));
+  entry.certificate_fingerprint = fingerprint;
+  entry.serial = cert.serial;
+  entry.issuer = cert.issuer;
+  entry.subject = cert.subject;
+  entry.validity = cert.validity;
+  entry.logged_at = now;
+  for (const std::string& san : cert.subject_alt_names) {
+    entry.domains.push_back(util::to_lower(san));
+  }
+  if (entry.domains.empty()) {
+    if (const auto cn = cert.subject.common_name()) {
+      entry.domains.push_back(util::to_lower(*cn));
+    }
+  }
+
+  const std::size_t index = entries_.size();
+  for (const std::string& domain : entry.domains) {
+    if (util::starts_with(domain, "*.")) {
+      wildcard_entries_.push_back(index);
+    } else {
+      by_exact_domain_[domain].push_back(index);
+    }
+  }
+  by_fingerprint_.emplace(fingerprint, index);
+  entries_.push_back(std::move(entry));
+  return x509::EmbeddedSct{log_id_, now};
+}
+
+bool CtLog::contains(const x509::Certificate& cert) const {
+  return contains_fingerprint(cert.fingerprint());
+}
+
+bool CtLog::contains_fingerprint(std::string_view fingerprint) const {
+  return by_fingerprint_.contains(std::string(fingerprint));
+}
+
+bool CtLog::contains_matching(const x509::Certificate& cert) const {
+  // Narrow by domain first (the realistic crt.sh-style query), then match
+  // the identifying fields.
+  std::vector<const LogEntry*> candidates;
+  for (const std::string& san : cert.subject_alt_names) {
+    for (const LogEntry* entry : entries_for_domain(san)) candidates.push_back(entry);
+  }
+  if (candidates.empty()) {
+    if (const auto cn = cert.subject.common_name()) {
+      for (const LogEntry* entry : entries_for_domain(*cn)) candidates.push_back(entry);
+    }
+  }
+  for (const LogEntry* entry : candidates) {
+    if (entry->serial == cert.serial && entry->issuer.matches(cert.issuer) &&
+        entry->subject.matches(cert.subject) &&
+        entry->validity.overlaps(cert.validity)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<const LogEntry*> CtLog::entries_for_domain(std::string_view domain) const {
+  std::vector<const LogEntry*> out;
+  std::set<std::size_t> seen;
+  const std::string lowered = util::to_lower(domain);
+  const auto it = by_exact_domain_.find(lowered);
+  if (it != by_exact_domain_.end()) {
+    for (const std::size_t index : it->second) {
+      if (seen.insert(index).second) out.push_back(&entries_[index]);
+    }
+  }
+  for (const std::size_t index : wildcard_entries_) {
+    if (seen.contains(index)) continue;
+    for (const std::string& pattern : entries_[index].domains) {
+      if (x509::wildcard_matches(pattern, lowered)) {
+        seen.insert(index);
+        out.push_back(&entries_[index]);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogEntry* a, const LogEntry* b) { return a->index < b->index; });
+  return out;
+}
+
+std::vector<x509::DistinguishedName> CtLog::issuers_for_domain(
+    std::string_view domain, const util::TimeRange& period) const {
+  std::vector<x509::DistinguishedName> issuers;
+  std::set<std::string> seen;
+  for (const LogEntry* entry : entries_for_domain(domain)) {
+    if (!entry->validity.overlaps(period)) continue;
+    if (seen.insert(entry->issuer.canonical()).second) {
+      issuers.push_back(entry->issuer);
+    }
+  }
+  return issuers;
+}
+
+std::vector<Digest256> CtLog::prove_inclusion(const x509::Certificate& cert) const {
+  const auto it = by_fingerprint_.find(cert.fingerprint());
+  if (it == by_fingerprint_.end()) return {};
+  return tree_.inclusion_proof(entries_[it->second].index);
+}
+
+std::vector<Digest256> CtLog::prove_consistency(std::size_t old_size) const {
+  return tree_.consistency_proof(old_size, tree_.size());
+}
+
+bool CtLog::check_inclusion(const x509::Certificate& cert,
+                            const std::vector<Digest256>& proof) const {
+  const auto it = by_fingerprint_.find(cert.fingerprint());
+  if (it == by_fingerprint_.end()) return false;
+  return verify_inclusion(entry_leaf_bytes(cert), entries_[it->second].index,
+                          tree_.size(), proof, tree_.root_hash());
+}
+
+CtLogSet::CtLogSet(std::size_t count, std::string_view prefix) {
+  logs_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    logs_.emplace_back(std::string(prefix) + std::to_string(i));
+  }
+}
+
+const CtLog* CtLogSet::find_log(std::string_view log_id) const {
+  for (const CtLog& log : logs_) {
+    if (log.log_id() == log_id) return &log;
+  }
+  return nullptr;
+}
+
+x509::Certificate CtLogSet::submit_and_embed(const x509::Certificate& cert,
+                                             util::SimTime now,
+                                             std::size_t log_count) {
+  x509::Certificate embedded = cert;
+  embedded.scts.clear();
+  const std::size_t n = std::min(log_count, logs_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Logs record the certificate *without* the embedded SCTs (precert
+    // semantics): submit the original.
+    embedded.scts.push_back(logs_[i].submit(cert, now));
+  }
+  return embedded;
+}
+
+std::size_t CtLogSet::required_sct_count(util::SimTime lifetime_seconds) {
+  return lifetime_seconds <= 180 * util::kSecondsPerDay ? 2 : 3;
+}
+
+bool CtLogSet::complies(const x509::Certificate& cert) const {
+  std::set<std::string> distinct_logs;
+  // The logged entry is the SCT-free precertificate.
+  x509::Certificate precert = cert;
+  precert.scts.clear();
+  const std::string fingerprint = precert.fingerprint();
+  for (const x509::EmbeddedSct& sct : cert.scts) {
+    const CtLog* log = find_log(sct.log_id);
+    if (log == nullptr) continue;
+    if (!log->contains_fingerprint(fingerprint)) continue;
+    distinct_logs.insert(sct.log_id);
+  }
+  return distinct_logs.size() >= required_sct_count(cert.validity.duration());
+}
+
+std::vector<x509::DistinguishedName> CtLogSet::issuers_for_domain(
+    std::string_view domain, const util::TimeRange& period) const {
+  std::vector<x509::DistinguishedName> out;
+  std::set<std::string> seen;
+  for (const CtLog& log : logs_) {
+    for (auto& issuer : log.issuers_for_domain(domain, period)) {
+      if (seen.insert(issuer.canonical()).second) out.push_back(std::move(issuer));
+    }
+  }
+  return out;
+}
+
+bool CtLogSet::logged_anywhere(const x509::Certificate& cert) const {
+  x509::Certificate precert = cert;
+  precert.scts.clear();
+  const std::string fingerprint = precert.fingerprint();
+  for (const CtLog& log : logs_) {
+    if (log.contains_fingerprint(fingerprint)) return true;
+  }
+  // Also accept the as-delivered form (some submitters log final certs).
+  const std::string final_fingerprint = cert.fingerprint();
+  for (const CtLog& log : logs_) {
+    if (log.contains_fingerprint(final_fingerprint)) return true;
+  }
+  return false;
+}
+
+bool CtLogSet::logged_matching(const x509::Certificate& cert) const {
+  for (const CtLog& log : logs_) {
+    if (log.contains_matching(cert)) return true;
+  }
+  return false;
+}
+
+}  // namespace certchain::ct

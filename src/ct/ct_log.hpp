@@ -1,0 +1,139 @@
+// Certificate Transparency logs.
+//
+// Two consumers in the study:
+//   1. interception detection (§3.2.1) — "does CT record a *different* issuer
+//      for this domain during this validity period?";
+//   2. CT-logging compliance (§4.2) — non-public-DB leaves anchored to public
+//      trust roots and used on public-facing domains must be CT-logged; the
+//      paper confirms all 26 such leaves were.
+// CtLog couples a Merkle tree (src/ct/merkle) with a domain index so both
+// queries run against the same append-only structure, and issues SCTs on
+// submission the way a real log front-end does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ct/merkle.hpp"
+#include "util/time.hpp"
+#include "x509/certificate.hpp"
+
+namespace certchain::ct {
+
+/// One logged (pre)certificate entry.
+struct LogEntry {
+  std::size_t index = 0;
+  std::string certificate_fingerprint;
+  std::string serial;
+  x509::DistinguishedName issuer;
+  x509::DistinguishedName subject;
+  std::vector<std::string> domains;  // SAN DNS names (lowercased)
+  util::TimeRange validity;
+  util::SimTime logged_at = 0;
+};
+
+/// A single CT log.
+class CtLog {
+ public:
+  explicit CtLog(std::string name);
+
+  const std::string& name() const { return name_; }
+  /// Stable identifier derived from the log name (plays the RFC 6962 log id).
+  const std::string& log_id() const { return log_id_; }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Submits a certificate; returns the SCT the caller may embed. Idempotent
+  /// per certificate fingerprint (resubmission returns the original SCT).
+  x509::EmbeddedSct submit(const x509::Certificate& cert, util::SimTime now);
+
+  /// True if this exact certificate is logged.
+  bool contains(const x509::Certificate& cert) const;
+  bool contains_fingerprint(std::string_view fingerprint) const;
+
+  /// Field-level lookup: true if an entry matches the certificate's subject,
+  /// issuer, serial and validity. This is how log data (which carries no key
+  /// material, hence no stable fingerprint) is checked against CT — the
+  /// paper's "we query CT logs and confirm" step (§4.2).
+  bool contains_matching(const x509::Certificate& cert) const;
+
+  /// All entries whose domains cover `domain` (exact or wildcard match).
+  std::vector<const LogEntry*> entries_for_domain(std::string_view domain) const;
+
+  /// Issuer DNs of logged certificates covering `domain` with validity
+  /// overlapping `period`. This is the interception-detection query: an
+  /// observed issuer absent from this result set is a mismatch.
+  std::vector<x509::DistinguishedName> issuers_for_domain(
+      std::string_view domain, const util::TimeRange& period) const;
+
+  /// Signed-tree-head style accessors.
+  Digest256 root_hash() const { return tree_.root_hash(); }
+  std::vector<Digest256> prove_inclusion(const x509::Certificate& cert) const;
+  std::vector<Digest256> prove_consistency(std::size_t old_size) const;
+
+  /// Verifies an inclusion proof against the current tree head.
+  bool check_inclusion(const x509::Certificate& cert,
+                       const std::vector<Digest256>& proof) const;
+
+  const std::vector<LogEntry>& entries() const { return entries_; }
+
+ private:
+  static std::string entry_leaf_bytes(const x509::Certificate& cert);
+
+  std::string name_;
+  std::string log_id_;
+  MerkleTree tree_;
+  std::vector<LogEntry> entries_;
+  std::map<std::string, std::size_t> by_fingerprint_;
+  // registrable-suffix index would be overkill; we index by exact SAN label
+  // and scan wildcards, which is fine at study scale.
+  std::map<std::string, std::vector<std::size_t>> by_exact_domain_;
+  std::vector<std::size_t> wildcard_entries_;
+};
+
+/// A set of logs plus the Chrome-style CT policy the paper references [20]:
+/// certificates need SCTs from >= `required_sct_count(lifetime)` distinct
+/// logs to comply.
+class CtLogSet {
+ public:
+  /// Creates `count` logs named "<prefix>N".
+  explicit CtLogSet(std::size_t count = 3, std::string_view prefix = "sim-ct-log-");
+
+  std::size_t log_count() const { return logs_.size(); }
+  CtLog& log(std::size_t index) { return logs_[index]; }
+  const CtLog& log(std::size_t index) const { return logs_[index]; }
+
+  /// Finds the log with the given id, or nullptr.
+  const CtLog* find_log(std::string_view log_id) const;
+
+  /// Submits to the first `log_count` logs and embeds the SCTs in a copy of
+  /// the certificate, returning it (the "CT-compliant issuance" flow).
+  x509::Certificate submit_and_embed(const x509::Certificate& cert,
+                                     util::SimTime now, std::size_t log_count = 2);
+
+  /// Chrome-style requirement: 2 SCTs for lifetimes <= 180 days, else 3.
+  static std::size_t required_sct_count(util::SimTime lifetime_seconds);
+
+  /// True if the certificate carries enough SCTs from distinct known logs
+  /// and each referenced log actually contains it.
+  bool complies(const x509::Certificate& cert) const;
+
+  /// Union interception query across all logs.
+  std::vector<x509::DistinguishedName> issuers_for_domain(
+      std::string_view domain, const util::TimeRange& period) const;
+
+  /// True if any log contains the certificate.
+  bool logged_anywhere(const x509::Certificate& cert) const;
+
+  /// Field-level union lookup (see CtLog::contains_matching).
+  bool logged_matching(const x509::Certificate& cert) const;
+
+ private:
+  std::vector<CtLog> logs_;
+};
+
+}  // namespace certchain::ct

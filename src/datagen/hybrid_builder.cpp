@@ -1,0 +1,570 @@
+// Hybrid-chain population (exactly 321 chains, §4.2) and the revisit-epoch
+// chain assignment (§5).
+#include <cmath>
+#include <cstdio>
+
+#include "datagen/scenario.hpp"
+
+namespace certchain::datagen {
+
+using netsim::PkiWorld;
+using netsim::ServerEndpoint;
+using x509::DistinguishedName;
+
+namespace {
+
+std::string hybrid_ip(std::size_t index) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "203.0.%u.%u",
+                static_cast<unsigned>((113 + (index >> 8)) & 0xFF),
+                static_cast<unsigned>(index & 0xFF));
+  return buffer;
+}
+
+std::uint16_t hybrid_port_sample(util::Rng& rng) {
+  const double p = rng.uniform();
+  if (p < 0.9721) return 443;
+  if (p < 0.9857) return 8443;
+  if (p < 0.9979) return 8088;
+  if (p < 0.9997) return 25;
+  return 9191;
+}
+
+/// A leaf issued by a public CA's intermediate, CT-logged (used as building
+/// block in most hybrid shapes).
+chain::CertificateChain public_leaf_and_int(PkiWorld& world, const char* ca,
+                                            const std::string& domain,
+                                            util::TimeRange validity) {
+  return world.issue_public_chain(ca, domain, validity, /*include_root=*/false);
+}
+
+}  // namespace
+
+namespace detail {
+
+void add_hybrid_endpoints(Scenario& scenario, const ScenarioConfig& config,
+                          util::Rng& rng) {
+  (void)config;
+  PkiWorld& world = scenario.world;
+  const util::TimeRange validity = PkiWorld::default_leaf_validity();
+  const double hybrid_share = 0.065;  // of all connections (inflated vs the
+                                      // paper's 0.03% for statistical
+                                      // stability; see EXPERIMENTS.md)
+  std::size_t hybrid_index = 0;
+  std::vector<std::size_t> endpoint_indices;
+
+  const auto add_endpoint = [&](chain::CertificateChain chain, double weight,
+                                double establish, const std::string& label,
+                                bool with_domain = true) -> ServerEndpoint& {
+    ServerEndpoint endpoint;
+    endpoint.ip = hybrid_ip(hybrid_index);
+    endpoint.port = hybrid_port_sample(rng);
+    if (with_domain) {
+      endpoint.domain = "hybrid" + std::to_string(hybrid_index) + ".sim-org.example";
+    }
+    endpoint.chain = std::move(chain);
+    endpoint.popularity = weight;
+    endpoint.establish_probability = establish;
+    endpoint.tls13_fraction = 0.0;
+    endpoint.no_sni_fraction = 0.1;
+    endpoint.validation_status = "unable to get local issuer certificate";
+    endpoint.label = label;
+    ++hybrid_index;
+    endpoint_indices.push_back(scenario.endpoints.size());
+    scenario.endpoints.push_back(std::move(endpoint));
+    return scenario.endpoints.back();
+  };
+
+  // Within-category weight budget: 36 complete (heavier), 70 contains, 215
+  // no-path, roughly matching the paper's per-bucket connection volumes.
+  const double w_complete = hybrid_share * 0.30 / 36.0;
+  const double w_contains = hybrid_share * 0.25 / 70.0;
+  const double w_no_path = hybrid_share * 0.45 / 215.0;
+
+  // ---- Table 3 bucket 1a: 26 complete paths, non-public leaf anchored to a
+  // public root (Table 6: 16 government + 10 corporate). Three carry leaves
+  // that expired long before observation (the longest > 5 years).
+  const struct {
+    const char* sub_ca;
+    std::size_t count;
+  } anchored[] = {
+      {"veterans-affairs", 6}, {"klid", 5}, {"iti", 5},  // 16 government
+      {"symantec-private", 5}, {"signkorea", 5},         // 10 corporate
+  };
+  std::size_t anchored_built = 0;
+  for (const auto& spec : anchored) {
+    for (std::size_t i = 0; i < spec.count; ++i, ++anchored_built) {
+      const std::string domain = "svc" + std::to_string(i) + "." +
+                                 std::string(spec.sub_ca) + ".sim-gov.example";
+      util::TimeRange leaf_validity = validity;
+      double establish = 0.978;
+      if (anchored_built < 3) {
+        // Expired leaves; the first one by more than five years.
+        const int years_expired = anchored_built == 0 ? 6 : 2;
+        leaf_validity = {util::make_time(2010, 1, 1),
+                         util::make_time(2021 - years_expired, 1, 1)};
+        establish = 0.90;
+      }
+      chain::CertificateChain chain =
+          world.issue_sub_ca_chain(spec.sub_ca, domain, leaf_validity);
+      ServerEndpoint& endpoint = add_endpoint(std::move(chain), w_complete,
+                                              establish, "hybrid/complete/nonpub-to-pub");
+      endpoint.domain = domain;  // keep the sub-CA domain for CT consistency
+    }
+  }
+
+  // ---- Table 3 bucket 1b: 10 complete paths, public leaf + intermediates
+  // followed by a non-public certificate whose subject mirrors the public
+  // anchor (the Scalyr / Canal+ pattern, Appendix F.1).
+  for (std::size_t i = 0; i < 10; ++i) {
+    const bool scalyr = i < 5;
+    netsim::PrivateCaHierarchy& backer =
+        world.private_ca(scalyr ? "scalyr" : "canal-plus");
+    const std::string domain = scalyr
+                                   ? "app" + std::to_string(i) + ".sim-scalyr.example"
+                                   : "backend" + std::to_string(i) +
+                                         ".sim-canal-plus.example";
+    chain::CertificateChain chain =
+        public_leaf_and_int(world, "sectigo", domain, validity);
+    chain.push_back(world.public_ca("sectigo").root_cert);
+    // The private "shadow anchor": subject = the public root's DN, issuer =
+    // the organization's internal CA.
+    x509::Certificate shadow =
+        x509::CertificateBuilder()
+            .serial(backer.root_ca.next_serial())
+            .subject(world.public_ca("sectigo").root_ca.name())
+            .issuer(backer.root_ca.name())
+            .validity(validity)
+            .public_key(backer.root_ca.public_key())
+            .ca(true)
+            .sign_with(backer.root_ca.private_key());
+    chain.push_back(std::move(shadow));
+    ServerEndpoint& endpoint = add_endpoint(std::move(chain), w_complete, 0.9849,
+                                            "hybrid/complete/pub-to-private");
+    endpoint.domain = domain;
+  }
+
+  // ---- Table 3 bucket 2: 70 chains containing a complete matched path plus
+  // unnecessary certificates (Appendix F.2 composition).
+  const auto fresh_domain = [&](const char* tag) {
+    return std::string(tag) + std::to_string(hybrid_index) + ".sim-org.example";
+  };
+
+  // (a) 14 Let's Encrypt staging leftovers: valid LE path + "Fake LE
+  //     Intermediate X1" appended.
+  for (std::size_t i = 0; i < 14; ++i) {
+    const std::string domain = fresh_domain("le");
+    chain::CertificateChain chain =
+        public_leaf_and_int(world, "lets-encrypt", domain, validity);
+    chain.push_back(world.public_ca("lets-encrypt").root_cert);
+    chain.push_back(world.fake_le_intermediate());
+    add_endpoint(std::move(chain), w_contains, 0.9204, "hybrid/contains/fake-le")
+        .domain = domain;
+  }
+  // (b) 11 enterprise self-signed appends (one is the HP "tester" cert).
+  for (std::size_t i = 0; i < 11; ++i) {
+    const std::string domain = fresh_domain("corp");
+    chain::CertificateChain chain =
+        public_leaf_and_int(world, "digicert", domain, validity);
+    if (i == 0) {
+      chain.push_back(world.make_self_signed("Sim HP Inc", "tester", validity));
+    } else {
+      chain.push_back(world.make_self_signed("Sim Enterprise " + std::to_string(i),
+                                             "internal-ca-" + std::to_string(i),
+                                             validity));
+    }
+    add_endpoint(std::move(chain), w_contains, 0.9204,
+                 "hybrid/contains/enterprise-append")
+        .domain = domain;
+  }
+  // (c) 8 Athenz appliance appends.
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::string domain = fresh_domain("ath");
+    chain::CertificateChain chain =
+        public_leaf_and_int(world, "godaddy", domain, validity);
+    chain.push_back(world.public_ca("godaddy").root_cert);
+    chain.push_back(world.private_ca("athenz").root_cert);
+    add_endpoint(std::move(chain), w_contains, 0.9204, "hybrid/contains/athenz")
+        .domain = domain;
+  }
+  // (d) 19 multi-root appends: extra public roots plus an enterprise cert.
+  for (std::size_t i = 0; i < 19; ++i) {
+    const std::string domain = fresh_domain("mr");
+    chain::CertificateChain chain =
+        public_leaf_and_int(world, "comodo", domain, validity);
+    chain.push_back(world.public_ca("comodo").root_cert);
+    chain.push_back(world.public_ca("globalsign").root_cert);  // foreign root
+    chain.push_back(world.make_self_signed("Sim Opco " + std::to_string(i),
+                                           "opco-root", validity));
+    add_endpoint(std::move(chain), w_contains, 0.9204, "hybrid/contains/multi-root")
+        .domain = domain;
+  }
+  // (e) 18 chains that *begin* with a foreign leaf before the complete path
+  //     (the validation-breaking order of §4.2).
+  for (std::size_t i = 0; i < 18; ++i) {
+    const std::string domain = fresh_domain("lead");
+    x509::Certificate stray = world.make_self_signed(
+        "Sim Legacy " + std::to_string(i), "old." + domain, validity);
+    // Distinct issuer so it is a foreign *leaf*, not a self-signed root.
+    DistinguishedName stray_issuer;
+    stray_issuer.add("CN", "Sim Legacy Issuing CA").add("O", "Sim Legacy");
+    stray.issuer = stray_issuer;
+
+    chain::CertificateChain chain;
+    chain.push_back(std::move(stray));
+    for (const x509::Certificate& cert :
+         public_leaf_and_int(world, "sectigo", domain, validity)) {
+      chain.push_back(cert);
+    }
+    chain.push_back(world.public_ca("sectigo").root_cert);
+    add_endpoint(std::move(chain), w_contains, 0.9204, "hybrid/contains/leading-leaf")
+        .domain = domain;
+  }
+
+  // ---- Table 3 bucket 3: 215 chains with no complete matched path, in the
+  // Table 7 split 108 / 13 / 61 / 27 / 5 / 1.
+  // (a) 108 self-signed non-public leaves followed by mismatched pairs (100
+  //     of them the classic localhost certificate). Severity varies so the
+  //     Figure 6 mismatch-ratio histogram spreads over (0, 1]: some chains
+  //     mismatch everywhere (ratio 1.0), some embed a matched leafless CA
+  //     pair (~0.67), and some carry a longer matched ladder capped by a
+  //     stray certificate (~0.4).
+  for (std::size_t i = 0; i < 108; ++i) {
+    chain::CertificateChain chain;
+    if (i < 100) {
+      chain.push_back(world.make_localhost_certificate("hyb-" + std::to_string(i)));
+    } else {
+      chain.push_back(world.make_self_signed("Sim Appliance H" + std::to_string(i),
+                                             "appliance.local", validity));
+    }
+    if (i < 22) {
+      // Fully mismatched continuation: orphan public intermediate (+ stray).
+      chain.push_back(world.public_ca(i % 2 == 0 ? "digicert" : "globalsign")
+                          .intermediate_certs.front());
+      if (i % 3 == 0) {
+        chain.push_back(world.make_self_signed("Sim Stray H" + std::to_string(i),
+                                               "stray-h", validity));
+      }
+    } else if (i < 42) {
+      // Matched [intermediate, root] pair embedded: ratio 2/3.
+      netsim::PublicCaHierarchy& ca = world.public_ca(i % 2 == 0 ? "godaddy" : "comodo");
+      chain.push_back(ca.intermediate_certs.front());
+      chain.push_back(ca.root_cert);
+      chain.push_back(world.make_self_signed("Sim Stray H" + std::to_string(i),
+                                             "stray-h", validity));
+    } else {
+      // Matched 4-cert leafless ladder capped by a stray: ratio 2/5.
+      netsim::PrivateCaHierarchy& org =
+          world.make_enterprise_ca("Sim HLadder " + std::to_string(i % 6), true);
+      const util::TimeRange ca_validity{util::make_time(2016, 1, 1),
+                                        util::make_time(2031, 1, 1)};
+      x509::CertificateAuthority rung1(
+          DistinguishedName::parse_or_die("CN=Sim HLadder " + std::to_string(i) +
+                                          " CA L1,O=Sim HLadder,C=US"),
+          "hladder1/" + std::to_string(i));
+      const x509::Certificate rung1_cert =
+          org.intermediate_ca->issue_intermediate(rung1, ca_validity);
+      x509::CertificateAuthority rung2(
+          DistinguishedName::parse_or_die("CN=Sim HLadder " + std::to_string(i) +
+                                          " CA L2,O=Sim HLadder,C=US"),
+          "hladder2/" + std::to_string(i));
+      const x509::Certificate rung2_cert = rung1.issue_intermediate(rung2, ca_validity);
+      chain.push_back(rung2_cert);
+      chain.push_back(rung1_cert);
+      chain.push_back(*org.intermediate_cert);
+      chain.push_back(org.root_cert);
+      // Keep the chain hybrid: the stray is a public orphan intermediate.
+      chain.push_back(world.public_ca("digicert").intermediate_certs.front());
+    }
+    add_endpoint(std::move(chain), w_no_path, 0.58,
+                 "hybrid/nopath/self-signed-then-mismatch");
+  }
+  // (b) 13 self-signed leaf replacing the original leaf of a valid public
+  //     sub-chain.
+  for (std::size_t i = 0; i < 13; ++i) {
+    chain::CertificateChain chain;
+    chain.push_back(world.make_self_signed("Sim Replaced " + std::to_string(i),
+                                           "replaced-" + std::to_string(i),
+                                           validity));
+    chain.push_back(world.public_ca("godaddy").intermediate_certs.front());
+    chain.push_back(world.public_ca("godaddy").root_cert);
+    add_endpoint(std::move(chain), w_no_path, 0.58,
+                 "hybrid/nopath/self-signed-then-valid-subchain");
+  }
+  // (c) 61 fully mismatched chains; 40 contain a public leaf whose issuing
+  //     intermediate is missing (§4.2's 56-chain observation, part 1).
+  for (std::size_t i = 0; i < 61; ++i) {
+    const std::string domain = fresh_domain("br");
+    chain::CertificateChain chain;
+    if (i < 40) {
+      chain::CertificateChain issued =
+          public_leaf_and_int(world, "digicert", domain, validity);
+      chain.push_back(issued.first());  // leaf without its intermediate
+      chain.push_back(world.public_ca("comodo").root_cert);  // unrelated root
+    } else {
+      x509::Certificate orphan = world.make_self_signed(
+          "Sim Orphan " + std::to_string(i), "orphan-" + std::to_string(i), validity);
+      DistinguishedName orphan_issuer;
+      orphan_issuer.add("CN", "Sim Orphan Issuer " + std::to_string(i));
+      orphan.issuer = orphan_issuer;
+      chain.push_back(std::move(orphan));
+      chain.push_back(world.public_ca("globalsign").intermediate_certs.front());
+    }
+    chain.push_back(world.make_self_signed("Sim Tail " + std::to_string(i),
+                                           "tail-" + std::to_string(i), validity));
+    // Give the tail a distinct issuer so the top is not a self-signed root.
+    {
+      // (rebuild the last cert's issuer in place)
+      chain::CertificateChain fixed;
+      for (std::size_t k = 0; k + 1 < chain.length(); ++k) fixed.push_back(chain.at(k));
+      x509::Certificate tail = chain.at(chain.length() - 1);
+      DistinguishedName tail_issuer;
+      tail_issuer.add("CN", "Sim Tail Issuer " + std::to_string(i));
+      tail.issuer = tail_issuer;
+      fixed.push_back(std::move(tail));
+      chain = std::move(fixed);
+    }
+    ServerEndpoint& endpoint = add_endpoint(std::move(chain), w_no_path,
+                                            i < 40 ? 0.5608 : 0.58,
+                                            "hybrid/nopath/all-mismatched");
+    if (i < 40) endpoint.domain = domain;
+  }
+  // (d) 27 partially mismatched chains (leafless matched runs preceded by a
+  //     foreign leaf); 16 carry a public leaf missing its intermediate
+  //     (§4.2's 56-chain observation, part 2). Lengths vary so the Figure 6
+  //     mismatch-ratio histogram spreads over (0, 1).
+  for (std::size_t i = 0; i < 27; ++i) {
+    const std::string domain = fresh_domain("pm");
+    chain::CertificateChain chain;
+    if (i < 16) {
+      chain::CertificateChain issued =
+          public_leaf_and_int(world, "sectigo", domain, validity);
+      chain.push_back(issued.first());  // public leaf, intermediate absent
+    } else {
+      x509::Certificate foreign = world.make_self_signed(
+          "Sim Foreign " + std::to_string(i), "foreign-" + std::to_string(i),
+          validity);
+      DistinguishedName foreign_issuer;
+      foreign_issuer.add("CN", "Sim Foreign Issuer " + std::to_string(i));
+      foreign.issuer = foreign_issuer;
+      chain.push_back(std::move(foreign));
+    }
+    // Matched leafless CA ladder of varying length hanging off a public
+    // root (root itself not delivered, so the run never completes a path
+    // but the public-issued top rung keeps the chain hybrid). Chain order
+    // is bottom-up: [foreign leaf, rung_k, ..., rung_1].
+    const std::size_t run_length = 2 + (i % 8);  // 2..9 matched CA certs
+    std::vector<x509::CertificateAuthority> rungs;
+    std::vector<x509::Certificate> rung_certs;
+    x509::CertificateAuthority* previous = &world.public_ca("comodo").root_ca;
+    for (std::size_t r = 0; r < run_length; ++r) {
+      x509::CertificateAuthority rung(
+          DistinguishedName::parse_or_die(
+              "CN=Sim Ladder " + std::to_string(i) + " CA L" + std::to_string(r) +
+              ",O=Sim Ladder,C=US"),
+          "ladder/" + std::to_string(i) + "/" + std::to_string(r));
+      rung_certs.push_back(previous->issue_intermediate(
+          rung, {util::make_time(2016, 1, 1), util::make_time(2031, 1, 1)}));
+      rungs.push_back(std::move(rung));
+      previous = &rungs.back();
+    }
+    for (auto it = rung_certs.rbegin(); it != rung_certs.rend(); ++it) {
+      chain.push_back(*it);
+    }
+    ServerEndpoint& endpoint = add_endpoint(std::move(chain), w_no_path,
+                                            i < 16 ? 0.5608 : 0.58,
+                                            "hybrid/nopath/partial-mismatch");
+    if (i < 16) endpoint.domain = domain;
+  }
+  // (e) 5 non-public roots appended to a truncated (leafless) public
+  //     sub-chain.
+  for (std::size_t i = 0; i < 5; ++i) {
+    chain::CertificateChain chain;
+    chain.push_back(world.public_ca("digicert").intermediate_certs.front());
+    chain.push_back(world.public_ca("digicert").root_cert);
+    chain.push_back(world.make_self_signed("Sim Shadow Root " + std::to_string(i),
+                                           "shadow-root-" + std::to_string(i),
+                                           validity));
+    add_endpoint(std::move(chain), w_no_path, 0.58,
+                 "hybrid/nopath/root-appended");
+  }
+  // (f) 1 non-public root plus additional mismatches.
+  {
+    chain::CertificateChain chain;
+    chain.push_back(world.public_ca("digicert").intermediate_certs.front());
+    chain.push_back(world.public_ca("globalsign").intermediate_certs.front());
+    chain.push_back(world.make_self_signed("Sim Shadow Root X", "shadow-x", validity));
+    add_endpoint(std::move(chain), w_no_path, 0.58,
+                 "hybrid/nopath/root-and-mismatches");
+  }
+
+  // 19 servers present multiple distinct hybrid chains over the period
+  // (§4.2): pair up 38 of the no-path endpoints onto 19 shared servers.
+  {
+    std::size_t paired = 0;
+    for (std::size_t i = 0; i + 1 < endpoint_indices.size() && paired < 19; i += 2) {
+      ServerEndpoint& first = scenario.endpoints[endpoint_indices[101 + i]];
+      ServerEndpoint& second = scenario.endpoints[endpoint_indices[101 + i + 1]];
+      // Same server (ip:port), different SNI virtual hosts — domains stay
+      // distinct so the revisit scanner resolves each chain independently.
+      second.ip = first.ip;
+      second.port = first.port;
+      ++paired;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Revisit-epoch chains (§5).
+// ---------------------------------------------------------------------------
+void assign_revisit_chains(Scenario& scenario, const ScenarioConfig& config,
+                           util::Rng& rng) {
+  (void)config;
+  PkiWorld& world = scenario.world;
+  const util::TimeRange revisit_validity = {util::make_time(2024, 10, 1),
+                                            util::make_time(2025, 1, 1)};
+
+  // --- hybrid servers: 51 unreachable; of the 270 reachable, 231 now all
+  // public (Let's Encrypt dominant), 4 all non-public, 35 still hybrid
+  // (9 complete / 3 complete+extras / 23 no path).
+  std::vector<std::size_t> hybrid_indices;
+  for (std::size_t i = 0; i < scenario.endpoints.size(); ++i) {
+    if (scenario.endpoints[i].label.rfind("hybrid/", 0) == 0) {
+      hybrid_indices.push_back(i);
+    }
+  }
+  util::Rng shuffle_rng = rng.fork(0x5e51);
+  shuffle_rng.shuffle(hybrid_indices);
+
+  std::size_t cursor = 0;
+  const auto take = [&](std::size_t count) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < count && cursor < hybrid_indices.size();
+         ++i, ++cursor) {
+      out.push_back(hybrid_indices[cursor]);
+    }
+    return out;
+  };
+
+  for (const std::size_t index : take(51)) {
+    scenario.endpoints[index].revisit_chain = std::nullopt;  // unreachable
+  }
+  std::size_t le_count = 0;
+  for (const std::size_t index : take(231)) {
+    ServerEndpoint& endpoint = scenario.endpoints[index];
+    const std::string domain = endpoint.domain.empty()
+                                   ? "re" + std::to_string(index) + ".sim-org.example"
+                                   : endpoint.domain;
+    if (endpoint.domain.empty()) endpoint.domain = domain;
+    // ~91% migrate to Let's Encrypt, the rest to another public CA.
+    const bool lets_encrypt = le_count < 210;
+    ++le_count;
+    endpoint.revisit_chain = world.issue_public_chain(
+        lets_encrypt ? "lets-encrypt" : "digicert", domain, revisit_validity, false);
+  }
+  for (const std::size_t index : take(4)) {
+    ServerEndpoint& endpoint = scenario.endpoints[index];
+    netsim::PrivateCaHierarchy& hierarchy =
+        world.make_enterprise_ca("Sim Holdout " + std::to_string(index), true);
+    const std::string domain = endpoint.domain.empty()
+                                   ? "ho" + std::to_string(index) + ".sim-org.example"
+                                   : endpoint.domain;
+    DistinguishedName subject;
+    subject.add("CN", domain);
+    chain::CertificateChain chain;
+    chain.push_back(
+        hierarchy.intermediate_ca->issue_leaf(subject, domain, revisit_validity));
+    chain.push_back(*hierarchy.intermediate_cert);
+    chain.push_back(hierarchy.root_cert);
+    endpoint.revisit_chain = std::move(chain);
+  }
+  // 9 still-hybrid complete paths (reuse the Table 6 shape).
+  for (const std::size_t index : take(9)) {
+    ServerEndpoint& endpoint = scenario.endpoints[index];
+    const std::string domain = endpoint.domain.empty()
+                                   ? "sh" + std::to_string(index) + ".sim-org.example"
+                                   : endpoint.domain;
+    endpoint.revisit_chain =
+        world.issue_sub_ca_chain("symantec-private", domain, revisit_validity);
+  }
+  // 3 still-hybrid with unnecessary certificates (the trio §5 validates with
+  // Chrome and OpenSSL).
+  for (const std::size_t index : take(3)) {
+    ServerEndpoint& endpoint = scenario.endpoints[index];
+    const std::string domain = endpoint.domain.empty()
+                                   ? "sx" + std::to_string(index) + ".sim-org.example"
+                                   : endpoint.domain;
+    chain::CertificateChain chain =
+        world.issue_public_chain("fpki", domain, revisit_validity, true);
+    chain.push_back(world.make_self_signed("Sim Leftover", "leftover-" +
+                                           std::to_string(index), revisit_validity));
+    endpoint.revisit_chain = std::move(chain);
+    endpoint.label += "+revisit-validator-case";
+  }
+  // The rest (23) remain no-path hybrids in 2024: a fresh localhost-style
+  // self-signed leaf in front of an orphan public intermediate.
+  while (cursor < hybrid_indices.size()) {
+    ServerEndpoint& endpoint = scenario.endpoints[hybrid_indices[cursor]];
+    chain::CertificateChain still_broken;
+    still_broken.push_back(world.make_localhost_certificate(
+        "revisit-" + std::to_string(hybrid_indices[cursor])));
+    still_broken.push_back(
+        world.public_ca("globalsign").intermediate_certs.front());
+    endpoint.revisit_chain = std::move(still_broken);
+    ++cursor;
+  }
+
+  // --- non-public servers: scannable ones (with a domain) stay non-public;
+  // most single-cert servers upgrade to hierarchical multi-cert chains.
+  std::size_t upgrade_counter = 0;
+  for (ServerEndpoint& endpoint : scenario.endpoints) {
+    if (endpoint.label.rfind("nonpub/", 0) != 0) continue;
+    if (endpoint.label == "nonpub/outlier") {
+      endpoint.revisit_chain = std::nullopt;
+      continue;
+    }
+    if (endpoint.domain.empty()) {
+      endpoint.revisit_chain = endpoint.chain;  // unreachable by name anyway
+      continue;
+    }
+    const bool was_single = endpoint.chain.is_single();
+    const bool was_self_signed = was_single && endpoint.chain.first_is_self_signed();
+
+    double upgrade_probability = 0.0;
+    if (was_single) {
+      // Calibrated so the revisit lands near the paper's 79.40% multi-cert
+      // share with the 39.00 / 53.44 / 7.56 history split.
+      upgrade_probability = was_self_signed ? 0.68 : 0.94;
+    }
+    if (!was_single) {
+      // Multi-cert servers refresh their hierarchy but stay multi-cert.
+      endpoint.revisit_chain = endpoint.chain;
+      continue;
+    }
+    if (!rng.bernoulli(upgrade_probability)) {
+      endpoint.revisit_chain = endpoint.chain;  // still the single cert
+      continue;
+    }
+    // Upgrade: a fresh private hierarchy; ~2.4% come out broken (97.61% of
+    // the new multi-cert chains are complete matched paths).
+    netsim::PrivateCaHierarchy& hierarchy = world.make_enterprise_ca(
+        "Sim Upgraded " + std::to_string(upgrade_counter / 6), true);
+    ++upgrade_counter;
+    DistinguishedName subject;
+    subject.add("CN", endpoint.domain);
+    chain::CertificateChain chain;
+    chain.push_back(hierarchy.intermediate_ca->issue_leaf_no_bc(
+        subject, endpoint.domain, revisit_validity));
+    if (rng.bernoulli(0.976)) {
+      chain.push_back(*hierarchy.intermediate_cert);
+      chain.push_back(hierarchy.root_cert);
+    } else {
+      chain.push_back(hierarchy.root_cert);  // missing intermediate: broken
+    }
+    endpoint.revisit_chain = std::move(chain);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace certchain::datagen

@@ -1,0 +1,76 @@
+// Server endpoint model for the campus simulator.
+//
+// Every TLS server the campus population talks to is a ServerEndpoint: an
+// ip:port, an optional domain (SNI), the certificate chain it delivered
+// during the collection window, and an optional second-epoch chain for the
+// November-2024 revisit (§5). Population construction — how many endpoints
+// of each structural kind exist and with what chains — lives in src/datagen;
+// this header only defines the shapes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "util/time.hpp"
+
+namespace certchain::netsim {
+
+struct ServerEndpoint {
+  std::string ip;
+  std::uint16_t port = 443;
+  /// Primary domain; empty for IP-only services (a large share of
+  /// non-public-DB-only traffic carries no SNI, §4.3).
+  std::string domain;
+
+  /// Chain delivered during the 2020-21 collection window, leaf first.
+  chain::CertificateChain chain;
+
+  /// Chain delivered to the 2024 active scan; nullopt = server unreachable
+  /// at revisit time (the paper reached 270 of 321 hybrid servers).
+  std::optional<chain::CertificateChain> revisit_chain;
+
+  /// Relative connection volume (zipf-ish weights set by datagen).
+  double popularity = 1.0;
+
+  /// Probability a connection to this server completes the handshake —
+  /// calibrated by datagen from the chain's structural class (the paper's
+  /// §4.2 establishment rates). The client-mix story behind the number is
+  /// exercised separately by the validation benches.
+  double establish_probability = 0.95;
+
+  /// Fraction of connections that omit SNI.
+  double no_sni_fraction = 0.0;
+
+  /// Fraction of connections negotiated as TLS 1.3 (certificates encrypted;
+  /// such connections appear in SSL.log without cert_chain_fuids, §6.3).
+  double tls13_fraction = 0.25;
+
+  /// Fraction of connections that resume a previous session (abbreviated
+  /// handshake: no certificates on the wire, `resumed=T` in SSL.log).
+  double resumption_fraction = 0.0;
+
+  /// Non-empty: only these client IPs ever reach this endpoint (used for
+  /// interception deployments, which affect specific client machines).
+  std::vector<std::string> restricted_clients;
+
+  /// What Zeek's validation column reports for the delivered chain.
+  std::string validation_status = "unable to get local issuer certificate";
+
+  /// Free-form datagen tag recording the intended structural class, e.g.
+  /// "hybrid/complete/nonpub-to-pub" — used by tests to check the analyzer
+  /// recovers the intended class, never read by the pipeline itself.
+  std::string label;
+};
+
+/// The simulated client population behind campus NAT.
+struct ClientPool {
+  std::vector<std::string> ips;
+};
+
+/// Builds a deterministic pool of `count` campus client IPs ("10.x.y.z").
+ClientPool make_campus_client_pool(std::size_t count);
+
+}  // namespace certchain::netsim

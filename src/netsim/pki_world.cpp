@@ -1,0 +1,480 @@
+#include "netsim/pki_world.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace certchain::netsim {
+
+using truststore::RootProgram;
+using x509::CertificateAuthority;
+using x509::DistinguishedName;
+
+namespace {
+
+util::TimeRange root_validity() {
+  return {util::make_time(2000, 1, 1), util::make_time(2040, 1, 1)};
+}
+
+util::TimeRange intermediate_validity() {
+  return {util::make_time(2015, 1, 1), util::make_time(2032, 1, 1)};
+}
+
+DistinguishedName dn(std::string_view text) {
+  return DistinguishedName::parse_or_die(text);
+}
+
+}  // namespace
+
+std::string_view interception_category_name(InterceptionCategory category) {
+  switch (category) {
+    case InterceptionCategory::kSecurityNetwork: return "Security & Network";
+    case InterceptionCategory::kBusinessCorporate: return "Business & Corporate";
+    case InterceptionCategory::kHealthEducation: return "Health & Education";
+    case InterceptionCategory::kGovernmentPublic: return "Government & Public Service";
+    case InterceptionCategory::kBankFinance: return "Bank & Finance";
+    case InterceptionCategory::kOther: return "Other";
+  }
+  return "unknown";
+}
+
+std::vector<InterceptionVendor> builtin_interception_vendors() {
+  std::vector<InterceptionVendor> vendors;
+  const auto add = [&](std::string name, InterceptionCategory category) {
+    vendors.push_back(InterceptionVendor{std::move(name), category});
+  };
+
+  // Security & Network: 31 issuers (94.74% of interception connections).
+  const char* security_names[] = {
+      "Sim Zscaler",      "Sim McAfee Web Gateway", "Sim FireEye",
+      "Sim Fortinet",     "Sim Palo Alto Networks", "Sim Sophos",
+      "Sim Blue Coat",    "Sim Cisco Umbrella",     "Sim Forcepoint",
+      "Sim Barracuda",    "Sim WatchGuard",         "Sim SonicWall",
+      "Sim Check Point",  "Sim Netskope",           "Sim iboss",
+      "Sim Kaspersky",    "Sim Bitdefender",        "Sim ESET",
+      "Sim Avast",        "Sim AVG",                "Sim Trend Micro",
+      "Sim F-Secure",     "Sim Webroot",            "Sim Untangle",
+      "Sim Smoothwall",   "Sim ContentKeeper",      "Sim Lightspeed",
+      "Sim GFI Kerio",    "Sim Cyren",              "Sim DNSFilter",
+      "Sim Sangfor"};
+  for (const char* name : security_names) {
+    add(name, InterceptionCategory::kSecurityNetwork);
+  }
+
+  // Business & Corporate: 27 issuers.
+  add("Sim Freddie Mac", InterceptionCategory::kBusinessCorporate);
+  for (int i = 1; i <= 26; ++i) {
+    add("Sim Corporate Proxy " + std::to_string(i),
+        InterceptionCategory::kBusinessCorporate);
+  }
+
+  // Health & Education: 10 issuers.
+  add("Sim Securly", InterceptionCategory::kHealthEducation);
+  add("Sim GoGuardian", InterceptionCategory::kHealthEducation);
+  for (int i = 1; i <= 8; ++i) {
+    add("Sim School District " + std::to_string(i),
+        InterceptionCategory::kHealthEducation);
+  }
+
+  // Government & Public Service: 6 issuers.
+  for (int i = 1; i <= 6; ++i) {
+    add("Sim Government Department " + std::to_string(i),
+        InterceptionCategory::kGovernmentPublic);
+  }
+
+  // Bank & Finance: 3 issuers.
+  add("Sim Nationwide", InterceptionCategory::kBankFinance);
+  add("Sim Finance Gateway 1", InterceptionCategory::kBankFinance);
+  add("Sim Finance Gateway 2", InterceptionCategory::kBankFinance);
+
+  // Other: 3 issuers.
+  for (int i = 1; i <= 3; ++i) {
+    add("Sim Misc Proxy " + std::to_string(i), InterceptionCategory::kOther);
+  }
+  return vendors;
+}
+
+chain::CertificateChain InterceptionDeployment::forge_chain(
+    const std::string& domain, util::TimeRange validity) {
+  DistinguishedName subject;
+  subject.add("CN", domain).add("O", vendor.name + " Forged");
+  chain::CertificateChain forged;
+  forged.push_back(intermediate_ca.issue_leaf(subject, domain, validity));
+  forged.push_back(intermediate_cert);
+  forged.push_back(root_cert);
+  return forged;
+}
+
+PkiWorld::PkiWorld(std::uint64_t seed)
+    : seed_(seed), host_store_(RootProgram::kMozillaNss), ct_logs_(3) {
+  build_public_cas();
+  build_private_cas();
+  build_interception();
+}
+
+util::TimeRange PkiWorld::default_leaf_validity() {
+  // Issued shortly before the collection window opens and valid past its
+  // end, so an in-window observation sees a live certificate.
+  return {util::make_time(2020, 7, 1), util::make_time(2022, 1, 1)};
+}
+
+void PkiWorld::build_public_cas() {
+  struct Spec {
+    const char* short_name;
+    const char* root_dn;
+    std::vector<const char*> intermediate_dns;
+    bool in_host_store;
+  };
+  const std::vector<Spec> specs = {
+      {"digicert", "CN=Sim DigiCert Global Root CA,O=Sim DigiCert Inc,C=US",
+       {"CN=Sim DigiCert TLS RSA SHA256 2020 CA1,O=Sim DigiCert Inc,C=US"}, true},
+      {"sectigo", "CN=Sim AAA Certificate Services,O=Sim Comodo CA Limited,C=GB",
+       {"CN=Sim Sectigo RSA Domain Validation Secure Server CA,O=Sim Sectigo Limited,C=GB"},
+       true},
+      {"usertrust",
+       "CN=Sim USERTrust RSA Certification Authority,O=Sim The USERTRUST Network,C=US",
+       {},
+       true},
+      {"lets-encrypt", "CN=Sim ISRG Root X1,O=Sim Internet Security Research Group,C=US",
+       {"CN=Sim R3,O=Sim Let's Encrypt,C=US"}, true},
+      {"godaddy",
+       "CN=Sim Go Daddy Root Certificate Authority - G2,O=Sim GoDaddy.com LLC,C=US",
+       {"CN=Sim Go Daddy Secure Certificate Authority - G2,O=Sim GoDaddy.com LLC,C=US"},
+       true},
+      {"comodo", "CN=Sim COMODO RSA Certification Authority,O=Sim COMODO CA Limited,C=GB",
+       {"CN=Sim COMODO RSA Organization Validation CA,O=Sim COMODO CA Limited,C=GB"},
+       true},
+      {"globalsign", "CN=Sim GlobalSign Root CA,O=Sim GlobalSign nv-sa,C=BE",
+       {"CN=Sim GlobalSign RSA OV SSL CA 2018,O=Sim GlobalSign nv-sa,C=BE"}, true},
+      {"symantec",
+       "CN=Sim Symantec Class 3 Public Primary Certification Authority,O=Sim Symantec Corporation,C=US",
+       {"CN=Sim Symantec Class 3 Secure Server CA - G4,O=Sim Symantec Corporation,C=US"},
+       true},
+      // Anchors deliberately absent from the host OS store: their chains
+      // validate in Chrome-like clients but not in the OpenSSL-like host.
+      {"fpki", "CN=Sim Federal Common Policy CA,O=U.S. Government Sim,C=US",
+       {"CN=Sim Verizon SSP CA A2,O=Sim Verizon Business,C=US"}, false},
+      {"kisa", "CN=Sim KISA RootCA 1,O=Sim KISA,C=KR", {}, false},
+      {"icp-brasil",
+       "CN=Sim Autoridade Certificadora Raiz Brasileira v5,O=Sim ICP-Brasil,C=BR",
+       {"CN=Sim AC Secretaria da Receita Federal do Brasil,O=Sim ICP-Brasil,C=BR"},
+       false},
+  };
+
+  for (const Spec& spec : specs) {
+    PublicCaHierarchy hierarchy{
+        spec.short_name,
+        CertificateAuthority(dn(spec.root_dn), "public/" + std::string(spec.short_name)),
+        x509::Certificate{},
+        {},
+        {},
+        spec.in_host_store};
+    hierarchy.root_cert = hierarchy.root_ca.make_root(root_validity());
+    for (const char* intermediate_dn : spec.intermediate_dns) {
+      CertificateAuthority intermediate(
+          dn(intermediate_dn), "public-int/" + std::string(spec.short_name));
+      hierarchy.intermediate_certs.push_back(hierarchy.root_ca.issue_intermediate(
+          intermediate, intermediate_validity(), 0));
+      hierarchy.intermediate_cas.push_back(std::move(intermediate));
+    }
+
+    stores_.add_to_all_programs(hierarchy.root_cert);
+    if (spec.in_host_store) host_store_.add(hierarchy.root_cert);
+    for (const x509::Certificate& cert : hierarchy.intermediate_certs) {
+      truststore::CcadbRecord record;
+      record.certificate = cert;
+      record.chains_to_participating_root = true;
+      record.publicly_audited = true;
+      stores_.ccadb().add(std::move(record));
+    }
+    public_cas_.push_back(std::move(hierarchy));
+  }
+
+  // Cross-signing: AAA Certificate Services cross-signs the USERTrust root
+  // (the Sectigo hierarchy pattern [32]). The cross-certificate is disclosed
+  // in CCADB and the relationship recorded in the registry so issuer-subject
+  // matching does not flag it.
+  PublicCaHierarchy& sectigo = public_ca("sectigo");
+  PublicCaHierarchy& usertrust = public_ca("usertrust");
+  x509::Certificate cross_cert =
+      sectigo.root_ca.cross_sign(usertrust.root_ca, intermediate_validity());
+  truststore::CcadbRecord cross_record;
+  cross_record.certificate = cross_cert;
+  cross_record.chains_to_participating_root = true;
+  cross_record.publicly_audited = true;
+  stores_.ccadb().add(std::move(cross_record));
+  cross_signs_.add_equivalence(usertrust.root_ca.name(), sectigo.root_ca.name());
+
+  // USERTrust issues Sectigo's DV intermediate in the real hierarchy; give
+  // the usertrust hierarchy one issuing intermediate of its own.
+  CertificateAuthority usertrust_int(
+      dn("CN=Sim USERTrust RSA Domain Validation CA,O=Sim The USERTRUST Network,C=US"),
+      "public-int/usertrust");
+  usertrust.intermediate_certs.push_back(
+      usertrust.root_ca.issue_intermediate(usertrust_int, intermediate_validity(), 0));
+  usertrust.intermediate_cas.push_back(std::move(usertrust_int));
+  truststore::CcadbRecord ut_record;
+  ut_record.certificate = usertrust.intermediate_certs.back();
+  ut_record.chains_to_participating_root = true;
+  ut_record.publicly_audited = true;
+  stores_.ccadb().add(std::move(ut_record));
+}
+
+void PkiWorld::build_private_cas() {
+  // Self-operated private hierarchies.
+  const struct {
+    const char* short_name;
+    const char* root_dn;
+    const char* intermediate_dn;  // nullptr = root-only
+  } specs[] = {
+      {"fake-le", "CN=Fake LE Root X1", "CN=Fake LE Intermediate X1"},
+      {"athenz", "CN=Sim Athenz CA,O=Sim Athenz,C=US", nullptr},
+      {"scalyr", "CN=Sim Scalyr Internal CA,O=Sim Scalyr Inc,C=US", nullptr},
+      {"canal-plus", "CN=Sim Canal+ Internal CA,O=Sim Canal+ Group,C=FR", nullptr},
+  };
+  for (const auto& spec : specs) {
+    PrivateCaHierarchy hierarchy{
+        spec.short_name,
+        CertificateAuthority(dn(spec.root_dn), "private/" + std::string(spec.short_name)),
+        x509::Certificate{},
+        std::nullopt,
+        std::nullopt};
+    hierarchy.root_cert = hierarchy.root_ca.make_root(root_validity());
+    if (spec.intermediate_dn != nullptr) {
+      CertificateAuthority intermediate(
+          dn(spec.intermediate_dn), "private-int/" + std::string(spec.short_name));
+      hierarchy.intermediate_cert = hierarchy.root_ca.issue_intermediate(
+          intermediate, intermediate_validity());
+      hierarchy.intermediate_ca = std::move(intermediate);
+    }
+    private_cas_.push_back(std::move(hierarchy));
+  }
+  fake_le_intermediate_ = *private_ca("fake-le").intermediate_cert;
+
+  // Chained sub-CAs (Table 6): non-public sub-CAs whose certificates are
+  // issued by public hierarchies.
+  const struct {
+    const char* short_name;
+    const char* parent;
+    const char* ca_dn;
+    const char* sector;
+    bool via_intermediate;  // parent's first intermediate issues the sub-CA
+  } sub_specs[] = {
+      {"veterans-affairs", "fpki",
+       "CN=Sim Veterans Affairs CA B3,O=U.S. Department of Veterans Affairs Sim,C=US",
+       "Government", true},
+      {"klid", "kisa", "CN=Sim Gov of Korea KLID CA,O=Government of Korea Sim,C=KR",
+       "Government", false},
+      {"iti", "icp-brasil",
+       "CN=Sim ITI Autoridade Certificadora,O=Instituto Nacional de Tecnologia da Informacao Sim,C=BR",
+       "Government", true},
+      {"symantec-private", "symantec",
+       "CN=Sim Symantec Private SSL SHA1 CA,O=Sim Symantec Corporation,C=US",
+       "Corporate", false},
+      {"signkorea", "kisa", "CN=Sim SignKorea CA,O=Sim SignKorea,C=KR", "Corporate",
+       false},
+  };
+  for (const auto& spec : sub_specs) {
+    PublicCaHierarchy& parent = public_ca(spec.parent);
+    CertificateAuthority sub_ca(dn(spec.ca_dn), "subca/" + std::string(spec.short_name));
+    x509::Certificate cert =
+        (spec.via_intermediate && !parent.intermediate_cas.empty())
+            ? parent.intermediate_cas.front().issue_intermediate(
+                  sub_ca, intermediate_validity())
+            : parent.root_ca.issue_intermediate(sub_ca, intermediate_validity());
+    sub_cas_.push_back(ChainedSubCa{spec.short_name, spec.parent, std::move(sub_ca),
+                                    std::move(cert), spec.sector});
+  }
+}
+
+void PkiWorld::build_interception() {
+  for (const InterceptionVendor& vendor : builtin_interception_vendors()) {
+    CertificateAuthority root(
+        dn("CN=" + vendor.name + " Root CA,O=" + vendor.name + ",C=US"),
+        "intercept-root/" + vendor.name);
+    CertificateAuthority intermediate(
+        dn("CN=" + vendor.name + " SSL Inspection CA,O=" + vendor.name + ",C=US"),
+        "intercept-int/" + vendor.name);
+    InterceptionDeployment deployment{
+        vendor,
+        std::move(root),
+        x509::Certificate{},
+        std::move(intermediate),
+        x509::Certificate{}};
+    deployment.root_cert = deployment.root_ca.make_root(root_validity());
+    deployment.intermediate_cert = deployment.root_ca.issue_intermediate(
+        deployment.intermediate_ca, intermediate_validity());
+    interception_.push_back(std::move(deployment));
+  }
+}
+
+PublicCaHierarchy& PkiWorld::public_ca(std::string_view short_name) {
+  for (PublicCaHierarchy& hierarchy : public_cas_) {
+    if (hierarchy.short_name == short_name) return hierarchy;
+  }
+  throw std::out_of_range("PkiWorld::public_ca: unknown CA " + std::string(short_name));
+}
+
+PrivateCaHierarchy& PkiWorld::private_ca(std::string_view short_name) {
+  for (PrivateCaHierarchy& hierarchy : private_cas_) {
+    if (hierarchy.short_name == short_name) return hierarchy;
+  }
+  throw std::out_of_range("PkiWorld::private_ca: unknown CA " + std::string(short_name));
+}
+
+ChainedSubCa& PkiWorld::chained_sub_ca(std::string_view short_name) {
+  for (ChainedSubCa& sub_ca : sub_cas_) {
+    if (sub_ca.short_name == short_name) return sub_ca;
+  }
+  throw std::out_of_range("PkiWorld::chained_sub_ca: unknown sub-CA " +
+                          std::string(short_name));
+}
+
+chain::CertificateChain PkiWorld::issue_public_chain(std::string_view ca_short_name,
+                                                     const std::string& domain,
+                                                     util::TimeRange leaf_validity,
+                                                     bool include_root) {
+  PublicCaHierarchy& hierarchy = public_ca(ca_short_name);
+  chain::CertificateChain chain;
+  DistinguishedName subject;
+  subject.add("CN", domain);
+  if (!hierarchy.intermediate_cas.empty()) {
+    x509::Certificate leaf =
+        hierarchy.intermediate_cas.front().issue_leaf(subject, domain, leaf_validity);
+    leaf = ct_logs_.submit_and_embed(leaf, leaf_validity.begin, 2);
+    chain.push_back(std::move(leaf));
+    chain.push_back(hierarchy.intermediate_certs.front());
+  } else {
+    x509::Certificate leaf = hierarchy.root_ca.issue_leaf(subject, domain, leaf_validity);
+    leaf = ct_logs_.submit_and_embed(leaf, leaf_validity.begin, 2);
+    chain.push_back(std::move(leaf));
+  }
+  if (include_root) chain.push_back(hierarchy.root_cert);
+  return chain;
+}
+
+chain::CertificateChain PkiWorld::issue_sub_ca_chain(std::string_view sub_ca_short_name,
+                                                     const std::string& domain,
+                                                     util::TimeRange leaf_validity) {
+  ChainedSubCa& sub_ca = chained_sub_ca(sub_ca_short_name);
+  PublicCaHierarchy& parent = public_ca(sub_ca.parent_public_short_name);
+
+  DistinguishedName subject;
+  subject.add("CN", domain).add("O", *sub_ca.ca.name().organization());
+  x509::Certificate leaf = sub_ca.ca.issue_leaf(subject, domain, leaf_validity);
+  // Standards require these leaves in CT (§4.2); the paper found them all
+  // properly logged.
+  leaf = ct_logs_.submit_and_embed(leaf, leaf_validity.begin, 2);
+
+  chain::CertificateChain chain;
+  chain.push_back(std::move(leaf));
+  chain.push_back(sub_ca.cert);
+  // If the sub-CA was issued by the parent's intermediate, include it.
+  if (!parent.intermediate_certs.empty() &&
+      sub_ca.cert.issuer.matches(parent.intermediate_cas.front().name())) {
+    chain.push_back(parent.intermediate_certs.front());
+  }
+  chain.push_back(parent.root_cert);
+  return chain;
+}
+
+std::set<std::string> PkiWorld::interception_issuer_dns() const {
+  std::set<std::string> out;
+  for (const InterceptionDeployment& deployment : interception_) {
+    out.insert(deployment.intermediate_ca.name().canonical());
+    out.insert(deployment.root_ca.name().canonical());
+  }
+  return out;
+}
+
+PrivateCaHierarchy& PkiWorld::make_enterprise_ca(const std::string& organization,
+                                                 bool with_intermediate) {
+  const std::string short_name = "enterprise/" + organization;
+  for (PrivateCaHierarchy& hierarchy : private_cas_) {
+    if (hierarchy.short_name == short_name) return hierarchy;
+  }
+  PrivateCaHierarchy hierarchy{
+      short_name,
+      CertificateAuthority(
+          dn("CN=" + organization + " Root CA,O=" + organization + ",C=US"),
+          "enterprise/" + organization),
+      x509::Certificate{},
+      std::nullopt,
+      std::nullopt};
+  hierarchy.root_cert = hierarchy.root_ca.make_root(root_validity());
+  if (with_intermediate) {
+    CertificateAuthority intermediate(
+        dn("CN=" + organization + " Issuing CA,O=" + organization + ",C=US"),
+        "enterprise-int/" + organization);
+    hierarchy.intermediate_cert =
+        hierarchy.root_ca.issue_intermediate(intermediate, intermediate_validity());
+    hierarchy.intermediate_ca = std::move(intermediate);
+  }
+  private_cas_.push_back(std::move(hierarchy));
+  return private_cas_.back();
+}
+
+x509::Certificate PkiWorld::make_dga_certificate(util::Rng& rng) {
+  // Issuer and subject follow the same www<random>com pattern but differ.
+  const std::string issuer_name = "www" + rng.alpha_string(10) + "com";
+  std::string subject_name = "www" + rng.alpha_string(10) + "com";
+  while (subject_name == issuer_name) {
+    subject_name = "www" + rng.alpha_string(10) + "com";
+  }
+  DistinguishedName issuer;
+  issuer.add("CN", issuer_name);
+  DistinguishedName subject;
+  subject.add("CN", subject_name);
+
+  const util::TimeRange window = util::study::collection_window();
+  const util::SimTime start =
+      window.begin + static_cast<util::SimTime>(
+                         rng.uniform() * static_cast<double>(window.duration() / 2));
+  const util::SimTime lifetime =
+      rng.uniform_int(4, 365) * util::kSecondsPerDay;
+
+  const auto keys = crypto::generate_keypair(crypto::KeyAlgorithm::kRsa2048,
+                                             "dga/" + subject_name);
+  return x509::CertificateBuilder()
+      .serial(rng.hex_string(16))
+      .subject(subject)
+      .issuer(issuer)
+      .validity({start, start + lifetime})
+      .public_key(keys.public_key)
+      .no_basic_constraints()
+      .sign_with(keys.private_key);
+}
+
+x509::Certificate PkiWorld::make_localhost_certificate(const std::string& serial_tag) {
+  DistinguishedName name = dn(
+      "emailAddress=webmaster@localhost,CN=localhost,OU=none,O=none,"
+      "L=Sometown,ST=Someprovince,C=US");
+  const auto keys =
+      crypto::generate_keypair(crypto::KeyAlgorithm::kRsa2048, "localhost/" + serial_tag);
+  return x509::CertificateBuilder()
+      .serial(util::digest256_hex("localhost-serial/" + serial_tag).substr(0, 16))
+      .subject(name)
+      .validity(default_leaf_validity())
+      .no_basic_constraints()
+      .self_sign(keys.private_key);
+}
+
+x509::Certificate PkiWorld::make_self_signed(const std::string& organization,
+                                             const std::string& common_name,
+                                             util::TimeRange validity) {
+  DistinguishedName name;
+  name.add("CN", common_name);
+  if (!organization.empty()) name.add("O", organization);
+  const std::string tag =
+      organization + "/" + common_name + "/" + std::to_string(self_signed_counter_++);
+  const auto keys = crypto::generate_keypair(crypto::KeyAlgorithm::kRsa2048,
+                                             "self-signed/" + tag);
+  return x509::CertificateBuilder()
+      .serial(util::digest256_hex("self-signed-serial/" + tag).substr(0, 16))
+      .subject(name)
+      .validity(validity)
+      .no_basic_constraints()
+      .self_sign(keys.private_key);
+}
+
+}  // namespace certchain::netsim

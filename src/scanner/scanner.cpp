@@ -1,0 +1,79 @@
+#include "scanner/scanner.hpp"
+
+#include "x509/pem.hpp"
+
+namespace certchain::scanner {
+
+ActiveScanner::ActiveScanner(const std::vector<netsim::ServerEndpoint>& endpoints)
+    : endpoints_(&endpoints) {}
+
+ScanResult ActiveScanner::scan_endpoint(const netsim::ServerEndpoint& endpoint,
+                                        std::string target) const {
+  ScanResult result;
+  result.target = std::move(target);
+  if (!endpoint.revisit_chain.has_value()) return result;  // gone by 2024
+  result.reachable = true;
+  result.chain = *endpoint.revisit_chain;
+  result.pem_bundle = render_s_client_output(result.target, result.chain);
+  return result;
+}
+
+ScanResult ActiveScanner::scan_domain(const std::string& domain,
+                                      std::uint16_t port) const {
+  for (const netsim::ServerEndpoint& endpoint : *endpoints_) {
+    if (endpoint.domain == domain && endpoint.port == port) {
+      return scan_endpoint(endpoint, domain + ":" + std::to_string(port));
+    }
+  }
+  ScanResult unreachable;
+  unreachable.target = domain + ":" + std::to_string(port);
+  return unreachable;
+}
+
+ScanResult ActiveScanner::scan_ip(const std::string& ip, std::uint16_t port) const {
+  for (const netsim::ServerEndpoint& endpoint : *endpoints_) {
+    if (endpoint.ip == ip && endpoint.port == port) {
+      return scan_endpoint(endpoint, ip + ":" + std::to_string(port));
+    }
+  }
+  ScanResult unreachable;
+  unreachable.target = ip + ":" + std::to_string(port);
+  return unreachable;
+}
+
+std::vector<ScanResult> ActiveScanner::scan_all_domains() const {
+  std::vector<ScanResult> results;
+  for (const netsim::ServerEndpoint& endpoint : *endpoints_) {
+    if (endpoint.domain.empty()) continue;
+    results.push_back(scan_endpoint(
+        endpoint, endpoint.domain + ":" + std::to_string(endpoint.port)));
+  }
+  return results;
+}
+
+std::vector<ScanResult> ActiveScanner::scan_all_ips() const {
+  std::vector<ScanResult> results;
+  for (const netsim::ServerEndpoint& endpoint : *endpoints_) {
+    results.push_back(scan_endpoint(
+        endpoint, endpoint.ip + ":" + std::to_string(endpoint.port)));
+  }
+  return results;
+}
+
+std::string ActiveScanner::render_s_client_output(
+    const std::string& target, const chain::CertificateChain& chain) {
+  std::string out;
+  out.append("CONNECTED(").append(target).append(")\n");
+  out.append("---\nCertificate chain\n");
+  for (std::size_t i = 0; i < chain.length(); ++i) {
+    const x509::Certificate& cert = chain.at(i);
+    out.append(" ").append(std::to_string(i)).append(" s:");
+    out.append(cert.subject.to_string()).push_back('\n');
+    out.append("   i:").append(cert.issuer.to_string()).push_back('\n');
+    out.append(x509::encode_pem(cert));
+  }
+  out.append("---\n");
+  return out;
+}
+
+}  // namespace certchain::scanner

@@ -1,0 +1,63 @@
+// Active scanner — the `openssl s_client -connect $domain:443 -showcerts`
+// stand-in used for the November-2024 revisit (§5) and the Appendix D
+// validation corpus.
+//
+// The scanner connects to the simulated server population: a scan by domain
+// resolves through SNI, a scan by ip:port reaches SNI-less services. The
+// result carries both the parsed chain and a rendered s_client-style text
+// (PEM bundle included) so downstream tooling can exercise the full
+// parse-from-PEM path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "netsim/endpoint.hpp"
+
+namespace certchain::scanner {
+
+struct ScanResult {
+  bool reachable = false;
+  std::string target;       // "domain:port" or "ip:port"
+  std::string pem_bundle;   // concatenated PEM blocks, leaf first
+  chain::CertificateChain chain;
+
+  std::size_t chain_length() const { return chain.length(); }
+};
+
+/// Scans the revisit-epoch view of a server population.
+class ActiveScanner {
+ public:
+  explicit ActiveScanner(const std::vector<netsim::ServerEndpoint>& endpoints);
+
+  /// Scans by domain (SNI route). Unknown domains and endpoints with no
+  /// revisit chain are unreachable.
+  ScanResult scan_domain(const std::string& domain, std::uint16_t port = 443) const;
+
+  /// Scans by ip:port (no SNI).
+  ScanResult scan_ip(const std::string& ip, std::uint16_t port) const;
+
+  /// Scans every endpoint that has a domain (the paper could only revisit
+  /// servers whose SNI it had; 79.49% of non-public connections had none).
+  std::vector<ScanResult> scan_all_domains() const;
+
+  /// IP-space sweep: scans every endpoint by ip:port regardless of SNI — the
+  /// paper's future-work direction (Sec. 6.3: "active scanning of the entire
+  /// IP address space"). Reaches the name-less population the domain route
+  /// cannot.
+  std::vector<ScanResult> scan_all_ips() const;
+
+  /// Renders the s_client-style text for a chain (certificate list + PEM).
+  static std::string render_s_client_output(const std::string& target,
+                                            const chain::CertificateChain& chain);
+
+ private:
+  ScanResult scan_endpoint(const netsim::ServerEndpoint& endpoint,
+                           std::string target) const;
+
+  const std::vector<netsim::ServerEndpoint>* endpoints_;
+};
+
+}  // namespace certchain::scanner

@@ -1,0 +1,155 @@
+#include "truststore/trust_store.hpp"
+
+#include <stdexcept>
+
+namespace certchain::truststore {
+
+std::string_view root_program_name(RootProgram program) {
+  switch (program) {
+    case RootProgram::kMozillaNss: return "Mozilla NSS";
+    case RootProgram::kApple: return "Apple";
+    case RootProgram::kMicrosoft: return "Microsoft";
+  }
+  return "unknown";
+}
+
+std::string_view issuer_class_name(IssuerClass issuer_class) {
+  switch (issuer_class) {
+    case IssuerClass::kPublicDb: return "public-DB";
+    case IssuerClass::kNonPublicDb: return "non-public-DB";
+  }
+  return "unknown";
+}
+
+TrustStore::TrustStore(RootProgram program) : program_(program) {}
+
+void TrustStore::add(const x509::Certificate& cert) {
+  const std::string fingerprint = cert.fingerprint();
+  if (by_fingerprint_.contains(fingerprint)) return;  // idempotent
+  const std::size_t index = certs_.size();
+  certs_.push_back(cert);
+  by_fingerprint_.emplace(fingerprint, index);
+  by_subject_[cert.subject.canonical()].push_back(index);
+}
+
+bool TrustStore::contains_fingerprint(std::string_view fingerprint) const {
+  return by_fingerprint_.contains(std::string(fingerprint));
+}
+
+bool TrustStore::contains_subject(const x509::DistinguishedName& name) const {
+  return by_subject_.contains(name.canonical());
+}
+
+std::vector<const x509::Certificate*> TrustStore::find_by_subject(
+    const x509::DistinguishedName& name) const {
+  std::vector<const x509::Certificate*> out;
+  const auto it = by_subject_.find(name.canonical());
+  if (it == by_subject_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t index : it->second) out.push_back(&certs_[index]);
+  return out;
+}
+
+void Ccadb::add(CcadbRecord record) {
+  const std::size_t index = records_.size();
+  const bool eligible = record.eligible();
+  const std::string fingerprint = record.certificate.fingerprint();
+  const std::string subject = record.certificate.subject.canonical();
+  records_.push_back(std::move(record));
+  if (eligible) {
+    eligible_by_subject_[subject].push_back(index);
+    eligible_by_fingerprint_.emplace(fingerprint, index);
+  }
+}
+
+std::size_t Ccadb::eligible_count() const {
+  std::size_t count = 0;
+  for (const CcadbRecord& record : records_) {
+    if (record.eligible()) ++count;
+  }
+  return count;
+}
+
+bool Ccadb::contains_subject(const x509::DistinguishedName& name) const {
+  return eligible_by_subject_.contains(name.canonical());
+}
+
+bool Ccadb::contains_fingerprint(std::string_view fingerprint) const {
+  return eligible_by_fingerprint_.contains(std::string(fingerprint));
+}
+
+std::vector<const x509::Certificate*> Ccadb::find_by_subject(
+    const x509::DistinguishedName& name) const {
+  std::vector<const x509::Certificate*> out;
+  const auto it = eligible_by_subject_.find(name.canonical());
+  if (it == eligible_by_subject_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t index : it->second) {
+    out.push_back(&records_[index].certificate);
+  }
+  return out;
+}
+
+TrustStoreSet::TrustStoreSet() {
+  stores_.emplace_back(RootProgram::kMozillaNss);
+  stores_.emplace_back(RootProgram::kApple);
+  stores_.emplace_back(RootProgram::kMicrosoft);
+}
+
+TrustStore& TrustStoreSet::store(RootProgram program) {
+  for (TrustStore& store : stores_) {
+    if (store.program() == program) return store;
+  }
+  throw std::logic_error("TrustStoreSet: unknown program");
+}
+
+const TrustStore& TrustStoreSet::store(RootProgram program) const {
+  for (const TrustStore& store : stores_) {
+    if (store.program() == program) return store;
+  }
+  throw std::logic_error("TrustStoreSet: unknown program");
+}
+
+void TrustStoreSet::add_to_all_programs(const x509::Certificate& root) {
+  for (TrustStore& store : stores_) store.add(root);
+}
+
+IssuerClass TrustStoreSet::classify_issuer(
+    const x509::DistinguishedName& issuer_name) const {
+  for (const TrustStore& store : stores_) {
+    if (store.contains_subject(issuer_name)) return IssuerClass::kPublicDb;
+  }
+  if (ccadb_.contains_subject(issuer_name)) return IssuerClass::kPublicDb;
+  return IssuerClass::kNonPublicDb;
+}
+
+bool TrustStoreSet::is_trust_anchor(const x509::Certificate& cert) const {
+  const std::string fingerprint = cert.fingerprint();
+  for (const TrustStore& store : stores_) {
+    if (store.contains_fingerprint(fingerprint)) return true;
+  }
+  return false;
+}
+
+bool TrustStoreSet::is_known_subject(const x509::DistinguishedName& name) const {
+  for (const TrustStore& store : stores_) {
+    if (store.contains_subject(name)) return true;
+  }
+  return ccadb_.contains_subject(name);
+}
+
+std::vector<const x509::Certificate*> TrustStoreSet::find_issuer_candidates(
+    const x509::DistinguishedName& issuer_name) const {
+  std::vector<const x509::Certificate*> out;
+  for (const TrustStore& store : stores_) {
+    for (const x509::Certificate* cert : store.find_by_subject(issuer_name)) {
+      out.push_back(cert);
+    }
+  }
+  for (const x509::Certificate* cert : ccadb_.find_by_subject(issuer_name)) {
+    out.push_back(cert);
+  }
+  return out;
+}
+
+}  // namespace certchain::truststore

@@ -1,0 +1,90 @@
+#include "util/base64.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace certchain::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> build_reverse_table() {
+  std::array<int, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = i;
+  }
+  return table;
+}
+
+const std::array<int, 256>& reverse_table() {
+  static const std::array<int, 256> table = build_reverse_table();
+  return table;
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve(((data.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t triple = (static_cast<unsigned char>(data[i]) << 16) |
+                                 (static_cast<unsigned char>(data[i + 1]) << 8) |
+                                 static_cast<unsigned char>(data[i + 2]);
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3F]);
+    out.push_back(kAlphabet[triple & 0x3F]);
+    i += 3;
+  }
+  const std::size_t remaining = data.size() - i;
+  if (remaining == 1) {
+    const std::uint32_t triple = static_cast<unsigned char>(data[i]) << 16;
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.append("==");
+  } else if (remaining == 2) {
+    const std::uint32_t triple = (static_cast<unsigned char>(data[i]) << 16) |
+                                 (static_cast<unsigned char>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::string> base64_decode(std::string_view encoded) {
+  std::string out;
+  out.reserve((encoded.size() / 4) * 3);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  int padding = 0;
+  for (const char c : encoded) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++padding;
+      continue;
+    }
+    if (padding > 0) return std::nullopt;  // data after padding
+    const int value = reverse_table()[static_cast<unsigned char>(c)];
+    if (value < 0) return std::nullopt;
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(value);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<char>((buffer >> bits) & 0xFF));
+    }
+  }
+  if (padding > 2) return std::nullopt;
+  // Leftover bits must be zero-padding only and consistent with '=' count.
+  if (bits >= 6) return std::nullopt;
+  if ((buffer & ((1u << bits) - 1u)) != 0) return std::nullopt;
+  if (padding != 0 && ((bits + padding * 6) % 8) != 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace certchain::util

@@ -1,0 +1,18 @@
+// Standard base64 (RFC 4648) encode/decode, used by the PEM-style
+// serialization in src/x509 and by the scanner's -showcerts output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace certchain::util {
+
+/// Encodes bytes to base64 with '=' padding, no line wrapping.
+std::string base64_encode(std::string_view data);
+
+/// Decodes base64; whitespace is skipped. Returns nullopt for any other
+/// invalid character, bad padding, or truncated input.
+std::optional<std::string> base64_decode(std::string_view encoded);
+
+}  // namespace certchain::util

@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace certchain::util {
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())) - 1.0);
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double EmpiricalCdf::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double EmpiricalCdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<double> EmpiricalCdf::evaluate(const std::vector<double>& points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const double p : points) out.push_back(at(p));
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value, std::uint64_t count) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto index = static_cast<std::int64_t>(std::floor((value - lo_) / width));
+  if (index < 0) index = 0;
+  if (index >= static_cast<std::int64_t>(counts_.size())) {
+    index = static_cast<std::int64_t>(counts_.size()) - 1;
+  }
+  counts_[static_cast<std::size_t>(index)] += count;
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts_) sum += c;
+  return sum;
+}
+
+double Histogram::bin_center(std::size_t index) const {
+  const auto [lo, hi] = bin_range(index);
+  return (lo + hi) / 2.0;
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t index) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(index),
+          lo_ + width * static_cast<double>(index + 1)};
+}
+
+void Summary::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace certchain::util

@@ -1,0 +1,124 @@
+// Descriptive-statistics helpers used by the analysis pipeline and the bench
+// harnesses: counters, histograms, and empirical CDFs (the paper reports
+// chain-length CDFs in Figure 1 and mismatch-ratio histograms in Figure 6).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace certchain::util {
+
+/// Ordered counter over keys of type K. Ordered so experiment output is
+/// deterministic without extra sorting at the call sites.
+template <typename K>
+class Counter {
+ public:
+  void add(const K& key, std::uint64_t count = 1) { counts_[key] += count; }
+
+  std::uint64_t count(const K& key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [key, count] : counts_) sum += count;
+    return sum;
+  }
+
+  std::size_t distinct() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+
+  const std::map<K, std::uint64_t>& items() const { return counts_; }
+
+  /// Entries sorted by descending count (ties broken by key order).
+  std::vector<std::pair<K, std::uint64_t>> by_count_desc() const {
+    std::vector<std::pair<K, std::uint64_t>> entries(counts_.begin(), counts_.end());
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    return entries;
+  }
+
+ private:
+  std::map<K, std::uint64_t> counts_;
+};
+
+/// Empirical CDF over double samples.
+class EmpiricalCdf {
+ public:
+  void add(double sample) { samples_.push_back(sample); sorted_ = false; }
+  void add_count(double sample, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// P(X <= x). 0 for an empty sample set.
+  double at(double x) const;
+
+  /// Inverse CDF: smallest sample s with P(X <= s) >= q, q in [0,1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Evaluates the CDF at each point, in order.
+  std::vector<double> evaluate(const std::vector<double>& points) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bin histogram over [lo, hi] with `bins` equal-width bins. Values
+/// outside the range clamp into the first/last bin (the paper's Figure 6 has
+/// ratios bounded in (0, 1]).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t count = 1);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t index) const { return counts_.at(index); }
+  std::uint64_t total() const;
+
+  /// Center of bin `index`.
+  double bin_center(std::size_t index) const;
+  /// Inclusive-exclusive bin bounds.
+  std::pair<double, double> bin_range(std::size_t index) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Basic running summary (count / mean / min / max / variance).
+class Summary {
+ public:
+  void add(double value);
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace certchain::util

@@ -1,0 +1,45 @@
+// Small string helpers shared across modules. Nothing here allocates unless
+// the return type is std::string/std::vector.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certchain::util {
+
+/// Splits on a single-character delimiter. Adjacent delimiters yield empty
+/// fields; an empty input yields one empty field.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Splits but drops empty fields.
+std::vector<std::string> split_nonempty(std::string_view text, char delimiter);
+
+/// Joins with a delimiter string.
+std::string join(const std::vector<std::string>& parts, std::string_view delimiter);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// True if `text` contains `needle`.
+bool contains(std::string_view text, std::string_view needle);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to);
+
+/// Formats a double with the given number of decimal places ("%.*f").
+std::string format_double(double value, int decimals);
+
+/// Formats counts with thousands separators: 1234567 -> "1,234,567".
+std::string with_commas(std::uint64_t value);
+
+/// Formats a ratio as a percentage string with two decimals ("97.21").
+std::string percent(double numerator, double denominator, int decimals = 2);
+
+}  // namespace certchain::util

@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <stdexcept>
+
+namespace certchain::util {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: need >= 1 column");
+  alignments_.assign(headers_.size(), Align::kRight);
+  alignments_[0] = Align::kLeft;
+}
+
+void TextTable::set_alignments(std::vector<Align> alignments) {
+  if (alignments.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: alignment arity mismatch");
+  }
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row arity mismatch");
+  }
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t width, Align align) {
+    std::string out;
+    const std::size_t fill = width > text.size() ? width - text.size() : 0;
+    if (align == Align::kRight) out.append(fill, ' ');
+    out.append(text);
+    if (align == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out.append("  ");
+      out.append(pad(cells[c], widths[c], alignments_[c]));
+    }
+    // Trim trailing spaces from left-aligned final columns.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+
+  const auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c != 0) out.append("  ");
+      out.append(widths[c], '-');
+    }
+    out.push_back('\n');
+  };
+
+  emit_row(headers_);
+  emit_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_rule();
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  return out;
+}
+
+std::string render_banner(const std::string& title) {
+  std::string out;
+  out.append("== ").append(title).append(" ==\n");
+  return out;
+}
+
+}  // namespace certchain::util

@@ -1,0 +1,84 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace certchain::util {
+
+namespace {
+
+// Howard Hinnant's days_from_civil: days since 1970-01-01 for a civil date.
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era_base = (y >= 0 ? y : y - 399);
+  const std::int64_t era = era_base / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+                       static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+// Inverse: civil date from days since epoch.
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t year = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(year + (m <= 2));
+}
+
+}  // namespace
+
+SimTime make_time(int year, int month, int day, int hour, int minute, int second) {
+  return days_from_civil(year, month, day) * kSecondsPerDay +
+         hour * kSecondsPerHour + minute * kSecondsPerMinute + second;
+}
+
+CivilTime to_civil(SimTime t) {
+  std::int64_t days = t / kSecondsPerDay;
+  std::int64_t rem = t % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  CivilTime civil;
+  civil_from_days(days, civil.year, civil.month, civil.day);
+  civil.hour = static_cast<int>(rem / kSecondsPerHour);
+  civil.minute = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  civil.second = static_cast<int>(rem % kSecondsPerMinute);
+  return civil;
+}
+
+std::string format_iso8601(SimTime t) {
+  const CivilTime c = to_civil(t);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02dZ", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return buffer;
+}
+
+std::string format_date(SimTime t) {
+  const CivilTime c = to_civil(t);
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buffer;
+}
+
+namespace study {
+
+TimeRange collection_window() {
+  return {make_time(2020, 9, 1), make_time(2021, 9, 1)};
+}
+
+TimeRange revisit_window() {
+  return {make_time(2024, 11, 1), make_time(2024, 12, 1)};
+}
+
+}  // namespace study
+
+}  // namespace certchain::util

@@ -1,0 +1,65 @@
+// Simulated time.
+//
+// All timestamps in the corpus are plain UTC seconds since the Unix epoch
+// (SimTime). The paper's collection window (2020-09-01 .. 2021-08-31) and the
+// revisit epoch (November 2024) are expressed as constants here so every
+// module agrees on the study timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace certchain::util {
+
+/// UTC seconds since the Unix epoch.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecondsPerMinute = 60;
+inline constexpr SimTime kSecondsPerHour = 3600;
+inline constexpr SimTime kSecondsPerDay = 86400;
+
+/// Converts a civil UTC date/time to SimTime. Months are 1-12, days 1-31.
+/// (days_from_civil algorithm; valid for all dates used by the study.)
+SimTime make_time(int year, int month, int day, int hour = 0, int minute = 0,
+                  int second = 0);
+
+/// Renders "YYYY-MM-DDTHH:MM:SSZ".
+std::string format_iso8601(SimTime t);
+
+/// Renders "YYYY-MM-DD".
+std::string format_date(SimTime t);
+
+/// Breaks a SimTime back into civil fields.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;
+  int day = 1;
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+};
+CivilTime to_civil(SimTime t);
+
+/// A half-open interval [begin, end). Used for certificate validity windows
+/// and the data-collection window.
+struct TimeRange {
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  bool contains(SimTime t) const { return t >= begin && t < end; }
+  bool overlaps(const TimeRange& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  SimTime duration() const { return end - begin; }
+  bool operator==(const TimeRange&) const = default;
+};
+
+/// Paper study timeline constants.
+namespace study {
+/// Passive campus collection: 2020-09-01 .. 2021-08-31 (12 months).
+TimeRange collection_window();
+/// Retrospective active scan epoch: November 2024.
+TimeRange revisit_window();
+}  // namespace study
+
+}  // namespace certchain::util

@@ -1,0 +1,268 @@
+#include "validation/client_validators.hpp"
+
+#include <functional>
+#include <set>
+
+namespace certchain::validation {
+
+std::string_view client_verdict_name(ClientVerdict verdict) {
+  switch (verdict) {
+    case ClientVerdict::kAccepted: return "accepted";
+    case ClientVerdict::kNoTrustAnchor: return "no-trust-anchor";
+    case ClientVerdict::kBrokenOrder: return "broken-order";
+    case ClientVerdict::kExpired: return "expired";
+    case ClientVerdict::kBadSignature: return "bad-signature";
+    case ClientVerdict::kRevoked: return "revoked";
+    case ClientVerdict::kRevocationUnknown: return "revocation-unknown";
+    case ClientVerdict::kEmptyChain: return "empty-chain";
+  }
+  return "unknown";
+}
+
+bool ChromeLikeValidator::link_ok(const x509::Certificate& lower,
+                                  const x509::Certificate& upper, util::SimTime now,
+                                  std::string& detail) const {
+  if (options_.check_validity && !upper.valid_at(now)) {
+    detail = "issuer certificate outside validity window";
+    return false;
+  }
+  // RFC 5280 name constraints: every dNSName below the constrained CA must
+  // fall inside its permitted subtrees and outside its excluded ones.
+  if (upper.name_constraints.present) {
+    for (const std::string& san : lower.subject_alt_names) {
+      if (!upper.name_constraints.allows(san)) {
+        detail = "name \"" + san + "\" violates the issuer's name constraints";
+        return false;
+      }
+    }
+  }
+  if (options_.check_signatures) {
+    const auto status = crypto::verify(upper.public_key, lower.tbs_bytes(),
+                                       lower.signature, /*accept_all=*/true);
+    if (status != crypto::VerifyStatus::kOk) {
+      detail = "signature verification failed against candidate issuer";
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Ranks failure verdicts for reporting: the most informative one wins.
+int failure_rank(ClientVerdict verdict) {
+  switch (verdict) {
+    case ClientVerdict::kExpired: return 3;
+    case ClientVerdict::kBadSignature: return 2;
+    case ClientVerdict::kBrokenOrder: return 1;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+ClientValidationResult ChromeLikeValidator::validate(
+    const chain::CertificateChain& chain, util::SimTime now) const {
+  ClientValidationResult result;
+  if (chain.empty()) return result;
+
+  const x509::Certificate& leaf = chain.first();
+  if (options_.check_validity && !leaf.valid_at(now)) {
+    result.verdict = ClientVerdict::kExpired;
+    result.detail = "leaf certificate outside validity window";
+    return result;
+  }
+
+  // Depth-first path building: the presented list is an unordered candidate
+  // pool, augmented by every database the client maintains.
+  ClientVerdict best_failure = ClientVerdict::kNoTrustAnchor;
+  std::string best_detail = "no path to a trusted root";
+  std::vector<x509::Certificate> path;
+  std::set<std::string> on_path;
+
+  const auto record_failure = [&](ClientVerdict verdict, const std::string& detail) {
+    if (failure_rank(verdict) > failure_rank(best_failure)) {
+      best_failure = verdict;
+      best_detail = detail;
+    }
+  };
+
+  // Recursive lambda via explicit stack-friendly helper.
+  const std::function<bool(const x509::Certificate&)> build =
+      [&](const x509::Certificate& current) -> bool {
+    if (stores_->is_trust_anchor(current)) return true;
+    if (path.size() >= options_.max_depth) return false;
+
+    // Self-issued but untrusted top: no further progress possible on this
+    // branch unless another candidate shares the subject.
+    std::vector<const x509::Certificate*> candidates;
+    for (const x509::Certificate& presented : chain) {
+      if (presented.subject.matches(current.issuer)) candidates.push_back(&presented);
+    }
+    for (const x509::Certificate* store_cert :
+         stores_->find_issuer_candidates(current.issuer)) {
+      candidates.push_back(store_cert);
+    }
+
+    for (const x509::Certificate* candidate : candidates) {
+      const std::string fp = candidate->fingerprint();
+      if (on_path.contains(fp)) continue;  // no loops
+      if (candidate->fingerprint() == current.fingerprint()) continue;
+      std::string detail;
+      if (!link_ok(current, *candidate, now, detail)) {
+        record_failure(detail.find("validity") != std::string::npos
+                           ? ClientVerdict::kExpired
+                           : ClientVerdict::kBadSignature,
+                       detail);
+        continue;
+      }
+      path.push_back(*candidate);
+      on_path.insert(fp);
+      if (build(*candidate)) return true;
+      on_path.erase(fp);
+      path.pop_back();
+    }
+    return false;
+  };
+
+  path.push_back(leaf);
+  on_path.insert(leaf.fingerprint());
+  if (build(leaf)) {
+    // Revocation pass over the built path: each certificate is checked
+    // against its issuer's CRL, verified with the issuer key above it.
+    if (options_.crl_store != nullptr) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto status =
+            options_.crl_store->check(path[i], now, &path[i + 1].public_key);
+        if (status == x509::RevocationStatus::kRevoked) {
+          result.verdict = ClientVerdict::kRevoked;
+          result.detail = "certificate at path position " + std::to_string(i) +
+                          " is revoked";
+          return result;
+        }
+        if (status != x509::RevocationStatus::kGood &&
+            options_.hard_fail_on_unknown) {
+          result.verdict = ClientVerdict::kRevocationUnknown;
+          result.detail = std::string("revocation status unavailable (") +
+                          std::string(x509::revocation_status_name(status)) + ")";
+          return result;
+        }
+      }
+    }
+    result.verdict = ClientVerdict::kAccepted;
+    result.path = path;
+    return result;
+  }
+  result.verdict = best_failure;
+  result.detail = best_detail;
+  return result;
+}
+
+ClientValidationResult OpenSslLikeValidator::validate(
+    const chain::CertificateChain& chain, util::SimTime now) const {
+  ClientValidationResult result;
+  if (chain.empty()) return result;
+
+  // Revocation pass applied to an accepted path (CRL-check flag semantics).
+  const auto finish_accept = [&](std::vector<x509::Certificate> path)
+      -> ClientValidationResult {
+    if (options_.crl_store != nullptr) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto status =
+            options_.crl_store->check(path[i], now, &path[i + 1].public_key);
+        if (status == x509::RevocationStatus::kRevoked) {
+          ClientValidationResult revoked;
+          revoked.verdict = ClientVerdict::kRevoked;
+          revoked.detail = "certificate revoked at path position " +
+                           std::to_string(i);
+          return revoked;
+        }
+        if (status != x509::RevocationStatus::kGood &&
+            options_.hard_fail_on_unknown) {
+          ClientValidationResult unknown;
+          unknown.verdict = ClientVerdict::kRevocationUnknown;
+          unknown.detail = std::string("unable to get certificate CRL (") +
+                           std::string(x509::revocation_status_name(status)) + ")";
+          return unknown;
+        }
+      }
+    }
+    ClientValidationResult accepted;
+    accepted.verdict = ClientVerdict::kAccepted;
+    accepted.path = std::move(path);
+    return accepted;
+  };
+
+  const auto check_cert = [&](const x509::Certificate& cert) -> bool {
+    if (options_.check_validity && !cert.valid_at(now)) {
+      result.verdict = ClientVerdict::kExpired;
+      result.detail = "certificate has expired";
+      return false;
+    }
+    return true;
+  };
+
+  const auto signature_ok = [&](const x509::Certificate& lower,
+                                const x509::Certificate& upper) -> bool {
+    if (!options_.check_signatures) return true;
+    return crypto::verify(upper.public_key, lower.tbs_bytes(), lower.signature,
+                          /*accept_all=*/true) == crypto::VerifyStatus::kOk;
+  };
+
+  std::vector<x509::Certificate> path;
+  std::size_t index = 0;
+  const x509::Certificate* current = &chain.first();
+  if (!check_cert(*current)) return result;
+  path.push_back(*current);
+
+  while (true) {
+    // 1. Try the host store for the current certificate's issuer.
+    for (const x509::Certificate* anchor :
+         host_store_->find_by_subject(current->issuer)) {
+      if (!anchor->valid_at(now) && options_.check_validity) continue;
+      if (!signature_ok(*current, *anchor)) continue;
+      if (anchor->is_self_signed() || options_.partial_chain) {
+        path.push_back(*anchor);
+        return finish_accept(std::move(path));
+      }
+    }
+
+    // Trusted self-signed certificate presented directly?
+    if (current->is_self_signed()) {
+      if (host_store_->contains_fingerprint(current->fingerprint())) {
+        return finish_accept(std::move(path));
+      }
+      result.verdict = ClientVerdict::kNoTrustAnchor;
+      result.detail = index == 0 ? "self-signed certificate"
+                                 : "self-signed certificate in certificate chain";
+      return result;
+    }
+
+    // 2. Advance along the presented order: the next certificate must be the
+    //    issuer of the current one.
+    if (index + 1 >= chain.length() || path.size() >= options_.max_depth) {
+      result.verdict = ClientVerdict::kNoTrustAnchor;
+      result.detail = "unable to get local issuer certificate";
+      return result;
+    }
+    const x509::Certificate& next = chain.at(index + 1);
+    if (!next.subject.matches(current->issuer)) {
+      result.verdict = ClientVerdict::kBrokenOrder;
+      result.detail = "presented chain order broken at position " +
+                      std::to_string(index);
+      return result;
+    }
+    if (!check_cert(next)) return result;
+    if (!signature_ok(*current, next)) {
+      result.verdict = ClientVerdict::kBadSignature;
+      result.detail = "certificate signature failure at position " +
+                      std::to_string(index);
+      return result;
+    }
+    path.push_back(next);
+    current = &next;
+    ++index;
+  }
+}
+
+}  // namespace certchain::validation

@@ -1,0 +1,124 @@
+// Client-style validators: the Chrome-like path builder and the OpenSSL-like
+// presented-order verifier.
+//
+// Section 5 of the paper validates the same chains with Chrome and with
+// `openssl verify` and gets different answers. The algorithmic reason:
+//
+//   - Chrome treats the presented list as an unordered pool of candidate
+//     certificates, builds a path from the leaf using that pool *plus its own
+//     trust store*, and simply ignores presented certificates that don't
+//     help. Unnecessary certificates are harmless.
+//   - Stock OpenSSL walks the presented order: the certificate after the
+//     current one must be its issuer. A foreign certificate spliced into the
+//     order (or a missing anchor in the *host's* store, which may differ
+//     from Chrome's) fails verification.
+//
+// Both validators also check validity windows and (simulated) signatures, so
+// expired leaves and forged links fail in either model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "truststore/trust_store.hpp"
+#include "util/time.hpp"
+#include "x509/crl.hpp"
+
+namespace certchain::validation {
+
+enum class ClientVerdict : std::uint8_t {
+  kAccepted,
+  kNoTrustAnchor,        // no path terminates at a trusted root
+  kBrokenOrder,          // presented-order walk hit a non-issuer (OpenSSL-like)
+  kExpired,              // a certificate on the path is outside its validity
+  kBadSignature,         // a signature on the path failed to verify
+  kRevoked,              // a certificate on the path appears on its issuer's CRL
+  kRevocationUnknown,    // hard-fail policy and no fresh CRL was available
+  kEmptyChain,
+};
+
+std::string_view client_verdict_name(ClientVerdict verdict);
+
+struct ClientValidationResult {
+  ClientVerdict verdict = ClientVerdict::kEmptyChain;
+  /// The certificates of the accepted path, leaf first (path certificates
+  /// may come from the trust store, not only the presented chain).
+  std::vector<x509::Certificate> path;
+  std::string detail;
+
+  bool accepted() const { return verdict == ClientVerdict::kAccepted; }
+};
+
+/// Chrome-like: unordered path building against a maintained trust store.
+class ChromeLikeValidator {
+ public:
+  struct Options {
+    /// Maximum path length to explore (defensive bound; real clients cap
+    /// path depth too).
+    std::size_t max_depth = 8;
+    /// Verify simulated signatures along the path.
+    bool check_signatures = true;
+    /// Enforce validity windows at `now`.
+    bool check_validity = true;
+    /// Revocation checking: consult this CRL cache for every non-root path
+    /// certificate. Null disables the check entirely.
+    const x509::CrlStore* crl_store = nullptr;
+    /// Hard-fail policy: treat "no fresh CRL" as a failure instead of
+    /// soft-failing open (the common browser default is soft-fail).
+    bool hard_fail_on_unknown = false;
+  };
+
+  explicit ChromeLikeValidator(const truststore::TrustStoreSet& stores);
+  ChromeLikeValidator(const truststore::TrustStoreSet& stores, Options options)
+      : stores_(&stores), options_(options) {}
+
+  ClientValidationResult validate(const chain::CertificateChain& chain,
+                                  util::SimTime now) const;
+
+ private:
+  bool link_ok(const x509::Certificate& lower, const x509::Certificate& upper,
+               util::SimTime now, std::string& detail) const;
+
+  const truststore::TrustStoreSet* stores_;
+  Options options_;
+};
+
+/// OpenSSL-like: strict presented-order verification against the *host's*
+/// root store (often different from a browser's maintained store).
+class OpenSslLikeValidator {
+ public:
+  struct Options {
+    /// X509_V_FLAG_PARTIAL_CHAIN equivalent: accept when the walk reaches
+    /// any certificate present in the host store, not only a self-signed
+    /// root.
+    bool partial_chain = false;
+    std::size_t max_depth = 100;  // OpenSSL's historical default is large
+    bool check_signatures = true;
+    bool check_validity = true;
+    /// Revocation checking (X509_V_FLAG_CRL_CHECK-style); null disables.
+    const x509::CrlStore* crl_store = nullptr;
+    bool hard_fail_on_unknown = false;
+  };
+
+  explicit OpenSslLikeValidator(const truststore::TrustStore& host_store);
+  OpenSslLikeValidator(const truststore::TrustStore& host_store, Options options)
+      : host_store_(&host_store), options_(options) {}
+
+  ClientValidationResult validate(const chain::CertificateChain& chain,
+                                  util::SimTime now) const;
+
+ private:
+  const truststore::TrustStore* host_store_;
+  Options options_;
+};
+
+inline ChromeLikeValidator::ChromeLikeValidator(const truststore::TrustStoreSet& stores)
+    : ChromeLikeValidator(stores, Options{}) {}
+
+inline OpenSslLikeValidator::OpenSslLikeValidator(const truststore::TrustStore& host_store)
+    : OpenSslLikeValidator(host_store, Options{}) {}
+
+}  // namespace certchain::validation

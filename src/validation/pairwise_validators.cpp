@@ -1,0 +1,90 @@
+#include "validation/pairwise_validators.hpp"
+
+#include "chain/matcher.hpp"
+
+namespace certchain::validation {
+
+std::string_view chain_verdict_name(ChainVerdict verdict) {
+  switch (verdict) {
+    case ChainVerdict::kSingleCertificate: return "single-certificate";
+    case ChainVerdict::kValid: return "valid";
+    case ChainVerdict::kBroken: return "broken";
+    case ChainVerdict::kUnrecognizedKey: return "unrecognized-key";
+  }
+  return "unknown";
+}
+
+ChainValidationOutcome IssuerSubjectValidator::validate(
+    const chain::CertificateChain& chain) const {
+  ChainValidationOutcome outcome;
+  if (chain.length() <= 1) {
+    outcome.verdict = ChainVerdict::kSingleCertificate;
+    return outcome;
+  }
+  const chain::MatchResult match = chain::match_chain(chain, registry_);
+  outcome.failure_positions = match.mismatch_indices();
+  if (outcome.failure_positions.empty()) {
+    outcome.verdict = ChainVerdict::kValid;
+  } else {
+    outcome.verdict = ChainVerdict::kBroken;
+    outcome.detail = "issuer-subject mismatch at position " +
+                     std::to_string(outcome.failure_positions.front());
+  }
+  return outcome;
+}
+
+ChainValidationOutcome KeySignatureValidator::validate(
+    const chain::CertificateChain& chain) const {
+  ChainValidationOutcome outcome;
+  if (chain.length() <= 1) {
+    outcome.verdict = ChainVerdict::kSingleCertificate;
+    return outcome;
+  }
+
+  bool unrecognized_key = false;
+  for (std::size_t i = 0; i + 1 < chain.length(); ++i) {
+    const x509::Certificate& lower = chain.at(i);
+    const x509::Certificate& upper = chain.at(i + 1);
+
+    // Strict parsers reject damaged encodings before any key math happens —
+    // the whole pair check fails (the Appendix D ASN.1-error chain).
+    if (lower.malformed_encoding || upper.malformed_encoding) {
+      outcome.failure_positions.push_back(i);
+      outcome.detail = "ASN.1 parse error at position " +
+                       std::to_string(lower.malformed_encoding ? i : i + 1);
+      continue;
+    }
+
+    const crypto::VerifyStatus status = crypto::verify(
+        upper.public_key, lower.tbs_bytes(), lower.signature,
+        options_.accept_all_algorithms);
+    switch (status) {
+      case crypto::VerifyStatus::kOk:
+        break;
+      case crypto::VerifyStatus::kUnrecognizedKey:
+        unrecognized_key = true;
+        break;
+      case crypto::VerifyStatus::kMalformedKey:
+      case crypto::VerifyStatus::kBadSignature:
+        outcome.failure_positions.push_back(i);
+        if (outcome.detail.empty()) {
+          outcome.detail = std::string("signature verification failed at position ") +
+                           std::to_string(i) + " (" +
+                           std::string(crypto::verify_status_name(status)) + ")";
+        }
+        break;
+    }
+  }
+
+  if (!outcome.failure_positions.empty()) {
+    outcome.verdict = ChainVerdict::kBroken;
+  } else if (unrecognized_key) {
+    outcome.verdict = ChainVerdict::kUnrecognizedKey;
+    outcome.detail = "chain involves a public key not recognized by the verifier";
+  } else {
+    outcome.verdict = ChainVerdict::kValid;
+  }
+  return outcome;
+}
+
+}  // namespace certchain::validation

@@ -1,0 +1,52 @@
+// The two pairwise chain-validation methods compared in Appendix D.
+//
+// IssuerSubjectValidator is the study's methodology: traverse the chain leaf
+// upward checking DN(issuer_i) == DN(subject_{i+1}); it needs only log data.
+// KeySignatureValidator is the ground-truth method run on rescanned PEM
+// chains: verify signature_i with public_key_{i+1}. The two disagree exactly
+// on (a) malformed certificates the strict parser rejects and (b) public key
+// algorithms the verifier does not recognize — the corner rows of Table 5.
+#pragma once
+
+#include "chain/chain.hpp"
+#include "chain/cross_sign_registry.hpp"
+#include "validation/verdict.hpp"
+
+namespace certchain::validation {
+
+/// DN-comparison validation (App. D.1).
+class IssuerSubjectValidator {
+ public:
+  /// `registry` suppresses known cross-signing mismatches; may be null.
+  explicit IssuerSubjectValidator(const chain::CrossSignRegistry* registry = nullptr)
+      : registry_(registry) {}
+
+  ChainValidationOutcome validate(const chain::CertificateChain& chain) const;
+
+ private:
+  const chain::CrossSignRegistry* registry_;
+};
+
+/// Key–signature validation (App. D.2) modeled on the Python `cryptography`
+/// toolchain: strict parsing (malformed encodings abort the pair check) and
+/// a fixed set of recognized key algorithms.
+class KeySignatureValidator {
+ public:
+  struct Options {
+    /// Accept every key algorithm (models a tolerant verifier); the paper's
+    /// toolchain did not, producing the 3 "unrecognized key" chains.
+    bool accept_all_algorithms = false;
+  };
+
+  KeySignatureValidator();
+  explicit KeySignatureValidator(Options options) : options_(options) {}
+
+  ChainValidationOutcome validate(const chain::CertificateChain& chain) const;
+
+ private:
+  Options options_;
+};
+
+inline KeySignatureValidator::KeySignatureValidator() : options_(Options{}) {}
+
+}  // namespace certchain::validation

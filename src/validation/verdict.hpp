@@ -1,0 +1,36 @@
+// Shared validation verdict types.
+//
+// Table 5 compares two chain-validation methodologies over the same corpus;
+// both report through ChainValidationOutcome so the comparison harness can
+// line the columns up exactly as the paper does (single-certificate chains /
+// valid chains / broken chains / chains with unrecognized keys).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace certchain::validation {
+
+enum class ChainVerdict : std::uint8_t {
+  kSingleCertificate,  // length-1 chain: neither method applies
+  kValid,              // every adjacent check succeeded
+  kBroken,             // at least one adjacent check failed
+  kUnrecognizedKey,    // a public key the validator cannot process (key-sig only)
+};
+
+std::string_view chain_verdict_name(ChainVerdict verdict);
+
+struct ChainValidationOutcome {
+  ChainVerdict verdict = ChainVerdict::kValid;
+  /// Positions (index of the lower certificate of the failing pair) of each
+  /// failed adjacent check; empty unless verdict == kBroken.
+  std::vector<std::size_t> failure_positions;
+  /// Human-readable note for logging ("ASN.1 parse error at position 2").
+  std::string detail;
+
+  bool valid() const { return verdict == ChainVerdict::kValid; }
+};
+
+}  // namespace certchain::validation

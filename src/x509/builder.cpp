@@ -1,0 +1,199 @@
+#include "x509/builder.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace certchain::x509 {
+
+CertificateBuilder::CertificateBuilder() {
+  cert_.version = 3;
+  cert_.serial = "01";
+}
+
+CertificateBuilder& CertificateBuilder::serial(std::string value) {
+  cert_.serial = std::move(value);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject(DistinguishedName name) {
+  cert_.subject = std::move(name);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::issuer(DistinguishedName name) {
+  cert_.issuer = std::move(name);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::validity(util::TimeRange range) {
+  cert_.validity = range;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::public_key(crypto::SimPublicKey key) {
+  cert_.public_key = std::move(key);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ca(bool is_ca, std::optional<int> path_len) {
+  cert_.basic_constraints.present = true;
+  cert_.basic_constraints.is_ca = is_ca;
+  cert_.basic_constraints.path_len_constraint = path_len;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::no_basic_constraints() {
+  cert_.basic_constraints = BasicConstraints{};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::name_constraints(NameConstraints constraints) {
+  cert_.name_constraints = std::move(constraints);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::key_usage(KeyUsage usage) {
+  cert_.key_usage = usage;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_san(std::string dns_name) {
+  cert_.subject_alt_names.push_back(std::move(dns_name));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_sct(EmbeddedSct sct) {
+  cert_.scts.push_back(std::move(sct));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::malformed_encoding(bool malformed) {
+  cert_.malformed_encoding = malformed;
+  return *this;
+}
+
+Certificate CertificateBuilder::sign_with(const crypto::SimPrivateKey& signer) const {
+  Certificate cert = cert_;
+  cert.signature = crypto::sign(signer, cert.tbs_bytes());
+  return cert;
+}
+
+Certificate CertificateBuilder::self_sign(const crypto::SimPrivateKey& key) {
+  cert_.issuer = cert_.subject;
+  cert_.public_key = key.public_key;
+  return sign_with(key);
+}
+
+CertificateAuthority::CertificateAuthority(DistinguishedName name,
+                                           std::string_view key_seed,
+                                           crypto::KeyAlgorithm algorithm)
+    : name_(std::move(name)) {
+  std::string seed = name_.canonical();
+  seed.push_back('/');
+  seed.append(key_seed);
+  keypair_ = crypto::generate_keypair(algorithm, seed);
+  serial_space_ = util::fnv1a64(seed) & 0xFFFFFF000000ULL;
+}
+
+std::string CertificateAuthority::next_serial() {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%012llx",
+                static_cast<unsigned long long>(serial_space_ | serial_counter_++));
+  return buffer;
+}
+
+Certificate CertificateAuthority::make_root(util::TimeRange validity) const {
+  KeyUsage usage;
+  usage.present = true;
+  usage.key_cert_sign = true;
+  usage.crl_sign = true;
+  // Root serials are fixed per CA (roots are long-lived singletons).
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "00%010llx",
+                static_cast<unsigned long long>(serial_space_ >> 24));
+  return CertificateBuilder()
+      .serial(buffer)
+      .subject(name_)
+      .validity(validity)
+      .ca(true)
+      .key_usage(usage)
+      .self_sign(keypair_.private_key);
+}
+
+Certificate CertificateAuthority::issue_intermediate(
+    const CertificateAuthority& subject_ca, util::TimeRange validity,
+    std::optional<int> path_len) {
+  KeyUsage usage;
+  usage.present = true;
+  usage.key_cert_sign = true;
+  usage.crl_sign = true;
+  return CertificateBuilder()
+      .serial(next_serial())
+      .subject(subject_ca.name())
+      .issuer(name_)
+      .validity(validity)
+      .public_key(subject_ca.public_key())
+      .ca(true, path_len)
+      .key_usage(usage)
+      .sign_with(keypair_.private_key);
+}
+
+Certificate CertificateAuthority::issue_leaf(const DistinguishedName& subject,
+                                             std::string domain,
+                                             util::TimeRange validity,
+                                             const std::vector<EmbeddedSct>& scts) {
+  KeyUsage usage;
+  usage.present = true;
+  usage.digital_signature = true;
+  std::string leaf_seed = "leaf/" + subject.canonical() + "/" + domain;
+  const auto leaf_keys =
+      crypto::generate_keypair(crypto::KeyAlgorithm::kEcdsaP256, leaf_seed);
+  CertificateBuilder builder;
+  builder.serial(next_serial())
+      .subject(subject)
+      .issuer(name_)
+      .validity(validity)
+      .public_key(leaf_keys.public_key)
+      .ca(false)
+      .key_usage(usage)
+      .add_san(std::move(domain));
+  for (const EmbeddedSct& sct : scts) builder.add_sct(sct);
+  return builder.sign_with(keypair_.private_key);
+}
+
+Certificate CertificateAuthority::issue_leaf_no_bc(const DistinguishedName& subject,
+                                                   std::string domain,
+                                                   util::TimeRange validity) {
+  std::string leaf_seed = "leafnobc/" + subject.canonical() + "/" + domain;
+  const auto leaf_keys =
+      crypto::generate_keypair(crypto::KeyAlgorithm::kRsa2048, leaf_seed);
+  return CertificateBuilder()
+      .serial(next_serial())
+      .subject(subject)
+      .issuer(name_)
+      .validity(validity)
+      .public_key(leaf_keys.public_key)
+      .no_basic_constraints()
+      .add_san(std::move(domain))
+      .sign_with(keypair_.private_key);
+}
+
+Certificate CertificateAuthority::cross_sign(const CertificateAuthority& subject_ca,
+                                             util::TimeRange validity) {
+  KeyUsage usage;
+  usage.present = true;
+  usage.key_cert_sign = true;
+  return CertificateBuilder()
+      .serial(next_serial())
+      .subject(subject_ca.name())
+      .issuer(name_)
+      .validity(validity)
+      .public_key(subject_ca.public_key())
+      .ca(true)
+      .key_usage(usage)
+      .sign_with(keypair_.private_key);
+}
+
+}  // namespace certchain::x509

@@ -1,0 +1,98 @@
+// Certificate construction.
+//
+// CertificateBuilder is the one place certificates are assembled; it keeps
+// field defaults (version 3, one-year validity) and signing in one spot.
+// CertificateAuthority wraps a DN + keypair + serial counter and issues
+// leaf/intermediate/root certificates the way the simulated CAs in netsim
+// and datagen need them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sim_crypto.hpp"
+#include "x509/certificate.hpp"
+
+namespace certchain::x509 {
+
+/// Fluent certificate builder. All setters return *this.
+class CertificateBuilder {
+ public:
+  CertificateBuilder();
+
+  CertificateBuilder& serial(std::string value);
+  CertificateBuilder& subject(DistinguishedName name);
+  CertificateBuilder& issuer(DistinguishedName name);
+  CertificateBuilder& validity(util::TimeRange range);
+  CertificateBuilder& public_key(crypto::SimPublicKey key);
+  CertificateBuilder& ca(bool is_ca, std::optional<int> path_len = std::nullopt);
+  /// Omits basicConstraints entirely (the common non-public-DB issuer case).
+  CertificateBuilder& no_basic_constraints();
+  CertificateBuilder& key_usage(KeyUsage usage);
+  /// Adds a nameConstraints extension (technically constrained sub-CAs).
+  CertificateBuilder& name_constraints(NameConstraints constraints);
+  CertificateBuilder& add_san(std::string dns_name);
+  CertificateBuilder& add_sct(EmbeddedSct sct);
+  CertificateBuilder& malformed_encoding(bool malformed);
+
+  /// Signs with `signer` (sets issuer to `issuer_name` if provided, else the
+  /// already-set issuer) and returns the finished certificate.
+  Certificate sign_with(const crypto::SimPrivateKey& signer) const;
+
+  /// Self-signs: issuer := subject, signed by `key` which must match the
+  /// builder's public key.
+  Certificate self_sign(const crypto::SimPrivateKey& key);
+
+ private:
+  Certificate cert_;
+};
+
+/// A simulated certificate authority: identity + keypair + serial counter.
+class CertificateAuthority {
+ public:
+  /// Creates a CA with a deterministic keypair derived from the DN + seed.
+  CertificateAuthority(DistinguishedName name, std::string_view key_seed,
+                       crypto::KeyAlgorithm algorithm = crypto::KeyAlgorithm::kRsa2048);
+
+  const DistinguishedName& name() const { return name_; }
+  const crypto::SimPublicKey& public_key() const { return keypair_.public_key; }
+  const crypto::SimPrivateKey& private_key() const { return keypair_.private_key; }
+
+  /// Self-signed root certificate for this CA.
+  Certificate make_root(util::TimeRange validity) const;
+
+  /// Issues an intermediate CA certificate to `subject_ca`.
+  Certificate issue_intermediate(const CertificateAuthority& subject_ca,
+                                 util::TimeRange validity,
+                                 std::optional<int> path_len = std::nullopt);
+
+  /// Issues a leaf certificate for `domain` (CN + SAN).
+  Certificate issue_leaf(const DistinguishedName& subject, std::string domain,
+                         util::TimeRange validity,
+                         const std::vector<EmbeddedSct>& scts = {});
+
+  /// Issues a leaf with explicit basicConstraints omission, as most
+  /// non-public-DB issuers do (§4.3).
+  Certificate issue_leaf_no_bc(const DistinguishedName& subject, std::string domain,
+                               util::TimeRange validity);
+
+  /// Cross-signs another CA: produces a certificate whose subject is
+  /// `subject_ca`'s name and whose key is `subject_ca`'s key, issued and
+  /// signed by this CA. The resulting cert plus the subject CA's original
+  /// root give the classic cross-signing pair.
+  Certificate cross_sign(const CertificateAuthority& subject_ca,
+                         util::TimeRange validity);
+
+  /// Next unique serial (hex).
+  std::string next_serial();
+
+ private:
+  DistinguishedName name_;
+  crypto::SimKeyPair keypair_;
+  std::uint64_t serial_counter_ = 1;
+  std::uint64_t serial_space_;  // per-CA offset so serials differ across CAs
+};
+
+}  // namespace certchain::x509

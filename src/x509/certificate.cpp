@@ -1,0 +1,125 @@
+#include "x509/certificate.hpp"
+
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace certchain::x509 {
+
+bool dns_in_subtree(std::string_view dns_name, std::string_view base) {
+  const std::string name = util::to_lower(dns_name);
+  const std::string suffix = util::to_lower(base);
+  if (name == suffix) return true;
+  return name.size() > suffix.size() && util::ends_with(name, suffix) &&
+         name[name.size() - suffix.size() - 1] == '.';
+}
+
+bool NameConstraints::allows(std::string_view dns_name) const {
+  if (!present) return true;
+  for (const std::string& base : excluded_dns) {
+    if (dns_in_subtree(dns_name, base)) return false;
+  }
+  if (permitted_dns.empty()) return true;
+  for (const std::string& base : permitted_dns) {
+    if (dns_in_subtree(dns_name, base)) return true;
+  }
+  return false;
+}
+
+std::string Certificate::tbs_bytes() const {
+  // A canonical, field-tagged serialization; unambiguous because every field
+  // is length-independent and separated by record markers.
+  std::string out;
+  out.reserve(512);
+  out.append("v=").append(std::to_string(version)).push_back('\x1e');
+  out.append("serial=").append(serial).push_back('\x1e');
+  out.append("issuer=").append(issuer.to_string()).push_back('\x1e');
+  out.append("subject=").append(subject.to_string()).push_back('\x1e');
+  out.append("nb=").append(std::to_string(validity.begin)).push_back('\x1e');
+  out.append("na=").append(std::to_string(validity.end)).push_back('\x1e');
+  out.append("keyalg=")
+      .append(crypto::key_algorithm_name(public_key.algorithm))
+      .push_back('\x1e');
+  out.append("key=").append(public_key.material).push_back('\x1e');
+  out.append("bc=");
+  if (basic_constraints.present) {
+    out.append(basic_constraints.is_ca ? "CA:TRUE" : "CA:FALSE");
+    if (basic_constraints.path_len_constraint) {
+      out.append(",pathlen:")
+          .append(std::to_string(*basic_constraints.path_len_constraint));
+    }
+  } else {
+    out.append("absent");
+  }
+  out.push_back('\x1e');
+  out.append("nc=");
+  if (name_constraints.present) {
+    out.push_back('p');
+    for (const std::string& base : name_constraints.permitted_dns) {
+      out.append(base).push_back(';');
+    }
+    out.push_back('x');
+    for (const std::string& base : name_constraints.excluded_dns) {
+      out.append(base).push_back(';');
+    }
+  }
+  out.push_back('\x1e');
+  out.append("ku=");
+  if (key_usage.present) {
+    if (key_usage.digital_signature) out.append("ds,");
+    if (key_usage.key_cert_sign) out.append("kcs,");
+    if (key_usage.crl_sign) out.append("crl,");
+  }
+  out.push_back('\x1e');
+  out.append("san=");
+  for (const std::string& name : subject_alt_names) {
+    out.append(name).push_back(';');
+  }
+  out.push_back('\x1e');
+  // Note: the SCT list is deliberately NOT part of the to-be-signed bytes.
+  // This mirrors RFC 6962 precertificate semantics: the CA signs the
+  // certificate before logs return their SCTs, so embedding SCTs afterwards
+  // must not invalidate the signature.
+  return out;
+}
+
+std::string Certificate::fingerprint() const {
+  std::string bytes = tbs_bytes();
+  // The fingerprint is the identity of the certificate *as delivered*, so it
+  // does cover the embedded SCT list (unlike the signature).
+  bytes.append("scts=");
+  for (const EmbeddedSct& sct : scts) {
+    bytes.append(sct.log_id).push_back('@');
+    bytes.append(std::to_string(sct.timestamp)).push_back(';');
+  }
+  bytes.push_back('\x1e');
+  bytes.append("sigalg=")
+      .append(crypto::signature_algorithm_name(signature.algorithm))
+      .push_back('\x1e');
+  bytes.append("sig=").append(signature.value).push_back('\x1e');
+  return util::digest256_hex(bytes);
+}
+
+bool wildcard_matches(std::string_view pattern, std::string_view domain) {
+  const std::string p = util::to_lower(pattern);
+  const std::string d = util::to_lower(domain);
+  if (!util::starts_with(p, "*.")) return p == d;
+  // "*.example.com" matches exactly one extra left label.
+  const std::string_view suffix = std::string_view(p).substr(1);  // ".example.com"
+  if (!util::ends_with(d, suffix)) return false;
+  const std::string_view label = std::string_view(d).substr(0, d.size() - suffix.size());
+  return !label.empty() && label.find('.') == std::string_view::npos;
+}
+
+bool Certificate::covers_domain(std::string_view domain) const {
+  for (const std::string& san : subject_alt_names) {
+    if (wildcard_matches(san, domain)) return true;
+  }
+  // Fallback to CN when no SAN is present (legacy behaviour common among
+  // non-public-DB issuers).
+  if (subject_alt_names.empty()) {
+    if (const auto cn = subject.common_name()) return wildcard_matches(*cn, domain);
+  }
+  return false;
+}
+
+}  // namespace certchain::x509

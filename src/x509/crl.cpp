@@ -1,0 +1,94 @@
+#include "x509/crl.hpp"
+
+namespace certchain::x509 {
+
+std::string_view revocation_reason_name(RevocationReason reason) {
+  switch (reason) {
+    case RevocationReason::kUnspecified: return "unspecified";
+    case RevocationReason::kKeyCompromise: return "keyCompromise";
+    case RevocationReason::kCaCompromise: return "cACompromise";
+    case RevocationReason::kSuperseded: return "superseded";
+    case RevocationReason::kCessationOfOperation: return "cessationOfOperation";
+  }
+  return "unknown";
+}
+
+std::string_view revocation_status_name(RevocationStatus status) {
+  switch (status) {
+    case RevocationStatus::kGood: return "good";
+    case RevocationStatus::kRevoked: return "revoked";
+    case RevocationStatus::kUnknown: return "unknown";
+    case RevocationStatus::kStale: return "stale";
+    case RevocationStatus::kBadSignature: return "bad-signature";
+  }
+  return "unknown";
+}
+
+std::string Crl::tbs_bytes() const {
+  std::string out;
+  out.append("crl-issuer=").append(issuer.to_string()).push_back('\x1e');
+  out.append("this=").append(std::to_string(this_update)).push_back('\x1e');
+  out.append("next=").append(std::to_string(next_update)).push_back('\x1e');
+  for (const RevokedEntry& entry : entries) {
+    out.append(entry.serial).push_back('@');
+    out.append(std::to_string(entry.revoked_at)).push_back('/');
+    out.append(revocation_reason_name(entry.reason)).push_back(';');
+  }
+  return out;
+}
+
+const RevokedEntry* Crl::find(std::string_view serial) const {
+  for (const RevokedEntry& entry : entries) {
+    if (entry.serial == serial) return &entry;
+  }
+  return nullptr;
+}
+
+CrlBuilder& CrlBuilder::revoke(std::string serial, util::SimTime when,
+                               RevocationReason reason) {
+  entries_.push_back(RevokedEntry{std::move(serial), when, reason});
+  return *this;
+}
+
+CrlBuilder& CrlBuilder::updates(util::SimTime this_update, util::SimTime next_update) {
+  this_update_ = this_update;
+  next_update_ = next_update;
+  return *this;
+}
+
+Crl CrlBuilder::sign_with(const crypto::SimPrivateKey& key) const {
+  Crl crl;
+  crl.issuer = issuer_;
+  crl.this_update = this_update_;
+  crl.next_update = next_update_;
+  crl.entries = entries_;
+  crl.signature = crypto::sign(key, crl.tbs_bytes());
+  return crl;
+}
+
+void CrlStore::add(Crl crl) {
+  const std::string key = crl.issuer.canonical();
+  by_issuer_.insert_or_assign(key, std::move(crl));
+}
+
+const Crl* CrlStore::find_for_issuer(const DistinguishedName& issuer) const {
+  const auto it = by_issuer_.find(issuer.canonical());
+  return it == by_issuer_.end() ? nullptr : &it->second;
+}
+
+RevocationStatus CrlStore::check(const Certificate& cert, util::SimTime now,
+                                 const crypto::SimPublicKey* issuer_key) const {
+  const Crl* crl = find_for_issuer(cert.issuer);
+  if (crl == nullptr) return RevocationStatus::kUnknown;
+  if (issuer_key != nullptr) {
+    const auto status =
+        crypto::verify(*issuer_key, crl->tbs_bytes(), crl->signature,
+                       /*accept_all=*/true);
+    if (status != crypto::VerifyStatus::kOk) return RevocationStatus::kBadSignature;
+  }
+  if (crl->stale_at(now)) return RevocationStatus::kStale;
+  return crl->find(cert.serial) != nullptr ? RevocationStatus::kRevoked
+                                           : RevocationStatus::kGood;
+}
+
+}  // namespace certchain::x509

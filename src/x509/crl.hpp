@@ -1,0 +1,113 @@
+// Certificate revocation lists.
+//
+// Chain validation "involves checking issuer-subject name matches, verifying
+// digital signatures ... and ensuring revocation status and validity
+// periods" (paper §2). This module supplies the revocation leg: a CRL is a
+// signed, dated list of revoked serials published by an issuing CA, and a
+// CrlStore lets validators resolve "is this certificate revoked?" the way
+// RFC 5280 §6.3 does — including the operational failure modes (no CRL
+// available, stale CRL) that real deployments must decide on via hard-fail /
+// soft-fail policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sim_crypto.hpp"
+#include "util/time.hpp"
+#include "x509/certificate.hpp"
+
+namespace certchain::x509 {
+
+/// RFC 5280 revocation reasons (the subset worth modeling).
+enum class RevocationReason : std::uint8_t {
+  kUnspecified,
+  kKeyCompromise,
+  kCaCompromise,
+  kSuperseded,
+  kCessationOfOperation,
+};
+
+std::string_view revocation_reason_name(RevocationReason reason);
+
+struct RevokedEntry {
+  std::string serial;
+  util::SimTime revoked_at = 0;
+  RevocationReason reason = RevocationReason::kUnspecified;
+
+  bool operator==(const RevokedEntry&) const = default;
+};
+
+/// One CRL as published by an issuer.
+struct Crl {
+  DistinguishedName issuer;
+  util::SimTime this_update = 0;
+  util::SimTime next_update = 0;  // staleness horizon
+  std::vector<RevokedEntry> entries;
+  crypto::SimSignature signature;
+
+  /// Canonical signed bytes (issuer + dates + entries).
+  std::string tbs_bytes() const;
+
+  /// Entry lookup by serial.
+  const RevokedEntry* find(std::string_view serial) const;
+
+  bool stale_at(util::SimTime now) const { return now >= next_update; }
+};
+
+/// Builds and signs CRLs for one CA.
+class CrlBuilder {
+ public:
+  explicit CrlBuilder(DistinguishedName issuer) : issuer_(std::move(issuer)) {}
+
+  CrlBuilder& revoke(std::string serial, util::SimTime when,
+                     RevocationReason reason = RevocationReason::kUnspecified);
+  CrlBuilder& updates(util::SimTime this_update, util::SimTime next_update);
+
+  /// Signs with the issuing CA's key.
+  Crl sign_with(const crypto::SimPrivateKey& key) const;
+
+ private:
+  DistinguishedName issuer_;
+  util::SimTime this_update_ = 0;
+  util::SimTime next_update_ = 0;
+  std::vector<RevokedEntry> entries_;
+};
+
+/// Revocation status a checker can report (RFC 5280 §6.3 outcomes).
+enum class RevocationStatus : std::uint8_t {
+  kGood,
+  kRevoked,
+  kUnknown,      // no CRL for the issuer
+  kStale,        // CRL exists but nextUpdate has passed
+  kBadSignature, // CRL signature does not verify against the issuer key
+};
+
+std::string_view revocation_status_name(RevocationStatus status);
+
+/// A client-side CRL cache keyed by issuer.
+class CrlStore {
+ public:
+  /// Adds/replaces the CRL for its issuer.
+  void add(Crl crl);
+
+  std::size_t size() const { return by_issuer_.size(); }
+
+  const Crl* find_for_issuer(const DistinguishedName& issuer) const;
+
+  /// Checks `cert` at time `now`. `issuer_key`, when provided, is used to
+  /// verify the CRL's signature first (a checker that skips this accepts
+  /// forged CRLs).
+  RevocationStatus check(const Certificate& cert, util::SimTime now,
+                         const crypto::SimPublicKey* issuer_key = nullptr) const;
+
+ private:
+  std::map<std::string, Crl> by_issuer_;  // canonical issuer DN
+};
+
+}  // namespace certchain::x509

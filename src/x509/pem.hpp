@@ -1,0 +1,40 @@
+// Certificate serialization.
+//
+// A Certificate serializes to a line-oriented text record (our stand-in for
+// DER) and wraps in PEM armor ("-----BEGIN CERTIFICATE-----" + base64). The
+// scanner's -showcerts output and the revisit corpus use this format, and
+// round-tripping is exact: decode(encode(cert)) == cert, including the
+// malformed_encoding flag (which a strict decoder reports as an error, the
+// way a real ASN.1 parser would).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace certchain::x509 {
+
+/// Serializes to the inner (pre-base64) record format.
+std::string encode_der_sim(const Certificate& cert);
+
+/// Parses the inner record format. Returns nullopt on any structural damage.
+/// Note: a certificate with malformed_encoding=true *decodes* fine here
+/// (the damage is modeled as a flag); strict parsers reject it separately.
+std::optional<Certificate> decode_der_sim(std::string_view data);
+
+/// PEM armor: base64 of encode_der_sim wrapped at 64 columns.
+std::string encode_pem(const Certificate& cert);
+
+/// Decodes one PEM block. Returns nullopt on bad armor/base64/record.
+std::optional<Certificate> decode_pem(std::string_view pem);
+
+/// Decodes every CERTIFICATE block in a concatenated PEM bundle, in order
+/// (the `openssl s_client -showcerts` shape). Blocks that fail to decode are
+/// skipped; `malformed_count`, when provided, receives how many were skipped.
+std::vector<Certificate> decode_pem_bundle(std::string_view bundle,
+                                           std::size_t* malformed_count = nullptr);
+
+}  // namespace certchain::x509

@@ -1,0 +1,40 @@
+#include "zeek/dpd.hpp"
+
+namespace certchain::zeek {
+
+std::string make_client_hello(int minor_version, std::string_view sni) {
+  std::string out;
+  out.push_back(kTlsHandshakeContentType);
+  out.push_back(kTlsMajorVersion);
+  out.push_back(static_cast<char>(minor_version));
+  out.push_back(kClientHelloType);
+  // SNI extension: length-prefixed host name (synthetic framing).
+  out.push_back(static_cast<char>(sni.size() >> 8));
+  out.push_back(static_cast<char>(sni.size() & 0xFF));
+  out.append(sni);
+  return out;
+}
+
+std::string make_plaintext_preamble(std::string_view protocol_banner) {
+  return std::string(protocol_banner);
+}
+
+bool looks_like_tls(std::string_view first_flight) {
+  if (first_flight.size() < 4) return false;
+  if (first_flight[0] != kTlsHandshakeContentType) return false;
+  if (first_flight[1] != kTlsMajorVersion) return false;
+  const auto minor = static_cast<unsigned char>(first_flight[2]);
+  if (minor < 1 || minor > 4) return false;
+  return first_flight[3] == kClientHelloType;
+}
+
+std::string extract_sni(std::string_view first_flight) {
+  if (!looks_like_tls(first_flight) || first_flight.size() < 6) return {};
+  const std::size_t length =
+      (static_cast<unsigned char>(first_flight[4]) << 8) |
+      static_cast<unsigned char>(first_flight[5]);
+  if (first_flight.size() < 6 + length) return {};
+  return std::string(first_flight.substr(6, length));
+}
+
+}  // namespace certchain::zeek

@@ -1,0 +1,36 @@
+// Dynamic protocol detection (DPD) stub.
+//
+// Zeek identifies TLS traffic on any port by content, not port number [8 in
+// the paper]; this is why Table 4 shows chains on ports like 8013 and 33854.
+// The simulator renders a tiny synthetic "first flight" for each connection
+// and this detector classifies it the way Zeek's TLS analyzer would: a TLS
+// record-layer header (content type 22 = handshake, version 3.x) followed by
+// a ClientHello byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace certchain::zeek {
+
+/// Wire-format constants for the synthetic first flight.
+inline constexpr char kTlsHandshakeContentType = 0x16;
+inline constexpr char kTlsMajorVersion = 0x03;
+inline constexpr char kClientHelloType = 0x01;
+
+/// Renders a synthetic TLS first flight: record header + ClientHello marker +
+/// optional SNI payload. `minor_version` is 1..4 (TLS 1.0 .. 1.3).
+std::string make_client_hello(int minor_version, std::string_view sni);
+
+/// Renders a synthetic non-TLS first flight (e.g. plain HTTP / SSH banner).
+std::string make_plaintext_preamble(std::string_view protocol_banner);
+
+/// Zeek-style content-based detection: true iff the bytes start with a
+/// plausible TLS handshake record regardless of the port it ran on.
+bool looks_like_tls(std::string_view first_flight);
+
+/// Extracts the SNI from a synthetic ClientHello; empty when absent.
+std::string extract_sni(std::string_view first_flight);
+
+}  // namespace certchain::zeek

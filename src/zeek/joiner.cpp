@@ -1,0 +1,114 @@
+#include "zeek/joiner.hpp"
+
+#include "util/strings.hpp"
+
+namespace certchain::zeek {
+
+namespace {
+
+x509::DistinguishedName parse_dn_lenient(const std::string& text) {
+  if (auto parsed = x509::DistinguishedName::parse(text)) return *std::move(parsed);
+  x509::DistinguishedName fallback;
+  fallback.add("CN", text);  // keep the raw string visible to the analysis
+  return fallback;
+}
+
+crypto::KeyAlgorithm parse_key_alg(const std::string& name) {
+  for (const auto alg :
+       {crypto::KeyAlgorithm::kRsa2048, crypto::KeyAlgorithm::kRsa4096,
+        crypto::KeyAlgorithm::kEcdsaP256, crypto::KeyAlgorithm::kEd25519,
+        crypto::KeyAlgorithm::kGostR3410}) {
+    if (crypto::key_algorithm_name(alg) == name) return alg;
+  }
+  return crypto::KeyAlgorithm::kRsa2048;
+}
+
+crypto::SignatureAlgorithm parse_sig_alg(const std::string& name) {
+  for (const auto alg :
+       {crypto::SignatureAlgorithm::kSimSha256WithRsa,
+        crypto::SignatureAlgorithm::kSimSha1WithRsa,
+        crypto::SignatureAlgorithm::kSimEcdsaSha256,
+        crypto::SignatureAlgorithm::kSimEd25519,
+        crypto::SignatureAlgorithm::kSimGost}) {
+    if (crypto::signature_algorithm_name(alg) == name) return alg;
+  }
+  return crypto::SignatureAlgorithm::kSimSha256WithRsa;
+}
+
+}  // namespace
+
+x509::Certificate certificate_from_record(const X509LogRecord& record) {
+  x509::Certificate cert;
+  cert.version = record.version;
+  cert.serial = record.serial;
+  cert.issuer = parse_dn_lenient(record.issuer);
+  cert.subject = parse_dn_lenient(record.subject);
+  cert.validity = util::TimeRange{record.not_before, record.not_after};
+  cert.public_key.algorithm = parse_key_alg(record.key_alg);
+  cert.public_key.material.clear();  // X509.log carries no key material
+  cert.signature.algorithm = parse_sig_alg(record.sig_alg);
+  cert.signature.value.clear();
+  if (record.basic_constraints_ca.has_value()) {
+    cert.basic_constraints.present = true;
+    cert.basic_constraints.is_ca = *record.basic_constraints_ca;
+    cert.basic_constraints.path_len_constraint = record.basic_constraints_path_len;
+  }
+  cert.subject_alt_names = record.san_dns;
+  return cert;
+}
+
+X509LogRecord record_from_certificate(const x509::Certificate& cert,
+                                      util::SimTime observed_at,
+                                      const std::string& fuid) {
+  X509LogRecord record;
+  record.ts = observed_at;
+  record.fuid = fuid;
+  record.version = cert.version;
+  record.serial = cert.serial;
+  record.subject = cert.subject.to_string();
+  record.issuer = cert.issuer.to_string();
+  record.not_before = cert.validity.begin;
+  record.not_after = cert.validity.end;
+  record.key_alg = std::string(crypto::key_algorithm_name(cert.public_key.algorithm));
+  record.sig_alg =
+      std::string(crypto::signature_algorithm_name(cert.signature.algorithm));
+  record.key_length = cert.public_key.bits();
+  if (cert.basic_constraints.present) {
+    record.basic_constraints_ca = cert.basic_constraints.is_ca;
+    record.basic_constraints_path_len = cert.basic_constraints.path_len_constraint;
+  }
+  record.san_dns = cert.subject_alt_names;
+  return record;
+}
+
+LogJoiner::LogJoiner(const std::vector<X509LogRecord>& certificates) {
+  for (const X509LogRecord& record : certificates) {
+    // First observation wins; fuids are content-derived so duplicates carry
+    // identical fields anyway.
+    by_fuid_.emplace(record.fuid, certificate_from_record(record));
+  }
+}
+
+JoinedConnection LogJoiner::join(const SslLogRecord& ssl) const {
+  JoinedConnection joined;
+  joined.ssl = ssl;
+  for (const std::string& fuid : ssl.cert_chain_fuids) {
+    const auto it = by_fuid_.find(fuid);
+    if (it == by_fuid_.end()) {
+      joined.missing_fuids.push_back(fuid);
+    } else {
+      joined.chain.push_back(it->second);
+    }
+  }
+  return joined;
+}
+
+std::vector<JoinedConnection> LogJoiner::join_all(
+    const std::vector<SslLogRecord>& ssl) const {
+  std::vector<JoinedConnection> out;
+  out.reserve(ssl.size());
+  for (const SslLogRecord& record : ssl) out.push_back(join(record));
+  return out;
+}
+
+}  // namespace certchain::zeek

@@ -1,0 +1,52 @@
+// SSL.log x X509.log join.
+//
+// Each SSL.log row references the certificates its handshake delivered via
+// cert_chain_fuids; the X509.log rows carry the certificate fields. LogJoiner
+// performs the cross-reference and reconstructs a (key-less) CertificateChain
+// in delivery order — the exact view the paper's pipeline analyzed. Missing
+// fuids (a real artifact of log rotation and sampling) are reported rather
+// than silently dropped.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "zeek/records.hpp"
+
+namespace certchain::zeek {
+
+/// One TLS connection with its reconstructed certificate chain.
+struct JoinedConnection {
+  SslLogRecord ssl;
+  chain::CertificateChain chain;
+  std::vector<std::string> missing_fuids;
+
+  bool complete() const { return missing_fuids.empty(); }
+};
+
+/// Converts one X509.log row to a key-less x509::Certificate. Issuer/subject
+/// strings that fail DN parsing degrade to a single unparsed-CN RDN so the
+/// pipeline still sees the row (mirrors how string-level tooling behaves).
+x509::Certificate certificate_from_record(const X509LogRecord& record);
+
+/// Projects a certificate to its X509.log row (used by the simulator).
+X509LogRecord record_from_certificate(const x509::Certificate& cert,
+                                      util::SimTime observed_at,
+                                      const std::string& fuid);
+
+class LogJoiner {
+ public:
+  explicit LogJoiner(const std::vector<X509LogRecord>& certificates);
+
+  std::size_t certificate_count() const { return by_fuid_.size(); }
+
+  JoinedConnection join(const SslLogRecord& ssl) const;
+  std::vector<JoinedConnection> join_all(const std::vector<SslLogRecord>& ssl) const;
+
+ private:
+  std::map<std::string, x509::Certificate> by_fuid_;
+};
+
+}  // namespace certchain::zeek

@@ -1,0 +1,336 @@
+#include "zeek/log_io.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace certchain::zeek {
+
+namespace tsv {
+
+std::string render_time(util::SimTime t) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld.000000", static_cast<long long>(t));
+  return buffer;
+}
+
+std::optional<util::SimTime> parse_time(std::string_view text) {
+  const std::size_t dot = text.find('.');
+  const std::string_view whole = dot == std::string_view::npos ? text : text.substr(0, dot);
+  util::SimTime value = 0;
+  const auto result = std::from_chars(whole.data(), whole.data() + whole.size(), value);
+  if (result.ec != std::errc{} || result.ptr != whole.data() + whole.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::string render_bool(bool b) { return b ? "T" : "F"; }
+
+std::optional<bool> parse_bool(std::string_view text) {
+  if (text == "T") return true;
+  if (text == "F") return false;
+  return std::nullopt;
+}
+
+std::string render_vector(const std::vector<std::string>& items) {
+  if (items.empty()) return std::string(kEmpty);
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out.append(escape_field(items[i]));
+  }
+  return out;
+}
+
+std::vector<std::string> parse_vector(std::string_view text) {
+  if (text == kEmpty || text == kUnset) return {};
+  std::vector<std::string> out;
+  for (const std::string& part : util::split(text, ',')) {
+    out.push_back(unescape_field(part));
+  }
+  return out;
+}
+
+std::string escape_field(std::string_view value) {
+  // Zeek escapes separator bytes as \xNN; tabs, newlines and commas (the
+  // vector separator) are the ones that can occur in DN strings.
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\t': out.append("\\x09"); break;
+      case '\n': out.append("\\x0a"); break;
+      case ',': out.append("\\x2c"); break;
+      case '\\': out.append("\\x5c"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '\\' && i + 3 < value.size() && value[i + 1] == 'x') {
+      const char hex[3] = {value[i + 2], value[i + 3], 0};
+      char* end = nullptr;
+      const long code = std::strtol(hex, &end, 16);
+      if (end == hex + 2) {
+        out.push_back(static_cast<char>(code));
+        i += 3;
+        continue;
+      }
+    }
+    out.push_back(value[i]);
+  }
+  return out;
+}
+
+}  // namespace tsv
+
+namespace {
+
+constexpr std::string_view kSslFields =
+    "ts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tversion\tcipher\t"
+    "server_name\tresumed\testablished\tcert_chain_fuids\tsubject\tissuer\t"
+    "validation_status";
+constexpr std::string_view kSslTypes =
+    "time\tstring\taddr\tport\taddr\tport\tstring\tstring\tstring\tbool\tbool\t"
+    "vector[string]\tstring\tstring\tstring";
+
+constexpr std::string_view kX509Fields =
+    "ts\tfuid\tcertificate.version\tcertificate.serial\tcertificate.subject\t"
+    "certificate.issuer\tcertificate.not_valid_before\tcertificate.not_valid_after\t"
+    "certificate.key_alg\tcertificate.sig_alg\tcertificate.key_length\t"
+    "basic_constraints.ca\tbasic_constraints.path_len\tsan.dns";
+constexpr std::string_view kX509Types =
+    "time\tstring\tcount\tstring\tstring\tstring\ttime\ttime\tstring\tstring\t"
+    "count\tbool\tcount\tvector[string]";
+
+std::string header(std::string_view path, std::string_view fields,
+                   std::string_view types) {
+  std::string out;
+  out.append("#separator \\x09\n");
+  out.append("#set_separator\t,\n");
+  out.append("#empty_field\t(empty)\n");
+  out.append("#unset_field\t-\n");
+  out.append("#path\t").append(path).append("\n");
+  out.append("#fields\t").append(fields).append("\n");
+  out.append("#types\t").append(types).append("\n");
+  return out;
+}
+
+void append_field(std::string& row, std::string_view value, bool first = false) {
+  if (!first) row.push_back('\t');
+  row.append(value.empty() ? tsv::kUnset : value);
+}
+
+void record_error(ParseDiagnostics* diagnostics, std::size_t line_number,
+                  std::string_view message) {
+  if (diagnostics == nullptr) return;
+  ++diagnostics->skipped_lines;
+  if (diagnostics->errors.size() < 32) {
+    diagnostics->errors.push_back("line " + std::to_string(line_number) + ": " +
+                                  std::string(message));
+  }
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+SslLogWriter::SslLogWriter() = default;
+
+void SslLogWriter::add(const SslLogRecord& record) {
+  std::string row;
+  append_field(row, tsv::render_time(record.ts), true);
+  append_field(row, record.uid);
+  append_field(row, record.id_orig_h);
+  append_field(row, std::to_string(record.id_orig_p));
+  append_field(row, record.id_resp_h);
+  append_field(row, std::to_string(record.id_resp_p));
+  append_field(row, record.version);
+  append_field(row, record.cipher);
+  append_field(row, tsv::escape_field(record.server_name));
+  append_field(row, tsv::render_bool(record.resumed));
+  append_field(row, tsv::render_bool(record.established));
+  append_field(row, tsv::render_vector(record.cert_chain_fuids));
+  append_field(row, tsv::escape_field(record.subject));
+  append_field(row, tsv::escape_field(record.issuer));
+  append_field(row, tsv::escape_field(record.validation_status));
+  row.push_back('\n');
+  body_.append(row);
+  ++count_;
+}
+
+std::string SslLogWriter::finish() const {
+  return header("ssl", kSslFields, kSslTypes) + body_ + "#close\n";
+}
+
+X509LogWriter::X509LogWriter() = default;
+
+void X509LogWriter::add(const X509LogRecord& record) {
+  std::string row;
+  append_field(row, tsv::render_time(record.ts), true);
+  append_field(row, record.fuid);
+  append_field(row, std::to_string(record.version));
+  append_field(row, record.serial);
+  append_field(row, tsv::escape_field(record.subject));
+  append_field(row, tsv::escape_field(record.issuer));
+  append_field(row, tsv::render_time(record.not_before));
+  append_field(row, tsv::render_time(record.not_after));
+  append_field(row, record.key_alg);
+  append_field(row, record.sig_alg);
+  append_field(row, std::to_string(record.key_length));
+  append_field(row, record.basic_constraints_ca
+                        ? tsv::render_bool(*record.basic_constraints_ca)
+                        : std::string(tsv::kUnset));
+  append_field(row, record.basic_constraints_path_len
+                        ? std::to_string(*record.basic_constraints_path_len)
+                        : std::string(tsv::kUnset));
+  append_field(row, tsv::render_vector(record.san_dns));
+  row.push_back('\n');
+  body_.append(row);
+  ++count_;
+}
+
+std::string X509LogWriter::finish() const {
+  return header("x509", kX509Fields, kX509Types) + body_ + "#close\n";
+}
+
+std::vector<SslLogRecord> parse_ssl_log(std::string_view text,
+                                        ParseDiagnostics* diagnostics) {
+  std::vector<SslLogRecord> records;
+  bool fields_ok = false;
+  std::size_t line_number = 0;
+  for (const std::string& line : util::split(text, '\n')) {
+    ++line_number;
+    if (diagnostics != nullptr) ++diagnostics->total_lines;
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      if (util::starts_with(line, "#fields\t")) {
+        fields_ok = std::string_view(line).substr(8) == kSslFields;
+        if (!fields_ok) record_error(diagnostics, line_number, "unknown #fields layout");
+      }
+      continue;
+    }
+    if (!fields_ok) {
+      record_error(diagnostics, line_number, "data before a recognized #fields header");
+      continue;
+    }
+    const auto cells = util::split(line, '\t');
+    if (cells.size() != 15) {
+      record_error(diagnostics, line_number, "wrong column count");
+      continue;
+    }
+    SslLogRecord record;
+    const auto ts = tsv::parse_time(cells[0]);
+    const auto orig_p = parse_u64(cells[3]);
+    const auto resp_p = parse_u64(cells[5]);
+    const auto resumed = tsv::parse_bool(cells[9]);
+    const auto established = tsv::parse_bool(cells[10]);
+    if (!ts || !orig_p || !resp_p || !resumed || !established) {
+      record_error(diagnostics, line_number, "malformed scalar field");
+      continue;
+    }
+    record.ts = *ts;
+    record.uid = cells[1];
+    record.id_orig_h = cells[2];
+    record.id_orig_p = static_cast<std::uint16_t>(*orig_p);
+    record.id_resp_h = cells[4];
+    record.id_resp_p = static_cast<std::uint16_t>(*resp_p);
+    record.version = cells[6] == tsv::kUnset ? "" : cells[6];
+    record.cipher = cells[7] == tsv::kUnset ? "" : cells[7];
+    record.server_name =
+        cells[8] == tsv::kUnset ? "" : tsv::unescape_field(cells[8]);
+    record.resumed = *resumed;
+    record.established = *established;
+    record.cert_chain_fuids = tsv::parse_vector(cells[11]);
+    record.subject = cells[12] == tsv::kUnset ? "" : tsv::unescape_field(cells[12]);
+    record.issuer = cells[13] == tsv::kUnset ? "" : tsv::unescape_field(cells[13]);
+    record.validation_status =
+        cells[14] == tsv::kUnset ? "" : tsv::unescape_field(cells[14]);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<X509LogRecord> parse_x509_log(std::string_view text,
+                                          ParseDiagnostics* diagnostics) {
+  std::vector<X509LogRecord> records;
+  bool fields_ok = false;
+  std::size_t line_number = 0;
+  for (const std::string& line : util::split(text, '\n')) {
+    ++line_number;
+    if (diagnostics != nullptr) ++diagnostics->total_lines;
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      if (util::starts_with(line, "#fields\t")) {
+        fields_ok = std::string_view(line).substr(8) == kX509Fields;
+        if (!fields_ok) record_error(diagnostics, line_number, "unknown #fields layout");
+      }
+      continue;
+    }
+    if (!fields_ok) {
+      record_error(diagnostics, line_number, "data before a recognized #fields header");
+      continue;
+    }
+    const auto cells = util::split(line, '\t');
+    if (cells.size() != 14) {
+      record_error(diagnostics, line_number, "wrong column count");
+      continue;
+    }
+    X509LogRecord record;
+    const auto ts = tsv::parse_time(cells[0]);
+    const auto version = parse_u64(cells[2]);
+    const auto not_before = tsv::parse_time(cells[6]);
+    const auto not_after = tsv::parse_time(cells[7]);
+    const auto key_length = parse_u64(cells[10]);
+    if (!ts || !version || !not_before || !not_after || !key_length) {
+      record_error(diagnostics, line_number, "malformed scalar field");
+      continue;
+    }
+    record.ts = *ts;
+    record.fuid = cells[1];
+    record.version = static_cast<int>(*version);
+    record.serial = cells[3];
+    record.subject = tsv::unescape_field(cells[4]);
+    record.issuer = tsv::unescape_field(cells[5]);
+    record.not_before = *not_before;
+    record.not_after = *not_after;
+    record.key_alg = cells[8];
+    record.sig_alg = cells[9];
+    record.key_length = static_cast<int>(*key_length);
+    if (cells[11] != tsv::kUnset) {
+      const auto ca = tsv::parse_bool(cells[11]);
+      if (!ca) {
+        record_error(diagnostics, line_number, "malformed basic_constraints.ca");
+        continue;
+      }
+      record.basic_constraints_ca = *ca;
+    }
+    if (cells[12] != tsv::kUnset) {
+      const auto path_len = parse_u64(cells[12]);
+      if (!path_len) {
+        record_error(diagnostics, line_number, "malformed basic_constraints.path_len");
+        continue;
+      }
+      record.basic_constraints_path_len = static_cast<int>(*path_len);
+    }
+    record.san_dns = tsv::parse_vector(cells[13]);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace certchain::zeek

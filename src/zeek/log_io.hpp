@@ -1,0 +1,79 @@
+// Zeek TSV log serialization.
+//
+// Writes and reads the Zeek ASCII log format: '#'-prefixed header lines
+// (separator, fields, types), tab-separated rows, "-" for unset fields,
+// "(empty)" for empty vectors, and comma-joined vector elements. The netsim
+// streams its synthetic traffic through this format so the analysis pipeline
+// consumes byte-faithful Zeek logs rather than in-memory shortcuts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "zeek/records.hpp"
+
+namespace certchain::zeek {
+
+/// Zeek-style field rendering helpers.
+namespace tsv {
+inline constexpr std::string_view kUnset = "-";
+inline constexpr std::string_view kEmpty = "(empty)";
+
+std::string render_time(util::SimTime t);           // "1598918400.000000"
+std::optional<util::SimTime> parse_time(std::string_view text);
+std::string render_bool(bool b);                    // "T"/"F"
+std::optional<bool> parse_bool(std::string_view text);
+std::string render_vector(const std::vector<std::string>& items);
+std::vector<std::string> parse_vector(std::string_view text);
+/// Escapes the separator characters inside a field value.
+std::string escape_field(std::string_view value);
+std::string unescape_field(std::string_view value);
+}  // namespace tsv
+
+/// Serializes SSL.log.
+class SslLogWriter {
+ public:
+  SslLogWriter();
+  void add(const SslLogRecord& record);
+  std::size_t count() const { return count_; }
+  /// Full log text including header and closing line.
+  std::string finish() const;
+
+ private:
+  std::string body_;
+  std::size_t count_ = 0;
+};
+
+/// Serializes X509.log.
+class X509LogWriter {
+ public:
+  X509LogWriter();
+  void add(const X509LogRecord& record);
+  std::size_t count() const { return count_; }
+  std::string finish() const;
+
+ private:
+  std::string body_;
+  std::size_t count_ = 0;
+};
+
+/// Parse outcomes carry per-line diagnostics instead of throwing: real log
+/// files contain damage, and the reader's job is to keep going.
+struct ParseDiagnostics {
+  std::size_t total_lines = 0;
+  std::size_t skipped_lines = 0;
+  std::vector<std::string> errors;  // capped at 32 entries
+};
+
+/// Parses an SSL.log text (header + rows). Unknown header layouts are
+/// rejected; damaged rows are skipped and reported via diagnostics.
+std::vector<SslLogRecord> parse_ssl_log(std::string_view text,
+                                        ParseDiagnostics* diagnostics = nullptr);
+
+/// Parses an X509.log text.
+std::vector<X509LogRecord> parse_x509_log(std::string_view text,
+                                          ParseDiagnostics* diagnostics = nullptr);
+
+}  // namespace certchain::zeek

@@ -1,0 +1,48 @@
+#include "zeek/log_stream.hpp"
+
+namespace certchain::zeek {
+
+// The canonical field layouts live in log_io.cpp; re-derive them here from a
+// rendered header so the two stay in sync by construction.
+namespace {
+
+std::string fields_of(const std::string& rendered_log) {
+  const std::size_t begin = rendered_log.find("#fields\t");
+  const std::size_t end = rendered_log.find('\n', begin);
+  return rendered_log.substr(begin + 8, end - begin - 8);
+}
+
+}  // namespace
+
+std::string ssl_log_fields() {
+  static const std::string fields = fields_of(SslLogWriter().finish());
+  return fields;
+}
+
+std::string x509_log_fields() {
+  static const std::string fields = fields_of(X509LogWriter().finish());
+  return fields;
+}
+
+template <>
+std::vector<SslLogRecord> StreamingLogReader<SslLogRecord>::parse_rows(
+    std::string_view text) {
+  return parse_ssl_log(text);
+}
+
+template <>
+std::vector<X509LogRecord> StreamingLogReader<X509LogRecord>::parse_rows(
+    std::string_view text) {
+  return parse_x509_log(text);
+}
+
+StreamingSslReader make_streaming_ssl_reader(StreamingSslReader::Callback callback) {
+  return StreamingSslReader(ssl_log_fields(), std::move(callback));
+}
+
+StreamingX509Reader make_streaming_x509_reader(
+    StreamingX509Reader::Callback callback) {
+  return StreamingX509Reader(x509_log_fields(), std::move(callback));
+}
+
+}  // namespace certchain::zeek

@@ -1,0 +1,77 @@
+// Zeek log record types.
+//
+// The study's raw inputs are Zeek's SSL.log (one row per TLS connection) and
+// X509.log (one row per certificate observed in a handshake), joined by the
+// per-certificate file ids listed in ssl.cert_chain_fuids. These structs
+// mirror the authorized fields the paper used — deliberately *excluding*
+// public keys and signatures, which Zeek's X509.log does not carry and whose
+// absence motivates the issuer–subject methodology (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace certchain::zeek {
+
+/// One TLS connection (SSL.log row).
+struct SslLogRecord {
+  util::SimTime ts = 0;
+  std::string uid;          // connection uid ("C...")
+  std::string id_orig_h;    // client IP (campus side, post-NAT)
+  std::uint16_t id_orig_p = 0;
+  std::string id_resp_h;    // server IP
+  std::uint16_t id_resp_p = 0;
+
+  std::string version;      // "TLSv12", "TLSv13", ...
+  std::string cipher;
+  std::string server_name;  // SNI; empty when the client sent none
+  bool resumed = false;
+  bool established = false;  // the paper's success criterion (§4.2 footnote 1)
+
+  /// File ids of the delivered certificates, leaf first. Empty for TLS 1.3
+  /// connections (certificates are encrypted; §6.3) and resumed sessions.
+  std::vector<std::string> cert_chain_fuids;
+
+  /// Subject/issuer of the first certificate, as Zeek logs them.
+  std::string subject;
+  std::string issuer;
+
+  /// Zeek's validation verdict for the delivered chain ("ok" or an error
+  /// string); used when learning cross-sign pairs (App. D.1).
+  std::string validation_status;
+
+  bool operator==(const SslLogRecord&) const = default;
+};
+
+/// One observed certificate (X509.log row).
+struct X509LogRecord {
+  util::SimTime ts = 0;
+  std::string fuid;  // file id referenced from SslLogRecord::cert_chain_fuids
+
+  int version = 3;
+  std::string serial;
+  std::string subject;  // RFC 4514 one-line form
+  std::string issuer;
+  util::SimTime not_before = 0;
+  util::SimTime not_after = 0;
+
+  std::string key_alg;   // e.g. "rsa2048"
+  std::string sig_alg;   // e.g. "sha256WithRSAEncryption"
+  int key_length = 0;
+
+  /// basicConstraints: unset (extension absent) vs explicit CA flag. The
+  /// §4.3 omission statistics read straight off this optional.
+  std::optional<bool> basic_constraints_ca;
+  std::optional<int> basic_constraints_path_len;
+
+  /// SAN DNS names.
+  std::vector<std::string> san_dns;
+
+  bool operator==(const X509LogRecord&) const = default;
+};
+
+}  // namespace certchain::zeek

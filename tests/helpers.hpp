@@ -1,0 +1,84 @@
+// Shared test fixtures: tiny PKI builders used across the suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "truststore/trust_store.hpp"
+#include "x509/builder.hpp"
+
+namespace certchain::testing {
+
+inline util::TimeRange test_validity() {
+  return {util::make_time(2020, 1, 1), util::make_time(2022, 1, 1)};
+}
+
+inline x509::DistinguishedName dn(const std::string& text) {
+  return x509::DistinguishedName::parse_or_die(text);
+}
+
+/// A self-signed certificate with the given CN (and optional O).
+inline x509::Certificate self_signed(const std::string& cn,
+                                     const std::string& org = "TestOrg") {
+  const auto keys =
+      crypto::generate_keypair(crypto::KeyAlgorithm::kRsa2048, "test-ss/" + cn);
+  x509::DistinguishedName name;
+  name.add("CN", cn).add("O", org);
+  return x509::CertificateBuilder()
+      .serial("ss-" + cn)
+      .subject(name)
+      .validity(test_validity())
+      .no_basic_constraints()
+      .self_sign(keys.private_key);
+}
+
+/// A minimal 3-level test PKI: root CA -> intermediate CA -> leaf issuance.
+struct TestPki {
+  x509::CertificateAuthority root_ca{dn("CN=Test Root CA,O=TestPKI,C=US"),
+                                     "test-root"};
+  x509::CertificateAuthority intermediate_ca{
+      dn("CN=Test Issuing CA,O=TestPKI,C=US"), "test-int"};
+  x509::Certificate root_cert;
+  x509::Certificate intermediate_cert;
+
+  TestPki() {
+    root_cert = root_ca.make_root(test_validity());
+    intermediate_cert = root_ca.issue_intermediate(intermediate_ca, test_validity());
+  }
+
+  x509::Certificate leaf(const std::string& domain) {
+    x509::DistinguishedName subject;
+    subject.add("CN", domain);
+    return intermediate_ca.issue_leaf(subject, domain, test_validity());
+  }
+
+  /// [leaf, intermediate] (+root).
+  chain::CertificateChain chain_for(const std::string& domain,
+                                    bool include_root = false) {
+    chain::CertificateChain chain;
+    chain.push_back(leaf(domain));
+    chain.push_back(intermediate_cert);
+    if (include_root) chain.push_back(root_cert);
+    return chain;
+  }
+
+  /// A TrustStoreSet that trusts this PKI (root in all programs, the
+  /// intermediate disclosed in CCADB).
+  truststore::TrustStoreSet trusted_stores() const {
+    truststore::TrustStoreSet stores;
+    stores.add_to_all_programs(root_cert);
+    truststore::CcadbRecord record;
+    record.certificate = intermediate_cert;
+    record.chains_to_participating_root = true;
+    record.publicly_audited = true;
+    stores.ccadb().add(std::move(record));
+    return stores;
+  }
+};
+
+inline chain::CertificateChain make_chain(std::vector<x509::Certificate> certs) {
+  return chain::CertificateChain(std::move(certs));
+}
+
+}  // namespace certchain::testing

@@ -1,0 +1,212 @@
+// Chain categorization (§3.2.2) and the Table 3 / Table 7 taxonomies.
+#include "chain/categorizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../tests/helpers.hpp"
+
+namespace certchain::chain {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::dn;
+using certchain::testing::make_chain;
+using certchain::testing::self_signed;
+using certchain::testing::test_validity;
+
+class CategorizerTest : public ::testing::Test {
+ protected:
+  TestPki pki_;
+  truststore::TrustStoreSet stores_ = pki_.trusted_stores();
+  InterceptionIssuerSet no_interception_;
+};
+
+TEST_F(CategorizerTest, PublicOnly) {
+  EXPECT_EQ(categorize_chain(pki_.chain_for("pub.example", true), stores_,
+                             no_interception_),
+            ChainCategory::kPublicDbOnly);
+}
+
+TEST_F(CategorizerTest, NonPublicOnly) {
+  const auto chain = make_chain({self_signed("priv-a"), self_signed("priv-b")});
+  EXPECT_EQ(categorize_chain(chain, stores_, no_interception_),
+            ChainCategory::kNonPublicDbOnly);
+}
+
+TEST_F(CategorizerTest, HybridMix) {
+  auto chain = pki_.chain_for("mix.example");
+  chain.push_back(self_signed("corp-root"));
+  EXPECT_EQ(categorize_chain(chain, stores_, no_interception_),
+            ChainCategory::kHybrid);
+}
+
+TEST_F(CategorizerTest, InterceptionWinsOverMix) {
+  auto chain = pki_.chain_for("icept.example");
+  x509::Certificate forged = self_signed("victim.example");
+  forged.issuer = dn("CN=MBox SSL Inspection CA,O=MBox");
+  chain.push_back(forged);
+  InterceptionIssuerSet interception{forged.issuer.canonical()};
+  EXPECT_EQ(categorize_chain(chain, stores_, interception),
+            ChainCategory::kTlsInterception);
+  EXPECT_EQ(categorize_chain(chain, stores_, no_interception_),
+            ChainCategory::kHybrid);
+}
+
+// --- Table 3 structures ------------------------------------------------------
+
+TEST_F(CategorizerTest, CompleteNonPubToPub) {
+  // Non-public sub-CA anchored to the public root (Table 6 pattern).
+  x509::CertificateAuthority sub_ca(dn("CN=Agency CA,O=Gov Agency"), "agency");
+  const x509::Certificate sub_cert =
+      pki_.root_ca.issue_intermediate(sub_ca, test_validity());
+  x509::DistinguishedName subject;
+  subject.add("CN", "portal.agency.example");
+  const auto chain = make_chain({
+      sub_ca.issue_leaf(subject, "portal.agency.example", test_validity()),
+      sub_cert, pki_.root_cert});
+  ASSERT_EQ(categorize_chain(chain, stores_, no_interception_),
+            ChainCategory::kHybrid);
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  EXPECT_EQ(verdict.structure, HybridStructure::kCompleteNonPubToPub);
+  EXPECT_TRUE(verdict.paths.is_complete_path());
+}
+
+TEST_F(CategorizerTest, CompletePubToPrivate) {
+  // The Scalyr pattern: public path then a private cert whose subject mirrors
+  // the public anchor.
+  x509::CertificateAuthority shadow_ca(dn("CN=Corp Internal CA,O=Corp"), "shadow");
+  const x509::Certificate shadow =
+      x509::CertificateBuilder()
+          .serial("77")
+          .subject(pki_.root_ca.name())
+          .issuer(shadow_ca.name())
+          .validity(test_validity())
+          .public_key(shadow_ca.public_key())
+          .ca(true)
+          .sign_with(shadow_ca.private_key());
+  auto chain = pki_.chain_for("app.corp.example", true);
+  chain.push_back(shadow);
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  EXPECT_EQ(verdict.structure, HybridStructure::kCompletePubToPrivate);
+  EXPECT_TRUE(verdict.paths.is_complete_path());
+}
+
+TEST_F(CategorizerTest, ContainsCompletePath) {
+  auto chain = pki_.chain_for("contains.example", true);
+  chain.push_back(self_signed("athenz-ish"));
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  EXPECT_EQ(verdict.structure, HybridStructure::kContainsCompletePath);
+  EXPECT_EQ(verdict.paths.unnecessary_certificates.size(), 1u);
+}
+
+// --- Table 7 no-path categories ----------------------------------------------
+
+TEST_F(CategorizerTest, SelfSignedLeafThenMismatches) {
+  const auto chain = make_chain({self_signed("localhost"), pki_.intermediate_cert,
+                                 self_signed("stray")});
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  ASSERT_EQ(verdict.structure, HybridStructure::kNoCompletePath);
+  EXPECT_EQ(verdict.no_path_category,
+            NoPathCategory::kSelfSignedLeafThenMismatches);
+}
+
+TEST_F(CategorizerTest, SelfSignedLeafThenValidSubchain) {
+  const auto chain = make_chain({self_signed("replacement"), pki_.intermediate_cert,
+                                 pki_.root_cert});
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  ASSERT_EQ(verdict.structure, HybridStructure::kNoCompletePath);
+  EXPECT_EQ(verdict.no_path_category,
+            NoPathCategory::kSelfSignedLeafThenValidSubchain);
+}
+
+TEST_F(CategorizerTest, AllPairsMismatched) {
+  // A public-issued leaf whose issuing intermediate is absent, followed by
+  // an unrelated intermediate and a non-public tail with a distinct issuer.
+  x509::CertificateAuthority unrelated_root(dn("CN=Unrelated Root,O=Elsewhere"),
+                                            "unrelated-root");
+  x509::CertificateAuthority unrelated_int(dn("CN=Unrelated CA,O=Elsewhere"),
+                                           "unrelated-int");
+  const x509::Certificate unrelated_cert =
+      unrelated_root.issue_intermediate(unrelated_int, test_validity());
+  x509::Certificate orphan = pki_.leaf("orphan.example");
+  const auto chain = make_chain({orphan, unrelated_cert,
+                                 [&] {
+                                   x509::Certificate tail = self_signed("tail");
+                                   tail.issuer = dn("CN=Tail Issuer");
+                                   return tail;
+                                 }()});
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  ASSERT_EQ(verdict.structure, HybridStructure::kNoCompletePath);
+  EXPECT_EQ(verdict.no_path_category, NoPathCategory::kAllPairsMismatched);
+  // The public leaf has no issuing intermediate in the chain.
+  EXPECT_TRUE(verdict.public_leaf_without_issuer);
+}
+
+TEST_F(CategorizerTest, PartialPairsMismatched) {
+  x509::Certificate foreign = self_signed("foreign");
+  foreign.issuer = dn("CN=Elsewhere");
+  // Leafless matched run: [intermediate, root]; foreign leaf breaks pair 0.
+  const auto chain = make_chain({foreign, pki_.intermediate_cert, pki_.root_cert});
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  ASSERT_EQ(verdict.structure, HybridStructure::kNoCompletePath);
+  EXPECT_EQ(verdict.no_path_category, NoPathCategory::kPartialPairsMismatched);
+  EXPECT_FALSE(verdict.public_leaf_without_issuer);
+}
+
+TEST_F(CategorizerTest, NonPubRootAppendedToValidPublicSubchain) {
+  const auto chain = make_chain({pki_.intermediate_cert, pki_.root_cert,
+                                 self_signed("shadow-root")});
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  ASSERT_EQ(verdict.structure, HybridStructure::kNoCompletePath);
+  EXPECT_EQ(verdict.no_path_category,
+            NoPathCategory::kNonPubRootAppendedToValidPublicSubchain);
+}
+
+TEST_F(CategorizerTest, NonPubRootAndMismatches) {
+  TestPki other;
+  const auto chain = make_chain({pki_.intermediate_cert, other.intermediate_cert,
+                                 self_signed("shadow-x")});
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  ASSERT_EQ(verdict.structure, HybridStructure::kNoCompletePath);
+  EXPECT_EQ(verdict.no_path_category, NoPathCategory::kNonPubRootAndMismatches);
+}
+
+TEST_F(CategorizerTest, MismatchRatioRecordedForNoPathChains) {
+  const auto chain = make_chain({self_signed("a"), self_signed("b"),
+                                 self_signed("c")});
+  const HybridClassification verdict = classify_hybrid(chain, stores_);
+  EXPECT_DOUBLE_EQ(verdict.paths.match.mismatch_ratio(), 1.0);
+}
+
+TEST(CategoryNames, AllDistinct) {
+  std::set<std::string_view> names;
+  names.insert(chain_category_name(ChainCategory::kPublicDbOnly));
+  names.insert(chain_category_name(ChainCategory::kNonPublicDbOnly));
+  names.insert(chain_category_name(ChainCategory::kHybrid));
+  names.insert(chain_category_name(ChainCategory::kTlsInterception));
+  EXPECT_EQ(names.size(), 4u);
+
+  std::set<std::string_view> structures;
+  for (const auto s :
+       {HybridStructure::kCompleteNonPubToPub, HybridStructure::kCompletePubToPrivate,
+        HybridStructure::kContainsCompletePath, HybridStructure::kNoCompletePath}) {
+    structures.insert(hybrid_structure_name(s));
+  }
+  EXPECT_EQ(structures.size(), 4u);
+
+  std::set<std::string_view> categories;
+  for (const auto c :
+       {NoPathCategory::kSelfSignedLeafThenMismatches,
+        NoPathCategory::kSelfSignedLeafThenValidSubchain,
+        NoPathCategory::kAllPairsMismatched, NoPathCategory::kPartialPairsMismatched,
+        NoPathCategory::kNonPubRootAppendedToValidPublicSubchain,
+        NoPathCategory::kNonPubRootAndMismatches}) {
+    categories.insert(no_path_category_name(c));
+  }
+  EXPECT_EQ(categories.size(), 6u);
+}
+
+}  // namespace
+}  // namespace certchain::chain

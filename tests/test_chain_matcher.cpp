@@ -1,0 +1,237 @@
+// Issuer–subject matching, matched-run/path detection, mismatch ratios,
+// cross-sign suppression — the §4.2 / App. D.1 methodology.
+#include "chain/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+#include "chain/cross_sign_registry.hpp"
+
+namespace certchain::chain {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::dn;
+using certchain::testing::make_chain;
+using certchain::testing::self_signed;
+
+TEST(MatchChain, EmptyAndSingleHaveNoPairs) {
+  EXPECT_TRUE(match_chain(CertificateChain()).pairs.empty());
+  TestPki pki;
+  const auto single = make_chain({pki.leaf("s.example")});
+  const MatchResult result = match_chain(single);
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_DOUBLE_EQ(result.mismatch_ratio(), 0.0);
+  EXPECT_TRUE(result.all_matched());
+}
+
+TEST(MatchChain, FullyMatchedChain) {
+  TestPki pki;
+  const MatchResult result = match_chain(pki.chain_for("ok.example", true));
+  ASSERT_EQ(result.pairs.size(), 2u);
+  EXPECT_TRUE(result.all_matched());
+  EXPECT_EQ(result.mismatch_count(), 0u);
+  EXPECT_FALSE(result.pairs[0].via_cross_sign);
+}
+
+TEST(MatchChain, DetectsMismatchPositions) {
+  TestPki pki;
+  // [leaf, stray, intermediate]: pairs 0 and 1 both mismatch.
+  const auto chain =
+      make_chain({pki.leaf("pos.example"), self_signed("stray"), pki.intermediate_cert});
+  const MatchResult result = match_chain(chain);
+  EXPECT_EQ(result.mismatch_count(), 2u);
+  EXPECT_EQ(result.mismatch_indices(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(result.mismatch_ratio(), 1.0);
+}
+
+TEST(MatchChain, MatchingIsCaseInsensitive) {
+  TestPki pki;
+  x509::Certificate leaf = pki.leaf("case.example");
+  // Uppercase the issuer string; canonical matching must still succeed.
+  x509::DistinguishedName shouty;
+  for (const auto& rdn : leaf.issuer.rdns()) {
+    std::string upper = rdn.value;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    shouty.add(rdn.type, upper);
+  }
+  leaf.issuer = shouty;
+  const MatchResult result = match_chain(make_chain({leaf, pki.intermediate_cert}));
+  EXPECT_TRUE(result.all_matched());
+}
+
+TEST(MatchChain, Figure3BottomChainRatio) {
+  // The paper's Figure 3 example: leaf + complete path + partial path with
+  // mismatch ratio 0.4 (2 of 5 pairs mismatched).
+  TestPki pki;
+  TestPki other;  // a second, unrelated hierarchy
+  const auto chain = make_chain({
+      self_signed("extra-leaf"),           // pair 0: mismatch
+      pki.leaf("fig3.example"),            // pair 1: match
+      pki.intermediate_cert,               // pair 2: match
+      pki.root_cert,                       // pair 3: mismatch (root -> other int)
+      other.intermediate_cert,             // pair 4: match (other int -> other root)
+      other.root_cert,
+  });
+  const MatchResult result = match_chain(chain);
+  ASSERT_EQ(result.pairs.size(), 5u);
+  // pair 3: issuer(pki.root)=pki root DN vs subject(other.intermediate).
+  EXPECT_DOUBLE_EQ(result.mismatch_ratio(), 0.4);
+}
+
+TEST(CrossSignRegistry, PairAndEquivalenceCoverage) {
+  CrossSignRegistry registry;
+  const auto usertrust = dn("CN=USERTrust RSA,O=UT");
+  const auto aaa = dn("CN=AAA Certificate Services,O=Comodo");
+  EXPECT_FALSE(registry.covers(usertrust, aaa));
+
+  registry.add_pair(usertrust, aaa);
+  EXPECT_TRUE(registry.covers(usertrust, aaa));
+  EXPECT_FALSE(registry.covers(aaa, usertrust));  // pairs are directed
+
+  CrossSignRegistry equiv;
+  equiv.add_equivalence(usertrust, aaa);
+  EXPECT_TRUE(equiv.covers(usertrust, aaa));
+  EXPECT_TRUE(equiv.covers(aaa, usertrust));  // equivalence is symmetric
+  EXPECT_EQ(equiv.equivalence_count(), 1u);
+}
+
+TEST(CrossSignRegistry, TransitiveEquivalence) {
+  CrossSignRegistry registry;
+  const auto a = dn("CN=A");
+  const auto b = dn("CN=B");
+  const auto c = dn("CN=C");
+  registry.add_equivalence(a, b);
+  registry.add_equivalence(b, c);
+  EXPECT_TRUE(registry.covers(a, c));
+  EXPECT_TRUE(registry.covers(c, a));
+  EXPECT_FALSE(registry.covers(a, dn("CN=D")));
+}
+
+TEST(MatchChain, RegistrySuppressesCrossSignMismatch) {
+  TestPki pki;
+  x509::CertificateAuthority cross_root(dn("CN=Cross Root,O=Other"), "cross");
+  const x509::Certificate cross_root_cert = cross_root.make_root(testing::test_validity());
+
+  // Leaf issued under pki, followed directly by the cross root: textual
+  // mismatch unless the registry knows the two CAs are the same entity.
+  x509::Certificate leaf = pki.leaf("cs.example");
+  const auto chain = make_chain({leaf, cross_root_cert});
+  EXPECT_EQ(match_chain(chain).mismatch_count(), 1u);
+
+  CrossSignRegistry registry;
+  registry.add_equivalence(pki.intermediate_ca.name(), cross_root.name());
+  const MatchResult covered = match_chain(chain, &registry);
+  EXPECT_TRUE(covered.all_matched());
+  EXPECT_TRUE(covered.pairs[0].via_cross_sign);
+}
+
+TEST(IsPlausibleLeaf, RejectsCasAndIssuersWithinChain) {
+  TestPki pki;
+  const auto chain = pki.chain_for("leafy.example", true);
+  EXPECT_TRUE(is_plausible_leaf(chain, 0));
+  EXPECT_FALSE(is_plausible_leaf(chain, 1));  // CA + issues the leaf
+  EXPECT_FALSE(is_plausible_leaf(chain, 2));  // root
+}
+
+TEST(IsPlausibleLeaf, BcAbsentCertCanBeLeafUnlessItIssues) {
+  TestPki pki;
+  x509::Certificate no_bc = self_signed("standalone");  // bc absent
+  const auto alone = make_chain({no_bc, pki.intermediate_cert});
+  EXPECT_TRUE(is_plausible_leaf(alone, 0));
+}
+
+TEST(AnalyzePaths, WholeChainCompletePath) {
+  TestPki pki;
+  const PathAnalysis analysis = analyze_paths(pki.chain_for("c.example", true));
+  ASSERT_TRUE(analysis.complete_path.has_value());
+  EXPECT_EQ(analysis.complete_path->begin, 0u);
+  EXPECT_EQ(analysis.complete_path->end, 2u);
+  EXPECT_TRUE(analysis.is_complete_path());
+  EXPECT_FALSE(analysis.contains_complete_path());
+  EXPECT_TRUE(analysis.unnecessary_certificates.empty());
+  EXPECT_EQ(analysis.runs.size(), 1u);
+}
+
+TEST(AnalyzePaths, ExtrasAfterPathAreUnnecessary) {
+  TestPki pki;
+  auto chain = pki.chain_for("extra.example", true);
+  chain.push_back(self_signed("unnecessary"));
+  const PathAnalysis analysis = analyze_paths(chain);
+  ASSERT_TRUE(analysis.complete_path.has_value());
+  EXPECT_TRUE(analysis.contains_complete_path());
+  EXPECT_EQ(analysis.unnecessary_certificates, (std::vector<std::size_t>{3}));
+}
+
+TEST(AnalyzePaths, LeadingForeignLeafBeforePath) {
+  TestPki pki;
+  x509::Certificate foreign = self_signed("foreign");
+  foreign.issuer = dn("CN=Someone Else");  // distinct issuer: a stray leaf
+  auto chain = make_chain({foreign, pki.leaf("lead.example"), pki.intermediate_cert,
+                           pki.root_cert});
+  const PathAnalysis analysis = analyze_paths(chain);
+  ASSERT_TRUE(analysis.complete_path.has_value());
+  EXPECT_EQ(analysis.complete_path->begin, 1u);
+  EXPECT_EQ(analysis.unnecessary_certificates, (std::vector<std::size_t>{0}));
+}
+
+TEST(AnalyzePaths, LeafRequirementDistinguishesModes) {
+  TestPki pki;
+  // Leafless run: [intermediate, root] matches but starts with a CA.
+  const auto chain = make_chain({pki.intermediate_cert, pki.root_cert});
+  const PathAnalysis hybrid_mode = analyze_paths(chain, nullptr, true);
+  EXPECT_TRUE(hybrid_mode.no_complete_path());
+  // §4.3 mode (no leaf test): the same run is a complete path.
+  const PathAnalysis nonpub_mode = analyze_paths(chain, nullptr, false);
+  EXPECT_TRUE(nonpub_mode.is_complete_path());
+}
+
+TEST(AnalyzePaths, SelectsLongestRun) {
+  TestPki pki;
+  TestPki other;
+  // Short run [leaf-ish, int] then long run [leaf, int, root] after a break.
+  x509::Certificate stray = self_signed("stray2");
+  stray.issuer = dn("CN=Missing Issuer");
+  auto chain = make_chain({stray,                      // single run
+                           other.leaf("short.example"),  // run of 2
+                           other.intermediate_cert,
+                           pki.leaf("long.example"),     // run of 3
+                           pki.intermediate_cert, pki.root_cert});
+  const PathAnalysis analysis = analyze_paths(chain);
+  ASSERT_TRUE(analysis.complete_path.has_value());
+  EXPECT_EQ(analysis.complete_path->begin, 3u);
+  EXPECT_EQ(analysis.complete_path->cert_count(), 3u);
+}
+
+TEST(AnalyzePaths, RunsPartitionTheChain) {
+  TestPki pki;
+  auto chain = make_chain({pki.leaf("p.example"), pki.intermediate_cert,
+                           self_signed("break"), pki.root_cert});
+  const PathAnalysis analysis = analyze_paths(chain);
+  // Runs: [0,1], [2,2], [3,3].
+  ASSERT_EQ(analysis.runs.size(), 3u);
+  std::size_t covered = 0;
+  for (const MatchedRun& run : analysis.runs) covered += run.cert_count();
+  EXPECT_EQ(covered, chain.length());
+}
+
+TEST(AnalyzePaths, EmptyChain) {
+  const PathAnalysis analysis = analyze_paths(CertificateChain());
+  EXPECT_TRUE(analysis.runs.empty());
+  EXPECT_TRUE(analysis.no_complete_path());
+}
+
+TEST(ChainId, StableAndOrderSensitive) {
+  TestPki pki;
+  const auto a = pki.chain_for("id.example");
+  auto reversed = make_chain({pki.intermediate_cert, a.first()});
+  const chain::CertificateChain copy = a;
+  EXPECT_EQ(a.id(), copy.id());
+  // Re-issuing the same domain draws a fresh serial -> a different chain.
+  EXPECT_NE(a.id(), pki.chain_for("id.example").id());
+  EXPECT_NE(a.id(), reversed.id());
+  EXPECT_NE(a.id(), pki.chain_for("other.example").id());
+}
+
+}  // namespace
+}  // namespace certchain::chain

@@ -1,0 +1,456 @@
+// Core analyzers: corpus indexing, interception detection, hybrid and
+// non-public analysis, and the PKI relationship graph.
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+#include "core/corpus.hpp"
+#include "core/hybrid_analysis.hpp"
+#include "core/interception.hpp"
+#include "core/nonpublic_analysis.hpp"
+#include "core/pki_graph.hpp"
+#include "netsim/pki_world.hpp"
+#include "util/hash.hpp"
+
+namespace certchain::core {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::dn;
+using certchain::testing::make_chain;
+using certchain::testing::self_signed;
+using certchain::testing::test_validity;
+
+zeek::JoinedConnection make_connection(const chain::CertificateChain& chain,
+                                       const std::string& client,
+                                       const std::string& server, std::uint16_t port,
+                                       bool established, const std::string& sni,
+                                       util::SimTime ts = 1000) {
+  zeek::JoinedConnection connection;
+  connection.ssl.ts = ts;
+  connection.ssl.uid = util::zeek_style_conn_uid(ts, 1);
+  connection.ssl.id_orig_h = client;
+  connection.ssl.id_resp_h = server;
+  connection.ssl.id_resp_p = port;
+  connection.ssl.version = "TLSv12";
+  connection.ssl.established = established;
+  connection.ssl.server_name = sni;
+  connection.chain = chain;
+  return connection;
+}
+
+// --- corpus -----------------------------------------------------------------
+
+TEST(CorpusIndex, DeduplicatesChainsAndAggregatesUsage) {
+  TestPki pki;
+  const auto chain = pki.chain_for("corpus.example");
+  CorpusIndex corpus;
+  corpus.add(make_connection(chain, "10.0.0.1", "198.51.100.1", 443, true,
+                             "corpus.example", 100));
+  corpus.add(make_connection(chain, "10.0.0.2", "198.51.100.1", 443, false, "", 200));
+  corpus.add(make_connection(chain, "10.0.0.1", "198.51.100.2", 8443, true,
+                             "corpus.example", 300));
+
+  ASSERT_EQ(corpus.unique_chain_count(), 1u);
+  const ChainObservation& observation = corpus.chains().begin()->second;
+  EXPECT_EQ(observation.connections, 3u);
+  EXPECT_EQ(observation.established, 2u);
+  EXPECT_EQ(observation.client_ips.size(), 2u);
+  EXPECT_EQ(observation.server_keys.size(), 2u);
+  EXPECT_EQ(observation.ports.count(443), 2u);
+  EXPECT_EQ(observation.with_sni, 2u);
+  EXPECT_EQ(observation.without_sni, 1u);
+  EXPECT_EQ(observation.first_seen, 100);
+  EXPECT_EQ(observation.last_seen, 300);
+  EXPECT_NEAR(observation.establish_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CorpusIndex, TotalsTrackCertlessConnections) {
+  TestPki pki;
+  CorpusIndex corpus;
+  zeek::JoinedConnection tls13;
+  tls13.ssl.version = "TLSv13";
+  corpus.add(tls13);
+  corpus.add(make_connection(pki.chain_for("t.example"), "10.0.0.1", "s", 443, true,
+                             "t.example"));
+  zeek::JoinedConnection incomplete =
+      make_connection(pki.chain_for("u.example"), "10.0.0.1", "s", 443, true,
+                      "u.example");
+  incomplete.missing_fuids.push_back("Fgone");
+  corpus.add(incomplete);
+
+  EXPECT_EQ(corpus.totals().connections, 3u);
+  EXPECT_EQ(corpus.totals().with_certificates, 2u);
+  EXPECT_EQ(corpus.totals().tls13_connections, 1u);
+  EXPECT_EQ(corpus.totals().incomplete_joins, 1u);
+  // Two chains share the issuing intermediate: 2 leaves + 1 intermediate.
+  EXPECT_EQ(corpus.totals().distinct_certificates, 3u);
+}
+
+// --- interception detector -----------------------------------------------------
+
+class InterceptionTest : public ::testing::Test {
+ protected:
+  InterceptionTest() {
+    genuine_leaf_ = pki_.leaf("victim.example");
+    ct_logs_.log(0).submit(genuine_leaf_, 1);
+    // Middlebox CA forging victim.example.
+    x509::DistinguishedName forged_subject;
+    forged_subject.add("CN", "victim.example");
+    forged_leaf_ = middlebox_.issue_leaf(forged_subject, "victim.example",
+                                         test_validity());
+    directory_[middlebox_.name().canonical()] =
+        VendorInfo{"Sim MBox", "Security & Network"};
+  }
+
+  TestPki pki_;
+  truststore::TrustStoreSet stores_ = pki_.trusted_stores();
+  ct::CtLogSet ct_logs_{2};
+  x509::CertificateAuthority middlebox_{dn("CN=MBox SSL Inspection CA,O=MBox"),
+                                        "mbox"};
+  x509::Certificate genuine_leaf_;
+  x509::Certificate forged_leaf_;
+  VendorDirectory directory_;
+};
+
+TEST_F(InterceptionTest, DetectsForgedChainViaCtMismatch) {
+  const InterceptionDetector detector(stores_, ct_logs_, directory_);
+  const auto forged_chain = make_chain({forged_leaf_});
+  EXPECT_TRUE(detector.is_interception_candidate(forged_chain, "victim.example"));
+
+  CorpusIndex corpus;
+  corpus.add(make_connection(forged_chain, "10.0.0.5", "s", 8013, true,
+                             "victim.example"));
+  const InterceptionReport report = detector.detect(corpus);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].vendor.vendor, "Sim MBox");
+  EXPECT_EQ(report.findings[0].connections, 1u);
+  EXPECT_TRUE(report.issuer_set().contains(middlebox_.name().canonical()));
+}
+
+TEST_F(InterceptionTest, GenuineChainIsNotFlagged) {
+  const InterceptionDetector detector(stores_, ct_logs_, directory_);
+  // Leaf issuer is public -> step 1 filters it out.
+  EXPECT_FALSE(detector.is_interception_candidate(make_chain({genuine_leaf_}),
+                                                  "victim.example"));
+}
+
+TEST_F(InterceptionTest, NoCtRecordIsInconclusive) {
+  // A non-public issuer for a domain CT has never seen: possible genuine
+  // private deployment, NOT flagged (Appendix B).
+  const InterceptionDetector detector(stores_, ct_logs_, directory_);
+  x509::DistinguishedName subject;
+  subject.add("CN", "intranet.example");
+  const auto chain = make_chain(
+      {middlebox_.issue_leaf(subject, "intranet.example", test_validity())});
+  EXPECT_FALSE(detector.is_interception_candidate(chain, "intranet.example"));
+}
+
+TEST_F(InterceptionTest, MatchingCtIssuerIsNotFlagged) {
+  // Non-public leaf whose issuer IS what CT recorded (the Table 6 pattern):
+  // no mismatch, no flag.
+  x509::CertificateAuthority agency(dn("CN=Agency CA,O=Agency"), "agency2");
+  x509::DistinguishedName subject;
+  subject.add("CN", "portal.example");
+  const x509::Certificate leaf =
+      agency.issue_leaf(subject, "portal.example", test_validity());
+  ct_logs_.log(0).submit(leaf, 5);
+  const InterceptionDetector detector(stores_, ct_logs_, directory_);
+  EXPECT_FALSE(
+      detector.is_interception_candidate(make_chain({leaf}), "portal.example"));
+}
+
+TEST_F(InterceptionTest, UnconfirmedCandidatesAreTrackedSeparately) {
+  // CT mismatch but no directory entry: remains unconfirmed.
+  x509::CertificateAuthority unknown(dn("CN=Mystery CA"), "mystery");
+  x509::DistinguishedName subject;
+  subject.add("CN", "victim.example");
+  const auto chain = make_chain(
+      {unknown.issue_leaf(subject, "victim.example", test_validity())});
+  CorpusIndex corpus;
+  corpus.add(make_connection(chain, "10.0.0.6", "s", 443, true, "victim.example"));
+  const InterceptionDetector detector(stores_, ct_logs_, directory_);
+  const InterceptionReport report = detector.detect(corpus);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.unconfirmed_candidates.size(), 1u);
+  EXPECT_FALSE(report.issuer_set().contains(unknown.name().canonical()));
+}
+
+TEST_F(InterceptionTest, VendorExpansionPullsInRootDns) {
+  // Once the inspection CA is confirmed, the vendor's root DN (also in the
+  // directory) joins the issuer set — attributing single-root chains.
+  const auto root_dn = dn("CN=MBox Root CA,O=MBox");
+  directory_[root_dn.canonical()] = VendorInfo{"Sim MBox", "Security & Network"};
+  CorpusIndex corpus;
+  corpus.add(make_connection(make_chain({forged_leaf_}), "10.0.0.5", "s", 8013, true,
+                             "victim.example"));
+  const InterceptionDetector detector(stores_, ct_logs_, directory_);
+  const InterceptionReport report = detector.detect(corpus);
+  EXPECT_TRUE(report.issuer_set().contains(root_dn.canonical()));
+}
+
+TEST_F(InterceptionTest, CategoryRowsAggregateByVendor) {
+  // Two distinct issuer DNs of the same vendor count as one Table 1 issuer.
+  x509::CertificateAuthority second_ca(dn("CN=MBox Regional CA,O=MBox"), "mbox2");
+  directory_[second_ca.name().canonical()] =
+      VendorInfo{"Sim MBox", "Security & Network"};
+  x509::DistinguishedName subject;
+  subject.add("CN", "victim.example");
+  const auto second_chain = make_chain(
+      {second_ca.issue_leaf(subject, "victim.example", test_validity())});
+
+  CorpusIndex corpus;
+  corpus.add(make_connection(make_chain({forged_leaf_}), "10.0.0.5", "s1", 8013,
+                             true, "victim.example"));
+  corpus.add(make_connection(second_chain, "10.0.0.6", "s2", 4437, true,
+                             "victim.example"));
+  const InterceptionDetector detector(stores_, ct_logs_, directory_);
+  const auto rows = detector.detect(corpus).category_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].category, "Security & Network");
+  EXPECT_EQ(rows[0].issuers, 1u);  // one vendor
+  EXPECT_EQ(rows[0].connections, 2u);
+  EXPECT_EQ(rows[0].client_ips, 2u);
+}
+
+// --- hybrid analyzer -------------------------------------------------------------
+
+TEST(HybridAnalyzer, Figure4ColumnLabels) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+  ct::CtLogSet ct_logs(2);
+  const HybridAnalyzer analyzer(stores, ct_logs);
+
+  // [pub leaf, pub int, pub root, enterprise self-signed]: a public complete
+  // run plus a non-public single.
+  auto chain = pki.chain_for("fig4.example", true);
+  chain.push_back(self_signed("athenz-like"));
+  ChainObservation observation;
+  observation.chain = chain;
+  const auto cls = chain::classify_hybrid(chain, stores);
+  const StructureColumn column = analyzer.build_structure_column(observation, cls);
+  ASSERT_EQ(column.cells.size(), 4u);
+  EXPECT_EQ(structure_cell_code(column.cells[0]), "Pub.Complete");
+  EXPECT_EQ(structure_cell_code(column.cells[1]), "Pub.Complete");
+  EXPECT_EQ(structure_cell_code(column.cells[2]), "Pub.Complete");
+  // The lone self-signed extra is its own single-cert run.
+  EXPECT_EQ(structure_cell_code(column.cells[3]), "Non-Pub.Single");
+}
+
+TEST(HybridAnalyzer, AnchoredRowsAndCtCompliance) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+  ct::CtLogSet ct_logs(2);
+
+  x509::CertificateAuthority gov_ca(
+      dn("CN=Agency CA B3,O=Department of Examples Government"), "gov");
+  const x509::Certificate gov_cert =
+      pki.root_ca.issue_intermediate(gov_ca, test_validity());
+  x509::DistinguishedName subject;
+  subject.add("CN", "portal.gov.example");
+  x509::Certificate leaf =
+      gov_ca.issue_leaf(subject, "portal.gov.example", test_validity());
+  leaf = ct_logs.submit_and_embed(leaf, 10, 2);
+
+  ChainObservation observation;
+  observation.chain = make_chain({leaf, gov_cert, pki.root_cert});
+  observation.connections = 10;
+  observation.established = 10;
+  observation.last_seen = util::make_time(2021, 1, 1);
+
+  const HybridAnalyzer analyzer(stores, ct_logs);
+  const HybridReport report = analyzer.analyze({&observation});
+  EXPECT_EQ(report.complete_nonpub_to_pub, 1u);
+  EXPECT_EQ(report.anchored_ct_logged, 1u);
+  EXPECT_EQ(report.anchored_expired_leaf, 0u);
+  ASSERT_EQ(report.anchored_rows.size(), 1u);
+  EXPECT_EQ(report.anchored_rows[0].sector, "Government");
+}
+
+TEST(HybridAnalyzer, FakeLeSignatureDetected) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+  ct::CtLogSet ct_logs(2);
+
+  x509::CertificateAuthority fake_root(dn("CN=Fake LE Root X1"), "fake-root");
+  x509::CertificateAuthority fake_int(dn("CN=Fake LE Intermediate X1"), "fake-int");
+  const x509::Certificate fake_cert =
+      fake_root.issue_intermediate(fake_int, test_validity());
+
+  ChainObservation observation;
+  auto chain = pki.chain_for("fake.example", true);
+  chain.push_back(fake_cert);
+  observation.chain = chain;
+  observation.connections = 5;
+  observation.established = 4;
+
+  const HybridAnalyzer analyzer(stores, ct_logs);
+  const HybridReport report = analyzer.analyze({&observation});
+  EXPECT_EQ(report.contains_complete_path, 1u);
+  EXPECT_EQ(report.fake_le_chains, 1u);
+  EXPECT_EQ(report.figure4_columns.size(), 1u);
+  EXPECT_NEAR(report.usage_contains.establish_rate(), 0.8, 1e-12);
+}
+
+// --- non-public analyzer ----------------------------------------------------------
+
+TEST(NonPublicAnalyzer, SinglesSelfSignedAndDga) {
+  netsim::PkiWorld world;
+  util::Rng rng(3);
+
+  ChainObservation localhost_obs;
+  localhost_obs.chain = make_chain({world.make_localhost_certificate("np")});
+  localhost_obs.connections = 10;
+  localhost_obs.without_sni = 9;
+  localhost_obs.with_sni = 1;
+  localhost_obs.client_ips = {"10.0.0.1", "10.0.0.2"};
+  localhost_obs.ports.add(8888, 10);
+
+  ChainObservation dga_obs;
+  dga_obs.chain = make_chain({world.make_dga_certificate(rng)});
+  dga_obs.connections = 4;
+  dga_obs.client_ips = {"10.0.0.3"};
+  dga_obs.ports.add(33854, 4);
+
+  ChainObservation multi_obs;
+  auto& hierarchy = world.make_enterprise_ca("NP Org", true);
+  x509::DistinguishedName subject;
+  subject.add("CN", "svc.np.example");
+  multi_obs.chain = make_chain(
+      {hierarchy.intermediate_ca->issue_leaf_no_bc(subject, "svc.np.example",
+                                                   test_validity()),
+       *hierarchy.intermediate_cert, hierarchy.root_cert});
+  multi_obs.connections = 6;
+  multi_obs.ports.add(443, 6);
+
+  const NonPublicAnalyzer analyzer;
+  const NonPublicReport report = analyzer.analyze(
+      "Non-public-DB-only", {&localhost_obs, &dga_obs, &multi_obs});
+
+  EXPECT_EQ(report.chains, 3u);
+  EXPECT_EQ(report.single_chains, 2u);
+  EXPECT_EQ(report.single_self_signed, 1u);
+  EXPECT_EQ(report.dga_chains, 1u);
+  EXPECT_EQ(report.dga_connections, 4u);
+  EXPECT_EQ(report.multi_chains, 1u);
+  EXPECT_EQ(report.is_matched_path, 1u);
+  EXPECT_EQ(report.single_no_sni_connections, 9u);
+  EXPECT_EQ(report.ports_single.count(8888), 10u);
+  EXPECT_EQ(report.ports_multi.count(443), 6u);
+  // basicConstraints: leaf omitted; intermediate+root present.
+  EXPECT_EQ(report.first_position_certs, 1u);
+  EXPECT_EQ(report.first_position_bc_omitted, 1u);
+  EXPECT_EQ(report.later_position_certs, 2u);
+  EXPECT_EQ(report.later_position_bc_omitted, 0u);
+}
+
+TEST(NonPublicAnalyzer, DgaPatternRecognizer) {
+  EXPECT_TRUE(looks_like_dga_name("wwwabcdefghijcom"));
+  EXPECT_FALSE(looks_like_dga_name("www.example.com"));  // dots disqualify
+  EXPECT_FALSE(looks_like_dga_name("wwwshortcom"));      // too short
+  EXPECT_FALSE(looks_like_dga_name("abcdefghijklmnop"));  // no www prefix
+  EXPECT_FALSE(looks_like_dga_name("wwwabc123defgcom"));  // digits disqualify
+
+  // Self-signed www...com certs are NOT the DGA cluster (fields must differ).
+  x509::Certificate cert = self_signed("wwwabcdefghijcom");
+  EXPECT_FALSE(is_dga_certificate(cert));
+}
+
+TEST(NonPublicAnalyzer, Table8Buckets) {
+  TestPki pki;  // acts as a "private" hierarchy: no stores involved here
+  ChainObservation matched;
+  matched.chain = pki.chain_for("m.example", true);
+  ChainObservation contains;
+  auto contains_chain = pki.chain_for("c.example");
+  contains_chain.push_back(self_signed("extra"));
+  contains.chain = contains_chain;
+  ChainObservation broken;
+  broken.chain = make_chain({self_signed("x"), self_signed("y")});
+
+  const NonPublicAnalyzer analyzer;
+  const NonPublicReport report =
+      analyzer.analyze("t8", {&matched, &contains, &broken});
+  EXPECT_EQ(report.multi_chains, 3u);
+  EXPECT_EQ(report.is_matched_path, 1u);
+  EXPECT_EQ(report.contains_matched_path, 1u);
+  EXPECT_EQ(report.no_matched_path, 1u);
+}
+
+// --- PKI graph --------------------------------------------------------------------
+
+TEST(PkiGraph, RolesEdgesAndComponents) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+
+  ChainObservation a;
+  a.chain = pki.chain_for("g1.example", true);
+  ChainObservation b;
+  b.chain = pki.chain_for("g2.example", true);
+  ChainObservation lone;
+  lone.chain = make_chain({self_signed("lonely"), self_signed("lonelier")});
+
+  const PkiGraph graph = build_pki_graph({&a, &b, &lone}, stores);
+  // Nodes: 2 leaves + shared int + shared root + 2 lonely = 6.
+  EXPECT_EQ(graph.node_count(), 6u);
+  // Two components: the pki cluster and the lonely pair.
+  EXPECT_EQ(graph.connected_components(), 2u);
+
+  const auto breakdown = graph.node_breakdown();
+  using Key = std::pair<CertRole, truststore::IssuerClass>;
+  EXPECT_EQ(breakdown.at(Key{CertRole::kLeaf, truststore::IssuerClass::kPublicDb}), 2u);
+  EXPECT_EQ(
+      breakdown.at(Key{CertRole::kIntermediate, truststore::IssuerClass::kPublicDb}),
+      1u);
+  EXPECT_EQ(breakdown.at(Key{CertRole::kRoot, truststore::IssuerClass::kPublicDb}), 1u);
+
+  // Issuance links: leaf->int (x2 distinct leaves), int->root; the lonely
+  // pair's adjacent pair mismatches, so no link.
+  EXPECT_EQ(graph.issuance_links().size(), 3u);
+}
+
+TEST(PkiGraph, ComplexIntermediates) {
+  // Hub intermediate issued by a root; three spokes issued by the hub; chains
+  // [leaf, spoke_k, hub, root] make the hub adjacent to 3 intermediates.
+  using x509::CertificateAuthority;
+  CertificateAuthority root(dn("CN=CRoot"), "croot");
+  const x509::Certificate root_cert = root.make_root(test_validity());
+  CertificateAuthority hub(dn("CN=CHub"), "chub");
+  const x509::Certificate hub_cert = root.issue_intermediate(hub, test_validity());
+
+  std::vector<ChainObservation> observations;
+  for (int k = 0; k < 3; ++k) {
+    CertificateAuthority spoke(dn("CN=CSpoke" + std::to_string(k)),
+                               "cspoke" + std::to_string(k));
+    const x509::Certificate spoke_cert = hub.issue_intermediate(spoke, test_validity());
+    x509::DistinguishedName subject;
+    subject.add("CN", "deep" + std::to_string(k) + ".example");
+    ChainObservation observation;
+    observation.chain = make_chain(
+        {spoke.issue_leaf(subject, "deep" + std::to_string(k) + ".example",
+                          test_validity()),
+         spoke_cert, hub_cert, root_cert});
+    observations.push_back(std::move(observation));
+  }
+  std::vector<const ChainObservation*> pointers;
+  for (const auto& observation : observations) pointers.push_back(&observation);
+
+  const truststore::TrustStoreSet empty_stores;
+  const PkiGraph graph = build_pki_graph(pointers, empty_stores);
+  const auto complex = graph.complex_intermediates(3);
+  ASSERT_EQ(complex.size(), 1u);
+  EXPECT_EQ(graph.nodes()[complex[0]].subject, "CN=CHub");
+  EXPECT_TRUE(graph.complex_intermediates(4).empty());
+}
+
+TEST(PkiGraph, ChainCountsAndCoOccurrence) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+  ChainObservation a;
+  a.chain = pki.chain_for("cc.example");
+  const PkiGraph graph = build_pki_graph({&a}, stores);
+  ASSERT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.nodes()[0].chain_count, 1u);
+  EXPECT_EQ(graph.co_occurrence_edges().size(), 1u);
+}
+
+}  // namespace
+}  // namespace certchain::core

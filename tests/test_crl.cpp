@@ -1,0 +1,145 @@
+// CRL model and revocation checking, including validator integration.
+#include "x509/crl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+#include "validation/client_validators.hpp"
+
+namespace certchain::x509 {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::test_validity;
+
+const util::SimTime kNow = util::make_time(2021, 3, 1);
+
+Crl fresh_crl(TestPki& pki, std::vector<std::string> serials) {
+  CrlBuilder builder(pki.intermediate_ca.name());
+  builder.updates(kNow - util::kSecondsPerDay, kNow + 7 * util::kSecondsPerDay);
+  for (auto& serial : serials) {
+    builder.revoke(std::move(serial), kNow - util::kSecondsPerHour,
+                   RevocationReason::kKeyCompromise);
+  }
+  return builder.sign_with(pki.intermediate_ca.private_key());
+}
+
+TEST(Crl, FindAndStaleness) {
+  TestPki pki;
+  const Crl crl = fresh_crl(pki, {"aa", "bb"});
+  EXPECT_NE(crl.find("aa"), nullptr);
+  EXPECT_EQ(crl.find("aa")->reason, RevocationReason::kKeyCompromise);
+  EXPECT_EQ(crl.find("zz"), nullptr);
+  EXPECT_FALSE(crl.stale_at(kNow));
+  EXPECT_TRUE(crl.stale_at(kNow + 8 * util::kSecondsPerDay));
+}
+
+TEST(CrlStore, StatusMatrix) {
+  TestPki pki;
+  const x509::Certificate victim = pki.leaf("revoked.example");
+  const x509::Certificate bystander = pki.leaf("fine.example");
+
+  CrlStore store;
+  EXPECT_EQ(store.check(victim, kNow), RevocationStatus::kUnknown);
+
+  store.add(fresh_crl(pki, {victim.serial}));
+  EXPECT_EQ(store.check(victim, kNow), RevocationStatus::kRevoked);
+  EXPECT_EQ(store.check(bystander, kNow), RevocationStatus::kGood);
+  // Stale horizon.
+  EXPECT_EQ(store.check(bystander, kNow + 30 * util::kSecondsPerDay),
+            RevocationStatus::kStale);
+  // Signature verification against the issuer key.
+  EXPECT_EQ(store.check(victim, kNow, &pki.intermediate_cert.public_key),
+            RevocationStatus::kRevoked);
+}
+
+TEST(CrlStore, ForgedCrlDetectedWithIssuerKey) {
+  TestPki pki;
+  // An attacker-signed CRL claiming the victim's serial is fine.
+  x509::CertificateAuthority attacker(pki.intermediate_ca.name(), "attacker-key");
+  CrlBuilder builder(pki.intermediate_ca.name());
+  builder.updates(kNow - 10, kNow + util::kSecondsPerDay);
+  const Crl forged = builder.sign_with(attacker.private_key());
+
+  CrlStore store;
+  store.add(forged);
+  const x509::Certificate cert = pki.leaf("forged-crl.example");
+  // Without the key the forgery passes as "good"...
+  EXPECT_EQ(store.check(cert, kNow), RevocationStatus::kGood);
+  // ...with the key it is rejected.
+  EXPECT_EQ(store.check(cert, kNow, &pki.intermediate_cert.public_key),
+            RevocationStatus::kBadSignature);
+}
+
+TEST(CrlStore, ReplacementByIssuer) {
+  TestPki pki;
+  CrlStore store;
+  store.add(fresh_crl(pki, {"aa"}));
+  store.add(fresh_crl(pki, {}));  // newer empty CRL replaces
+  EXPECT_EQ(store.size(), 1u);
+  const x509::Certificate cert = pki.leaf("x.example");
+  x509::Certificate fake = cert;
+  fake.serial = "aa";
+  EXPECT_EQ(store.check(fake, kNow), RevocationStatus::kGood);
+}
+
+// --- validator integration --------------------------------------------------
+
+class RevocationValidatorTest : public ::testing::Test {
+ protected:
+  TestPki pki_;
+  truststore::TrustStoreSet stores_ = pki_.trusted_stores();
+  truststore::TrustStore host_store_{truststore::RootProgram::kMozillaNss};
+  CrlStore crls_;
+
+  void SetUp() override { host_store_.add(pki_.root_cert); }
+};
+
+TEST_F(RevocationValidatorTest, RevokedLeafRejectedByBothClients) {
+  const x509::Certificate leaf = pki_.leaf("revoked2.example");
+  crls_.add(fresh_crl(pki_, {leaf.serial}));
+  const chain::CertificateChain chain({leaf, pki_.intermediate_cert});
+
+  validation::ChromeLikeValidator::Options chrome_options;
+  chrome_options.crl_store = &crls_;
+  const validation::ChromeLikeValidator chrome(stores_, chrome_options);
+  EXPECT_EQ(chrome.validate(chain, kNow).verdict,
+            validation::ClientVerdict::kRevoked);
+
+  validation::OpenSslLikeValidator::Options openssl_options;
+  openssl_options.crl_store = &crls_;
+  const validation::OpenSslLikeValidator openssl(host_store_, openssl_options);
+  EXPECT_EQ(openssl.validate(chain, kNow).verdict,
+            validation::ClientVerdict::kRevoked);
+}
+
+TEST_F(RevocationValidatorTest, SoftFailVsHardFailOnMissingCrl) {
+  const chain::CertificateChain chain = pki_.chain_for("nocrl.example");
+
+  validation::ChromeLikeValidator::Options soft;
+  soft.crl_store = &crls_;  // empty store: status unknown
+  EXPECT_TRUE(validation::ChromeLikeValidator(stores_, soft)
+                  .validate(chain, kNow)
+                  .accepted());
+
+  validation::ChromeLikeValidator::Options hard = soft;
+  hard.hard_fail_on_unknown = true;
+  EXPECT_EQ(validation::ChromeLikeValidator(stores_, hard)
+                .validate(chain, kNow)
+                .verdict,
+            validation::ClientVerdict::kRevocationUnknown);
+}
+
+TEST_F(RevocationValidatorTest, GoodCrlKeepsChainAccepted) {
+  crls_.add(fresh_crl(pki_, {"unrelated-serial"}));
+  const chain::CertificateChain chain = pki_.chain_for("clean.example");
+  validation::ChromeLikeValidator::Options options;
+  options.crl_store = &crls_;
+  options.hard_fail_on_unknown = false;
+  EXPECT_TRUE(validation::ChromeLikeValidator(stores_, options)
+                  .validate(chain, kNow)
+                  .accepted());
+}
+
+}  // namespace
+}  // namespace certchain::x509

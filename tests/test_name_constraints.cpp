@@ -1,0 +1,107 @@
+// Name constraints: subtree matching, certificate plumbing, and validator
+// enforcement for technically constrained sub-CAs.
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+#include "validation/client_validators.hpp"
+#include "x509/pem.hpp"
+
+namespace certchain::x509 {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::dn;
+using certchain::testing::make_chain;
+using certchain::testing::test_validity;
+
+TEST(DnsSubtree, Rfc5280Matching) {
+  EXPECT_TRUE(dns_in_subtree("example.com", "example.com"));
+  EXPECT_TRUE(dns_in_subtree("host.example.com", "example.com"));
+  EXPECT_TRUE(dns_in_subtree("a.b.example.com", "example.com"));
+  EXPECT_TRUE(dns_in_subtree("HOST.EXAMPLE.COM", "example.com"));
+  EXPECT_FALSE(dns_in_subtree("notexample.com", "example.com"));
+  EXPECT_FALSE(dns_in_subtree("example.org", "example.com"));
+  EXPECT_FALSE(dns_in_subtree("example.com", "host.example.com"));
+}
+
+TEST(NameConstraints, AbsentAllowsEverything) {
+  const NameConstraints none;
+  EXPECT_TRUE(none.allows("anything.example"));
+}
+
+TEST(NameConstraints, PermittedAndExcludedSubtrees) {
+  NameConstraints constraints;
+  constraints.present = true;
+  constraints.permitted_dns = {"agency.gov"};
+  constraints.excluded_dns = {"secret.agency.gov"};
+  EXPECT_TRUE(constraints.allows("portal.agency.gov"));
+  EXPECT_TRUE(constraints.allows("agency.gov"));
+  EXPECT_FALSE(constraints.allows("www.example.com"));       // outside permitted
+  EXPECT_FALSE(constraints.allows("x.secret.agency.gov"));   // excluded wins
+}
+
+TEST(NameConstraints, EmptyPermittedListMeansAllowAllButExcluded) {
+  NameConstraints constraints;
+  constraints.present = true;
+  constraints.excluded_dns = {"bad.example"};
+  EXPECT_TRUE(constraints.allows("anything.example"));
+  EXPECT_FALSE(constraints.allows("www.bad.example"));
+}
+
+TEST(NameConstraints, SurvivePemRoundTripAndFingerprint) {
+  TestPki pki;
+  Certificate cert = pki.leaf("nc.example");
+  const std::string before = cert.fingerprint();
+  cert.name_constraints.present = true;
+  cert.name_constraints.permitted_dns = {"corp.example"};
+  cert.name_constraints.excluded_dns = {"blocked.corp.example"};
+  EXPECT_NE(cert.fingerprint(), before);  // tbs covers the extension
+
+  const auto decoded = decode_pem(encode_pem(cert));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cert);
+}
+
+TEST(NameConstraints, ChromeLikeEnforcesConstrainedSubCa) {
+  // A technically constrained sub-CA limited to agency.gov issues one leaf
+  // inside and one outside its subtree.
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+
+  x509::CertificateAuthority sub_ca(dn("CN=Constrained Agency CA,O=Agency"),
+                                    "constrained");
+  KeyUsage usage;
+  usage.present = true;
+  usage.key_cert_sign = true;
+  NameConstraints constraints;
+  constraints.present = true;
+  constraints.permitted_dns = {"agency.gov"};
+  const Certificate sub_cert = CertificateBuilder()
+                                   .serial(pki.root_ca.next_serial())
+                                   .subject(sub_ca.name())
+                                   .issuer(pki.root_ca.name())
+                                   .validity(test_validity())
+                                   .public_key(sub_ca.public_key())
+                                   .ca(true)
+                                   .key_usage(usage)
+                                   .name_constraints(constraints)
+                                   .sign_with(pki.root_ca.private_key());
+
+  DistinguishedName inside_subject;
+  inside_subject.add("CN", "portal.agency.gov");
+  const Certificate inside =
+      sub_ca.issue_leaf(inside_subject, "portal.agency.gov", test_validity());
+  DistinguishedName outside_subject;
+  outside_subject.add("CN", "www.victim.example");
+  const Certificate outside =
+      sub_ca.issue_leaf(outside_subject, "www.victim.example", test_validity());
+
+  const validation::ChromeLikeValidator chrome(stores);
+  const util::SimTime now = util::make_time(2021, 3, 1);
+  EXPECT_TRUE(chrome.validate(make_chain({inside, sub_cert}), now).accepted());
+  // The constrained CA cannot mint names outside its subtree: rejected.
+  EXPECT_FALSE(chrome.validate(make_chain({outside, sub_cert}), now).accepted());
+}
+
+}  // namespace
+}  // namespace certchain::x509

@@ -1,0 +1,166 @@
+// StudyPipeline unit tests on tiny hand-crafted inputs (the full-corpus
+// behaviour is covered by test_integration.cpp).
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+#include "core/pipeline.hpp"
+#include "util/hash.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_io.hpp"
+
+namespace certchain::core {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::make_chain;
+using certchain::testing::self_signed;
+
+class PipelineUnitTest : public ::testing::Test {
+ protected:
+  PipelineUnitTest()
+      : stores_(pki_.trusted_stores()),
+        pipeline_(stores_, ct_logs_, vendors_, nullptr) {}
+
+  /// Appends one connection delivering `chain` to the log pair.
+  void add_connection(const chain::CertificateChain& chain, bool established,
+                      const std::string& sni, std::uint16_t port = 443) {
+    zeek::SslLogRecord ssl;
+    ssl.ts = util::make_time(2021, 1, 1) + static_cast<util::SimTime>(ssl_.size());
+    ssl.uid = util::zeek_style_conn_uid(ssl_.size(), 9);
+    ssl.id_orig_h = "10.0.0." + std::to_string(ssl_.size() % 250);
+    ssl.id_resp_h = "198.51.100.9";
+    ssl.id_resp_p = port;
+    ssl.version = "TLSv12";
+    ssl.established = established;
+    ssl.server_name = sni;
+    for (const auto& cert : chain) {
+      const std::string fuid = util::zeek_style_fuid(cert.fingerprint());
+      ssl.cert_chain_fuids.push_back(fuid);
+      if (seen_fuids_.insert(fuid).second) {
+        x509_.push_back(zeek::record_from_certificate(cert, ssl.ts, fuid));
+      }
+    }
+    ssl_.push_back(std::move(ssl));
+  }
+
+  TestPki pki_;
+  truststore::TrustStoreSet stores_;
+  ct::CtLogSet ct_logs_{2};
+  VendorDirectory vendors_;
+  StudyPipeline pipeline_;
+  std::vector<zeek::SslLogRecord> ssl_;
+  std::vector<zeek::X509LogRecord> x509_;
+  std::set<std::string> seen_fuids_;
+};
+
+TEST_F(PipelineUnitTest, EmptyInputsProduceEmptyReport) {
+  const StudyReport report = pipeline_.run({}, {});
+  EXPECT_EQ(report.unique_chains, 0u);
+  EXPECT_EQ(report.totals.connections, 0u);
+  EXPECT_TRUE(report.categories.empty());
+  EXPECT_TRUE(report.hybrid.records.empty());
+}
+
+TEST_F(PipelineUnitTest, CategorizesMixedMiniCorpus) {
+  add_connection(pki_.chain_for("pub.example"), true, "pub.example");
+  add_connection(make_chain({self_signed("appliance")}), false, "");
+  auto hybrid = pki_.chain_for("hyb.example");
+  hybrid.push_back(self_signed("corp-extra"));
+  add_connection(hybrid, true, "hyb.example");
+  add_connection(hybrid, false, "hyb.example");  // same chain again
+
+  const StudyReport report = pipeline_.run(ssl_, x509_);
+  EXPECT_EQ(report.unique_chains, 3u);
+  EXPECT_EQ(report.categories.at(chain::ChainCategory::kPublicDbOnly).chains, 1u);
+  EXPECT_EQ(report.categories.at(chain::ChainCategory::kNonPublicDbOnly).chains, 1u);
+  EXPECT_EQ(report.categories.at(chain::ChainCategory::kHybrid).chains, 1u);
+  EXPECT_EQ(report.categories.at(chain::ChainCategory::kHybrid).connections, 2u);
+  EXPECT_EQ(report.hybrid.contains_complete_path, 1u);
+  EXPECT_EQ(report.hybrid.usage_contains.established, 1u);
+}
+
+TEST_F(PipelineUnitTest, OutlierRuleNeedsBothLengthAndSingleObservation) {
+  // A long chain observed twice is NOT excluded; a long chain observed once is.
+  std::vector<x509::Certificate> long_certs;
+  for (int i = 0; i < 35; ++i) {
+    long_certs.push_back(self_signed("junk-" + std::to_string(i)));
+  }
+  const auto long_chain = make_chain(long_certs);
+  add_connection(long_chain, false, "");
+  add_connection(long_chain, false, "");  // second observation
+
+  std::vector<x509::Certificate> outlier_certs;
+  for (int i = 0; i < 40; ++i) {
+    outlier_certs.push_back(self_signed("outlier-" + std::to_string(i)));
+  }
+  add_connection(make_chain(outlier_certs), false, "");
+
+  const StudyReport report = pipeline_.run(ssl_, x509_);
+  ASSERT_EQ(report.excluded_outliers.size(), 1u);
+  EXPECT_EQ(report.excluded_outliers[0].length, 40u);
+  // The twice-observed long chain stays in the Figure 1 series.
+  const auto& lengths =
+      report.chain_lengths.at(chain::ChainCategory::kNonPublicDbOnly);
+  EXPECT_NE(std::find(lengths.begin(), lengths.end(), 35u), lengths.end());
+  EXPECT_EQ(std::find(lengths.begin(), lengths.end(), 40u), lengths.end());
+}
+
+TEST_F(PipelineUnitTest, InterceptionSliceUsesDetectorOutput) {
+  // Genuine cert in CT; forged chain from a directory-known vendor.
+  const x509::Certificate genuine = pki_.leaf("site.example");
+  ct_logs_.log(0).submit(genuine, 1);
+  x509::CertificateAuthority middlebox(
+      x509::DistinguishedName::parse_or_die("CN=Proxy SSL CA,O=ProxyCo"), "proxyco");
+  vendors_[middlebox.name().canonical()] =
+      VendorInfo{"ProxyCo", "Security & Network"};
+
+  x509::DistinguishedName subject;
+  subject.add("CN", "site.example");
+  const auto forged = make_chain({middlebox.issue_leaf(
+      subject, "site.example", certchain::testing::test_validity())});
+  add_connection(forged, true, "site.example", 8013);
+
+  const StudyReport report = pipeline_.run(ssl_, x509_);
+  EXPECT_EQ(report.categories.at(chain::ChainCategory::kTlsInterception).chains, 1u);
+  EXPECT_EQ(report.interception.findings.size(), 1u);
+  EXPECT_EQ(report.interception_chains.chains, 1u);
+  EXPECT_EQ(report.interception_chains.ports_single.count(8013), 1u);
+}
+
+TEST_F(PipelineUnitTest, RunFromTextEqualsRunFromRecords) {
+  add_connection(pki_.chain_for("text.example"), true, "text.example");
+  add_connection(make_chain({self_signed("loner")}), false, "");
+
+  zeek::SslLogWriter ssl_writer;
+  for (const auto& record : ssl_) ssl_writer.add(record);
+  zeek::X509LogWriter x509_writer;
+  for (const auto& record : x509_) x509_writer.add(record);
+
+  const StudyReport from_records = pipeline_.run(ssl_, x509_);
+  const StudyReport from_text =
+      pipeline_.run_from_text(ssl_writer.finish(), x509_writer.finish());
+  EXPECT_EQ(from_text.unique_chains, from_records.unique_chains);
+  EXPECT_EQ(from_text.totals.connections, from_records.totals.connections);
+  EXPECT_EQ(from_text.totals.distinct_certificates,
+            from_records.totals.distinct_certificates);
+}
+
+TEST_F(PipelineUnitTest, Tls13ConnectionsCountedButNotCategorized) {
+  zeek::SslLogRecord tls13;
+  tls13.ts = util::make_time(2021, 2, 1);
+  tls13.uid = "Ctls13aaaaaaaaaaaa";
+  tls13.id_orig_h = "10.0.0.1";
+  tls13.id_resp_h = "198.51.100.9";
+  tls13.id_resp_p = 443;
+  tls13.version = "TLSv13";
+  tls13.established = true;
+  ssl_.push_back(tls13);
+
+  const StudyReport report = pipeline_.run(ssl_, x509_);
+  EXPECT_EQ(report.totals.connections, 1u);
+  EXPECT_EQ(report.totals.tls13_connections, 1u);
+  EXPECT_EQ(report.unique_chains, 0u);
+}
+
+}  // namespace
+}  // namespace certchain::core

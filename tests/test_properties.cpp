@@ -1,0 +1,219 @@
+// Property-based tests: invariants over randomized inputs, seeded and
+// parameterized so failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../tests/helpers.hpp"
+#include "chain/matcher.hpp"
+#include "util/rng.hpp"
+#include "x509/pem.hpp"
+
+namespace certchain {
+namespace {
+
+using certchain::testing::test_validity;
+
+// --- random generators -----------------------------------------------------
+
+std::string random_dn_value(util::Rng& rng) {
+  static constexpr char kPool[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,+\"\\<>;=#.";
+  const std::size_t length = 1 + rng.next_below(24);
+  std::string out;
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kPool[rng.next_below(sizeof(kPool) - 1)]);
+  }
+  return out;
+}
+
+x509::DistinguishedName random_dn(util::Rng& rng) {
+  static const char* kTypes[] = {"CN", "O", "OU", "C", "ST", "L", "emailAddress"};
+  x509::DistinguishedName name;
+  const std::size_t rdn_count = 1 + rng.next_below(5);
+  for (std::size_t i = 0; i < rdn_count; ++i) {
+    name.add(kTypes[rng.next_below(std::size(kTypes))], random_dn_value(rng));
+  }
+  return name;
+}
+
+x509::Certificate random_certificate(util::Rng& rng) {
+  const auto keys = crypto::generate_keypair(
+      static_cast<crypto::KeyAlgorithm>(rng.next_below(5)),
+      "prop/" + std::to_string(rng.next_u64()));
+  x509::CertificateBuilder builder;
+  builder.serial(rng.hex_string(1 + rng.next_below(20)))
+      .subject(random_dn(rng))
+      .issuer(random_dn(rng))
+      .validity({static_cast<util::SimTime>(rng.next_below(1u << 30)),
+                 static_cast<util::SimTime>((1u << 30) + rng.next_below(1u << 30))})
+      .public_key(keys.public_key);
+  if (rng.bernoulli(0.5)) {
+    builder.ca(rng.bernoulli(0.5),
+               rng.bernoulli(0.3) ? std::optional<int>(int(rng.next_below(4)))
+                                  : std::nullopt);
+  } else {
+    builder.no_basic_constraints();
+  }
+  const std::size_t san_count = rng.next_below(3);
+  for (std::size_t i = 0; i < san_count; ++i) {
+    builder.add_san(rng.alpha_string(8) + ".example");
+  }
+  if (rng.bernoulli(0.2)) {
+    builder.add_sct({rng.hex_string(16), static_cast<util::SimTime>(rng.next_below(1u << 30))});
+  }
+  if (rng.bernoulli(0.1)) builder.malformed_encoding(true);
+  x509::Certificate cert = builder.sign_with(keys.private_key);
+  if (rng.bernoulli(0.1)) cert.public_key.malformed = true;
+  return cert;
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- DN round-trip property -----------------------------------------------------
+
+TEST_P(PropertyTest, DnSerializeParseRoundTrips) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const x509::DistinguishedName original = random_dn(rng);
+    const std::string serialized = original.to_string();
+    const auto parsed = x509::DistinguishedName::parse(serialized);
+    ASSERT_TRUE(parsed.has_value()) << serialized;
+    EXPECT_EQ(*parsed, original) << serialized;
+    // Canonical form is stable across a round trip.
+    EXPECT_EQ(parsed->canonical(), original.canonical());
+  }
+}
+
+// --- PEM round-trip property ------------------------------------------------------
+
+TEST_P(PropertyTest, PemRoundTripsArbitraryCertificates) {
+  util::Rng rng(GetParam() ^ 0xBEEF);
+  for (int i = 0; i < 60; ++i) {
+    const x509::Certificate original = random_certificate(rng);
+    const auto decoded = x509::decode_pem(x509::encode_pem(original));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, original);
+    EXPECT_EQ(decoded->fingerprint(), original.fingerprint());
+  }
+}
+
+// --- matcher invariants -------------------------------------------------------------
+
+chain::CertificateChain random_chain(util::Rng& rng, std::size_t max_length) {
+  const std::size_t length = 1 + rng.next_below(max_length);
+  std::vector<x509::Certificate> certs;
+  certchain::testing::TestPki pki;
+  for (std::size_t i = 0; i < length; ++i) {
+    switch (rng.next_below(4)) {
+      case 0: certs.push_back(random_certificate(rng)); break;
+      case 1: certs.push_back(pki.leaf(rng.alpha_string(6) + ".example")); break;
+      case 2: certs.push_back(pki.intermediate_cert); break;
+      default: certs.push_back(pki.root_cert); break;
+    }
+  }
+  return chain::CertificateChain(std::move(certs));
+}
+
+TEST_P(PropertyTest, PathAnalysisInvariants) {
+  util::Rng rng(GetParam() ^ 0xCAFE);
+  for (int i = 0; i < 150; ++i) {
+    const chain::CertificateChain chain = random_chain(rng, 8);
+    for (const bool require_leaf : {true, false}) {
+      const chain::PathAnalysis analysis =
+          chain::analyze_paths(chain, nullptr, require_leaf);
+
+      // Invariant 1: mismatch ratio bounded.
+      const double ratio = analysis.match.mismatch_ratio();
+      EXPECT_GE(ratio, 0.0);
+      EXPECT_LE(ratio, 1.0);
+
+      // Invariant 2: pair count is length-1.
+      EXPECT_EQ(analysis.match.pairs.size(), chain.length() - 1);
+
+      // Invariant 3: runs partition the chain contiguously in order.
+      std::size_t cursor = 0;
+      for (const chain::MatchedRun& run : analysis.runs) {
+        EXPECT_EQ(run.begin, cursor);
+        EXPECT_LE(run.begin, run.end);
+        cursor = run.end + 1;
+      }
+      EXPECT_EQ(cursor, chain.length());
+
+      // Invariant 4: runs break exactly at mismatched pairs.
+      for (const chain::PairMatch& pair : analysis.match.pairs) {
+        bool boundary = false;
+        for (const chain::MatchedRun& run : analysis.runs) {
+          if (run.end == pair.index) boundary = true;
+        }
+        EXPECT_EQ(boundary, !pair.matched) << "pair " << pair.index;
+      }
+
+      // Invariant 5: the complete path is one of the runs, spans >= 2 certs,
+      // and unnecessary certificates are exactly its complement.
+      if (analysis.complete_path) {
+        EXPECT_GE(analysis.complete_path->cert_count(), 2u);
+        bool is_a_run = false;
+        for (const chain::MatchedRun& run : analysis.runs) {
+          if (run == *analysis.complete_path) is_a_run = true;
+        }
+        EXPECT_TRUE(is_a_run);
+        std::set<std::size_t> outside(analysis.unnecessary_certificates.begin(),
+                                      analysis.unnecessary_certificates.end());
+        for (std::size_t index = 0; index < chain.length(); ++index) {
+          const bool inside = index >= analysis.complete_path->begin &&
+                              index <= analysis.complete_path->end;
+          EXPECT_NE(inside, outside.contains(index)) << index;
+        }
+      } else {
+        EXPECT_TRUE(analysis.unnecessary_certificates.empty());
+      }
+
+      // Invariant 6: hybrid-mode complete paths are a subset of the
+      // no-leaf-test mode's (relaxing the test can only help).
+      if (require_leaf) {
+        const chain::PathAnalysis relaxed =
+            chain::analyze_paths(chain, nullptr, false);
+        if (analysis.complete_path) {
+          EXPECT_TRUE(relaxed.complete_path.has_value());
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, MatcherAgreesWithPairwiseDefinition) {
+  util::Rng rng(GetParam() ^ 0xD00D);
+  for (int i = 0; i < 100; ++i) {
+    const chain::CertificateChain chain = random_chain(rng, 6);
+    const chain::MatchResult result = chain::match_chain(chain);
+    for (const chain::PairMatch& pair : result.pairs) {
+      const bool expected =
+          chain.at(pair.index).issuer.matches(chain.at(pair.index + 1).subject);
+      EXPECT_EQ(pair.matched, expected) << "pair " << pair.index;
+      EXPECT_FALSE(pair.via_cross_sign);  // no registry supplied
+    }
+  }
+}
+
+// --- chain id properties --------------------------------------------------------------
+
+TEST_P(PropertyTest, ChainIdIsInjectiveOnContent) {
+  util::Rng rng(GetParam() ^ 0xF00D);
+  std::map<std::string, std::string> seen;  // id -> debug
+  for (int i = 0; i < 100; ++i) {
+    const chain::CertificateChain chain = random_chain(rng, 5);
+    std::string content;
+    for (const auto& cert : chain) content += cert.fingerprint() + "|";
+    const auto [it, inserted] = seen.emplace(chain.id(), content);
+    if (!inserted) {
+      EXPECT_EQ(it->second, content);  // same id => same content
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace certchain

@@ -1,0 +1,86 @@
+// StudyReport text rendering.
+#include "core/report_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+#include "util/hash.hpp"
+#include "zeek/joiner.hpp"
+
+namespace certchain::core {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::make_chain;
+using certchain::testing::self_signed;
+
+StudyReport tiny_report(TestPki& pki) {
+  const truststore::TrustStoreSet stores = pki.trusted_stores();
+  static ct::CtLogSet ct_logs(2);
+  static VendorDirectory vendors;
+  const StudyPipeline pipeline(stores, ct_logs, vendors, nullptr);
+
+  std::vector<zeek::SslLogRecord> ssl;
+  std::vector<zeek::X509LogRecord> x509;
+  const auto add = [&](const chain::CertificateChain& chain, bool established) {
+    zeek::SslLogRecord record;
+    record.ts = 1600000000 + static_cast<util::SimTime>(ssl.size());
+    record.uid = util::zeek_style_conn_uid(ssl.size(), 4);
+    record.id_orig_h = "10.0.0.1";
+    record.id_resp_h = "198.51.100.4";
+    record.id_resp_p = 443;
+    record.version = "TLSv12";
+    record.established = established;
+    for (const auto& cert : chain) {
+      const std::string fuid = util::zeek_style_fuid(cert.fingerprint());
+      record.cert_chain_fuids.push_back(fuid);
+      x509.push_back(zeek::record_from_certificate(cert, record.ts, fuid));
+    }
+    ssl.push_back(std::move(record));
+  };
+  add(pki.chain_for("r1.example"), true);
+  auto hybrid = pki.chain_for("r2.example");
+  hybrid.push_back(self_signed("extra"));
+  add(hybrid, false);
+  add(make_chain({self_signed("lonely")}), true);
+  return pipeline.run(ssl, x509);
+}
+
+TEST(ReportText, AllSectionsRender) {
+  TestPki pki;
+  const StudyReport report = tiny_report(pki);
+  ReportTextOptions options;
+  options.graphs = true;
+  const std::string text = render_report_text(report, options);
+  EXPECT_NE(text.find("== Corpus =="), std::string::npos);
+  EXPECT_NE(text.find("Chain categories"), std::string::npos);
+  EXPECT_NE(text.find("TLS interception"), std::string::npos);
+  EXPECT_NE(text.find("Hybrid chain structures"), std::string::npos);
+  EXPECT_NE(text.find("Non-public-DB-only"), std::string::npos);
+  EXPECT_NE(text.find("PKI graphs"), std::string::npos);
+  EXPECT_NE(text.find("unique chains: 3"), std::string::npos);
+  EXPECT_NE(text.find("Public-DB-only"), std::string::npos);
+}
+
+TEST(ReportText, SectionsAreToggleable) {
+  TestPki pki;
+  const StudyReport report = tiny_report(pki);
+  ReportTextOptions options;
+  options.totals = false;
+  options.interception = false;
+  options.hybrid = false;
+  options.non_public = false;
+  const std::string text = render_report_text(report, options);
+  EXPECT_EQ(text.find("== Corpus =="), std::string::npos);
+  EXPECT_EQ(text.find("TLS interception"), std::string::npos);
+  EXPECT_NE(text.find("Chain categories"), std::string::npos);
+}
+
+TEST(ReportText, EmptyReportRendersSafely) {
+  const StudyReport report;
+  const std::string text = render_report_text(report);
+  EXPECT_NE(text.find("unique chains: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace certchain::core

@@ -1,0 +1,128 @@
+// Robustness: parsers must degrade gracefully (no crashes, no exceptions)
+// under randomly mutated input — PEM bundles, Zeek TSV logs, DN strings.
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+#include "util/base64.hpp"
+#include "util/rng.hpp"
+#include "x509/pem.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_io.hpp"
+
+namespace certchain {
+namespace {
+
+using certchain::testing::TestPki;
+
+/// Applies `count` random byte mutations (replace/insert/delete).
+std::string mutate(std::string text, util::Rng& rng, int count) {
+  for (int i = 0; i < count && !text.empty(); ++i) {
+    const std::size_t pos = rng.next_below(text.size());
+    switch (rng.next_below(3)) {
+      case 0:
+        text[pos] = static_cast<char>(rng.next_below(256));
+        break;
+      case 1:
+        text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                    static_cast<char>(rng.next_below(256)));
+        break;
+      default:
+        text.erase(text.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+    }
+  }
+  return text;
+}
+
+class RobustnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RobustnessTest, PemDecoderNeverThrows) {
+  util::Rng rng(GetParam());
+  TestPki pki;
+  std::string bundle;
+  for (const auto& cert : pki.chain_for("robust.example", true)) {
+    bundle += x509::encode_pem(cert);
+  }
+  for (int i = 0; i < 150; ++i) {
+    const std::string mutated = mutate(bundle, rng, 1 + int(rng.next_below(25)));
+    std::size_t malformed = 0;
+    EXPECT_NO_THROW({
+      const auto certs = x509::decode_pem_bundle(mutated, &malformed);
+      // Whatever decodes must re-encode cleanly (no corrupt state escapes).
+      for (const auto& cert : certs) {
+        EXPECT_NO_THROW((void)x509::encode_pem(cert));
+        EXPECT_NO_THROW((void)cert.fingerprint());
+      }
+    });
+  }
+}
+
+TEST_P(RobustnessTest, ZeekParsersNeverThrow) {
+  util::Rng rng(GetParam() ^ 0x5EEC);
+  TestPki pki;
+
+  zeek::SslLogWriter ssl_writer;
+  zeek::X509LogWriter x509_writer;
+  for (int i = 0; i < 5; ++i) {
+    zeek::SslLogRecord ssl;
+    ssl.ts = 1600000000 + i;
+    ssl.uid = "C" + std::to_string(i);
+    ssl.id_orig_h = "10.0.0.1";
+    ssl.id_resp_h = "198.51.100.1";
+    ssl.id_resp_p = 443;
+    ssl.version = "TLSv12";
+    ssl.cert_chain_fuids = {"F" + std::to_string(i)};
+    ssl.subject = "CN=robust" + std::to_string(i) + ".example";
+    ssl_writer.add(ssl);
+    x509_writer.add(zeek::record_from_certificate(
+        pki.leaf("robust" + std::to_string(i) + ".example"), ssl.ts,
+        "F" + std::to_string(i)));
+  }
+  const std::string ssl_text = ssl_writer.finish();
+  const std::string x509_text = x509_writer.finish();
+
+  for (int i = 0; i < 100; ++i) {
+    zeek::ParseDiagnostics diagnostics;
+    EXPECT_NO_THROW((void)zeek::parse_ssl_log(
+        mutate(ssl_text, rng, 1 + int(rng.next_below(40))), &diagnostics));
+    EXPECT_NO_THROW((void)zeek::parse_x509_log(
+        mutate(x509_text, rng, 1 + int(rng.next_below(40))), &diagnostics));
+  }
+}
+
+TEST_P(RobustnessTest, DnParserNeverThrowsOnGarbage) {
+  util::Rng rng(GetParam() ^ 0xDDDD);
+  for (int i = 0; i < 500; ++i) {
+    std::string garbage;
+    const std::size_t length = rng.next_below(64);
+    for (std::size_t c = 0; c < length; ++c) {
+      garbage.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    EXPECT_NO_THROW({
+      const auto parsed = x509::DistinguishedName::parse(garbage);
+      if (parsed) {
+        // Anything accepted must serialize and re-parse to the same value.
+        const auto again = x509::DistinguishedName::parse(parsed->to_string());
+        ASSERT_TRUE(again.has_value()) << garbage;
+        EXPECT_EQ(*again, *parsed);
+      }
+    });
+  }
+}
+
+TEST_P(RobustnessTest, Base64DecoderNeverThrows) {
+  util::Rng rng(GetParam() ^ 0xB64);
+  for (int i = 0; i < 500; ++i) {
+    std::string garbage;
+    const std::size_t length = rng.next_below(128);
+    for (std::size_t c = 0; c < length; ++c) {
+      garbage.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    EXPECT_NO_THROW((void)util::base64_decode(garbage));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest, ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace certchain

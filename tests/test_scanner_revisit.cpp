@@ -1,0 +1,271 @@
+// Active scanner and the §5 revisit analysis.
+#include <gtest/gtest.h>
+
+#include "core/revisit.hpp"
+#include "netsim/pki_world.hpp"
+#include "scanner/scanner.hpp"
+#include "x509/pem.hpp"
+
+namespace certchain {
+namespace {
+
+using netsim::PkiWorld;
+using netsim::ServerEndpoint;
+using scanner::ActiveScanner;
+using scanner::ScanResult;
+
+class ScannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Endpoint A: reachable by domain, serving a public chain at revisit.
+    ServerEndpoint a;
+    a.ip = "198.51.100.10";
+    a.port = 443;
+    a.domain = "alive.example";
+    a.chain = world_.issue_public_chain("digicert", "alive.example",
+                                        PkiWorld::default_leaf_validity());
+    a.revisit_chain = world_.issue_public_chain(
+        "lets-encrypt", "alive.example",
+        {util::make_time(2024, 10, 1), util::make_time(2025, 1, 1)});
+    endpoints_.push_back(a);
+
+    // Endpoint B: gone by the revisit epoch.
+    ServerEndpoint b = a;
+    b.ip = "198.51.100.11";
+    b.domain = "gone.example";
+    b.revisit_chain = std::nullopt;
+    endpoints_.push_back(b);
+
+    // Endpoint C: IP-only service (no domain).
+    ServerEndpoint c = a;
+    c.ip = "198.51.100.12";
+    c.port = 8443;
+    c.domain.clear();
+    c.revisit_chain = c.chain;
+    endpoints_.push_back(c);
+  }
+
+  PkiWorld world_;
+  std::vector<ServerEndpoint> endpoints_;
+};
+
+TEST_F(ScannerTest, ScanByDomain) {
+  const ActiveScanner scanner(endpoints_);
+  const ScanResult result = scanner.scan_domain("alive.example");
+  EXPECT_TRUE(result.reachable);
+  EXPECT_EQ(result.chain_length(), 2u);
+  EXPECT_EQ(result.target, "alive.example:443");
+
+  EXPECT_FALSE(scanner.scan_domain("gone.example").reachable);
+  EXPECT_FALSE(scanner.scan_domain("never-existed.example").reachable);
+  EXPECT_FALSE(scanner.scan_domain("alive.example", 8443).reachable);  // wrong port
+}
+
+TEST_F(ScannerTest, ScanByIp) {
+  const ActiveScanner scanner(endpoints_);
+  EXPECT_TRUE(scanner.scan_ip("198.51.100.12", 8443).reachable);
+  EXPECT_FALSE(scanner.scan_ip("198.51.100.99", 443).reachable);
+}
+
+TEST_F(ScannerTest, PemBundleRoundTripsThroughParser) {
+  const ActiveScanner scanner(endpoints_);
+  const ScanResult result = scanner.scan_domain("alive.example");
+  ASSERT_TRUE(result.reachable);
+  const auto parsed = x509::decode_pem_bundle(result.pem_bundle);
+  ASSERT_EQ(parsed.size(), result.chain_length());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i], result.chain.at(i));
+  }
+  // s_client cosmetics.
+  EXPECT_NE(result.pem_bundle.find("CONNECTED("), std::string::npos);
+  EXPECT_NE(result.pem_bundle.find(" 0 s:"), std::string::npos);
+  EXPECT_NE(result.pem_bundle.find("   i:"), std::string::npos);
+}
+
+TEST_F(ScannerTest, ScanAllDomainsSkipsIpOnlyServices) {
+  const ActiveScanner scanner(endpoints_);
+  const auto results = scanner.scan_all_domains();
+  EXPECT_EQ(results.size(), 2u);  // alive + gone; the IP-only endpoint skipped
+}
+
+TEST_F(ScannerTest, IpSweepReachesTheNamelessPopulation) {
+  const ActiveScanner scanner(endpoints_);
+  const auto results = scanner.scan_all_ips();
+  EXPECT_EQ(results.size(), 3u);  // every endpoint, SNI or not
+  std::size_t reachable = 0;
+  for (const auto& result : results) {
+    if (result.reachable) ++reachable;
+  }
+  EXPECT_EQ(reachable, 2u);  // the "gone" endpoint stays unreachable
+  // The sweep covers strictly more than the SNI route (the §6.3 point).
+  EXPECT_GT(results.size(), scanner.scan_all_domains().size());
+}
+
+// --- revisit analysis -----------------------------------------------------------
+
+TEST(RevisitAnalyzer, HybridMigrationBreakdown) {
+  PkiWorld world;
+  std::vector<ServerEndpoint> endpoints;
+  const auto validity = PkiWorld::default_leaf_validity();
+  const util::TimeRange revisit{util::make_time(2024, 10, 1),
+                                util::make_time(2025, 2, 1)};
+
+  const auto hybrid_chain = [&](const std::string& domain) {
+    auto chain = world.issue_public_chain("digicert", domain, validity);
+    chain.push_back(world.make_self_signed("Legacy Org", "legacy-ca", validity));
+    return chain;
+  };
+
+  // 1. migrated to Let's Encrypt
+  ServerEndpoint le;
+  le.ip = "203.0.113.1";
+  le.domain = "to-le.example";
+  le.chain = hybrid_chain(le.domain);
+  le.revisit_chain = world.issue_public_chain("lets-encrypt", le.domain, revisit);
+  endpoints.push_back(le);
+
+  // 2. migrated to another public CA
+  ServerEndpoint pub = le;
+  pub.ip = "203.0.113.2";
+  pub.domain = "to-pub.example";
+  pub.chain = hybrid_chain(pub.domain);
+  pub.revisit_chain = world.issue_public_chain("godaddy", pub.domain, revisit);
+  endpoints.push_back(pub);
+
+  // 3. went fully non-public
+  ServerEndpoint priv = le;
+  priv.ip = "203.0.113.3";
+  priv.domain = "to-priv.example";
+  priv.chain = hybrid_chain(priv.domain);
+  {
+    auto& hierarchy = world.make_enterprise_ca("Holdout Org", true);
+    x509::DistinguishedName subject;
+    subject.add("CN", priv.domain);
+    chain::CertificateChain chain;
+    chain.push_back(hierarchy.intermediate_ca->issue_leaf(subject, priv.domain, revisit));
+    chain.push_back(*hierarchy.intermediate_cert);
+    chain.push_back(hierarchy.root_cert);
+    priv.revisit_chain = std::move(chain);
+  }
+  endpoints.push_back(priv);
+
+  // 4. still hybrid, with extras
+  ServerEndpoint still = le;
+  still.ip = "203.0.113.4";
+  still.domain = "still-hybrid.example";
+  still.chain = hybrid_chain(still.domain);
+  {
+    auto chain = world.issue_public_chain("comodo", still.domain, revisit, true);
+    chain.push_back(world.make_self_signed("Leftover Org", "leftover", revisit));
+    still.revisit_chain = std::move(chain);
+  }
+  endpoints.push_back(still);
+
+  // 5. unreachable
+  ServerEndpoint dead = le;
+  dead.ip = "203.0.113.5";
+  dead.domain = "dead.example";
+  dead.chain = hybrid_chain(dead.domain);
+  dead.revisit_chain = std::nullopt;
+  endpoints.push_back(dead);
+
+  const ActiveScanner scanner(endpoints);
+  std::vector<const ServerEndpoint*> servers;
+  for (const auto& endpoint : endpoints) servers.push_back(&endpoint);
+
+  const core::RevisitAnalyzer analyzer(world.stores());
+  const core::HybridRevisitReport report = analyzer.analyze_hybrid(servers, scanner);
+  EXPECT_EQ(report.previous_servers, 5u);
+  EXPECT_EQ(report.reachable, 4u);
+  EXPECT_EQ(report.now_all_public, 2u);
+  EXPECT_EQ(report.now_lets_encrypt, 1u);
+  EXPECT_EQ(report.now_all_non_public, 1u);
+  EXPECT_EQ(report.still_hybrid, 1u);
+  EXPECT_EQ(report.still_complete_with_extras, 1u);
+}
+
+TEST(RevisitAnalyzer, NonPublicUpgradeBreakdown) {
+  PkiWorld world;
+  const auto validity = PkiWorld::default_leaf_validity();
+  std::vector<ServerEndpoint> endpoints;
+
+  const auto upgraded_chain = [&](const std::string& org, const std::string& domain) {
+    auto& hierarchy = world.make_enterprise_ca(org, true);
+    x509::DistinguishedName subject;
+    subject.add("CN", domain);
+    chain::CertificateChain chain;
+    chain.push_back(hierarchy.intermediate_ca->issue_leaf_no_bc(subject, domain, validity));
+    chain.push_back(*hierarchy.intermediate_cert);
+    chain.push_back(hierarchy.root_cert);
+    return chain;
+  };
+
+  // Previously single self-signed -> now hierarchical.
+  ServerEndpoint upgraded;
+  upgraded.ip = "198.51.100.30";
+  upgraded.domain = "upgraded.example";
+  {
+    chain::CertificateChain chain;
+    chain.push_back(world.make_self_signed("Old Org", upgraded.domain, validity));
+    upgraded.chain = std::move(chain);
+  }
+  upgraded.revisit_chain = upgraded_chain("New Org", upgraded.domain);
+  endpoints.push_back(upgraded);
+
+  // Previously multi -> still multi.
+  ServerEndpoint stable;
+  stable.ip = "198.51.100.31";
+  stable.domain = "stable.example";
+  stable.chain = upgraded_chain("Stable Org", stable.domain);
+  stable.revisit_chain = stable.chain;
+  endpoints.push_back(stable);
+
+  // Still single.
+  ServerEndpoint holdout;
+  holdout.ip = "198.51.100.32";
+  holdout.domain = "holdout.example";
+  {
+    chain::CertificateChain chain;
+    chain.push_back(world.make_self_signed("Holdout", holdout.domain, validity));
+    holdout.chain = std::move(chain);
+  }
+  holdout.revisit_chain = holdout.chain;
+  endpoints.push_back(holdout);
+
+  // No SNI on record: cannot be rescanned.
+  ServerEndpoint unnamed = holdout;
+  unnamed.ip = "198.51.100.33";
+  unnamed.domain.clear();
+  endpoints.push_back(unnamed);
+
+  const ActiveScanner scanner(endpoints);
+  std::vector<const ServerEndpoint*> servers;
+  for (const auto& endpoint : endpoints) servers.push_back(&endpoint);
+
+  const core::RevisitAnalyzer analyzer(world.stores());
+  const core::NonPublicRevisitReport report =
+      analyzer.analyze_non_public(servers, scanner, 1000, 795);
+  EXPECT_EQ(report.scannable_servers, 3u);
+  EXPECT_EQ(report.reachable, 3u);
+  EXPECT_EQ(report.still_non_public, 3u);
+  EXPECT_EQ(report.now_multi_cert, 2u);
+  EXPECT_EQ(report.previously_multi, 1u);
+  EXPECT_EQ(report.previously_single_self_signed, 1u);
+  EXPECT_EQ(report.previously_single_distinct, 0u);
+  EXPECT_EQ(report.now_multi_complete_matched, 2u);
+  EXPECT_EQ(report.previous_connections, 1000u);
+}
+
+TEST(RevisitAnalyzer, LetsEncryptHeuristic) {
+  PkiWorld world;
+  const auto le = world.issue_public_chain("lets-encrypt", "h.example",
+                                           PkiWorld::default_leaf_validity());
+  const auto dc = world.issue_public_chain("digicert", "h.example",
+                                           PkiWorld::default_leaf_validity());
+  EXPECT_TRUE(core::RevisitAnalyzer::is_lets_encrypt_chain(le));
+  EXPECT_FALSE(core::RevisitAnalyzer::is_lets_encrypt_chain(dc));
+  EXPECT_FALSE(core::RevisitAnalyzer::is_lets_encrypt_chain(chain::CertificateChain()));
+}
+
+}  // namespace
+}  // namespace certchain

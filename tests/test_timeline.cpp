@@ -1,0 +1,113 @@
+// Monthly timeline analyzer.
+#include "core/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+
+namespace certchain::core {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::make_chain;
+using certchain::testing::self_signed;
+
+zeek::JoinedConnection at_time(const chain::CertificateChain& chain,
+                               util::SimTime ts, bool established = true) {
+  zeek::JoinedConnection connection;
+  connection.ssl.ts = ts;
+  connection.ssl.id_orig_h = "10.0.0.1";
+  connection.ssl.id_resp_h = "198.51.100.1";
+  connection.ssl.id_resp_p = 443;
+  connection.ssl.version = "TLSv12";
+  connection.ssl.established = established;
+  connection.chain = chain;
+  return connection;
+}
+
+TEST(MonthKey, Formatting) {
+  EXPECT_EQ(month_key(util::make_time(2020, 9, 1)), "2020-09");
+  EXPECT_EQ(month_key(util::make_time(2021, 12, 31, 23, 59, 59)), "2021-12");
+}
+
+TEST(Timeline, EmptyCorpus) {
+  const CorpusIndex corpus;
+  const truststore::TrustStoreSet stores;
+  const TimelineReport report = build_timeline(corpus, stores, {});
+  EXPECT_TRUE(report.months.empty());
+  EXPECT_TRUE(report.series.empty());
+}
+
+TEST(Timeline, MonthSpanCoversWindowAndSeriesAlign) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+  CorpusIndex corpus;
+  // Public chain seen in September and again in December.
+  const auto pub = pki.chain_for("tl.example");
+  corpus.add(at_time(pub, util::make_time(2020, 9, 15)));
+  corpus.add(at_time(pub, util::make_time(2020, 12, 15)));
+  // Non-public single seen only in October.
+  corpus.add(at_time(make_chain({self_signed("tl-box")}),
+                     util::make_time(2020, 10, 2), false));
+
+  const TimelineReport report = build_timeline(corpus, stores, {});
+  ASSERT_EQ(report.months.size(), 4u);  // 2020-09 .. 2020-12
+  EXPECT_EQ(report.months.front(), "2020-09");
+  EXPECT_EQ(report.months.back(), "2020-12");
+  for (const auto& [category, series] : report.series) {
+    EXPECT_EQ(series.size(), report.months.size());
+  }
+}
+
+TEST(Timeline, NewChainsAttributedToFirstMonth) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+  CorpusIndex corpus;
+  const auto chain = pki.chain_for("tl2.example");
+  corpus.add(at_time(chain, util::make_time(2021, 2, 1)));
+  corpus.add(at_time(chain, util::make_time(2021, 4, 1)));
+
+  const TimelineReport report = build_timeline(corpus, stores, {});
+  const auto& series = report.series.at(chain::ChainCategory::kPublicDbOnly);
+  EXPECT_EQ(series[0].month, "2021-02");
+  EXPECT_EQ(series[0].new_chains, 1u);
+  EXPECT_EQ(series[1].new_chains, 0u);
+  EXPECT_EQ(series[2].new_chains, 0u);
+}
+
+TEST(Timeline, ConnectionTotalsArePreservedAcrossSpread) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+  CorpusIndex corpus;
+  const auto chain = pki.chain_for("tl3.example");
+  // 7 connections across a 3-month span: spread must sum back to 7.
+  corpus.add(at_time(chain, util::make_time(2021, 1, 10)));
+  for (int i = 0; i < 5; ++i) {
+    corpus.add(at_time(chain, util::make_time(2021, 2, 10 + i)));
+  }
+  corpus.add(at_time(chain, util::make_time(2021, 3, 10)));
+
+  const TimelineReport report = build_timeline(corpus, stores, {});
+  const auto& series = report.series.at(chain::ChainCategory::kPublicDbOnly);
+  std::uint64_t total = 0;
+  for (const MonthlyRow& row : series) total += row.connections;
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(Timeline, InterceptionSetRoutesCategories) {
+  TestPki pki;
+  const auto stores = pki.trusted_stores();
+  x509::Certificate forged = self_signed("victim.example");
+  forged.issuer = certchain::testing::dn("CN=MBox SSL CA,O=MBox");
+  CorpusIndex corpus;
+  corpus.add(at_time(make_chain({forged}), util::make_time(2021, 5, 5)));
+
+  chain::InterceptionIssuerSet interception{forged.issuer.canonical()};
+  const TimelineReport with = build_timeline(corpus, stores, interception);
+  EXPECT_TRUE(with.series.contains(chain::ChainCategory::kTlsInterception));
+  const TimelineReport without = build_timeline(corpus, stores, {});
+  EXPECT_TRUE(without.series.contains(chain::ChainCategory::kNonPublicDbOnly));
+}
+
+}  // namespace
+}  // namespace certchain::core

@@ -1,0 +1,122 @@
+// Trust stores, CCADB eligibility, and the §3.2.1 issuer classification.
+#include "truststore/trust_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+
+namespace certchain::truststore {
+namespace {
+
+using certchain::testing::TestPki;
+using certchain::testing::dn;
+using certchain::testing::self_signed;
+using certchain::testing::test_validity;
+
+TEST(TrustStore, AddIsIdempotentByFingerprint) {
+  TestPki pki;
+  TrustStore store(RootProgram::kMozillaNss);
+  store.add(pki.root_cert);
+  store.add(pki.root_cert);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains_fingerprint(pki.root_cert.fingerprint()));
+  EXPECT_TRUE(store.contains_subject(pki.root_cert.subject));
+}
+
+TEST(TrustStore, FindBySubjectReturnsAllMatches) {
+  TestPki pki;
+  TrustStore store(RootProgram::kApple);
+  store.add(pki.root_cert);
+  // A re-keyed root with the same DN.
+  x509::CertificateAuthority rekeyed(pki.root_ca.name(), "rekeyed-root");
+  store.add(rekeyed.make_root(test_validity()));
+  const auto found = store.find_by_subject(pki.root_ca.name());
+  EXPECT_EQ(found.size(), 2u);
+  EXPECT_TRUE(store.find_by_subject(dn("CN=Unknown")).empty());
+}
+
+TEST(Ccadb, EligibilityRequiresChainAndAuditOrConstraint) {
+  CcadbRecord record;
+  record.chains_to_participating_root = true;
+  record.publicly_audited = true;
+  EXPECT_TRUE(record.eligible());
+
+  record.publicly_audited = false;
+  record.technically_constrained = true;
+  EXPECT_TRUE(record.eligible());
+
+  record.technically_constrained = false;
+  EXPECT_FALSE(record.eligible());  // chains but neither constrained nor audited
+
+  record.publicly_audited = true;
+  record.chains_to_participating_root = false;
+  EXPECT_FALSE(record.eligible());  // audited but does not chain
+}
+
+TEST(Ccadb, IneligibleRecordsDoNotClassify) {
+  TestPki pki;
+  Ccadb ccadb;
+  CcadbRecord record;
+  record.certificate = pki.intermediate_cert;
+  record.chains_to_participating_root = true;  // not audited/constrained
+  ccadb.add(record);
+  EXPECT_EQ(ccadb.record_count(), 1u);
+  EXPECT_EQ(ccadb.eligible_count(), 0u);
+  EXPECT_FALSE(ccadb.contains_subject(pki.intermediate_cert.subject));
+
+  record.publicly_audited = true;
+  ccadb.add(record);
+  EXPECT_TRUE(ccadb.contains_subject(pki.intermediate_cert.subject));
+  EXPECT_EQ(ccadb.find_by_subject(pki.intermediate_cert.subject).size(), 1u);
+}
+
+TEST(TrustStoreSet, ClassifiesIssuersPerPaperRule) {
+  TestPki pki;
+  const TrustStoreSet stores = pki.trusted_stores();
+
+  // Leaf issued by the CCADB-disclosed intermediate -> public-DB.
+  TestPki mutable_pki = pki;
+  const x509::Certificate leaf = mutable_pki.leaf("classify.example");
+  EXPECT_EQ(stores.classify_certificate(leaf), IssuerClass::kPublicDb);
+
+  // Intermediate issued by the stored root -> public-DB.
+  EXPECT_EQ(stores.classify_certificate(pki.intermediate_cert),
+            IssuerClass::kPublicDb);
+
+  // Self-signed stranger -> non-public-DB.
+  EXPECT_EQ(stores.classify_certificate(self_signed("stranger")),
+            IssuerClass::kNonPublicDb);
+}
+
+TEST(TrustStoreSet, MembershipInAnySingleStoreSuffices) {
+  TestPki pki;
+  TrustStoreSet stores;
+  // Root only in the Microsoft store (the FPKI pattern).
+  stores.store(RootProgram::kMicrosoft).add(pki.root_cert);
+  EXPECT_EQ(stores.classify_issuer(pki.root_ca.name()), IssuerClass::kPublicDb);
+  EXPECT_TRUE(stores.is_known_subject(pki.root_ca.name()));
+  EXPECT_TRUE(stores.is_trust_anchor(pki.root_cert));
+
+  TrustStoreSet empty;
+  EXPECT_EQ(empty.classify_issuer(pki.root_ca.name()), IssuerClass::kNonPublicDb);
+  EXPECT_FALSE(empty.is_trust_anchor(pki.root_cert));
+}
+
+TEST(TrustStoreSet, FindIssuerCandidatesSpansStoresAndCcadb) {
+  TestPki pki;
+  const TrustStoreSet stores = pki.trusted_stores();
+  // Root present in all three program stores -> three candidates.
+  EXPECT_EQ(stores.find_issuer_candidates(pki.root_ca.name()).size(), 3u);
+  // Intermediate only in CCADB -> one candidate.
+  EXPECT_EQ(stores.find_issuer_candidates(pki.intermediate_ca.name()).size(), 1u);
+  EXPECT_TRUE(stores.find_issuer_candidates(dn("CN=Nobody")).empty());
+}
+
+TEST(TrustStoreSet, Names) {
+  EXPECT_EQ(root_program_name(RootProgram::kMozillaNss), "Mozilla NSS");
+  EXPECT_EQ(issuer_class_name(IssuerClass::kPublicDb), "public-DB");
+  EXPECT_EQ(issuer_class_name(IssuerClass::kNonPublicDb), "non-public-DB");
+}
+
+}  // namespace
+}  // namespace certchain::truststore

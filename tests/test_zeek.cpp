@@ -1,0 +1,247 @@
+// Zeek substrate: TSV log format round trips, damage handling, the
+// SSL x X509 join, and content-based protocol detection.
+#include <gtest/gtest.h>
+
+#include "../tests/helpers.hpp"
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+#include "zeek/dpd.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_io.hpp"
+
+namespace certchain::zeek {
+namespace {
+
+using certchain::testing::TestPki;
+
+SslLogRecord sample_ssl() {
+  SslLogRecord record;
+  record.ts = util::make_time(2020, 10, 5, 12, 0, 0);
+  record.uid = "CAbCdEf123456789ab";
+  record.id_orig_h = "10.1.2.3";
+  record.id_orig_p = 51515;
+  record.id_resp_h = "198.51.100.7";
+  record.id_resp_p = 443;
+  record.version = "TLSv12";
+  record.cipher = "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256";
+  record.server_name = "www.example.org";
+  record.resumed = false;
+  record.established = true;
+  record.cert_chain_fuids = {"FaAaAaAaAaAaAaAaAa", "FbBbBbBbBbBbBbBbBb"};
+  record.subject = "CN=www.example.org,O=Example, Inc.";
+  record.issuer = "CN=Issuing CA,O=Example";
+  record.validation_status = "ok";
+  return record;
+}
+
+X509LogRecord sample_x509() {
+  X509LogRecord record;
+  record.ts = util::make_time(2020, 10, 5, 12, 0, 1);
+  record.fuid = "FaAaAaAaAaAaAaAaAa";
+  record.version = 3;
+  record.serial = "0a1b2c";
+  record.subject = "CN=www.example.org";
+  record.issuer = "CN=Issuing CA,O=Example";
+  record.not_before = util::make_time(2020, 7, 1);
+  record.not_after = util::make_time(2021, 7, 1);
+  record.key_alg = "rsa2048";
+  record.sig_alg = "sha256WithRSAEncryption";
+  record.key_length = 2048;
+  record.basic_constraints_ca = false;
+  record.san_dns = {"www.example.org", "example.org"};
+  return record;
+}
+
+TEST(ZeekTsv, FieldHelpers) {
+  EXPECT_EQ(tsv::render_time(1598918400), "1598918400.000000");
+  EXPECT_EQ(tsv::parse_time("1598918400.123456"), 1598918400);
+  EXPECT_FALSE(tsv::parse_time("not-a-time").has_value());
+  EXPECT_EQ(tsv::render_bool(true), "T");
+  EXPECT_EQ(tsv::parse_bool("F"), false);
+  EXPECT_FALSE(tsv::parse_bool("x").has_value());
+  EXPECT_EQ(tsv::render_vector({}), "(empty)");
+  EXPECT_TRUE(tsv::parse_vector("(empty)").empty());
+  EXPECT_TRUE(tsv::parse_vector("-").empty());
+  EXPECT_EQ(tsv::parse_vector("a,b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ZeekTsv, EscapingRoundTripsSeparatorBytes) {
+  const std::string nasty = "CN=Acme, Inc.\tweird\nline\\slash";
+  EXPECT_EQ(tsv::unescape_field(tsv::escape_field(nasty)), nasty);
+  // Escaped form must contain no raw separator bytes.
+  const std::string escaped = tsv::escape_field(nasty);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find(','), std::string::npos);
+}
+
+TEST(ZeekLogs, SslRoundTrip) {
+  SslLogWriter writer;
+  SslLogRecord with_sni = sample_ssl();
+  SslLogRecord without_chain = sample_ssl();
+  without_chain.version = "TLSv13";
+  without_chain.server_name.clear();
+  without_chain.cert_chain_fuids.clear();
+  without_chain.subject.clear();
+  without_chain.issuer.clear();
+  without_chain.validation_status.clear();
+  without_chain.established = false;
+  writer.add(with_sni);
+  writer.add(without_chain);
+  EXPECT_EQ(writer.count(), 2u);
+
+  ParseDiagnostics diagnostics;
+  const auto parsed = parse_ssl_log(writer.finish(), &diagnostics);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], with_sni);
+  EXPECT_EQ(parsed[1], without_chain);
+  EXPECT_EQ(diagnostics.skipped_lines, 0u);
+}
+
+TEST(ZeekLogs, X509RoundTrip) {
+  X509LogWriter writer;
+  X509LogRecord full = sample_x509();
+  X509LogRecord bare = sample_x509();
+  bare.fuid = "FcCcCcCcCcCcCcCcCc";
+  bare.basic_constraints_ca.reset();  // extension absent
+  bare.basic_constraints_path_len.reset();
+  bare.san_dns.clear();
+  writer.add(full);
+  writer.add(bare);
+
+  const auto parsed = parse_x509_log(writer.finish());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], full);
+  EXPECT_EQ(parsed[1], bare);
+  EXPECT_FALSE(parsed[1].basic_constraints_ca.has_value());
+}
+
+TEST(ZeekLogs, HeaderShape) {
+  SslLogWriter writer;
+  writer.add(sample_ssl());
+  const std::string text = writer.finish();
+  EXPECT_TRUE(text.starts_with("#separator \\x09\n"));
+  EXPECT_NE(text.find("#fields\tts\tuid\t"), std::string::npos);
+  EXPECT_NE(text.find("#types\ttime\tstring\t"), std::string::npos);
+  EXPECT_TRUE(text.ends_with("#close\n"));
+}
+
+TEST(ZeekLogs, ParserSkipsDamagedRowsAndReports) {
+  SslLogWriter writer;
+  writer.add(sample_ssl());
+  std::string text = writer.finish();
+  // Inject damage: a short row and a full-width row with a bad timestamp.
+  const std::size_t close = text.find("#close");
+  std::string bad_ts = "BAD";
+  for (int i = 0; i < 14; ++i) bad_ts += "\tx";
+  text.insert(close, "1598918400.000000\tonly\tthree\n" + bad_ts + "\n");
+
+  ParseDiagnostics diagnostics;
+  const auto parsed = parse_ssl_log(text, &diagnostics);
+  EXPECT_EQ(parsed.size(), 1u);  // only the intact row survives
+  EXPECT_GE(diagnostics.skipped_lines, 2u);
+  EXPECT_FALSE(diagnostics.errors.empty());
+}
+
+TEST(ZeekLogs, ParserRejectsUnknownFieldLayouts) {
+  const std::string text =
+      "#fields\tts\tmystery\n1598918400.000000\tx\n";
+  ParseDiagnostics diagnostics;
+  EXPECT_TRUE(parse_ssl_log(text, &diagnostics).empty());
+  EXPECT_GE(diagnostics.skipped_lines, 1u);
+}
+
+TEST(ZeekLogs, DnWithCommaSurvivesVectorEncoding) {
+  // DN strings contain commas; the vector separator must not split them.
+  X509LogWriter writer;
+  X509LogRecord record = sample_x509();
+  record.subject = "CN=Acme, Inc.,O=Acme";
+  writer.add(record);
+  const auto parsed = parse_x509_log(writer.finish());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].subject, "CN=Acme, Inc.,O=Acme");
+}
+
+// --- joiner -------------------------------------------------------------------
+
+TEST(Joiner, CertificateProjectionRoundTrips) {
+  TestPki pki;
+  const x509::Certificate original = pki.leaf("join.example");
+  const X509LogRecord record = record_from_certificate(original, 123, "Fx");
+  const x509::Certificate reconstructed = certificate_from_record(record);
+  // Key material is gone (Zeek does not log it)...
+  EXPECT_TRUE(reconstructed.public_key.material.empty());
+  EXPECT_TRUE(reconstructed.signature.value.empty());
+  // ...but every analysis-relevant field survives.
+  EXPECT_TRUE(reconstructed.issuer.matches(original.issuer));
+  EXPECT_TRUE(reconstructed.subject.matches(original.subject));
+  EXPECT_EQ(reconstructed.serial, original.serial);
+  EXPECT_EQ(reconstructed.validity, original.validity);
+  EXPECT_EQ(reconstructed.basic_constraints, original.basic_constraints);
+  EXPECT_EQ(reconstructed.subject_alt_names, original.subject_alt_names);
+}
+
+TEST(Joiner, LenientDnParsingKeepsRawString) {
+  X509LogRecord record = sample_x509();
+  record.subject = "no equals sign at all";  // unparseable as a DN
+  const x509::Certificate cert = certificate_from_record(record);
+  EXPECT_EQ(cert.subject.common_name(), "no equals sign at all");
+}
+
+TEST(Joiner, JoinsChainInDeliveryOrder) {
+  TestPki pki;
+  const auto chain = pki.chain_for("ordered.example", true);
+  std::vector<X509LogRecord> x509_records;
+  std::vector<std::string> fuids;
+  for (const auto& cert : chain) {
+    const std::string fuid = util::zeek_style_fuid(cert.fingerprint());
+    fuids.push_back(fuid);
+    x509_records.push_back(record_from_certificate(cert, 1, fuid));
+  }
+  SslLogRecord ssl = sample_ssl();
+  ssl.cert_chain_fuids = fuids;
+
+  const LogJoiner joiner(x509_records);
+  const JoinedConnection joined = joiner.join(ssl);
+  EXPECT_TRUE(joined.complete());
+  ASSERT_EQ(joined.chain.length(), 3u);
+  EXPECT_TRUE(joined.chain.at(0).subject.matches(chain.at(0).subject));
+  EXPECT_TRUE(joined.chain.at(2).is_self_signed());
+}
+
+TEST(Joiner, ReportsMissingFuids) {
+  const LogJoiner joiner({sample_x509()});
+  SslLogRecord ssl = sample_ssl();
+  ssl.cert_chain_fuids = {"FaAaAaAaAaAaAaAaAa", "Fmissing"};
+  const JoinedConnection joined = joiner.join(ssl);
+  EXPECT_FALSE(joined.complete());
+  EXPECT_EQ(joined.chain.length(), 1u);
+  EXPECT_EQ(joined.missing_fuids, (std::vector<std::string>{"Fmissing"}));
+}
+
+// --- DPD ----------------------------------------------------------------------
+
+TEST(Dpd, DetectsTlsOnAnyPortByContent) {
+  const std::string hello = make_client_hello(3, "svc.example");
+  EXPECT_TRUE(looks_like_tls(hello));
+  EXPECT_EQ(extract_sni(hello), "svc.example");
+  EXPECT_FALSE(looks_like_tls(make_plaintext_preamble("GET / HTTP/1.1")));
+  EXPECT_FALSE(looks_like_tls(make_plaintext_preamble("SSH-2.0-OpenSSH")));
+  EXPECT_FALSE(looks_like_tls(""));
+  EXPECT_FALSE(looks_like_tls("\x16"));
+}
+
+TEST(Dpd, VersionBounds) {
+  EXPECT_TRUE(looks_like_tls(make_client_hello(1, "")));   // TLS 1.0
+  EXPECT_TRUE(looks_like_tls(make_client_hello(4, "")));   // TLS 1.3
+  EXPECT_FALSE(looks_like_tls(make_client_hello(9, "")));  // nonsense
+}
+
+TEST(Dpd, EmptySni) {
+  const std::string hello = make_client_hello(3, "");
+  EXPECT_TRUE(looks_like_tls(hello));
+  EXPECT_EQ(extract_sni(hello), "");
+}
+
+}  // namespace
+}  // namespace certchain::zeek

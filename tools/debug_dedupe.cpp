@@ -1,0 +1,22 @@
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include "datagen/scenario.hpp"
+#include "zeek/joiner.hpp"
+using namespace certchain;
+int main() {
+  auto scenario = datagen::build_study_scenario({});
+  std::map<std::string, std::set<std::string>> orig, recon;
+  for (auto& e : scenario->endpoints) {
+    orig[e.label].insert(e.chain.id());
+    chain::CertificateChain r;
+    for (auto& c : e.chain.certs())
+      r.push_back(zeek::certificate_from_record(zeek::record_from_certificate(c, 0, "F")));
+    recon[e.label].insert(r.id());
+  }
+  for (auto& [label, ids] : orig)
+    std::printf("%-40s orig=%zu recon=%zu\n", label.c_str(), ids.size(),
+                recon[label].size());
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include <chrono>
+#include <cstdio>
+#include "datagen/scenario.hpp"
+#include "core/pipeline.hpp"
+using namespace certchain;
+using Clock = std::chrono::steady_clock;
+static double ms(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+int main() {
+  datagen::ScenarioConfig config;
+  config.seed = 77;
+  config.chain_scale = 1.0 / 2000.0;
+  config.total_connections = 25000;
+  config.client_count = 800;
+  auto t0 = Clock::now();
+  auto scenario = datagen::build_study_scenario(config);
+  auto t1 = Clock::now();
+  std::printf("scenario: %.0f ms (%zu endpoints)\n", ms(t0, t1), scenario->endpoints.size());
+  auto logs = scenario->generate_logs();
+  auto t2 = Clock::now();
+  std::printf("simulate: %.0f ms (%zu ssl rows)\n", ms(t1, t2), logs.ssl.size());
+  core::StudyPipeline pipeline(scenario->world.stores(), scenario->world.ct_logs(),
+                               scenario->vendors, &scenario->world.cross_signs());
+  auto report = pipeline.run(logs);
+  auto t3 = Clock::now();
+  std::printf("pipeline: %.0f ms (unique %zu)\n", ms(t2, t3), report.unique_chains);
+  return 0;
+}

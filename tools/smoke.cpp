@@ -1,0 +1,57 @@
+#include <cstdio>
+#include "datagen/scenario.hpp"
+#include "core/pipeline.hpp"
+using namespace certchain;
+int main() {
+  datagen::ScenarioConfig config;
+  auto scenario = datagen::build_study_scenario(config);
+  std::printf("endpoints: %zu\n", scenario->endpoints.size());
+  auto logs = scenario->generate_logs();
+  std::printf("ssl rows: %zu x509 rows: %zu\n", logs.ssl.size(), logs.x509.size());
+  core::StudyPipeline pipeline(scenario->world.stores(), scenario->world.ct_logs(),
+                               scenario->vendors, &scenario->world.cross_signs());
+  auto report = pipeline.run(logs);
+  std::printf("unique chains: %zu distinct certs: %zu\n", report.unique_chains,
+              report.totals.distinct_certificates);
+  for (auto& [cat, usage] : report.categories) {
+    std::printf("%-20s chains=%zu conns=%llu clients=%zu\n",
+                std::string(chain::chain_category_name(cat)).c_str(), usage.chains,
+                (unsigned long long)usage.connections, usage.client_ips);
+  }
+  std::printf("interception issuers: %zu (unconfirmed %zu)\n",
+              report.interception.findings.size(),
+              report.interception.unconfirmed_candidates.size());
+  for (auto& row : report.interception.category_rows())
+    std::printf("  %-28s issuers=%zu conns=%llu clients=%zu\n", row.category.c_str(),
+                row.issuers, (unsigned long long)row.connections, row.client_ips);
+  auto& h = report.hybrid;
+  std::printf("hybrid: total=%zu nonpub->pub=%zu pub->prv=%zu contains=%zu nopath=%zu\n",
+              h.total(), h.complete_nonpub_to_pub, h.complete_pub_to_private,
+              h.contains_complete_path, h.no_complete_path);
+  std::printf("  ct_logged=%zu expired=%zu fakele=%zu athenz=%zu leading=%zu publeaf56=%zu\n",
+              h.anchored_ct_logged, h.anchored_expired_leaf, h.fake_le_chains,
+              h.athenz_chains, h.leaf_before_path, h.public_leaf_without_issuer);
+  std::printf("  est complete=%.4f contains=%.4f nopath=%.4f\n",
+              h.usage_complete.establish_rate(), h.usage_contains.establish_rate(),
+              h.usage_no_path.establish_rate());
+  for (auto& [cat, n] : h.no_path_categories)
+    std::printf("  nopath cat %d = %zu\n", (int)cat, n);
+  auto& np = report.non_public;
+  std::printf("nonpub: chains=%zu single=%zu self=%zu dga=%zu multi=%zu matched=%zu cont=%zu none=%zu\n",
+              np.chains, np.single_chains, np.single_self_signed, np.dga_chains,
+              np.multi_chains, np.is_matched_path, np.contains_matched_path,
+              np.no_matched_path);
+  std::printf("  bc omitted first=%.4f later=%.4f\n", np.bc_omitted_first_fraction(),
+              np.bc_omitted_later_fraction());
+  auto& ic = report.interception_chains;
+  std::printf("int chains: chains=%zu single=%zu self=%zu multi=%zu matched=%zu cont=%zu none=%zu\n",
+              ic.chains, ic.single_chains, ic.single_self_signed, ic.multi_chains,
+              ic.is_matched_path, ic.contains_matched_path, ic.no_matched_path);
+  std::printf("outliers excluded: %zu\n", report.excluded_outliers.size());
+  std::printf("graphs: hybrid nodes=%zu nonpub nodes=%zu (complex=%zu) int nodes=%zu (complex=%zu)\n",
+              report.hybrid_graph.node_count(), report.non_public_graph.node_count(),
+              report.non_public_graph.complex_intermediates().size(),
+              report.interception_graph.node_count(),
+              report.interception_graph.complex_intermediates().size());
+  return 0;
+}
