@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_crosssign"
+  "../bench/bench_ablation_crosssign.pdb"
+  "CMakeFiles/bench_ablation_crosssign.dir/bench_ablation_crosssign.cpp.o"
+  "CMakeFiles/bench_ablation_crosssign.dir/bench_ablation_crosssign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crosssign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

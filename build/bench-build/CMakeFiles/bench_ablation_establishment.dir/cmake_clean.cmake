@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_establishment"
+  "../bench/bench_ablation_establishment.pdb"
+  "CMakeFiles/bench_ablation_establishment.dir/bench_ablation_establishment.cpp.o"
+  "CMakeFiles/bench_ablation_establishment.dir/bench_ablation_establishment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_establishment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

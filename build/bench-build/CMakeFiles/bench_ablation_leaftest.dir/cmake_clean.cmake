@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_leaftest"
+  "../bench/bench_ablation_leaftest.pdb"
+  "CMakeFiles/bench_ablation_leaftest.dir/bench_ablation_leaftest.cpp.o"
+  "CMakeFiles/bench_ablation_leaftest.dir/bench_ablation_leaftest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leaftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_certstats"
+  "../bench/bench_ext_certstats.pdb"
+  "CMakeFiles/bench_ext_certstats.dir/bench_ext_certstats.cpp.o"
+  "CMakeFiles/bench_ext_certstats.dir/bench_ext_certstats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_certstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_ipsweep"
+  "../bench/bench_ext_ipsweep.pdb"
+  "CMakeFiles/bench_ext_ipsweep.dir/bench_ext_ipsweep.cpp.o"
+  "CMakeFiles/bench_ext_ipsweep.dir/bench_ext_ipsweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ipsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

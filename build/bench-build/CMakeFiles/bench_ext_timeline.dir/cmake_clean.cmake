@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_timeline"
+  "../bench/bench_ext_timeline.pdb"
+  "CMakeFiles/bench_ext_timeline.dir/bench_ext_timeline.cpp.o"
+  "CMakeFiles/bench_ext_timeline.dir/bench_ext_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_mismatch"
+  "../bench/bench_fig6_mismatch.pdb"
+  "CMakeFiles/bench_fig6_mismatch.dir/bench_fig6_mismatch.cpp.o"
+  "CMakeFiles/bench_fig6_mismatch.dir/bench_fig6_mismatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_fig8_complex"
+  "../bench/bench_fig7_fig8_complex.pdb"
+  "CMakeFiles/bench_fig7_fig8_complex.dir/bench_fig7_fig8_complex.cpp.o"
+  "CMakeFiles/bench_fig7_fig8_complex.dir/bench_fig7_fig8_complex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fig8_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec43_singlecert"
+  "../bench/bench_sec43_singlecert.pdb"
+  "CMakeFiles/bench_sec43_singlecert.dir/bench_sec43_singlecert.cpp.o"
+  "CMakeFiles/bench_sec43_singlecert.dir/bench_sec43_singlecert.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_singlecert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec5_revisit"
+  "../bench/bench_sec5_revisit.pdb"
+  "CMakeFiles/bench_sec5_revisit.dir/bench_sec5_revisit.cpp.o"
+  "CMakeFiles/bench_sec5_revisit.dir/bench_sec5_revisit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_revisit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

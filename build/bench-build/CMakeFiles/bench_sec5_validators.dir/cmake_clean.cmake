@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec5_validators"
+  "../bench/bench_sec5_validators.pdb"
+  "CMakeFiles/bench_sec5_validators.dir/bench_sec5_validators.cpp.o"
+  "CMakeFiles/bench_sec5_validators.dir/bench_sec5_validators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_validators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_chain_stats"
+  "../bench/bench_table2_chain_stats.pdb"
+  "CMakeFiles/bench_table2_chain_stats.dir/bench_table2_chain_stats.cpp.o"
+  "CMakeFiles/bench_table2_chain_stats.dir/bench_table2_chain_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_chain_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_ports"
+  "../bench/bench_table4_ports.pdb"
+  "CMakeFiles/bench_table4_ports.dir/bench_table4_ports.cpp.o"
+  "CMakeFiles/bench_table4_ports.dir/bench_table4_ports.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

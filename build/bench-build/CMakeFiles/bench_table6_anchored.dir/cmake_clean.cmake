@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_anchored"
+  "../bench/bench_table6_anchored.pdb"
+  "CMakeFiles/bench_table6_anchored.dir/bench_table6_anchored.cpp.o"
+  "CMakeFiles/bench_table6_anchored.dir/bench_table6_anchored.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_anchored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

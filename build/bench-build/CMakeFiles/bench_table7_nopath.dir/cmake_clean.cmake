@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_nopath"
+  "../bench/bench_table7_nopath.pdb"
+  "CMakeFiles/bench_table7_nopath.dir/bench_table7_nopath.cpp.o"
+  "CMakeFiles/bench_table7_nopath.dir/bench_table7_nopath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_nopath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_matched"
+  "../bench/bench_table8_matched.pdb"
+  "CMakeFiles/bench_table8_matched.dir/bench_table8_matched.cpp.o"
+  "CMakeFiles/bench_table8_matched.dir/bench_table8_matched.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_matched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revisit_scan.dir/revisit_scan.cpp.o"
+  "CMakeFiles/revisit_scan.dir/revisit_scan.cpp.o.d"
+  "revisit_scan"
+  "revisit_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revisit_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/categorizer.cpp" "src/CMakeFiles/certchain.dir/chain/categorizer.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/chain/categorizer.cpp.o.d"
+  "/root/repo/src/chain/chain.cpp" "src/CMakeFiles/certchain.dir/chain/chain.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/chain/chain.cpp.o.d"
+  "/root/repo/src/chain/cross_sign_registry.cpp" "src/CMakeFiles/certchain.dir/chain/cross_sign_registry.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/chain/cross_sign_registry.cpp.o.d"
+  "/root/repo/src/chain/linter.cpp" "src/CMakeFiles/certchain.dir/chain/linter.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/chain/linter.cpp.o.d"
+  "/root/repo/src/chain/matcher.cpp" "src/CMakeFiles/certchain.dir/chain/matcher.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/chain/matcher.cpp.o.d"
+  "/root/repo/src/core/cert_stats.cpp" "src/CMakeFiles/certchain.dir/core/cert_stats.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/cert_stats.cpp.o.d"
+  "/root/repo/src/core/corpus.cpp" "src/CMakeFiles/certchain.dir/core/corpus.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/corpus.cpp.o.d"
+  "/root/repo/src/core/hybrid_analysis.cpp" "src/CMakeFiles/certchain.dir/core/hybrid_analysis.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/hybrid_analysis.cpp.o.d"
+  "/root/repo/src/core/interception.cpp" "src/CMakeFiles/certchain.dir/core/interception.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/interception.cpp.o.d"
+  "/root/repo/src/core/nonpublic_analysis.cpp" "src/CMakeFiles/certchain.dir/core/nonpublic_analysis.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/nonpublic_analysis.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/certchain.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/pki_graph.cpp" "src/CMakeFiles/certchain.dir/core/pki_graph.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/pki_graph.cpp.o.d"
+  "/root/repo/src/core/report_text.cpp" "src/CMakeFiles/certchain.dir/core/report_text.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/report_text.cpp.o.d"
+  "/root/repo/src/core/revisit.cpp" "src/CMakeFiles/certchain.dir/core/revisit.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/revisit.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/CMakeFiles/certchain.dir/core/timeline.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/core/timeline.cpp.o.d"
+  "/root/repo/src/crypto/sim_crypto.cpp" "src/CMakeFiles/certchain.dir/crypto/sim_crypto.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/crypto/sim_crypto.cpp.o.d"
+  "/root/repo/src/ct/ct_log.cpp" "src/CMakeFiles/certchain.dir/ct/ct_log.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/ct/ct_log.cpp.o.d"
+  "/root/repo/src/ct/merkle.cpp" "src/CMakeFiles/certchain.dir/ct/merkle.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/ct/merkle.cpp.o.d"
+  "/root/repo/src/datagen/hybrid_builder.cpp" "src/CMakeFiles/certchain.dir/datagen/hybrid_builder.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/datagen/hybrid_builder.cpp.o.d"
+  "/root/repo/src/datagen/scenario.cpp" "src/CMakeFiles/certchain.dir/datagen/scenario.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/datagen/scenario.cpp.o.d"
+  "/root/repo/src/netsim/pki_world.cpp" "src/CMakeFiles/certchain.dir/netsim/pki_world.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/netsim/pki_world.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/CMakeFiles/certchain.dir/netsim/simulator.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/netsim/simulator.cpp.o.d"
+  "/root/repo/src/scanner/scanner.cpp" "src/CMakeFiles/certchain.dir/scanner/scanner.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/scanner/scanner.cpp.o.d"
+  "/root/repo/src/truststore/trust_store.cpp" "src/CMakeFiles/certchain.dir/truststore/trust_store.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/truststore/trust_store.cpp.o.d"
+  "/root/repo/src/util/base64.cpp" "src/CMakeFiles/certchain.dir/util/base64.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/util/base64.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/CMakeFiles/certchain.dir/util/hash.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/util/hash.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/certchain.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/certchain.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/certchain.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/certchain.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/CMakeFiles/certchain.dir/util/time.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/util/time.cpp.o.d"
+  "/root/repo/src/validation/client_validators.cpp" "src/CMakeFiles/certchain.dir/validation/client_validators.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/validation/client_validators.cpp.o.d"
+  "/root/repo/src/validation/pairwise_validators.cpp" "src/CMakeFiles/certchain.dir/validation/pairwise_validators.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/validation/pairwise_validators.cpp.o.d"
+  "/root/repo/src/x509/builder.cpp" "src/CMakeFiles/certchain.dir/x509/builder.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/x509/builder.cpp.o.d"
+  "/root/repo/src/x509/certificate.cpp" "src/CMakeFiles/certchain.dir/x509/certificate.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/x509/certificate.cpp.o.d"
+  "/root/repo/src/x509/crl.cpp" "src/CMakeFiles/certchain.dir/x509/crl.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/x509/crl.cpp.o.d"
+  "/root/repo/src/x509/distinguished_name.cpp" "src/CMakeFiles/certchain.dir/x509/distinguished_name.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/x509/distinguished_name.cpp.o.d"
+  "/root/repo/src/x509/pem.cpp" "src/CMakeFiles/certchain.dir/x509/pem.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/x509/pem.cpp.o.d"
+  "/root/repo/src/zeek/dpd.cpp" "src/CMakeFiles/certchain.dir/zeek/dpd.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/zeek/dpd.cpp.o.d"
+  "/root/repo/src/zeek/joiner.cpp" "src/CMakeFiles/certchain.dir/zeek/joiner.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/zeek/joiner.cpp.o.d"
+  "/root/repo/src/zeek/log_io.cpp" "src/CMakeFiles/certchain.dir/zeek/log_io.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/zeek/log_io.cpp.o.d"
+  "/root/repo/src/zeek/log_stream.cpp" "src/CMakeFiles/certchain.dir/zeek/log_stream.cpp.o" "gcc" "src/CMakeFiles/certchain.dir/zeek/log_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

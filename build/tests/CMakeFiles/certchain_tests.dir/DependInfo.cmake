@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_categorizer.cpp" "tests/CMakeFiles/certchain_tests.dir/test_categorizer.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_categorizer.cpp.o.d"
+  "/root/repo/tests/test_cert_stats.cpp" "tests/CMakeFiles/certchain_tests.dir/test_cert_stats.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_cert_stats.cpp.o.d"
+  "/root/repo/tests/test_chain_matcher.cpp" "tests/CMakeFiles/certchain_tests.dir/test_chain_matcher.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_chain_matcher.cpp.o.d"
+  "/root/repo/tests/test_core_analyzers.cpp" "tests/CMakeFiles/certchain_tests.dir/test_core_analyzers.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_core_analyzers.cpp.o.d"
+  "/root/repo/tests/test_crl.cpp" "tests/CMakeFiles/certchain_tests.dir/test_crl.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_crl.cpp.o.d"
+  "/root/repo/tests/test_crypto_x509.cpp" "tests/CMakeFiles/certchain_tests.dir/test_crypto_x509.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_crypto_x509.cpp.o.d"
+  "/root/repo/tests/test_ct_log.cpp" "tests/CMakeFiles/certchain_tests.dir/test_ct_log.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_ct_log.cpp.o.d"
+  "/root/repo/tests/test_dn.cpp" "tests/CMakeFiles/certchain_tests.dir/test_dn.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_dn.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/certchain_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linter.cpp" "tests/CMakeFiles/certchain_tests.dir/test_linter.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_linter.cpp.o.d"
+  "/root/repo/tests/test_log_stream.cpp" "tests/CMakeFiles/certchain_tests.dir/test_log_stream.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_log_stream.cpp.o.d"
+  "/root/repo/tests/test_merkle.cpp" "tests/CMakeFiles/certchain_tests.dir/test_merkle.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_merkle.cpp.o.d"
+  "/root/repo/tests/test_name_constraints.cpp" "tests/CMakeFiles/certchain_tests.dir/test_name_constraints.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_name_constraints.cpp.o.d"
+  "/root/repo/tests/test_netsim.cpp" "tests/CMakeFiles/certchain_tests.dir/test_netsim.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_netsim.cpp.o.d"
+  "/root/repo/tests/test_pipeline_units.cpp" "tests/CMakeFiles/certchain_tests.dir/test_pipeline_units.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_pipeline_units.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/certchain_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report_text.cpp" "tests/CMakeFiles/certchain_tests.dir/test_report_text.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_report_text.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/certchain_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/certchain_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_scanner_revisit.cpp" "tests/CMakeFiles/certchain_tests.dir/test_scanner_revisit.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_scanner_revisit.cpp.o.d"
+  "/root/repo/tests/test_timeline.cpp" "tests/CMakeFiles/certchain_tests.dir/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_timeline.cpp.o.d"
+  "/root/repo/tests/test_truststore.cpp" "tests/CMakeFiles/certchain_tests.dir/test_truststore.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_truststore.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/certchain_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_validators.cpp" "tests/CMakeFiles/certchain_tests.dir/test_validators.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_validators.cpp.o.d"
+  "/root/repo/tests/test_zeek.cpp" "tests/CMakeFiles/certchain_tests.dir/test_zeek.cpp.o" "gcc" "tests/CMakeFiles/certchain_tests.dir/test_zeek.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/certchain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

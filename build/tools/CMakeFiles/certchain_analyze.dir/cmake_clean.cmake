@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certchain_analyze.dir/certchain_analyze.cpp.o"
+  "CMakeFiles/certchain_analyze.dir/certchain_analyze.cpp.o.d"
+  "certchain_analyze"
+  "certchain_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certchain_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_dedupe.dir/debug_dedupe.cpp.o"
+  "CMakeFiles/debug_dedupe.dir/debug_dedupe.cpp.o.d"
+  "debug_dedupe"
+  "debug_dedupe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_dedupe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

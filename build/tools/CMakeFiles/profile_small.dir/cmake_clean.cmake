@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_small.dir/profile_small.cpp.o"
+  "CMakeFiles/profile_small.dir/profile_small.cpp.o.d"
+  "profile_small"
+  "profile_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
