@@ -1,12 +1,22 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "zeek/joiner.hpp"
+#include "zeek/log_stream.hpp"
 
 namespace certchain::core {
 
 using chain::ChainCategory;
+
+std::string_view ingest_mode_name(IngestMode mode) {
+  switch (mode) {
+    case IngestMode::kStrict: return "strict";
+    case IngestMode::kLenient: return "lenient";
+  }
+  return "unknown";
+}
 
 StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
                                const std::vector<zeek::X509LogRecord>& x509) const {
@@ -82,11 +92,63 @@ StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
   return report;
 }
 
+namespace {
+
+/// Feeds `text` through a streaming reader in chunks, then folds the
+/// reader's accounting into the ingest report. Strict mode surfaces the
+/// first recorded error instead of returning.
+template <typename Reader>
+void drive_stream(Reader& reader, std::string_view text, const char* stream_name,
+                  const IngestOptions& options, IngestStreamStats& stats,
+                  IngestReport& report) {
+  const std::size_t chunk =
+      options.feed_chunk_bytes == 0 ? std::max<std::size_t>(1, text.size())
+                                    : options.feed_chunk_bytes;
+  for (std::size_t pos = 0; pos < text.size(); pos += chunk) {
+    reader.feed(text.substr(pos, std::min(chunk, text.size() - pos)));
+  }
+  reader.finish();
+
+  stats.lines = reader.lines_seen();
+  stats.records = reader.records_emitted();
+  stats.malformed_rows = reader.malformed_rows();
+  stats.skipped_lines = reader.lines_skipped();
+  stats.rotations = reader.rotations_seen();
+  for (const auto& error : reader.errors()) {
+    if (report.sample_errors.size() >= IngestReport::kMaxSampleErrors) break;
+    report.sample_errors.push_back(std::string(stream_name) + " line " +
+                                   std::to_string(error.line_number) + ": " +
+                                   error.message);
+  }
+  if (options.mode == IngestMode::kStrict && reader.lines_skipped() > 0) {
+    const auto& first = reader.errors().front();
+    throw IngestError(std::string(stream_name) + " log line " +
+                      std::to_string(first.line_number) + ": " + first.message);
+  }
+}
+
+}  // namespace
+
 StudyReport StudyPipeline::run_from_text(std::string_view ssl_log_text,
-                                         std::string_view x509_log_text) const {
-  const std::vector<zeek::SslLogRecord> ssl = zeek::parse_ssl_log(ssl_log_text);
-  const std::vector<zeek::X509LogRecord> x509 = zeek::parse_x509_log(x509_log_text);
-  return run(ssl, x509);
+                                         std::string_view x509_log_text,
+                                         const IngestOptions& options) const {
+  IngestReport ingest;
+  ingest.populated = true;
+  ingest.mode = options.mode;
+
+  std::vector<zeek::SslLogRecord> ssl;
+  auto ssl_reader = zeek::make_streaming_ssl_reader(
+      [&ssl](zeek::SslLogRecord record) { ssl.push_back(std::move(record)); });
+  drive_stream(ssl_reader, ssl_log_text, "ssl", options, ingest.ssl, ingest);
+
+  std::vector<zeek::X509LogRecord> x509;
+  auto x509_reader = zeek::make_streaming_x509_reader(
+      [&x509](zeek::X509LogRecord record) { x509.push_back(std::move(record)); });
+  drive_stream(x509_reader, x509_log_text, "x509", options, ingest.x509, ingest);
+
+  StudyReport report = run(ssl, x509);
+  report.ingest = std::move(ingest);
+  return report;
 }
 
 }  // namespace certchain::core

@@ -23,6 +23,7 @@
 #include "chain/categorizer.hpp"
 #include "chain/cross_sign_registry.hpp"
 #include "core/corpus.hpp"
+#include "core/ingest.hpp"
 #include "core/hybrid_analysis.hpp"
 #include "core/interception.hpp"
 #include "core/nonpublic_analysis.hpp"
@@ -72,6 +73,10 @@ struct StudyReport {
   PkiGraph hybrid_graph;        // Figure 5
   PkiGraph non_public_graph;    // Figure 7
   PkiGraph interception_graph;  // Figure 8
+
+  /// Data-quality accounting; populated only by run_from_text (the raw-text
+  /// path is the only one that can observe line damage).
+  IngestReport ingest;
 };
 
 class StudyPipeline {
@@ -92,8 +97,13 @@ class StudyPipeline {
   }
 
   /// Runs on raw Zeek log text (the full parse -> join -> analyze path).
+  /// Ingestion is driven through the streaming readers in chunks; the
+  /// returned report's `ingest` block carries exact malformed/skipped line
+  /// counts. In strict mode the first damaged line raises IngestError; in
+  /// lenient mode (the default) damage is counted and skipped.
   StudyReport run_from_text(std::string_view ssl_log_text,
-                            std::string_view x509_log_text) const;
+                            std::string_view x509_log_text,
+                            const IngestOptions& options = {}) const;
 
   /// Figure 1 outlier rule: drop unique chains longer than this when they
   /// were observed exactly once.

@@ -101,6 +101,32 @@ void render_graphs(std::string& out, const StudyReport& report) {
   out += "\n";
 }
 
+void render_data_quality(std::string& out, const StudyReport& report) {
+  const IngestReport& ingest = report.ingest;
+  if (!ingest.populated) return;
+  out += util::render_banner("Data quality / scan health");
+  out += "ingestion mode: " + std::string(ingest_mode_name(ingest.mode)) + "\n";
+  util::TextTable table(
+      {"Stream", "Lines", "Records", "Malformed", "Skipped", "Rotations"});
+  const auto row = [&table](const char* name, const IngestStreamStats& stats) {
+    table.add_row({name, util::with_commas(stats.lines),
+                   util::with_commas(stats.records),
+                   util::with_commas(stats.malformed_rows),
+                   util::with_commas(stats.skipped_lines),
+                   util::with_commas(stats.rotations)});
+  };
+  row("SSL.log", ingest.ssl);
+  row("X509.log", ingest.x509);
+  out += table.render();
+  if (!ingest.sample_errors.empty()) {
+    out += "first errors:\n";
+    for (const std::string& error : ingest.sample_errors) {
+      out += "  " + error + "\n";
+    }
+  }
+  out += "\n";
+}
+
 }  // namespace
 
 std::string render_report_text(const StudyReport& report,
@@ -112,6 +138,33 @@ std::string render_report_text(const StudyReport& report,
   if (options.hybrid) render_hybrid(out, report);
   if (options.non_public) render_non_public(out, report);
   if (options.graphs) render_graphs(out, report);
+  if (options.data_quality) render_data_quality(out, report);
+  return out;
+}
+
+std::string render_scan_health(const RevisitScanHealth& health) {
+  std::string out;
+  out += util::render_banner("Scan health");
+  out += "targets scanned: " + util::with_commas(health.scanned) +
+         "  (clean: " + util::with_commas(health.reachable_clean) +
+         ", degraded: " + util::with_commas(health.reachable_degraded) +
+         ", unreachable: " + util::with_commas(health.unreachable) + ")\n";
+  const scanner::ScanLedger& ledger = health.ledger;
+  out += "attempts: " + util::with_commas(ledger.attempts) +
+         "  retries: " + util::with_commas(ledger.retries) +
+         "  backoff: " + util::with_commas(ledger.backoff_ms_total) + " ms\n";
+  out += "salvage: " + util::with_commas(ledger.certs_salvaged) +
+         " certs kept, " + util::with_commas(ledger.certs_dropped) +
+         " lost (salvage rate " +
+         util::percent(ledger.salvage_rate(), 1.0) + "%)\n";
+  if (!ledger.error_counts.empty()) {
+    out += "attempt errors:";
+    for (const auto& [error, count] : ledger.error_counts) {
+      out += " " + std::string(scanner::scan_error_name(error)) + "=" +
+             util::with_commas(count);
+    }
+    out += "\n";
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "core/revisit.hpp"
 
 namespace certchain::core {
 
@@ -19,10 +20,18 @@ struct ReportTextOptions {
   bool hybrid = true;            // Table 3/6/7 digest
   bool non_public = true;        // §4.3 digest
   bool graphs = false;           // node/edge summaries
+  /// Ingestion accounting; emitted only when the report came through
+  /// run_from_text (in-memory runs have nothing to report on).
+  bool data_quality = true;
 };
 
 /// Renders the selected sections of the report as plain text.
 std::string render_report_text(const StudyReport& report,
                                const ReportTextOptions& options = {});
+
+/// Renders a revisit campaign's scan-health block (reachable / degraded /
+/// unreachable populations plus the retry ledger) — the "data quality"
+/// companion for §5 tables produced under fault injection.
+std::string render_scan_health(const RevisitScanHealth& health);
 
 }  // namespace certchain::core

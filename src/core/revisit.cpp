@@ -7,6 +7,33 @@ namespace certchain::core {
 
 using truststore::IssuerClass;
 
+namespace {
+
+/// Adapts a perfect-network ScanResult to the resilient result shape so both
+/// scanner flavours drive one analysis code path.
+scanner::ResilientScanResult wrap_pristine(scanner::ScanResult scan) {
+  scanner::ResilientScanResult result;
+  result.attempts = 1;
+  result.error = scan.reachable ? scanner::ScanError::kNone
+                                : scanner::ScanError::kUnreachable;
+  result.scan = std::move(scan);
+  return result;
+}
+
+void record_health(RevisitScanHealth& health,
+                   const scanner::ResilientScanResult& result) {
+  ++health.scanned;
+  if (!result.scan.reachable || result.scan.chain.empty()) {
+    ++health.unreachable;
+  } else if (result.degraded) {
+    ++health.reachable_degraded;
+  } else {
+    ++health.reachable_clean;
+  }
+}
+
+}  // namespace
+
 bool RevisitAnalyzer::all_public(const chain::CertificateChain& chain) const {
   if (chain.empty()) return false;
   for (const x509::Certificate& cert : chain) {
@@ -33,16 +60,16 @@ bool RevisitAnalyzer::is_lets_encrypt_chain(const chain::CertificateChain& chain
          util::contains(haystack, "lets encrypt") || util::contains(haystack, "isrg");
 }
 
-HybridRevisitReport RevisitAnalyzer::analyze_hybrid(
+HybridRevisitReport RevisitAnalyzer::analyze_hybrid_impl(
     const std::vector<const netsim::ServerEndpoint*>& servers,
-    const scanner::ActiveScanner& scanner) const {
+    const ScanFn& scan_endpoint) const {
   HybridRevisitReport report;
   report.previous_servers = servers.size();
 
   for (const netsim::ServerEndpoint* server : servers) {
-    const scanner::ScanResult scan =
-        server->domain.empty() ? scanner.scan_ip(server->ip, server->port)
-                               : scanner.scan_domain(server->domain, server->port);
+    const scanner::ResilientScanResult result = scan_endpoint(*server);
+    record_health(report.scan_health, result);
+    const scanner::ScanResult& scan = result.scan;
     if (!scan.reachable || scan.chain.empty()) continue;
     ++report.reachable;
 
@@ -74,10 +101,9 @@ HybridRevisitReport RevisitAnalyzer::analyze_hybrid(
   return report;
 }
 
-NonPublicRevisitReport RevisitAnalyzer::analyze_non_public(
+NonPublicRevisitReport RevisitAnalyzer::analyze_non_public_impl(
     const std::vector<const netsim::ServerEndpoint*>& servers,
-    const scanner::ActiveScanner& scanner,
-    std::uint64_t previous_connections,
+    const ScanFn& scan_endpoint, std::uint64_t previous_connections,
     std::uint64_t previous_no_sni_connections) const {
   NonPublicRevisitReport report;
   report.previous_connections = previous_connections;
@@ -89,8 +115,9 @@ NonPublicRevisitReport RevisitAnalyzer::analyze_non_public(
     if (server->domain.empty()) continue;
     ++report.scannable_servers;
 
-    const scanner::ScanResult scan =
-        scanner.scan_domain(server->domain, server->port);
+    const scanner::ResilientScanResult result = scan_endpoint(*server);
+    record_health(report.scan_health, result);
+    const scanner::ScanResult& scan = result.scan;
     if (!scan.reachable || scan.chain.empty()) continue;
     ++report.reachable;
 
@@ -112,6 +139,55 @@ NonPublicRevisitReport RevisitAnalyzer::analyze_non_public(
       if (analysis.is_complete_path()) ++report.now_multi_complete_matched;
     }
   }
+  return report;
+}
+
+HybridRevisitReport RevisitAnalyzer::analyze_hybrid(
+    const std::vector<const netsim::ServerEndpoint*>& servers,
+    const scanner::ActiveScanner& scanner) const {
+  return analyze_hybrid_impl(servers, [&scanner](const netsim::ServerEndpoint& s) {
+    return wrap_pristine(s.domain.empty() ? scanner.scan_ip(s.ip, s.port)
+                                          : scanner.scan_domain(s.domain, s.port));
+  });
+}
+
+HybridRevisitReport RevisitAnalyzer::analyze_hybrid(
+    const std::vector<const netsim::ServerEndpoint*>& servers,
+    scanner::ResilientScanner& scanner) const {
+  const scanner::ScanLedger before = scanner.ledger();
+  HybridRevisitReport report =
+      analyze_hybrid_impl(servers, [&scanner](const netsim::ServerEndpoint& s) {
+        return s.domain.empty() ? scanner.scan_ip(s.ip, s.port)
+                                : scanner.scan_domain(s.domain, s.port);
+      });
+  report.scan_health.ledger = scanner.ledger().delta_since(before);
+  return report;
+}
+
+NonPublicRevisitReport RevisitAnalyzer::analyze_non_public(
+    const std::vector<const netsim::ServerEndpoint*>& servers,
+    const scanner::ActiveScanner& scanner, std::uint64_t previous_connections,
+    std::uint64_t previous_no_sni_connections) const {
+  return analyze_non_public_impl(
+      servers,
+      [&scanner](const netsim::ServerEndpoint& s) {
+        return wrap_pristine(scanner.scan_domain(s.domain, s.port));
+      },
+      previous_connections, previous_no_sni_connections);
+}
+
+NonPublicRevisitReport RevisitAnalyzer::analyze_non_public(
+    const std::vector<const netsim::ServerEndpoint*>& servers,
+    scanner::ResilientScanner& scanner, std::uint64_t previous_connections,
+    std::uint64_t previous_no_sni_connections) const {
+  const scanner::ScanLedger before = scanner.ledger();
+  NonPublicRevisitReport report = analyze_non_public_impl(
+      servers,
+      [&scanner](const netsim::ServerEndpoint& s) {
+        return scanner.scan_domain(s.domain, s.port);
+      },
+      previous_connections, previous_no_sni_connections);
+  report.scan_health.ledger = scanner.ledger().delta_since(before);
   return report;
 }
 

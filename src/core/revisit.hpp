@@ -6,18 +6,41 @@
 // hybrid servers moved to public-DB issuers — largely Let's Encrypt; (2)
 // formerly single-certificate non-public servers now deliver hierarchical
 // multi-certificate chains, almost all of them complete matched paths.
+//
+// Both analyses run against either the perfect-network ActiveScanner or the
+// ResilientScanner (retry/backoff/salvage under an injected FaultPlan). In
+// the resilient case every report carries a RevisitScanHealth block so the
+// tables can state their measured population the way the paper states its
+// exclusions (reachable / degraded / unreachable, plus the retry ledger).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "chain/categorizer.hpp"
 #include "netsim/endpoint.hpp"
+#include "scanner/resilient_scanner.hpp"
 #include "scanner/scanner.hpp"
 #include "truststore/trust_store.hpp"
 
 namespace certchain::core {
+
+/// Scan-health accounting for one revisit campaign: how many targets were
+/// contacted, how many answered cleanly, how many only via a salvaged
+/// partial bundle, and what the retry machinery spent getting there.
+struct RevisitScanHealth {
+  std::size_t scanned = 0;
+  std::size_t reachable_clean = 0;
+  std::size_t reachable_degraded = 0;
+  std::size_t unreachable = 0;
+  scanner::ScanLedger ledger;
+
+  bool reconciles() const {
+    return scanned == reachable_clean + reachable_degraded + unreachable;
+  }
+};
 
 struct HybridRevisitReport {
   std::size_t previous_servers = 0;
@@ -32,6 +55,8 @@ struct HybridRevisitReport {
   std::size_t still_complete_no_extras = 0;
   std::size_t still_complete_with_extras = 0;
   std::size_t still_no_path = 0;
+
+  RevisitScanHealth scan_health;
 };
 
 struct NonPublicRevisitReport {
@@ -50,6 +75,8 @@ struct NonPublicRevisitReport {
   std::size_t previously_single_distinct = 0;
 
   std::size_t now_multi_complete_matched = 0;  // 97.61% in the paper
+
+  RevisitScanHealth scan_health;
 };
 
 class RevisitAnalyzer {
@@ -63,10 +90,22 @@ class RevisitAnalyzer {
       const std::vector<const netsim::ServerEndpoint*>& servers,
       const scanner::ActiveScanner& scanner) const;
 
+  /// Same, over the resilient path: retries, backoff, salvage; the report's
+  /// scan_health carries this campaign's share of the scanner's ledger.
+  HybridRevisitReport analyze_hybrid(
+      const std::vector<const netsim::ServerEndpoint*>& servers,
+      scanner::ResilientScanner& scanner) const;
+
   /// Revisits the servers that delivered non-public-DB-only chains.
   NonPublicRevisitReport analyze_non_public(
       const std::vector<const netsim::ServerEndpoint*>& servers,
       const scanner::ActiveScanner& scanner,
+      std::uint64_t previous_connections,
+      std::uint64_t previous_no_sni_connections) const;
+
+  NonPublicRevisitReport analyze_non_public(
+      const std::vector<const netsim::ServerEndpoint*>& servers,
+      scanner::ResilientScanner& scanner,
       std::uint64_t previous_connections,
       std::uint64_t previous_no_sni_connections) const;
 
@@ -79,6 +118,17 @@ class RevisitAnalyzer {
   static bool is_lets_encrypt_chain(const chain::CertificateChain& chain);
 
  private:
+  using ScanFn =
+      std::function<scanner::ResilientScanResult(const netsim::ServerEndpoint&)>;
+
+  HybridRevisitReport analyze_hybrid_impl(
+      const std::vector<const netsim::ServerEndpoint*>& servers,
+      const ScanFn& scan) const;
+  NonPublicRevisitReport analyze_non_public_impl(
+      const std::vector<const netsim::ServerEndpoint*>& servers,
+      const ScanFn& scan, std::uint64_t previous_connections,
+      std::uint64_t previous_no_sni_connections) const;
+
   const truststore::TrustStoreSet* stores_;
   const chain::CrossSignRegistry* registry_;
 };

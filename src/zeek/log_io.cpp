@@ -208,9 +208,106 @@ std::string X509LogWriter::finish() const {
   return header("x509", kX509Fields, kX509Types) + body_ + "#close\n";
 }
 
-std::vector<SslLogRecord> parse_ssl_log(std::string_view text,
-                                        ParseDiagnostics* diagnostics) {
-  std::vector<SslLogRecord> records;
+namespace {
+
+void set_error(std::string* error, std::string_view message) {
+  if (error != nullptr) *error = std::string(message);
+}
+
+}  // namespace
+
+std::optional<SslLogRecord> parse_ssl_row(std::string_view line,
+                                          std::string* error) {
+  const auto cells = util::split(line, '\t');
+  if (cells.size() != 15) {
+    set_error(error, "wrong column count");
+    return std::nullopt;
+  }
+  SslLogRecord record;
+  const auto ts = tsv::parse_time(cells[0]);
+  const auto orig_p = parse_u64(cells[3]);
+  const auto resp_p = parse_u64(cells[5]);
+  const auto resumed = tsv::parse_bool(cells[9]);
+  const auto established = tsv::parse_bool(cells[10]);
+  if (!ts || !orig_p || !resp_p || !resumed || !established) {
+    set_error(error, "malformed scalar field");
+    return std::nullopt;
+  }
+  record.ts = *ts;
+  record.uid = cells[1];
+  record.id_orig_h = cells[2];
+  record.id_orig_p = static_cast<std::uint16_t>(*orig_p);
+  record.id_resp_h = cells[4];
+  record.id_resp_p = static_cast<std::uint16_t>(*resp_p);
+  record.version = cells[6] == tsv::kUnset ? "" : cells[6];
+  record.cipher = cells[7] == tsv::kUnset ? "" : cells[7];
+  record.server_name =
+      cells[8] == tsv::kUnset ? "" : tsv::unescape_field(cells[8]);
+  record.resumed = *resumed;
+  record.established = *established;
+  record.cert_chain_fuids = tsv::parse_vector(cells[11]);
+  record.subject = cells[12] == tsv::kUnset ? "" : tsv::unescape_field(cells[12]);
+  record.issuer = cells[13] == tsv::kUnset ? "" : tsv::unescape_field(cells[13]);
+  record.validation_status =
+      cells[14] == tsv::kUnset ? "" : tsv::unescape_field(cells[14]);
+  return record;
+}
+
+std::optional<X509LogRecord> parse_x509_row(std::string_view line,
+                                            std::string* error) {
+  const auto cells = util::split(line, '\t');
+  if (cells.size() != 14) {
+    set_error(error, "wrong column count");
+    return std::nullopt;
+  }
+  X509LogRecord record;
+  const auto ts = tsv::parse_time(cells[0]);
+  const auto version = parse_u64(cells[2]);
+  const auto not_before = tsv::parse_time(cells[6]);
+  const auto not_after = tsv::parse_time(cells[7]);
+  const auto key_length = parse_u64(cells[10]);
+  if (!ts || !version || !not_before || !not_after || !key_length) {
+    set_error(error, "malformed scalar field");
+    return std::nullopt;
+  }
+  record.ts = *ts;
+  record.fuid = cells[1];
+  record.version = static_cast<int>(*version);
+  record.serial = cells[3];
+  record.subject = tsv::unescape_field(cells[4]);
+  record.issuer = tsv::unescape_field(cells[5]);
+  record.not_before = *not_before;
+  record.not_after = *not_after;
+  record.key_alg = cells[8];
+  record.sig_alg = cells[9];
+  record.key_length = static_cast<int>(*key_length);
+  if (cells[11] != tsv::kUnset) {
+    const auto ca = tsv::parse_bool(cells[11]);
+    if (!ca) {
+      set_error(error, "malformed basic_constraints.ca");
+      return std::nullopt;
+    }
+    record.basic_constraints_ca = *ca;
+  }
+  if (cells[12] != tsv::kUnset) {
+    const auto path_len = parse_u64(cells[12]);
+    if (!path_len) {
+      set_error(error, "malformed basic_constraints.path_len");
+      return std::nullopt;
+    }
+    record.basic_constraints_path_len = static_cast<int>(*path_len);
+  }
+  record.san_dns = tsv::parse_vector(cells[13]);
+  return record;
+}
+
+namespace {
+
+/// Shared header-aware batch loop over body rows.
+template <typename Record, typename RowParser>
+std::vector<Record> parse_log(std::string_view text, std::string_view expected_fields,
+                              ParseDiagnostics* diagnostics, RowParser&& parse_row) {
+  std::vector<Record> records;
   bool fields_ok = false;
   std::size_t line_number = 0;
   for (const std::string& line : util::split(text, '\n')) {
@@ -219,7 +316,7 @@ std::vector<SslLogRecord> parse_ssl_log(std::string_view text,
     if (line.empty()) continue;
     if (line.front() == '#') {
       if (util::starts_with(line, "#fields\t")) {
-        fields_ok = std::string_view(line).substr(8) == kSslFields;
+        fields_ok = std::string_view(line).substr(8) == expected_fields;
         if (!fields_ok) record_error(diagnostics, line_number, "unknown #fields layout");
       }
       continue;
@@ -228,109 +325,26 @@ std::vector<SslLogRecord> parse_ssl_log(std::string_view text,
       record_error(diagnostics, line_number, "data before a recognized #fields header");
       continue;
     }
-    const auto cells = util::split(line, '\t');
-    if (cells.size() != 15) {
-      record_error(diagnostics, line_number, "wrong column count");
-      continue;
+    std::string error;
+    if (auto record = parse_row(line, &error)) {
+      records.push_back(*std::move(record));
+    } else {
+      record_error(diagnostics, line_number, error);
     }
-    SslLogRecord record;
-    const auto ts = tsv::parse_time(cells[0]);
-    const auto orig_p = parse_u64(cells[3]);
-    const auto resp_p = parse_u64(cells[5]);
-    const auto resumed = tsv::parse_bool(cells[9]);
-    const auto established = tsv::parse_bool(cells[10]);
-    if (!ts || !orig_p || !resp_p || !resumed || !established) {
-      record_error(diagnostics, line_number, "malformed scalar field");
-      continue;
-    }
-    record.ts = *ts;
-    record.uid = cells[1];
-    record.id_orig_h = cells[2];
-    record.id_orig_p = static_cast<std::uint16_t>(*orig_p);
-    record.id_resp_h = cells[4];
-    record.id_resp_p = static_cast<std::uint16_t>(*resp_p);
-    record.version = cells[6] == tsv::kUnset ? "" : cells[6];
-    record.cipher = cells[7] == tsv::kUnset ? "" : cells[7];
-    record.server_name =
-        cells[8] == tsv::kUnset ? "" : tsv::unescape_field(cells[8]);
-    record.resumed = *resumed;
-    record.established = *established;
-    record.cert_chain_fuids = tsv::parse_vector(cells[11]);
-    record.subject = cells[12] == tsv::kUnset ? "" : tsv::unescape_field(cells[12]);
-    record.issuer = cells[13] == tsv::kUnset ? "" : tsv::unescape_field(cells[13]);
-    record.validation_status =
-        cells[14] == tsv::kUnset ? "" : tsv::unescape_field(cells[14]);
-    records.push_back(std::move(record));
   }
   return records;
 }
 
+}  // namespace
+
+std::vector<SslLogRecord> parse_ssl_log(std::string_view text,
+                                        ParseDiagnostics* diagnostics) {
+  return parse_log<SslLogRecord>(text, kSslFields, diagnostics, parse_ssl_row);
+}
+
 std::vector<X509LogRecord> parse_x509_log(std::string_view text,
                                           ParseDiagnostics* diagnostics) {
-  std::vector<X509LogRecord> records;
-  bool fields_ok = false;
-  std::size_t line_number = 0;
-  for (const std::string& line : util::split(text, '\n')) {
-    ++line_number;
-    if (diagnostics != nullptr) ++diagnostics->total_lines;
-    if (line.empty()) continue;
-    if (line.front() == '#') {
-      if (util::starts_with(line, "#fields\t")) {
-        fields_ok = std::string_view(line).substr(8) == kX509Fields;
-        if (!fields_ok) record_error(diagnostics, line_number, "unknown #fields layout");
-      }
-      continue;
-    }
-    if (!fields_ok) {
-      record_error(diagnostics, line_number, "data before a recognized #fields header");
-      continue;
-    }
-    const auto cells = util::split(line, '\t');
-    if (cells.size() != 14) {
-      record_error(diagnostics, line_number, "wrong column count");
-      continue;
-    }
-    X509LogRecord record;
-    const auto ts = tsv::parse_time(cells[0]);
-    const auto version = parse_u64(cells[2]);
-    const auto not_before = tsv::parse_time(cells[6]);
-    const auto not_after = tsv::parse_time(cells[7]);
-    const auto key_length = parse_u64(cells[10]);
-    if (!ts || !version || !not_before || !not_after || !key_length) {
-      record_error(diagnostics, line_number, "malformed scalar field");
-      continue;
-    }
-    record.ts = *ts;
-    record.fuid = cells[1];
-    record.version = static_cast<int>(*version);
-    record.serial = cells[3];
-    record.subject = tsv::unescape_field(cells[4]);
-    record.issuer = tsv::unescape_field(cells[5]);
-    record.not_before = *not_before;
-    record.not_after = *not_after;
-    record.key_alg = cells[8];
-    record.sig_alg = cells[9];
-    record.key_length = static_cast<int>(*key_length);
-    if (cells[11] != tsv::kUnset) {
-      const auto ca = tsv::parse_bool(cells[11]);
-      if (!ca) {
-        record_error(diagnostics, line_number, "malformed basic_constraints.ca");
-        continue;
-      }
-      record.basic_constraints_ca = *ca;
-    }
-    if (cells[12] != tsv::kUnset) {
-      const auto path_len = parse_u64(cells[12]);
-      if (!path_len) {
-        record_error(diagnostics, line_number, "malformed basic_constraints.path_len");
-        continue;
-      }
-      record.basic_constraints_path_len = static_cast<int>(*path_len);
-    }
-    record.san_dns = tsv::parse_vector(cells[13]);
-    records.push_back(std::move(record));
-  }
-  return records;
+  return parse_log<X509LogRecord>(text, kX509Fields, diagnostics, parse_x509_row);
 }
 
 }  // namespace certchain::zeek

@@ -67,6 +67,16 @@ struct ParseDiagnostics {
   std::vector<std::string> errors;  // capped at 32 entries
 };
 
+/// Parses one SSL.log body row (no header handling). On failure returns
+/// nullopt and, when `error` is given, a short reason. The batch and
+/// streaming readers both sit on top of these row parsers.
+std::optional<SslLogRecord> parse_ssl_row(std::string_view line,
+                                          std::string* error = nullptr);
+
+/// Parses one X509.log body row.
+std::optional<X509LogRecord> parse_x509_row(std::string_view line,
+                                            std::string* error = nullptr);
+
 /// Parses an SSL.log text (header + rows). Unknown header layouts are
 /// rejected; damaged rows are skipped and reported via diagnostics.
 std::vector<SslLogRecord> parse_ssl_log(std::string_view text,

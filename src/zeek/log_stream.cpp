@@ -25,15 +25,15 @@ std::string x509_log_fields() {
 }
 
 template <>
-std::vector<SslLogRecord> StreamingLogReader<SslLogRecord>::parse_rows(
-    std::string_view text) {
-  return parse_ssl_log(text);
+std::optional<SslLogRecord> StreamingLogReader<SslLogRecord>::parse_row(
+    std::string_view line, std::string* error) {
+  return parse_ssl_row(line, error);
 }
 
 template <>
-std::vector<X509LogRecord> StreamingLogReader<X509LogRecord>::parse_rows(
-    std::string_view text) {
-  return parse_x509_log(text);
+std::optional<X509LogRecord> StreamingLogReader<X509LogRecord>::parse_row(
+    std::string_view line, std::string* error) {
+  return parse_x509_row(line, error);
 }
 
 StreamingSslReader make_streaming_ssl_reader(StreamingSslReader::Callback callback) {

@@ -5,12 +5,16 @@
 // boundaries (#close followed by a fresh header). StreamingSslReader /
 // StreamingX509Reader parse that stream incrementally, emitting records via
 // callback as soon as their line completes, and survive rotation without
-// losing rows.
+// losing rows. Damage never throws: malformed body rows are counted (with a
+// capped sample of line-level errors) and the stream keeps flowing, which is
+// what the pipeline's lenient ingestion mode reports on.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "zeek/log_io.hpp"
 #include "zeek/records.hpp"
@@ -23,6 +27,12 @@ template <typename Record>
 class StreamingLogReader {
  public:
   using Callback = std::function<void(Record)>;
+
+  /// A recorded parse failure ("what went wrong on which line").
+  struct LineError {
+    std::size_t line_number = 0;  // 1-based within the stream
+    std::string message;
+  };
 
   StreamingLogReader(std::string expected_fields, Callback callback)
       : expected_fields_(std::move(expected_fields)),
@@ -42,20 +52,34 @@ class StreamingLogReader {
     buffer_.erase(0, start);
   }
 
-  /// Flushes a trailing unterminated line (call at end-of-stream).
+  /// Flushes a trailing unterminated line and resets the header state so the
+  /// same reader instance can consume a fresh stream afterwards. Counters
+  /// and recorded errors accumulate across streams (callers snapshot or
+  /// construct a new reader for per-stream accounting).
   void finish() {
     if (!buffer_.empty()) {
       consume_line(buffer_);
       buffer_.clear();
     }
+    in_body_ = false;
   }
 
+  std::size_t lines_seen() const { return lines_seen_; }
   std::size_t records_emitted() const { return records_emitted_; }
+  /// Every line that was dropped: unknown headers, pre-header data, and
+  /// malformed body rows.
   std::size_t lines_skipped() const { return lines_skipped_; }
+  /// Subset of lines_skipped(): body rows that failed to parse.
+  std::size_t malformed_rows() const { return malformed_rows_; }
   std::size_t rotations_seen() const { return rotations_seen_; }
+
+  /// Capped sample of parse failures, in stream order.
+  const std::vector<LineError>& errors() const { return errors_; }
+  static constexpr std::size_t kMaxRecordedErrors = 32;
 
  private:
   void consume_line(std::string_view line) {
+    ++lines_seen_;
     if (line.empty()) return;
     if (line.front() == '#') {
       if (line.rfind("#close", 0) == 0) {
@@ -64,36 +88,46 @@ class StreamingLogReader {
         in_body_ = false;
       } else if (line.rfind("#fields\t", 0) == 0) {
         in_body_ = (line.substr(8) == expected_fields_);
-        if (!in_body_) ++lines_skipped_;
+        if (!in_body_) {
+          ++lines_skipped_;
+          record_line_error("unknown #fields layout");
+        }
       }
       return;
     }
     if (!in_body_) {
       ++lines_skipped_;
+      record_line_error("data before a recognized #fields header");
       return;
     }
-    // Reuse the batch parser on a single synthetic one-row log.
-    std::string mini = "#fields\t" + expected_fields_ + "\n";
-    mini.append(line);
-    mini.push_back('\n');
-    auto rows = parse_rows(mini);
-    if (rows.size() == 1) {
+    std::string error;
+    if (auto record = parse_row(line, &error)) {
       ++records_emitted_;
-      callback_(std::move(rows.front()));
+      callback_(*std::move(record));
     } else {
       ++lines_skipped_;
+      ++malformed_rows_;
+      record_line_error(error);
     }
   }
 
-  std::vector<Record> parse_rows(std::string_view text);
+  void record_line_error(std::string message) {
+    if (errors_.size() >= kMaxRecordedErrors) return;
+    errors_.push_back(LineError{lines_seen_, std::move(message)});
+  }
+
+  std::optional<Record> parse_row(std::string_view line, std::string* error);
 
   std::string expected_fields_;
   Callback callback_;
   std::string buffer_;
   bool in_body_ = false;
+  std::size_t lines_seen_ = 0;
   std::size_t records_emitted_ = 0;
   std::size_t lines_skipped_ = 0;
+  std::size_t malformed_rows_ = 0;
   std::size_t rotations_seen_ = 0;
+  std::vector<LineError> errors_;
 };
 
 /// Field layouts matching the writers in log_io.cpp.

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "../tests/helpers.hpp"
+#include "core/pipeline.hpp"
+#include "netsim/faults.hpp"
+#include "netsim/pki_world.hpp"
+#include "scanner/resilient_scanner.hpp"
 #include "util/base64.hpp"
 #include "util/rng.hpp"
 #include "x509/pem.hpp"
@@ -119,6 +123,97 @@ TEST_P(RobustnessTest, Base64DecoderNeverThrows) {
       garbage.push_back(static_cast<char>(rng.next_below(256)));
     }
     EXPECT_NO_THROW((void)util::base64_decode(garbage));
+  }
+}
+
+TEST_P(RobustnessTest, LenientPipelineNeverThrowsOnMutatedLogs) {
+  util::Rng rng(GetParam() ^ 0x919E);
+  TestPki pki;
+  truststore::TrustStoreSet stores = pki.trusted_stores();
+  ct::CtLogSet ct_logs(2);
+  core::VendorDirectory vendors;
+  const core::StudyPipeline pipeline(stores, ct_logs, vendors);
+
+  zeek::SslLogWriter ssl_writer;
+  zeek::X509LogWriter x509_writer;
+  for (int i = 0; i < 8; ++i) {
+    const std::string domain = "pipe" + std::to_string(i) + ".example";
+    zeek::SslLogRecord ssl;
+    ssl.ts = 1600000000 + i;
+    ssl.uid = "C" + std::to_string(i);
+    ssl.id_orig_h = "10.0.0.1";
+    ssl.id_resp_h = "198.51.100.1";
+    ssl.id_resp_p = 443;
+    ssl.version = "TLSv12";
+    ssl.established = true;
+    ssl.server_name = domain;
+    const auto chain = pki.chain_for(domain);
+    for (std::size_t c = 0; c < chain.length(); ++c) {
+      const std::string fuid = "F" + std::to_string(i) + "_" + std::to_string(c);
+      ssl.cert_chain_fuids.push_back(fuid);
+      x509_writer.add(zeek::record_from_certificate(chain.at(c), ssl.ts, fuid));
+    }
+    ssl_writer.add(ssl);
+  }
+  const std::string ssl_text = ssl_writer.finish();
+  const std::string x509_text = x509_writer.finish();
+
+  for (int i = 0; i < 40; ++i) {
+    const std::string bad_ssl = mutate(ssl_text, rng, 1 + int(rng.next_below(60)));
+    const std::string bad_x509 = mutate(x509_text, rng, 1 + int(rng.next_below(60)));
+    EXPECT_NO_THROW({
+      const core::StudyReport report = pipeline.run_from_text(bad_ssl, bad_x509);
+      // Accounting must be self-consistent no matter the damage.
+      EXPECT_LE(report.ingest.ssl.malformed_rows, report.ingest.ssl.skipped_lines);
+      EXPECT_LE(report.ingest.ssl.records + report.ingest.ssl.skipped_lines,
+                report.ingest.ssl.lines);
+      EXPECT_LE(report.ingest.x509.malformed_rows, report.ingest.x509.skipped_lines);
+    });
+  }
+}
+
+TEST_P(RobustnessTest, ResilientScannerNeverThrowsUnderRandomFaultPlans) {
+  util::Rng rng(GetParam() ^ 0xFA17);
+  netsim::PkiWorld world;
+  std::vector<netsim::ServerEndpoint> endpoints;
+  for (int i = 0; i < 10; ++i) {
+    netsim::ServerEndpoint endpoint;
+    endpoint.ip = "203.0.113." + std::to_string(i + 1);
+    endpoint.port = 443;
+    endpoint.domain = "fuzz" + std::to_string(i) + ".example";
+    endpoint.chain = world.issue_public_chain("digicert", endpoint.domain,
+                                              netsim::PkiWorld::default_leaf_validity());
+    endpoint.revisit_chain =
+        (i % 3 == 0) ? std::nullopt : std::make_optional(endpoint.chain);
+    endpoints.push_back(std::move(endpoint));
+  }
+  const scanner::ActiveScanner inner(endpoints);
+
+  for (int round = 0; round < 10; ++round) {
+    netsim::FaultRates rates;
+    rates.connect_timeout = rng.uniform(0.0, 0.4);
+    rates.connection_reset = rng.uniform(0.0, 0.4);
+    rates.truncated_handshake = rng.uniform(0.0, 0.4);
+    rates.byte_corruption = rng.uniform(0.0, 0.4);
+    rates.transient_unreachable = rng.uniform(0.0, 0.4);
+    rates.persistent_unreachable = rng.uniform(0.0, 0.3);
+    rates.slow_response = rng.uniform(0.0, 0.4);
+    netsim::FaultPlan plan(rng.next_u64(), rates);
+    plan.set_epoch(static_cast<std::uint32_t>(round));
+
+    scanner::RetryPolicy policy;
+    policy.max_attempts = 1 + static_cast<std::uint32_t>(rng.next_below(5));
+    policy.target_deadline_ms = 200 + static_cast<std::uint32_t>(rng.next_below(20000));
+    scanner::ResilientScanner resilient(inner, plan, policy);
+
+    EXPECT_NO_THROW({
+      const auto by_domain = resilient.scan_all_domains();
+      const auto by_ip = resilient.scan_all_ips();
+      EXPECT_EQ(by_domain.size() + by_ip.size(), resilient.ledger().targets);
+    });
+    // Every target ends in exactly one bucket, whatever the fault mix.
+    EXPECT_TRUE(resilient.ledger().reconciles())
+        << "round " << round << "\n" << resilient.ledger().to_string();
   }
 }
 

@@ -2,7 +2,11 @@
 //
 // Analyzes Zeek logs from disk:
 //
-//   certchain-analyze <ssl.log> <x509.log>
+//   certchain-analyze [--strict] <ssl.log> <x509.log>
+//
+// Ingestion is lenient by default: damaged lines are counted, reported in
+// the "Data quality" section and skipped. --strict aborts on the first
+// damaged line instead (for curated inputs where damage means a bug).
 //
 // The trust stores / CT view / vendor directory default to the simulated
 // study universe (they parameterize the pipeline; swap in your own by using
@@ -18,8 +22,14 @@
 
 int main(int argc, char** argv) {
   using namespace certchain;
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <ssl.log> <x509.log>\n", argv[0]);
+  core::IngestOptions ingest;
+  int arg = 1;
+  if (arg < argc && std::string_view(argv[arg]) == "--strict") {
+    ingest.mode = core::IngestMode::kStrict;
+    ++arg;
+  }
+  if (argc - arg != 2) {
+    std::fprintf(stderr, "usage: %s [--strict] <ssl.log> <x509.log>\n", argv[0]);
     return 2;
   }
   const auto slurp = [](const char* path) -> std::optional<std::string> {
@@ -29,25 +39,11 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     return buffer.str();
   };
-  const auto ssl_text = slurp(argv[1]);
-  const auto x509_text = slurp(argv[2]);
+  const auto ssl_text = slurp(argv[arg]);
+  const auto x509_text = slurp(argv[arg + 1]);
   if (!ssl_text || !x509_text) {
     std::fprintf(stderr, "certchain-analyze: cannot read input logs\n");
     return 1;
-  }
-
-  zeek::ParseDiagnostics ssl_diag;
-  zeek::ParseDiagnostics x509_diag;
-  const auto ssl = zeek::parse_ssl_log(*ssl_text, &ssl_diag);
-  const auto x509 = zeek::parse_x509_log(*x509_text, &x509_diag);
-  std::fprintf(stderr, "parsed %zu SSL rows (%zu skipped), %zu X509 rows (%zu skipped)\n",
-               ssl.size(), ssl_diag.skipped_lines, x509.size(),
-               x509_diag.skipped_lines);
-  for (const auto& error : ssl_diag.errors) {
-    std::fprintf(stderr, "  ssl.log: %s\n", error.c_str());
-  }
-  for (const auto& error : x509_diag.errors) {
-    std::fprintf(stderr, "  x509.log: %s\n", error.c_str());
   }
 
   netsim::PkiWorld world;  // databases the classification runs against
@@ -61,7 +57,17 @@ int main(int argc, char** argv) {
   }
   const core::StudyPipeline pipeline(world.stores(), world.ct_logs(), vendors,
                                      &world.cross_signs());
-  const core::StudyReport report = pipeline.run(ssl, x509);
+  core::StudyReport report;
+  try {
+    report = pipeline.run_from_text(*ssl_text, *x509_text, ingest);
+  } catch (const core::IngestError& error) {
+    std::fprintf(stderr, "certchain-analyze: %s (rerun without --strict to "
+                 "skip damaged lines)\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "parsed %zu SSL rows (%zu skipped), %zu X509 rows (%zu skipped)\n",
+               report.ingest.ssl.records, report.ingest.ssl.skipped_lines,
+               report.ingest.x509.records, report.ingest.x509.skipped_lines);
 
   core::ReportTextOptions options;
   options.graphs = true;
