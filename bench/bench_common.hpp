@@ -21,6 +21,8 @@
 #include "core/pipeline.hpp"
 #include "core/revisit.hpp"
 #include "datagen/scenario.hpp"
+#include "obs/run_context.hpp"
+#include "obs/stopwatch.hpp"
 #include "scanner/scanner.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -31,6 +33,9 @@ struct StudyContext {
   std::unique_ptr<datagen::Scenario> scenario;
   netsim::GeneratedLogs logs;
   core::StudyReport report;
+  /// Telemetry recorded while building the corpus and running the pipeline
+  /// (obs:: spans + counters); experiments can export or inspect it.
+  std::shared_ptr<obs::RunContext> telemetry = std::make_shared<obs::RunContext>();
 };
 
 inline datagen::ScenarioConfig config_from_env() {
@@ -56,12 +61,16 @@ inline StudyContext build_context() {
                config.chain_scale,
                static_cast<unsigned long long>(config.total_connections),
                static_cast<unsigned long long>(config.seed));
-  context.scenario = datagen::build_study_scenario(config);
-  context.logs = context.scenario->generate_logs();
+  const obs::Stopwatch stopwatch;  // same clock the obs:: spans record with
+  obs::RunContext* telemetry = context.telemetry.get();
+  context.scenario = datagen::build_study_scenario(config, telemetry);
+  context.logs = context.scenario->generate_logs(telemetry);
   const core::StudyPipeline pipeline(
       context.scenario->world.stores(), context.scenario->world.ct_logs(),
       context.scenario->vendors, &context.scenario->world.cross_signs());
-  context.report = pipeline.run(context.logs);
+  context.report = pipeline.run(context.logs, telemetry);
+  std::fprintf(stderr, "[certchain] corpus + pipeline ready in %.0f ms\n",
+               stopwatch.elapsed_ms());
   return context;
 }
 

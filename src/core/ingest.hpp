@@ -39,8 +39,12 @@ class IngestError : public std::runtime_error {
   explicit IngestError(const std::string& message) : std::runtime_error(message) {}
 };
 
-/// Per-stream line accounting, filled from the streaming readers.
+/// Per-stream line accounting. The numbers originate in the streaming
+/// readers, are published as `stage.ingest.<stream>.*` registry counters,
+/// and this struct is then filled back FROM those counters — so the report's
+/// data-quality section and the metrics export can never disagree.
 struct IngestStreamStats {
+  std::size_t bytes = 0;            // raw bytes consumed from the stream
   std::size_t lines = 0;
   std::size_t records = 0;
   std::size_t malformed_rows = 0;   // body rows that failed to parse

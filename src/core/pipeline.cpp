@@ -1,8 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
+#include "obs/run_context.hpp"
 #include "zeek/joiner.hpp"
 #include "zeek/log_stream.hpp"
 
@@ -18,89 +20,205 @@ std::string_view ingest_mode_name(IngestMode mode) {
   return "unknown";
 }
 
+namespace {
+
+/// Opens a StageTimer only when telemetry is attached.
+std::optional<obs::StageTimer> stage_timer(obs::RunContext* obs,
+                                           const char* name) {
+  std::optional<obs::StageTimer> timer;
+  if (obs != nullptr) timer.emplace(*obs, name);
+  return timer;
+}
+
+/// Publishes the reserved manifest triple for one stage.
+void publish_stage(obs::RunContext* obs, const char* stage, std::uint64_t in,
+                   std::uint64_t admitted, std::uint64_t dropped) {
+  if (obs == nullptr) return;
+  const std::string prefix = std::string("stage.") + stage + ".";
+  obs->metrics.count(prefix + "in", in);
+  obs->metrics.count(prefix + "admitted", admitted);
+  obs->metrics.count(prefix + "dropped", dropped);
+}
+
+}  // namespace
+
 StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
-                               const std::vector<zeek::X509LogRecord>& x509) const {
+                               const std::vector<zeek::X509LogRecord>& x509,
+                               obs::RunContext* obs) const {
   StudyReport report;
+  auto pipeline_timer = stage_timer(obs, "pipeline");
 
   // Stage 0: join SSL and X509 rows and deduplicate chains.
   const zeek::LogJoiner joiner(x509);
   CorpusIndex corpus;
-  for (const zeek::SslLogRecord& record : ssl) corpus.add(joiner.join(record));
-  report.totals = corpus.totals();
-  report.unique_chains = corpus.unique_chain_count();
+  {
+    auto timer = stage_timer(obs, "join");
+    for (const zeek::SslLogRecord& record : ssl) corpus.add(joiner.join(record));
+    report.totals = corpus.totals();
+    report.unique_chains = corpus.unique_chain_count();
+  }
+  publish_stage(obs, "join", report.totals.connections,
+                report.totals.with_certificates,
+                report.totals.connections - report.totals.with_certificates);
+  if (obs != nullptr) {
+    obs::MetricsRegistry& metrics = obs->metrics;
+    metrics.count("pipeline.connections", report.totals.connections);
+    metrics.count("pipeline.connections.tls13", report.totals.tls13_connections);
+    metrics.count("pipeline.connections.incomplete_joins",
+                  report.totals.incomplete_joins);
+    metrics.count("pipeline.unique_chains", report.unique_chains);
+    metrics.count("pipeline.distinct_certificates",
+                  report.totals.distinct_certificates);
+  }
 
   // Stage 1: certificate enrichment — interception identification (the
   // issuer classification itself happens lazily via the trust-store set).
-  const InterceptionDetector detector(*stores_, *ct_logs_, *vendors_);
-  report.interception = detector.detect(corpus);
-  const chain::InterceptionIssuerSet interception_issuers =
-      report.interception.issuer_set();
+  chain::InterceptionIssuerSet interception_issuers;
+  {
+    auto timer = stage_timer(obs, "enrich");
+    const InterceptionDetector detector(*stores_, *ct_logs_, *vendors_);
+    report.interception = detector.detect(corpus);
+    interception_issuers = report.interception.issuer_set();
+  }
+  publish_stage(obs, "enrich", report.unique_chains, report.unique_chains, 0);
+  if (obs != nullptr) {
+    obs->metrics.count("enrich.interception.issuers",
+                       report.interception.findings.size());
+    obs->metrics.count("enrich.interception.unconfirmed",
+                       report.interception.unconfirmed_candidates.size());
+  }
 
   // Stage 2: chain categorization + usage statistics + Figure 1 data.
   std::map<ChainCategory, std::vector<const ChainObservation*>> slices;
-  std::map<ChainCategory, std::set<std::string>> clients_by_category;
-  for (const auto& [chain_id, observation] : corpus.chains()) {
-    const ChainCategory category =
-        chain::categorize_chain(observation.chain, *stores_, interception_issuers);
-    slices[category].push_back(&observation);
+  {
+    auto timer = stage_timer(obs, "categorize");
+    std::map<ChainCategory, std::set<std::string>> clients_by_category;
+    for (const auto& [chain_id, observation] : corpus.chains()) {
+      const ChainCategory category =
+          chain::categorize_chain(observation.chain, *stores_, interception_issuers);
+      slices[category].push_back(&observation);
 
-    CategoryUsage& usage = report.categories[category];
-    ++usage.chains;
-    usage.connections += observation.connections;
-    clients_by_category[category].insert(observation.client_ips.begin(),
-                                         observation.client_ips.end());
+      CategoryUsage& usage = report.categories[category];
+      ++usage.chains;
+      usage.connections += observation.connections;
+      clients_by_category[category].insert(observation.client_ips.begin(),
+                                           observation.client_ips.end());
 
-    // Figure 1 series with the outlier rule.
-    if (observation.chain.length() > kOutlierLength && observation.connections == 1) {
-      ExcludedOutlier outlier;
-      outlier.length = observation.chain.length();
-      outlier.category = category;
-      outlier.connections = observation.connections;
-      outlier.established_any = observation.established > 0;
-      report.excluded_outliers.push_back(outlier);
-    } else {
-      report.chain_lengths[category].push_back(observation.chain.length());
+      // Figure 1 series with the outlier rule.
+      if (observation.chain.length() > kOutlierLength && observation.connections == 1) {
+        ExcludedOutlier outlier;
+        outlier.length = observation.chain.length();
+        outlier.category = category;
+        outlier.connections = observation.connections;
+        outlier.established_any = observation.established > 0;
+        report.excluded_outliers.push_back(outlier);
+      } else {
+        report.chain_lengths[category].push_back(observation.chain.length());
+      }
+
+      if (category == ChainCategory::kHybrid) {
+        for (const auto& [port, count] : observation.ports.items()) {
+          report.ports_hybrid.add(port, count);
+        }
+      }
     }
-
-    if (category == ChainCategory::kHybrid) {
-      for (const auto& [port, count] : observation.ports.items()) {
-        report.ports_hybrid.add(port, count);
+    for (auto& [category, clients] : clients_by_category) {
+      report.categories[category].client_ips = clients.size();
+    }
+  }
+  publish_stage(obs, "categorize", report.unique_chains, report.unique_chains, 0);
+  publish_stage(obs, "figure1", report.unique_chains,
+                report.unique_chains - report.excluded_outliers.size(),
+                report.excluded_outliers.size());
+  if (obs != nullptr) {
+    obs::MetricsRegistry& metrics = obs->metrics;
+    for (const auto& [category, usage] : report.categories) {
+      const std::string slug = obs::metric_slug(chain::chain_category_name(category));
+      metrics.count("categorize.chains." + slug, usage.chains);
+      metrics.count("categorize.connections." + slug, usage.connections);
+    }
+    for (const auto& [category, lengths] : report.chain_lengths) {
+      for (const std::size_t length : lengths) {
+        metrics.observe("pipeline.chain_length", static_cast<double>(length));
       }
     }
   }
-  for (auto& [category, clients] : clients_by_category) {
-    report.categories[category].client_ips = clients.size();
-  }
 
   // Stage 3: per-category structure analysis.
-  const HybridAnalyzer hybrid_analyzer(*stores_, *ct_logs_, registry_);
-  report.hybrid = hybrid_analyzer.analyze(slices[ChainCategory::kHybrid]);
+  {
+    auto timer = stage_timer(obs, "structure");
+    const HybridAnalyzer hybrid_analyzer(*stores_, *ct_logs_, registry_);
+    report.hybrid = hybrid_analyzer.analyze(slices[ChainCategory::kHybrid]);
 
-  const NonPublicAnalyzer non_public_analyzer(registry_);
-  report.non_public = non_public_analyzer.analyze(
-      "Non-public-DB-only", slices[ChainCategory::kNonPublicDbOnly]);
-  report.interception_chains = non_public_analyzer.analyze(
-      "TLS interception", slices[ChainCategory::kTlsInterception]);
+    const NonPublicAnalyzer non_public_analyzer(registry_);
+    report.non_public = non_public_analyzer.analyze(
+        "Non-public-DB-only", slices[ChainCategory::kNonPublicDbOnly]);
+    report.interception_chains = non_public_analyzer.analyze(
+        "TLS interception", slices[ChainCategory::kTlsInterception]);
+  }
+  const std::uint64_t structure_in = slices[ChainCategory::kHybrid].size() +
+                                     slices[ChainCategory::kNonPublicDbOnly].size() +
+                                     slices[ChainCategory::kTlsInterception].size();
+  publish_stage(obs, "structure", structure_in, structure_in, 0);
+  if (obs != nullptr) {
+    obs::MetricsRegistry& metrics = obs->metrics;
+    metrics.count("structure.hybrid.chains",
+                  slices[ChainCategory::kHybrid].size());
+    metrics.count("structure.non_public.chains",
+                  slices[ChainCategory::kNonPublicDbOnly].size());
+    metrics.count("structure.interception.chains",
+                  slices[ChainCategory::kTlsInterception].size());
+  }
 
   // Stage 4: PKI relationship graphs.
-  report.hybrid_graph = build_pki_graph(slices[ChainCategory::kHybrid], *stores_);
-  report.non_public_graph =
-      build_pki_graph(slices[ChainCategory::kNonPublicDbOnly], *stores_);
-  report.interception_graph =
-      build_pki_graph(slices[ChainCategory::kTlsInterception], *stores_);
+  {
+    auto timer = stage_timer(obs, "graphs");
+    report.hybrid_graph = build_pki_graph(slices[ChainCategory::kHybrid], *stores_);
+    report.non_public_graph =
+        build_pki_graph(slices[ChainCategory::kNonPublicDbOnly], *stores_);
+    report.interception_graph =
+        build_pki_graph(slices[ChainCategory::kTlsInterception], *stores_);
+  }
+  publish_stage(obs, "graphs", structure_in, structure_in, 0);
+  if (obs != nullptr) {
+    obs::MetricsRegistry& metrics = obs->metrics;
+    const auto graph_counters = [&metrics](const char* name, const PkiGraph& graph) {
+      const std::string prefix = std::string("graphs.") + name + ".";
+      metrics.count(prefix + "nodes", graph.node_count());
+      metrics.count(prefix + "issuance_links", graph.issuance_links().size());
+      metrics.count(prefix + "complex_intermediates",
+                    graph.complex_intermediates().size());
+    };
+    graph_counters("hybrid", report.hybrid_graph);
+    graph_counters("non_public", report.non_public_graph);
+    graph_counters("interception", report.interception_graph);
+  }
 
   return report;
 }
 
 namespace {
 
-/// Feeds `text` through a streaming reader in chunks, then folds the
-/// reader's accounting into the ingest report. Strict mode surfaces the
-/// first recorded error instead of returning.
+/// Feeds `text` through a streaming reader in chunks, publishes the reader's
+/// accounting as `ingest.<stream>.*` registry counters, and fills `stats`
+/// back FROM those counters — the registry is the single source, so the
+/// report's data-quality section and the metrics export cannot disagree.
+/// Strict mode surfaces the first recorded error instead of returning.
 template <typename Reader>
 void drive_stream(Reader& reader, std::string_view text, const char* stream_name,
-                  const IngestOptions& options, IngestStreamStats& stats,
-                  IngestReport& report) {
+                  const IngestOptions& options, obs::MetricsRegistry& metrics,
+                  IngestStreamStats& stats, IngestReport& report) {
+  const std::string prefix = std::string("ingest.") + stream_name + ".";
+  const auto counter_at = [&metrics, &prefix](const char* leaf) {
+    return metrics.counter(prefix + leaf);
+  };
+  const std::uint64_t bytes_before = counter_at("bytes_consumed");
+  const std::uint64_t lines_before = counter_at("lines");
+  const std::uint64_t records_before = counter_at("records");
+  const std::uint64_t malformed_before = counter_at("rows_malformed");
+  const std::uint64_t skipped_before = counter_at("lines_skipped");
+  const std::uint64_t rotations_before = counter_at("rotations");
+
   const std::size_t chunk =
       options.feed_chunk_bytes == 0 ? std::max<std::size_t>(1, text.size())
                                     : options.feed_chunk_bytes;
@@ -109,11 +227,20 @@ void drive_stream(Reader& reader, std::string_view text, const char* stream_name
   }
   reader.finish();
 
-  stats.lines = reader.lines_seen();
-  stats.records = reader.records_emitted();
-  stats.malformed_rows = reader.malformed_rows();
-  stats.skipped_lines = reader.lines_skipped();
-  stats.rotations = reader.rotations_seen();
+  metrics.count(prefix + "bytes_consumed", reader.bytes_consumed());
+  metrics.count(prefix + "lines", reader.lines_seen());
+  metrics.count(prefix + "records", reader.records_emitted());
+  metrics.count(prefix + "rows_malformed", reader.malformed_rows());
+  metrics.count(prefix + "lines_skipped", reader.lines_skipped());
+  metrics.count(prefix + "rotations", reader.rotations_seen());
+
+  stats.bytes = counter_at("bytes_consumed") - bytes_before;
+  stats.lines = counter_at("lines") - lines_before;
+  stats.records = counter_at("records") - records_before;
+  stats.malformed_rows = counter_at("rows_malformed") - malformed_before;
+  stats.skipped_lines = counter_at("lines_skipped") - skipped_before;
+  stats.rotations = counter_at("rotations") - rotations_before;
+
   for (const auto& error : reader.errors()) {
     if (report.sample_errors.size() >= IngestReport::kMaxSampleErrors) break;
     report.sample_errors.push_back(std::string(stream_name) + " line " +
@@ -131,22 +258,39 @@ void drive_stream(Reader& reader, std::string_view text, const char* stream_name
 
 StudyReport StudyPipeline::run_from_text(std::string_view ssl_log_text,
                                          std::string_view x509_log_text,
-                                         const IngestOptions& options) const {
+                                         const IngestOptions& options,
+                                         obs::RunContext* obs) const {
+  // Ingestion accounting always flows through a registry; without an
+  // injected context a run-local one keeps the single-source guarantee.
+  obs::RunContext local;
+  obs::RunContext* ctx = obs != nullptr ? obs : &local;
+
   IngestReport ingest;
   ingest.populated = true;
   ingest.mode = options.mode;
 
   std::vector<zeek::SslLogRecord> ssl;
-  auto ssl_reader = zeek::make_streaming_ssl_reader(
-      [&ssl](zeek::SslLogRecord record) { ssl.push_back(std::move(record)); });
-  drive_stream(ssl_reader, ssl_log_text, "ssl", options, ingest.ssl, ingest);
-
   std::vector<zeek::X509LogRecord> x509;
-  auto x509_reader = zeek::make_streaming_x509_reader(
-      [&x509](zeek::X509LogRecord record) { x509.push_back(std::move(record)); });
-  drive_stream(x509_reader, x509_log_text, "x509", options, ingest.x509, ingest);
+  {
+    obs::StageTimer timer(*ctx, "ingest");
+    auto ssl_reader = zeek::make_streaming_ssl_reader(
+        [&ssl](zeek::SslLogRecord record) { ssl.push_back(std::move(record)); });
+    drive_stream(ssl_reader, ssl_log_text, "ssl", options, ctx->metrics,
+                 ingest.ssl, ingest);
 
-  StudyReport report = run(ssl, x509);
+    auto x509_reader = zeek::make_streaming_x509_reader(
+        [&x509](zeek::X509LogRecord record) { x509.push_back(std::move(record)); });
+    drive_stream(x509_reader, x509_log_text, "x509", options, ctx->metrics,
+                 ingest.x509, ingest);
+  }
+  // The stage triple counts rows that carried (or should have carried) data;
+  // header/comment lines are neither admitted nor dropped.
+  publish_stage(ctx, "ingest",
+                ingest.ssl.records + ingest.x509.records + ingest.skipped_total(),
+                ingest.ssl.records + ingest.x509.records,
+                ingest.skipped_total());
+
+  StudyReport report = run(ssl, x509, obs);
   report.ingest = std::move(ingest);
   return report;
 }

@@ -34,6 +34,10 @@
 #include "util/stats.hpp"
 #include "zeek/log_io.hpp"
 
+namespace certchain::obs {
+struct RunContext;
+}  // namespace certchain::obs
+
 namespace certchain::core {
 
 /// Table 2 row.
@@ -87,13 +91,19 @@ class StudyPipeline {
       : stores_(&stores), ct_logs_(&ct_logs), vendors_(&vendors),
         registry_(registry) {}
 
-  /// Runs on parsed records.
+  /// Runs on parsed records. When `obs` is given, every Figure-2 stage
+  /// reports a `stage.<name>.{in,admitted,dropped}` counter triple plus a
+  /// trace span, and the per-analyzer counters land in the registry; the
+  /// counts reconcile exactly with the returned StudyReport (asserted in
+  /// test_pipeline_units).
   StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
-                  const std::vector<zeek::X509LogRecord>& x509) const;
+                  const std::vector<zeek::X509LogRecord>& x509,
+                  obs::RunContext* obs = nullptr) const;
 
   /// Convenience overloads.
-  StudyReport run(const netsim::GeneratedLogs& logs) const {
-    return run(logs.ssl, logs.x509);
+  StudyReport run(const netsim::GeneratedLogs& logs,
+                  obs::RunContext* obs = nullptr) const {
+    return run(logs.ssl, logs.x509, obs);
   }
 
   /// Runs on raw Zeek log text (the full parse -> join -> analyze path).
@@ -103,7 +113,8 @@ class StudyPipeline {
   /// lenient mode (the default) damage is counted and skipped.
   StudyReport run_from_text(std::string_view ssl_log_text,
                             std::string_view x509_log_text,
-                            const IngestOptions& options = {}) const;
+                            const IngestOptions& options = {},
+                            obs::RunContext* obs = nullptr) const;
 
   /// Figure 1 outlier rule: drop unique chains longer than this when they
   /// were observed exactly once.

@@ -1,5 +1,6 @@
 #include "core/report_text.hpp"
 
+#include "obs/export.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -106,10 +107,11 @@ void render_data_quality(std::string& out, const StudyReport& report) {
   if (!ingest.populated) return;
   out += util::render_banner("Data quality / scan health");
   out += "ingestion mode: " + std::string(ingest_mode_name(ingest.mode)) + "\n";
-  util::TextTable table(
-      {"Stream", "Lines", "Records", "Malformed", "Skipped", "Rotations"});
+  util::TextTable table({"Stream", "Bytes", "Lines", "Records", "Malformed",
+                         "Skipped", "Rotations"});
   const auto row = [&table](const char* name, const IngestStreamStats& stats) {
-    table.add_row({name, util::with_commas(stats.lines),
+    table.add_row({name, util::with_commas(stats.bytes),
+                   util::with_commas(stats.lines),
                    util::with_commas(stats.records),
                    util::with_commas(stats.malformed_rows),
                    util::with_commas(stats.skipped_lines),
@@ -139,6 +141,13 @@ std::string render_report_text(const StudyReport& report,
   if (options.non_public) render_non_public(out, report);
   if (options.graphs) render_graphs(out, report);
   if (options.data_quality) render_data_quality(out, report);
+  if (options.telemetry != nullptr) {
+    out += util::render_banner("Telemetry");
+    obs::TextExportOptions telemetry_options;
+    telemetry_options.trace = options.telemetry_trace;
+    out += obs::render_metrics_text(*options.telemetry, telemetry_options);
+    out += "\n";
+  }
   return out;
 }
 

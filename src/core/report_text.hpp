@@ -10,6 +10,10 @@
 #include "core/pipeline.hpp"
 #include "core/revisit.hpp"
 
+namespace certchain::obs {
+struct RunContext;
+}  // namespace certchain::obs
+
 namespace certchain::core {
 
 /// Sections the renderer can emit.
@@ -23,6 +27,11 @@ struct ReportTextOptions {
   /// Ingestion accounting; emitted only when the report came through
   /// run_from_text (in-memory runs have nothing to report on).
   bool data_quality = true;
+  /// When set, a "Telemetry" section (obs::render_metrics_text) is appended:
+  /// counters, per-stage admit/drop manifest, wall times.
+  const obs::RunContext* telemetry = nullptr;
+  /// Include the trace tree inside the telemetry section.
+  bool telemetry_trace = false;
 };
 
 /// Renders the selected sections of the report as plain text.

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 
+#include "obs/run_context.hpp"
 #include "util/hash.hpp"
 
 namespace certchain::datagen {
@@ -57,9 +59,14 @@ std::size_t scaled(double value, double scale, std::size_t minimum = 1) {
 
 }  // namespace
 
-netsim::GeneratedLogs Scenario::generate_logs() const {
+netsim::GeneratedLogs Scenario::generate_logs(obs::RunContext* obs) const {
   const netsim::CampusSimulator simulator(endpoints);
-  return simulator.run(traffic);
+  if (obs == nullptr) return simulator.run(traffic);
+
+  obs::StageTimer timer(*obs, "simulate");
+  netsim::TrafficConfig instrumented = traffic;
+  instrumented.metrics = &obs->metrics;
+  return simulator.run(instrumented);
 }
 
 namespace detail {
@@ -603,15 +610,40 @@ void add_interception_endpoints(Scenario& scenario, const ScenarioConfig& config
 
 }  // namespace detail
 
-std::unique_ptr<Scenario> build_study_scenario(const ScenarioConfig& config) {
+std::unique_ptr<Scenario> build_study_scenario(const ScenarioConfig& config,
+                                               obs::RunContext* obs) {
   auto scenario = std::make_unique<Scenario>(config.seed);
   util::Rng rng(config.seed ^ 0xD47A6E5ULL);
 
-  detail::add_public_endpoints(*scenario, config, rng);
-  detail::add_non_public_endpoints(*scenario, config, rng);
-  detail::add_interception_endpoints(*scenario, config, rng);
-  detail::add_hybrid_endpoints(*scenario, config, rng);
+  std::optional<obs::StageTimer> scenario_timer;
+  if (obs != nullptr) {
+    scenario_timer.emplace(*obs, "scenario");
+    obs->set_config("scenario.seed", config.seed);
+    obs->set_config("scenario.chain_scale", std::to_string(config.chain_scale));
+    obs->set_config("scenario.total_connections", config.total_connections);
+    obs->set_config("scenario.client_count",
+                    static_cast<std::uint64_t>(config.client_count));
+  }
+  // Runs one population builder under its own span and counts the endpoints
+  // it appended.
+  const auto build_population = [&](const char* name, auto&& builder) {
+    std::optional<obs::StageTimer> timer;
+    if (obs != nullptr) timer.emplace(*obs, std::string("datagen.") + name);
+    const std::size_t before = scenario->endpoints.size();
+    builder(*scenario, config, rng);
+    if (obs != nullptr) {
+      obs->metrics.count(std::string("datagen.endpoints.") + name,
+                         scenario->endpoints.size() - before);
+    }
+  };
+  build_population("public", detail::add_public_endpoints);
+  build_population("non_public", detail::add_non_public_endpoints);
+  build_population("interception", detail::add_interception_endpoints);
+  build_population("hybrid", detail::add_hybrid_endpoints);
   detail::assign_revisit_chains(*scenario, config, rng);
+  if (obs != nullptr) {
+    obs->metrics.count("datagen.endpoints", scenario->endpoints.size());
+  }
 
   scenario->traffic.connections = config.total_connections;
   scenario->traffic.window = util::study::collection_window();

@@ -31,6 +31,10 @@
 #include "netsim/pki_world.hpp"
 #include "netsim/simulator.hpp"
 
+namespace certchain::obs {
+struct RunContext;
+}  // namespace certchain::obs
+
 namespace certchain::datagen {
 
 struct ScenarioConfig {
@@ -62,12 +66,17 @@ struct Scenario {
   core::VendorDirectory vendors;
   netsim::TrafficConfig traffic;
 
-  /// Convenience: runs the simulator over the endpoints.
-  netsim::GeneratedLogs generate_logs() const;
+  /// Convenience: runs the simulator over the endpoints. With telemetry
+  /// attached, generation runs under a "simulate" span and reports
+  /// `netsim.*` counters.
+  netsim::GeneratedLogs generate_logs(obs::RunContext* obs = nullptr) const;
 };
 
-/// Builds the full study scenario.
-std::unique_ptr<Scenario> build_study_scenario(const ScenarioConfig& config = {});
+/// Builds the full study scenario. With telemetry attached, the build runs
+/// under a "scenario" span with one child span per endpoint-population
+/// builder, and per-population endpoint counts land as `datagen.*` counters.
+std::unique_ptr<Scenario> build_study_scenario(const ScenarioConfig& config = {},
+                                               obs::RunContext* obs = nullptr);
 
 /// Internal builders, exposed for targeted tests and benches. Each appends
 /// endpoints labeled with its structural intent.

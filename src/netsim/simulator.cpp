@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "util/hash.hpp"
 #include "validation/client_validators.hpp"
 #include "zeek/joiner.hpp"
@@ -134,6 +135,21 @@ GeneratedLogs CampusSimulator::run(const TrafficConfig& config) const {
       ssl.validation_status = server.validation_status;
     }
     logs.ssl.push_back(std::move(ssl));
+  }
+
+  if (config.metrics != nullptr) {
+    std::uint64_t tls13 = 0, established = 0, with_sni = 0;
+    for (const zeek::SslLogRecord& row : logs.ssl) {
+      if (row.version == "TLSv13") ++tls13;
+      if (row.established) ++established;
+      if (!row.server_name.empty()) ++with_sni;
+    }
+    config.metrics->count("netsim.connections", logs.ssl.size());
+    config.metrics->count("netsim.connections.tls13", tls13);
+    config.metrics->count("netsim.connections.established", established);
+    config.metrics->count("netsim.connections.with_sni", with_sni);
+    config.metrics->count("netsim.x509_rows", logs.x509.size());
+    config.metrics->count("netsim.endpoints", endpoints_.size());
   }
   return logs;
 }

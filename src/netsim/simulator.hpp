@@ -20,6 +20,10 @@
 #include "util/time.hpp"
 #include "zeek/records.hpp"
 
+namespace certchain::obs {
+class MetricsRegistry;
+}  // namespace certchain::obs
+
 namespace certchain::netsim {
 
 /// How the `established` column is decided.
@@ -65,6 +69,10 @@ struct TrafficConfig {
   ClientMix client_mix;
   const truststore::TrustStoreSet* stores = nullptr;
   const truststore::TrustStore* host_store = nullptr;
+
+  /// Optional telemetry sink: generation totals land as `netsim.*` counters
+  /// (connections, TLS1.3-opaque, established, emitted log rows).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct GeneratedLogs {

@@ -1,0 +1,37 @@
+// Exporters: one telemetry state, two renderings.
+//
+// render_metrics_text produces the human section appended to study reports
+// and printed by the profiling tools. export_metrics_json produces the
+// schema-versioned machine document (counters / gauges / histograms /
+// timings / trace / manifest) meant to be written next to BENCH_*.json
+// results and diffed across PRs. Counters and gauges are exact; histograms
+// and timings carry count/sum/min/max/p50/p90/p99 plus raw buckets.
+#pragma once
+
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/run_context.hpp"
+
+namespace certchain::obs {
+
+struct TextExportOptions {
+  bool counters = true;
+  bool gauges = true;
+  bool histograms = true;
+  bool timings = true;
+  bool manifest = true;
+  bool trace = false;  // the tree can get long; off by default in reports
+};
+
+/// Pretty text rendering of a run's telemetry.
+std::string render_metrics_text(const RunContext& context,
+                                const TextExportOptions& options = {});
+
+/// Schema-versioned JSON document (see kMetricsSchemaName / Version).
+std::string export_metrics_json(const RunContext& context);
+
+/// Writes export_metrics_json to a file. Returns false on I/O failure.
+bool write_metrics_json(const RunContext& context, const std::string& path);
+
+}  // namespace certchain::obs

@@ -1,0 +1,52 @@
+// RunManifest: the accountant's view of one run.
+//
+// Large-scale measurement studies live or die on being able to state, for
+// every processing stage, how many records went in, how many came out, and
+// where the rest went. The manifest derives exactly that from the registry's
+// reserved `stage.<name>.{in,admitted,dropped}` counter triple, pairs each
+// stage with its wall time from the trace tree, and carries the run's config
+// snapshot — enough to diff two runs ("same admit/drop counts, 2x faster")
+// without re-reading logs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/run_context.hpp"
+
+namespace certchain::obs {
+
+/// Schema identity for the JSON export; bump kSchemaVersion on any breaking
+/// change to field names or meaning (see DESIGN.md §9.3).
+inline constexpr std::string_view kMetricsSchemaName = "certchain.obs.metrics";
+inline constexpr int kMetricsSchemaVersion = 1;
+
+struct StageManifest {
+  std::string name;
+  double wall_ms = 0.0;   // 0 when the stage never opened a span
+  bool timed = false;     // true when a trace node matched the stage name
+  std::uint64_t records_in = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped = 0;
+
+  /// The accounting invariant every stage must satisfy.
+  bool reconciles() const { return records_in == admitted + dropped; }
+};
+
+struct RunManifest {
+  std::map<std::string, std::string> config;
+  std::vector<StageManifest> stages;  // in trace order, then alphabetical
+  double total_wall_ms = 0.0;         // sum of top-level trace spans
+
+  const StageManifest* stage(std::string_view name) const;
+  bool reconciles() const;
+};
+
+/// Builds the manifest from a run's registry + trace. Stages are discovered
+/// from `stage.<name>.*` counters; wall times are summed over trace nodes
+/// whose name equals the stage name.
+RunManifest build_run_manifest(const RunContext& context);
+
+}  // namespace certchain::obs

@@ -1,0 +1,84 @@
+#include "obs/span.hpp"
+
+#include <cstdio>
+
+namespace certchain::obs {
+
+Span Trace::span(std::string name) { return Span(this, open(std::move(name))); }
+
+Trace::Node* Trace::open(std::string name) {
+  Node* parent = open_stack_.empty() ? &root_ : open_stack_.back();
+  parent->children.push_back(std::make_unique<Node>());
+  Node* node = parent->children.back().get();
+  node->name = std::move(name);
+  open_stack_.push_back(node);
+  return node;
+}
+
+void Trace::close(Node* node, double wall_ms) {
+  node->wall_ms = wall_ms;
+  node->closed = true;
+  // Spans are RAII so closes arrive innermost-first; tolerate out-of-order
+  // closes (e.g. a moved-from span outliving its children) by unwinding.
+  while (!open_stack_.empty()) {
+    Node* top = open_stack_.back();
+    open_stack_.pop_back();
+    if (top == node) break;
+    top->closed = true;
+  }
+}
+
+double Trace::total_ms() const {
+  double total = 0.0;
+  for (const auto& child : root_.children) total += child->wall_ms;
+  return total;
+}
+
+namespace {
+
+std::size_t count_nodes(const Trace::Node& node) {
+  std::size_t count = node.children.size();
+  for (const auto& child : node.children) count += count_nodes(*child);
+  return count;
+}
+
+void render_node(const Trace::Node& node, int depth, std::string& out) {
+  char duration[48];
+  std::snprintf(duration, sizeof(duration), "%10.3f ms", node.wall_ms);
+  out.append(duration);
+  out.append("  ");
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out.append(node.name);
+  if (!node.closed) out.append(" (open)");
+  out.push_back('\n');
+  for (const auto& child : node.children) render_node(*child, depth + 1, out);
+}
+
+}  // namespace
+
+std::size_t Trace::node_count() const { return count_nodes(root_); }
+
+std::string Trace::render() const {
+  std::string out;
+  for (const auto& child : root_.children) render_node(*child, 0, out);
+  return out;
+}
+
+void Trace::clear() {
+  root_.children.clear();
+  open_stack_.clear();
+}
+
+void Span::stop() {
+  if (trace_ == nullptr || node_ == nullptr) return;
+  trace_->close(node_, watch_.elapsed_ms());
+  trace_ = nullptr;
+  node_ = nullptr;
+}
+
+const std::string& Span::name() const {
+  static const std::string kClosed = "(closed)";
+  return node_ == nullptr ? kClosed : node_->name;
+}
+
+}  // namespace certchain::obs

@@ -1,0 +1,95 @@
+// Per-run trace tree and RAII span scopes.
+//
+// A Trace is a tree of named timed scopes: opening a Span makes it a child
+// of the innermost open span, so nested StageTimers in the pipeline produce
+// the run's call structure ("pipeline" > "join" > ...) with real wall-clock
+// durations at every node. Spans close in destructor order (RAII), so the
+// tree is always well-formed even on early returns and exceptions.
+//
+// Durations are real time and therefore non-deterministic; everything else
+// about the tree (names, structure, child order) is an exact function of the
+// code path and is safe to assert in tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/stopwatch.hpp"
+
+namespace certchain::obs {
+
+class Span;
+
+class Trace {
+ public:
+  struct Node {
+    std::string name;
+    double wall_ms = 0.0;
+    bool closed = false;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  Trace() { root_.name = "run"; }
+
+  // The root owns raw pointers into itself; moving would dangle the open
+  // stack, so a Trace stays where it was constructed.
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span as a child of the innermost open span (or of the root).
+  Span span(std::string name);
+
+  const Node& root() const { return root_; }
+
+  /// Sum of the top-level spans' durations (the root itself is never timed).
+  double total_ms() const;
+
+  /// Number of nodes excluding the root.
+  std::size_t node_count() const;
+
+  /// Indented text rendering, durations in milliseconds.
+  std::string render() const;
+
+  void clear();
+
+ private:
+  friend class Span;
+
+  Node* open(std::string name);
+  void close(Node* node, double wall_ms);
+
+  Node root_;
+  std::vector<Node*> open_stack_;  // innermost open span last
+};
+
+/// RAII scope: records its wall time into the owning Trace on destruction.
+class Span {
+ public:
+  Span(Span&& other) noexcept
+      : trace_(other.trace_), node_(other.node_), watch_(other.watch_) {
+    other.trace_ = nullptr;
+    other.node_ = nullptr;
+  }
+  Span& operator=(Span&&) = delete;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { stop(); }
+
+  /// Closes the span early; idempotent.
+  void stop();
+
+  double elapsed_ms() const { return watch_.elapsed_ms(); }
+  const std::string& name() const;
+
+ private:
+  friend class Trace;
+  Span(Trace* trace, Trace::Node* node) : trace_(trace), node_(node) {}
+
+  Trace* trace_;
+  Trace::Node* node_;
+  Stopwatch watch_;
+};
+
+}  // namespace certchain::obs

@@ -1,0 +1,36 @@
+// The one clock abstraction shared by the telemetry subsystem, the bench
+// harnesses and the profiling tools.
+//
+// Everything that measures real wall time goes through Stopwatch so there is
+// exactly one place that decides which clock is read (steady_clock: immune to
+// NTP steps) and one unit convention (fractional milliseconds). Count
+// metrics are deterministic and asserted exactly in tests; durations are
+// real and never are — keeping them behind one type makes that boundary easy
+// to see at call sites.
+#pragma once
+
+#include <chrono>
+
+namespace certchain::obs {
+
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Fractional milliseconds since construction / the last restart().
+  double elapsed_ms() const { return ms_between(start_, Clock::now()); }
+  double elapsed_seconds() const { return elapsed_ms() / 1000.0; }
+
+  static double ms_between(Clock::time_point begin, Clock::time_point end) {
+    return std::chrono::duration<double, std::milli>(end - begin).count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace certchain::obs

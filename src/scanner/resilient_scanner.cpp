@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "x509/pem.hpp"
 
 namespace certchain::scanner {
@@ -85,10 +86,15 @@ std::string ScanLedger::to_string() const {
   return out;
 }
 
+void ResilientScanner::bump(std::string_view name, std::uint64_t delta) {
+  if (metrics_ != nullptr) metrics_->count(name, delta);
+}
+
 ResilientScanResult ResilientScanner::run_attempts(ScanResult pristine) {
   ResilientScanResult result;
   result.scan.target = pristine.target;
   ++ledger_.targets;
+  bump("scanner.targets");
 
   util::Rng jitter_rng =
       util::Rng(policy_.jitter_seed).fork(util::stable_salt(pristine.target));
@@ -118,6 +124,8 @@ ResilientScanResult ResilientScanner::run_attempts(ScanResult pristine) {
       elapsed += wait_ms;
       ledger_.backoff_ms_total += wait_ms;
       ++ledger_.retries;
+      bump("scanner.backoff_ms_total", wait_ms);
+      bump("scanner.retries");
       if (elapsed >= policy_.target_deadline_ms) {
         last_error = ScanError::kDeadlineExceeded;
         break;
@@ -126,6 +134,7 @@ ResilientScanResult ResilientScanner::run_attempts(ScanResult pristine) {
 
     ++ledger_.attempts;
     ++result.attempts;
+    bump("scanner.attempts");
     const FaultEvent event = plan_->decide(pristine.target, attempt);
 
     // A host that is genuinely gone (no revisit chain / unknown target)
@@ -134,7 +143,12 @@ ResilientScanResult ResilientScanner::run_attempts(ScanResult pristine) {
       elapsed += policy_.connect_timeout_ms;
       last_error = ScanError::kUnreachable;
       ++ledger_.error_counts[last_error];
+      bump("scanner.error.unreachable");
       continue;
+    }
+    if (event.kind != FaultKind::kNone) {
+      bump("scanner.fault." +
+           obs::metric_slug(netsim::fault_kind_name(event.kind)));
     }
 
     bool attempt_failed = false;
@@ -202,9 +216,11 @@ ResilientScanResult ResilientScanner::run_attempts(ScanResult pristine) {
       result.error = ScanError::kNone;
       result.elapsed_ms = elapsed;
       ++ledger_.successes;
+      bump("scanner.successes");
       return result;
     }
     ++ledger_.error_counts[last_error];
+    bump("scanner.error." + obs::metric_slug(scan_error_name(last_error)));
     if (last_error == ScanError::kDeadlineExceeded) break;
   }
 
@@ -218,10 +234,14 @@ ResilientScanResult ResilientScanner::run_attempts(ScanResult pristine) {
     ++ledger_.salvaged;
     ledger_.certs_salvaged += best_salvaged_certs;
     ledger_.certs_dropped += best_dropped_certs;
+    bump("scanner.salvaged");
+    bump("scanner.certs_salvaged", best_salvaged_certs);
+    bump("scanner.certs_dropped", best_dropped_certs);
     return result;
   }
   result.error = last_error;
   ++ledger_.failures;
+  bump("scanner.failures");
   return result;
 }
 

@@ -25,6 +25,10 @@
 #include "scanner/scanner.hpp"
 #include "util/rng.hpp"
 
+namespace certchain::obs {
+class MetricsRegistry;
+}  // namespace certchain::obs
+
 namespace certchain::scanner {
 
 /// Terminal classification of a scan attempt (and, for the last attempt, of
@@ -106,9 +110,15 @@ struct ScanLedger {
 
 class ResilientScanner {
  public:
+  /// `metrics`, when given, mirrors every ledger movement as `scanner.*`
+  /// registry counters (attempts, retries, backoff totals, per-error and
+  /// injected-fault taxonomy counts) so campaign telemetry exports alongside
+  /// pipeline telemetry. The ledger stays authoritative; the registry is a
+  /// write-through view and the two always agree (asserted in tests).
   ResilientScanner(const ActiveScanner& inner, const netsim::FaultPlan& plan,
-                   RetryPolicy policy = {})
-      : inner_(&inner), plan_(&plan), policy_(policy) {}
+                   RetryPolicy policy = {},
+                   obs::MetricsRegistry* metrics = nullptr)
+      : inner_(&inner), plan_(&plan), policy_(policy), metrics_(metrics) {}
 
   ResilientScanResult scan_domain(const std::string& domain,
                                   std::uint16_t port = 443);
@@ -125,10 +135,14 @@ class ResilientScanner {
   /// Runs the retry loop against the pristine (fault-free) answer.
   ResilientScanResult run_attempts(ScanResult pristine);
 
+  /// Write-through to the attached registry (no-op when none).
+  void bump(std::string_view name, std::uint64_t delta = 1);
+
   const ActiveScanner* inner_;
   const netsim::FaultPlan* plan_;
   RetryPolicy policy_;
   ScanLedger ledger_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace certchain::scanner

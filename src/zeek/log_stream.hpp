@@ -41,6 +41,7 @@ class StreamingLogReader {
   /// Feeds a chunk of bytes; complete lines are consumed, the tail is kept
   /// for the next feed.
   void feed(std::string_view chunk) {
+    bytes_consumed_ += chunk.size();
     buffer_.append(chunk);
     std::size_t start = 0;
     while (true) {
@@ -65,6 +66,8 @@ class StreamingLogReader {
   }
 
   std::size_t lines_seen() const { return lines_seen_; }
+  /// Total bytes fed into the reader (all chunks, including damage).
+  std::size_t bytes_consumed() const { return bytes_consumed_; }
   std::size_t records_emitted() const { return records_emitted_; }
   /// Every line that was dropped: unknown headers, pre-header data, and
   /// malformed body rows.
@@ -122,6 +125,7 @@ class StreamingLogReader {
   Callback callback_;
   std::string buffer_;
   bool in_body_ = false;
+  std::size_t bytes_consumed_ = 0;
   std::size_t lines_seen_ = 0;
   std::size_t records_emitted_ = 0;
   std::size_t lines_skipped_ = 0;

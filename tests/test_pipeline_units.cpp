@@ -4,6 +4,8 @@
 
 #include "../tests/helpers.hpp"
 #include "core/pipeline.hpp"
+#include "obs/manifest.hpp"
+#include "obs/run_context.hpp"
 #include "util/hash.hpp"
 #include "zeek/joiner.hpp"
 #include "zeek/log_io.hpp"
@@ -143,6 +145,101 @@ TEST_F(PipelineUnitTest, RunFromTextEqualsRunFromRecords) {
   EXPECT_EQ(from_text.totals.connections, from_records.totals.connections);
   EXPECT_EQ(from_text.totals.distinct_certificates,
             from_records.totals.distinct_certificates);
+}
+
+TEST_F(PipelineUnitTest, TelemetryManifestReconcilesWithReport) {
+  add_connection(pki_.chain_for("pub.example"), true, "pub.example");
+  add_connection(make_chain({self_signed("appliance")}), false, "");
+  auto hybrid = pki_.chain_for("hyb.example");
+  hybrid.push_back(self_signed("corp-extra"));
+  add_connection(hybrid, true, "hyb.example");
+  // One connection whose chain never arrives: an incomplete join.
+  zeek::SslLogRecord dangling;
+  dangling.ts = util::make_time(2021, 3, 1);
+  dangling.uid = "Cdangling000000001";
+  dangling.id_orig_h = "10.0.0.7";
+  dangling.id_resp_h = "198.51.100.9";
+  dangling.id_resp_p = 443;
+  dangling.version = "TLSv12";
+  dangling.cert_chain_fuids = {"FnEverSeen0000001"};
+  ssl_.push_back(dangling);
+
+  obs::RunContext telemetry;
+  const StudyReport report = pipeline_.run(ssl_, x509_, &telemetry);
+
+  // Every stage triple reconciles, and the join stage matches the report's
+  // own totals exactly — one accounting, two views.
+  const obs::RunManifest manifest = obs::build_run_manifest(telemetry);
+  EXPECT_TRUE(manifest.reconciles());
+  const obs::StageManifest* join = manifest.stage("join");
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->records_in, report.totals.connections);
+  EXPECT_EQ(join->admitted, report.totals.with_certificates);
+  EXPECT_EQ(join->records_in - join->admitted,
+            report.totals.connections - report.totals.with_certificates);
+
+  const auto& counters = telemetry.metrics;
+  EXPECT_EQ(counters.counter("pipeline.connections"), report.totals.connections);
+  EXPECT_EQ(counters.counter("pipeline.unique_chains"), report.unique_chains);
+  EXPECT_EQ(counters.counter("pipeline.connections.incomplete_joins"),
+            report.totals.incomplete_joins);
+
+  // Per-category chain counters sum back to the unique-chain total.
+  std::uint64_t categorized = 0;
+  for (const auto& [name, value] : counters.counters()) {
+    if (name.rfind("categorize.chains.", 0) == 0) categorized += value;
+  }
+  EXPECT_EQ(categorized, report.unique_chains);
+
+  // figure1 drops are exactly the excluded outliers (none in this corpus).
+  const obs::StageManifest* figure1 = manifest.stage("figure1");
+  ASSERT_NE(figure1, nullptr);
+  EXPECT_EQ(figure1->dropped, report.excluded_outliers.size());
+
+  // The chain-length histogram saw every unique chain.
+  EXPECT_EQ(counters.histograms().at("pipeline.chain_length").count(),
+            report.unique_chains);
+}
+
+TEST_F(PipelineUnitTest, RunFromTextPublishesIngestCountersMatchingReport) {
+  add_connection(pki_.chain_for("counted.example"), true, "counted.example");
+  zeek::SslLogWriter ssl_writer;
+  for (const auto& record : ssl_) ssl_writer.add(record);
+  zeek::X509LogWriter x509_writer;
+  for (const auto& record : x509_) x509_writer.add(record);
+  const std::string ssl_text = ssl_writer.finish();
+  // Damage one stream: a truncated row (inside the body, before #close) that
+  // the lenient reader must count as malformed and skip.
+  std::string x509_text = x509_writer.finish();
+  const std::size_t close_at = x509_text.rfind("#close");
+  ASSERT_NE(close_at, std::string::npos);
+  x509_text.insert(close_at, "not\ta\tvalid\trow\n");
+
+  obs::RunContext telemetry;
+  const StudyReport report =
+      pipeline_.run_from_text(ssl_text, x509_text, {}, &telemetry);
+
+  // The report's ingest section and the registry counters are the same
+  // numbers — the report is filled FROM the counters, so they cannot drift.
+  const auto& metrics = telemetry.metrics;
+  EXPECT_EQ(metrics.counter("ingest.ssl.records"), report.ingest.ssl.records);
+  EXPECT_EQ(metrics.counter("ingest.ssl.lines"), report.ingest.ssl.lines);
+  EXPECT_EQ(metrics.counter("ingest.ssl.bytes_consumed"), report.ingest.ssl.bytes);
+  EXPECT_EQ(report.ingest.ssl.bytes, ssl_text.size());
+  EXPECT_EQ(metrics.counter("ingest.x509.records"), report.ingest.x509.records);
+  EXPECT_EQ(metrics.counter("ingest.x509.rows_malformed"),
+            report.ingest.x509.malformed_rows);
+  EXPECT_EQ(report.ingest.x509.malformed_rows, 1u);
+  EXPECT_EQ(report.ingest.x509.bytes, x509_text.size());
+
+  // The ingest stage triple reconciles: data rows in = records + skipped.
+  const obs::RunManifest manifest = obs::build_run_manifest(telemetry);
+  const obs::StageManifest* ingest = manifest.stage("ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_TRUE(ingest->reconciles());
+  EXPECT_EQ(ingest->admitted,
+            report.ingest.ssl.records + report.ingest.x509.records);
+  EXPECT_EQ(ingest->dropped, report.ingest.skipped_total());
 }
 
 TEST_F(PipelineUnitTest, Tls13ConnectionsCountedButNotCategorized) {

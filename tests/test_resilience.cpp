@@ -13,6 +13,7 @@
 #include "core/revisit.hpp"
 #include "netsim/faults.hpp"
 #include "netsim/pki_world.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/resilient_scanner.hpp"
 #include "util/strings.hpp"
 #include "util/time.hpp"
@@ -265,6 +266,55 @@ TEST_F(ResilienceTest, RevisitScanHealthAccountsForEveryTarget) {
   const core::NonPublicRevisitReport second =
       analyzer.analyze_non_public(servers, resilient, 100, 50);
   EXPECT_EQ(second.scan_health.ledger.targets, second.scan_health.scanned);
+}
+
+TEST_F(ResilienceTest, RegistryCountersMirrorTheLedgerExactly) {
+  const ActiveScanner inner(endpoints_);
+  const FaultPlan plan(0xBEA7, FaultRates::uniform(0.2));
+  obs::MetricsRegistry metrics;
+  ResilientScanner resilient(inner, plan, {}, &metrics);
+  (void)resilient.scan_all_domains();
+  (void)resilient.scan_all_ips();
+
+  const ScanLedger& ledger = resilient.ledger();
+  ASSERT_GT(ledger.attempts, 0u);
+  EXPECT_EQ(metrics.counter("scanner.targets"), ledger.targets);
+  EXPECT_EQ(metrics.counter("scanner.attempts"), ledger.attempts);
+  EXPECT_EQ(metrics.counter("scanner.retries"), ledger.retries);
+  EXPECT_EQ(metrics.counter("scanner.backoff_ms_total"), ledger.backoff_ms_total);
+  EXPECT_EQ(metrics.counter("scanner.successes"), ledger.successes);
+  EXPECT_EQ(metrics.counter("scanner.failures"), ledger.failures);
+  EXPECT_EQ(metrics.counter("scanner.salvaged"), ledger.salvaged);
+  EXPECT_EQ(metrics.counter("scanner.certs_salvaged"), ledger.certs_salvaged);
+  EXPECT_EQ(metrics.counter("scanner.certs_dropped"), ledger.certs_dropped);
+  // Every attempt-error series in the ledger has a matching counter.
+  for (const auto& [error, count] : ledger.error_counts) {
+    const std::string name =
+        "scanner.error." + obs::metric_slug(scanner::scan_error_name(error));
+    EXPECT_EQ(metrics.counter(name), count) << name;
+  }
+  // Fault-taxonomy counters exist (the plan injected at 20% per kind) and
+  // never exceed the attempt count.
+  std::uint64_t faults = 0;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (name.rfind("scanner.fault.", 0) == 0) faults += value;
+  }
+  EXPECT_GT(faults, 0u);
+  EXPECT_LE(faults, metrics.counter("scanner.attempts"));
+}
+
+TEST_F(ResilienceTest, NullRegistryKeepsScannerBehaviourIdentical) {
+  const ActiveScanner inner(endpoints_);
+  const FaultPlan plan(0xFA01, FaultRates::uniform(0.15));
+  const FaultPlan same_plan(0xFA01, FaultRates::uniform(0.15));
+  obs::MetricsRegistry metrics;
+  ResilientScanner instrumented(inner, plan, {}, &metrics);
+  ResilientScanner bare(inner, same_plan);
+  (void)instrumented.scan_all_domains();
+  (void)bare.scan_all_domains();
+  // Telemetry is write-through: attaching a registry must not perturb the
+  // deterministic scan outcome.
+  EXPECT_EQ(instrumented.ledger().to_string(), bare.ledger().to_string());
 }
 
 // --- ingestion degradation ------------------------------------------------

@@ -2,48 +2,128 @@
 //
 // Analyzes Zeek logs from disk:
 //
-//   certchain-analyze [--strict] <ssl.log> <x509.log>
+//   certchain-analyze [--strict] [--metrics <path>] [--trace] <ssl.log> <x509.log>
+//   certchain-analyze --demo [--strict] [--metrics <path>] [--trace]
 //
 // Ingestion is lenient by default: damaged lines are counted, reported in
 // the "Data quality" section and skipped. --strict aborts on the first
 // damaged line instead (for curated inputs where damage means a bug).
+//
+// Telemetry: every run carries a full obs::RunContext. --metrics writes the
+// schema-versioned JSON export (counters, per-stage manifest, wall times) to
+// the given path; --trace appends the span tree to the report's Telemetry
+// section. --demo synthesizes a small deterministic study corpus in memory
+// (no input files needed) and analyzes its serialized logs — the CI uses it
+// to exercise the whole ingest -> analyze -> export path.
 //
 // The trust stores / CT view / vendor directory default to the simulated
 // study universe (they parameterize the pipeline; swap in your own by using
 // the library API). Prints the condensed study report.
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <string>
 
 #include "core/pipeline.hpp"
 #include "core/report_text.hpp"
+#include "datagen/scenario.hpp"
 #include "netsim/pki_world.hpp"
+#include "obs/export.hpp"
+#include "obs/run_context.hpp"
 #include "util/strings.hpp"
+#include "zeek/log_io.hpp"
+
+namespace {
+
+void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--strict] [--metrics <path>] [--trace] <ssl.log> "
+               "<x509.log>\n"
+               "       %s --demo [--strict] [--metrics <path>] [--trace]\n",
+               argv0, argv0);
+}
+
+/// Serializes a small deterministic scenario into Zeek log text.
+void build_demo_logs(certchain::obs::RunContext& context, std::string& ssl_text,
+                     std::string& x509_text) {
+  using namespace certchain;
+  datagen::ScenarioConfig config;
+  config.seed = 20200901;
+  config.chain_scale = 1.0 / 4000.0;
+  config.total_connections = 4000;
+  config.client_count = 300;
+  config.include_length_outliers = false;
+  const auto scenario = datagen::build_study_scenario(config, &context);
+  const netsim::GeneratedLogs logs = scenario->generate_logs(&context);
+
+  zeek::SslLogWriter ssl_writer;
+  for (const auto& record : logs.ssl) ssl_writer.add(record);
+  ssl_text = ssl_writer.finish();
+  zeek::X509LogWriter x509_writer;
+  for (const auto& record : logs.x509) x509_writer.add(record);
+  x509_text = x509_writer.finish();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace certchain;
   core::IngestOptions ingest;
+  std::string metrics_path;
+  bool trace = false;
+  bool demo = false;
   int arg = 1;
-  if (arg < argc && std::string_view(argv[arg]) == "--strict") {
-    ingest.mode = core::IngestMode::kStrict;
-    ++arg;
+  for (; arg < argc; ++arg) {
+    const std::string_view flag = argv[arg];
+    if (flag == "--strict") {
+      ingest.mode = core::IngestMode::kStrict;
+    } else if (flag == "--trace") {
+      trace = true;
+    } else if (flag == "--demo") {
+      demo = true;
+    } else if (flag == "--metrics") {
+      if (arg + 1 >= argc) {
+        print_usage(argv[0]);
+        return 2;
+      }
+      metrics_path = argv[++arg];
+    } else {
+      break;
+    }
   }
-  if (argc - arg != 2) {
-    std::fprintf(stderr, "usage: %s [--strict] <ssl.log> <x509.log>\n", argv[0]);
+  if ((demo && argc - arg != 0) || (!demo && argc - arg != 2)) {
+    print_usage(argv[0]);
     return 2;
   }
-  const auto slurp = [](const char* path) -> std::optional<std::string> {
-    std::ifstream in(path);
-    if (!in) return std::nullopt;
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-  };
-  const auto ssl_text = slurp(argv[arg]);
-  const auto x509_text = slurp(argv[arg + 1]);
-  if (!ssl_text || !x509_text) {
-    std::fprintf(stderr, "certchain-analyze: cannot read input logs\n");
-    return 1;
+
+  obs::RunContext telemetry;
+  telemetry.set_config("tool", "certchain-analyze");
+  telemetry.set_config("ingest.mode", core::ingest_mode_name(ingest.mode));
+
+  std::string ssl_text;
+  std::string x509_text;
+  if (demo) {
+    telemetry.set_config("input", "demo");
+    build_demo_logs(telemetry, ssl_text, x509_text);
+  } else {
+    const auto slurp = [](const char* path) -> std::optional<std::string> {
+      std::ifstream in(path);
+      if (!in) return std::nullopt;
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      return buffer.str();
+    };
+    auto ssl_file = slurp(argv[arg]);
+    auto x509_file = slurp(argv[arg + 1]);
+    if (!ssl_file || !x509_file) {
+      std::fprintf(stderr, "certchain-analyze: cannot read input logs\n");
+      return 1;
+    }
+    ssl_text = *std::move(ssl_file);
+    x509_text = *std::move(x509_file);
+    telemetry.set_config("input.ssl", argv[arg]);
+    telemetry.set_config("input.x509", argv[arg + 1]);
   }
 
   netsim::PkiWorld world;  // databases the classification runs against
@@ -59,7 +139,7 @@ int main(int argc, char** argv) {
                                      &world.cross_signs());
   core::StudyReport report;
   try {
-    report = pipeline.run_from_text(*ssl_text, *x509_text, ingest);
+    report = pipeline.run_from_text(ssl_text, x509_text, ingest, &telemetry);
   } catch (const core::IngestError& error) {
     std::fprintf(stderr, "certchain-analyze: %s (rerun without --strict to "
                  "skip damaged lines)\n", error.what());
@@ -71,7 +151,20 @@ int main(int argc, char** argv) {
 
   core::ReportTextOptions options;
   options.graphs = true;
+  options.telemetry = &telemetry;
+  options.telemetry_trace = trace;
   std::fputs(core::render_report_text(report, options).c_str(), stdout);
+
+  if (!metrics_path.empty()) {
+    if (!obs::write_metrics_json(telemetry, metrics_path)) {
+      std::fprintf(stderr, "certchain-analyze: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics: wrote %s (schema %s v%d)\n",
+                 metrics_path.c_str(), std::string(obs::kMetricsSchemaName).c_str(),
+                 obs::kMetricsSchemaVersion);
+  }
 
   // The §3.2.1 interception attribution needs a CT view of the genuine
   // certificates. A fresh simulated world has empty CT logs, so forged

@@ -1,29 +1,36 @@
-#include <chrono>
+// Quick profiling harness: generates a small corpus, runs the pipeline, and
+// prints the telemetry section (per-stage wall times, trace tree, counters).
+// Stage timing comes from the obs:: spans the library itself records — this
+// binary adds no clocks of its own.
 #include <cstdio>
-#include "datagen/scenario.hpp"
+
 #include "core/pipeline.hpp"
+#include "datagen/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/run_context.hpp"
+
 using namespace certchain;
-using Clock = std::chrono::steady_clock;
-static double ms(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
+
 int main() {
   datagen::ScenarioConfig config;
   config.seed = 77;
   config.chain_scale = 1.0 / 2000.0;
   config.total_connections = 25000;
   config.client_count = 800;
-  auto t0 = Clock::now();
-  auto scenario = datagen::build_study_scenario(config);
-  auto t1 = Clock::now();
-  std::printf("scenario: %.0f ms (%zu endpoints)\n", ms(t0, t1), scenario->endpoints.size());
-  auto logs = scenario->generate_logs();
-  auto t2 = Clock::now();
-  std::printf("simulate: %.0f ms (%zu ssl rows)\n", ms(t1, t2), logs.ssl.size());
+
+  obs::RunContext telemetry;
+  telemetry.set_config("tool", "profile-small");
+
+  auto scenario = datagen::build_study_scenario(config, &telemetry);
+  auto logs = scenario->generate_logs(&telemetry);
   core::StudyPipeline pipeline(scenario->world.stores(), scenario->world.ct_logs(),
                                scenario->vendors, &scenario->world.cross_signs());
-  auto report = pipeline.run(logs);
-  auto t3 = Clock::now();
-  std::printf("pipeline: %.0f ms (unique %zu)\n", ms(t2, t3), report.unique_chains);
+  auto report = pipeline.run(logs, &telemetry);
+
+  std::printf("endpoints=%zu ssl_rows=%zu unique_chains=%zu\n\n",
+              scenario->endpoints.size(), logs.ssl.size(), report.unique_chains);
+  obs::TextExportOptions options;
+  options.trace = true;
+  std::fputs(obs::render_metrics_text(telemetry, options).c_str(), stdout);
   return 0;
 }
