@@ -1,0 +1,85 @@
+// Extension — sharded pipeline speedup: serial vs. N-worker wall time on
+// the calibrated datagen corpus, with the equivalence contract checked on
+// every run (DESIGN.md §10): the parallel report text must be byte-equal
+// to the serial one, or the speedup numbers are meaningless.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/report_text.hpp"
+#include "par/thread_pool.hpp"
+#include "zeek/log_io.hpp"
+
+int main() {
+  using namespace certchain;
+  bench::print_header(
+      "Ext: sharded pipeline wall time and speedup",
+      "run_from_text at 1/2/4/8/hw workers; output proven byte-identical");
+
+  bench::StudyContext context = bench::build_context();
+
+  zeek::SslLogWriter ssl_writer;
+  for (const auto& record : context.logs.ssl) ssl_writer.add(record);
+  const std::string ssl_text = ssl_writer.finish();
+  zeek::X509LogWriter x509_writer;
+  for (const auto& record : context.logs.x509) x509_writer.add(record);
+  const std::string x509_text = x509_writer.finish();
+
+  const core::StudyPipeline pipeline(
+      context.scenario->world.stores(), context.scenario->world.ct_logs(),
+      context.scenario->vendors, &context.scenario->world.cross_signs());
+  core::ReportTextOptions text_options;
+  text_options.graphs = true;
+
+  constexpr int kRepetitions = 3;  // best-of, to shave scheduler noise
+  const auto timed_run = [&](std::size_t threads, std::string* text_out) {
+    double best_ms = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      core::RunOptions options;
+      options.threads = threads;
+      const obs::Stopwatch stopwatch;
+      const core::StudyReport report =
+          pipeline.run_from_text(ssl_text, x509_text, options);
+      const double ms = stopwatch.elapsed_ms();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      if (rep == 0 && text_out) {
+        *text_out = render_report_text(report, text_options);
+      }
+    }
+    return best_ms;
+  };
+
+  std::string serial_text;
+  const double serial_ms = timed_run(1, &serial_text);
+
+  bench::print_section("Wall time vs. worker count (best of 3)");
+  util::TextTable table({"Workers", "Wall ms", "Speedup", "Identical"});
+  table.add_row({"1 (serial)", util::format_double(serial_ms, 1), "1.00x",
+                 "baseline"});
+
+  const std::size_t hardware = par::resolve_threads(0);
+  std::vector<std::size_t> counts = {2, 4, 8};
+  if (std::find(counts.begin(), counts.end(), hardware) == counts.end()) {
+    counts.push_back(hardware);
+  }
+  bool all_identical = true;
+  for (const std::size_t threads : counts) {
+    std::string text;
+    const double ms = timed_run(threads, &text);
+    const bool identical = text == serial_text;
+    all_identical = all_identical && identical;
+    const std::string label =
+        std::to_string(threads) + (threads == hardware ? " (hw)" : "");
+    table.add_row({label, util::format_double(ms, 1),
+                   util::format_double(serial_ms / ms, 2) + "x",
+                   identical ? "yes" : "NO — BUG"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Equivalence: %s\n",
+              all_identical
+                  ? "every worker count reproduced the serial report text"
+                  : "MISMATCH — the sharded pipeline diverged from serial");
+  return all_identical ? 0 : 1;
+}

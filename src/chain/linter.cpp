@@ -3,6 +3,7 @@
 #include <set>
 
 #include "chain/matcher.hpp"
+#include "par/thread_pool.hpp"
 #include "util/strings.hpp"
 
 namespace certchain::chain {
@@ -152,6 +153,22 @@ LintReport lint_chain(const CertificateChain& chain, const LintOptions& options)
                 "stray certificate");
   }
   return report;
+}
+
+std::vector<LintReport> lint_chains(
+    const std::vector<const CertificateChain*>& chains,
+    const LintOptions& options, par::ThreadPool* pool) {
+  std::vector<LintReport> reports(chains.size());
+  const std::size_t chunks = pool == nullptr ? 1 : pool->size();
+  par::parallel_for_chunks(
+      pool, chains.size(), chunks,
+      [&reports, &chains, &options](std::size_t, std::size_t begin,
+                                    std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          reports[i] = lint_chain(*chains[i], options);
+        }
+      });
+  return reports;
 }
 
 }  // namespace certchain::chain

@@ -18,6 +18,10 @@
 #include "chain/cross_sign_registry.hpp"
 #include "util/time.hpp"
 
+namespace certchain::par {
+class ThreadPool;
+}  // namespace certchain::par
+
 namespace certchain::chain {
 
 enum class LintSeverity : std::uint8_t { kInfo, kWarning, kError };
@@ -76,5 +80,13 @@ struct LintOptions {
 
 /// Lints a delivered chain.
 LintReport lint_chain(const CertificateChain& chain, const LintOptions& options = {});
+
+/// Lints a batch of chains into index-aligned reports. Each lint is an
+/// independent pure computation, so with a pool the chains are spread across
+/// its workers — the result vector is identical to the serial loop either
+/// way (a null or single-worker pool runs inline).
+std::vector<LintReport> lint_chains(
+    const std::vector<const CertificateChain*>& chains,
+    const LintOptions& options = {}, par::ThreadPool* pool = nullptr);
 
 }  // namespace certchain::chain

@@ -1,8 +1,53 @@
 #include "core/cert_stats.hpp"
 
 #include <set>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.hpp"
 
 namespace certchain::core {
+
+namespace {
+
+/// Folds one distinct certificate into the statistics. `last_seen` is the
+/// last-seen time of the observation that introduced the certificate —
+/// serial scan order decides which observation that is, and the parallel
+/// overload reproduces that choice exactly.
+void accumulate_certificate(CertPopulationStats& stats,
+                            const x509::Certificate& cert,
+                            util::SimTime last_seen) {
+  ++stats.distinct_certificates;
+
+  stats.key_algorithms.add(
+      std::string(crypto::key_algorithm_name(cert.public_key.algorithm)));
+  stats.signature_algorithms.add(
+      std::string(crypto::signature_algorithm_name(cert.signature.algorithm)));
+
+  const double days = static_cast<double>(cert.validity.duration()) /
+                      static_cast<double>(util::kSecondsPerDay);
+  stats.lifetimes_days.add(days);
+  if (days <= 90) {
+    ++stats.lifetime_le_90d;
+  } else if (days <= 398) {
+    ++stats.lifetime_le_398d;
+  } else if (days <= 731) {
+    ++stats.lifetime_le_2y;
+  } else {
+    ++stats.lifetime_gt_2y;
+  }
+
+  if (cert.subject_alt_names.empty()) {
+    ++stats.san_absent;
+  } else {
+    stats.san_counts.add(cert.subject_alt_names.size());
+  }
+
+  if (cert.expired_at(last_seen)) ++stats.expired_when_observed;
+  if (cert.is_self_signed()) ++stats.self_signed;
+}
+
+}  // namespace
 
 CertPopulationStats compute_cert_stats(
     std::string label, const std::vector<const ChainObservation*>& chains,
@@ -15,34 +60,55 @@ CertPopulationStats compute_cert_stats(
     if (observation->chain.length() > max_length) continue;
     for (const x509::Certificate& cert : observation->chain) {
       if (!seen.insert(cert.fingerprint()).second) continue;
-      ++stats.distinct_certificates;
+      accumulate_certificate(stats, cert, observation->last_seen);
+    }
+  }
+  return stats;
+}
 
-      stats.key_algorithms.add(
-          std::string(crypto::key_algorithm_name(cert.public_key.algorithm)));
-      stats.signature_algorithms.add(
-          std::string(crypto::signature_algorithm_name(cert.signature.algorithm)));
+CertPopulationStats compute_cert_stats(
+    std::string label, const std::vector<const ChainObservation*>& chains,
+    std::size_t max_length, par::ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1) {
+    return compute_cert_stats(std::move(label), chains, max_length);
+  }
 
-      const double days = static_cast<double>(cert.validity.duration()) /
-                          static_cast<double>(util::kSecondsPerDay);
-      stats.lifetimes_days.add(days);
-      if (days <= 90) {
-        ++stats.lifetime_le_90d;
-      } else if (days <= 398) {
-        ++stats.lifetime_le_398d;
-      } else if (days <= 731) {
-        ++stats.lifetime_le_2y;
-      } else {
-        ++stats.lifetime_gt_2y;
-      }
+  // Phase 1 (parallel): each shard scans a consecutive chain range and keeps
+  // the first occurrence of every fingerprint it sees, in scan order. The
+  // fingerprint hashing — the expensive part — happens here.
+  struct Candidate {
+    std::string fingerprint;
+    const x509::Certificate* cert = nullptr;
+    util::SimTime last_seen = 0;
+  };
+  const std::size_t shard_count = pool->size();
+  std::vector<std::vector<Candidate>> shard_candidates(shard_count);
+  par::parallel_for_chunks(
+      pool, chains.size(), shard_count,
+      [&shard_candidates, &chains, max_length](
+          std::size_t chunk, std::size_t begin, std::size_t end) {
+        std::set<std::string> local_seen;
+        for (std::size_t i = begin; i < end; ++i) {
+          const ChainObservation* observation = chains[i];
+          if (observation->chain.length() > max_length) continue;
+          for (const x509::Certificate& cert : observation->chain) {
+            std::string fingerprint = cert.fingerprint();
+            if (!local_seen.insert(fingerprint).second) continue;
+            shard_candidates[chunk].push_back(Candidate{
+                std::move(fingerprint), &cert, observation->last_seen});
+          }
+        }
+      });
 
-      if (cert.subject_alt_names.empty()) {
-        ++stats.san_absent;
-      } else {
-        stats.san_counts.add(cert.subject_alt_names.size());
-      }
-
-      if (cert.expired_at(observation->last_seen)) ++stats.expired_when_observed;
-      if (cert.is_self_signed()) ++stats.self_signed;
+  // Phase 2 (serial, shard order): global dedupe + accumulation. Walking the
+  // shards in order visits first occurrences in exactly serial scan order.
+  CertPopulationStats stats;
+  stats.label = std::move(label);
+  std::set<std::string> seen;
+  for (std::vector<Candidate>& candidates : shard_candidates) {
+    for (Candidate& candidate : candidates) {
+      if (!seen.insert(std::move(candidate.fingerprint)).second) continue;
+      accumulate_certificate(stats, *candidate.cert, candidate.last_seen);
     }
   }
   return stats;

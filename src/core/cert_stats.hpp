@@ -14,6 +14,10 @@
 #include "core/corpus.hpp"
 #include "util/stats.hpp"
 
+namespace certchain::par {
+class ThreadPool;
+}  // namespace certchain::par
+
 namespace certchain::core {
 
 struct CertPopulationStats {
@@ -47,5 +51,15 @@ struct CertPopulationStats {
 CertPopulationStats compute_cert_stats(
     std::string label, const std::vector<const ChainObservation*>& chains,
     std::size_t max_length = 30);
+
+/// Sharded variant: per-shard first-occurrence scans run on the pool, then a
+/// serial shard-order pass applies the global fingerprint dedupe and
+/// accumulates — so each certificate is attributed to exactly the
+/// observation the serial scan would have picked (expiry-at-observation
+/// depends on it). Output is identical to the serial overload; a null or
+/// single-worker pool falls back to it.
+CertPopulationStats compute_cert_stats(
+    std::string label, const std::vector<const ChainObservation*>& chains,
+    std::size_t max_length, par::ThreadPool* pool);
 
 }  // namespace certchain::core

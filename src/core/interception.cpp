@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "par/thread_pool.hpp"
+
 namespace certchain::core {
 
 chain::InterceptionIssuerSet InterceptionReport::issuer_set() const {
@@ -64,54 +66,84 @@ bool InterceptionDetector::is_interception_candidate(
   return true;
 }
 
-InterceptionReport InterceptionDetector::detect(const CorpusIndex& corpus) const {
-  InterceptionReport report;
+namespace {
+
+/// Partial detection state: the per-chain fold target, usable serially (one
+/// fold over the whole corpus) or per shard with a range-order merge.
+struct DetectFold {
   std::map<std::string, InterceptionFinding> findings;  // by issuer canonical
+  std::set<std::string> unconfirmed_candidates;
+  std::uint64_t total_connections = 0;
+};
 
-  for (const auto& [chain_id, observation] : corpus.chains()) {
-    if (observation.chain.empty()) continue;
-    // Evaluate against each observed SNI; the first confirming domain wins.
-    bool candidate = false;
-    for (const std::string& domain : observation.domains) {
-      if (is_interception_candidate(observation.chain, domain)) {
-        candidate = true;
-        break;
-      }
+/// The serial loop body: evaluates one chain observation into the fold.
+void fold_observation(const InterceptionDetector& detector,
+                      const VendorDirectory& directory,
+                      const ChainObservation& observation, DetectFold& fold) {
+  if (observation.chain.empty()) return;
+  // Evaluate against each observed SNI; the first confirming domain wins.
+  bool candidate = false;
+  for (const std::string& domain : observation.domains) {
+    if (detector.is_interception_candidate(observation.chain, domain)) {
+      candidate = true;
+      break;
     }
-    if (!candidate) continue;
-
-    const x509::Certificate& leaf = observation.chain.first();
-    const std::string canonical = leaf.issuer.canonical();
-    const auto directory_entry = directory_->find(canonical);
-    if (directory_entry == directory_->end()) {
-      report.unconfirmed_candidates.insert(canonical);
-      continue;
-    }
-    InterceptionFinding& finding = findings[canonical];
-    if (finding.issuer_canonical.empty()) {
-      finding.issuer_canonical = canonical;
-      finding.issuer_display = leaf.issuer.to_string();
-      finding.vendor = directory_entry->second;
-    }
-    finding.connections += observation.connections;
-    finding.client_ips.insert(observation.client_ips.begin(),
-                              observation.client_ips.end());
-    report.total_connections += observation.connections;
   }
+  if (!candidate) return;
+
+  const x509::Certificate& leaf = observation.chain.first();
+  const std::string canonical = leaf.issuer.canonical();
+  const auto directory_entry = directory.find(canonical);
+  if (directory_entry == directory.end()) {
+    fold.unconfirmed_candidates.insert(canonical);
+    return;
+  }
+  InterceptionFinding& finding = fold.findings[canonical];
+  if (finding.issuer_canonical.empty()) {
+    finding.issuer_canonical = canonical;
+    finding.issuer_display = leaf.issuer.to_string();
+    finding.vendor = directory_entry->second;
+  }
+  finding.connections += observation.connections;
+  finding.client_ips.insert(observation.client_ips.begin(),
+                            observation.client_ips.end());
+  fold.total_connections += observation.connections;
+}
+
+/// Folds a later corpus range in; call in range order so first-wins identity
+/// fields resolve like the serial pass.
+void merge_fold(DetectFold& into, DetectFold&& other) {
+  for (auto& [canonical, theirs] : other.findings) {
+    const auto [it, inserted] =
+        into.findings.try_emplace(canonical, std::move(theirs));
+    if (inserted) continue;
+    it->second.connections += theirs.connections;
+    it->second.client_ips.merge(theirs.client_ips);
+  }
+  into.unconfirmed_candidates.merge(other.unconfirmed_candidates);
+  into.total_connections += other.total_connections;
+}
+
+/// Vendor expansion + the Table-1 ordering, shared by both paths.
+InterceptionReport finalize_fold(DetectFold&& fold,
+                                 const VendorDirectory& directory) {
+  InterceptionReport report;
+  report.unconfirmed_candidates = std::move(fold.unconfirmed_candidates);
+  report.total_connections = fold.total_connections;
 
   // Vendor expansion: every directory DN of a confirmed vendor.
   std::set<std::string> confirmed_vendors;
-  for (const auto& [canonical, finding] : findings) {
+  for (const auto& [canonical, finding] : fold.findings) {
     confirmed_vendors.insert(finding.vendor.vendor);
   }
-  for (const auto& [canonical, info] : *directory_) {
+  for (const auto& [canonical, info] : directory) {
     if (confirmed_vendors.contains(info.vendor)) {
       report.vendor_issuer_dns.insert(canonical);
     }
   }
 
-  report.findings.reserve(findings.size());
-  for (auto& [canonical, finding] : findings) {
+  report.findings.reserve(fold.findings.size());
+  for (auto& [canonical, finding] : fold.findings) {
     report.findings.push_back(std::move(finding));
   }
   std::stable_sort(report.findings.begin(), report.findings.end(),
@@ -119,6 +151,44 @@ InterceptionReport InterceptionDetector::detect(const CorpusIndex& corpus) const
                      return a.connections > b.connections;
                    });
   return report;
+}
+
+}  // namespace
+
+InterceptionReport InterceptionDetector::detect(const CorpusIndex& corpus) const {
+  DetectFold fold;
+  for (const auto& [chain_id, observation] : corpus.chains()) {
+    fold_observation(*this, *directory_, observation, fold);
+  }
+  return finalize_fold(std::move(fold), *directory_);
+}
+
+InterceptionReport InterceptionDetector::detect(const CorpusIndex& corpus,
+                                                par::ThreadPool* pool) const {
+  if (pool == nullptr || pool->size() <= 1) return detect(corpus);
+
+  std::vector<const ChainObservation*> observations;
+  observations.reserve(corpus.chains().size());
+  for (const auto& [chain_id, observation] : corpus.chains()) {
+    observations.push_back(&observation);
+  }
+
+  const std::size_t shard_count = pool->size();
+  std::vector<DetectFold> folds(shard_count);
+  par::parallel_for_chunks(
+      pool, observations.size(), shard_count,
+      [this, &folds, &observations](std::size_t chunk, std::size_t begin,
+                                    std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          fold_observation(*this, *directory_, *observations[i], folds[chunk]);
+        }
+      });
+
+  DetectFold fold;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    merge_fold(fold, std::move(folds[i]));
+  }
+  return finalize_fold(std::move(fold), *directory_);
 }
 
 }  // namespace certchain::core

@@ -23,6 +23,10 @@
 #include "ct/ct_log.hpp"
 #include "truststore/trust_store.hpp"
 
+namespace certchain::par {
+class ThreadPool;
+}  // namespace certchain::par
+
 namespace certchain::core {
 
 struct VendorInfo {
@@ -81,6 +85,15 @@ class InterceptionDetector {
   /// their observed SNI domains; SNI-less traffic cannot be checked against
   /// CT (Appendix B limitation, reproduced faithfully).
   InterceptionReport detect(const CorpusIndex& corpus) const;
+
+  /// Sharded detection: the per-chain candidate test runs over consecutive
+  /// corpus ranges on the pool; the partial finding maps merge in range
+  /// order (identity fields first-wins, counts summed, client sets unioned)
+  /// before the serial vendor expansion and sort — producing exactly the
+  /// serial detect()'s report. A null or single-worker pool falls back to
+  /// the serial path.
+  InterceptionReport detect(const CorpusIndex& corpus,
+                            par::ThreadPool* pool) const;
 
   /// The per-chain primitive: true if the leaf issuer is absent from public
   /// databases and CT records a different issuer for `domain` during the

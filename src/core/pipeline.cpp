@@ -4,6 +4,7 @@
 #include <optional>
 #include <set>
 
+#include "core/pipeline_detail.hpp"
 #include "obs/run_context.hpp"
 #include "zeek/joiner.hpp"
 #include "zeek/log_stream.hpp"
@@ -11,6 +12,8 @@
 namespace certchain::core {
 
 using chain::ChainCategory;
+using detail::publish_stage;
+using detail::stage_timer;
 
 std::string_view ingest_mode_name(IngestMode mode) {
   switch (mode) {
@@ -19,28 +22,6 @@ std::string_view ingest_mode_name(IngestMode mode) {
   }
   return "unknown";
 }
-
-namespace {
-
-/// Opens a StageTimer only when telemetry is attached.
-std::optional<obs::StageTimer> stage_timer(obs::RunContext* obs,
-                                           const char* name) {
-  std::optional<obs::StageTimer> timer;
-  if (obs != nullptr) timer.emplace(*obs, name);
-  return timer;
-}
-
-/// Publishes the reserved manifest triple for one stage.
-void publish_stage(obs::RunContext* obs, const char* stage, std::uint64_t in,
-                   std::uint64_t admitted, std::uint64_t dropped) {
-  if (obs == nullptr) return;
-  const std::string prefix = std::string("stage.") + stage + ".";
-  obs->metrics.count(prefix + "in", in);
-  obs->metrics.count(prefix + "admitted", admitted);
-  obs->metrics.count(prefix + "dropped", dropped);
-}
-
-}  // namespace
 
 StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
                                const std::vector<zeek::X509LogRecord>& x509,
@@ -60,16 +41,7 @@ StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
   publish_stage(obs, "join", report.totals.connections,
                 report.totals.with_certificates,
                 report.totals.connections - report.totals.with_certificates);
-  if (obs != nullptr) {
-    obs::MetricsRegistry& metrics = obs->metrics;
-    metrics.count("pipeline.connections", report.totals.connections);
-    metrics.count("pipeline.connections.tls13", report.totals.tls13_connections);
-    metrics.count("pipeline.connections.incomplete_joins",
-                  report.totals.incomplete_joins);
-    metrics.count("pipeline.unique_chains", report.unique_chains);
-    metrics.count("pipeline.distinct_certificates",
-                  report.totals.distinct_certificates);
-  }
+  detail::publish_join_counters(obs, report);
 
   // Stage 1: certificate enrichment — interception identification (the
   // issuer classification itself happens lazily via the trust-store set).
@@ -81,68 +53,25 @@ StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
     interception_issuers = report.interception.issuer_set();
   }
   publish_stage(obs, "enrich", report.unique_chains, report.unique_chains, 0);
-  if (obs != nullptr) {
-    obs->metrics.count("enrich.interception.issuers",
-                       report.interception.findings.size());
-    obs->metrics.count("enrich.interception.unconfirmed",
-                       report.interception.unconfirmed_candidates.size());
-  }
+  detail::publish_enrich_counters(obs, report);
 
   // Stage 2: chain categorization + usage statistics + Figure 1 data.
-  std::map<ChainCategory, std::vector<const ChainObservation*>> slices;
+  detail::CategorySlices slices;
   {
     auto timer = stage_timer(obs, "categorize");
-    std::map<ChainCategory, std::set<std::string>> clients_by_category;
+    detail::CategorizeFold fold;
     for (const auto& [chain_id, observation] : corpus.chains()) {
-      const ChainCategory category =
-          chain::categorize_chain(observation.chain, *stores_, interception_issuers);
-      slices[category].push_back(&observation);
-
-      CategoryUsage& usage = report.categories[category];
-      ++usage.chains;
-      usage.connections += observation.connections;
-      clients_by_category[category].insert(observation.client_ips.begin(),
-                                           observation.client_ips.end());
-
-      // Figure 1 series with the outlier rule.
-      if (observation.chain.length() > kOutlierLength && observation.connections == 1) {
-        ExcludedOutlier outlier;
-        outlier.length = observation.chain.length();
-        outlier.category = category;
-        outlier.connections = observation.connections;
-        outlier.established_any = observation.established > 0;
-        report.excluded_outliers.push_back(outlier);
-      } else {
-        report.chain_lengths[category].push_back(observation.chain.length());
-      }
-
-      if (category == ChainCategory::kHybrid) {
-        for (const auto& [port, count] : observation.ports.items()) {
-          report.ports_hybrid.add(port, count);
-        }
-      }
+      fold.add(observation, chain::categorize_chain(observation.chain, *stores_,
+                                                    interception_issuers));
     }
-    for (auto& [category, clients] : clients_by_category) {
-      report.categories[category].client_ips = clients.size();
-    }
+    slices = std::move(fold.slices);
+    fold.finish(report);
   }
   publish_stage(obs, "categorize", report.unique_chains, report.unique_chains, 0);
   publish_stage(obs, "figure1", report.unique_chains,
                 report.unique_chains - report.excluded_outliers.size(),
                 report.excluded_outliers.size());
-  if (obs != nullptr) {
-    obs::MetricsRegistry& metrics = obs->metrics;
-    for (const auto& [category, usage] : report.categories) {
-      const std::string slug = obs::metric_slug(chain::chain_category_name(category));
-      metrics.count("categorize.chains." + slug, usage.chains);
-      metrics.count("categorize.connections." + slug, usage.connections);
-    }
-    for (const auto& [category, lengths] : report.chain_lengths) {
-      for (const std::size_t length : lengths) {
-        metrics.observe("pipeline.chain_length", static_cast<double>(length));
-      }
-    }
-  }
+  detail::publish_categorize_counters(obs, report);
 
   // Stage 3: per-category structure analysis.
   {
@@ -156,19 +85,9 @@ StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
     report.interception_chains = non_public_analyzer.analyze(
         "TLS interception", slices[ChainCategory::kTlsInterception]);
   }
-  const std::uint64_t structure_in = slices[ChainCategory::kHybrid].size() +
-                                     slices[ChainCategory::kNonPublicDbOnly].size() +
-                                     slices[ChainCategory::kTlsInterception].size();
+  const std::uint64_t structure_in = detail::structure_in_count(slices);
   publish_stage(obs, "structure", structure_in, structure_in, 0);
-  if (obs != nullptr) {
-    obs::MetricsRegistry& metrics = obs->metrics;
-    metrics.count("structure.hybrid.chains",
-                  slices[ChainCategory::kHybrid].size());
-    metrics.count("structure.non_public.chains",
-                  slices[ChainCategory::kNonPublicDbOnly].size());
-    metrics.count("structure.interception.chains",
-                  slices[ChainCategory::kTlsInterception].size());
-  }
+  detail::publish_structure_counters(obs, slices);
 
   // Stage 4: PKI relationship graphs.
   {
@@ -180,19 +99,7 @@ StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
         build_pki_graph(slices[ChainCategory::kTlsInterception], *stores_);
   }
   publish_stage(obs, "graphs", structure_in, structure_in, 0);
-  if (obs != nullptr) {
-    obs::MetricsRegistry& metrics = obs->metrics;
-    const auto graph_counters = [&metrics](const char* name, const PkiGraph& graph) {
-      const std::string prefix = std::string("graphs.") + name + ".";
-      metrics.count(prefix + "nodes", graph.node_count());
-      metrics.count(prefix + "issuance_links", graph.issuance_links().size());
-      metrics.count(prefix + "complex_intermediates",
-                    graph.complex_intermediates().size());
-    };
-    graph_counters("hybrid", report.hybrid_graph);
-    graph_counters("non_public", report.non_public_graph);
-    graph_counters("interception", report.interception_graph);
-  }
+  detail::publish_graph_counters(obs, report);
 
   return report;
 }

@@ -38,6 +38,10 @@ namespace certchain::obs {
 struct RunContext;
 }  // namespace certchain::obs
 
+namespace certchain::par {
+class ThreadPool;
+}  // namespace certchain::par
+
 namespace certchain::core {
 
 /// Table 2 row.
@@ -83,6 +87,16 @@ struct StudyReport {
   IngestReport ingest;
 };
 
+/// Execution options for the sharded pipeline path (DESIGN.md §10).
+struct RunOptions {
+  IngestOptions ingest;
+  /// Worker/shard count: 1 (default) runs the serial path; 0 resolves to
+  /// hardware concurrency; N > 1 runs N-way sharded with a deterministic
+  /// merge. Any value produces byte-identical reports and identical
+  /// deterministic metrics — the contract the parallel-diff suite enforces.
+  std::size_t threads = 1;
+};
+
 class StudyPipeline {
  public:
   StudyPipeline(const truststore::TrustStoreSet& stores, const ct::CtLogSet& ct_logs,
@@ -98,6 +112,18 @@ class StudyPipeline {
   /// test_pipeline_units).
   StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
                   const std::vector<zeek::X509LogRecord>& x509,
+                  obs::RunContext* obs = nullptr) const;
+
+  /// Sharded execution on parsed records: SSL rows are joined and folded
+  /// into per-shard corpora, unique chains are categorized per shard, and
+  /// the per-category analyzers run concurrently; every merge is
+  /// deterministic (stable ordering by corpus key, cross-shard certificate
+  /// dedupe, counter summation, histogram merge), so the returned report is
+  /// byte-identical to the serial run's. With options.threads <= 1 this IS
+  /// the serial path.
+  StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
+                  const std::vector<zeek::X509LogRecord>& x509,
+                  const RunOptions& options,
                   obs::RunContext* obs = nullptr) const;
 
   /// Convenience overloads.
@@ -116,11 +142,28 @@ class StudyPipeline {
                             const IngestOptions& options = {},
                             obs::RunContext* obs = nullptr) const;
 
+  /// Sharded raw-text execution: each log is split into line-aligned text
+  /// shards, parsed by independent primed streaming readers with
+  /// shard-local metrics registries (merged in shard order), then analyzed
+  /// via the sharded run(). Ingestion accounting, sample errors (absolute
+  /// line numbers), strict-mode failure, report text and deterministic
+  /// metrics all match the serial path exactly.
+  StudyReport run_from_text(std::string_view ssl_log_text,
+                            std::string_view x509_log_text,
+                            const RunOptions& options,
+                            obs::RunContext* obs = nullptr) const;
+
   /// Figure 1 outlier rule: drop unique chains longer than this when they
   /// were observed exactly once.
   static constexpr std::size_t kOutlierLength = 30;
 
  private:
+  /// The sharded analysis path; `pool` carries the worker count.
+  StudyReport run_on_pool(par::ThreadPool& pool,
+                          const std::vector<zeek::SslLogRecord>& ssl,
+                          const std::vector<zeek::X509LogRecord>& x509,
+                          obs::RunContext* obs) const;
+
   const truststore::TrustStoreSet* stores_;
   const ct::CtLogSet* ct_logs_;
   const VendorDirectory* vendors_;

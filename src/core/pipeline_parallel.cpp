@@ -1,0 +1,396 @@
+// The sharded StudyPipeline path (DESIGN.md §10).
+//
+// Every stage follows the same scheme: split the input into per-shard slots,
+// run the shard bodies on the pool, then merge the slots **in shard order**
+// on the coordinating thread. Because each merge is either order-independent
+// (sums, set unions, min/max) or a concatenation of consecutive input ranges
+// in range order, the merged state is exactly what the serial fold over the
+// whole input produces — which is why the reports come out byte-identical.
+// The parallel-diff suite (tests/test_parallel_diff.cpp) enforces that
+// contract against the serial path for every release.
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/pipeline_detail.hpp"
+#include "obs/run_context.hpp"
+#include "obs/stopwatch.hpp"
+#include "par/shard.hpp"
+#include "par/thread_pool.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_stream.hpp"
+
+namespace certchain::core {
+
+using chain::ChainCategory;
+using detail::publish_stage;
+using detail::stage_timer;
+
+namespace {
+
+/// Attaches a worker-measured shard span under the currently open stage
+/// span. Coordinator-thread only; the Trace is not thread-safe.
+void attach_shard_span(obs::RunContext* obs, const char* stage,
+                       std::size_t shard, double wall_ms) {
+  if (obs == nullptr) return;
+  obs->trace.attach_closed(
+      std::string(stage) + ".shard" + std::to_string(shard), wall_ms);
+}
+
+/// Sharded equivalent of pipeline.cpp's drive_stream: line-aligned text
+/// shards, a header-state scan + serial prefix combine so every shard's
+/// reader starts in the exact state a serial reader would be in at its
+/// boundary, then a primed parallel parse into per-shard slots. Records,
+/// ingestion counters (via shard-local registries merged in shard order),
+/// sample errors (absolute line numbers) and the strict-mode failure are all
+/// identical to the serial pass.
+template <typename Record>
+void ingest_stream_sharded(par::ThreadPool& pool, std::string_view text,
+                           const char* stream_name,
+                           const std::string& expected_fields,
+                           const IngestOptions& options, obs::RunContext& ctx,
+                           IngestStreamStats& stats, IngestReport& report,
+                           std::vector<Record>& out) {
+  using Reader = zeek::StreamingLogReader<Record>;
+  const std::size_t shard_count = pool.size();
+  const std::vector<par::TextShard> shards =
+      par::split_line_aligned(text, shard_count);
+
+  // Phase 1: header-state scan per shard, combined left-to-right into the
+  // reader entry state (in-body flag + absolute line offset) per boundary.
+  std::vector<zeek::ShardHeaderScan> scans(shards.size());
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      tasks.push_back([&scans, &shards, &expected_fields, i] {
+        scans[i] =
+            zeek::scan_shard_header_state(shards[i].text, expected_fields);
+      });
+    }
+    pool.run_batch(std::move(tasks));
+  }
+  std::vector<char> entry_in_body(shards.size(), 0);
+  std::vector<std::size_t> entry_offset(shards.size(), 0);
+  {
+    bool in_body = false;
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      entry_in_body[i] = in_body ? 1 : 0;
+      entry_offset[i] = offset;
+      if (scans[i].has_directive) in_body = scans[i].exit_in_body;
+      offset += scans[i].newlines;
+    }
+  }
+
+  // Phase 2: primed parallel parse into per-shard slots.
+  struct ShardSlot {
+    std::vector<Record> records;
+    obs::MetricsRegistry metrics;
+    std::vector<typename Reader::LineError> errors;
+    std::size_t lines_skipped = 0;
+    double wall_ms = 0.0;
+  };
+  std::vector<ShardSlot> slots(shards.size());
+  const std::string prefix = std::string("ingest.") + stream_name + ".";
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      tasks.push_back([&, i] {
+        obs::Stopwatch watch;
+        ShardSlot& slot = slots[i];
+        Reader reader(expected_fields, [&slot](Record record) {
+          slot.records.push_back(std::move(record));
+        });
+        reader.prime(entry_in_body[i] != 0, entry_offset[i]);
+        const std::string_view shard = shards[i].text;
+        const std::size_t chunk = options.feed_chunk_bytes == 0
+                                      ? std::max<std::size_t>(1, shard.size())
+                                      : options.feed_chunk_bytes;
+        for (std::size_t pos = 0; pos < shard.size(); pos += chunk) {
+          reader.feed(shard.substr(pos, std::min(chunk, shard.size() - pos)));
+        }
+        reader.finish();
+        slot.metrics.count(prefix + "bytes_consumed", reader.bytes_consumed());
+        slot.metrics.count(prefix + "lines", reader.lines_seen());
+        slot.metrics.count(prefix + "records", reader.records_emitted());
+        slot.metrics.count(prefix + "rows_malformed", reader.malformed_rows());
+        slot.metrics.count(prefix + "lines_skipped", reader.lines_skipped());
+        slot.metrics.count(prefix + "rotations", reader.rotations_seen());
+        slot.errors = reader.errors();
+        slot.lines_skipped = reader.lines_skipped();
+        slot.wall_ms = watch.elapsed_ms();
+      });
+    }
+    pool.run_batch(std::move(tasks));
+  }
+
+  // Phase 3: deterministic merge in shard order. Stats are read back from
+  // the registry exactly like the serial path, so the single-source
+  // guarantee (report == metrics export) holds here too.
+  const auto counter_at = [&ctx, &prefix](const char* leaf) {
+    return ctx.metrics.counter(prefix + leaf);
+  };
+  const std::uint64_t bytes_before = counter_at("bytes_consumed");
+  const std::uint64_t lines_before = counter_at("lines");
+  const std::uint64_t records_before = counter_at("records");
+  const std::uint64_t malformed_before = counter_at("rows_malformed");
+  const std::uint64_t skipped_before = counter_at("lines_skipped");
+  const std::uint64_t rotations_before = counter_at("rotations");
+
+  const std::string span_stage = std::string("ingest.") + stream_name;
+  std::size_t total_skipped = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    ShardSlot& slot = slots[i];
+    ctx.metrics.merge_from(slot.metrics);
+    attach_shard_span(&ctx, span_stage.c_str(), i, slot.wall_ms);
+    total_skipped += slot.lines_skipped;
+    out.insert(out.end(), std::make_move_iterator(slot.records.begin()),
+               std::make_move_iterator(slot.records.end()));
+  }
+
+  stats.bytes = counter_at("bytes_consumed") - bytes_before;
+  stats.lines = counter_at("lines") - lines_before;
+  stats.records = counter_at("records") - records_before;
+  stats.malformed_rows = counter_at("rows_malformed") - malformed_before;
+  stats.skipped_lines = counter_at("lines_skipped") - skipped_before;
+  stats.rotations = counter_at("rotations") - rotations_before;
+
+  // Shard-order concatenation of the per-shard error samples IS stream
+  // order, so the first kMaxSampleErrors (and the strict-mode first error)
+  // match the serial reader's.
+  for (const ShardSlot& slot : slots) {
+    for (const auto& error : slot.errors) {
+      if (report.sample_errors.size() >= IngestReport::kMaxSampleErrors) break;
+      report.sample_errors.push_back(std::string(stream_name) + " line " +
+                                     std::to_string(error.line_number) + ": " +
+                                     error.message);
+    }
+  }
+  if (options.mode == IngestMode::kStrict && total_skipped > 0) {
+    for (const ShardSlot& slot : slots) {
+      if (slot.errors.empty()) continue;
+      const auto& first = slot.errors.front();
+      throw IngestError(std::string(stream_name) + " log line " +
+                        std::to_string(first.line_number) + ": " +
+                        first.message);
+    }
+  }
+}
+
+}  // namespace
+
+StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
+                               const std::vector<zeek::X509LogRecord>& x509,
+                               const RunOptions& options,
+                               obs::RunContext* obs) const {
+  const std::size_t threads = par::resolve_threads(options.threads);
+  if (threads <= 1) return run(ssl, x509, obs);
+  par::ThreadPool pool(threads);
+  if (obs != nullptr) {
+    obs->set_config("par.threads", static_cast<std::uint64_t>(pool.size()));
+  }
+  return run_on_pool(pool, ssl, x509, obs);
+}
+
+StudyReport StudyPipeline::run_from_text(std::string_view ssl_log_text,
+                                         std::string_view x509_log_text,
+                                         const RunOptions& options,
+                                         obs::RunContext* obs) const {
+  const std::size_t threads = par::resolve_threads(options.threads);
+  if (threads <= 1) {
+    return run_from_text(ssl_log_text, x509_log_text, options.ingest, obs);
+  }
+  par::ThreadPool pool(threads);
+
+  obs::RunContext local;
+  obs::RunContext* ctx = obs != nullptr ? obs : &local;
+  if (obs != nullptr) {
+    obs->set_config("par.threads", static_cast<std::uint64_t>(pool.size()));
+  }
+
+  IngestReport ingest;
+  ingest.populated = true;
+  ingest.mode = options.ingest.mode;
+
+  std::vector<zeek::SslLogRecord> ssl;
+  std::vector<zeek::X509LogRecord> x509;
+  {
+    obs::StageTimer timer(*ctx, "ingest");
+    ingest_stream_sharded<zeek::SslLogRecord>(
+        pool, ssl_log_text, "ssl", zeek::ssl_log_fields(), options.ingest,
+        *ctx, ingest.ssl, ingest, ssl);
+    ingest_stream_sharded<zeek::X509LogRecord>(
+        pool, x509_log_text, "x509", zeek::x509_log_fields(), options.ingest,
+        *ctx, ingest.x509, ingest, x509);
+  }
+  publish_stage(ctx, "ingest",
+                ingest.ssl.records + ingest.x509.records + ingest.skipped_total(),
+                ingest.ssl.records + ingest.x509.records,
+                ingest.skipped_total());
+
+  StudyReport report = run_on_pool(pool, ssl, x509, obs);
+  report.ingest = std::move(ingest);
+  return report;
+}
+
+StudyReport StudyPipeline::run_on_pool(par::ThreadPool& pool,
+                                       const std::vector<zeek::SslLogRecord>& ssl,
+                                       const std::vector<zeek::X509LogRecord>& x509,
+                                       obs::RunContext* obs) const {
+  StudyReport report;
+  auto pipeline_timer = stage_timer(obs, "pipeline");
+  const std::size_t shard_count = pool.size();
+
+  // Stage 0: the joiner index is built once and shared read-only; SSL rows
+  // fold into per-shard corpora, merged in shard order (order-independent
+  // reductions + cross-shard certificate dedupe inside merge_from).
+  const zeek::LogJoiner joiner(x509);
+  CorpusIndex corpus;
+  {
+    auto timer = stage_timer(obs, "join");
+    std::vector<CorpusIndex> partials(shard_count);
+    std::vector<double> wall(shard_count, 0.0);
+    par::parallel_for_chunks(
+        &pool, ssl.size(), shard_count,
+        [&partials, &wall, &joiner, &ssl](std::size_t chunk, std::size_t begin,
+                                          std::size_t end) {
+          obs::Stopwatch watch;
+          for (std::size_t i = begin; i < end; ++i) {
+            partials[chunk].add(joiner.join(ssl[i]));
+          }
+          wall[chunk] = watch.elapsed_ms();
+        });
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      attach_shard_span(obs, "join", i, wall[i]);
+      corpus.merge_from(std::move(partials[i]));
+    }
+    report.totals = corpus.totals();
+    report.unique_chains = corpus.unique_chain_count();
+  }
+  publish_stage(obs, "join", report.totals.connections,
+                report.totals.with_certificates,
+                report.totals.connections - report.totals.with_certificates);
+  detail::publish_join_counters(obs, report);
+
+  // Stage 1: interception identification, sharded over the unique chains.
+  chain::InterceptionIssuerSet interception_issuers;
+  {
+    auto timer = stage_timer(obs, "enrich");
+    const InterceptionDetector detector(*stores_, *ct_logs_, *vendors_);
+    report.interception = detector.detect(corpus, &pool);
+    interception_issuers = report.interception.issuer_set();
+  }
+  publish_stage(obs, "enrich", report.unique_chains, report.unique_chains, 0);
+  detail::publish_enrich_counters(obs, report);
+
+  // Stage 2: per-shard categorization folds over consecutive ranges of the
+  // corpus map, merged in range order — reproducing the serial fold exactly,
+  // including slice vector order (what the structure stage iterates).
+  detail::CategorySlices slices;
+  {
+    auto timer = stage_timer(obs, "categorize");
+    std::vector<const ChainObservation*> observations;
+    observations.reserve(corpus.chains().size());
+    for (const auto& [chain_id, observation] : corpus.chains()) {
+      observations.push_back(&observation);
+    }
+    std::vector<detail::CategorizeFold> folds(shard_count);
+    std::vector<double> wall(shard_count, 0.0);
+    par::parallel_for_chunks(
+        &pool, observations.size(), shard_count,
+        [&folds, &wall, &observations, &interception_issuers, this](
+            std::size_t chunk, std::size_t begin, std::size_t end) {
+          obs::Stopwatch watch;
+          for (std::size_t i = begin; i < end; ++i) {
+            const ChainObservation& observation = *observations[i];
+            folds[chunk].add(observation,
+                             chain::categorize_chain(observation.chain, *stores_,
+                                                     interception_issuers));
+          }
+          wall[chunk] = watch.elapsed_ms();
+        });
+    detail::CategorizeFold fold;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      attach_shard_span(obs, "categorize", i, wall[i]);
+      fold.merge_from(std::move(folds[i]));
+    }
+    slices = std::move(fold.slices);
+    fold.finish(report);
+  }
+  publish_stage(obs, "categorize", report.unique_chains, report.unique_chains, 0);
+  publish_stage(obs, "figure1", report.unique_chains,
+                report.unique_chains - report.excluded_outliers.size(),
+                report.excluded_outliers.size());
+  detail::publish_categorize_counters(obs, report);
+
+  // The three analyzed slices, materialized before any batch launches:
+  // map operator[] inserts, and the map must not mutate under the workers.
+  const std::vector<const ChainObservation*>& hybrid_slice =
+      slices[ChainCategory::kHybrid];
+  const std::vector<const ChainObservation*>& non_public_slice =
+      slices[ChainCategory::kNonPublicDbOnly];
+  const std::vector<const ChainObservation*>& interception_slice =
+      slices[ChainCategory::kTlsInterception];
+
+  // Stage 3: the per-category structure analyzers are independent const
+  // computations over disjoint slices — one task each.
+  {
+    auto timer = stage_timer(obs, "structure");
+    std::vector<double> wall(3, 0.0);
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([this, &report, &hybrid_slice, &wall] {
+      obs::Stopwatch watch;
+      const HybridAnalyzer analyzer(*stores_, *ct_logs_, registry_);
+      report.hybrid = analyzer.analyze(hybrid_slice);
+      wall[0] = watch.elapsed_ms();
+    });
+    tasks.push_back([this, &report, &non_public_slice, &wall] {
+      obs::Stopwatch watch;
+      const NonPublicAnalyzer analyzer(registry_);
+      report.non_public = analyzer.analyze("Non-public-DB-only", non_public_slice);
+      wall[1] = watch.elapsed_ms();
+    });
+    tasks.push_back([this, &report, &interception_slice, &wall] {
+      obs::Stopwatch watch;
+      const NonPublicAnalyzer analyzer(registry_);
+      report.interception_chains =
+          analyzer.analyze("TLS interception", interception_slice);
+      wall[2] = watch.elapsed_ms();
+    });
+    pool.run_batch(std::move(tasks));
+    attach_shard_span(obs, "structure.hybrid", 0, wall[0]);
+    attach_shard_span(obs, "structure.non_public", 1, wall[1]);
+    attach_shard_span(obs, "structure.interception", 2, wall[2]);
+  }
+  const std::uint64_t structure_in = detail::structure_in_count(slices);
+  publish_stage(obs, "structure", structure_in, structure_in, 0);
+  detail::publish_structure_counters(obs, slices);
+
+  // Stage 4: the three PKI graphs, likewise independent.
+  {
+    auto timer = stage_timer(obs, "graphs");
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([this, &report, &hybrid_slice] {
+      report.hybrid_graph = build_pki_graph(hybrid_slice, *stores_);
+    });
+    tasks.push_back([this, &report, &non_public_slice] {
+      report.non_public_graph = build_pki_graph(non_public_slice, *stores_);
+    });
+    tasks.push_back([this, &report, &interception_slice] {
+      report.interception_graph = build_pki_graph(interception_slice, *stores_);
+    });
+    pool.run_batch(std::move(tasks));
+  }
+  publish_stage(obs, "graphs", structure_in, structure_in, 0);
+  detail::publish_graph_counters(obs, report);
+
+  return report;
+}
+
+}  // namespace certchain::core

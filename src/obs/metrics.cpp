@@ -52,6 +52,30 @@ void FixedHistogram::observe(double value, std::uint64_t count) {
   counts_[static_cast<std::size_t>(it - bounds_.begin())] += count;
 }
 
+void FixedHistogram::merge_from(const FixedHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  if (bounds_ == other.bounds_) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  } else {
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      if (other.counts_[i] == 0) continue;
+      const double value =
+          i < other.bounds_.size() ? other.bounds_[i] : other.max_;
+      const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+      counts_[static_cast<std::size_t>(it - bounds_.begin())] += other.counts_[i];
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double FixedHistogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -114,6 +138,19 @@ void MetricsRegistry::observe_timing(std::string_view name, double ms) {
     return;
   }
   timings_.emplace(std::string(name), FixedHistogram()).first->second.observe(ms);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, histogram] : other.histograms_) {
+    const auto [it, inserted] = histograms_.try_emplace(name, histogram);
+    if (!inserted) it->second.merge_from(histogram);
+  }
+  for (const auto& [name, timing] : other.timings_) {
+    const auto [it, inserted] = timings_.try_emplace(name, timing);
+    if (!inserted) it->second.merge_from(timing);
+  }
 }
 
 void MetricsRegistry::clear() {

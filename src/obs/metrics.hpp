@@ -55,6 +55,14 @@ class FixedHistogram {
 
   /// Quantile estimate for q in [0, 1]. 0 when empty.
   double percentile(double q) const;
+
+  /// Folds another histogram in. count/sum/min/max merge exactly regardless
+  /// of grids. Bucket counts add bucket-wise when both histograms share the
+  /// same bounds (the common case — every registry names one grid per
+  /// series); with differing grids each foreign bucket is refiled at its
+  /// upper bound (overflow at the foreign max), which keeps totals exact but
+  /// makes bucket placement approximate.
+  void merge_from(const FixedHistogram& other);
   double p50() const { return percentile(0.50); }
   double p90() const { return percentile(0.90); }
   double p99() const { return percentile(0.99); }
@@ -108,6 +116,15 @@ class MetricsRegistry {
            timings_.empty();
   }
   void clear();
+
+  /// Folds another registry in — the merge step of the sharded pipeline:
+  /// shard-local registries are merged into the run's registry in shard
+  /// order, after which the counters are indistinguishable from a serial
+  /// run's. Counters sum; gauges keep last-write-wins semantics (the merged
+  /// registry's value overwrites, so merge in shard order); histograms merge
+  /// via FixedHistogram::merge_from. Timings merge the same way but stay in
+  /// the separate timing map — wall time never becomes a counter.
+  void merge_from(const MetricsRegistry& other);
 
   /// The process-wide default instance. Components take a registry by
   /// pointer so tests and tools can inject their own; code that wants the

@@ -6,6 +6,15 @@ namespace certchain::obs {
 
 Span Trace::span(std::string name) { return Span(this, open(std::move(name))); }
 
+void Trace::attach_closed(std::string name, double wall_ms) {
+  Node* parent = open_stack_.empty() ? &root_ : open_stack_.back();
+  parent->children.push_back(std::make_unique<Node>());
+  Node* node = parent->children.back().get();
+  node->name = std::move(name);
+  node->wall_ms = wall_ms;
+  node->closed = true;
+}
+
 Trace::Node* Trace::open(std::string name) {
   Node* parent = open_stack_.empty() ? &root_ : open_stack_.back();
   parent->children.push_back(std::make_unique<Node>());

@@ -40,6 +40,13 @@ class Trace {
   /// Opens a span as a child of the innermost open span (or of the root).
   Span span(std::string name);
 
+  /// Attaches an already-measured, closed child under the innermost open
+  /// span (or the root). This is how parallel shards land in the trace: a
+  /// Trace is not thread-safe, so workers time themselves on a Stopwatch and
+  /// the coordinating thread attaches the nodes in shard order after the
+  /// batch barrier — deterministic structure, real per-shard durations.
+  void attach_closed(std::string name, double wall_ms);
+
   const Node& root() const { return root_; }
 
   /// Sum of the top-level spans' durations (the root itself is never timed).

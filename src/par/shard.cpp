@@ -1,0 +1,36 @@
+#include "par/shard.hpp"
+
+namespace certchain::par {
+
+std::vector<TextShard> split_line_aligned(std::string_view text,
+                                          std::size_t shards) {
+  std::vector<TextShard> out;
+  if (shards == 0) return out;
+  out.reserve(shards);
+
+  std::size_t previous = 0;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    std::size_t boundary;
+    if (shard + 1 == shards) {
+      boundary = text.size();
+    } else {
+      // Even-split target, then advance to the first line-aligned position
+      // at or after it. Searching from target - 1 accepts a target that
+      // already sits just past a newline.
+      const std::size_t target = (shard + 1) * text.size() / shards;
+      if (target <= previous) {
+        boundary = previous;
+      } else {
+        const std::size_t newline = text.find('\n', target - 1);
+        boundary = newline == std::string_view::npos ? text.size() : newline + 1;
+      }
+      if (boundary < previous) boundary = previous;
+    }
+    out.push_back(TextShard{shard, previous,
+                            text.substr(previous, boundary - previous)});
+    previous = boundary;
+  }
+  return out;
+}
+
+}  // namespace certchain::par

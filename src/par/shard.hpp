@@ -1,0 +1,32 @@
+// Line-aligned text sharding.
+//
+// The ingestion side of the sharded pipeline: raw Zeek log text is split
+// into N contiguous views whose boundaries always fall immediately after a
+// '\n', so no line is ever split across shards and each shard can be parsed
+// by an independent streaming reader. Concatenating the shards in index
+// order reproduces the input byte-for-byte — the invariant the differential
+// suite's accounting checks (bytes, lines, records) rest on.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace certchain::par {
+
+/// One contiguous, line-aligned slice of a larger text.
+struct TextShard {
+  std::size_t index = 0;   // shard position, 0-based
+  std::size_t offset = 0;  // byte offset of `text` within the original input
+  std::string_view text;
+};
+
+/// Splits `text` into exactly `shards` line-aligned slices. Every byte of
+/// the input lands in exactly one shard; a boundary is only placed at
+/// position p when p == 0 or text[p - 1] == '\n'. When the text has fewer
+/// lines than requested shards, the surplus shards are empty (kept so shard
+/// indices stay stable for per-shard result slots). `shards` must be >= 1.
+std::vector<TextShard> split_line_aligned(std::string_view text,
+                                          std::size_t shards);
+
+}  // namespace certchain::par

@@ -1,0 +1,68 @@
+// Work-stealing-free thread pool and chunked parallel-for.
+//
+// The execution layer for the sharded pipeline (DESIGN.md §10). A fixed set
+// of workers pulls tasks FIFO from a single queue — no stealing, no
+// per-worker deques — because determinism never comes from scheduling here:
+// callers write shard results into per-shard slots and merge them in shard
+// order on the coordinating thread. The pool only guarantees that every task
+// of a batch ran and that its writes are visible when the batch barrier
+// returns (the barrier's mutex establishes the happens-before edge).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace certchain::par {
+
+/// Resolves a requested worker count: 0 means "whatever the hardware says"
+/// (at least 1); anything else is taken literally.
+std::size_t resolve_threads(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs every task and blocks until all of them finished. Tasks may run on
+  /// any worker in any order; the calling thread only waits. If tasks threw,
+  /// the exception of the lowest task index is rethrown after the batch
+  /// drained (so a failure never leaves tasks running against destroyed
+  /// caller state). Must not be called from inside one of the pool's own
+  /// tasks — the workers blocking on the inner batch would deadlock.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Splits [0, total) into exactly `chunks` contiguous index ranges — chunk k
+/// is [begin_k, end_k) with begin_0 = 0, end_{chunks-1} = total, sizes as
+/// even as integer division allows — and runs `body(chunk, begin, end)` for
+/// every chunk, including empty ones (so per-chunk result slots stay aligned
+/// with chunk indices). With a null pool or a single chunk the body runs
+/// inline on the calling thread, in chunk order; otherwise chunks run as one
+/// pool batch. Blocks until every chunk completed; rethrows the first
+/// chunk's exception (by chunk index).
+void parallel_for_chunks(
+    ThreadPool* pool, std::size_t total, std::size_t chunks,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& body);
+
+}  // namespace certchain::par

@@ -18,6 +18,11 @@ class Counter {
  public:
   void add(const K& key, std::uint64_t count = 1) { counts_[key] += count; }
 
+  /// Adds every entry of another counter (sharded-merge support).
+  void merge_from(const Counter& other) {
+    for (const auto& [key, count] : other.counts_) counts_[key] += count;
+  }
+
   std::uint64_t count(const K& key) const {
     const auto it = counts_.find(key);
     return it == counts_.end() ? 0 : it->second;

@@ -339,4 +339,135 @@ TEST(Export, TextRendersCountersAndManifest) {
   EXPECT_EQ(text.find("DOES NOT RECONCILE"), std::string::npos);
 }
 
+// --- registry merging (the sharded pipeline's metric reduction) ------------
+
+TEST(MetricsRegistryMerge, EmptyRegistryIsIdentityOnBothSides) {
+  MetricsRegistry populated;
+  populated.count("stage.join.in", 7);
+  populated.set_gauge("load", 0.5);
+  populated.observe("pipeline.chain_length", 3.0);
+  populated.observe_timing("time.join.ms", 1.25);
+
+  // Merging an empty registry in changes nothing.
+  const MetricsRegistry empty;
+  populated.merge_from(empty);
+  EXPECT_EQ(populated.counter("stage.join.in"), 7u);
+  EXPECT_DOUBLE_EQ(populated.gauge("load"), 0.5);
+  EXPECT_EQ(populated.histograms().at("pipeline.chain_length").count(), 1u);
+  EXPECT_EQ(populated.timings().at("time.join.ms").count(), 1u);
+
+  // Merging into an empty registry reproduces the source exactly.
+  MetricsRegistry target;
+  target.merge_from(populated);
+  EXPECT_EQ(target.counters(), populated.counters());
+  EXPECT_EQ(target.gauges(), populated.gauges());
+  ASSERT_EQ(target.histograms().size(), 1u);
+  EXPECT_EQ(target.histograms().at("pipeline.chain_length").bucket_counts(),
+            populated.histograms().at("pipeline.chain_length").bucket_counts());
+  ASSERT_EQ(target.timings().size(), 1u);
+}
+
+TEST(MetricsRegistryMerge, CountersSumAndGaugesTakeTheMergedValue) {
+  MetricsRegistry a;
+  a.count("ingest.ssl.records", 10);
+  a.count("only.in.a", 1);
+  a.set_gauge("load", 0.25);
+
+  MetricsRegistry b;
+  b.count("ingest.ssl.records", 32);
+  b.count("only.in.b", 2);
+  b.set_gauge("load", 0.75);
+  b.set_gauge("only.in.b", 1.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("ingest.ssl.records"), 42u);
+  EXPECT_EQ(a.counter("only.in.a"), 1u);
+  EXPECT_EQ(a.counter("only.in.b"), 2u);
+  // Last write wins: merging shard registries in shard order keeps the
+  // semantics a serial run would have had.
+  EXPECT_DOUBLE_EQ(a.gauge("load"), 0.75);
+  EXPECT_DOUBLE_EQ(a.gauge("only.in.b"), 1.0);
+}
+
+TEST(FixedHistogramMerge, SameBoundsAddBucketwiseIncludingBoundaryValues) {
+  FixedHistogram a({1.0, 10.0, 100.0});
+  FixedHistogram b({1.0, 10.0, 100.0});
+  // Values exactly on a bucket's upper bound belong to that bucket
+  // (lower_bound placement) — the merge must keep them there.
+  a.observe(1.0);
+  a.observe(10.0);
+  b.observe(1.0);
+  b.observe(100.0);
+  b.observe(1000.0);  // overflow bucket
+
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 1112.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+  const std::vector<std::uint64_t> expected{2, 1, 1, 1};
+  EXPECT_EQ(a.bucket_counts(), expected);
+}
+
+TEST(FixedHistogramMerge, DifferentBoundsRefileButKeepTotalsExact) {
+  FixedHistogram coarse({100.0});
+  coarse.observe(50.0);
+
+  FixedHistogram fine({1.0, 10.0});
+  fine.observe(0.5);
+  fine.observe(5.0);
+  fine.observe(20.0);  // fine's overflow bucket, refiled at fine.max()
+
+  coarse.merge_from(fine);
+  // The exact aggregates survive any grid mismatch.
+  EXPECT_EQ(coarse.count(), 4u);
+  EXPECT_DOUBLE_EQ(coarse.sum(), 75.5);
+  EXPECT_DOUBLE_EQ(coarse.min(), 0.5);
+  EXPECT_DOUBLE_EQ(coarse.max(), 50.0);
+  // Each foreign bucket was refiled at its upper bound (1.0 and 10.0), the
+  // foreign overflow at the foreign max (20.0) — all <= 100.
+  const std::vector<std::uint64_t> expected{4, 0};
+  EXPECT_EQ(coarse.bucket_counts(), expected);
+}
+
+TEST(MetricsRegistryMerge, TimingsStayInTheTimingMap) {
+  MetricsRegistry a;
+  a.observe_timing("time.join.ms", 2.0);
+  MetricsRegistry b;
+  b.observe_timing("time.join.ms", 3.0);
+  b.observe_timing("time.enrich.ms", 1.0);
+  b.observe("pipeline.chain_length", 4.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.timings().at("time.join.ms").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.timings().at("time.join.ms").sum(), 5.0);
+  EXPECT_EQ(a.timings().at("time.enrich.ms").count(), 1u);
+  // Wall time never crosses into the deterministic histogram map.
+  EXPECT_EQ(a.histograms().count("time.join.ms"), 0u);
+  EXPECT_EQ(a.histograms().at("pipeline.chain_length").count(), 1u);
+  EXPECT_EQ(a.timings().count("pipeline.chain_length"), 0u);
+}
+
+TEST(Trace, AttachClosedNestsUnderTheOpenSpan) {
+  Trace trace;
+  {
+    Span stage = trace.span("join");
+    trace.attach_closed("join.shard0", 1.5);
+    trace.attach_closed("join.shard1", 2.5);
+  }
+  trace.attach_closed("loose", 0.5);  // no open span -> child of the root
+
+  const Trace::Node& root = trace.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  const Trace::Node& join = *root.children[0];
+  EXPECT_EQ(join.name, "join");
+  ASSERT_EQ(join.children.size(), 2u);
+  EXPECT_EQ(join.children[0]->name, "join.shard0");
+  EXPECT_TRUE(join.children[0]->closed);
+  EXPECT_DOUBLE_EQ(join.children[0]->wall_ms, 1.5);
+  EXPECT_EQ(join.children[1]->name, "join.shard1");
+  EXPECT_EQ(root.children[1]->name, "loose");
+  EXPECT_TRUE(root.children[1]->closed);
+}
+
 }  // namespace

@@ -217,7 +217,7 @@ TEST_F(PipelineUnitTest, RunFromTextPublishesIngestCountersMatchingReport) {
 
   obs::RunContext telemetry;
   const StudyReport report =
-      pipeline_.run_from_text(ssl_text, x509_text, {}, &telemetry);
+      pipeline_.run_from_text(ssl_text, x509_text, IngestOptions{}, &telemetry);
 
   // The report's ingest section and the registry counters are the same
   // numbers — the report is filled FROM the counters, so they cannot drift.

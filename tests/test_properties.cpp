@@ -6,8 +6,14 @@
 
 #include "../tests/helpers.hpp"
 #include "chain/matcher.hpp"
+#include "core/pipeline.hpp"
+#include "obs/manifest.hpp"
+#include "obs/run_context.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "x509/pem.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_io.hpp"
 
 namespace certchain {
 namespace {
@@ -208,6 +214,102 @@ TEST_P(PropertyTest, ChainIdIsInjectiveOnContent) {
     const auto [it, inserted] = seen.emplace(chain.id(), content);
     if (!inserted) {
       EXPECT_EQ(it->second, content);  // same id => same content
+    }
+  }
+}
+
+// --- sharded-pipeline accounting invariance ---------------------------------
+
+/// Whatever the corpus and whatever the damage, the shard count is an
+/// execution detail: the RunManifest's per-stage in/admitted/dropped totals
+/// must be exactly the serial run's for every worker count.
+TEST_P(PropertyTest, ShardCountNeverChangesManifestAccounting) {
+  util::Rng rng(GetParam() ^ 0x5EED);
+  certchain::testing::TestPki pki;
+  const truststore::TrustStoreSet stores = pki.trusted_stores();
+  const ct::CtLogSet ct_logs{2};
+  const core::VendorDirectory vendors;
+  const core::StudyPipeline pipeline(stores, ct_logs, vendors, nullptr);
+
+  // A random mini corpus: mixed chain shapes, some SNI-less, repeated chains.
+  zeek::SslLogWriter ssl_writer;
+  zeek::X509LogWriter x509_writer;
+  std::set<std::string> seen_fuids;
+  std::vector<chain::CertificateChain> pool;
+  const std::size_t distinct = 2 + rng.next_below(4);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    if (rng.bernoulli(0.3)) {
+      pool.push_back(certchain::testing::make_chain(
+          {certchain::testing::self_signed("box-" + std::to_string(i))}));
+    } else {
+      auto chain = pki.chain_for(rng.alpha_string(6) + ".example",
+                                 rng.bernoulli(0.5));
+      if (rng.bernoulli(0.3)) {
+        chain.push_back(certchain::testing::self_signed("extra"));
+      }
+      pool.push_back(std::move(chain));
+    }
+  }
+  const std::size_t connections = 5 + rng.next_below(20);
+  for (std::size_t i = 0; i < connections; ++i) {
+    const chain::CertificateChain& chain = pool[rng.next_below(pool.size())];
+    zeek::SslLogRecord ssl;
+    ssl.ts = util::make_time(2021, 1, 1) + static_cast<util::SimTime>(i);
+    ssl.uid = util::zeek_style_conn_uid(i, 9);
+    ssl.id_orig_h = "10.0.0." + std::to_string(rng.next_below(12));
+    ssl.id_resp_h = "198.51.100.7";
+    ssl.id_resp_p = 443;
+    ssl.version = rng.bernoulli(0.2) ? "TLSv13" : "TLSv12";
+    ssl.established = rng.bernoulli(0.8);
+    if (rng.bernoulli(0.7)) ssl.server_name = rng.alpha_string(5) + ".example";
+    if (!(ssl.version == "TLSv13")) {
+      for (const auto& cert : chain) {
+        const std::string fuid = util::zeek_style_fuid(cert.fingerprint());
+        ssl.cert_chain_fuids.push_back(fuid);
+        if (seen_fuids.insert(fuid).second) {
+          x509_writer.add(zeek::record_from_certificate(cert, ssl.ts, fuid));
+        }
+      }
+    }
+    ssl_writer.add(ssl);
+  }
+  std::string ssl_text = ssl_writer.finish();
+  std::string x509_text = x509_writer.finish();
+
+  // Random line-aligned damage in both streams.
+  const auto damage = [&rng](std::string& text) {
+    const std::size_t lines = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < lines; ++i) {
+      const std::size_t at = text.find('\n', rng.next_below(text.size()));
+      if (at == std::string::npos) continue;
+      text.insert(at + 1, "damaged\trow\n");
+    }
+  };
+  damage(ssl_text);
+  damage(x509_text);
+
+  const auto run_with = [&](std::size_t threads) {
+    obs::RunContext telemetry;
+    core::RunOptions options;
+    options.threads = threads;
+    pipeline.run_from_text(ssl_text, x509_text, options, &telemetry);
+    return obs::build_run_manifest(telemetry);
+  };
+
+  const obs::RunManifest serial = run_with(1);
+  EXPECT_TRUE(serial.reconciles());
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    const obs::RunManifest sharded = run_with(threads);
+    EXPECT_TRUE(sharded.reconciles()) << threads << " threads";
+    ASSERT_EQ(sharded.stages.size(), serial.stages.size()) << threads;
+    for (std::size_t i = 0; i < serial.stages.size(); ++i) {
+      EXPECT_EQ(sharded.stages[i].name, serial.stages[i].name) << threads;
+      EXPECT_EQ(sharded.stages[i].records_in, serial.stages[i].records_in)
+          << threads << " threads, stage " << serial.stages[i].name;
+      EXPECT_EQ(sharded.stages[i].admitted, serial.stages[i].admitted)
+          << threads << " threads, stage " << serial.stages[i].name;
+      EXPECT_EQ(sharded.stages[i].dropped, serial.stages[i].dropped)
+          << threads << " threads, stage " << serial.stages[i].name;
     }
   }
 }

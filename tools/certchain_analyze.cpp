@@ -20,6 +20,7 @@
 // study universe (they parameterize the pipeline; swap in your own by using
 // the library API). Prints the condensed study report.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -38,9 +39,13 @@ namespace {
 
 void print_usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--strict] [--metrics <path>] [--trace] <ssl.log> "
-               "<x509.log>\n"
-               "       %s --demo [--strict] [--metrics <path>] [--trace]\n",
+               "usage: %s [--strict] [--threads <n>] [--metrics <path>] "
+               "[--trace] <ssl.log> <x509.log>\n"
+               "       %s --demo [--strict] [--threads <n>] [--metrics <path>] "
+               "[--trace]\n"
+               "  --threads <n>  shard the run across n workers (0 = all "
+               "hardware threads);\n"
+               "                 output is byte-identical to the serial run\n",
                argv0, argv0);
 }
 
@@ -69,7 +74,8 @@ void build_demo_logs(certchain::obs::RunContext& context, std::string& ssl_text,
 
 int main(int argc, char** argv) {
   using namespace certchain;
-  core::IngestOptions ingest;
+  core::RunOptions run_options;
+  core::IngestOptions& ingest = run_options.ingest;
   std::string metrics_path;
   bool trace = false;
   bool demo = false;
@@ -88,6 +94,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_path = argv[++arg];
+    } else if (flag == "--threads") {
+      if (arg + 1 >= argc) {
+        print_usage(argv[0]);
+        return 2;
+      }
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[++arg], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        print_usage(argv[0]);
+        return 2;
+      }
+      run_options.threads = static_cast<std::size_t>(value);
     } else {
       break;
     }
@@ -139,7 +157,7 @@ int main(int argc, char** argv) {
                                      &world.cross_signs());
   core::StudyReport report;
   try {
-    report = pipeline.run_from_text(ssl_text, x509_text, ingest, &telemetry);
+    report = pipeline.run_from_text(ssl_text, x509_text, run_options, &telemetry);
   } catch (const core::IngestError& error) {
     std::fprintf(stderr, "certchain-analyze: %s (rerun without --strict to "
                  "skip damaged lines)\n", error.what());
