@@ -51,7 +51,8 @@ int main() {
   const core::StudyPipeline pipeline(
       context.scenario->world.stores(), context.scenario->world.ct_logs(),
       context.scenario->vendors, &context.scenario->world.cross_signs());
-  const core::StudyReport emergent_report = pipeline.run(emergent_logs);
+  const core::StudyReport emergent_report =
+      pipeline.run(core::StudyInput::records(emergent_logs));
   const BucketRates emergent = hybrid_rates(emergent_report);
 
   bench::print_section("Hybrid establishment rates by structure bucket");

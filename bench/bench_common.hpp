@@ -68,7 +68,8 @@ inline StudyContext build_context() {
   const core::StudyPipeline pipeline(
       context.scenario->world.stores(), context.scenario->world.ct_logs(),
       context.scenario->vendors, &context.scenario->world.cross_signs());
-  context.report = pipeline.run(context.logs, telemetry);
+  context.report =
+      pipeline.run(core::StudyInput::records(context.logs), {}, telemetry);
   std::fprintf(stderr, "[certchain] corpus + pipeline ready in %.0f ms\n",
                stopwatch.elapsed_ms());
   return context;

@@ -15,7 +15,7 @@ int main() {
   using namespace certchain;
   bench::print_header(
       "Ext: sharded pipeline wall time and speedup",
-      "run_from_text at 1/2/4/8/hw workers; output proven byte-identical");
+      "text-input run at 1/2/4/8/hw workers; output proven byte-identical");
 
   bench::StudyContext context = bench::build_context();
 
@@ -40,7 +40,7 @@ int main() {
       options.threads = threads;
       const obs::Stopwatch stopwatch;
       const core::StudyReport report =
-          pipeline.run_from_text(ssl_text, x509_text, options);
+          pipeline.run(core::StudyInput::text(ssl_text, x509_text), options);
       const double ms = stopwatch.elapsed_ms();
       if (rep == 0 || ms < best_ms) best_ms = ms;
       if (rep == 0 && text_out) {

@@ -1,8 +1,10 @@
 #include "chain/linter.hpp"
 
+#include <optional>
 #include <set>
 
 #include "chain/matcher.hpp"
+#include "obs/run_context.hpp"
 #include "par/thread_pool.hpp"
 #include "util/strings.hpp"
 
@@ -168,6 +170,30 @@ std::vector<LintReport> lint_chains(
           reports[i] = lint_chain(*chains[i], options);
         }
       });
+  return reports;
+}
+
+std::vector<LintReport> lint_chains(
+    const std::vector<const CertificateChain*>& chains,
+    const LintOptions& options, const par::ExecOptions& exec,
+    obs::RunContext* obs) {
+  std::optional<obs::StageTimer> timer;
+  if (obs != nullptr) timer.emplace(*obs, "lint");
+
+  std::vector<LintReport> reports;
+  const std::size_t threads = par::resolve_threads(exec.threads);
+  if (threads <= 1) {
+    reports = lint_chains(chains, options);
+  } else {
+    par::ThreadPool pool(threads);
+    reports = lint_chains(chains, options, &pool);
+  }
+  if (obs != nullptr) {
+    std::size_t findings = 0;
+    for (const LintReport& report : reports) findings += report.findings.size();
+    obs->metrics.count("lint.chains_in", chains.size());
+    obs->metrics.count("lint.findings", findings);
+  }
   return reports;
 }
 

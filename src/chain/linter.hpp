@@ -16,7 +16,12 @@
 
 #include "chain/chain.hpp"
 #include "chain/cross_sign_registry.hpp"
+#include "par/exec.hpp"
 #include "util/time.hpp"
+
+namespace certchain::obs {
+struct RunContext;
+}  // namespace certchain::obs
 
 namespace certchain::par {
 class ThreadPool;
@@ -88,5 +93,15 @@ LintReport lint_chain(const CertificateChain& chain, const LintOptions& options 
 std::vector<LintReport> lint_chains(
     const std::vector<const CertificateChain*>& chains,
     const LintOptions& options = {}, par::ThreadPool* pool = nullptr);
+
+/// Uniform `(input, options, obs)` entry (DESIGN.md §11), taking the
+/// layer-neutral par::ExecOptions (core::RunOptions::exec() projects to it):
+/// resolves exec.threads to the serial loop or a pool, and — when `obs` is
+/// given — wraps the batch in a `lint` stage span with chains-in/findings
+/// counters. The result vector is identical at every thread count.
+std::vector<LintReport> lint_chains(
+    const std::vector<const CertificateChain*>& chains,
+    const LintOptions& options, const par::ExecOptions& exec,
+    obs::RunContext* obs = nullptr);
 
 }  // namespace certchain::chain

@@ -1,9 +1,11 @@
 #include "core/cert_stats.hpp"
 
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "obs/run_context.hpp"
 #include "par/thread_pool.hpp"
 
 namespace certchain::core {
@@ -110,6 +112,28 @@ CertPopulationStats compute_cert_stats(
       if (!seen.insert(std::move(candidate.fingerprint)).second) continue;
       accumulate_certificate(stats, *candidate.cert, candidate.last_seen);
     }
+  }
+  return stats;
+}
+
+CertPopulationStats compute_cert_stats(
+    std::string label, const std::vector<const ChainObservation*>& chains,
+    std::size_t max_length, const RunOptions& options, obs::RunContext* obs) {
+  std::optional<obs::StageTimer> timer;
+  if (obs != nullptr) timer.emplace(*obs, "cert_stats");
+
+  CertPopulationStats stats;
+  const std::size_t threads = par::resolve_threads(options.threads);
+  if (threads <= 1) {
+    stats = compute_cert_stats(std::move(label), chains, max_length);
+  } else {
+    par::ThreadPool pool(threads);
+    stats = compute_cert_stats(std::move(label), chains, max_length, &pool);
+  }
+  if (obs != nullptr) {
+    obs->metrics.count("cert_stats.chains_in", chains.size());
+    obs->metrics.count("cert_stats.distinct_certificates",
+                       stats.distinct_certificates);
   }
   return stats;
 }

@@ -12,7 +12,12 @@
 #include <vector>
 
 #include "core/corpus.hpp"
+#include "core/run_options.hpp"
 #include "util/stats.hpp"
+
+namespace certchain::obs {
+struct RunContext;
+}  // namespace certchain::obs
 
 namespace certchain::par {
 class ThreadPool;
@@ -61,5 +66,14 @@ CertPopulationStats compute_cert_stats(
 CertPopulationStats compute_cert_stats(
     std::string label, const std::vector<const ChainObservation*>& chains,
     std::size_t max_length, par::ThreadPool* pool);
+
+/// Uniform `(input, options, obs)` entry (DESIGN.md §11): resolves
+/// options.threads to the serial or sharded overload and — when `obs` is
+/// given — wraps the scan in a `cert_stats` stage span with chains-in /
+/// distinct-certificate counters. Output is identical at every thread count.
+CertPopulationStats compute_cert_stats(
+    std::string label, const std::vector<const ChainObservation*>& chains,
+    std::size_t max_length, const RunOptions& options,
+    obs::RunContext* obs = nullptr);
 
 }  // namespace certchain::core

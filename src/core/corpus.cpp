@@ -1,6 +1,40 @@
 #include "core/corpus.hpp"
 
+#include <cstdint>
+
 namespace certchain::core {
+
+namespace {
+
+/// Numeric member lookup for snapshot restore; false when absent/non-number.
+bool read_uint(const obs::json::Value& object, const char* key,
+               std::uint64_t& out) {
+  const obs::json::Value* member = object.find(key);
+  if (member == nullptr || !member->is_number() || member->num < 0) return false;
+  out = static_cast<std::uint64_t>(member->num);
+  return true;
+}
+
+void write_string_set(obs::json::Writer& writer, const char* key,
+                      const std::set<std::string>& values) {
+  writer.key(key);
+  writer.begin_array();
+  for (const std::string& value : values) writer.value_string(value);
+  writer.end_array();
+}
+
+bool read_string_set(const obs::json::Value& object, const char* key,
+                     std::set<std::string>& out) {
+  const obs::json::Value* member = object.find(key);
+  if (member == nullptr || !member->is_array()) return false;
+  for (const obs::json::Value& entry : member->array) {
+    if (!entry.is_string()) return false;
+    out.insert(entry.string);
+  }
+  return true;
+}
+
+}  // namespace
 
 void CorpusIndex::add(const zeek::JoinedConnection& connection) {
   ++totals_.connections;
@@ -68,6 +102,175 @@ void CorpusIndex::merge_from(CorpusIndex&& other) {
   }
   other.chains_.clear();
   other.totals_ = CorpusTotals{};
+}
+
+void CorpusIndex::write_snapshot(obs::json::Writer& writer) const {
+  writer.begin_object();
+
+  writer.key("totals");
+  writer.begin_object();
+  writer.key("connections");
+  writer.value_uint(totals_.connections);
+  writer.key("with_certificates");
+  writer.value_uint(totals_.with_certificates);
+  writer.key("tls13_connections");
+  writer.value_uint(totals_.tls13_connections);
+  writer.key("incomplete_joins");
+  writer.value_uint(totals_.incomplete_joins);
+  writer.end_object();
+
+  writer.key("certificates");
+  writer.begin_array();
+  for (const std::string& fingerprint : certificate_fingerprints_) {
+    writer.value_string(fingerprint);
+  }
+  writer.end_array();
+
+  writer.key("chains");
+  writer.begin_array();
+  for (const auto& [chain_id, observation] : chains_) {
+    writer.begin_object();
+    writer.key("id");
+    writer.value_string(chain_id);
+    writer.key("fingerprints");
+    writer.begin_array();
+    for (const x509::Certificate& cert : observation.chain) {
+      writer.value_string(cert.fingerprint());
+    }
+    writer.end_array();
+    writer.key("connections");
+    writer.value_uint(observation.connections);
+    writer.key("established");
+    writer.value_uint(observation.established);
+    write_string_set(writer, "client_ips", observation.client_ips);
+    write_string_set(writer, "server_keys", observation.server_keys);
+    writer.key("ports");
+    writer.begin_array();
+    for (const auto& [port, count] : observation.ports.items()) {
+      writer.begin_array();
+      writer.value_uint(port);
+      writer.value_uint(count);
+      writer.end_array();
+    }
+    writer.end_array();
+    writer.key("with_sni");
+    writer.value_uint(observation.with_sni);
+    writer.key("without_sni");
+    writer.value_uint(observation.without_sni);
+    write_string_set(writer, "domains", observation.domains);
+    writer.key("first_seen");
+    writer.value_uint(static_cast<std::uint64_t>(observation.first_seen));
+    writer.key("last_seen");
+    writer.value_uint(static_cast<std::uint64_t>(observation.last_seen));
+    writer.end_object();
+  }
+  writer.end_array();
+
+  writer.end_object();
+}
+
+bool CorpusIndex::restore_snapshot(
+    const obs::json::Value& value,
+    const std::map<std::string, x509::Certificate>& by_fingerprint,
+    std::string* error) {
+  const auto fail = [this, error](const std::string& message) {
+    chains_.clear();
+    certificate_fingerprints_.clear();
+    totals_ = CorpusTotals{};
+    if (error != nullptr) *error = message;
+    return false;
+  };
+
+  chains_.clear();
+  certificate_fingerprints_.clear();
+  totals_ = CorpusTotals{};
+  if (!value.is_object()) return fail("corpus snapshot is not an object");
+
+  const obs::json::Value* totals = value.find("totals");
+  if (totals == nullptr || !totals->is_object() ||
+      !read_uint(*totals, "connections", totals_.connections) ||
+      !read_uint(*totals, "with_certificates", totals_.with_certificates) ||
+      !read_uint(*totals, "tls13_connections", totals_.tls13_connections) ||
+      !read_uint(*totals, "incomplete_joins", totals_.incomplete_joins)) {
+    return fail("corpus snapshot totals malformed");
+  }
+
+  const obs::json::Value* certificates = value.find("certificates");
+  if (certificates == nullptr || !certificates->is_array()) {
+    return fail("corpus snapshot certificates malformed");
+  }
+  for (const obs::json::Value& entry : certificates->array) {
+    if (!entry.is_string()) return fail("corpus snapshot certificates malformed");
+    certificate_fingerprints_.insert(entry.string);
+  }
+  totals_.distinct_certificates = certificate_fingerprints_.size();
+
+  const obs::json::Value* chains = value.find("chains");
+  if (chains == nullptr || !chains->is_array()) {
+    return fail("corpus snapshot chains malformed");
+  }
+  for (const obs::json::Value& entry : chains->array) {
+    if (!entry.is_object()) return fail("corpus snapshot chain malformed");
+    const obs::json::Value* id = entry.find("id");
+    const obs::json::Value* fingerprints = entry.find("fingerprints");
+    if (id == nullptr || !id->is_string() || fingerprints == nullptr ||
+        !fingerprints->is_array()) {
+      return fail("corpus snapshot chain malformed");
+    }
+
+    ChainObservation observation;
+    std::vector<x509::Certificate> certs;
+    certs.reserve(fingerprints->array.size());
+    for (const obs::json::Value& fingerprint : fingerprints->array) {
+      if (!fingerprint.is_string()) return fail("corpus snapshot chain malformed");
+      const auto it = by_fingerprint.find(fingerprint.string);
+      if (it == by_fingerprint.end()) {
+        return fail("corpus snapshot references unknown certificate " +
+                    fingerprint.string);
+      }
+      certs.push_back(it->second);
+    }
+    observation.chain = chain::CertificateChain(std::move(certs));
+    if (observation.chain.id() != id->string) {
+      return fail("corpus snapshot chain id mismatch for " + id->string);
+    }
+
+    std::uint64_t with_sni = 0;
+    std::uint64_t without_sni = 0;
+    std::uint64_t first_seen = 0;
+    std::uint64_t last_seen = 0;
+    if (!read_uint(entry, "connections", observation.connections) ||
+        !read_uint(entry, "established", observation.established) ||
+        !read_uint(entry, "with_sni", with_sni) ||
+        !read_uint(entry, "without_sni", without_sni) ||
+        !read_uint(entry, "first_seen", first_seen) ||
+        !read_uint(entry, "last_seen", last_seen) ||
+        !read_string_set(entry, "client_ips", observation.client_ips) ||
+        !read_string_set(entry, "server_keys", observation.server_keys) ||
+        !read_string_set(entry, "domains", observation.domains)) {
+      return fail("corpus snapshot chain fields malformed for " + id->string);
+    }
+    observation.with_sni = with_sni;
+    observation.without_sni = without_sni;
+    observation.first_seen = static_cast<util::SimTime>(first_seen);
+    observation.last_seen = static_cast<util::SimTime>(last_seen);
+
+    const obs::json::Value* ports = entry.find("ports");
+    if (ports == nullptr || !ports->is_array()) {
+      return fail("corpus snapshot ports malformed for " + id->string);
+    }
+    for (const obs::json::Value& pair : ports->array) {
+      if (!pair.is_array() || pair.array.size() != 2 ||
+          !pair.array[0].is_number() || !pair.array[1].is_number()) {
+        return fail("corpus snapshot ports malformed for " + id->string);
+      }
+      observation.ports.add(static_cast<std::uint16_t>(pair.array[0].num),
+                            static_cast<std::uint64_t>(pair.array[1].num));
+    }
+
+    chains_.emplace(id->string, std::move(observation));
+  }
+  return true;
 }
 
 std::size_t CorpusIndex::distinct_clients(

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chain/chain.hpp"
+#include "obs/json.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 #include "zeek/joiner.hpp"
@@ -76,6 +77,22 @@ class CorpusIndex {
   /// Union of client IPs across a set of chain ids.
   static std::size_t distinct_clients(
       const std::vector<const ChainObservation*>& observations);
+
+  /// Writes the complete fold state as one JSON object (the `corpus` block
+  /// of a stream checkpoint, DESIGN.md §11). Chains are stored as ordered
+  /// certificate fingerprints, not serialized certificates — every
+  /// certificate in the corpus came out of the X509 log, so a resuming run
+  /// re-derives the objects from its re-ingested records.
+  void write_snapshot(obs::json::Writer& writer) const;
+
+  /// Restores a write_snapshot() state into an empty index. Fingerprints are
+  /// resolved through `by_fingerprint` (built from the re-ingested X509
+  /// records); an unresolvable fingerprint or a malformed snapshot fails
+  /// with `error` set and leaves the index cleared.
+  bool restore_snapshot(
+      const obs::json::Value& value,
+      const std::map<std::string, x509::Certificate>& by_fingerprint,
+      std::string* error);
 
  private:
   std::map<std::string, ChainObservation> chains_;  // by chain id

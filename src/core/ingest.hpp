@@ -55,7 +55,7 @@ struct IngestStreamStats {
 /// What ingestion saw, kept alongside the analysis results so every report
 /// can state the quality of the data it was computed from.
 struct IngestReport {
-  bool populated = false;  // true when the report came through run_from_text
+  bool populated = false;  // true for text/sources/files runs (raw input seen)
   IngestMode mode = IngestMode::kLenient;
 
   IngestStreamStats ssl;

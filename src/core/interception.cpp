@@ -1,7 +1,9 @@
 #include "core/interception.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "obs/run_context.hpp"
 #include "par/thread_pool.hpp"
 
 namespace certchain::core {
@@ -189,6 +191,28 @@ InterceptionReport InterceptionDetector::detect(const CorpusIndex& corpus,
     merge_fold(fold, std::move(folds[i]));
   }
   return finalize_fold(std::move(fold), *directory_);
+}
+
+InterceptionReport InterceptionDetector::detect(const CorpusIndex& corpus,
+                                                const RunOptions& options,
+                                                obs::RunContext* obs) const {
+  std::optional<obs::StageTimer> timer;
+  if (obs != nullptr) timer.emplace(*obs, "interception.detect");
+
+  InterceptionReport report;
+  const std::size_t threads = par::resolve_threads(options.threads);
+  if (threads <= 1) {
+    report = detect(corpus);
+  } else {
+    par::ThreadPool pool(threads);
+    report = detect(corpus, &pool);
+  }
+  if (obs != nullptr) {
+    obs->metrics.count("interception.detect.chains_in",
+                       corpus.unique_chain_count());
+    obs->metrics.count("interception.detect.findings", report.findings.size());
+  }
+  return report;
 }
 
 }  // namespace certchain::core

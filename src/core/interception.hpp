@@ -20,8 +20,13 @@
 
 #include "chain/categorizer.hpp"
 #include "core/corpus.hpp"
+#include "core/run_options.hpp"
 #include "ct/ct_log.hpp"
 #include "truststore/trust_store.hpp"
+
+namespace certchain::obs {
+struct RunContext;
+}  // namespace certchain::obs
 
 namespace certchain::par {
 class ThreadPool;
@@ -94,6 +99,14 @@ class InterceptionDetector {
   /// the serial path.
   InterceptionReport detect(const CorpusIndex& corpus,
                             par::ThreadPool* pool) const;
+
+  /// Uniform `(input, options, obs)` entry (DESIGN.md §11): resolves
+  /// options.threads to the serial or sharded path, and — when `obs` is
+  /// given — wraps detection in an `interception.detect` stage span with
+  /// chains-in/findings counters. Output is identical to the other
+  /// overloads at every thread count.
+  InterceptionReport detect(const CorpusIndex& corpus, const RunOptions& options,
+                            obs::RunContext* obs = nullptr) const;
 
   /// The per-chain primitive: true if the leaf issuer is absent from public
   /// databases and CT records a different issuer for `domain` during the

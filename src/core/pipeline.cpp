@@ -6,6 +6,7 @@
 
 #include "core/pipeline_detail.hpp"
 #include "obs/run_context.hpp"
+#include "par/thread_pool.hpp"
 #include "zeek/joiner.hpp"
 #include "zeek/log_stream.hpp"
 
@@ -23,10 +24,46 @@ std::string_view ingest_mode_name(IngestMode mode) {
   return "unknown";
 }
 
-StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
-                               const std::vector<zeek::X509LogRecord>& x509,
+StudyReport StudyPipeline::run(const StudyInput& input, const RunOptions& options,
                                obs::RunContext* obs) const {
-  StudyReport report;
+  if (obs != nullptr) obs->set_config("input.kind", input.describe());
+  switch (input.kind()) {
+    case StudyInput::Kind::kRecords:
+      return run_records(input.ssl_records(), input.x509_records(), options, obs);
+    case StudyInput::Kind::kText:
+      return run_text(input.ssl_text(), input.x509_text(), options, obs);
+    case StudyInput::Kind::kSources:
+    case StudyInput::Kind::kFiles: {
+      const std::shared_ptr<LogSource> ssl = input.open_ssl_source();
+      if (ssl == nullptr) {
+        throw IngestError("cannot open SSL log source: " + input.ssl_path());
+      }
+      const std::shared_ptr<LogSource> x509 = input.open_x509_source();
+      if (x509 == nullptr) {
+        throw IngestError("cannot open X509 log source: " + input.x509_path());
+      }
+      return run_streaming(*ssl, *x509, options, obs);
+    }
+  }
+  throw IngestError("unknown StudyInput kind");
+}
+
+StudyReport StudyPipeline::run_records(
+    const std::vector<zeek::SslLogRecord>& ssl,
+    const std::vector<zeek::X509LogRecord>& x509, const RunOptions& options,
+    obs::RunContext* obs) const {
+  const std::size_t threads = par::resolve_threads(options.threads);
+  if (threads <= 1) return run_records_serial(ssl, x509, obs);
+  par::ThreadPool pool(threads);
+  if (obs != nullptr) {
+    obs->set_config("par.threads", static_cast<std::uint64_t>(pool.size()));
+  }
+  return run_on_pool(pool, ssl, x509, obs);
+}
+
+StudyReport StudyPipeline::run_records_serial(
+    const std::vector<zeek::SslLogRecord>& ssl,
+    const std::vector<zeek::X509LogRecord>& x509, obs::RunContext* obs) const {
   auto pipeline_timer = stage_timer(obs, "pipeline");
 
   // Stage 0: join SSL and X509 rows and deduplicate chains.
@@ -35,9 +72,15 @@ StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
   {
     auto timer = stage_timer(obs, "join");
     for (const zeek::SslLogRecord& record : ssl) corpus.add(joiner.join(record));
-    report.totals = corpus.totals();
-    report.unique_chains = corpus.unique_chain_count();
   }
+  return analyze_corpus(corpus, obs);
+}
+
+StudyReport StudyPipeline::analyze_corpus(CorpusIndex& corpus,
+                                          obs::RunContext* obs) const {
+  StudyReport report;
+  report.totals = corpus.totals();
+  report.unique_chains = corpus.unique_chain_count();
   publish_stage(obs, "join", report.totals.connections,
                 report.totals.with_certificates,
                 report.totals.connections - report.totals.with_certificates);
@@ -163,10 +206,10 @@ void drive_stream(Reader& reader, std::string_view text, const char* stream_name
 
 }  // namespace
 
-StudyReport StudyPipeline::run_from_text(std::string_view ssl_log_text,
-                                         std::string_view x509_log_text,
-                                         const IngestOptions& options,
-                                         obs::RunContext* obs) const {
+StudyReport StudyPipeline::run_text_serial(std::string_view ssl_log_text,
+                                           std::string_view x509_log_text,
+                                           const IngestOptions& options,
+                                           obs::RunContext* obs) const {
   // Ingestion accounting always flows through a registry; without an
   // injected context a run-local one keeps the single-source guarantee.
   obs::RunContext local;
@@ -197,7 +240,7 @@ StudyReport StudyPipeline::run_from_text(std::string_view ssl_log_text,
                 ingest.ssl.records + ingest.x509.records,
                 ingest.skipped_total());
 
-  StudyReport report = run(ssl, x509, obs);
+  StudyReport report = run_records_serial(ssl, x509, obs);
   report.ingest = std::move(ingest);
   return report;
 }

@@ -10,9 +10,9 @@
 //   Path Detection          -> complete/partial matched paths, unnecessary
 //                              certificates, per-category reports
 //
-// Input is raw Zeek log content (or already-parsed records); output is a
-// StudyReport holding every table/figure's data. Each analyzer can also be
-// driven standalone — the pipeline only orchestrates.
+// Input is a StudyInput (parsed records, raw text, or streamed LogSources);
+// output is a StudyReport holding every table/figure's data. Each analyzer
+// can also be driven standalone — the pipeline only orchestrates.
 #pragma once
 
 #include <map>
@@ -28,6 +28,8 @@
 #include "core/interception.hpp"
 #include "core/nonpublic_analysis.hpp"
 #include "core/pki_graph.hpp"
+#include "core/run_options.hpp"
+#include "core/study_input.hpp"
 #include "ct/ct_log.hpp"
 #include "netsim/simulator.hpp"
 #include "truststore/trust_store.hpp"
@@ -82,19 +84,10 @@ struct StudyReport {
   PkiGraph non_public_graph;    // Figure 7
   PkiGraph interception_graph;  // Figure 8
 
-  /// Data-quality accounting; populated only by run_from_text (the raw-text
-  /// path is the only one that can observe line damage).
+  /// Data-quality accounting; populated by every raw-text-bearing input
+  /// (text, sources, files) — the paths that can observe line damage.
+  /// Parsed-record runs leave it unpopulated.
   IngestReport ingest;
-};
-
-/// Execution options for the sharded pipeline path (DESIGN.md §10).
-struct RunOptions {
-  IngestOptions ingest;
-  /// Worker/shard count: 1 (default) runs the serial path; 0 resolves to
-  /// hardware concurrency; N > 1 runs N-way sharded with a deterministic
-  /// merge. Any value produces byte-identical reports and identical
-  /// deterministic metrics — the contract the parallel-diff suite enforces.
-  std::size_t threads = 1;
 };
 
 class StudyPipeline {
@@ -105,59 +98,109 @@ class StudyPipeline {
       : stores_(&stores), ct_logs_(&ct_logs), vendors_(&vendors),
         registry_(registry) {}
 
-  /// Runs on parsed records. When `obs` is given, every Figure-2 stage
-  /// reports a `stage.<name>.{in,admitted,dropped}` counter triple plus a
-  /// trace span, and the per-analyzer counters land in the registry; the
-  /// counts reconcile exactly with the returned StudyReport (asserted in
+  /// The single entry point (DESIGN.md §11): one input descriptor, one
+  /// options struct, optional telemetry. Execution strategy follows from the
+  /// two of them —
+  ///
+  ///   input kind      options.threads <= 1     options.threads > 1 / 0
+  ///   kRecords        serial fold              N-way sharded (DESIGN.md §10)
+  ///   kText           serial parse+fold        sharded text ingest + analyze
+  ///   kSources/kFiles bounded-memory streaming fold; analysis serial/sharded
+  ///
+  /// and every combination produces byte-identical report text and identical
+  /// deterministic metrics (streamed runs add `stream.*` counters and `mem.*`
+  /// gauges on top). Streamed runs honour options.chunk_bytes and — when
+  /// options.checkpoint_path is set — write a resumable fold snapshot after
+  /// every chunk. Raw-text-bearing inputs populate `StudyReport::ingest`;
+  /// in strict ingest mode the first damaged line raises IngestError, as
+  /// does a kFiles path that cannot be opened.
+  ///
+  /// When `obs` is given, every Figure-2 stage reports a
+  /// `stage.<name>.{in,admitted,dropped}` counter triple plus a trace span,
+  /// and the per-analyzer counters land in the registry; the counts
+  /// reconcile exactly with the returned StudyReport (asserted in
   /// test_pipeline_units).
-  StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
-                  const std::vector<zeek::X509LogRecord>& x509,
+  StudyReport run(const StudyInput& input, const RunOptions& options = {},
                   obs::RunContext* obs = nullptr) const;
 
-  /// Sharded execution on parsed records: SSL rows are joined and folded
-  /// into per-shard corpora, unique chains are categorized per shard, and
-  /// the per-category analyzers run concurrently; every merge is
-  /// deterministic (stable ordering by corpus key, cross-shard certificate
-  /// dedupe, counter summation, histogram merge), so the returned report is
-  /// byte-identical to the serial run's. With options.threads <= 1 this IS
-  /// the serial path.
+  // --- Deprecated pre-PR-4 overloads -------------------------------------
+  // Thin shims over run(StudyInput, RunOptions); see the migration table in
+  // DESIGN.md §11. Scheduled for removal once downstream callers migrate.
+
+  [[deprecated("use run(StudyInput::records(ssl, x509), options, obs)")]]
+  StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
+                  const std::vector<zeek::X509LogRecord>& x509,
+                  obs::RunContext* obs = nullptr) const {
+    return run(StudyInput::records(ssl, x509), RunOptions{}, obs);
+  }
+
+  [[deprecated("use run(StudyInput::records(ssl, x509), options, obs)")]]
   StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
                   const std::vector<zeek::X509LogRecord>& x509,
                   const RunOptions& options,
-                  obs::RunContext* obs = nullptr) const;
-
-  /// Convenience overloads.
-  StudyReport run(const netsim::GeneratedLogs& logs,
                   obs::RunContext* obs = nullptr) const {
-    return run(logs.ssl, logs.x509, obs);
+    return run(StudyInput::records(ssl, x509), options, obs);
   }
 
-  /// Runs on raw Zeek log text (the full parse -> join -> analyze path).
-  /// Ingestion is driven through the streaming readers in chunks; the
-  /// returned report's `ingest` block carries exact malformed/skipped line
-  /// counts. In strict mode the first damaged line raises IngestError; in
-  /// lenient mode (the default) damage is counted and skipped.
+  [[deprecated("use run(StudyInput::records(logs), options, obs)")]]
+  StudyReport run(const netsim::GeneratedLogs& logs,
+                  obs::RunContext* obs = nullptr) const {
+    return run(StudyInput::records(logs), RunOptions{}, obs);
+  }
+
+  [[deprecated("use run(StudyInput::text(ssl, x509), options, obs)")]]
   StudyReport run_from_text(std::string_view ssl_log_text,
                             std::string_view x509_log_text,
                             const IngestOptions& options = {},
-                            obs::RunContext* obs = nullptr) const;
+                            obs::RunContext* obs = nullptr) const {
+    RunOptions run_options;
+    run_options.ingest = options;
+    return run(StudyInput::text(ssl_log_text, x509_log_text), run_options, obs);
+  }
 
-  /// Sharded raw-text execution: each log is split into line-aligned text
-  /// shards, parsed by independent primed streaming readers with
-  /// shard-local metrics registries (merged in shard order), then analyzed
-  /// via the sharded run(). Ingestion accounting, sample errors (absolute
-  /// line numbers), strict-mode failure, report text and deterministic
-  /// metrics all match the serial path exactly.
+  [[deprecated("use run(StudyInput::text(ssl, x509), options, obs)")]]
   StudyReport run_from_text(std::string_view ssl_log_text,
                             std::string_view x509_log_text,
                             const RunOptions& options,
-                            obs::RunContext* obs = nullptr) const;
+                            obs::RunContext* obs = nullptr) const {
+    return run(StudyInput::text(ssl_log_text, x509_log_text), options, obs);
+  }
 
   /// Figure 1 outlier rule: drop unique chains longer than this when they
   /// were observed exactly once.
   static constexpr std::size_t kOutlierLength = 30;
 
  private:
+  // Per-input-kind drivers behind run()'s dispatch.
+  StudyReport run_records(const std::vector<zeek::SslLogRecord>& ssl,
+                          const std::vector<zeek::X509LogRecord>& x509,
+                          const RunOptions& options, obs::RunContext* obs) const;
+  StudyReport run_records_serial(const std::vector<zeek::SslLogRecord>& ssl,
+                                 const std::vector<zeek::X509LogRecord>& x509,
+                                 obs::RunContext* obs) const;
+  StudyReport run_text(std::string_view ssl_log_text,
+                       std::string_view x509_log_text, const RunOptions& options,
+                       obs::RunContext* obs) const;
+  StudyReport run_text_serial(std::string_view ssl_log_text,
+                              std::string_view x509_log_text,
+                              const IngestOptions& options,
+                              obs::RunContext* obs) const;
+  /// The bounded-memory streaming engine (pipeline_stream.cpp): X509 is
+  /// streamed into the joiner index first, then SSL chunk by chunk — each
+  /// chunk folds into a shard-like partial corpus merged in arrival order —
+  /// with optional checkpoint/resume (DESIGN.md §11).
+  StudyReport run_streaming(LogSource& ssl_source, LogSource& x509_source,
+                            const RunOptions& options,
+                            obs::RunContext* obs) const;
+
+  // Stages 1-4 over a built corpus (the code shared by every execution
+  // strategy once joining is done). Publishes the join/enrich/categorize/
+  // structure/graphs stage triples and counters; the caller owns the
+  // enclosing "pipeline" stage timer.
+  StudyReport analyze_corpus(CorpusIndex& corpus, obs::RunContext* obs) const;
+  StudyReport analyze_corpus_on_pool(par::ThreadPool& pool, CorpusIndex& corpus,
+                                     obs::RunContext* obs) const;
+
   /// The sharded analysis path; `pool` carries the worker count.
   StudyReport run_on_pool(par::ThreadPool& pool,
                           const std::vector<zeek::SslLogRecord>& ssl,

@@ -185,26 +185,13 @@ void ingest_stream_sharded(par::ThreadPool& pool, std::string_view text,
 
 }  // namespace
 
-StudyReport StudyPipeline::run(const std::vector<zeek::SslLogRecord>& ssl,
-                               const std::vector<zeek::X509LogRecord>& x509,
-                               const RunOptions& options,
-                               obs::RunContext* obs) const {
-  const std::size_t threads = par::resolve_threads(options.threads);
-  if (threads <= 1) return run(ssl, x509, obs);
-  par::ThreadPool pool(threads);
-  if (obs != nullptr) {
-    obs->set_config("par.threads", static_cast<std::uint64_t>(pool.size()));
-  }
-  return run_on_pool(pool, ssl, x509, obs);
-}
-
-StudyReport StudyPipeline::run_from_text(std::string_view ssl_log_text,
-                                         std::string_view x509_log_text,
-                                         const RunOptions& options,
-                                         obs::RunContext* obs) const {
+StudyReport StudyPipeline::run_text(std::string_view ssl_log_text,
+                                    std::string_view x509_log_text,
+                                    const RunOptions& options,
+                                    obs::RunContext* obs) const {
   const std::size_t threads = par::resolve_threads(options.threads);
   if (threads <= 1) {
-    return run_from_text(ssl_log_text, x509_log_text, options.ingest, obs);
+    return run_text_serial(ssl_log_text, x509_log_text, options.ingest, obs);
   }
   par::ThreadPool pool(threads);
 
@@ -243,7 +230,6 @@ StudyReport StudyPipeline::run_on_pool(par::ThreadPool& pool,
                                        const std::vector<zeek::SslLogRecord>& ssl,
                                        const std::vector<zeek::X509LogRecord>& x509,
                                        obs::RunContext* obs) const {
-  StudyReport report;
   auto pipeline_timer = stage_timer(obs, "pipeline");
   const std::size_t shard_count = pool.size();
 
@@ -270,9 +256,17 @@ StudyReport StudyPipeline::run_on_pool(par::ThreadPool& pool,
       attach_shard_span(obs, "join", i, wall[i]);
       corpus.merge_from(std::move(partials[i]));
     }
-    report.totals = corpus.totals();
-    report.unique_chains = corpus.unique_chain_count();
   }
+  return analyze_corpus_on_pool(pool, corpus, obs);
+}
+
+StudyReport StudyPipeline::analyze_corpus_on_pool(par::ThreadPool& pool,
+                                                  CorpusIndex& corpus,
+                                                  obs::RunContext* obs) const {
+  StudyReport report;
+  const std::size_t shard_count = pool.size();
+  report.totals = corpus.totals();
+  report.unique_chains = corpus.unique_chain_count();
   publish_stage(obs, "join", report.totals.connections,
                 report.totals.with_certificates,
                 report.totals.connections - report.totals.with_certificates);

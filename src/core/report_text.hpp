@@ -24,8 +24,8 @@ struct ReportTextOptions {
   bool hybrid = true;            // Table 3/6/7 digest
   bool non_public = true;        // §4.3 digest
   bool graphs = false;           // node/edge summaries
-  /// Ingestion accounting; emitted only when the report came through
-  /// run_from_text (in-memory runs have nothing to report on).
+  /// Ingestion accounting; emitted only when the run consumed raw log text
+  /// or streams (parsed-record runs have nothing to report on).
   bool data_quality = true;
   /// When set, a "Telemetry" section (obs::render_metrics_text) is appended:
   /// counters, per-stage admit/drop manifest, wall times.

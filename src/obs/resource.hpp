@@ -1,0 +1,19 @@
+// Process resource observation for the streaming engine's memory claims.
+//
+// The bounded-memory contract ("peak residency is O(chunk), not O(corpus)")
+// is only credible if the pipeline can report its own high-water mark:
+// streamed runs publish `mem.peak_rss_bytes` as a gauge, and
+// bench_ext_streaming plots it against corpus size. Peak RSS is a
+// machine-dependent number and is therefore never asserted exactly —
+// exporters and tests treat it like a timing, not a counter.
+#pragma once
+
+#include <cstdint>
+
+namespace certchain::obs {
+
+/// The process's peak resident set size in bytes (ru_maxrss), 0 when the
+/// platform cannot report it. Monotonic over the process lifetime.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace certchain::obs

@@ -1,0 +1,21 @@
+// Execution options shared by every parallel-capable analyzer entry point.
+//
+// Layers below core (chain::lint_chains) cannot depend on core::RunOptions,
+// but still want the uniform `(input, options, obs)` call shape the unified
+// pipeline API uses (DESIGN.md §11). ExecOptions is the layer-neutral subset:
+// just the worker count, with the same semantics RunOptions::threads has —
+// resolve_threads(threads) <= 1 runs the serial code path, anything else
+// builds a pool, and the result is identical either way.
+#pragma once
+
+#include <cstddef>
+
+namespace certchain::par {
+
+struct ExecOptions {
+  /// Worker count: 1 (default) runs serial, 0 resolves to hardware
+  /// concurrency, N > 1 runs N-way parallel with deterministic merges.
+  std::size_t threads = 1;
+};
+
+}  // namespace certchain::par

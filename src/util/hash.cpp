@@ -24,7 +24,11 @@ int hex_value(char c) {
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view data) {
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  return fnv1a64_continue(0xCBF29CE484222325ULL, data);
+}
+
+std::uint64_t fnv1a64_continue(std::uint64_t state, std::string_view data) {
+  std::uint64_t hash = state;
   for (const char c : data) {
     hash ^= static_cast<unsigned char>(c);
     hash *= 0x100000001B3ULL;

@@ -19,6 +19,12 @@ namespace certchain::util {
 /// FNV-1a 64-bit hash.
 std::uint64_t fnv1a64(std::string_view data);
 
+/// Incremental FNV-1a: folds `data` into a running state. Seeding with
+/// fnv1a64("") (the FNV offset basis is what an empty fold returns) and
+/// chaining chunks yields exactly fnv1a64 of the concatenation — the
+/// streaming engine digests multi-GB sources chunk by chunk this way.
+std::uint64_t fnv1a64_continue(std::uint64_t state, std::string_view data);
+
 /// A 256-bit digest value.
 struct Digest256 {
   std::array<std::uint64_t, 4> words{};

@@ -42,6 +42,13 @@ class LogJoiner {
 
   std::size_t certificate_count() const { return by_fuid_.size(); }
 
+  /// The joined certificate index (fuid -> certificate). The streaming
+  /// engine's checkpoint restore resolves chain fingerprints against this
+  /// view instead of serializing certificates into the snapshot.
+  const std::map<std::string, x509::Certificate>& certificates() const {
+    return by_fuid_;
+  }
+
   JoinedConnection join(const SslLogRecord& ssl) const;
   std::vector<JoinedConnection> join_all(const std::vector<SslLogRecord>& ssl) const;
 

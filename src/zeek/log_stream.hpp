@@ -21,18 +21,38 @@
 
 namespace certchain::zeek {
 
+/// A recorded parse failure ("what went wrong on which line").
+struct ReaderLineError {
+  std::size_t line_number = 0;  // 1-based within the stream
+  std::string message;
+};
+
+/// The complete mutable state of a StreamingLogReader at a feed() boundary:
+/// the unterminated line tail, the header state, and every counter and
+/// recorded error. Serializing this (plus the source byte offset) is all a
+/// stream checkpoint needs to resume parsing exactly where a killed run
+/// stopped — the restored reader is indistinguishable from one that consumed
+/// the whole prefix itself (DESIGN.md §11).
+struct ReaderCheckpoint {
+  std::string buffer;  // pending partial line
+  bool in_body = false;
+  std::size_t line_offset = 0;
+  std::size_t bytes_consumed = 0;
+  std::size_t lines_seen = 0;
+  std::size_t records_emitted = 0;
+  std::size_t lines_skipped = 0;
+  std::size_t malformed_rows = 0;
+  std::size_t rotations_seen = 0;
+  std::vector<ReaderLineError> errors;
+};
+
 /// Incremental line assembler + per-kind row parser. F is invoked once per
 /// successfully parsed record, in stream order.
 template <typename Record>
 class StreamingLogReader {
  public:
   using Callback = std::function<void(Record)>;
-
-  /// A recorded parse failure ("what went wrong on which line").
-  struct LineError {
-    std::size_t line_number = 0;  // 1-based within the stream
-    std::string message;
-  };
+  using LineError = ReaderLineError;
 
   StreamingLogReader(std::string expected_fields, Callback callback)
       : expected_fields_(std::move(expected_fields)),
@@ -91,6 +111,37 @@ class StreamingLogReader {
   /// Capped sample of parse failures, in stream order.
   const std::vector<LineError>& errors() const { return errors_; }
   static constexpr std::size_t kMaxRecordedErrors = 32;
+
+  /// Snapshots the reader's full state at a feed() boundary (checkpointing).
+  ReaderCheckpoint checkpoint() const {
+    ReaderCheckpoint state;
+    state.buffer = buffer_;
+    state.in_body = in_body_;
+    state.line_offset = line_offset_;
+    state.bytes_consumed = bytes_consumed_;
+    state.lines_seen = lines_seen_;
+    state.records_emitted = records_emitted_;
+    state.lines_skipped = lines_skipped_;
+    state.malformed_rows = malformed_rows_;
+    state.rotations_seen = rotations_seen_;
+    state.errors = errors_;
+    return state;
+  }
+
+  /// Restores a checkpoint() snapshot. Call before the first feed(); the
+  /// reader then continues the stream as if it had consumed the prefix.
+  void restore(const ReaderCheckpoint& state) {
+    buffer_ = state.buffer;
+    in_body_ = state.in_body;
+    line_offset_ = state.line_offset;
+    bytes_consumed_ = state.bytes_consumed;
+    lines_seen_ = state.lines_seen;
+    records_emitted_ = state.records_emitted;
+    lines_skipped_ = state.lines_skipped;
+    malformed_rows_ = state.malformed_rows;
+    rotations_seen_ = state.rotations_seen;
+    errors_ = state.errors;
+  }
 
  private:
   void consume_line(std::string_view line) {

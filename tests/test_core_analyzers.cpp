@@ -9,6 +9,7 @@
 #include "core/nonpublic_analysis.hpp"
 #include "core/pki_graph.hpp"
 #include "netsim/pki_world.hpp"
+#include "obs/run_context.hpp"
 #include "util/hash.hpp"
 
 namespace certchain::core {
@@ -125,6 +126,35 @@ TEST_F(InterceptionTest, DetectsForgedChainViaCtMismatch) {
   EXPECT_EQ(report.findings[0].vendor.vendor, "Sim MBox");
   EXPECT_EQ(report.findings[0].connections, 1u);
   EXPECT_TRUE(report.issuer_set().contains(middlebox_.name().canonical()));
+}
+
+
+TEST_F(InterceptionTest, UniformEntryMatchesSerialAndPublishesTelemetry) {
+  const InterceptionDetector detector(stores_, ct_logs_, directory_);
+  CorpusIndex corpus;
+  corpus.add(make_connection(make_chain({forged_leaf_}), "10.0.0.5", "s", 8013,
+                             true, "victim.example"));
+  corpus.add(make_connection(pki_.chain_for("clean.example"), "10.0.0.6", "t",
+                             443, true, "clean.example"));
+
+  const InterceptionReport serial = detector.detect(corpus);
+  obs::RunContext context;
+  RunOptions options;
+  options.threads = 4;
+  const InterceptionReport uniform = detector.detect(corpus, options, &context);
+
+  ASSERT_EQ(uniform.findings.size(), serial.findings.size());
+  for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+    EXPECT_EQ(uniform.findings[i].vendor.vendor, serial.findings[i].vendor.vendor);
+    EXPECT_EQ(uniform.findings[i].connections, serial.findings[i].connections);
+  }
+  EXPECT_EQ(context.metrics.counter("interception.detect.chains_in"),
+            corpus.unique_chain_count());
+  EXPECT_EQ(context.metrics.counter("interception.detect.findings"),
+            serial.findings.size());
+  ASSERT_EQ(context.trace.node_count(), 1u);
+  EXPECT_EQ(context.trace.root().children[0]->name, "interception.detect");
+  EXPECT_EQ(context.metrics.timings().count("time.interception.detect.ms"), 1u);
 }
 
 TEST_F(InterceptionTest, GenuineChainIsNotFlagged) {

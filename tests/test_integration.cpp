@@ -35,7 +35,8 @@ class IntegrationTest : public ::testing::Test {
                                        scenario_->world.ct_logs(),
                                        scenario_->vendors,
                                        &scenario_->world.cross_signs());
-    report_ = new core::StudyReport(pipeline.run(*logs_));
+    report_ = new core::StudyReport(
+        pipeline.run(core::StudyInput::records(*logs_)));
   }
 
   static void TearDownTestSuite() {
@@ -222,8 +223,10 @@ TEST_F(IntegrationTest, ZeekTextRoundTripMatchesInMemoryRun) {
                                      scenario_->world.ct_logs(),
                                      scenario_->vendors,
                                      &scenario_->world.cross_signs());
+  const std::string ssl_text = ssl_writer.finish();
+  const std::string x509_text = x509_writer.finish();
   const core::StudyReport from_text =
-      pipeline.run_from_text(ssl_writer.finish(), x509_writer.finish());
+      pipeline.run(core::StudyInput::text(ssl_text, x509_text));
   EXPECT_EQ(from_text.unique_chains, report_->unique_chains);
   EXPECT_EQ(from_text.hybrid.total(), report_->hybrid.total());
   EXPECT_EQ(from_text.hybrid.no_complete_path, report_->hybrid.no_complete_path);

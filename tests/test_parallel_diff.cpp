@@ -80,8 +80,8 @@ core::StudyReport expect_equivalent_from_text(
   core::RunOptions serial_options;
   serial_options.ingest = ingest;
   serial_options.threads = 1;
-  const core::StudyReport serial =
-      pipeline.run_from_text(ssl_text, x509_text, serial_options, &serial_ctx);
+  const core::StudyReport serial = pipeline.run(
+      core::StudyInput::text(ssl_text, x509_text), serial_options, &serial_ctx);
   const std::string serial_text = render_report_text(serial, text_options);
   const obs::RunManifest serial_manifest = build_run_manifest(serial_ctx);
 
@@ -91,7 +91,7 @@ core::StudyReport expect_equivalent_from_text(
     options.ingest = ingest;
     options.threads = threads;
     const core::StudyReport report =
-        pipeline.run_from_text(ssl_text, x509_text, options, &ctx);
+        pipeline.run(core::StudyInput::text(ssl_text, x509_text), options, &ctx);
 
     EXPECT_EQ(render_report_text(report, text_options), serial_text)
         << threads << " threads";
@@ -113,7 +113,8 @@ void expect_equivalent_from_records(const core::StudyPipeline& pipeline,
   text_options.graphs = true;
 
   obs::RunContext serial_ctx;
-  const core::StudyReport serial = pipeline.run(logs.ssl, logs.x509, &serial_ctx);
+  const core::StudyReport serial =
+      pipeline.run(core::StudyInput::records(logs), {}, &serial_ctx);
   const std::string serial_text = render_report_text(serial, text_options);
 
   for (const std::size_t threads : kThreadCounts) {
@@ -121,7 +122,7 @@ void expect_equivalent_from_records(const core::StudyPipeline& pipeline,
     core::RunOptions options;
     options.threads = threads;
     const core::StudyReport report =
-        pipeline.run(logs.ssl, logs.x509, options, &ctx);
+        pipeline.run(core::StudyInput::records(logs), options, &ctx);
     EXPECT_EQ(render_report_text(report, text_options), serial_text)
         << threads << " threads";
     EXPECT_EQ(ctx.metrics.counters(), serial_ctx.metrics.counters())
@@ -233,7 +234,7 @@ TEST_F(ParallelDiffTest, StrictModeFailsIdenticallyAtEveryThreadCount) {
   try {
     core::RunOptions options;
     options.ingest = strict;
-    pipeline_->run_from_text(damaged_ssl, *x509_text_, options);
+    pipeline_->run(core::StudyInput::text(damaged_ssl, *x509_text_), options);
     FAIL() << "strict serial run accepted a damaged corpus";
   } catch (const core::IngestError& error) {
     serial_message = error.what();
@@ -245,7 +246,7 @@ TEST_F(ParallelDiffTest, StrictModeFailsIdenticallyAtEveryThreadCount) {
       core::RunOptions options;
       options.ingest = strict;
       options.threads = threads;
-      pipeline_->run_from_text(damaged_ssl, *x509_text_, options);
+      pipeline_->run(core::StudyInput::text(damaged_ssl, *x509_text_), options);
       FAIL() << "strict run accepted a damaged corpus at " << threads
              << " threads";
     } catch (const core::IngestError& error) {

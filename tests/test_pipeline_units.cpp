@@ -56,7 +56,7 @@ class PipelineUnitTest : public ::testing::Test {
 };
 
 TEST_F(PipelineUnitTest, EmptyInputsProduceEmptyReport) {
-  const StudyReport report = pipeline_.run({}, {});
+  const StudyReport report = pipeline_.run(StudyInput::records(ssl_, x509_));
   EXPECT_EQ(report.unique_chains, 0u);
   EXPECT_EQ(report.totals.connections, 0u);
   EXPECT_TRUE(report.categories.empty());
@@ -71,7 +71,7 @@ TEST_F(PipelineUnitTest, CategorizesMixedMiniCorpus) {
   add_connection(hybrid, true, "hyb.example");
   add_connection(hybrid, false, "hyb.example");  // same chain again
 
-  const StudyReport report = pipeline_.run(ssl_, x509_);
+  const StudyReport report = pipeline_.run(StudyInput::records(ssl_, x509_));
   EXPECT_EQ(report.unique_chains, 3u);
   EXPECT_EQ(report.categories.at(chain::ChainCategory::kPublicDbOnly).chains, 1u);
   EXPECT_EQ(report.categories.at(chain::ChainCategory::kNonPublicDbOnly).chains, 1u);
@@ -97,7 +97,7 @@ TEST_F(PipelineUnitTest, OutlierRuleNeedsBothLengthAndSingleObservation) {
   }
   add_connection(make_chain(outlier_certs), false, "");
 
-  const StudyReport report = pipeline_.run(ssl_, x509_);
+  const StudyReport report = pipeline_.run(StudyInput::records(ssl_, x509_));
   ASSERT_EQ(report.excluded_outliers.size(), 1u);
   EXPECT_EQ(report.excluded_outliers[0].length, 40u);
   // The twice-observed long chain stays in the Figure 1 series.
@@ -122,7 +122,7 @@ TEST_F(PipelineUnitTest, InterceptionSliceUsesDetectorOutput) {
       subject, "site.example", certchain::testing::test_validity())});
   add_connection(forged, true, "site.example", 8013);
 
-  const StudyReport report = pipeline_.run(ssl_, x509_);
+  const StudyReport report = pipeline_.run(StudyInput::records(ssl_, x509_));
   EXPECT_EQ(report.categories.at(chain::ChainCategory::kTlsInterception).chains, 1u);
   EXPECT_EQ(report.interception.findings.size(), 1u);
   EXPECT_EQ(report.interception_chains.chains, 1u);
@@ -138,9 +138,11 @@ TEST_F(PipelineUnitTest, RunFromTextEqualsRunFromRecords) {
   zeek::X509LogWriter x509_writer;
   for (const auto& record : x509_) x509_writer.add(record);
 
-  const StudyReport from_records = pipeline_.run(ssl_, x509_);
+  const StudyReport from_records = pipeline_.run(StudyInput::records(ssl_, x509_));
+  const std::string ssl_text = ssl_writer.finish();
+  const std::string x509_text = x509_writer.finish();
   const StudyReport from_text =
-      pipeline_.run_from_text(ssl_writer.finish(), x509_writer.finish());
+      pipeline_.run(StudyInput::text(ssl_text, x509_text));
   EXPECT_EQ(from_text.unique_chains, from_records.unique_chains);
   EXPECT_EQ(from_text.totals.connections, from_records.totals.connections);
   EXPECT_EQ(from_text.totals.distinct_certificates,
@@ -165,7 +167,8 @@ TEST_F(PipelineUnitTest, TelemetryManifestReconcilesWithReport) {
   ssl_.push_back(dangling);
 
   obs::RunContext telemetry;
-  const StudyReport report = pipeline_.run(ssl_, x509_, &telemetry);
+  const StudyReport report =
+      pipeline_.run(StudyInput::records(ssl_, x509_), {}, &telemetry);
 
   // Every stage triple reconciles, and the join stage matches the report's
   // own totals exactly — one accounting, two views.
@@ -217,7 +220,7 @@ TEST_F(PipelineUnitTest, RunFromTextPublishesIngestCountersMatchingReport) {
 
   obs::RunContext telemetry;
   const StudyReport report =
-      pipeline_.run_from_text(ssl_text, x509_text, IngestOptions{}, &telemetry);
+      pipeline_.run(StudyInput::text(ssl_text, x509_text), {}, &telemetry);
 
   // The report's ingest section and the registry counters are the same
   // numbers — the report is filled FROM the counters, so they cannot drift.
@@ -253,7 +256,7 @@ TEST_F(PipelineUnitTest, Tls13ConnectionsCountedButNotCategorized) {
   tls13.established = true;
   ssl_.push_back(tls13);
 
-  const StudyReport report = pipeline_.run(ssl_, x509_);
+  const StudyReport report = pipeline_.run(StudyInput::records(ssl_, x509_));
   EXPECT_EQ(report.totals.connections, 1u);
   EXPECT_EQ(report.totals.tls13_connections, 1u);
   EXPECT_EQ(report.unique_chains, 0u);

@@ -292,7 +292,7 @@ TEST_P(PropertyTest, ShardCountNeverChangesManifestAccounting) {
     obs::RunContext telemetry;
     core::RunOptions options;
     options.threads = threads;
-    pipeline.run_from_text(ssl_text, x509_text, options, &telemetry);
+    pipeline.run(core::StudyInput::text(ssl_text, x509_text), options, &telemetry);
     return obs::build_run_manifest(telemetry);
   };
 

@@ -43,7 +43,7 @@ StudyReport tiny_report(TestPki& pki) {
   hybrid.push_back(self_signed("extra"));
   add(hybrid, false);
   add(make_chain({self_signed("lonely")}), true);
-  return pipeline.run(ssl, x509);
+  return pipeline.run(StudyInput::records(ssl, x509));
 }
 
 TEST(ReportText, AllSectionsRender) {

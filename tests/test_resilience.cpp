@@ -351,6 +351,13 @@ class IngestionTest : public ::testing::Test {
     x509_text_ = x509_writer.finish();
   }
 
+  /// Runs the pipeline over the built log text through the unified entry.
+  core::StudyReport run_text(const core::IngestOptions& ingest = {}) {
+    core::RunOptions options;
+    options.ingest = ingest;
+    return pipeline_.run(core::StudyInput::text(ssl_text_, x509_text_), options);
+  }
+
   /// Damages every `stride`-th body row by chopping it in half (guaranteed
   /// wrong column count). Returns how many rows were damaged.
   static std::size_t damage_rows(std::string& text, std::size_t stride) {
@@ -385,7 +392,7 @@ class IngestionTest : public ::testing::Test {
 
 TEST_F(IngestionTest, CleanLogsReportCleanIngest) {
   build_logs(10);
-  const core::StudyReport report = pipeline_.run_from_text(ssl_text_, x509_text_);
+  const core::StudyReport report = run_text();
   EXPECT_TRUE(report.ingest.populated);
   EXPECT_TRUE(report.ingest.clean());
   EXPECT_EQ(report.ingest.ssl.records, 10u);
@@ -402,7 +409,7 @@ TEST_F(IngestionTest, LenientModeCountsDamageExactly) {
   core::IngestOptions options;
   options.mode = core::IngestMode::kLenient;
   core::StudyReport report;
-  ASSERT_NO_THROW(report = pipeline_.run_from_text(ssl_text_, x509_text_, options));
+  ASSERT_NO_THROW(report = run_text(options));
 
   EXPECT_EQ(report.ingest.ssl.malformed_rows, ssl_damaged);
   EXPECT_EQ(report.ingest.x509.malformed_rows, x509_damaged);
@@ -422,7 +429,7 @@ TEST_F(IngestionTest, StrictModeSurfacesTheFirstError) {
   core::IngestOptions options;
   options.mode = core::IngestMode::kStrict;
   try {
-    (void)pipeline_.run_from_text(ssl_text_, x509_text_, options);
+    (void)run_text(options);
     FAIL() << "strict ingestion must throw on damaged input";
   } catch (const core::IngestError& error) {
     EXPECT_NE(std::string(error.what()).find("ssl log line"), std::string::npos);
@@ -434,7 +441,7 @@ TEST_F(IngestionTest, StrictModeAcceptsCleanLogs) {
   core::IngestOptions options;
   options.mode = core::IngestMode::kStrict;
   core::StudyReport report;
-  ASSERT_NO_THROW(report = pipeline_.run_from_text(ssl_text_, x509_text_, options));
+  ASSERT_NO_THROW(report = run_text(options));
   EXPECT_EQ(report.totals.connections, 5u);
   EXPECT_TRUE(report.ingest.clean());
 }
@@ -443,8 +450,8 @@ TEST_F(IngestionTest, TinyChunksMatchOneShotIngestion) {
   build_logs(15);
   core::IngestOptions tiny;
   tiny.feed_chunk_bytes = 3;
-  const core::StudyReport chunked = pipeline_.run_from_text(ssl_text_, x509_text_, tiny);
-  const core::StudyReport oneshot = pipeline_.run_from_text(ssl_text_, x509_text_);
+  const core::StudyReport chunked = run_text(tiny);
+  const core::StudyReport oneshot = run_text();
   EXPECT_EQ(chunked.totals.connections, oneshot.totals.connections);
   EXPECT_EQ(chunked.unique_chains, oneshot.unique_chains);
   EXPECT_EQ(chunked.ingest.ssl.records, oneshot.ingest.ssl.records);

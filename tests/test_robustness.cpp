@@ -162,7 +162,8 @@ TEST_P(RobustnessTest, LenientPipelineNeverThrowsOnMutatedLogs) {
     const std::string bad_ssl = mutate(ssl_text, rng, 1 + int(rng.next_below(60)));
     const std::string bad_x509 = mutate(x509_text, rng, 1 + int(rng.next_below(60)));
     EXPECT_NO_THROW({
-      const core::StudyReport report = pipeline.run_from_text(bad_ssl, bad_x509);
+      const core::StudyReport report =
+          pipeline.run(core::StudyInput::text(bad_ssl, bad_x509));
       // Accounting must be self-consistent no matter the damage.
       EXPECT_LE(report.ingest.ssl.malformed_rows, report.ingest.ssl.skipped_lines);
       EXPECT_LE(report.ingest.ssl.records + report.ingest.ssl.skipped_lines,

@@ -2,8 +2,15 @@
 //
 // Analyzes Zeek logs from disk:
 //
-//   certchain-analyze [--strict] [--metrics <path>] [--trace] <ssl.log> <x509.log>
-//   certchain-analyze --demo [--strict] [--metrics <path>] [--trace]
+//   certchain-analyze [options] <ssl.log> <x509.log>
+//   certchain-analyze --demo [options]
+//
+// By default input files are slurped into memory. --input-file switches to
+// the bounded-memory streaming engine: the logs are consumed through
+// LogSources in --chunk-bytes chunks (peak residency O(chunk) + the
+// deduplicated corpus, not O(log bytes)), with an optional --checkpoint file
+// that lets a killed run resume from the last chunk boundary. The report is
+// byte-identical either way.
 //
 // Ingestion is lenient by default: damaged lines are counted, reported in
 // the "Data quality" section and skipped. --strict aborts on the first
@@ -15,6 +22,9 @@
 // section. --demo synthesizes a small deterministic study corpus in memory
 // (no input files needed) and analyzes its serialized logs — the CI uses it
 // to exercise the whole ingest -> analyze -> export path.
+// --demo-connections scales the demo corpus; --demo --write-logs <prefix>
+// writes the demo logs to <prefix>ssl.log / <prefix>x509.log and exits,
+// which is how the CI streaming smoke lane generates its input.
 //
 // The trust stores / CT view / vendor directory default to the simulated
 // study universe (they parameterize the pipeline; swap in your own by using
@@ -38,25 +48,54 @@
 namespace {
 
 void print_usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--strict] [--threads <n>] [--metrics <path>] "
-               "[--trace] <ssl.log> <x509.log>\n"
-               "       %s --demo [--strict] [--threads <n>] [--metrics <path>] "
-               "[--trace]\n"
-               "  --threads <n>  shard the run across n workers (0 = all "
-               "hardware threads);\n"
-               "                 output is byte-identical to the serial run\n",
-               argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <ssl.log> <x509.log>\n"
+      "       %s --demo [options]\n"
+      "options:\n"
+      "  --strict              abort on the first damaged input line\n"
+      "  --threads <n>         shard the run across n workers (0 = all\n"
+      "                        hardware threads); output is byte-identical\n"
+      "  --input-file          stream the input files chunk by chunk instead\n"
+      "                        of loading them into memory (same report)\n"
+      "  --chunk-bytes <n>     streaming chunk size; K/M/G suffixes accepted\n"
+      "  --checkpoint <path>   write a resumable fold snapshot after every\n"
+      "                        chunk; resume from it if present\n"
+      "  --metrics <path>      write the JSON metrics export\n"
+      "  --trace               append the span tree to the report\n"
+      "  --demo                analyze a synthesized demo corpus\n"
+      "  --demo-connections <n> demo corpus size (default 4000)\n"
+      "  --write-logs <prefix> with --demo: write <prefix>ssl.log and\n"
+      "                        <prefix>x509.log, then exit\n",
+      argv0, argv0);
 }
 
-/// Serializes a small deterministic scenario into Zeek log text.
-void build_demo_logs(certchain::obs::RunContext& context, std::string& ssl_text,
+/// Parses "4194304", "64K", "4M", "1G" (case-insensitive suffixes).
+bool parse_byte_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text) return false;
+  unsigned long long multiplier = 1;
+  switch (*end) {
+    case 'K': case 'k': multiplier = 1024ULL; ++end; break;
+    case 'M': case 'm': multiplier = 1024ULL * 1024; ++end; break;
+    case 'G': case 'g': multiplier = 1024ULL * 1024 * 1024; ++end; break;
+    default: break;
+  }
+  if (*end != '\0') return false;
+  out = static_cast<std::size_t>(value * multiplier);
+  return true;
+}
+
+/// Serializes a deterministic scenario into Zeek log text.
+void build_demo_logs(certchain::obs::RunContext& context,
+                     std::size_t connections, std::string& ssl_text,
                      std::string& x509_text) {
   using namespace certchain;
   datagen::ScenarioConfig config;
   config.seed = 20200901;
-  config.chain_scale = 1.0 / 4000.0;
-  config.total_connections = 4000;
+  config.chain_scale = 1.0 / static_cast<double>(connections);
+  config.total_connections = connections;
   config.client_count = 300;
   config.include_length_outliers = false;
   const auto scenario = datagen::build_study_scenario(config, &context);
@@ -70,6 +109,13 @@ void build_demo_logs(certchain::obs::RunContext& context, std::string& ssl_text,
   x509_text = x509_writer.finish();
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,8 +123,11 @@ int main(int argc, char** argv) {
   core::RunOptions run_options;
   core::IngestOptions& ingest = run_options.ingest;
   std::string metrics_path;
+  std::string write_logs_prefix;
+  std::size_t demo_connections = 4000;
   bool trace = false;
   bool demo = false;
+  bool stream_files = false;
   int arg = 1;
   for (; arg < argc; ++arg) {
     const std::string_view flag = argv[arg];
@@ -88,24 +137,44 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (flag == "--demo") {
       demo = true;
-    } else if (flag == "--metrics") {
+    } else if (flag == "--input-file") {
+      stream_files = true;
+    } else if (flag == "--metrics" || flag == "--checkpoint" ||
+               flag == "--write-logs" || flag == "--chunk-bytes" ||
+               flag == "--threads" || flag == "--demo-connections") {
       if (arg + 1 >= argc) {
         print_usage(argv[0]);
         return 2;
       }
-      metrics_path = argv[++arg];
-    } else if (flag == "--threads") {
-      if (arg + 1 >= argc) {
-        print_usage(argv[0]);
-        return 2;
+      const char* value = argv[++arg];
+      if (flag == "--metrics") {
+        metrics_path = value;
+      } else if (flag == "--checkpoint") {
+        run_options.checkpoint_path = value;
+      } else if (flag == "--write-logs") {
+        write_logs_prefix = value;
+      } else if (flag == "--chunk-bytes") {
+        if (!parse_byte_size(value, run_options.chunk_bytes) ||
+            run_options.chunk_bytes == 0) {
+          print_usage(argv[0]);
+          return 2;
+        }
+      } else {
+        char* end = nullptr;
+        const unsigned long number = std::strtoul(value, &end, 10);
+        if (end == nullptr || *end != '\0') {
+          print_usage(argv[0]);
+          return 2;
+        }
+        if (flag == "--threads") {
+          run_options.threads = static_cast<std::size_t>(number);
+        } else if (number == 0) {
+          print_usage(argv[0]);
+          return 2;
+        } else {
+          demo_connections = static_cast<std::size_t>(number);
+        }
       }
-      char* end = nullptr;
-      const unsigned long value = std::strtoul(argv[++arg], &end, 10);
-      if (end == nullptr || *end != '\0') {
-        print_usage(argv[0]);
-        return 2;
-      }
-      run_options.threads = static_cast<std::size_t>(value);
     } else {
       break;
     }
@@ -121,9 +190,29 @@ int main(int argc, char** argv) {
 
   std::string ssl_text;
   std::string x509_text;
+  std::optional<core::StudyInput> input;
   if (demo) {
     telemetry.set_config("input", "demo");
-    build_demo_logs(telemetry, ssl_text, x509_text);
+    build_demo_logs(telemetry, demo_connections, ssl_text, x509_text);
+    if (!write_logs_prefix.empty()) {
+      const std::string ssl_path = write_logs_prefix + "ssl.log";
+      const std::string x509_path = write_logs_prefix + "x509.log";
+      if (!write_file(ssl_path, ssl_text) || !write_file(x509_path, x509_text)) {
+        std::fprintf(stderr, "certchain-analyze: cannot write demo logs to %s*\n",
+                     write_logs_prefix.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s (%zu bytes) and %s (%zu bytes)\n",
+                   ssl_path.c_str(), ssl_text.size(), x509_path.c_str(),
+                   x509_text.size());
+      return 0;
+    }
+    input = core::StudyInput::text(ssl_text, x509_text);
+  } else if (stream_files) {
+    // The streaming engine: the logs never become resident strings here.
+    input = core::StudyInput::files(argv[arg], argv[arg + 1]);
+    telemetry.set_config("input.ssl", argv[arg]);
+    telemetry.set_config("input.x509", argv[arg + 1]);
   } else {
     const auto slurp = [](const char* path) -> std::optional<std::string> {
       std::ifstream in(path);
@@ -142,6 +231,7 @@ int main(int argc, char** argv) {
     x509_text = *std::move(x509_file);
     telemetry.set_config("input.ssl", argv[arg]);
     telemetry.set_config("input.x509", argv[arg + 1]);
+    input = core::StudyInput::text(ssl_text, x509_text);
   }
 
   netsim::PkiWorld world;  // databases the classification runs against
@@ -157,7 +247,7 @@ int main(int argc, char** argv) {
                                      &world.cross_signs());
   core::StudyReport report;
   try {
-    report = pipeline.run_from_text(ssl_text, x509_text, run_options, &telemetry);
+    report = pipeline.run(*input, run_options, &telemetry);
   } catch (const core::IngestError& error) {
     std::fprintf(stderr, "certchain-analyze: %s (rerun without --strict to "
                  "skip damaged lines)\n", error.what());
@@ -166,6 +256,17 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "parsed %zu SSL rows (%zu skipped), %zu X509 rows (%zu skipped)\n",
                report.ingest.ssl.records, report.ingest.ssl.skipped_lines,
                report.ingest.x509.records, report.ingest.x509.skipped_lines);
+  if (stream_files) {
+    std::fprintf(
+        stderr,
+        "streamed %llu ssl + %llu x509 chunks of <=%zu bytes, peak rss %.1f MiB\n",
+        static_cast<unsigned long long>(
+            telemetry.metrics.counter("stream.chunk.ssl")),
+        static_cast<unsigned long long>(
+            telemetry.metrics.counter("stream.chunk.x509")),
+        run_options.chunk_bytes,
+        telemetry.metrics.gauge("mem.peak_rss_bytes") / (1024.0 * 1024.0));
+  }
 
   core::ReportTextOptions options;
   options.graphs = true;

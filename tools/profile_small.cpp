@@ -25,7 +25,8 @@ int main() {
   auto logs = scenario->generate_logs(&telemetry);
   core::StudyPipeline pipeline(scenario->world.stores(), scenario->world.ct_logs(),
                                scenario->vendors, &scenario->world.cross_signs());
-  auto report = pipeline.run(logs, &telemetry);
+  auto report = pipeline.run(core::StudyInput::records(logs.ssl, logs.x509), {},
+                             &telemetry);
 
   std::printf("endpoints=%zu ssl_rows=%zu unique_chains=%zu\n\n",
               scenario->endpoints.size(), logs.ssl.size(), report.unique_chains);

@@ -10,7 +10,7 @@ int main() {
   std::printf("ssl rows: %zu x509 rows: %zu\n", logs.ssl.size(), logs.x509.size());
   core::StudyPipeline pipeline(scenario->world.stores(), scenario->world.ct_logs(),
                                scenario->vendors, &scenario->world.cross_signs());
-  auto report = pipeline.run(logs);
+  auto report = pipeline.run(core::StudyInput::records(logs.ssl, logs.x509));
   std::printf("unique chains: %zu distinct certs: %zu\n", report.unique_chains,
               report.totals.distinct_certificates);
   for (auto& [cat, usage] : report.categories) {
