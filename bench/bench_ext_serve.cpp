@@ -1,0 +1,193 @@
+// Extension — closed-loop serving throughput and latency (DESIGN.md §12):
+// start svc::Server over the calibrated corpus at 1/4/hw request workers,
+// drive it from closed-loop loopback clients (each sends the next request
+// only after the previous response), and report requests/second plus the
+// server-side per-endpoint latency distribution (p50/p90/p99 from the
+// `svc.endpoint.<name>.ms` timing histograms). Every configuration asserts
+// the stage.svc.requests.{in,admitted,dropped} manifest triple reconciles —
+// throughput numbers over lost requests would be meaningless.
+//
+// CERTCHAIN_METRICS=<path-prefix> additionally writes the standard
+// certchain.obs.metrics JSON export of each configuration to
+// <path-prefix><workers>.json.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+#include "svc/client.hpp"
+#include "zeek/joiner.hpp"
+#include "svc/server.hpp"
+#include "svc/service_state.hpp"
+#include "svc/telemetry.hpp"
+
+namespace {
+
+struct LoadResult {
+  double wall_ms = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  bool reconciles = false;
+  std::string metrics_json;
+  // Server-side latency per endpoint: {name, count, p50, p90, p99}.
+  struct Endpoint {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<Endpoint> endpoints;
+};
+
+}  // namespace
+
+int main() {
+  using namespace certchain;
+  bench::print_header(
+      "Ext: certchain-serve closed-loop throughput and latency",
+      "loopback clients vs. 1/4/hw request workers; manifest triple checked");
+
+  const datagen::ScenarioConfig config = bench::config_from_env();
+  auto scenario = datagen::build_study_scenario(config);
+  const netsim::GeneratedLogs logs = scenario->generate_logs();
+  std::fprintf(stderr, "[certchain] corpus: %zu ssl rows, %zu x509 rows\n",
+               logs.ssl.size(), logs.x509.size());
+
+  svc::ServiceState state(scenario->world.stores(), scenario->world.ct_logs(),
+                          scenario->vendors, &scenario->world.cross_signs());
+  state.load(logs.ssl, logs.x509);
+  std::fprintf(stderr, "[certchain] corpus ready: %zu unique chains\n",
+               state.unique_chains());
+
+  // A handful of issuer DNs from the corpus for the classify mix.
+  std::vector<std::string> issuers;
+  for (const auto& record : logs.x509) {
+    issuers.push_back(zeek::certificate_from_record(record).issuer.to_string());
+    if (issuers.size() >= 8) break;
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 250;
+
+  const auto run_load = [&](std::size_t workers) {
+    LoadResult result;
+    svc::SyncTelemetry telemetry;
+    svc::ServerOptions options;
+    options.workers = workers;
+    options.queue_capacity = 256;
+    svc::Server server(state, telemetry, options);
+    std::string error;
+    if (!server.start(&error)) {
+      std::fprintf(stderr, "bench_ext_serve: %s\n", error.c_str());
+      return result;
+    }
+
+    std::atomic<std::uint64_t> errors{0};
+    const obs::Stopwatch stopwatch;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        svc::Client client;
+        if (!client.connect("127.0.0.1", server.port())) {
+          errors.fetch_add(kRequestsPerClient);
+          return;
+        }
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          std::optional<svc::Response> response;
+          switch ((c + i) % 4) {
+            case 0: response = client.ping(); break;
+            case 1:
+              response = client.classify_issuer(
+                  issuers[static_cast<std::size_t>(i) % issuers.size()]);
+              break;
+            case 2: response = client.report_section("totals"); break;
+            default: response = client.metrics(); break;
+          }
+          if (!response.has_value() || !response->ok) errors.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& thread : clients) thread.join();
+    result.wall_ms = stopwatch.elapsed_ms();
+    result.requests =
+        static_cast<std::uint64_t>(kClients) * kRequestsPerClient;
+    result.errors = errors.load();
+
+    server.request_stop();
+    server.wait();
+
+    const std::uint64_t in = telemetry.counter("stage.svc.requests.in");
+    const std::uint64_t admitted =
+        telemetry.counter("stage.svc.requests.admitted");
+    const std::uint64_t dropped =
+        telemetry.counter("stage.svc.requests.dropped");
+    result.reconciles = in == admitted + dropped && in == result.requests;
+    result.metrics_json = telemetry.export_json();
+    telemetry.with_context([&](const obs::RunContext& context) {
+      for (const auto& [name, histogram] : context.metrics.timings()) {
+        if (name.rfind("svc.endpoint.", 0) != 0) continue;
+        result.endpoints.push_back({name, histogram.count(), histogram.p50(),
+                                    histogram.p90(), histogram.p99()});
+      }
+    });
+    return result;
+  };
+
+  const std::size_t hardware = par::resolve_threads(0);
+  std::vector<std::size_t> worker_counts = {1, 4};
+  if (std::find(worker_counts.begin(), worker_counts.end(), hardware) ==
+      worker_counts.end()) {
+    worker_counts.push_back(hardware);
+  }
+
+  const char* metrics_prefix = std::getenv("CERTCHAIN_METRICS");
+  bool all_ok = true;
+
+  bench::print_section("Closed-loop throughput (4 clients, 1000 requests)");
+  util::TextTable throughput(
+      {"Workers", "Wall ms", "Req/s", "Errors", "Triple"});
+  std::vector<LoadResult> results;
+  for (const std::size_t workers : worker_counts) {
+    LoadResult result = run_load(workers);
+    const std::string label = std::to_string(workers) +
+                              (workers == hardware ? " (hw)" : "");
+    throughput.add_row(
+        {label, util::format_double(result.wall_ms, 1),
+         util::format_double(result.requests * 1000.0 /
+                                 std::max(result.wall_ms, 1e-9),
+                             0),
+         std::to_string(result.errors),
+         result.reconciles ? "reconciles" : "BROKEN"});
+    all_ok = all_ok && result.reconciles && result.errors == 0;
+    if (metrics_prefix != nullptr) {
+      const std::string path =
+          std::string(metrics_prefix) + std::to_string(workers) + ".json";
+      std::ofstream out(path, std::ios::binary);
+      out << result.metrics_json;
+      std::fprintf(stderr, "[certchain] wrote %s\n", path.c_str());
+    }
+    results.push_back(std::move(result));
+  }
+  std::printf("%s\n", throughput.render().c_str());
+
+  bench::print_section("Server-side endpoint latency (hw workers)");
+  util::TextTable latency({"Endpoint", "Count", "p50 ms", "p90 ms", "p99 ms"});
+  for (const LoadResult::Endpoint& endpoint : results.back().endpoints) {
+    latency.add_row({endpoint.name, std::to_string(endpoint.count),
+                     util::format_double(endpoint.p50, 3),
+                     util::format_double(endpoint.p90, 3),
+                     util::format_double(endpoint.p99, 3)});
+  }
+  std::printf("%s\n", latency.render().c_str());
+
+  std::printf("Accounting: %s\n",
+              all_ok ? "every configuration answered every request and its "
+                       "manifest triple reconciled"
+                     : "FAILURE — dropped requests or broken accounting");
+  return all_ok ? 0 : 1;
+}

@@ -76,7 +76,13 @@ StudyReport StudyPipeline::run_records_serial(
   return analyze_corpus(corpus, obs);
 }
 
-StudyReport StudyPipeline::analyze_corpus(CorpusIndex& corpus,
+StudyReport StudyPipeline::analyze(const CorpusIndex& corpus,
+                                   obs::RunContext* obs) const {
+  auto pipeline_timer = stage_timer(obs, "pipeline");
+  return analyze_corpus(corpus, obs);
+}
+
+StudyReport StudyPipeline::analyze_corpus(const CorpusIndex& corpus,
                                           obs::RunContext* obs) const {
   StudyReport report;
   report.totals = corpus.totals();

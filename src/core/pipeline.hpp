@@ -123,48 +123,14 @@ class StudyPipeline {
   StudyReport run(const StudyInput& input, const RunOptions& options = {},
                   obs::RunContext* obs = nullptr) const;
 
-  // --- Deprecated pre-PR-4 overloads -------------------------------------
-  // Thin shims over run(StudyInput, RunOptions); see the migration table in
-  // DESIGN.md §11. Scheduled for removal once downstream callers migrate.
-
-  [[deprecated("use run(StudyInput::records(ssl, x509), options, obs)")]]
-  StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
-                  const std::vector<zeek::X509LogRecord>& x509,
-                  obs::RunContext* obs = nullptr) const {
-    return run(StudyInput::records(ssl, x509), RunOptions{}, obs);
-  }
-
-  [[deprecated("use run(StudyInput::records(ssl, x509), options, obs)")]]
-  StudyReport run(const std::vector<zeek::SslLogRecord>& ssl,
-                  const std::vector<zeek::X509LogRecord>& x509,
-                  const RunOptions& options,
-                  obs::RunContext* obs = nullptr) const {
-    return run(StudyInput::records(ssl, x509), options, obs);
-  }
-
-  [[deprecated("use run(StudyInput::records(logs), options, obs)")]]
-  StudyReport run(const netsim::GeneratedLogs& logs,
-                  obs::RunContext* obs = nullptr) const {
-    return run(StudyInput::records(logs), RunOptions{}, obs);
-  }
-
-  [[deprecated("use run(StudyInput::text(ssl, x509), options, obs)")]]
-  StudyReport run_from_text(std::string_view ssl_log_text,
-                            std::string_view x509_log_text,
-                            const IngestOptions& options = {},
-                            obs::RunContext* obs = nullptr) const {
-    RunOptions run_options;
-    run_options.ingest = options;
-    return run(StudyInput::text(ssl_log_text, x509_log_text), run_options, obs);
-  }
-
-  [[deprecated("use run(StudyInput::text(ssl, x509), options, obs)")]]
-  StudyReport run_from_text(std::string_view ssl_log_text,
-                            std::string_view x509_log_text,
-                            const RunOptions& options,
-                            obs::RunContext* obs = nullptr) const {
-    return run(StudyInput::text(ssl_log_text, x509_log_text), options, obs);
-  }
+  /// Stages 1-4 over an already-built corpus index, without re-ingesting or
+  /// re-joining anything. This is the query-serving entry point (DESIGN.md
+  /// §12): svc::ServiceState keeps a live CorpusIndex warm across
+  /// ingest_append calls and re-analyzes it here — producing exactly the
+  /// StudyReport a batch run over the same folded connections would, which
+  /// is what the serve-vs-batch differential suite asserts.
+  StudyReport analyze(const CorpusIndex& corpus,
+                      obs::RunContext* obs = nullptr) const;
 
   /// Figure 1 outlier rule: drop unique chains longer than this when they
   /// were observed exactly once.
@@ -197,8 +163,9 @@ class StudyPipeline {
   // strategy once joining is done). Publishes the join/enrich/categorize/
   // structure/graphs stage triples and counters; the caller owns the
   // enclosing "pipeline" stage timer.
-  StudyReport analyze_corpus(CorpusIndex& corpus, obs::RunContext* obs) const;
-  StudyReport analyze_corpus_on_pool(par::ThreadPool& pool, CorpusIndex& corpus,
+  StudyReport analyze_corpus(const CorpusIndex& corpus, obs::RunContext* obs) const;
+  StudyReport analyze_corpus_on_pool(par::ThreadPool& pool,
+                                     const CorpusIndex& corpus,
                                      obs::RunContext* obs) const;
 
   /// The sharded analysis path; `pool` carries the worker count.

@@ -261,7 +261,7 @@ StudyReport StudyPipeline::run_on_pool(par::ThreadPool& pool,
 }
 
 StudyReport StudyPipeline::analyze_corpus_on_pool(par::ThreadPool& pool,
-                                                  CorpusIndex& corpus,
+                                                  const CorpusIndex& corpus,
                                                   obs::RunContext* obs) const {
   StudyReport report;
   const std::size_t shard_count = pool.size();

@@ -42,6 +42,14 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
 void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
 

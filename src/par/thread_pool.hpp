@@ -42,6 +42,13 @@ class ThreadPool {
   /// tasks — the workers blocking on the inner batch would deadlock.
   void run_batch(std::vector<std::function<void()>> tasks);
 
+  /// Enqueues one task without waiting for it — the service-layer shape
+  /// (svc::Server submits its long-running request-worker loops this way).
+  /// The task must not throw; an escaping exception would terminate the
+  /// worker thread's std::function call and the process. The destructor
+  /// still drains the queue before joining, so every submitted task runs.
+  void submit(std::function<void()> task);
+
  private:
   void worker_loop();
 

@@ -1,0 +1,204 @@
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace certchain::svc {
+
+namespace {
+
+using obs::json::Writer;
+
+std::string string_array_payload(std::string_view first_key,
+                                 const std::vector<std::string>& first,
+                                 std::string_view second_key,
+                                 const std::vector<std::string>& second) {
+  Writer writer;
+  writer.begin_object();
+  writer.key(first_key);
+  writer.begin_array();
+  for (const std::string& row : first) writer.value_string(row);
+  writer.end_array();
+  writer.key(second_key);
+  writer.begin_array();
+  for (const std::string& row : second) writer.value_string(row);
+  writer.end_array();
+  writer.end_object();
+  return std::move(writer).str();
+}
+
+}  // namespace
+
+bool Client::connect(const std::string& host, std::uint16_t port,
+                     std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    if (error != nullptr) *error = "inet_pton(" + host + ") failed";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    if (error != nullptr) *error = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_ = FrameReader();
+}
+
+bool Client::send_raw(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<Frame> Client::read_frame() {
+  if (fd_ < 0) return std::nullopt;
+  char buffer[64 * 1024];
+  for (;;) {
+    DecodeResult decoded = reader_.next();
+    if (decoded.status == DecodeResult::Status::kFrame) {
+      return std::move(decoded.frame);
+    }
+    if (decoded.status == DecodeResult::Status::kError) {
+      // A client that cannot trust its inbound framing must hang up,
+      // recoverable or not — there is no one to send a typed error to.
+      close();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    reader_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+std::optional<Response> Client::call(MessageType request,
+                                     std::string_view payload) {
+  if (!send_raw(encode_frame(request, payload))) return std::nullopt;
+  std::optional<Frame> frame = read_frame();
+  if (!frame.has_value()) return std::nullopt;
+
+  Response response;
+  response.frame = std::move(*frame);
+  if (!response.frame.payload.empty()) {
+    if (auto parsed = obs::json::parse(response.frame.payload)) {
+      response.payload = std::move(*parsed);
+    }
+  }
+  if (response.frame.type == MessageType::kError) {
+    if (const obs::json::Value* code = response.payload.find("code")) {
+      for (const ErrorCode candidate :
+           {ErrorCode::kBadMagic, ErrorCode::kBadVersion, ErrorCode::kBadType,
+            ErrorCode::kOversized, ErrorCode::kBadPayload,
+            ErrorCode::kOverloaded, ErrorCode::kShuttingDown,
+            ErrorCode::kInternal}) {
+        if (code->string == error_code_name(candidate)) {
+          response.error = candidate;
+          break;
+        }
+      }
+    }
+    if (const obs::json::Value* message = response.payload.find("message")) {
+      response.error_message = message->string;
+    }
+  } else {
+    response.ok = response.frame.type == response_for(request);
+  }
+  return response;
+}
+
+std::optional<Response> Client::ping() {
+  return call(MessageType::kPing, "");
+}
+
+std::optional<Response> Client::classify_issuer(std::string_view issuer_dn) {
+  Writer writer;
+  writer.begin_object();
+  writer.key("issuer");
+  writer.value_string(issuer_dn);
+  writer.end_object();
+  return call(MessageType::kClassifyIssuer, writer.str());
+}
+
+std::optional<Response> Client::categorize_chain_pem(
+    std::string_view pem_bundle) {
+  Writer writer;
+  writer.begin_object();
+  writer.key("pem");
+  writer.value_string(pem_bundle);
+  writer.end_object();
+  return call(MessageType::kCategorizeChain, writer.str());
+}
+
+std::optional<Response> Client::categorize_chain_rows(
+    const std::vector<std::string>& x509_rows) {
+  Writer writer;
+  writer.begin_object();
+  writer.key("x509_rows");
+  writer.begin_array();
+  for (const std::string& row : x509_rows) writer.value_string(row);
+  writer.end_array();
+  writer.end_object();
+  return call(MessageType::kCategorizeChain, writer.str());
+}
+
+std::optional<Response> Client::report_section(std::string_view section) {
+  Writer writer;
+  writer.begin_object();
+  writer.key("section");
+  writer.value_string(section);
+  writer.end_object();
+  return call(MessageType::kReportSection, writer.str());
+}
+
+std::optional<Response> Client::ingest_append(
+    const std::vector<std::string>& ssl_rows,
+    const std::vector<std::string>& x509_rows) {
+  return call(MessageType::kIngestAppend,
+              string_array_payload("ssl_rows", ssl_rows, "x509_rows", x509_rows));
+}
+
+std::optional<Response> Client::metrics() {
+  return call(MessageType::kMetrics, "");
+}
+
+std::optional<Response> Client::shutdown() {
+  return call(MessageType::kShutdown, "");
+}
+
+}  // namespace certchain::svc

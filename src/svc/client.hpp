@@ -1,0 +1,87 @@
+// Blocking loopback client for the certchain.svc.wire protocol.
+//
+// One Client is one connection, used from one thread (the server serializes
+// responses per connection, so a single-threaded request/response loop is
+// the natural shape; concurrency tests open N Clients). The generic call()
+// sends one request frame and blocks for the matching response; the typed
+// helpers wrap the endpoint payload schemas from DESIGN.md §12.3. send_raw()
+// exists so the protocol tests can feed the server deliberately damaged
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "svc/protocol.hpp"
+
+namespace certchain::svc {
+
+/// One request/response exchange, decoded.
+struct Response {
+  Frame frame;                   // the raw response frame
+  obs::json::Value payload;      // parsed JSON payload (null Value if none)
+  bool ok = false;               // true when frame.type is the success type
+  ErrorCode error = ErrorCode::kInternal;  // set when frame.type == kError
+  std::string error_message;               // ditto
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), reader_(std::move(other.reader_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      reader_ = std::move(other.reader_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool connect(const std::string& host, std::uint16_t port,
+               std::string* error = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request frame and blocks for one response frame. Returns
+  /// nullopt on transport failure (connection closed / unrecoverable framing
+  /// damage in the response stream).
+  std::optional<Response> call(MessageType request, std::string_view payload);
+
+  /// Writes arbitrary bytes to the socket (protocol-damage tests).
+  bool send_raw(std::string_view bytes);
+  /// Reads the next frame off the socket, independent of any request.
+  std::optional<Frame> read_frame();
+
+  // --- typed endpoint helpers (DESIGN.md §12.3 schemas) -------------------
+  std::optional<Response> ping();
+  std::optional<Response> classify_issuer(std::string_view issuer_dn);
+  std::optional<Response> categorize_chain_pem(std::string_view pem_bundle);
+  std::optional<Response> categorize_chain_rows(
+      const std::vector<std::string>& x509_rows);
+  std::optional<Response> report_section(std::string_view section);
+  std::optional<Response> ingest_append(
+      const std::vector<std::string>& ssl_rows,
+      const std::vector<std::string>& x509_rows);
+  std::optional<Response> metrics();
+  std::optional<Response> shutdown();
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace certchain::svc

@@ -1,0 +1,349 @@
+#include "svc/handlers.hpp"
+
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/stopwatch.hpp"
+#include "x509/pem.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_io.hpp"
+
+namespace certchain::svc {
+
+namespace {
+
+using obs::json::Value;
+using obs::json::Writer;
+
+/// Parses a request payload; an empty payload reads as an empty object so
+/// parameterless endpoints (ping, metrics, shutdown) need no body.
+std::optional<Value> parse_payload(const std::string& payload, std::string* error) {
+  if (payload.empty()) {
+    Value empty;
+    empty.kind = Value::Kind::kObject;
+    return empty;
+  }
+  return obs::json::parse(payload, error);
+}
+
+std::optional<std::vector<std::string>> string_array(const Value& object,
+                                                     std::string_view key) {
+  const Value* member = object.find(key);
+  if (member == nullptr) return std::vector<std::string>{};  // absent = empty
+  if (!member->is_array()) return std::nullopt;
+  std::vector<std::string> out;
+  out.reserve(member->array.size());
+  for (const Value& item : member->array) {
+    if (!item.is_string()) return std::nullopt;
+    out.push_back(item.string);
+  }
+  return out;
+}
+
+void write_path_analysis(Writer& writer, const chain::PathAnalysis& paths) {
+  writer.begin_object();
+  writer.key("pairs");
+  writer.value_uint(paths.match.pair_count());
+  writer.key("mismatched_pairs");
+  writer.value_uint(paths.match.mismatch_count());
+  writer.key("complete_path");
+  writer.value_bool(paths.complete_path.has_value());
+  if (paths.complete_path.has_value()) {
+    writer.key("path_begin");
+    writer.value_uint(paths.complete_path->begin);
+    writer.key("path_end");
+    writer.value_uint(paths.complete_path->end);
+  }
+  writer.key("unnecessary_certificates");
+  writer.begin_array();
+  for (const std::size_t index : paths.unnecessary_certificates) {
+    writer.value_uint(index);
+  }
+  writer.end_array();
+  writer.end_object();
+}
+
+void write_lints(Writer& writer, const chain::LintReport& lints) {
+  writer.begin_array();
+  for (const chain::LintFinding& finding : lints.findings) {
+    writer.begin_object();
+    writer.key("code");
+    writer.value_string(chain::lint_code_name(finding.code));
+    writer.key("severity");
+    writer.value_string(chain::lint_severity_name(finding.severity));
+    if (finding.position != static_cast<std::size_t>(-1)) {
+      writer.key("position");
+      writer.value_uint(finding.position);
+    }
+    writer.key("message");
+    writer.value_string(finding.message);
+    writer.key("recommendation");
+    writer.value_string(finding.recommendation);
+    writer.end_object();
+  }
+  writer.end_array();
+}
+
+/// Resolves the submitted chain: {"pem": "<bundle>"} or
+/// {"x509_rows": [<zeek X509.log body rows>, ...]} in delivery order.
+std::optional<chain::CertificateChain> chain_from_request(const Value& object,
+                                                          std::string* error) {
+  const Value* pem = object.find("pem");
+  if (pem != nullptr) {
+    if (!pem->is_string()) {
+      *error = "\"pem\" must be a string";
+      return std::nullopt;
+    }
+    std::size_t malformed = 0;
+    std::vector<x509::Certificate> certs =
+        x509::decode_pem_bundle(pem->string, &malformed);
+    if (certs.empty()) {
+      *error = "PEM bundle contains no decodable certificate";
+      return std::nullopt;
+    }
+    if (malformed != 0) {
+      *error = "PEM bundle contains " + std::to_string(malformed) +
+               " undecodable block(s)";
+      return std::nullopt;
+    }
+    return chain::CertificateChain(std::move(certs));
+  }
+
+  const auto rows = string_array(object, "x509_rows");
+  if (!rows.has_value()) {
+    *error = "\"x509_rows\" must be an array of strings";
+    return std::nullopt;
+  }
+  if (rows->empty()) {
+    *error = "request carries neither \"pem\" nor \"x509_rows\"";
+    return std::nullopt;
+  }
+  chain::CertificateChain chain;
+  for (std::size_t i = 0; i < rows->size(); ++i) {
+    std::string row_error;
+    const auto record = zeek::parse_x509_row((*rows)[i], &row_error);
+    if (!record.has_value()) {
+      *error = "x509_rows[" + std::to_string(i) + "]: " + row_error;
+      return std::nullopt;
+    }
+    chain.push_back(zeek::certificate_from_record(*record));
+  }
+  return chain;
+}
+
+/// Section selection for report_section; "full" mirrors the CLI default.
+std::optional<core::ReportTextOptions> section_options(const std::string& name) {
+  core::ReportTextOptions options;
+  options.totals = false;
+  options.categories = false;
+  options.interception = false;
+  options.hybrid = false;
+  options.non_public = false;
+  options.graphs = false;
+  options.data_quality = false;
+  if (name == "totals") options.totals = true;
+  else if (name == "categories") options.categories = true;
+  else if (name == "interception") options.interception = true;
+  else if (name == "hybrid") options.hybrid = true;
+  else if (name == "non_public") options.non_public = true;
+  else if (name == "graphs") options.graphs = true;
+  else if (name == "full") options = core::ReportTextOptions{};
+  else return std::nullopt;
+  return options;
+}
+
+}  // namespace
+
+std::string RequestHandlers::handle(const Frame& request,
+                                    bool* shutdown_requested) const {
+  const std::string endpoint(message_type_name(request.type));
+  const obs::Stopwatch stopwatch;
+  telemetry_->count("svc.endpoint." + endpoint + ".requests");
+  std::string response;
+  try {
+    response = dispatch(request, shutdown_requested);
+  } catch (const std::exception& error) {
+    response = encode_error(ErrorCode::kInternal, error.what());
+  } catch (...) {
+    response = encode_error(ErrorCode::kInternal, "unknown handler failure");
+  }
+  if (static_cast<std::uint8_t>(response[5]) ==
+      static_cast<std::uint8_t>(MessageType::kError)) {
+    telemetry_->count("svc.endpoint." + endpoint + ".errors");
+  }
+  telemetry_->observe_timing("svc.endpoint." + endpoint + ".ms",
+                             stopwatch.elapsed_ms());
+  return response;
+}
+
+std::string RequestHandlers::dispatch(const Frame& request,
+                                      bool* shutdown_requested) const {
+  std::string parse_error;
+  const std::optional<Value> payload = parse_payload(request.payload, &parse_error);
+  if (!payload.has_value()) {
+    return encode_error(ErrorCode::kBadPayload, "payload is not valid JSON: " + parse_error);
+  }
+  if (!payload->is_object()) {
+    return encode_error(ErrorCode::kBadPayload, "payload must be a JSON object");
+  }
+
+  Writer writer;
+  switch (request.type) {
+    case MessageType::kPing: {
+      writer.begin_object();
+      writer.key("ok");
+      writer.value_bool(true);
+      writer.key("schema");
+      writer.value_string(kWireSchemaName);
+      writer.key("version");
+      writer.value_uint(kWireVersion);
+      writer.key("generation");
+      writer.value_uint(state_->generation());
+      writer.key("unique_chains");
+      writer.value_uint(state_->unique_chains());
+      writer.end_object();
+      return encode_frame(MessageType::kPingOk, writer.str());
+    }
+
+    case MessageType::kClassifyIssuer: {
+      const Value* issuer = payload->find("issuer");
+      if (issuer == nullptr || !issuer->is_string()) {
+        return encode_error(ErrorCode::kBadPayload,
+                            "classify_issuer needs a string \"issuer\" field");
+      }
+      const auto name = x509::DistinguishedName::parse(issuer->string);
+      if (!name.has_value()) {
+        return encode_error(ErrorCode::kBadPayload,
+                            "\"issuer\" is not a parseable RFC 4514 DN");
+      }
+      const truststore::IssuerClass issuer_class = state_->classify_issuer(*name);
+      writer.begin_object();
+      writer.key("issuer");
+      writer.value_string(name->to_string());
+      writer.key("canonical");
+      writer.value_string(name->canonical());
+      writer.key("class");
+      writer.value_string(truststore::issuer_class_name(issuer_class));
+      writer.end_object();
+      return encode_frame(MessageType::kClassifyIssuerOk, writer.str());
+    }
+
+    case MessageType::kCategorizeChain: {
+      std::string chain_error;
+      const auto submitted = chain_from_request(*payload, &chain_error);
+      if (!submitted.has_value()) {
+        return encode_error(ErrorCode::kBadPayload, chain_error);
+      }
+      const ChainVerdict verdict = state_->categorize_chain(*submitted);
+      writer.begin_object();
+      writer.key("category");
+      writer.value_string(chain::chain_category_name(verdict.category));
+      writer.key("length");
+      writer.value_uint(submitted->length());
+      writer.key("generation");
+      writer.value_uint(verdict.generation);
+      writer.key("paths");
+      write_path_analysis(writer, verdict.paths);
+      if (verdict.hybrid.has_value()) {
+        writer.key("hybrid");
+        writer.begin_object();
+        writer.key("structure");
+        writer.value_string(chain::hybrid_structure_name(verdict.hybrid->structure));
+        if (verdict.hybrid->structure == chain::HybridStructure::kNoCompletePath) {
+          writer.key("no_path_category");
+          writer.value_string(
+              chain::no_path_category_name(verdict.hybrid->no_path_category));
+        }
+        writer.key("public_leaf_without_issuer");
+        writer.value_bool(verdict.hybrid->public_leaf_without_issuer);
+        writer.end_object();
+      }
+      writer.key("lints");
+      write_lints(writer, verdict.lints);
+      writer.end_object();
+      return encode_frame(MessageType::kCategorizeChainOk, writer.str());
+    }
+
+    case MessageType::kReportSection: {
+      const Value* section = payload->find("section");
+      const std::string name =
+          section != nullptr && section->is_string() ? section->string : "full";
+      const auto options = section_options(name);
+      if (!options.has_value()) {
+        return encode_error(ErrorCode::kBadPayload,
+                            "unknown report section \"" + name + "\"");
+      }
+      writer.begin_object();
+      writer.key("section");
+      writer.value_string(name);
+      writer.key("generation");
+      writer.value_uint(state_->generation());
+      writer.key("text");
+      writer.value_string(state_->report_section(*options));
+      writer.end_object();
+      return encode_frame(MessageType::kReportSectionOk, writer.str());
+    }
+
+    case MessageType::kIngestAppend: {
+      const auto ssl_rows = string_array(*payload, "ssl_rows");
+      const auto x509_rows = string_array(*payload, "x509_rows");
+      if (!ssl_rows.has_value() || !x509_rows.has_value()) {
+        return encode_error(
+            ErrorCode::kBadPayload,
+            "ingest_append needs \"ssl_rows\"/\"x509_rows\" string arrays");
+      }
+      if (ssl_rows->empty() && x509_rows->empty()) {
+        return encode_error(ErrorCode::kBadPayload,
+                            "ingest_append carries no rows");
+      }
+      const AppendResult result = state_->ingest_append(*ssl_rows, *x509_rows);
+      telemetry_->count("svc.ingest.ssl_rows", result.ssl_added);
+      telemetry_->count("svc.ingest.x509_rows", result.x509_added);
+      telemetry_->count("svc.ingest.rows_malformed",
+                        result.ssl_malformed + result.x509_malformed);
+      writer.begin_object();
+      writer.key("ssl_added");
+      writer.value_uint(result.ssl_added);
+      writer.key("x509_added");
+      writer.value_uint(result.x509_added);
+      writer.key("ssl_malformed");
+      writer.value_uint(result.ssl_malformed);
+      writer.key("x509_malformed");
+      writer.value_uint(result.x509_malformed);
+      writer.key("generation");
+      writer.value_uint(result.generation);
+      writer.key("unique_chains");
+      writer.value_uint(result.unique_chains);
+      writer.key("connections");
+      writer.value_uint(result.connections);
+      writer.end_object();
+      return encode_frame(MessageType::kIngestAppendOk, writer.str());
+    }
+
+    case MessageType::kMetrics: {
+      // The payload *is* the certchain.obs.metrics document.
+      return encode_frame(MessageType::kMetricsOk, telemetry_->export_json());
+    }
+
+    case MessageType::kShutdown: {
+      if (shutdown_requested != nullptr) *shutdown_requested = true;
+      writer.begin_object();
+      writer.key("ok");
+      writer.value_bool(true);
+      writer.key("draining");
+      writer.value_bool(true);
+      writer.end_object();
+      return encode_frame(MessageType::kShutdownOk, writer.str());
+    }
+
+    default:
+      return encode_error(ErrorCode::kBadType,
+                          "frame type is not a request: " +
+                              std::string(message_type_name(request.type)));
+  }
+}
+
+}  // namespace certchain::svc

@@ -1,0 +1,37 @@
+// Request dispatch: one decoded wire frame in, one encoded response frame
+// out (DESIGN.md §12.3).
+//
+// Handlers are pure request -> response computations over ServiceState; the
+// server's worker threads call handle() concurrently, and all shared
+// mutability lives behind ServiceState's reader/writer lock and the
+// SyncTelemetry mutex. Every endpoint records a `svc.endpoint.<name>.requests`
+// counter and a `svc.endpoint.<name>.ms` latency histogram (p50/p90/p99 via
+// the registry's timing map); failures add `svc.endpoint.<name>.errors`.
+#pragma once
+
+#include <string>
+
+#include "svc/protocol.hpp"
+#include "svc/service_state.hpp"
+#include "svc/telemetry.hpp"
+
+namespace certchain::svc {
+
+class RequestHandlers {
+ public:
+  RequestHandlers(ServiceState& state, SyncTelemetry& telemetry)
+      : state_(&state), telemetry_(&telemetry) {}
+
+  /// Handles one request frame and returns the complete encoded response
+  /// frame (success or typed error — never throws). Sets
+  /// `*shutdown_requested` when the request was a kShutdown.
+  std::string handle(const Frame& request, bool* shutdown_requested) const;
+
+ private:
+  std::string dispatch(const Frame& request, bool* shutdown_requested) const;
+
+  ServiceState* state_;
+  SyncTelemetry* telemetry_;
+};
+
+}  // namespace certchain::svc

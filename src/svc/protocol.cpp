@@ -1,0 +1,149 @@
+#include "svc/protocol.hpp"
+
+#include "obs/json.hpp"
+
+namespace certchain::svc {
+
+bool is_request_type(std::uint8_t type) { return type >= 0x01 && type <= 0x7E; }
+
+bool is_known_request(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MessageType::kPing) &&
+         type <= static_cast<std::uint8_t>(MessageType::kShutdown);
+}
+
+MessageType response_for(MessageType request) {
+  return static_cast<MessageType>(static_cast<std::uint8_t>(request) | 0x80);
+}
+
+std::string_view message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kPing: return "ping";
+    case MessageType::kClassifyIssuer: return "classify_issuer";
+    case MessageType::kCategorizeChain: return "categorize_chain";
+    case MessageType::kReportSection: return "report_section";
+    case MessageType::kIngestAppend: return "ingest_append";
+    case MessageType::kMetrics: return "metrics";
+    case MessageType::kShutdown: return "shutdown";
+    case MessageType::kPingOk: return "ping_ok";
+    case MessageType::kClassifyIssuerOk: return "classify_issuer_ok";
+    case MessageType::kCategorizeChainOk: return "categorize_chain_ok";
+    case MessageType::kReportSectionOk: return "report_section_ok";
+    case MessageType::kIngestAppendOk: return "ingest_append_ok";
+    case MessageType::kMetricsOk: return "metrics_ok";
+    case MessageType::kShutdownOk: return "shutdown_ok";
+    case MessageType::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadMagic: return "BAD_MAGIC";
+    case ErrorCode::kBadVersion: return "BAD_VERSION";
+    case ErrorCode::kBadType: return "BAD_TYPE";
+    case ErrorCode::kOversized: return "OVERSIZED";
+    case ErrorCode::kBadPayload: return "BAD_PAYLOAD";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
+    case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string encode_frame(MessageType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame.append(kWireMagic);
+  frame.push_back(static_cast<char>(kWireVersion));
+  frame.push_back(static_cast<char>(type));
+  frame.push_back('\0');
+  frame.push_back('\0');
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(length & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+std::string encode_error(ErrorCode code, std::string_view message) {
+  obs::json::Writer writer;
+  writer.begin_object();
+  writer.key("code");
+  writer.value_string(error_code_name(code));
+  writer.key("message");
+  writer.value_string(message);
+  writer.end_object();
+  return encode_frame(MessageType::kError, writer.str());
+}
+
+DecodeResult FrameReader::next() {
+  DecodeResult result;
+  if (buffer_.size() < kHeaderBytes) {
+    // A short buffer could still be damaged beyond doubt: reject a wrong
+    // magic as soon as the prefix disagrees, without waiting for 12 bytes.
+    const std::size_t check = std::min(buffer_.size(), kWireMagic.size());
+    if (buffer_.compare(0, check, kWireMagic, 0, check) != 0) {
+      result.status = DecodeResult::Status::kError;
+      result.error = ErrorCode::kBadMagic;
+      result.message = "frame header does not start with CSVC";
+      result.recoverable = false;
+      return result;
+    }
+    result.status = DecodeResult::Status::kNeedMore;
+    return result;
+  }
+
+  if (buffer_.compare(0, kWireMagic.size(), kWireMagic) != 0) {
+    result.status = DecodeResult::Status::kError;
+    result.error = ErrorCode::kBadMagic;
+    result.message = "frame header does not start with CSVC";
+    result.recoverable = false;
+    return result;
+  }
+  const std::uint8_t version = static_cast<std::uint8_t>(buffer_[4]);
+  if (version != kWireVersion) {
+    result.status = DecodeResult::Status::kError;
+    result.error = ErrorCode::kBadVersion;
+    result.message = "unsupported wire version " + std::to_string(version);
+    result.recoverable = false;
+    return result;
+  }
+  const std::uint64_t length =
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(buffer_[8])) << 24) |
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(buffer_[9])) << 16) |
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(buffer_[10])) << 8) |
+      static_cast<std::uint64_t>(static_cast<std::uint8_t>(buffer_[11]));
+  if (length > kMaxPayloadBytes) {
+    result.status = DecodeResult::Status::kError;
+    result.error = ErrorCode::kOversized;
+    result.message = "declared payload length " + std::to_string(length) +
+                     " exceeds limit " + std::to_string(kMaxPayloadBytes);
+    result.recoverable = false;
+    return result;
+  }
+  if (buffer_.size() < kHeaderBytes + length) {
+    result.status = DecodeResult::Status::kNeedMore;
+    return result;
+  }
+
+  const std::uint8_t type = static_cast<std::uint8_t>(buffer_[5]);
+  result.frame.payload = buffer_.substr(kHeaderBytes, length);
+  buffer_.erase(0, kHeaderBytes + length);
+  if (!is_known_request(type) && type != static_cast<std::uint8_t>(MessageType::kError) &&
+      !(type >= 0x81 && type <= 0x87)) {
+    // The frame was well-delimited, so the stream stays in sync: report the
+    // unknown type as a recoverable error and keep decoding after it.
+    result.status = DecodeResult::Status::kError;
+    result.error = ErrorCode::kBadType;
+    result.message = "unknown message type " + std::to_string(type);
+    result.recoverable = true;
+    return result;
+  }
+  result.status = DecodeResult::Status::kFrame;
+  result.frame.type = static_cast<MessageType>(type);
+  return result;
+}
+
+}  // namespace certchain::svc

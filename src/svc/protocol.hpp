@@ -1,0 +1,123 @@
+// The certchain.svc.wire v1 framed protocol (DESIGN.md §12.2).
+//
+// Every message on a service connection is one frame: a fixed 12-byte header
+// followed by a JSON payload. The header is
+//
+//   bytes 0..3   magic "CSVC"
+//   byte  4      wire version (kWireVersion)
+//   byte  5      message type (MessageType)
+//   bytes 6..7   reserved, must be zero
+//   bytes 8..11  payload length, unsigned 32-bit big-endian
+//
+// Requests occupy 0x01..0x7E; each response type is its request type with the
+// high bit set; 0xFF is the typed error frame, whose payload carries
+// {"code": <ErrorCode slug>, "message": ...}. The decoder is incremental
+// (FrameReader::feed + next) and classifies damage precisely: a malformed
+// header (bad magic, bad version, oversized declared length) desynchronizes
+// the byte stream and is fatal to the connection; an unknown type arrives in
+// a well-delimited frame and is recoverable — the server answers with a typed
+// error and keeps serving. Versioning rules live in DESIGN.md §12.5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace certchain::svc {
+
+inline constexpr std::string_view kWireSchemaName = "certchain.svc.wire";
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::string_view kWireMagic = "CSVC";
+inline constexpr std::size_t kHeaderBytes = 12;
+/// Upper bound on a declared payload length; anything larger is treated as a
+/// framing attack/corruption, not an allocation request.
+inline constexpr std::size_t kMaxPayloadBytes = 16 * 1024 * 1024;
+
+enum class MessageType : std::uint8_t {
+  // Requests.
+  kPing = 0x01,
+  kClassifyIssuer = 0x02,
+  kCategorizeChain = 0x03,
+  kReportSection = 0x04,
+  kIngestAppend = 0x05,
+  kMetrics = 0x06,
+  kShutdown = 0x07,
+  // Responses: request type | 0x80.
+  kPingOk = 0x81,
+  kClassifyIssuerOk = 0x82,
+  kCategorizeChainOk = 0x83,
+  kReportSectionOk = 0x84,
+  kIngestAppendOk = 0x85,
+  kMetricsOk = 0x86,
+  kShutdownOk = 0x87,
+  kError = 0xFF,
+};
+
+/// True for the request range (0x01..0x7E).
+bool is_request_type(std::uint8_t type);
+/// True iff `type` is one of the defined request MessageTypes.
+bool is_known_request(std::uint8_t type);
+/// The success response type for a request.
+MessageType response_for(MessageType request);
+std::string_view message_type_name(MessageType type);
+
+/// Typed failure classes carried by kError frames.
+enum class ErrorCode : std::uint8_t {
+  kBadMagic,      // header does not start with "CSVC"
+  kBadVersion,    // unsupported wire version byte
+  kBadType,       // unknown or non-request message type
+  kOversized,     // declared payload length exceeds kMaxPayloadBytes
+  kBadPayload,    // payload is not the JSON the endpoint expects
+  kOverloaded,    // admission queue full — retry later (backpressure)
+  kShuttingDown,  // server is draining; no new work accepted
+  kInternal,      // handler failed unexpectedly
+};
+
+std::string_view error_code_name(ErrorCode code);
+
+struct Frame {
+  MessageType type = MessageType::kPing;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload).
+std::string encode_frame(MessageType type, std::string_view payload);
+
+/// Serializes a kError frame with the standard {"code","message"} payload.
+std::string encode_error(ErrorCode code, std::string_view message);
+
+/// One step of incremental decoding.
+struct DecodeResult {
+  enum class Status {
+    kNeedMore,  // not enough buffered bytes for a full frame
+    kFrame,     // `frame` holds the next complete message
+    kError,     // `error`/`message` describe the damage
+  };
+  Status status = Status::kNeedMore;
+  Frame frame;
+  ErrorCode error = ErrorCode::kInternal;
+  std::string message;
+  /// False when the byte stream lost framing (bad magic/version/oversized)
+  /// and the connection cannot be re-synchronized; unknown-type frames are
+  /// consumed whole and leave the stream usable.
+  bool recoverable = false;
+};
+
+/// Incremental frame decoder over a TCP byte stream.
+class FrameReader {
+ public:
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next frame (or error) from the buffer. kNeedMore leaves
+  /// the buffer untouched; kFrame and recoverable kError consume the frame's
+  /// bytes; an unrecoverable kError leaves the buffer poisoned — callers
+  /// must drop the connection.
+  DecodeResult next();
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace certchain::svc

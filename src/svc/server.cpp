@@ -1,0 +1,326 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace certchain::svc {
+
+namespace {
+
+constexpr int kListenBacklog = 64;
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(ServiceState& state, SyncTelemetry& telemetry,
+               ServerOptions options)
+    : state_(&state),
+      telemetry_(&telemetry),
+      options_(std::move(options)),
+      handlers_(state, telemetry) {}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    close_if_open(listen_fd_);
+    close_if_open(wake_pipe_[0]);
+    close_if_open(wake_pipe_[1]);
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    return fail("inet_pton(" + options_.host + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, kListenBacklog) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) return fail("pipe");
+
+  const std::size_t workers = par::resolve_threads(options_.workers);
+  telemetry_->set_config("svc.host", options_.host);
+  telemetry_->set_config("svc.port", std::to_string(port_));
+  telemetry_->set_config("svc.workers", std::to_string(workers));
+  telemetry_->set_config("svc.queue_capacity",
+                         std::to_string(options_.queue_capacity));
+  telemetry_->set_config("svc.wire_version", std::to_string(kWireVersion));
+  telemetry_->set_gauge("svc.connections.active", 0.0);
+
+  pool_ = std::make_unique<par::ThreadPool>(workers);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    live_workers_ = workers;
+  }
+  for (std::size_t i = 0; i < workers; ++i) {
+    pool_->submit([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  started_ = true;
+  return true;
+}
+
+void Server::request_stop() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  // Wake the acceptor's poll(); the byte's value is irrelevant.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  drain_cv_.notify_all();
+}
+
+void Server::wait() {
+  if (!started_) return;
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return draining(); });
+    if (stopped_) return;
+    if (teardown_in_progress_) {
+      drain_cv_.wait(lock, [this] { return stopped_; });
+      return;
+    }
+    teardown_in_progress_ = true;
+  }
+
+  // 1. No new connections: the acceptor exits once woken while draining.
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. No new requests: half-close every connection socket so blocked reads
+  //    return 0 while responses still in flight can write, then join the
+  //    reader threads.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& connection : connections_) {
+      if (connection.fd >= 0) ::shutdown(connection.fd, SHUT_RD);
+    }
+  }
+  for (;;) {
+    Connection* next = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (Connection& connection : connections_) {
+        if (connection.thread.joinable()) {
+          next = &connection;
+          break;
+        }
+      }
+    }
+    if (next == nullptr) break;
+    next->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& connection : connections_) close_if_open(connection.fd);
+    connections_.clear();
+    active_connections_ = 0;
+  }
+  telemetry_->set_gauge("svc.connections.active", 0.0);
+
+  // 3. Everything admitted drains: workers finish the queue, then exit.
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    workers_stop_ = true;
+    queue_cv_.notify_all();
+    workers_done_cv_.wait(lock, [this] { return live_workers_ == 0; });
+  }
+  pool_.reset();
+
+  close_if_open(listen_fd_);
+  close_if_open(wake_pipe_[0]);
+  close_if_open(wake_pipe_[1]);
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    stopped_ = true;
+  }
+  drain_cv_.notify_all();
+}
+
+void Server::acceptor_loop() {
+  while (!draining()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (draining()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_connections_locked();
+    if (active_connections_ >= options_.max_connections) {
+      telemetry_->count("svc.connections.rejected");
+      ::close(client);
+      continue;
+    }
+    telemetry_->count("svc.connections.accepted");
+    ++active_connections_;
+    telemetry_->set_gauge("svc.connections.active",
+                          static_cast<double>(active_connections_));
+    connections_.emplace_back();
+    Connection* connection = &connections_.back();
+    connection->fd = client;
+    connection->thread =
+        std::thread([this, connection] { connection_loop(connection); });
+  }
+}
+
+void Server::reap_finished_connections_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      close_if_open(it->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::connection_loop(Connection* connection) {
+  const int fd = connection->fd;
+  FrameReader reader;
+  char buffer[kReadChunkBytes];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // EOF or error — either way the conversation is over
+    reader.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    while (open) {
+      DecodeResult decoded = reader.next();
+      if (decoded.status == DecodeResult::Status::kNeedMore) break;
+      if (decoded.status == DecodeResult::Status::kError) {
+        telemetry_->count("svc.frames.malformed");
+        write_all(fd, encode_error(decoded.error, decoded.message));
+        if (!decoded.recoverable) open = false;  // framing lost — hang up
+        continue;
+      }
+      if (!serve_request(fd, std::move(decoded.frame))) open = false;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    // Close now (not at reap time) so the peer sees EOF as soon as the
+    // conversation is over; reap/wait() skip the -1 fd.
+    close_if_open(connection->fd);
+    if (active_connections_ > 0) --active_connections_;
+    telemetry_->set_gauge("svc.connections.active",
+                          static_cast<double>(active_connections_));
+  }
+  telemetry_->count("svc.connections.closed");
+  connection->done.store(true, std::memory_order_release);
+}
+
+bool Server::serve_request(int fd, Frame frame) {
+  telemetry_->count("stage.svc.requests.in");
+  if (draining()) {
+    telemetry_->count("stage.svc.requests.dropped");
+    write_all(fd, encode_error(ErrorCode::kShuttingDown,
+                               "server is draining; no new work accepted"));
+    return true;
+  }
+
+  std::future<std::pair<std::string, bool>> response_future;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.queue_capacity) {
+      telemetry_->count("stage.svc.requests.dropped");
+      write_all(fd, encode_error(ErrorCode::kOverloaded,
+                                 "admission queue full; retry later"));
+      return true;
+    }
+    telemetry_->count("stage.svc.requests.admitted");
+    queue_.emplace_back();
+    queue_.back().frame = std::move(frame);
+    response_future = queue_.back().promise.get_future();
+  }
+  queue_cv_.notify_one();
+
+  // This thread is the connection's only writer, and it holds at most one
+  // request in flight — responses are ordered by construction.
+  auto [response, shutdown_requested] = response_future.get();
+  write_all(fd, response);
+  if (shutdown_requested) {
+    request_stop();
+    return false;  // response written; close our end so the client sees EOF
+  }
+  return true;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    PendingRequest request;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return workers_stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // workers_stop_ and nothing left to drain.
+        --live_workers_;
+        if (live_workers_ == 0) workers_done_cv_.notify_all();
+        return;
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    bool shutdown_requested = false;
+    std::string response = handlers_.handle(request.frame, &shutdown_requested);
+    request.promise.set_value({std::move(response), shutdown_requested});
+  }
+}
+
+bool Server::write_all(int fd, std::string_view bytes) const {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // peer went away; nothing sensible left to do
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace certchain::svc

@@ -1,0 +1,133 @@
+// The concurrent query server behind certchain_serve (DESIGN.md §12.4).
+//
+// Thread model, end to end:
+//
+//   acceptor thread ── accept() ──> one reader thread per connection
+//   reader thread ── FrameReader ──> admission queue (bounded) ── pop ──>
+//   request workers (par::ThreadPool::submit loops) ── promise ──> reader
+//   thread writes the response (single writer per socket, so responses on a
+//   connection always match request order without correlation ids)
+//
+// Backpressure is explicit: every decoded request counts into the
+// `stage.svc.requests.in` counter and then either enters the bounded
+// admission queue (`...admitted`) or is answered immediately with a typed
+// OVERLOADED / SHUTTING_DOWN error (`...dropped`), so the obs::RunManifest
+// triple reconciles exactly (in == admitted + dropped) at any instant the
+// registry is read.
+//
+// Graceful drain (request_stop, then wait): the acceptor stops accepting,
+// connection sockets get shutdown(SHUT_RD) so blocked reads return while
+// in-flight responses still write, the workers finish everything already
+// admitted, and only then do the threads join and the sockets close. A
+// kShutdown request triggers the same sequence from inside a worker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "par/thread_pool.hpp"
+#include "svc/handlers.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service_state.hpp"
+#include "svc/telemetry.hpp"
+
+namespace certchain::svc {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";  // loopback only by design
+  std::uint16_t port = 0;          // 0 = kernel-assigned ephemeral port
+  std::size_t workers = 0;         // request workers; 0 = hardware concurrency
+  std::size_t queue_capacity = 64; // admission queue bound (0 = reject all)
+  std::size_t max_connections = 64;
+};
+
+class Server {
+ public:
+  Server(ServiceState& state, SyncTelemetry& telemetry,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + request workers. Returns
+  /// false (with `error` filled) when the socket setup fails.
+  bool start(std::string* error = nullptr);
+
+  /// The bound port (resolves option port 0 after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// True once a drain began (kShutdown request or request_stop()).
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Begins the graceful drain; safe to call from any thread, repeatedly.
+  void request_stop();
+
+  /// Blocks until the drain completed and every thread joined. Returns
+  /// immediately if the server never started.
+  void wait();
+
+ private:
+  struct PendingRequest {
+    Frame frame;
+    // (encoded response frame, shutdown requested by this request)
+    std::promise<std::pair<std::string, bool>> promise;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void acceptor_loop();
+  void connection_loop(Connection* connection);
+  void worker_loop();
+  /// Handles one decoded request frame on a connection: admission, typed
+  /// rejection, or enqueue + wait + write. Returns false when the connection
+  /// should close (a shutdown response was just written).
+  bool serve_request(int fd, Frame frame);
+  void reap_finished_connections_locked();
+  bool write_all(int fd, std::string_view bytes) const;
+
+  ServiceState* state_;
+  SyncTelemetry* telemetry_;
+  ServerOptions options_;
+  RequestHandlers handlers_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: wakes the acceptor's poll()
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+
+  std::thread acceptor_;
+  std::unique_ptr<par::ThreadPool> pool_;
+
+  std::mutex connections_mutex_;
+  std::list<Connection> connections_;
+  std::size_t active_connections_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  bool workers_stop_ = false;
+  std::size_t live_workers_ = 0;
+  std::condition_variable workers_done_cv_;
+
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  bool teardown_in_progress_ = false;  // exactly one wait() runs the teardown
+  bool stopped_ = false;  // wait() finished tearing everything down
+};
+
+}  // namespace certchain::svc

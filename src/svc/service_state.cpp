@@ -1,0 +1,121 @@
+#include "svc/service_state.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "zeek/log_io.hpp"
+
+namespace certchain::svc {
+
+ServiceState::ServiceState(const truststore::TrustStoreSet& stores,
+                           const ct::CtLogSet& ct_logs,
+                           const core::VendorDirectory& vendors,
+                           const chain::CrossSignRegistry* registry)
+    : stores_(&stores),
+      registry_(registry),
+      pipeline_(stores, ct_logs, vendors, registry) {}
+
+void ServiceState::load(const std::vector<zeek::SslLogRecord>& ssl,
+                        const std::vector<zeek::X509LogRecord>& x509) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  joiner_ = zeek::LogJoiner(x509);
+  corpus_ = core::CorpusIndex();
+  for (const zeek::SslLogRecord& record : ssl) {
+    corpus_.add(joiner_.join(record));
+  }
+  generation_ = 0;
+  refresh_analysis_locked();
+}
+
+truststore::IssuerClass ServiceState::classify_issuer(
+    const x509::DistinguishedName& issuer) const {
+  return stores_->classify_issuer(issuer);
+}
+
+ChainVerdict ServiceState::categorize_chain(
+    const chain::CertificateChain& submitted) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ChainVerdict verdict;
+  verdict.generation = generation_;
+  verdict.category =
+      chain::categorize_chain(submitted, *stores_, interception_issuers_);
+  // The matched-path verdict mirrors the batch analyzers' conventions:
+  // hybrid chains get the §4.2 leaf-plausibility test, the non-public and
+  // interception analyses disable it (§4.3).
+  const bool require_leaf = verdict.category == chain::ChainCategory::kHybrid;
+  verdict.paths = chain::analyze_paths(submitted, registry_, require_leaf);
+  if (verdict.category == chain::ChainCategory::kHybrid) {
+    verdict.hybrid = chain::classify_hybrid(submitted, *stores_, registry_);
+  }
+  chain::LintOptions lint_options;
+  lint_options.registry = registry_;
+  verdict.lints = chain::lint_chain(submitted, lint_options);
+  return verdict;
+}
+
+std::string ServiceState::report_section(
+    const core::ReportTextOptions& options) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return core::render_report_text(report_, options);
+}
+
+AppendResult ServiceState::ingest_append(
+    const std::vector<std::string>& ssl_rows,
+    const std::vector<std::string>& x509_rows) {
+  // Parse outside the exclusive section — only the fold mutates state.
+  AppendResult result;
+  std::vector<zeek::X509LogRecord> x509;
+  x509.reserve(x509_rows.size());
+  for (const std::string& row : x509_rows) {
+    if (auto record = zeek::parse_x509_row(row)) {
+      x509.push_back(*std::move(record));
+    } else {
+      ++result.x509_malformed;
+    }
+  }
+  std::vector<zeek::SslLogRecord> ssl;
+  ssl.reserve(ssl_rows.size());
+  for (const std::string& row : ssl_rows) {
+    if (auto record = zeek::parse_ssl_row(row)) {
+      ssl.push_back(*std::move(record));
+    } else {
+      ++result.ssl_malformed;
+    }
+  }
+  result.ssl_added = ssl.size();
+  result.x509_added = x509.size();
+
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (const zeek::X509LogRecord& record : x509) joiner_.add(record);
+  for (const zeek::SslLogRecord& record : ssl) {
+    corpus_.add(joiner_.join(record));
+  }
+  ++generation_;
+  refresh_analysis_locked();
+  result.generation = generation_;
+  result.unique_chains = corpus_.unique_chain_count();
+  result.connections = corpus_.totals().connections;
+  return result;
+}
+
+std::uint64_t ServiceState::generation() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return generation_;
+}
+
+std::size_t ServiceState::unique_chains() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return corpus_.unique_chain_count();
+}
+
+core::CorpusTotals ServiceState::totals() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return corpus_.totals();
+}
+
+void ServiceState::refresh_analysis_locked() {
+  report_ = pipeline_.analyze(corpus_);
+  interception_issuers_ = report_.interception.issuer_set();
+}
+
+}  // namespace certchain::svc

@@ -1,0 +1,111 @@
+// The live corpus behind certchain_serve (DESIGN.md §12.3).
+//
+// ServiceState keeps everything a query needs warm between requests: the
+// deduplicated CorpusIndex, the joined certificate index (fuid -> cert, so
+// later appends can reference earlier certificates), the full StudyReport of
+// the current corpus, and the interception issuer set the chain categorizer
+// consumes. Queries take a shared lock; ingest_append takes the exclusive
+// lock, folds the new rows through the same LogJoiner/CorpusIndex machinery
+// the batch pipeline uses, and eagerly re-analyzes — so every answer after an
+// append reflects a complete, consistent analysis generation, never a
+// half-updated one. The generation counter stamps responses so clients (and
+// the concurrency suite) can tell which corpus state answered them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "chain/categorizer.hpp"
+#include "chain/linter.hpp"
+#include "chain/matcher.hpp"
+#include "core/pipeline.hpp"
+#include "core/report_text.hpp"
+
+namespace certchain::svc {
+
+/// What categorize_chain answers for one submitted chain: the §3.2.2
+/// category, the matched-path verdict, the hybrid classification when the
+/// category warrants one, and the lint findings.
+struct ChainVerdict {
+  chain::ChainCategory category = chain::ChainCategory::kNonPublicDbOnly;
+  chain::PathAnalysis paths;
+  std::optional<chain::HybridClassification> hybrid;
+  chain::LintReport lints;
+  std::uint64_t generation = 0;  // corpus generation that answered
+};
+
+/// Accounting for one ingest_append call.
+struct AppendResult {
+  std::size_t ssl_added = 0;
+  std::size_t x509_added = 0;
+  std::size_t ssl_malformed = 0;
+  std::size_t x509_malformed = 0;
+  std::uint64_t generation = 0;     // generation after the fold
+  std::size_t unique_chains = 0;    // corpus state after the fold
+  std::uint64_t connections = 0;
+};
+
+class ServiceState {
+ public:
+  /// The referenced databases must outlive the state (same contract as
+  /// StudyPipeline's).
+  ServiceState(const truststore::TrustStoreSet& stores,
+               const ct::CtLogSet& ct_logs, const core::VendorDirectory& vendors,
+               const chain::CrossSignRegistry* registry = nullptr);
+
+  /// Loads the initial corpus from parsed records, replacing any previous
+  /// state, and runs the first analysis. Not thread-safe against concurrent
+  /// queries — call before the server starts serving.
+  void load(const std::vector<zeek::SslLogRecord>& ssl,
+            const std::vector<zeek::X509LogRecord>& x509);
+
+  /// §3.2.1 issuer classification. The databases are immutable, so this
+  /// needs no corpus lock at all.
+  truststore::IssuerClass classify_issuer(
+      const x509::DistinguishedName& issuer) const;
+
+  /// Categorizes a submitted chain exactly the way the batch pipeline
+  /// categorizes corpus chains — same categorize_chain call against the
+  /// live interception issuer set — plus the matched-path analysis, hybrid
+  /// classification and lints. Shared lock.
+  ChainVerdict categorize_chain(const chain::CertificateChain& chain) const;
+
+  /// Renders the selected report sections from the warm StudyReport.
+  /// Shared lock; byte-identical to rendering a batch run over the same
+  /// folded records.
+  std::string report_section(const core::ReportTextOptions& options) const;
+
+  /// Parses raw Zeek TSV body rows and folds them into the live corpus.
+  /// Damaged rows are counted and skipped (the live fold is always lenient:
+  /// a server must not die on one bad row). X509 rows are indexed before the
+  /// SSL rows join, so an append can introduce a chain and its
+  /// connections together; SSL rows referencing fuids never seen remain
+  /// incomplete joins, exactly as in batch. Exclusive lock + eager
+  /// re-analysis before returning.
+  AppendResult ingest_append(const std::vector<std::string>& ssl_rows,
+                             const std::vector<std::string>& x509_rows);
+
+  // --- snapshot accessors (shared lock) ----------------------------------
+  std::uint64_t generation() const;
+  std::size_t unique_chains() const;
+  core::CorpusTotals totals() const;
+
+ private:
+  void refresh_analysis_locked();
+
+  const truststore::TrustStoreSet* stores_;
+  const chain::CrossSignRegistry* registry_;
+  core::StudyPipeline pipeline_;
+
+  mutable std::shared_mutex mutex_;
+  zeek::LogJoiner joiner_;          // grows across appends
+  core::CorpusIndex corpus_;
+  core::StudyReport report_;        // warm analysis of corpus_
+  chain::InterceptionIssuerSet interception_issuers_;
+  std::uint64_t generation_ = 0;    // bumps on every successful append
+};
+
+}  // namespace certchain::svc

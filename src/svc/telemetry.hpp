@@ -1,0 +1,74 @@
+// Thread-safe telemetry facade for the service layer.
+//
+// obs::RunContext and MetricsRegistry are deliberately single-threaded (the
+// batch pipeline merges shard-local registries at barriers instead of
+// locking, DESIGN.md §10). A server has no barriers — connection threads and
+// request workers record concurrently — so the svc layer funnels every
+// update through this small mutex-guarded wrapper. Request handling is
+// milliseconds of work per lock acquisition; the lock is not a bottleneck
+// at the queue depths the admission control allows.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/export.hpp"
+#include "obs/run_context.hpp"
+
+namespace certchain::svc {
+
+class SyncTelemetry {
+ public:
+  void count(std::string_view name, std::uint64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    context_.metrics.count(name, delta);
+  }
+
+  void set_gauge(std::string_view name, double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    context_.metrics.set_gauge(name, value);
+  }
+
+  void observe_timing(std::string_view name, double ms) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    context_.metrics.observe_timing(name, ms);
+  }
+
+  void set_config(std::string_view key, std::string_view value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    context_.set_config(key, value);
+  }
+
+  std::uint64_t counter(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return context_.metrics.counter(name);
+  }
+
+  double gauge(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return context_.metrics.gauge(name);
+  }
+
+  /// The schema-versioned certchain.obs.metrics JSON document (the payload
+  /// of the metrics endpoint).
+  std::string export_json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return obs::export_metrics_json(context_);
+  }
+
+  /// Runs `fn(const obs::RunContext&)` under the lock — for exporters that
+  /// need more than one value coherently (bench tables, manifest checks).
+  template <typename Fn>
+  auto with_context(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fn(static_cast<const obs::RunContext&>(context_));
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  obs::RunContext context_;
+};
+
+}  // namespace certchain::svc

@@ -82,11 +82,13 @@ X509LogRecord record_from_certificate(const x509::Certificate& cert,
 }
 
 LogJoiner::LogJoiner(const std::vector<X509LogRecord>& certificates) {
-  for (const X509LogRecord& record : certificates) {
-    // First observation wins; fuids are content-derived so duplicates carry
-    // identical fields anyway.
-    by_fuid_.emplace(record.fuid, certificate_from_record(record));
-  }
+  for (const X509LogRecord& record : certificates) add(record);
+}
+
+void LogJoiner::add(const X509LogRecord& certificate) {
+  // First observation wins; fuids are content-derived so duplicates carry
+  // identical fields anyway.
+  by_fuid_.emplace(certificate.fuid, certificate_from_record(certificate));
 }
 
 JoinedConnection LogJoiner::join(const SslLogRecord& ssl) const {

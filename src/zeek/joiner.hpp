@@ -38,7 +38,15 @@ X509LogRecord record_from_certificate(const x509::Certificate& cert,
 
 class LogJoiner {
  public:
+  /// An empty joiner that learns certificates incrementally via add() — the
+  /// live-serving shape (svc::ServiceState feeds appended X509 rows in as
+  /// they arrive, then joins the SSL rows of the same append).
+  LogJoiner() = default;
   explicit LogJoiner(const std::vector<X509LogRecord>& certificates);
+
+  /// Registers one certificate row; a re-observed fuid keeps the first
+  /// record (fuids are content-addressed in practice).
+  void add(const X509LogRecord& certificate);
 
   std::size_t certificate_count() const { return by_fuid_.size(); }
 

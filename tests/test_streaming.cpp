@@ -469,17 +469,18 @@ TEST_F(StreamingDiffTest, CheckpointAgainstDifferentInputIsRejected) {
   std::remove(checkpoint.c_str());
 }
 
-TEST_F(StreamingDiffTest, DeprecatedShimsStillForwardToTheUnifiedRun) {
-  const auto ref = reference_run(*ssl_text_, *x509_text_);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const core::StudyReport via_text_shim =
-      pipeline_->run_from_text(*ssl_text_, *x509_text_);
-  const core::StudyReport via_records_shim =
-      pipeline_->run(logs_->ssl, logs_->x509);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(render(via_text_shim), ref->text);
-  EXPECT_EQ(via_records_shim.unique_chains, ref->report.unique_chains);
+TEST_F(StreamingDiffTest, AnalyzeOverPrebuiltCorpusMatchesUnifiedRun) {
+  // The query-serving path (DESIGN.md §12) folds connections into a live
+  // CorpusIndex and re-analyzes it via the public analyze() entry; the
+  // result must be indistinguishable from a full run over the same records.
+  const core::StudyReport reference =
+      pipeline_->run(core::StudyInput::records(logs_->ssl, logs_->x509));
+  const zeek::LogJoiner joiner(logs_->x509);
+  core::CorpusIndex corpus;
+  for (const auto& record : logs_->ssl) corpus.add(joiner.join(record));
+  const core::StudyReport analyzed = pipeline_->analyze(corpus);
+  EXPECT_EQ(render(analyzed), render(reference));
+  EXPECT_EQ(analyzed.unique_chains, reference.unique_chains);
 }
 
 // --- LogSource units -------------------------------------------------------

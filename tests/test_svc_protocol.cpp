@@ -1,0 +1,312 @@
+// The certchain.svc.wire v1 codec contract (DESIGN.md §12.2), then the same
+// contract enforced against a live server socket: malformed frames —
+// truncated headers, oversized declared lengths, unknown types, wrong
+// versions, wrong magic — must come back as *typed* error frames (or close
+// the connection when framing is unrecoverable) and must never crash the
+// server or leak its connection slots.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "../tests/helpers.hpp"
+#include "ct/ct_log.hpp"
+#include "obs/json.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "svc/service_state.hpp"
+#include "svc/telemetry.hpp"
+
+namespace certchain {
+namespace {
+
+using svc::DecodeResult;
+using svc::ErrorCode;
+using svc::Frame;
+using svc::FrameReader;
+using svc::MessageType;
+
+std::optional<ErrorCode> error_code_of(const std::string& payload) {
+  const auto parsed = obs::json::parse(payload);
+  if (!parsed.has_value()) return std::nullopt;
+  const obs::json::Value* code = parsed->find("code");
+  if (code == nullptr) return std::nullopt;
+  for (const ErrorCode candidate :
+       {ErrorCode::kBadMagic, ErrorCode::kBadVersion, ErrorCode::kBadType,
+        ErrorCode::kOversized, ErrorCode::kBadPayload, ErrorCode::kOverloaded,
+        ErrorCode::kShuttingDown, ErrorCode::kInternal}) {
+    if (code->string == svc::error_code_name(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+TEST(SvcProtocolTest, RoundTripsEveryRequestType) {
+  for (const MessageType type :
+       {MessageType::kPing, MessageType::kClassifyIssuer,
+        MessageType::kCategorizeChain, MessageType::kReportSection,
+        MessageType::kIngestAppend, MessageType::kMetrics,
+        MessageType::kShutdown}) {
+    const std::string payload = "{\"probe\":\"" +
+                                std::string(message_type_name(type)) + "\"}";
+    FrameReader reader;
+    reader.feed(svc::encode_frame(type, payload));
+    const DecodeResult decoded = reader.next();
+    ASSERT_EQ(decoded.status, DecodeResult::Status::kFrame);
+    EXPECT_EQ(decoded.frame.type, type);
+    EXPECT_EQ(decoded.frame.payload, payload);
+    EXPECT_EQ(reader.buffered_bytes(), 0u);
+  }
+}
+
+TEST(SvcProtocolTest, DecodesByteByByteDelivery) {
+  const std::string wire = svc::encode_frame(MessageType::kPing, "{}") +
+                           svc::encode_frame(MessageType::kMetrics, "");
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (const char byte : wire) {
+    reader.feed(std::string_view(&byte, 1));
+    const DecodeResult decoded = reader.next();
+    if (decoded.status == DecodeResult::Status::kFrame) {
+      frames.push_back(decoded.frame);
+    } else {
+      ASSERT_EQ(decoded.status, DecodeResult::Status::kNeedMore);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MessageType::kPing);
+  EXPECT_EQ(frames[0].payload, "{}");
+  EXPECT_EQ(frames[1].type, MessageType::kMetrics);
+  EXPECT_EQ(frames[1].payload, "");
+}
+
+TEST(SvcProtocolTest, TruncatedHeaderIsNeedMoreNotError) {
+  const std::string wire = svc::encode_frame(MessageType::kPing, "{}");
+  FrameReader reader;
+  reader.feed(std::string_view(wire).substr(0, svc::kHeaderBytes - 1));
+  EXPECT_EQ(reader.next().status, DecodeResult::Status::kNeedMore);
+  reader.feed(std::string_view(wire).substr(svc::kHeaderBytes - 1));
+  EXPECT_EQ(reader.next().status, DecodeResult::Status::kFrame);
+}
+
+TEST(SvcProtocolTest, BadMagicIsDetectedBeforeFullHeaderArrives) {
+  FrameReader reader;
+  reader.feed("XSV");  // three bytes, already provably not CSVC
+  const DecodeResult decoded = reader.next();
+  ASSERT_EQ(decoded.status, DecodeResult::Status::kError);
+  EXPECT_EQ(decoded.error, ErrorCode::kBadMagic);
+  EXPECT_FALSE(decoded.recoverable);
+}
+
+TEST(SvcProtocolTest, BadVersionIsUnrecoverable) {
+  std::string wire = svc::encode_frame(MessageType::kPing, "{}");
+  wire[4] = 99;
+  FrameReader reader;
+  reader.feed(wire);
+  const DecodeResult decoded = reader.next();
+  ASSERT_EQ(decoded.status, DecodeResult::Status::kError);
+  EXPECT_EQ(decoded.error, ErrorCode::kBadVersion);
+  EXPECT_FALSE(decoded.recoverable);
+}
+
+TEST(SvcProtocolTest, OversizedDeclaredLengthIsRejectedWithoutAllocating) {
+  std::string wire = svc::encode_frame(MessageType::kPing, "");
+  wire[8] = '\x7F';  // declares a ~2 GiB payload
+  wire[9] = wire[10] = wire[11] = '\xFF';
+  FrameReader reader;
+  reader.feed(wire);
+  const DecodeResult decoded = reader.next();
+  ASSERT_EQ(decoded.status, DecodeResult::Status::kError);
+  EXPECT_EQ(decoded.error, ErrorCode::kOversized);
+  EXPECT_FALSE(decoded.recoverable);
+}
+
+TEST(SvcProtocolTest, UnknownTypeIsRecoverableAndStreamContinues) {
+  std::string unknown = svc::encode_frame(MessageType::kPing, "{}");
+  unknown[5] = 0x55;
+  FrameReader reader;
+  reader.feed(unknown + svc::encode_frame(MessageType::kPing, "{}"));
+  const DecodeResult first = reader.next();
+  ASSERT_EQ(first.status, DecodeResult::Status::kError);
+  EXPECT_EQ(first.error, ErrorCode::kBadType);
+  EXPECT_TRUE(first.recoverable);
+  const DecodeResult second = reader.next();
+  ASSERT_EQ(second.status, DecodeResult::Status::kFrame);
+  EXPECT_EQ(second.frame.type, MessageType::kPing);
+}
+
+TEST(SvcProtocolTest, ErrorFramesCarryTheTypedCodeSlug) {
+  FrameReader reader;
+  reader.feed(svc::encode_error(ErrorCode::kOverloaded, "try later"));
+  const DecodeResult decoded = reader.next();
+  ASSERT_EQ(decoded.status, DecodeResult::Status::kFrame);
+  ASSERT_EQ(decoded.frame.type, MessageType::kError);
+  EXPECT_EQ(error_code_of(decoded.frame.payload), ErrorCode::kOverloaded);
+}
+
+// ---------------------------------------------------------------------------
+// Server-level damage handling over a real loopback socket.
+
+class SvcProtocolServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stores_ = pki_.trusted_stores();
+    state_ = std::make_unique<svc::ServiceState>(stores_, ct_logs_, vendors_);
+    state_->load({}, {});  // an empty corpus serves protocol probes fine
+    svc::ServerOptions options;
+    options.workers = 2;
+    server_ = std::make_unique<svc::Server>(*state_, telemetry_, options);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  void TearDown() override {
+    server_->request_stop();
+    server_->wait();
+  }
+
+  svc::Client connect() {
+    svc::Client client;
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", server_->port(), &error)) << error;
+    return client;
+  }
+
+  testing::TestPki pki_;
+  truststore::TrustStoreSet stores_;
+  ct::CtLogSet ct_logs_;
+  core::VendorDirectory vendors_;
+  svc::SyncTelemetry telemetry_;
+  std::unique_ptr<svc::ServiceState> state_;
+  std::unique_ptr<svc::Server> server_;
+};
+
+TEST_F(SvcProtocolServerTest, UnknownTypeGetsTypedErrorAndConnectionSurvives) {
+  svc::Client client = connect();
+  std::string unknown = svc::encode_frame(MessageType::kPing, "{}");
+  unknown[5] = 0x42;
+  ASSERT_TRUE(client.send_raw(unknown));
+  const auto reply = client.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MessageType::kError);
+  EXPECT_EQ(error_code_of(reply->payload), ErrorCode::kBadType);
+
+  // Same connection keeps serving.
+  const auto pong = client.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+}
+
+TEST_F(SvcProtocolServerTest, BadVersionGetsTypedErrorThenHangup) {
+  svc::Client client = connect();
+  std::string wire = svc::encode_frame(MessageType::kPing, "{}");
+  wire[4] = 2;
+  ASSERT_TRUE(client.send_raw(wire));
+  const auto reply = client.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MessageType::kError);
+  EXPECT_EQ(error_code_of(reply->payload), ErrorCode::kBadVersion);
+  // Framing is lost; the server hangs up after the typed error.
+  EXPECT_FALSE(client.read_frame().has_value());
+}
+
+TEST_F(SvcProtocolServerTest, BadMagicGetsTypedErrorThenHangup) {
+  svc::Client client = connect();
+  ASSERT_TRUE(client.send_raw("GET / HTTP/1.1\r\n\r\n"));
+  const auto reply = client.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MessageType::kError);
+  EXPECT_EQ(error_code_of(reply->payload), ErrorCode::kBadMagic);
+  EXPECT_FALSE(client.read_frame().has_value());
+}
+
+TEST_F(SvcProtocolServerTest, OversizedDeclaredLengthGetsTypedErrorThenHangup) {
+  svc::Client client = connect();
+  std::string wire = svc::encode_frame(MessageType::kPing, "");
+  wire[8] = '\x7F';
+  wire[9] = wire[10] = wire[11] = '\xFF';
+  ASSERT_TRUE(client.send_raw(wire));
+  const auto reply = client.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MessageType::kError);
+  EXPECT_EQ(error_code_of(reply->payload), ErrorCode::kOversized);
+  EXPECT_FALSE(client.read_frame().has_value());
+}
+
+TEST_F(SvcProtocolServerTest, TruncatedHeaderThenDisconnectLeaksNothing) {
+  {
+    svc::Client client = connect();
+    ASSERT_TRUE(client.send_raw("CSVC"));  // valid prefix, never completed
+  }  // client closes mid-header
+  // The server must have survived: a fresh connection works.
+  svc::Client probe = connect();
+  const auto pong = probe.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+}
+
+TEST_F(SvcProtocolServerTest, MalformedJsonPayloadGetsBadPayloadAndSurvives) {
+  svc::Client client = connect();
+  const auto reply =
+      client.call(MessageType::kClassifyIssuer, "this is not json");
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->frame.type, MessageType::kError);
+  EXPECT_EQ(reply->error, ErrorCode::kBadPayload);
+
+  const auto pong = client.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+}
+
+TEST_F(SvcProtocolServerTest, MissingFieldsGetBadPayload) {
+  svc::Client client = connect();
+  const auto no_issuer = client.call(MessageType::kClassifyIssuer, "{}");
+  ASSERT_TRUE(no_issuer.has_value());
+  EXPECT_EQ(no_issuer->error, ErrorCode::kBadPayload);
+
+  const auto empty_chain = client.call(MessageType::kCategorizeChain, "{}");
+  ASSERT_TRUE(empty_chain.has_value());
+  EXPECT_EQ(empty_chain->error, ErrorCode::kBadPayload);
+
+  const auto bad_section =
+      client.call(MessageType::kReportSection, "{\"section\":\"bogus\"}");
+  ASSERT_TRUE(bad_section.has_value());
+  EXPECT_EQ(bad_section->error, ErrorCode::kBadPayload);
+
+  const auto empty_append = client.call(MessageType::kIngestAppend, "{}");
+  ASSERT_TRUE(empty_append.has_value());
+  EXPECT_EQ(empty_append->error, ErrorCode::kBadPayload);
+}
+
+TEST_F(SvcProtocolServerTest, DamageStormNeverKillsTheServer) {
+  // A burst of independently damaged connections; afterwards the server
+  // still answers and its accounting still reconciles.
+  const std::vector<std::string> attacks = {
+      "",                                     // connect-and-close
+      "C",                                    // 1-byte prefix
+      "CSVC",                                 // magic only
+      std::string(svc::kHeaderBytes, '\0'),   // all-zero header
+      "CSVC\x01\x42\x00\x00\x00\x00\x00\x02hi",  // unknown type w/ payload
+      std::string("CSVC") + '\x09' + std::string(7, '\0'),  // future version
+  };
+  for (const std::string& attack : attacks) {
+    svc::Client client = connect();
+    ASSERT_TRUE(client.connected());
+    if (!attack.empty()) client.send_raw(attack);
+  }
+  svc::Client probe = connect();
+  const auto pong = probe.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+
+  const std::uint64_t in = telemetry_.counter("stage.svc.requests.in");
+  const std::uint64_t admitted =
+      telemetry_.counter("stage.svc.requests.admitted");
+  const std::uint64_t dropped =
+      telemetry_.counter("stage.svc.requests.dropped");
+  EXPECT_EQ(in, admitted + dropped);
+}
+
+}  // namespace
+}  // namespace certchain

@@ -1,0 +1,405 @@
+// The live query server's core contracts (DESIGN.md §12):
+//
+//  * differential — every answer the server gives (report sections, issuer
+//    classes, chain categories) is byte-identical to what a batch
+//    StudyPipeline run over the same records computes;
+//  * concurrency — N clients querying while ingest_append folds new rows
+//    never see torn state: every response carries a complete analysis
+//    generation, and the final corpus equals the batch fold of all records;
+//  * accounting — the stage.svc.requests.{in,admitted,dropped} triple
+//    reconciles (in == admitted + dropped) at every point a test reads it;
+//  * backpressure — a zero-capacity admission queue turns every request into
+//    a typed OVERLOADED error, deterministically;
+//  * drain — kShutdown answers, then the server drains and refuses new work.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chain/categorizer.hpp"
+#include "core/pipeline.hpp"
+#include "core/report_text.hpp"
+#include "core/study_input.hpp"
+#include "datagen/scenario.hpp"
+#include "obs/json.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/service_state.hpp"
+#include "svc/telemetry.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_io.hpp"
+
+namespace certchain {
+namespace {
+
+/// Serializes one record to its raw TSV body row (what ingest_append eats).
+template <typename Writer, typename Record>
+std::string body_row(const Record& record) {
+  Writer writer;
+  writer.add(record);
+  const std::string text = writer.finish();
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin && text[begin] != '#') return text.substr(begin, end - begin);
+    begin = end + 1;
+  }
+  ADD_FAILURE() << "writer produced no body row";
+  return {};
+}
+
+std::string ssl_row(const zeek::SslLogRecord& record) {
+  return body_row<zeek::SslLogWriter>(record);
+}
+
+std::string x509_row(const zeek::X509LogRecord& record) {
+  return body_row<zeek::X509LogWriter>(record);
+}
+
+std::uint64_t uint_field(const obs::json::Value& payload, const char* key) {
+  const obs::json::Value* value = payload.find(key);
+  if (value == nullptr || !value->is_number()) {
+    ADD_FAILURE() << "missing numeric field " << key;
+    return 0;
+  }
+  return static_cast<std::uint64_t>(value->num);
+}
+
+class SvcServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::ScenarioConfig config;
+    config.seed = 20200901;
+    config.chain_scale = 1.0 / 800.0;
+    config.total_connections = 800;
+    config.client_count = 100;
+    config.include_length_outliers = false;
+    scenario_ = datagen::build_study_scenario(config).release();
+    logs_ = new netsim::GeneratedLogs(scenario_->generate_logs());
+    pipeline_ = new core::StudyPipeline(
+        scenario_->world.stores(), scenario_->world.ct_logs(),
+        scenario_->vendors, &scenario_->world.cross_signs());
+    batch_report_ = new core::StudyReport(
+        pipeline_->run(core::StudyInput::records(logs_->ssl, logs_->x509)));
+  }
+
+  static void TearDownTestSuite() {
+    delete batch_report_;
+    delete pipeline_;
+    delete logs_;
+    delete scenario_;
+    batch_report_ = nullptr;
+    pipeline_ = nullptr;
+    logs_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  /// A fresh state + server over the given SSL prefix (all X509 records are
+  /// always loaded up front so incremental SSL appends join identically to
+  /// the batch fold, which indexes every certificate before joining).
+  void start_server(std::size_t ssl_prefix, svc::ServerOptions options) {
+    std::vector<zeek::SslLogRecord> initial(
+        logs_->ssl.begin(),
+        logs_->ssl.begin() + static_cast<std::ptrdiff_t>(ssl_prefix));
+    state_ = std::make_unique<svc::ServiceState>(
+        scenario_->world.stores(), scenario_->world.ct_logs(),
+        scenario_->vendors, &scenario_->world.cross_signs());
+    state_->load(initial, logs_->x509);
+    telemetry_ = std::make_unique<svc::SyncTelemetry>();
+    server_ = std::make_unique<svc::Server>(*state_, *telemetry_, options);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->request_stop();
+      server_->wait();
+    }
+  }
+
+  svc::Client connect() {
+    svc::Client client;
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", server_->port(), &error)) << error;
+    return client;
+  }
+
+  void expect_triple_reconciles() {
+    const std::uint64_t in = telemetry_->counter("stage.svc.requests.in");
+    const std::uint64_t admitted =
+        telemetry_->counter("stage.svc.requests.admitted");
+    const std::uint64_t dropped =
+        telemetry_->counter("stage.svc.requests.dropped");
+    EXPECT_EQ(in, admitted + dropped)
+        << "in=" << in << " admitted=" << admitted << " dropped=" << dropped;
+  }
+
+  static core::StudyPipeline* pipeline_;
+  static datagen::Scenario* scenario_;
+  static netsim::GeneratedLogs* logs_;
+  static core::StudyReport* batch_report_;
+
+  std::unique_ptr<svc::ServiceState> state_;
+  std::unique_ptr<svc::SyncTelemetry> telemetry_;
+  std::unique_ptr<svc::Server> server_;
+};
+
+core::StudyPipeline* SvcServerTest::pipeline_ = nullptr;
+datagen::Scenario* SvcServerTest::scenario_ = nullptr;
+netsim::GeneratedLogs* SvcServerTest::logs_ = nullptr;
+core::StudyReport* SvcServerTest::batch_report_ = nullptr;
+
+TEST_F(SvcServerTest, ReportSectionsMatchBatchPipelineByteForByte) {
+  start_server(logs_->ssl.size(), {});
+  svc::Client client = connect();
+
+  const auto full = client.report_section("full");
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(full->ok) << full->error_message;
+  EXPECT_EQ(full->payload.find("text")->string,
+            core::render_report_text(*batch_report_));
+
+  core::ReportTextOptions categories_only;
+  categories_only.totals = false;
+  categories_only.interception = false;
+  categories_only.hybrid = false;
+  categories_only.non_public = false;
+  categories_only.graphs = false;
+  categories_only.data_quality = false;
+  const auto categories = client.report_section("categories");
+  ASSERT_TRUE(categories.has_value());
+  ASSERT_TRUE(categories->ok);
+  EXPECT_EQ(categories->payload.find("text")->string,
+            core::render_report_text(*batch_report_, categories_only));
+}
+
+TEST_F(SvcServerTest, ClassifyIssuerMatchesTrustStoreClassification) {
+  start_server(logs_->ssl.size(), {});
+  svc::Client client = connect();
+
+  std::size_t checked = 0;
+  for (const zeek::X509LogRecord& record : logs_->x509) {
+    if (checked >= 24) break;
+    const x509::Certificate cert = zeek::certificate_from_record(record);
+    const auto response = client.classify_issuer(cert.issuer.to_string());
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->ok) << response->error_message;
+    EXPECT_EQ(response->payload.find("class")->string,
+              truststore::issuer_class_name(
+                  scenario_->world.stores().classify_issuer(cert.issuer)));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(SvcServerTest, CategorizeChainMatchesBatchCategorizer) {
+  start_server(logs_->ssl.size(), {});
+  svc::Client client = connect();
+
+  const chain::InterceptionIssuerSet issuers =
+      batch_report_->interception.issuer_set();
+  const zeek::LogJoiner joiner(logs_->x509);
+  std::size_t checked = 0;
+  for (const zeek::SslLogRecord& ssl : logs_->ssl) {
+    if (checked >= 16) break;
+    const zeek::JoinedConnection joined = joiner.join(ssl);
+    if (!joined.complete() || joined.chain.empty()) continue;
+
+    std::vector<std::string> rows;
+    for (const std::string& fuid : ssl.cert_chain_fuids) {
+      for (const zeek::X509LogRecord& record : logs_->x509) {
+        if (record.fuid == fuid) {
+          rows.push_back(x509_row(record));
+          break;
+        }
+      }
+    }
+    const auto response = client.categorize_chain_rows(rows);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->ok) << response->error_message;
+    EXPECT_EQ(response->payload.find("category")->string,
+              chain::chain_category_name(chain::categorize_chain(
+                  joined.chain, scenario_->world.stores(), issuers)));
+    EXPECT_EQ(uint_field(response->payload, "length"), joined.chain.length());
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(SvcServerTest, IngestAppendFoldsRowsAndBumpsGeneration) {
+  const std::size_t half = logs_->ssl.size() / 2;
+  start_server(half, {});
+  svc::Client client = connect();
+
+  const auto before = client.ping();
+  ASSERT_TRUE(before.has_value());
+  const std::uint64_t generation_before =
+      uint_field(before->payload, "generation");
+
+  std::vector<std::string> rows;
+  for (std::size_t i = half; i < half + 10 && i < logs_->ssl.size(); ++i) {
+    rows.push_back(ssl_row(logs_->ssl[i]));
+  }
+  rows.push_back("definitely\tnot\ta\tparseable\tssl\trow");
+  const auto append = client.ingest_append(rows, {});
+  ASSERT_TRUE(append.has_value());
+  ASSERT_TRUE(append->ok) << append->error_message;
+  EXPECT_EQ(uint_field(append->payload, "ssl_added"), rows.size() - 1);
+  EXPECT_EQ(uint_field(append->payload, "ssl_malformed"), 1u);
+  EXPECT_EQ(uint_field(append->payload, "generation"), generation_before + 1);
+}
+
+TEST_F(SvcServerTest, ConcurrentQueriesAndIngestConvergeToTheBatchReport) {
+  const std::size_t half = logs_->ssl.size() / 2;
+  svc::ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 256;
+  start_server(half, options);
+
+  constexpr int kQueryThreads = 6;
+  constexpr int kRequestsPerThread = 25;
+  std::atomic<int> failures{0};
+
+  std::thread ingest([&] {
+    svc::Client client = connect();
+    constexpr std::size_t kBatch = 40;
+    for (std::size_t begin = half; begin < logs_->ssl.size(); begin += kBatch) {
+      const std::size_t end = std::min(begin + kBatch, logs_->ssl.size());
+      std::vector<std::string> rows;
+      for (std::size_t i = begin; i < end; ++i) {
+        rows.push_back(ssl_row(logs_->ssl[i]));
+      }
+      const auto response = client.ingest_append(rows, {});
+      if (!response.has_value() || !response->ok) failures.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    queriers.emplace_back([&, t] {
+      svc::Client client = connect();
+      std::uint64_t last_generation = 0;
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        switch ((t + i) % 3) {
+          case 0: {
+            const auto response = client.ping();
+            if (!response.has_value() || !response->ok) {
+              failures.fetch_add(1);
+              break;
+            }
+            // Generations never run backwards for any observer.
+            const obs::json::Value* generation =
+                response->payload.find("generation");
+            if (generation == nullptr ||
+                static_cast<std::uint64_t>(generation->num) < last_generation) {
+              failures.fetch_add(1);
+            } else {
+              last_generation = static_cast<std::uint64_t>(generation->num);
+            }
+            break;
+          }
+          case 1: {
+            const auto response = client.report_section("totals");
+            if (!response.has_value() || !response->ok) failures.fetch_add(1);
+            break;
+          }
+          default: {
+            const auto response = client.classify_issuer(
+                "CN=Test Issuing CA,O=TestPKI,C=US");
+            if (!response.has_value() || !response->ok) failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  ingest.join();
+  for (std::thread& thread : queriers) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // After the dust settles the live corpus must equal the batch fold of all
+  // records — byte-identical report, same unique-chain population.
+  svc::Client client = connect();
+  const auto full = client.report_section("full");
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(full->ok);
+  EXPECT_EQ(full->payload.find("text")->string,
+            core::render_report_text(*batch_report_));
+
+  expect_triple_reconciles();
+  const std::uint64_t ingest_batches =
+      static_cast<std::uint64_t>((logs_->ssl.size() - half + 39) / 40);
+  const std::uint64_t query_requests =
+      static_cast<std::uint64_t>(kQueryThreads) * kRequestsPerThread;
+  EXPECT_EQ(telemetry_->counter("stage.svc.requests.in"),
+            ingest_batches + query_requests + 1);  // +1: the report above
+  const auto metrics = client.metrics();
+  ASSERT_TRUE(metrics.has_value());
+  ASSERT_TRUE(metrics->ok);
+  EXPECT_NE(metrics->frame.payload.find("stage.svc.requests.admitted"),
+            std::string::npos);
+}
+
+TEST_F(SvcServerTest, ZeroCapacityQueueRejectsEverythingWithOverloaded) {
+  svc::ServerOptions options;
+  options.queue_capacity = 0;
+  options.workers = 1;
+  start_server(0, options);
+
+  svc::Client client = connect();
+  for (int i = 0; i < 5; ++i) {
+    const auto response = client.ping();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(response->ok);
+    EXPECT_EQ(response->frame.type, svc::MessageType::kError);
+    EXPECT_EQ(response->error, svc::ErrorCode::kOverloaded);
+  }
+  EXPECT_EQ(telemetry_->counter("stage.svc.requests.in"), 5u);
+  EXPECT_EQ(telemetry_->counter("stage.svc.requests.admitted"), 0u);
+  EXPECT_EQ(telemetry_->counter("stage.svc.requests.dropped"), 5u);
+  expect_triple_reconciles();
+}
+
+TEST_F(SvcServerTest, ShutdownRequestDrainsAndRefusesNewWork) {
+  start_server(0, {});
+  svc::Client client = connect();
+
+  const auto response = client.shutdown();
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->ok);
+  // The server closes its end after answering a shutdown.
+  EXPECT_FALSE(client.read_frame().has_value());
+
+  server_->wait();
+  // Fully drained: the listening socket is gone.
+  svc::Client late;
+  EXPECT_FALSE(late.connect("127.0.0.1", server_->port()));
+  expect_triple_reconciles();
+}
+
+TEST_F(SvcServerTest, MetricsEndpointExportsTheStandardSchema) {
+  start_server(0, {});
+  svc::Client client = connect();
+  ASSERT_TRUE(client.ping().has_value());
+
+  const auto metrics = client.metrics();
+  ASSERT_TRUE(metrics.has_value());
+  ASSERT_TRUE(metrics->ok);
+  const auto parsed = obs::json::parse(metrics->frame.payload);
+  ASSERT_TRUE(parsed.has_value());
+  const obs::json::Value* schema = parsed->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "certchain.obs.metrics");
+  // The endpoint histograms ride along in the export.
+  EXPECT_NE(metrics->frame.payload.find("svc.endpoint.ping.ms"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace certchain

@@ -1,0 +1,173 @@
+// certchain-query: one-shot client for a running certchain-serve daemon.
+//
+//   certchain-query --port <n> [--host <ip>] <command> [args]
+//
+// commands:
+//   ping
+//   classify <issuer-dn>           §3.2.1 issuer classification
+//   categorize <pem-file|->        categorize a delivered chain (PEM bundle)
+//   report [section]               totals|categories|interception|hybrid|
+//                                  non_public|graphs|full (default full)
+//   ingest <ssl.log> <x509.log>    append log rows to the live corpus
+//   metrics                        the server's certchain.obs.metrics JSON
+//   shutdown                       ask the daemon to drain and exit
+//
+// Prints the response payload (JSON; for `report` the rendered text) to
+// stdout. Exit codes: 0 success, 1 typed server error, 2 usage, 3 transport
+// failure.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/client.hpp"
+
+namespace {
+
+void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port <n> [--host <ip>] <command> [args]\n"
+               "commands: ping | classify <dn> | categorize <pem-file|-> |\n"
+               "          report [section] | ingest <ssl.log> <x509.log> |\n"
+               "          metrics | shutdown\n",
+               argv0);
+}
+
+bool slurp(const std::string& path, std::string& out) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    out = buffer.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Splits a Zeek log text into its body rows ('#' headers dropped).
+std::vector<std::string> body_rows(const std::string& text) {
+  std::vector<std::string> rows;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin && text[begin] != '#') {
+      rows.emplace_back(text.substr(begin, end - begin));
+    }
+    begin = end + 1;
+  }
+  return rows;
+}
+
+int render_response(const std::optional<certchain::svc::Response>& response,
+                    bool report_text) {
+  using certchain::svc::MessageType;
+  if (!response.has_value()) {
+    std::fprintf(stderr, "certchain-query: connection failed mid-request\n");
+    return 3;
+  }
+  if (response->frame.type == MessageType::kError) {
+    std::fprintf(stderr, "certchain-query: server error %s: %s\n",
+                 certchain::svc::error_code_name(response->error).data(),
+                 response->error_message.c_str());
+    return 1;
+  }
+  if (report_text) {
+    if (const auto* text = response->payload.find("text")) {
+      std::fputs(text->string.c_str(), stdout);
+      return 0;
+    }
+  }
+  std::fputs(response->frame.payload.c_str(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace certchain;
+
+  std::string host = "127.0.0.1";
+  unsigned long port = 0;
+  int arg = 1;
+  for (; arg < argc; ++arg) {
+    const std::string_view flag = argv[arg];
+    if (flag == "--port" || flag == "--host") {
+      if (arg + 1 >= argc) {
+        print_usage(argv[0]);
+        return 2;
+      }
+      const char* value = argv[++arg];
+      if (flag == "--host") {
+        host = value;
+      } else {
+        char* end = nullptr;
+        port = std::strtoul(value, &end, 10);
+        if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+          print_usage(argv[0]);
+          return 2;
+        }
+      }
+    } else {
+      break;
+    }
+  }
+  if (port == 0 || arg >= argc) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  const std::string_view command = argv[arg];
+  const int extra = argc - arg - 1;
+
+  svc::Client client;
+  std::string error;
+  if (!client.connect(host, static_cast<std::uint16_t>(port), &error)) {
+    std::fprintf(stderr, "certchain-query: %s\n", error.c_str());
+    return 3;
+  }
+
+  if (command == "ping" && extra == 0) {
+    return render_response(client.ping(), false);
+  }
+  if (command == "classify" && extra == 1) {
+    return render_response(client.classify_issuer(argv[arg + 1]), false);
+  }
+  if (command == "categorize" && extra == 1) {
+    std::string pem;
+    if (!slurp(argv[arg + 1], pem)) {
+      std::fprintf(stderr, "certchain-query: cannot read %s\n", argv[arg + 1]);
+      return 2;
+    }
+    return render_response(client.categorize_chain_pem(pem), false);
+  }
+  if (command == "report" && extra <= 1) {
+    const std::string section = extra == 1 ? argv[arg + 1] : "full";
+    return render_response(client.report_section(section), true);
+  }
+  if (command == "ingest" && extra == 2) {
+    std::string ssl_text;
+    std::string x509_text;
+    if (!slurp(argv[arg + 1], ssl_text) || !slurp(argv[arg + 2], x509_text)) {
+      std::fprintf(stderr, "certchain-query: cannot read input logs\n");
+      return 2;
+    }
+    return render_response(
+        client.ingest_append(body_rows(ssl_text), body_rows(x509_text)), false);
+  }
+  if (command == "metrics" && extra == 0) {
+    return render_response(client.metrics(), false);
+  }
+  if (command == "shutdown" && extra == 0) {
+    return render_response(client.shutdown(), false);
+  }
+  print_usage(argv[0]);
+  return 2;
+}

@@ -1,0 +1,225 @@
+// certchain-serve: the query-serving daemon over a live study corpus
+// (DESIGN.md §12).
+//
+//   certchain-serve [options] <ssl.log> <x509.log>
+//   certchain-serve --demo [options]
+//
+// Loads the corpus once, keeps the analyzed state warm (CorpusIndex, trust
+// classification, interception verdicts, the full StudyReport), then answers
+// certchain.svc.wire queries on a loopback TCP socket: classify_issuer,
+// categorize_chain, report_section, ingest_append, metrics, ping, shutdown.
+// Query results are byte-identical to a batch certchain-analyze run over the
+// same records — the server folds and analyzes through the very same
+// pipeline code.
+//
+// On success prints exactly one line to stdout:
+//
+//   listening on 127.0.0.1:<port>
+//
+// (--port 0, the default, binds an ephemeral port; --port-file additionally
+// writes the bare port number to a file so scripts can pick it up). The
+// daemon then serves until SIGTERM/SIGINT or a kShutdown request arrives,
+// drains gracefully — in-flight requests finish, new ones get a typed
+// SHUTTING_DOWN error — and exits 0.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "datagen/scenario.hpp"
+#include "netsim/pki_world.hpp"
+#include "obs/run_context.hpp"
+#include "svc/server.hpp"
+#include "zeek/log_io.hpp"
+
+namespace {
+
+// Written by the signal handler, read by the watcher thread (self-pipe: the
+// only async-signal-safe way to hand the event to ordinary thread code).
+int g_signal_pipe_write = -1;
+
+void handle_stop_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe_write, &byte, 1);
+}
+
+void print_usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <ssl.log> <x509.log>\n"
+      "       %s --demo [options]\n"
+      "options:\n"
+      "  --port <n>            listen port (default 0 = kernel-assigned)\n"
+      "  --port-file <path>    write the bound port number to <path>\n"
+      "  --threads <n>         request workers (0 = all hardware threads)\n"
+      "  --queue <n>           admission queue capacity (default 64)\n"
+      "  --max-connections <n> concurrent connection cap (default 64)\n"
+      "  --demo                serve a synthesized demo corpus\n"
+      "  --demo-connections <n> demo corpus size (default 4000)\n",
+      argv0, argv0);
+}
+
+bool slurp(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace certchain;
+
+  svc::ServerOptions server_options;
+  std::string port_file;
+  std::size_t demo_connections = 4000;
+  bool demo = false;
+  int arg = 1;
+  for (; arg < argc; ++arg) {
+    const std::string_view flag = argv[arg];
+    if (flag == "--demo") {
+      demo = true;
+    } else if (flag == "--port" || flag == "--port-file" ||
+               flag == "--threads" || flag == "--queue" ||
+               flag == "--max-connections" || flag == "--demo-connections") {
+      if (arg + 1 >= argc) {
+        print_usage(argv[0]);
+        return 2;
+      }
+      const char* value = argv[++arg];
+      if (flag == "--port-file") {
+        port_file = value;
+        continue;
+      }
+      char* end = nullptr;
+      const unsigned long number = std::strtoul(value, &end, 10);
+      if (end == nullptr || *end != '\0') {
+        print_usage(argv[0]);
+        return 2;
+      }
+      if (flag == "--port") {
+        server_options.port = static_cast<std::uint16_t>(number);
+      } else if (flag == "--threads") {
+        server_options.workers = static_cast<std::size_t>(number);
+      } else if (flag == "--queue") {
+        server_options.queue_capacity = static_cast<std::size_t>(number);
+      } else if (flag == "--max-connections") {
+        server_options.max_connections = static_cast<std::size_t>(number);
+      } else {
+        demo_connections = static_cast<std::size_t>(number);
+      }
+    } else {
+      break;
+    }
+  }
+  if ((demo && argc - arg != 0) || (!demo && argc - arg != 2)) {
+    print_usage(argv[0]);
+    return 2;
+  }
+
+  // Load the corpus records.
+  std::vector<zeek::SslLogRecord> ssl_records;
+  std::vector<zeek::X509LogRecord> x509_records;
+  if (demo) {
+    obs::RunContext scratch;
+    datagen::ScenarioConfig config;
+    config.seed = 20200901;
+    config.chain_scale = 1.0 / static_cast<double>(demo_connections);
+    config.total_connections = demo_connections;
+    config.client_count = 300;
+    config.include_length_outliers = false;
+    const auto scenario = datagen::build_study_scenario(config, &scratch);
+    netsim::GeneratedLogs logs = scenario->generate_logs(&scratch);
+    ssl_records = std::move(logs.ssl);
+    x509_records = std::move(logs.x509);
+  } else {
+    std::string ssl_text;
+    std::string x509_text;
+    if (!slurp(argv[arg], ssl_text) || !slurp(argv[arg + 1], x509_text)) {
+      std::fprintf(stderr, "certchain-serve: cannot read input logs\n");
+      return 1;
+    }
+    zeek::ParseDiagnostics ssl_diag;
+    zeek::ParseDiagnostics x509_diag;
+    ssl_records = zeek::parse_ssl_log(ssl_text, &ssl_diag);
+    x509_records = zeek::parse_x509_log(x509_text, &x509_diag);
+    std::fprintf(stderr, "loaded %zu SSL rows (%zu skipped), %zu X509 rows (%zu skipped)\n",
+                 ssl_records.size(), ssl_diag.skipped_lines,
+                 x509_records.size(), x509_diag.skipped_lines);
+  }
+
+  // The classification universe; same construction as certchain-analyze so
+  // the two front-ends answer identically for the same records.
+  netsim::PkiWorld world;
+  core::VendorDirectory vendors;
+  for (auto& deployment : world.interception()) {
+    const core::VendorInfo info{
+        deployment.vendor.name,
+        std::string(interception_category_name(deployment.vendor.category))};
+    vendors[deployment.intermediate_ca.name().canonical()] = info;
+    vendors[deployment.root_ca.name().canonical()] = info;
+  }
+
+  svc::ServiceState state(world.stores(), world.ct_logs(), vendors,
+                          &world.cross_signs());
+  state.load(ssl_records, x509_records);
+  std::fprintf(stderr, "corpus ready: %zu unique chains, generation %llu\n",
+               state.unique_chains(),
+               static_cast<unsigned long long>(state.generation()));
+
+  svc::SyncTelemetry telemetry;
+  telemetry.set_config("tool", "certchain-serve");
+  svc::Server server(state, telemetry, server_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "certchain-serve: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "certchain-serve: cannot write %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+  std::printf("listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  // SIGTERM/SIGINT start the same graceful drain a kShutdown request does.
+  int signal_pipe[2];
+  if (::pipe(signal_pipe) != 0) {
+    std::fprintf(stderr, "certchain-serve: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  g_signal_pipe_write = signal_pipe[1];
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::thread signal_watcher([&server, read_fd = signal_pipe[0]] {
+    char byte;
+    if (::read(read_fd, &byte, 1) > 0) server.request_stop();
+  });
+
+  server.wait();  // returns once the drain (signal- or wire-initiated) is done
+  ::close(signal_pipe[1]);  // wakes the watcher if no signal ever arrived
+  signal_watcher.join();
+  ::close(signal_pipe[0]);
+  std::fprintf(stderr, "certchain-serve: drained, exiting\n");
+  return 0;
+}
