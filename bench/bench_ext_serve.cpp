@@ -9,12 +9,16 @@
 //
 // CERTCHAIN_METRICS=<path-prefix> additionally writes the standard
 // certchain.obs.metrics JSON export of each configuration to
-// <path-prefix><workers>.json.
+// <path-prefix><workers>.json, and `--json-out <path>` writes the whole
+// sweep as one machine-readable certchain.bench.serve document so the
+// serving-performance trajectory can be tracked across commits.
 #include "bench_common.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <fstream>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -44,10 +48,106 @@ struct LoadResult {
   std::vector<Endpoint> endpoints;
 };
 
+/// The whole sweep as one schema-versioned JSON document.
+std::string sweep_json(const certchain::datagen::ScenarioConfig& config,
+                       std::size_t ssl_rows, std::size_t x509_rows,
+                       std::size_t unique_chains, std::size_t hardware,
+                       int clients, int requests_per_client,
+                       const std::vector<std::size_t>& worker_counts,
+                       const std::vector<LoadResult>& results) {
+  certchain::obs::json::Writer writer;
+  writer.begin_object();
+  writer.key("schema");
+  writer.value_string("certchain.bench.serve");
+  writer.key("version");
+  writer.value_uint(1);
+  writer.key("scenario");
+  writer.begin_object();
+  writer.key("chain_scale");
+  writer.value_number(config.chain_scale);
+  writer.key("connections");
+  writer.value_uint(config.total_connections);
+  writer.key("seed");
+  writer.value_uint(config.seed);
+  writer.end_object();
+  writer.key("corpus");
+  writer.begin_object();
+  writer.key("ssl_rows");
+  writer.value_uint(ssl_rows);
+  writer.key("x509_rows");
+  writer.value_uint(x509_rows);
+  writer.key("unique_chains");
+  writer.value_uint(unique_chains);
+  writer.end_object();
+  writer.key("load");
+  writer.begin_object();
+  writer.key("clients");
+  writer.value_uint(static_cast<std::uint64_t>(clients));
+  writer.key("requests_per_client");
+  writer.value_uint(static_cast<std::uint64_t>(requests_per_client));
+  writer.key("hardware_workers");
+  writer.value_uint(hardware);
+  writer.end_object();
+  writer.key("configurations");
+  writer.begin_array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LoadResult& result = results[i];
+    writer.begin_object();
+    writer.key("workers");
+    writer.value_uint(worker_counts[i]);
+    writer.key("wall_ms");
+    writer.value_number(result.wall_ms);
+    writer.key("requests");
+    writer.value_uint(result.requests);
+    writer.key("requests_per_second");
+    writer.value_number(result.requests * 1000.0 /
+                        std::max(result.wall_ms, 1e-9));
+    writer.key("errors");
+    writer.value_uint(result.errors);
+    writer.key("manifest_triple_reconciles");
+    writer.value_bool(result.reconciles);
+    writer.key("endpoints");
+    writer.begin_array();
+    for (const LoadResult::Endpoint& endpoint : result.endpoints) {
+      writer.begin_object();
+      writer.key("name");
+      writer.value_string(endpoint.name);
+      writer.key("count");
+      writer.value_uint(endpoint.count);
+      writer.key("p50_ms");
+      writer.value_number(endpoint.p50);
+      writer.key("p90_ms");
+      writer.value_number(endpoint.p90);
+      writer.key("p99_ms");
+      writer.value_number(endpoint.p99);
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return std::move(writer).str();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace certchain;
+
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ext_serve [--json-out <path>]\n"
+                   "unknown argument: %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
   bench::print_header(
       "Ext: certchain-serve closed-loop throughput and latency",
       "loopback clients vs. 1/4/hw request workers; manifest triple checked");
@@ -184,6 +284,21 @@ int main() {
                      util::format_double(endpoint.p99, 3)});
   }
   std::printf("%s\n", latency.render().c_str());
+
+  if (!json_out.empty()) {
+    const std::string document =
+        sweep_json(config, logs.ssl.size(), logs.x509.size(),
+                   state.unique_chains(), hardware, kClients,
+                   kRequestsPerClient, worker_counts, results);
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bench_ext_serve: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    out << document << '\n';
+    std::fprintf(stderr, "[certchain] wrote %s\n", json_out.c_str());
+  }
 
   std::printf("Accounting: %s\n",
               all_ok ? "every configuration answered every request and its "

@@ -217,7 +217,10 @@ std::optional<StreamCheckpoint> decode_stream_checkpoint(
 bool write_stream_checkpoint(const std::string& path,
                              const StreamCheckpoint& checkpoint,
                              const CorpusIndex& corpus) {
-  const std::string text = encode_stream_checkpoint(checkpoint, corpus);
+  return write_file_atomic(path, encode_stream_checkpoint(checkpoint, corpus));
+}
+
+bool write_file_atomic(const std::string& path, std::string_view text) {
   const std::string tmp_path = path + ".tmp";
   std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
   if (file == nullptr) return false;

@@ -1,0 +1,337 @@
+#include "svc/chaos.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace certchain::svc {
+
+namespace {
+
+constexpr int kListenBacklog = 16;
+constexpr std::size_t kChunkBytes = 64 * 1024;
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// EINTR-safe full write; MSG_NOSIGNAL so a dead peer is an error, not a
+/// process-wide SIGPIPE.
+bool write_fully(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Flips `count` bytes of the chunk at positions drawn from `salt` — the
+/// same damage discipline FaultPlan::damage_bundle applies to PEM bundles.
+void corrupt_chunk(char* data, std::size_t size, std::uint32_t count,
+                   std::uint64_t salt) {
+  if (size == 0) return;
+  std::uint64_t state = salt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t draw = util::splitmix64(state);
+    data[draw % size] ^= static_cast<char>(0xFF);
+  }
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(std::string upstream_host, std::uint16_t upstream_port,
+                       netsim::FaultPlan plan)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port),
+      target_(upstream_host_ + ":" + std::to_string(upstream_port)),
+      plan_(std::move(plan)) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+bool ChaosProxy::start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    close_if_open(listen_fd_);
+    close_if_open(wake_pipe_[0]);
+    close_if_open(wake_pipe_[1]);
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = 0;  // ephemeral
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, kListenBacklog) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) return fail("pipe");
+
+  stopping_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  started_ = true;
+  return true;
+}
+
+void ChaosProxy::stop() {
+  if (!started_) return;
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Unblock every link's poll(); the threads observe EOF/error and exit.
+    for (Link& link : links_) {
+      if (link.client_fd >= 0) ::shutdown(link.client_fd, SHUT_RDWR);
+      if (link.upstream_fd >= 0) ::shutdown(link.upstream_fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    Link* next = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (Link& link : links_) {
+        if (link.thread.joinable()) {
+          next = &link;
+          break;
+        }
+      }
+    }
+    if (next == nullptr) break;
+    next->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Link& link : links_) {
+      close_if_open(link.client_fd);
+      close_if_open(link.upstream_fd);
+    }
+    links_.clear();
+  }
+  close_if_open(listen_fd_);
+  close_if_open(wake_pipe_[0]);
+  close_if_open(wake_pipe_[1]);
+  started_ = false;
+}
+
+ChaosStats ChaosProxy::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool ChaosProxy::dial_upstream(int* fd) const {
+  *fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (*fd < 0) return false;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(upstream_port_);
+  if (::inet_pton(AF_INET, upstream_host_.c_str(), &address.sin_addr) != 1 ||
+      ::connect(*fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(*fd);
+    *fd = -1;
+    return false;
+  }
+  return true;
+}
+
+void ChaosProxy::acceptor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;  // EINTR/ECONNABORTED: poll again
+
+    const netsim::FaultEvent event = plan_.decide(target_, next_connection_++);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.connections;
+    reap_finished_links_locked();
+
+    // Connect-level faults: the upstream never hears about this client.
+    if (event.kind == netsim::FaultKind::kConnectTimeout ||
+        event.kind == netsim::FaultKind::kTransientUnreachable ||
+        event.kind == netsim::FaultKind::kPersistentUnreachable) {
+      ++stats_.refused;
+      ::close(client);
+      continue;
+    }
+
+    int upstream = -1;
+    if (!dial_upstream(&upstream)) {
+      ++stats_.refused;
+      ::close(client);
+      continue;
+    }
+
+    links_.emplace_back();
+    Link* link = &links_.back();
+    link->client_fd = client;
+    link->upstream_fd = upstream;
+    link->thread = std::thread([this, link, event] { link_loop(link, event); });
+  }
+}
+
+void ChaosProxy::reap_finished_links_locked() {
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      close_if_open(it->client_fd);
+      close_if_open(it->upstream_fd);
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChaosProxy::link_loop(Link* link, netsim::FaultEvent event) {
+  const int client = link->client_fd;
+  const int upstream = link->upstream_fd;
+  char buffer[kChunkBytes];
+  bool first_client_chunk = true;
+  bool open = true;
+  std::uint64_t forwarded = 0;
+
+  const auto count_outcome = [&](std::uint64_t ChaosStats::* field) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++(stats_.*field);
+  };
+
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{client, POLLIN, 0}, {upstream, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    // Responses flow back untouched; only the request direction is damaged.
+    if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      ssize_t n;
+      do {
+        n = ::recv(upstream, buffer, sizeof(buffer), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) break;
+      if (!write_fully(client, buffer, static_cast<std::size_t>(n))) break;
+      forwarded += static_cast<std::uint64_t>(n);
+    }
+
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      ssize_t n;
+      do {
+        n = ::recv(client, buffer, sizeof(buffer), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) break;
+      std::size_t size = static_cast<std::size_t>(n);
+
+      if (first_client_chunk) {
+        first_client_chunk = false;
+        switch (event.kind) {
+          case netsim::FaultKind::kConnectionReset:
+            // Abrupt sever: the server saw a connection, never a byte.
+            count_outcome(&ChaosStats::severed);
+            open = false;
+            size = 0;
+            break;
+          case netsim::FaultKind::kTruncatedHandshake: {
+            // Forward a prefix, then hang up both sides: the upstream is
+            // left holding a torn frame.
+            const std::size_t keep = static_cast<std::size_t>(
+                static_cast<double>(size) * event.truncate_fraction);
+            write_fully(upstream, buffer, keep);
+            forwarded += keep;
+            count_outcome(&ChaosStats::truncated);
+            open = false;
+            size = 0;
+            break;
+          }
+          case netsim::FaultKind::kByteCorruption:
+            corrupt_chunk(buffer, size, event.corrupt_bytes,
+                          event.payload_salt);
+            count_outcome(&ChaosStats::corrupted);
+            break;
+          case netsim::FaultKind::kSlowResponse: {
+            // Trickle: half now, stall, half later — a mid-frame stall from
+            // the server's point of view.
+            const std::size_t half = size / 2;
+            if (!write_fully(upstream, buffer, half)) {
+              open = false;
+              size = 0;
+              break;
+            }
+            forwarded += half;
+            std::uint32_t delay = event.delay_ms;
+            if (stall_cap_ms_ > 0 && delay > stall_cap_ms_) {
+              delay = stall_cap_ms_;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+            std::memmove(buffer, buffer + half, size - half);
+            size -= half;
+            count_outcome(&ChaosStats::stalled);
+            break;
+          }
+          default:
+            count_outcome(&ChaosStats::clean);
+            break;
+        }
+      }
+
+      if (size > 0) {
+        if (!write_fully(upstream, buffer, size)) break;
+        forwarded += size;
+      }
+    }
+  }
+
+  ::shutdown(client, SHUT_RDWR);
+  ::shutdown(upstream, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.bytes_forwarded += forwarded;
+  }
+  link->done.store(true, std::memory_order_release);
+}
+
+}  // namespace certchain::svc

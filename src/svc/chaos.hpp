@@ -1,0 +1,117 @@
+// Deterministic chaos for the serving stack (DESIGN.md §13.5).
+//
+// ChaosProxy is a loopback TCP shim that sits between a Client and a Server
+// and injects transport faults according to a netsim::FaultPlan — the same
+// seeded vocabulary the resilient-scanning path uses (§5, Appendix D), so a
+// given (seed, rates) pair always replays the exact same fault schedule.
+// decide() is consulted once per proxied connection, keyed by the upstream
+// "host:port" target and the 0-based connection index, and maps onto the
+// wire like this:
+//
+//   kConnectTimeout / kTransientUnreachable / kPersistentUnreachable
+//       the upstream is never dialed; the accepted client socket closes
+//       immediately (connect-level sever)
+//   kConnectionReset
+//       the first client bytes tear the connection down abruptly before
+//       anything is forwarded (mid-exchange sever)
+//   kTruncatedHandshake
+//       truncate_fraction of the first client chunk is forwarded, then both
+//       sides close — the server holds a torn frame forever
+//   kByteCorruption
+//       corrupt_bytes bytes of the first client chunk are flipped (positions
+//       seeded by payload_salt); the stream keeps flowing — the server must
+//       answer with a typed error or hang up cleanly, never crash
+//   kSlowResponse
+//       the first client chunk is forwarded half, then stalled delay_ms,
+//       then the rest — a trickling peer that exercises the server's
+//       mid-frame deadline
+//   kNone
+//       bytes pass through untouched in both directions
+//
+// Faults are injected into the client->server direction only; responses
+// always flow back unmodified, so every observed failure is attributable to
+// the injected fault, not the shim.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "netsim/faults.hpp"
+
+namespace certchain::svc {
+
+/// What the proxy did, for test assertions.
+struct ChaosStats {
+  std::uint64_t connections = 0;      // accepted client connections
+  std::uint64_t refused = 0;          // closed before dialing upstream
+  std::uint64_t severed = 0;          // torn down on the first client bytes
+  std::uint64_t truncated = 0;        // partial first chunk, then closed
+  std::uint64_t corrupted = 0;        // first chunk bit-flipped
+  std::uint64_t stalled = 0;          // first chunk trickled with a delay
+  std::uint64_t clean = 0;            // fully transparent connections
+  std::uint64_t bytes_forwarded = 0;  // both directions, post-damage
+};
+
+class ChaosProxy {
+ public:
+  /// The plan decides per-connection faults against the "host:port" target.
+  ChaosProxy(std::string upstream_host, std::uint16_t upstream_port,
+             netsim::FaultPlan plan);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Clamps kSlowResponse stalls to `cap` ms (0 = use the event's delay
+  /// verbatim). The netsim plan draws scan-scale delays (0.5–10 s); soak
+  /// tests cap them so a run stays fast while still crossing the server's
+  /// deadline.
+  void set_stall_cap_ms(std::uint32_t cap) { stall_cap_ms_ = cap; }
+
+  /// Binds an ephemeral loopback port and starts proxying.
+  bool start(std::string* error = nullptr);
+  /// The port clients should dial (resolves after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, tears down every live link, joins all threads.
+  void stop();
+
+  ChaosStats stats() const;
+
+ private:
+  struct Link {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void acceptor_loop();
+  void link_loop(Link* link, netsim::FaultEvent event);
+  bool dial_upstream(int* fd) const;
+  void reap_finished_links_locked();
+
+  std::string upstream_host_;
+  std::uint16_t upstream_port_ = 0;
+  std::string target_;  // "host:port", the FaultPlan key
+  netsim::FaultPlan plan_;
+  std::uint32_t stall_cap_ms_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::uint32_t next_connection_ = 0;  // decide()'s attempt index
+
+  mutable std::mutex mutex_;  // guards links_ and stats_
+  std::list<Link> links_;
+  ChaosStats stats_;
+};
+
+}  // namespace certchain::svc

@@ -3,10 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace certchain::svc {
@@ -15,34 +19,19 @@ namespace {
 
 using obs::json::Writer;
 
-std::string string_array_payload(std::string_view first_key,
-                                 const std::vector<std::string>& first,
-                                 std::string_view second_key,
-                                 const std::vector<std::string>& second) {
-  Writer writer;
-  writer.begin_object();
-  writer.key(first_key);
-  writer.begin_array();
-  for (const std::string& row : first) writer.value_string(row);
-  writer.end_array();
-  writer.key(second_key);
-  writer.begin_array();
-  for (const std::string& row : second) writer.value_string(row);
-  writer.end_array();
-  writer.end_object();
-  return std::move(writer).str();
-}
-
 }  // namespace
 
 bool Client::connect(const std::string& host, std::uint16_t port,
                      std::string* error) {
   close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
+  apply_timeout();
   sockaddr_in address{};
   address.sin_family = AF_INET;
   address.sin_port = htons(port);
@@ -68,6 +57,44 @@ void Client::close() {
   reader_ = FrameReader();
 }
 
+bool Client::reconnect() {
+  return !host_.empty() && connect(host_, port_, nullptr);
+}
+
+void Client::set_timeout_ms(std::uint32_t timeout_ms) {
+  timeout_ms_ = timeout_ms;
+  apply_timeout();
+}
+
+void Client::set_retry(const RetryOptions& options) {
+  retry_ = options;
+  rng_ = util::Rng(options.jitter_seed);
+}
+
+void Client::apply_timeout() {
+  if (fd_ < 0 || timeout_ms_ == 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void Client::backoff_sleep(std::size_t retry_index) {
+  std::uint64_t backoff = retry_.base_backoff_ms;
+  for (std::size_t i = 0;
+       i < retry_index && backoff < retry_.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(backoff, retry_.max_backoff_ms));
+  // Half-to-full jitter: retries spread out instead of synchronizing, and
+  // the seeded stream keeps the schedule reproducible in tests.
+  const std::uint64_t low = backoff / 2;
+  const std::uint64_t jittered = low + rng_.next_below(backoff - low + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+}
+
 bool Client::send_raw(std::string_view bytes) {
   if (fd_ < 0) return false;
   std::size_t written = 0;
@@ -76,7 +103,7 @@ bool Client::send_raw(std::string_view bytes) {
                              bytes.size() - written, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return false;
+      return false;  // timeout (EAGAIN under SO_SNDTIMEO) or dead peer
     }
     written += static_cast<std::size_t>(n);
   }
@@ -100,6 +127,8 @@ std::optional<Frame> Client::read_frame() {
     const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK = SO_RCVTIMEO expired: same treatment as a dead
+      // connection, because a half-read response cannot be resynchronized.
       close();
       return std::nullopt;
     }
@@ -109,7 +138,12 @@ std::optional<Frame> Client::read_frame() {
 
 std::optional<Response> Client::call(MessageType request,
                                      std::string_view payload) {
-  if (!send_raw(encode_frame(request, payload))) return std::nullopt;
+  if (!send_raw(encode_frame(request, payload))) {
+    // A half-written request cannot be resumed; drop the connection so a
+    // retry dials a fresh one instead of re-sending into a dead socket.
+    close();
+    return std::nullopt;
+  }
   std::optional<Frame> frame = read_frame();
   if (!frame.has_value()) return std::nullopt;
 
@@ -126,7 +160,7 @@ std::optional<Response> Client::call(MessageType request,
            {ErrorCode::kBadMagic, ErrorCode::kBadVersion, ErrorCode::kBadType,
             ErrorCode::kOversized, ErrorCode::kBadPayload,
             ErrorCode::kOverloaded, ErrorCode::kShuttingDown,
-            ErrorCode::kInternal}) {
+            ErrorCode::kInternal, ErrorCode::kDeadlineExceeded}) {
         if (code->string == error_code_name(candidate)) {
           response.error = candidate;
           break;
@@ -142,8 +176,39 @@ std::optional<Response> Client::call(MessageType request,
   return response;
 }
 
+std::optional<Response> Client::call_with_retry(MessageType request,
+                                                std::string_view payload,
+                                                bool idempotent) {
+  const std::size_t attempts = std::max<std::size_t>(1, retry_.max_attempts);
+  std::optional<Response> last;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_performed_;
+      backoff_sleep(attempt - 1);
+    }
+    if (fd_ < 0 && !reconnect()) {
+      // Connecting sent nothing, so another attempt is always safe.
+      last = std::nullopt;
+      continue;
+    }
+    last = call(request, payload);
+    if (!last.has_value()) {
+      // Transport failure mid-exchange: the server may or may not have
+      // executed the request. Only an idempotent request may go again.
+      if (!idempotent) return std::nullopt;
+      continue;
+    }
+    const bool overloaded = last->frame.type == MessageType::kError &&
+                            last->error == ErrorCode::kOverloaded;
+    // OVERLOADED is rejected at admission, before execution — retrying is
+    // safe for every request type. Any other answer is final.
+    if (!overloaded) return last;
+  }
+  return last;
+}
+
 std::optional<Response> Client::ping() {
-  return call(MessageType::kPing, "");
+  return call_with_retry(MessageType::kPing, "", /*idempotent=*/true);
 }
 
 std::optional<Response> Client::classify_issuer(std::string_view issuer_dn) {
@@ -152,7 +217,8 @@ std::optional<Response> Client::classify_issuer(std::string_view issuer_dn) {
   writer.key("issuer");
   writer.value_string(issuer_dn);
   writer.end_object();
-  return call(MessageType::kClassifyIssuer, writer.str());
+  return call_with_retry(MessageType::kClassifyIssuer, std::move(writer).str(),
+                         /*idempotent=*/true);
 }
 
 std::optional<Response> Client::categorize_chain_pem(
@@ -162,7 +228,8 @@ std::optional<Response> Client::categorize_chain_pem(
   writer.key("pem");
   writer.value_string(pem_bundle);
   writer.end_object();
-  return call(MessageType::kCategorizeChain, writer.str());
+  return call_with_retry(MessageType::kCategorizeChain, std::move(writer).str(),
+                         /*idempotent=*/true);
 }
 
 std::optional<Response> Client::categorize_chain_rows(
@@ -174,7 +241,8 @@ std::optional<Response> Client::categorize_chain_rows(
   for (const std::string& row : x509_rows) writer.value_string(row);
   writer.end_array();
   writer.end_object();
-  return call(MessageType::kCategorizeChain, writer.str());
+  return call_with_retry(MessageType::kCategorizeChain, std::move(writer).str(),
+                         /*idempotent=*/true);
 }
 
 std::optional<Response> Client::report_section(std::string_view section) {
@@ -183,21 +251,42 @@ std::optional<Response> Client::report_section(std::string_view section) {
   writer.key("section");
   writer.value_string(section);
   writer.end_object();
-  return call(MessageType::kReportSection, writer.str());
+  return call_with_retry(MessageType::kReportSection, std::move(writer).str(),
+                         /*idempotent=*/true);
 }
 
 std::optional<Response> Client::ingest_append(
     const std::vector<std::string>& ssl_rows,
-    const std::vector<std::string>& x509_rows) {
-  return call(MessageType::kIngestAppend,
-              string_array_payload("ssl_rows", ssl_rows, "x509_rows", x509_rows));
+    const std::vector<std::string>& x509_rows,
+    std::string_view idempotency_key) {
+  Writer writer;
+  writer.begin_object();
+  writer.key("ssl_rows");
+  writer.begin_array();
+  for (const std::string& row : ssl_rows) writer.value_string(row);
+  writer.end_array();
+  writer.key("x509_rows");
+  writer.begin_array();
+  for (const std::string& row : x509_rows) writer.value_string(row);
+  writer.end_array();
+  if (!idempotency_key.empty()) {
+    writer.key("idempotency_key");
+    writer.value_string(idempotency_key);
+  }
+  writer.end_object();
+  // Without a key a replayed append would double-fold; with one the server's
+  // WAL-backed ledger makes the retry exact-once.
+  return call_with_retry(MessageType::kIngestAppend, std::move(writer).str(),
+                         /*idempotent=*/!idempotency_key.empty());
 }
 
 std::optional<Response> Client::metrics() {
-  return call(MessageType::kMetrics, "");
+  return call_with_retry(MessageType::kMetrics, "", /*idempotent=*/true);
 }
 
 std::optional<Response> Client::shutdown() {
+  // Never auto-retried: the expected aftermath of a successful shutdown is a
+  // dead connection, which a retry would misread as failure.
   return call(MessageType::kShutdown, "");
 }
 

@@ -7,6 +7,16 @@
 // helpers wrap the endpoint payload schemas from DESIGN.md §12.3. send_raw()
 // exists so the protocol tests can feed the server deliberately damaged
 // bytes.
+//
+// Resilience (DESIGN.md §13.4): set_timeout_ms bounds every socket
+// send/recv so a stalled server cannot hang the caller, and set_retry arms
+// call_with_retry — bounded exponential backoff with deterministic jitter.
+// An OVERLOADED response is always retried (the server rejected the request
+// at admission, before executing it); a transport failure is retried only
+// for idempotent requests, because the server may have executed the request
+// before the connection died. ingest_append becomes idempotent by carrying
+// an idempotency key: the server's WAL-backed ledger folds a retried batch
+// exactly once and answers the duplicate with the original result.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +27,7 @@
 
 #include "obs/json.hpp"
 #include "svc/protocol.hpp"
+#include "util/rng.hpp"
 
 namespace certchain::svc {
 
@@ -29,6 +40,15 @@ struct Response {
   std::string error_message;               // ditto
 };
 
+/// Retry policy for call_with_retry.
+struct RetryOptions {
+  std::size_t max_attempts = 1;       // total tries; 1 = never retry
+  std::uint32_t base_backoff_ms = 50; // first retry's backoff ceiling
+  std::uint32_t max_backoff_ms = 2000;
+  /// Seeds the jitter stream, so tests replay the exact same sleep schedule.
+  std::uint64_t jitter_seed = 0x5eedc0ffee;
+};
+
 class Client {
  public:
   Client() = default;
@@ -38,7 +58,14 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   Client(Client&& other) noexcept
-      : fd_(other.fd_), reader_(std::move(other.reader_)) {
+      : fd_(other.fd_),
+        reader_(std::move(other.reader_)),
+        host_(std::move(other.host_)),
+        port_(other.port_),
+        timeout_ms_(other.timeout_ms_),
+        retry_(other.retry_),
+        rng_(other.rng_),
+        retries_performed_(other.retries_performed_) {
     other.fd_ = -1;
   }
   Client& operator=(Client&& other) noexcept {
@@ -46,6 +73,12 @@ class Client {
       close();
       fd_ = other.fd_;
       reader_ = std::move(other.reader_);
+      host_ = std::move(other.host_);
+      port_ = other.port_;
+      timeout_ms_ = other.timeout_ms_;
+      retry_ = other.retry_;
+      rng_ = other.rng_;
+      retries_performed_ = other.retries_performed_;
       other.fd_ = -1;
     }
     return *this;
@@ -56,10 +89,27 @@ class Client {
   void close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Bounds every socket send/recv (and, on Linux, connect) with
+  /// SO_SNDTIMEO/SO_RCVTIMEO. 0 = block forever. Applies to the current
+  /// connection and every later one.
+  void set_timeout_ms(std::uint32_t timeout_ms);
+  /// Arms call_with_retry; the typed helpers all route through it.
+  void set_retry(const RetryOptions& options);
+  /// How many retry attempts call_with_retry has made (test observability).
+  std::uint64_t retries_performed() const { return retries_performed_; }
+
   /// Sends one request frame and blocks for one response frame. Returns
   /// nullopt on transport failure (connection closed / unrecoverable framing
-  /// damage in the response stream).
+  /// damage in the response stream / socket timeout).
   std::optional<Response> call(MessageType request, std::string_view payload);
+
+  /// call() plus the retry policy: reconnects a dead connection, always
+  /// retries OVERLOADED (rejected before execution), retries transport
+  /// failures only when `idempotent`. Returns the last response (or nullopt
+  /// when every attempt failed at the transport).
+  std::optional<Response> call_with_retry(MessageType request,
+                                          std::string_view payload,
+                                          bool idempotent);
 
   /// Writes arbitrary bytes to the socket (protocol-damage tests).
   bool send_raw(std::string_view bytes);
@@ -73,15 +123,32 @@ class Client {
   std::optional<Response> categorize_chain_rows(
       const std::vector<std::string>& x509_rows);
   std::optional<Response> report_section(std::string_view section);
+  /// A non-empty idempotency_key makes the append safe to retry: the server
+  /// folds the batch once and answers every retry with the original result.
   std::optional<Response> ingest_append(
       const std::vector<std::string>& ssl_rows,
-      const std::vector<std::string>& x509_rows);
+      const std::vector<std::string>& x509_rows,
+      std::string_view idempotency_key = "");
   std::optional<Response> metrics();
   std::optional<Response> shutdown();
 
  private:
+  /// Re-dials the remembered host/port (used between retry attempts).
+  bool reconnect();
+  /// Stamps SO_RCVTIMEO/SO_SNDTIMEO on the current socket.
+  void apply_timeout();
+  /// Sleeps the bounded-exponential, jittered backoff for the given 0-based
+  /// retry index.
+  void backoff_sleep(std::size_t retry_index);
+
   int fd_ = -1;
   FrameReader reader_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::uint32_t timeout_ms_ = 0;
+  RetryOptions retry_;
+  util::Rng rng_{RetryOptions{}.jitter_seed};
+  std::uint64_t retries_performed_ = 0;
 };
 
 }  // namespace certchain::svc

@@ -299,11 +299,24 @@ std::string RequestHandlers::dispatch(const Frame& request,
         return encode_error(ErrorCode::kBadPayload,
                             "ingest_append carries no rows");
       }
-      const AppendResult result = state_->ingest_append(*ssl_rows, *x509_rows);
-      telemetry_->count("svc.ingest.ssl_rows", result.ssl_added);
-      telemetry_->count("svc.ingest.x509_rows", result.x509_added);
-      telemetry_->count("svc.ingest.rows_malformed",
-                        result.ssl_malformed + result.x509_malformed);
+      const Value* key = payload->find("idempotency_key");
+      if (key != nullptr && !key->is_string()) {
+        return encode_error(ErrorCode::kBadPayload,
+                            "\"idempotency_key\" must be a string");
+      }
+      const std::string idempotency_key = key != nullptr ? key->string : "";
+      const AppendResult result =
+          state_->ingest_append(*ssl_rows, *x509_rows, idempotency_key);
+      if (result.duplicate) {
+        // A client retry of a batch already folded: answer with the original
+        // result, count nothing into the ingest totals again.
+        telemetry_->count("svc.ingest.duplicates");
+      } else {
+        telemetry_->count("svc.ingest.ssl_rows", result.ssl_added);
+        telemetry_->count("svc.ingest.x509_rows", result.x509_added);
+        telemetry_->count("svc.ingest.rows_malformed",
+                          result.ssl_malformed + result.x509_malformed);
+      }
       writer.begin_object();
       writer.key("ssl_added");
       writer.value_uint(result.ssl_added);
@@ -319,6 +332,12 @@ std::string RequestHandlers::dispatch(const Frame& request,
       writer.value_uint(result.unique_chains);
       writer.key("connections");
       writer.value_uint(result.connections);
+      writer.key("duplicate");
+      writer.value_bool(result.duplicate);
+      if (result.wal_seq != 0) {
+        writer.key("wal_seq");
+        writer.value_uint(result.wal_seq);
+      }
       writer.end_object();
       return encode_frame(MessageType::kIngestAppendOk, writer.str());
     }

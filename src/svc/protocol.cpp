@@ -46,6 +46,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kOverloaded: return "OVERLOADED";
     case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

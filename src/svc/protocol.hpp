@@ -71,6 +71,7 @@ enum class ErrorCode : std::uint8_t {
   kOverloaded,    // admission queue full — retry later (backpressure)
   kShuttingDown,  // server is draining; no new work accepted
   kInternal,      // handler failed unexpectedly
+  kDeadlineExceeded,  // request (or its frame) missed the server's deadline
 };
 
 std::string_view error_code_name(ErrorCode code);

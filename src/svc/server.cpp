@@ -4,9 +4,11 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -18,11 +20,23 @@ namespace {
 constexpr int kListenBacklog = 64;
 constexpr std::size_t kReadChunkBytes = 64 * 1024;
 
+using Clock = std::chrono::steady_clock;
+
 void close_if_open(int& fd) {
   if (fd >= 0) {
     ::close(fd);
     fd = -1;
   }
+}
+
+/// Milliseconds until `deadline`, clamped at 0 (for poll timeouts).
+int ms_until(Clock::time_point deadline, Clock::time_point now) {
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count();
+  if (remaining <= 0) return 0;
+  if (remaining > 3600 * 1000) return 3600 * 1000;
+  return static_cast<int>(remaining);
 }
 
 }  // namespace
@@ -82,6 +96,10 @@ bool Server::start(std::string* error) {
   telemetry_->set_config("svc.queue_capacity",
                          std::to_string(options_.queue_capacity));
   telemetry_->set_config("svc.wire_version", std::to_string(kWireVersion));
+  telemetry_->set_config("svc.request_deadline_ms",
+                         std::to_string(options_.request_deadline_ms));
+  telemetry_->set_config("svc.idle_timeout_ms",
+                         std::to_string(options_.idle_timeout_ms));
   telemetry_->set_gauge("svc.connections.active", 0.0);
 
   pool_ = std::make_unique<par::ThreadPool>(workers);
@@ -185,7 +203,18 @@ void Server::acceptor_loop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
 
     const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
+    if (client < 0) continue;  // EINTR/ECONNABORTED: poll again
+
+    if (options_.request_deadline_ms > 0) {
+      // A peer that stops reading cannot park a response write forever: the
+      // send times out, write_all fails, the connection closes.
+      timeval send_timeout{};
+      send_timeout.tv_sec = options_.request_deadline_ms / 1000;
+      send_timeout.tv_usec =
+          static_cast<long>(options_.request_deadline_ms % 1000) * 1000;
+      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                   sizeof(send_timeout));
+    }
 
     std::lock_guard<std::mutex> lock(connections_mutex_);
     reap_finished_connections_locked();
@@ -223,13 +252,58 @@ void Server::connection_loop(Connection* connection) {
   FrameReader reader;
   char buffer[kReadChunkBytes];
   bool open = true;
+
+  // Two clocks bound this loop. frame_deadline arms when a frame starts
+  // arriving (buffer empty -> nonempty) and re-arms per frame: a peer that
+  // stalls or trickles mid-frame gets a typed error and a close.
+  // last_activity drives the idle timeout between frames.
+  bool frame_deadline_armed = false;
+  Clock::time_point frame_deadline{};
+  Clock::time_point last_activity = Clock::now();
+
   while (open) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    const Clock::time_point now = Clock::now();
+    int timeout_ms = -1;
+    if (frame_deadline_armed) {
+      if (now >= frame_deadline) {
+        telemetry_->count("svc.connections.stalled_closed");
+        write_all(fd, encode_error(ErrorCode::kDeadlineExceeded,
+                                   "frame did not finish arriving within the "
+                                   "request deadline"));
+        break;
+      }
+      timeout_ms = ms_until(frame_deadline, now);
+    } else if (options_.idle_timeout_ms > 0) {
+      const Clock::time_point idle_deadline =
+          last_activity + std::chrono::milliseconds(options_.idle_timeout_ms);
+      if (now >= idle_deadline) {
+        telemetry_->count("svc.connections.idle_closed");
+        break;  // quiet close: an idle peer did nothing wrong
+      }
+      timeout_ms = ms_until(idle_deadline, now);
+    }
+
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // timed out — the loop head decides which kind
+
+    ssize_t n;
+    do {
+      n = ::recv(fd, buffer, sizeof(buffer), 0);
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) break;  // EOF or error — either way the conversation is over
     reader.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    last_activity = Clock::now();
+
+    bool completed_frame = false;
     while (open) {
       DecodeResult decoded = reader.next();
       if (decoded.status == DecodeResult::Status::kNeedMore) break;
+      completed_frame = true;
       if (decoded.status == DecodeResult::Status::kError) {
         telemetry_->count("svc.frames.malformed");
         write_all(fd, encode_error(decoded.error, decoded.message));
@@ -237,6 +311,16 @@ void Server::connection_loop(Connection* connection) {
         continue;
       }
       if (!serve_request(fd, std::move(decoded.frame))) open = false;
+    }
+    // Re-arm: each frame gets a fresh deadline, stamped when its first bytes
+    // are buffered and cleared once the buffer drains.
+    if (reader.buffered_bytes() == 0) {
+      frame_deadline_armed = false;
+      last_activity = Clock::now();
+    } else if (!frame_deadline_armed || completed_frame) {
+      frame_deadline_armed = options_.request_deadline_ms > 0;
+      frame_deadline = Clock::now() +
+                       std::chrono::milliseconds(options_.request_deadline_ms);
     }
   }
   {
@@ -256,9 +340,9 @@ bool Server::serve_request(int fd, Frame frame) {
   telemetry_->count("stage.svc.requests.in");
   if (draining()) {
     telemetry_->count("stage.svc.requests.dropped");
-    write_all(fd, encode_error(ErrorCode::kShuttingDown,
-                               "server is draining; no new work accepted"));
-    return true;
+    return write_all(fd, encode_error(ErrorCode::kShuttingDown,
+                                      "server is draining; no new work "
+                                      "accepted"));
   }
 
   std::future<std::pair<std::string, bool>> response_future;
@@ -266,13 +350,17 @@ bool Server::serve_request(int fd, Frame frame) {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (queue_.size() >= options_.queue_capacity) {
       telemetry_->count("stage.svc.requests.dropped");
-      write_all(fd, encode_error(ErrorCode::kOverloaded,
-                                 "admission queue full; retry later"));
-      return true;
+      return write_all(fd, encode_error(ErrorCode::kOverloaded,
+                                        "admission queue full; retry later"));
     }
     telemetry_->count("stage.svc.requests.admitted");
     queue_.emplace_back();
     queue_.back().frame = std::move(frame);
+    if (options_.request_deadline_ms > 0) {
+      queue_.back().has_deadline = true;
+      queue_.back().deadline =
+          Clock::now() + std::chrono::milliseconds(options_.request_deadline_ms);
+    }
     response_future = queue_.back().promise.get_future();
   }
   queue_cv_.notify_one();
@@ -280,12 +368,12 @@ bool Server::serve_request(int fd, Frame frame) {
   // This thread is the connection's only writer, and it holds at most one
   // request in flight — responses are ordered by construction.
   auto [response, shutdown_requested] = response_future.get();
-  write_all(fd, response);
+  const bool wrote = write_all(fd, response);
   if (shutdown_requested) {
     request_stop();
     return false;  // response written; close our end so the client sees EOF
   }
-  return true;
+  return wrote;  // a timed-out/failed write closes the connection
 }
 
 void Server::worker_loop() {
@@ -303,6 +391,19 @@ void Server::worker_loop() {
       request = std::move(queue_.front());
       queue_.pop_front();
     }
+    // A request that waited out its deadline in the queue is answered with
+    // the typed error instead of running the handler: the client has most
+    // likely given up, and burning a worker on it only starves fresher work.
+    // It stays an admitted request — the triple reconciles either way.
+    if (request.has_deadline && Clock::now() > request.deadline) {
+      telemetry_->count("svc.requests.deadline_exceeded");
+      request.promise.set_value(
+          {encode_error(ErrorCode::kDeadlineExceeded,
+                        "request waited past its deadline in the admission "
+                        "queue"),
+           false});
+      continue;
+    }
     bool shutdown_requested = false;
     std::string response = handlers_.handle(request.frame, &shutdown_requested);
     request.promise.set_value({std::move(response), shutdown_requested});
@@ -316,6 +417,10 @@ bool Server::write_all(int fd, std::string_view bytes) const {
                              bytes.size() - written, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // SO_SNDTIMEO expired mid-response: the peer stopped reading.
+        telemetry_->count("svc.connections.stalled_closed");
+      }
       return false;  // peer went away; nothing sensible left to do
     }
     written += static_cast<std::size_t>(n);

@@ -15,6 +15,14 @@
 // triple reconciles exactly (in == admitted + dropped) at any instant the
 // registry is read.
 //
+// Deadlines (request_deadline_ms / idle_timeout_ms) bound every way a peer
+// can hold a reader thread: the read loop polls instead of blocking, a frame
+// that stalls mid-arrival earns a typed DEADLINE_EXCEEDED and a close, an
+// idle connection is closed quietly, an admitted request that waited out its
+// deadline in the queue is answered DEADLINE_EXCEEDED by the worker (still
+// admitted, so the triple reconciles), and a send timeout keeps a peer that
+// stopped reading from blocking response writes.
+//
 // Graceful drain (request_stop, then wait): the acceptor stops accepting,
 // connection sockets get shutdown(SHUT_RD) so blocked reads return while
 // in-flight responses still write, the workers finish everything already
@@ -23,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +57,16 @@ struct ServerOptions {
   std::size_t workers = 0;         // request workers; 0 = hardware concurrency
   std::size_t queue_capacity = 64; // admission queue bound (0 = reject all)
   std::size_t max_connections = 64;
+  /// Per-request deadline, 0 = none. Covers (a) the time a started frame may
+  /// take to finish arriving — a peer that trickles or stalls mid-frame gets
+  /// a typed DEADLINE_EXCEEDED and a close instead of pinning the reader
+  /// thread forever — (b) the time an admitted request may sit in the queue
+  /// before a worker picks it up, and (c) the socket send timeout, so a peer
+  /// that stops reading cannot block a response write indefinitely.
+  std::uint32_t request_deadline_ms = 0;
+  /// Close connections with no started frame after this long, 0 = never.
+  /// Idle closes are quiet (no error frame): an idle peer did nothing wrong.
+  std::uint32_t idle_timeout_ms = 0;
 };
 
 class Server {
@@ -79,6 +98,11 @@ class Server {
  private:
   struct PendingRequest {
     Frame frame;
+    // Queue-wait deadline: a worker that dequeues the request past this
+    // point answers DEADLINE_EXCEEDED instead of running the handler. The
+    // request stays "admitted" — the triple still reconciles.
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
     // (encoded response frame, shutdown requested by this request)
     std::promise<std::pair<std::string, bool>> promise;
   };

@@ -1,11 +1,46 @@
 #include "svc/service_state.hpp"
 
+#include <algorithm>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
+#include "core/stream_checkpoint.hpp"
 #include "zeek/log_io.hpp"
 
 namespace certchain::svc {
+
+namespace {
+
+AppliedAppend to_applied(const std::string& key, const AppendResult& result) {
+  AppliedAppend applied;
+  applied.key = key;
+  applied.wal_seq = result.wal_seq;
+  applied.generation = result.generation;
+  applied.ssl_added = result.ssl_added;
+  applied.x509_added = result.x509_added;
+  applied.ssl_malformed = result.ssl_malformed;
+  applied.x509_malformed = result.x509_malformed;
+  applied.unique_chains = result.unique_chains;
+  applied.connections = result.connections;
+  return applied;
+}
+
+AppendResult to_duplicate_result(const AppliedAppend& applied) {
+  AppendResult result;
+  result.duplicate = true;
+  result.wal_seq = applied.wal_seq;
+  result.generation = applied.generation;
+  result.ssl_added = static_cast<std::size_t>(applied.ssl_added);
+  result.x509_added = static_cast<std::size_t>(applied.x509_added);
+  result.ssl_malformed = static_cast<std::size_t>(applied.ssl_malformed);
+  result.x509_malformed = static_cast<std::size_t>(applied.x509_malformed);
+  result.unique_chains = static_cast<std::size_t>(applied.unique_chains);
+  result.connections = applied.connections;
+  return result;
+}
+
+}  // namespace
 
 ServiceState::ServiceState(const truststore::TrustStoreSet& stores,
                            const ct::CtLogSet& ct_logs,
@@ -24,7 +59,93 @@ void ServiceState::load(const std::vector<zeek::SslLogRecord>& ssl,
     corpus_.add(joiner_.join(record));
   }
   generation_ = 0;
+  appended_x509_rows_.clear();
+  applied_.clear();
   refresh_analysis_locked();
+}
+
+bool ServiceState::recover_and_arm(const DurabilityOptions& options,
+                                   RecoveryStats* stats, std::string* error) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    durable_ = false;
+    wal_.close();
+    return false;
+  };
+
+  RecoveryStats local;
+  RecoveryStats& out = stats != nullptr ? *stats : local;
+  out = RecoveryStats{};
+
+  // Phase 1: snapshot, if one exists. A missing snapshot just means the WAL
+  // carries everything since the base load.
+  SvcSnapshot snapshot;  // wal_seq = 0: replay everything
+  const std::string snap_path = snapshot_path_for(options.wal_path);
+  if (const std::optional<std::string> text = core::read_file_text(snap_path)) {
+    std::string decode_error;
+    std::optional<SvcSnapshot> decoded =
+        decode_svc_snapshot(*text, joiner_, corpus_, &decode_error);
+    if (!decoded) return fail("snapshot decode failed: " + decode_error);
+    snapshot = *std::move(decoded);
+    out.snapshot_loaded = true;
+    generation_ = snapshot.generation;
+    appended_x509_rows_ = snapshot.appended_x509_rows;
+    applied_.clear();
+    for (const AppliedAppend& applied : snapshot.applied) {
+      applied_[applied.key] = applied;
+    }
+  }
+
+  // Phase 2: WAL tail. Damage is expected (that is what a kill -9 leaves);
+  // replay reports it and open() truncates it.
+  std::string replay_error;
+  std::optional<WalReplay> replayed =
+      WriteAheadLog::replay(options.wal_path, &replay_error);
+  if (!replayed) return fail("wal replay failed: " + replay_error);
+  out.torn_bytes = replayed->torn_bytes;
+  out.wal_records_seen = replayed->records.size();
+
+  durable_ = true;  // fold_batch_locked tracks appended rows from here on
+  snapshot_every_ = options.snapshot_every;
+  appends_since_snapshot_ = 0;
+
+  std::uint64_t last_seq = snapshot.wal_seq;
+  bool folded = false;
+  for (const WalRecord& record : replayed->records) {
+    last_seq = std::max(last_seq, record.seq);
+    if (record.seq <= snapshot.wal_seq) {
+      ++out.wal_records_skipped;  // the snapshot already absorbed it
+      continue;
+    }
+    if (!record.idempotency_key.empty() &&
+        applied_.count(record.idempotency_key) != 0) {
+      ++out.wal_records_skipped;  // a retry the pre-crash run already folded
+      continue;
+    }
+    // Batch boundaries are preserved: join completeness depends on which
+    // X509 records the joiner held when each batch folded.
+    AppendResult result =
+        fold_batch_locked(record.ssl_rows, record.x509_rows, /*refresh=*/false);
+    result.wal_seq = record.seq;
+    folded = true;
+    ++out.wal_records_applied;
+    if (!record.idempotency_key.empty()) {
+      applied_[record.idempotency_key] =
+          to_applied(record.idempotency_key, result);
+    }
+  }
+  // One analysis pass at the end covers every replayed fold; the snapshot
+  // alone also needs it (load() analyzed only the base corpus).
+  if (out.snapshot_loaded || folded) refresh_analysis_locked();
+
+  std::string open_error;
+  if (!wal_.open(options.wal_path, replayed->good_bytes, last_seq + 1,
+                 &open_error)) {
+    return fail("wal open failed: " + open_error);
+  }
+  out.generation = generation_;
+  return true;
 }
 
 truststore::IssuerClass ServiceState::classify_issuer(
@@ -61,40 +182,40 @@ std::string ServiceState::report_section(
 
 AppendResult ServiceState::ingest_append(
     const std::vector<std::string>& ssl_rows,
-    const std::vector<std::string>& x509_rows) {
-  // Parse outside the exclusive section — only the fold mutates state.
-  AppendResult result;
-  std::vector<zeek::X509LogRecord> x509;
-  x509.reserve(x509_rows.size());
-  for (const std::string& row : x509_rows) {
-    if (auto record = zeek::parse_x509_row(row)) {
-      x509.push_back(*std::move(record));
-    } else {
-      ++result.x509_malformed;
-    }
-  }
-  std::vector<zeek::SslLogRecord> ssl;
-  ssl.reserve(ssl_rows.size());
-  for (const std::string& row : ssl_rows) {
-    if (auto record = zeek::parse_ssl_row(row)) {
-      ssl.push_back(*std::move(record));
-    } else {
-      ++result.ssl_malformed;
-    }
-  }
-  result.ssl_added = ssl.size();
-  result.x509_added = x509.size();
-
+    const std::vector<std::string>& x509_rows,
+    const std::string& idempotency_key) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  for (const zeek::X509LogRecord& record : x509) joiner_.add(record);
-  for (const zeek::SslLogRecord& record : ssl) {
-    corpus_.add(joiner_.join(record));
+
+  if (!idempotency_key.empty()) {
+    const auto it = applied_.find(idempotency_key);
+    if (it != applied_.end()) return to_duplicate_result(it->second);
   }
-  ++generation_;
-  refresh_analysis_locked();
-  result.generation = generation_;
-  result.unique_chains = corpus_.unique_chain_count();
-  result.connections = corpus_.totals().connections;
+
+  // Durable order is WAL first, fold second: a crash after the commit
+  // replays the batch; a crash before it means the client never got an ACK
+  // and retries. There is no window where an acknowledged batch can vanish.
+  std::uint64_t seq = 0;
+  if (durable_) {
+    WalRecord record;
+    record.idempotency_key = idempotency_key;
+    record.ssl_rows = ssl_rows;
+    record.x509_rows = x509_rows;
+    std::string wal_error;
+    if (!wal_.append(record, &wal_error)) {
+      throw std::runtime_error("wal append failed: " + wal_error);
+    }
+    seq = record.seq;
+  }
+
+  AppendResult result = fold_batch_locked(ssl_rows, x509_rows, /*refresh=*/true);
+  result.wal_seq = seq;
+  if (!idempotency_key.empty()) {
+    applied_[idempotency_key] = to_applied(idempotency_key, result);
+  }
+  if (durable_) {
+    ++appends_since_snapshot_;
+    maybe_compact_locked();
+  }
   return result;
 }
 
@@ -116,6 +237,69 @@ core::CorpusTotals ServiceState::totals() const {
 void ServiceState::refresh_analysis_locked() {
   report_ = pipeline_.analyze(corpus_);
   interception_issuers_ = report_.interception.issuer_set();
+}
+
+AppendResult ServiceState::fold_batch_locked(
+    const std::vector<std::string>& ssl_rows,
+    const std::vector<std::string>& x509_rows, bool refresh) {
+  AppendResult result;
+  std::vector<zeek::X509LogRecord> x509;
+  x509.reserve(x509_rows.size());
+  for (const std::string& row : x509_rows) {
+    if (auto record = zeek::parse_x509_row(row)) {
+      x509.push_back(*std::move(record));
+      // Only rows that parse are worth snapshotting: the snapshot decoder
+      // re-parses them to rebuild the joiner.
+      if (durable_) appended_x509_rows_.push_back(row);
+    } else {
+      ++result.x509_malformed;
+    }
+  }
+  std::vector<zeek::SslLogRecord> ssl;
+  ssl.reserve(ssl_rows.size());
+  for (const std::string& row : ssl_rows) {
+    if (auto record = zeek::parse_ssl_row(row)) {
+      ssl.push_back(*std::move(record));
+    } else {
+      ++result.ssl_malformed;
+    }
+  }
+  result.ssl_added = ssl.size();
+  result.x509_added = x509.size();
+
+  // X509 rows index before the SSL rows join, so an append can introduce a
+  // chain and its connections together (same contract as the batch fold).
+  for (const zeek::X509LogRecord& record : x509) joiner_.add(record);
+  for (const zeek::SslLogRecord& record : ssl) {
+    corpus_.add(joiner_.join(record));
+  }
+  ++generation_;
+  if (refresh) refresh_analysis_locked();
+  result.generation = generation_;
+  result.unique_chains = corpus_.unique_chain_count();
+  result.connections = corpus_.totals().connections;
+  return result;
+}
+
+void ServiceState::maybe_compact_locked() {
+  if (snapshot_every_ == 0 || appends_since_snapshot_ < snapshot_every_) return;
+
+  SvcSnapshot snapshot;
+  snapshot.generation = generation_;
+  snapshot.wal_seq = wal_.next_seq() - 1;  // last committed seq
+  snapshot.appended_x509_rows = appended_x509_rows_;
+  snapshot.applied.reserve(applied_.size());
+  for (const auto& [key, applied] : applied_) snapshot.applied.push_back(applied);
+
+  // Snapshot first, reset second — a crash between the two leaves both the
+  // snapshot and a WAL whose records the snapshot already absorbed; replay's
+  // seq check skips them. A failed write keeps the old snapshot and the full
+  // WAL: recovery just replays more.
+  const std::string text = encode_svc_snapshot(snapshot, corpus_);
+  if (!core::write_file_atomic(snapshot_path_for(wal_.path()), text)) return;
+  std::string reset_error;
+  wal_.reset(&reset_error);  // tolerated: see above
+  appends_since_snapshot_ = 0;
 }
 
 }  // namespace certchain::svc

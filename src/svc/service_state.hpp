@@ -1,4 +1,4 @@
-// The live corpus behind certchain_serve (DESIGN.md §12.3).
+// The live corpus behind certchain_serve (DESIGN.md §12.3, durability §13).
 //
 // ServiceState keeps everything a query needs warm between requests: the
 // deduplicated CorpusIndex, the joined certificate index (fuid -> cert, so
@@ -10,9 +10,18 @@
 // append reflects a complete, consistent analysis generation, never a
 // half-updated one. The generation counter stamps responses so clients (and
 // the concurrency suite) can tell which corpus state answered them.
+//
+// Durability (opt-in via recover_and_arm): every append is committed to a
+// write-ahead log before the fold, a snapshot compacts the log every N
+// appends, and a restarted daemon replays snapshot + WAL tail back to a
+// state whose report is byte-identical to a never-crashed run. Appends may
+// carry an idempotency key; a key seen before (in memory, or replayed from
+// the WAL after a crash) short-circuits to the original result, so client
+// retries fold exactly once.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -23,6 +32,7 @@
 #include "chain/matcher.hpp"
 #include "core/pipeline.hpp"
 #include "core/report_text.hpp"
+#include "svc/wal.hpp"
 
 namespace certchain::svc {
 
@@ -46,6 +56,25 @@ struct AppendResult {
   std::uint64_t generation = 0;     // generation after the fold
   std::size_t unique_chains = 0;    // corpus state after the fold
   std::uint64_t connections = 0;
+  bool duplicate = false;           // idempotency key seen before; not re-folded
+  std::uint64_t wal_seq = 0;        // 0 when the state is not durable
+};
+
+/// Durability configuration for recover_and_arm.
+struct DurabilityOptions {
+  std::string wal_path;
+  /// Compact (snapshot + WAL reset) after this many appends; 0 = never.
+  std::size_t snapshot_every = 0;
+};
+
+/// What a recovery pass found, for operator logs and telemetry.
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  std::uint64_t wal_records_seen = 0;     // intact records in the WAL
+  std::uint64_t wal_records_applied = 0;  // folded during replay
+  std::uint64_t wal_records_skipped = 0;  // <= snapshot seq or duplicate key
+  std::uint64_t torn_bytes = 0;           // damaged tail truncated from the WAL
+  std::uint64_t generation = 0;           // generation after recovery
 };
 
 class ServiceState {
@@ -61,6 +90,16 @@ class ServiceState {
   /// queries — call before the server starts serving.
   void load(const std::vector<zeek::SslLogRecord>& ssl,
             const std::vector<zeek::X509LogRecord>& x509);
+
+  /// Arms durability: restores any snapshot at snapshot_path_for(wal_path),
+  /// replays the WAL tail (preserving original batch boundaries, skipping
+  /// records the snapshot already absorbed and idempotency keys already
+  /// applied), truncates the torn tail, and opens the WAL for appending.
+  /// Call after load() and before serving. On failure the state is not
+  /// durable and may hold a partially restored corpus — refuse to serve, or
+  /// load() again and serve without durability.
+  bool recover_and_arm(const DurabilityOptions& options, RecoveryStats* stats,
+                       std::string* error);
 
   /// §3.2.1 issuer classification. The databases are immutable, so this
   /// needs no corpus lock at all.
@@ -85,16 +124,35 @@ class ServiceState {
   /// connections together; SSL rows referencing fuids never seen remain
   /// incomplete joins, exactly as in batch. Exclusive lock + eager
   /// re-analysis before returning.
+  ///
+  /// When durability is armed the batch is committed to the WAL before the
+  /// fold; a WAL write failure throws std::runtime_error with nothing folded
+  /// (the client sees a typed error and may retry). A non-empty
+  /// idempotency_key that was applied before returns the original result
+  /// with duplicate=true and folds nothing.
   AppendResult ingest_append(const std::vector<std::string>& ssl_rows,
-                             const std::vector<std::string>& x509_rows);
+                             const std::vector<std::string>& x509_rows,
+                             const std::string& idempotency_key = "");
 
   // --- snapshot accessors (shared lock) ----------------------------------
   std::uint64_t generation() const;
   std::size_t unique_chains() const;
   core::CorpusTotals totals() const;
+  bool durable() const { return durable_; }
 
  private:
   void refresh_analysis_locked();
+  /// Parses + folds one batch under the exclusive lock (shared by live
+  /// appends and WAL replay, so both produce identical corpus states).
+  /// `refresh` defers the re-analysis during replay, where one pass at the
+  /// end suffices.
+  AppendResult fold_batch_locked(const std::vector<std::string>& ssl_rows,
+                                 const std::vector<std::string>& x509_rows,
+                                 bool refresh);
+  /// Writes the compaction snapshot and resets the WAL. Best-effort: a
+  /// failed compaction leaves the WAL intact, so recovery still works — it
+  /// just replays more.
+  void maybe_compact_locked();
 
   const truststore::TrustStoreSet* stores_;
   const chain::CrossSignRegistry* registry_;
@@ -106,6 +164,14 @@ class ServiceState {
   core::StudyReport report_;        // warm analysis of corpus_
   chain::InterceptionIssuerSet interception_issuers_;
   std::uint64_t generation_ = 0;    // bumps on every successful append
+
+  // --- durability (all guarded by mutex_ once serving starts) -------------
+  WriteAheadLog wal_;
+  bool durable_ = false;
+  std::size_t snapshot_every_ = 0;
+  std::size_t appends_since_snapshot_ = 0;
+  std::vector<std::string> appended_x509_rows_;  // raw rows since load()
+  std::map<std::string, AppliedAppend> applied_; // idempotency ledger
 };
 
 }  // namespace certchain::svc

@@ -1,0 +1,300 @@
+// The svc chaos harness (DESIGN.md §13.5): a fault-injecting loopback proxy
+// between Client and Server, driven by the same seeded netsim::FaultPlan
+// vocabulary the resilient-scanning path uses. The contracts:
+//
+//  * transparency — the zero-fault plan is the identity: every byte flows
+//    through untouched and answers match a direct connection exactly;
+//  * survival — a storm of severed, truncated, corrupted and stalled
+//    connections never crashes the server, never corrupts its corpus, and
+//    leaves the stage.svc.requests.{in,admitted,dropped} triple reconciling;
+//  * resilience — a retrying client with an idempotency key pushes an
+//    append through flaky transport and the server folds it exactly once;
+//  * deadlines — a peer stalled mid-frame trips the server's request
+//    deadline: typed DEADLINE_EXCEEDED (or a hangup), counted, within
+//    bounded time.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "../tests/helpers.hpp"
+#include "ct/ct_log.hpp"
+#include "netsim/faults.hpp"
+#include "svc/chaos.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/service_state.hpp"
+#include "svc/telemetry.hpp"
+#include "zeek/log_io.hpp"
+
+namespace certchain {
+namespace {
+
+/// One parseable SSL body row — the smallest real batch an append can carry.
+std::string chaos_ssl_row() {
+  zeek::SslLogRecord record;
+  record.ts = 1;
+  record.uid = "Cchaos1";
+  record.id_orig_h = "10.0.0.1";
+  record.id_orig_p = 40001;
+  record.id_resp_h = "192.0.2.1";
+  record.id_resp_p = 443;
+  record.version = "TLSv12";
+  record.server_name = "chaos.example.test";
+  record.established = true;
+  zeek::SslLogWriter writer;
+  writer.add(record);
+  const std::string text = writer.finish();
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin && text[begin] != '#') return text.substr(begin, end - begin);
+    begin = end + 1;
+  }
+  ADD_FAILURE() << "writer produced no body row";
+  return {};
+}
+
+class SvcChaosTest : public ::testing::Test {
+ protected:
+  void start_server(svc::ServerOptions options) {
+    stores_ = pki_.trusted_stores();
+    state_ = std::make_unique<svc::ServiceState>(stores_, ct_logs_, vendors_);
+    state_->load({}, {});  // transport faults need no corpus
+    options.workers = 2;
+    server_ = std::make_unique<svc::Server>(*state_, telemetry_, options);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  void start_proxy(netsim::FaultPlan plan, std::uint32_t stall_cap_ms = 0) {
+    proxy_ = std::make_unique<svc::ChaosProxy>("127.0.0.1", server_->port(),
+                                               std::move(plan));
+    if (stall_cap_ms > 0) proxy_->set_stall_cap_ms(stall_cap_ms);
+    std::string error;
+    ASSERT_TRUE(proxy_->start(&error)) << error;
+  }
+
+  void TearDown() override {
+    if (proxy_ != nullptr) proxy_->stop();
+    if (server_ != nullptr) {
+      server_->request_stop();
+      server_->wait();
+    }
+  }
+
+  svc::Client connect_direct() {
+    svc::Client client;
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", server_->port(), &error)) << error;
+    return client;
+  }
+
+  svc::Client connect_via_proxy(std::uint32_t timeout_ms) {
+    svc::Client client;
+    client.set_timeout_ms(timeout_ms);
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", proxy_->port(), &error)) << error;
+    return client;
+  }
+
+  /// The FaultPlan key the proxy consults for this server.
+  std::string upstream_target() const {
+    return "127.0.0.1:" + std::to_string(server_->port());
+  }
+
+  void expect_triple_reconciles() {
+    const std::uint64_t in = telemetry_.counter("stage.svc.requests.in");
+    const std::uint64_t admitted =
+        telemetry_.counter("stage.svc.requests.admitted");
+    const std::uint64_t dropped =
+        telemetry_.counter("stage.svc.requests.dropped");
+    EXPECT_EQ(in, admitted + dropped)
+        << "in=" << in << " admitted=" << admitted << " dropped=" << dropped;
+  }
+
+  testing::TestPki pki_;
+  truststore::TrustStoreSet stores_;
+  ct::CtLogSet ct_logs_;
+  core::VendorDirectory vendors_;
+  svc::SyncTelemetry telemetry_;
+  std::unique_ptr<svc::ServiceState> state_;
+  std::unique_ptr<svc::Server> server_;
+  std::unique_ptr<svc::ChaosProxy> proxy_;
+};
+
+TEST_F(SvcChaosTest, ZeroFaultPlanIsFullyTransparent) {
+  start_server({});
+  start_proxy(netsim::FaultPlan{});  // the default plan injects nothing
+
+  svc::Client direct = connect_direct();
+  const auto direct_report = direct.report_section("totals");
+  ASSERT_TRUE(direct_report.has_value());
+  ASSERT_TRUE(direct_report->ok);
+
+  svc::Client proxied = connect_via_proxy(2000);
+  const auto pong = proxied.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+  const auto proxied_report = proxied.report_section("totals");
+  ASSERT_TRUE(proxied_report.has_value());
+  ASSERT_TRUE(proxied_report->ok);
+  EXPECT_EQ(proxied_report->payload.find("text")->string,
+            direct_report->payload.find("text")->string);
+  proxied.close();
+
+  proxy_->stop();  // joins every link; stats are final
+  const svc::ChaosStats stats = proxy_->stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.clean, 1u);
+  EXPECT_EQ(stats.refused + stats.severed + stats.truncated + stats.corrupted +
+                stats.stalled,
+            0u);
+  EXPECT_GT(stats.bytes_forwarded, 0u);
+}
+
+TEST_F(SvcChaosTest, SeededChaosSoakNeverKillsTheServer) {
+  svc::ServerOptions options;
+  options.request_deadline_ms = 250;
+  start_server(options);
+
+  // The corpus is read-only during the soak, so the report must be
+  // byte-identical before and after no matter what the transport does.
+  svc::Client direct = connect_direct();
+  const auto before = direct.report_section("full");
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(before->ok);
+  const std::string baseline = before->payload.find("text")->string;
+
+  netsim::FaultRates rates;
+  rates.connection_reset = 0.15;
+  rates.truncated_handshake = 0.15;
+  rates.byte_corruption = 0.20;
+  rates.transient_unreachable = 0.10;
+  rates.slow_response = 0.15;
+  // Stalls capped well under the deadline: slow connections should succeed.
+  start_proxy(netsim::FaultPlan(0xC11A05, rates), /*stall_cap_ms=*/50);
+
+  constexpr int kConnections = 24;
+  int answered = 0;
+  for (int i = 0; i < kConnections; ++i) {
+    svc::Client client = connect_via_proxy(2000);
+    const auto pong = client.ping();
+    if (pong.has_value() && pong->ok) ++answered;
+  }
+
+  // The server survived, still answers directly, and its corpus is intact.
+  const auto pong = direct.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+  const auto after = direct.report_section("full");
+  ASSERT_TRUE(after.has_value());
+  ASSERT_TRUE(after->ok);
+  EXPECT_EQ(after->payload.find("text")->string, baseline);
+  expect_triple_reconciles();
+
+  proxy_->stop();
+  const svc::ChaosStats stats = proxy_->stats();
+  EXPECT_EQ(stats.connections, static_cast<std::uint64_t>(kConnections));
+  // Every accepted connection got exactly one outcome.
+  EXPECT_EQ(stats.refused + stats.severed + stats.truncated + stats.corrupted +
+                stats.stalled + stats.clean,
+            static_cast<std::uint64_t>(kConnections));
+  // The plan really injected faults AND some requests really got through —
+  // a soak where either side is silent proves nothing.
+  EXPECT_GT(stats.connections - stats.clean, 0u);
+  EXPECT_GT(answered, 0);
+}
+
+TEST_F(SvcChaosTest, RetryingClientFoldsAnAppendExactlyOnceThroughFlakyTransport) {
+  start_server({});
+
+  netsim::FaultRates rates;
+  rates.connection_reset = 0.55;
+  const std::uint64_t seed = 20250808;
+  start_proxy(netsim::FaultPlan(seed, rates));
+
+  // The proxy decides per accepted connection; the retrying client dials a
+  // fresh connection per attempt, so attempt i sees connection i. Find the
+  // first clean one so the retry budget is provably sufficient.
+  const netsim::FaultPlan probe(seed, rates);
+  std::size_t clean_at = 99;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    if (probe.decide(upstream_target(), i).kind == netsim::FaultKind::kNone) {
+      clean_at = i;
+      break;
+    }
+  }
+  ASSERT_LT(clean_at, 10u) << "seed produced no clean connection in 10 tries";
+
+  svc::Client client = connect_via_proxy(1000);
+  svc::RetryOptions retry;
+  retry.max_attempts = clean_at + 2;
+  retry.base_backoff_ms = 5;
+  retry.max_backoff_ms = 20;
+  client.set_retry(retry);
+
+  const std::uint64_t generation_before = state_->generation();
+  const auto response = client.ingest_append({chaos_ssl_row()}, {}, "chaos-batch-1");
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->ok) << response->error_message;
+  // However many times the transport made the client resend, the fold
+  // happened exactly once.
+  EXPECT_EQ(state_->generation(), generation_before + 1);
+  if (clean_at > 0) {
+    EXPECT_GT(client.retries_performed(), 0u);
+  }
+
+  // An explicit application-level retry of the same key is answered from
+  // the idempotency ledger without another fold.
+  const auto duplicate = client.ingest_append({chaos_ssl_row()}, {}, "chaos-batch-1");
+  ASSERT_TRUE(duplicate.has_value());
+  ASSERT_TRUE(duplicate->ok) << duplicate->error_message;
+  const obs::json::Value* flag = duplicate->payload.find("duplicate");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_TRUE(flag->kind == obs::json::Value::Kind::kBool && flag->boolean);
+  EXPECT_EQ(state_->generation(), generation_before + 1);
+}
+
+TEST_F(SvcChaosTest, MidFrameStallTripsTheRequestDeadline) {
+  svc::ServerOptions options;
+  options.request_deadline_ms = 120;
+  start_server(options);
+
+  netsim::FaultRates rates;
+  rates.slow_response = 1.0;  // every connection trickles its first chunk
+  // The stall (600 ms) far exceeds the deadline (120 ms): the server must
+  // give up on the half-delivered frame, not wait for the rest.
+  start_proxy(netsim::FaultPlan(1, rates), /*stall_cap_ms=*/600);
+
+  svc::Client client = connect_via_proxy(3000);
+  const auto pong = client.ping();
+  // Depending on whether the proxy managed to relay the server's parting
+  // frame, the client sees the typed error or a dead connection — never a
+  // success, and never a multi-second hang.
+  if (pong.has_value()) {
+    EXPECT_FALSE(pong->ok);
+    EXPECT_EQ(pong->error, svc::ErrorCode::kDeadlineExceeded);
+  }
+
+  // The stall was counted; a half-frame never counts into requests.in.
+  for (int waited = 0; waited < 100; ++waited) {
+    if (telemetry_.counter("svc.connections.stalled_closed") > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(telemetry_.counter("svc.connections.stalled_closed"), 1u);
+  EXPECT_EQ(telemetry_.counter("stage.svc.requests.in"), 0u);
+  expect_triple_reconciles();
+
+  // The server itself is unharmed: a direct request still answers.
+  svc::Client direct = connect_direct();
+  const auto direct_pong = direct.ping();
+  ASSERT_TRUE(direct_pong.has_value());
+  EXPECT_TRUE(direct_pong->ok);
+}
+
+}  // namespace
+}  // namespace certchain

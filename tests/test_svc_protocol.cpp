@@ -18,6 +18,7 @@
 #include "svc/server.hpp"
 #include "svc/service_state.hpp"
 #include "svc/telemetry.hpp"
+#include "util/rng.hpp"
 
 namespace certchain {
 namespace {
@@ -36,7 +37,8 @@ std::optional<ErrorCode> error_code_of(const std::string& payload) {
   for (const ErrorCode candidate :
        {ErrorCode::kBadMagic, ErrorCode::kBadVersion, ErrorCode::kBadType,
         ErrorCode::kOversized, ErrorCode::kBadPayload, ErrorCode::kOverloaded,
-        ErrorCode::kShuttingDown, ErrorCode::kInternal}) {
+        ErrorCode::kShuttingDown, ErrorCode::kInternal,
+        ErrorCode::kDeadlineExceeded}) {
     if (code->string == svc::error_code_name(candidate)) return candidate;
   }
   return std::nullopt;
@@ -306,6 +308,76 @@ TEST_F(SvcProtocolServerTest, DamageStormNeverKillsTheServer) {
   const std::uint64_t dropped =
       telemetry_.counter("stage.svc.requests.dropped");
   EXPECT_EQ(in, admitted + dropped);
+}
+
+TEST_F(SvcProtocolServerTest, SeededRandomFrameCorpusNeverCrashesOrHangs) {
+  // A seeded corpus of damaged wire bytes — truncated frames, lied-about
+  // lengths, single bit flips, pure garbage — against a server with a short
+  // request deadline, so even a valid-prefix-then-silence frame resolves
+  // quickly. Every connection must end in a typed error frame, a real
+  // response, or a clean close; never a crash, never an unbounded hang.
+  svc::SyncTelemetry fuzz_telemetry;
+  svc::ServerOptions options;
+  options.workers = 2;
+  options.request_deadline_ms = 100;
+  svc::Server server(*state_, fuzz_telemetry, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  util::Rng rng(0x5eedf2a7e5);
+  for (int i = 0; i < 48; ++i) {
+    std::string wire = svc::encode_frame(MessageType::kPing, "{\"n\":1}");
+    switch (i % 4) {
+      case 0:  // truncation at a random byte — a torn frame, then silence
+        wire.resize(rng.next_below(wire.size()));
+        break;
+      case 1:  // a random declared length: oversized, lying, or zero
+        for (std::size_t at = 8; at < 12; ++at) {
+          wire[at] = static_cast<char>(rng.next_below(256));
+        }
+        break;
+      case 2: {  // one flipped bit anywhere in the frame
+        const std::size_t at = rng.next_below(wire.size());
+        wire[at] ^= static_cast<char>(1u << rng.next_below(8));
+        break;
+      }
+      default: {  // pure garbage of random length
+        wire.resize(rng.next_below(64));
+        for (char& byte : wire) byte = static_cast<char>(rng.next_below(256));
+        break;
+      }
+    }
+
+    svc::Client client;
+    client.set_timeout_ms(500);  // bounds each read; a hang fails the test
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error)) << error;
+    if (!wire.empty()) client.send_raw(wire);
+    // Drain whatever comes back: every frame must be decodable, and every
+    // error frame must carry a recognized typed code slug.
+    for (int reads = 0; reads < 3; ++reads) {
+      const auto frame = client.read_frame();
+      if (!frame.has_value()) break;  // clean close (or bounded timeout)
+      if (frame->type == MessageType::kError) {
+        EXPECT_TRUE(error_code_of(frame->payload).has_value())
+            << "iteration " << i << ": untyped error " << frame->payload;
+      }
+    }
+  }
+
+  // The server survived the corpus and still answers cleanly.
+  svc::Client probe;
+  ASSERT_TRUE(probe.connect("127.0.0.1", server.port(), &error)) << error;
+  const auto pong = probe.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+  const std::uint64_t in = fuzz_telemetry.counter("stage.svc.requests.in");
+  const std::uint64_t admitted =
+      fuzz_telemetry.counter("stage.svc.requests.admitted");
+  const std::uint64_t dropped =
+      fuzz_telemetry.counter("stage.svc.requests.dropped");
+  EXPECT_EQ(in, admitted + dropped);
+  server.request_stop();
+  server.wait();
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -399,6 +400,72 @@ TEST_F(SvcServerTest, MetricsEndpointExportsTheStandardSchema) {
   // The endpoint histograms ride along in the export.
   EXPECT_NE(metrics->frame.payload.find("svc.endpoint.ping.ms"),
             std::string::npos);
+}
+
+TEST_F(SvcServerTest, StalledMidFramePeerGetsDeadlineExceededAndClose) {
+  svc::ServerOptions options;
+  options.request_deadline_ms = 120;
+  start_server(0, options);
+
+  svc::Client client = connect();
+  client.set_timeout_ms(5000);  // bounds the test, not the assertion
+  const std::string wire = svc::encode_frame(svc::MessageType::kPing, "{}");
+  ASSERT_TRUE(client.send_raw(wire.substr(0, wire.size() / 2)));
+
+  // ...and then nothing. Within the deadline (plus scheduling slack) the
+  // server must answer with the typed error and hang up — the reader thread
+  // is never pinned by the half-delivered frame.
+  const auto started = std::chrono::steady_clock::now();
+  const auto reply = client.read_frame();
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, svc::MessageType::kError);
+  const auto payload = obs::json::parse(reply->payload);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(payload->find("code")->string,
+            svc::error_code_name(svc::ErrorCode::kDeadlineExceeded));
+  EXPECT_FALSE(client.read_frame().has_value());
+  EXPECT_LT(waited.count(), 2000);
+
+  EXPECT_EQ(telemetry_->counter("svc.connections.stalled_closed"), 1u);
+  // A frame that never completed never counts as a request.
+  EXPECT_EQ(telemetry_->counter("stage.svc.requests.in"), 0u);
+  expect_triple_reconciles();
+
+  // The server is unharmed; a well-behaved connection still works.
+  svc::Client probe = connect();
+  const auto pong = probe.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+}
+
+TEST_F(SvcServerTest, IdleConnectionIsClosedQuietly) {
+  svc::ServerOptions options;
+  options.idle_timeout_ms = 100;
+  start_server(0, options);
+
+  svc::Client client = connect();
+  client.set_timeout_ms(5000);
+  // No bytes at all: the idle timer closes the connection without an error
+  // frame — an idle peer did nothing wrong.
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.read_frame().has_value());
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  EXPECT_LT(waited.count(), 2000);
+  EXPECT_EQ(telemetry_->counter("svc.connections.idle_closed"), 1u);
+  EXPECT_EQ(telemetry_->counter("svc.connections.stalled_closed"), 0u);
+
+  // An active connection is NOT idle-closed while requests flow.
+  svc::Client active = connect();
+  for (int i = 0; i < 3; ++i) {
+    const auto pong = active.ping();
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_TRUE(pong->ok);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  expect_triple_reconciles();
 }
 
 }  // namespace

@@ -1,0 +1,588 @@
+// The ingest WAL and crash-recovery contracts (DESIGN.md §13):
+//
+//  * framing — certchain.svc.wal v1 records round-trip through replay; a
+//    torn tail of ANY byte length yields exactly the intact record prefix,
+//    never a partial or damaged record;
+//  * damage — a checksum mismatch, length lie, or sequence break mid-file
+//    ends replay at the prior record (bytes after damage have no
+//    trustworthy framing);
+//  * recovery — a state recovered from snapshot + WAL renders reports
+//    byte-identical to a state that never crashed, proven both for a clean
+//    shutdown and for a real fork()ed child killed with SIGKILL mid-append;
+//  * idempotency — a retried append with the same key folds exactly once,
+//    in-process and across a crash/recovery boundary;
+//  * compaction — --snapshot-every bounds replay to the WAL tail, and the
+//    crash window between snapshot-write and WAL-reset is harmless.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/report_text.hpp"
+#include "core/stream_checkpoint.hpp"
+#include "datagen/scenario.hpp"
+#include "svc/service_state.hpp"
+#include "svc/wal.hpp"
+#include "zeek/log_io.hpp"
+
+namespace certchain {
+namespace {
+
+/// Serializes one record to its raw TSV body row (what ingest_append eats).
+template <typename Writer, typename Record>
+std::string body_row(const Record& record) {
+  Writer writer;
+  writer.add(record);
+  const std::string text = writer.finish();
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin && text[begin] != '#') return text.substr(begin, end - begin);
+    begin = end + 1;
+  }
+  ADD_FAILURE() << "writer produced no body row";
+  return {};
+}
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + "certchain_svc_wal_" + leaf;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  return (std::fclose(file) == 0) && ok;
+}
+
+svc::WalRecord make_record(std::uint64_t seq, const std::string& key) {
+  svc::WalRecord record;
+  record.seq = seq;
+  record.idempotency_key = key;
+  record.ssl_rows = {"ssl-row-a-" + std::to_string(seq),
+                     "ssl-row-b-" + std::to_string(seq)};
+  record.x509_rows = {"x509-row-" + std::to_string(seq)};
+  return record;
+}
+
+// --- the framing layer, no corpus involved ----------------------------------
+
+TEST(SvcWalFraming, ReplayOfMissingFileIsAnEmptyValidLog) {
+  const std::string path = temp_path("missing.wal");
+  ::unlink(path.c_str());
+
+  std::string error;
+  const auto replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  EXPECT_TRUE(replay->header_valid);
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_EQ(replay->good_bytes, 0u);
+  EXPECT_EQ(replay->torn_bytes, 0u);
+}
+
+TEST(SvcWalFraming, AppendedRecordsRoundTripThroughReplay) {
+  const std::string path = temp_path("roundtrip.wal");
+  ::unlink(path.c_str());
+
+  svc::WriteAheadLog wal;
+  std::string error;
+  ASSERT_TRUE(wal.open(path, 0, 1, &error)) << error;
+  std::vector<svc::WalRecord> written;
+  for (int i = 0; i < 3; ++i) {
+    svc::WalRecord record = make_record(0, i == 1 ? "" : "key-" + std::to_string(i));
+    ASSERT_TRUE(wal.append(record, &error)) << error;
+    EXPECT_EQ(record.seq, static_cast<std::uint64_t>(i + 1));
+    written.push_back(record);
+  }
+  const std::uint64_t bytes = wal.bytes_on_disk();
+  wal.close();
+
+  const auto replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  EXPECT_TRUE(replay->header_valid);
+  EXPECT_EQ(replay->good_bytes, bytes);
+  EXPECT_EQ(replay->torn_bytes, 0u);
+  ASSERT_EQ(replay->records.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replay->records[i].seq, written[i].seq);
+    EXPECT_EQ(replay->records[i].idempotency_key, written[i].idempotency_key);
+    EXPECT_EQ(replay->records[i].ssl_rows, written[i].ssl_rows);
+    EXPECT_EQ(replay->records[i].x509_rows, written[i].x509_rows);
+  }
+}
+
+TEST(SvcWalFraming, EveryTruncationPointYieldsExactlyTheIntactPrefix) {
+  // The whole point of the format: whatever byte a kill -9 stops the write
+  // at, replay returns complete records only and reports the rest as torn.
+  const std::string path = temp_path("sweep.wal");
+
+  std::string bytes = svc::encode_wal_header();
+  std::vector<std::size_t> boundaries = {bytes.size()};
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    bytes += svc::encode_wal_record(make_record(seq, "k" + std::to_string(seq)));
+    boundaries.push_back(bytes.size());
+  }
+
+  for (std::size_t length = svc::kWalHeaderBytes; length <= bytes.size();
+       ++length) {
+    ASSERT_TRUE(write_file(path, bytes.substr(0, length)));
+    std::string error;
+    const auto replay = svc::WriteAheadLog::replay(path, &error);
+    ASSERT_TRUE(replay.has_value()) << "length " << length << ": " << error;
+
+    std::size_t complete = 0;
+    while (complete + 1 < boundaries.size() &&
+           boundaries[complete + 1] <= length) {
+      ++complete;
+    }
+    EXPECT_EQ(replay->records.size(), complete) << "length " << length;
+    EXPECT_EQ(replay->good_bytes, boundaries[complete]) << "length " << length;
+    EXPECT_EQ(replay->torn_bytes, length - boundaries[complete])
+        << "length " << length;
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(SvcWalFraming, ChecksumDamageMidFileEndsReplayAtThePriorRecord) {
+  const std::string path = temp_path("damage.wal");
+
+  std::string bytes = svc::encode_wal_header();
+  bytes += svc::encode_wal_record(make_record(1, "k1"));
+  const std::size_t record_two_at = bytes.size();
+  bytes += svc::encode_wal_record(make_record(2, "k2"));
+  bytes += svc::encode_wal_record(make_record(3, "k3"));
+
+  // Flip one payload byte inside record 2: its checksum no longer matches,
+  // and record 3 — though byte-intact — must NOT be surfaced: framing after
+  // damage is untrustworthy.
+  std::string damaged = bytes;
+  damaged[record_two_at + svc::kWalRecordHeaderBytes + 5] ^= 0x01;
+  ASSERT_TRUE(write_file(path, damaged));
+
+  std::string error;
+  const auto replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].seq, 1u);
+  EXPECT_EQ(replay->good_bytes, record_two_at);
+  EXPECT_EQ(replay->torn_bytes, damaged.size() - record_two_at);
+  ::unlink(path.c_str());
+}
+
+TEST(SvcWalFraming, SequenceRegressionEndsReplay) {
+  const std::string path = temp_path("seqbreak.wal");
+  std::string bytes = svc::encode_wal_header();
+  bytes += svc::encode_wal_record(make_record(5, "k5"));
+  bytes += svc::encode_wal_record(make_record(3, "k3"));  // goes backwards
+  ASSERT_TRUE(write_file(path, bytes));
+
+  std::string error;
+  const auto replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].seq, 5u);
+  EXPECT_GT(replay->torn_bytes, 0u);
+  ::unlink(path.c_str());
+}
+
+TEST(SvcWalFraming, ForeignOrTruncatedHeaderRefusesReplay) {
+  const std::string path = temp_path("foreign.wal");
+
+  ASSERT_TRUE(write_file(path, "XWAL\x01\x00\x00\x00"));
+  std::string error;
+  EXPECT_FALSE(svc::WriteAheadLog::replay(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  std::string wrong_version = svc::encode_wal_header();
+  wrong_version[4] = 9;
+  ASSERT_TRUE(write_file(path, wrong_version));
+  EXPECT_FALSE(svc::WriteAheadLog::replay(path, &error).has_value());
+
+  ASSERT_TRUE(write_file(path, "CWA"));  // shorter than the header itself
+  EXPECT_FALSE(svc::WriteAheadLog::replay(path, &error).has_value());
+  ::unlink(path.c_str());
+}
+
+TEST(SvcWalFraming, OpenTruncatesTheTornTailAndAppendsAfterIt) {
+  const std::string path = temp_path("truncate.wal");
+
+  std::string bytes = svc::encode_wal_header();
+  bytes += svc::encode_wal_record(make_record(1, "k1"));
+  const std::size_t good = bytes.size();
+  bytes += "torn-partial-record-bytes";
+  ASSERT_TRUE(write_file(path, bytes));
+
+  std::string error;
+  auto replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  EXPECT_EQ(replay->good_bytes, good);
+  EXPECT_GT(replay->torn_bytes, 0u);
+
+  svc::WriteAheadLog wal;
+  ASSERT_TRUE(
+      wal.open(path, replay->good_bytes, replay->records.back().seq + 1, &error))
+      << error;
+  svc::WalRecord next = make_record(0, "k2");
+  ASSERT_TRUE(wal.append(next, &error)) << error;
+  EXPECT_EQ(next.seq, 2u);
+  wal.close();
+
+  replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[1].seq, 2u);
+  EXPECT_EQ(replay->torn_bytes, 0u);
+  ::unlink(path.c_str());
+}
+
+TEST(SvcWalFraming, ResetYieldsAFreshLogWithAContinuingSequence) {
+  const std::string path = temp_path("reset.wal");
+  ::unlink(path.c_str());
+
+  svc::WriteAheadLog wal;
+  std::string error;
+  ASSERT_TRUE(wal.open(path, 0, 1, &error)) << error;
+  svc::WalRecord record = make_record(0, "k1");
+  ASSERT_TRUE(wal.append(record, &error)) << error;
+  ASSERT_TRUE(wal.reset(&error)) << error;
+  EXPECT_EQ(wal.bytes_on_disk(), svc::kWalHeaderBytes);
+
+  // seq is global to the serving state's lifetime, not to one file.
+  svc::WalRecord after = make_record(0, "k2");
+  ASSERT_TRUE(wal.append(after, &error)) << error;
+  EXPECT_EQ(after.seq, 2u);
+  wal.close();
+
+  const auto replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].seq, 2u);
+  ::unlink(path.c_str());
+}
+
+// --- recovery differentials over a real corpus ------------------------------
+
+/// One ingest_append batch of raw TSV rows.
+struct Batch {
+  std::vector<std::string> ssl;
+  std::vector<std::string> x509;
+};
+
+class SvcWalRecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::ScenarioConfig config;
+    config.seed = 20200901;
+    config.chain_scale = 1.0 / 600.0;
+    config.total_connections = 600;
+    config.client_count = 90;
+    config.include_length_outliers = false;
+    scenario_ = datagen::build_study_scenario(config).release();
+    netsim::GeneratedLogs logs = scenario_->generate_logs();
+
+    // Base corpus = the first half of both logs; the second half becomes
+    // three append batches. Round-robin assignment leaves some SSL rows
+    // referencing X509 rows from a later batch — deliberately: incomplete
+    // joins must survive recovery identically too.
+    const std::size_t ssl_split = logs.ssl.size() / 2;
+    const std::size_t x509_split = logs.x509.size() / 2;
+    base_ssl_ = new std::vector<zeek::SslLogRecord>(
+        logs.ssl.begin(),
+        logs.ssl.begin() + static_cast<std::ptrdiff_t>(ssl_split));
+    base_x509_ = new std::vector<zeek::X509LogRecord>(
+        logs.x509.begin(),
+        logs.x509.begin() + static_cast<std::ptrdiff_t>(x509_split));
+    batches_ = new std::vector<Batch>(3);
+    for (std::size_t i = ssl_split; i < logs.ssl.size(); ++i) {
+      (*batches_)[(i - ssl_split) % 3].ssl.push_back(
+          body_row<zeek::SslLogWriter>(logs.ssl[i]));
+    }
+    for (std::size_t i = x509_split; i < logs.x509.size(); ++i) {
+      (*batches_)[(i - x509_split) % 3].x509.push_back(
+          body_row<zeek::X509LogWriter>(logs.x509[i]));
+    }
+    ASSERT_GE((*batches_)[0].ssl.size(), 1u);
+    ASSERT_GE((*batches_)[0].x509.size(), 1u);
+  }
+
+  static void TearDownTestSuite() {
+    delete batches_;
+    delete base_x509_;
+    delete base_ssl_;
+    delete scenario_;
+    batches_ = nullptr;
+    base_x509_ = nullptr;
+    base_ssl_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static std::unique_ptr<svc::ServiceState> make_state() {
+    auto state = std::make_unique<svc::ServiceState>(
+        scenario_->world.stores(), scenario_->world.ct_logs(),
+        scenario_->vendors, &scenario_->world.cross_signs());
+    state->load(*base_ssl_, *base_x509_);
+    return state;
+  }
+
+  /// A WAL path (plus its snapshot sibling) guaranteed absent.
+  static std::string fresh_wal(const std::string& leaf) {
+    const std::string path = temp_path(leaf);
+    ::unlink(path.c_str());
+    ::unlink(svc::snapshot_path_for(path).c_str());
+    return path;
+  }
+
+  static std::string full_report(const svc::ServiceState& state) {
+    return state.report_section(core::ReportTextOptions{});
+  }
+
+  static void ingest_all(svc::ServiceState& state) {
+    for (std::size_t i = 0; i < batches_->size(); ++i) {
+      state.ingest_append((*batches_)[i].ssl, (*batches_)[i].x509,
+                          "batch-" + std::to_string(i + 1));
+    }
+  }
+
+  static datagen::Scenario* scenario_;
+  static std::vector<zeek::SslLogRecord>* base_ssl_;
+  static std::vector<zeek::X509LogRecord>* base_x509_;
+  static std::vector<Batch>* batches_;
+};
+
+datagen::Scenario* SvcWalRecoveryTest::scenario_ = nullptr;
+std::vector<zeek::SslLogRecord>* SvcWalRecoveryTest::base_ssl_ = nullptr;
+std::vector<zeek::X509LogRecord>* SvcWalRecoveryTest::base_x509_ = nullptr;
+std::vector<Batch>* SvcWalRecoveryTest::batches_ = nullptr;
+
+TEST_F(SvcWalRecoveryTest, DuplicateIdempotencyKeyFoldsExactlyOnce) {
+  const std::string wal = fresh_wal("dup.wal");
+  auto state = make_state();
+  svc::DurabilityOptions durability;
+  durability.wal_path = wal;
+  std::string error;
+  ASSERT_TRUE(state->recover_and_arm(durability, nullptr, &error)) << error;
+
+  const svc::AppendResult first =
+      state->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "K");
+  EXPECT_FALSE(first.duplicate);
+  EXPECT_EQ(first.wal_seq, 1u);
+  const std::uint64_t generation = state->generation();
+  EXPECT_EQ(first.generation, generation);
+
+  // Same key again: the original result comes back, nothing re-folds, and
+  // nothing new hits the WAL.
+  const svc::AppendResult retry =
+      state->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "K");
+  EXPECT_TRUE(retry.duplicate);
+  EXPECT_EQ(retry.generation, first.generation);
+  EXPECT_EQ(retry.wal_seq, first.wal_seq);
+  EXPECT_EQ(retry.ssl_added, first.ssl_added);
+  EXPECT_EQ(retry.unique_chains, first.unique_chains);
+  EXPECT_EQ(state->generation(), generation);
+
+  const auto replay = svc::WriteAheadLog::replay(wal, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  EXPECT_EQ(replay->records.size(), 1u);
+
+  // A different key folds normally.
+  const svc::AppendResult second =
+      state->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509, "K2");
+  EXPECT_FALSE(second.duplicate);
+  EXPECT_EQ(state->generation(), generation + 1);
+}
+
+TEST_F(SvcWalRecoveryTest, RecoveredStateRendersByteIdenticalReports) {
+  const std::string wal = fresh_wal("clean.wal");
+
+  // The never-crashed reference: plain in-memory appends, no durability.
+  auto reference = make_state();
+  ingest_all(*reference);
+
+  // The durable run commits the same batches through the WAL...
+  {
+    auto durable = make_state();
+    svc::DurabilityOptions durability;
+    durability.wal_path = wal;
+    std::string error;
+    ASSERT_TRUE(durable->recover_and_arm(durability, nullptr, &error)) << error;
+    ingest_all(*durable);
+    EXPECT_EQ(full_report(*durable), full_report(*reference));
+  }  // durable state destroyed: only the disk remains
+
+  // ...and a fresh process recovers to the exact same answers.
+  auto recovered = make_state();
+  svc::DurabilityOptions durability;
+  durability.wal_path = wal;
+  svc::RecoveryStats stats;
+  std::string error;
+  ASSERT_TRUE(recovered->recover_and_arm(durability, &stats, &error)) << error;
+  EXPECT_FALSE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.wal_records_seen, 3u);
+  EXPECT_EQ(stats.wal_records_applied, 3u);
+  EXPECT_EQ(stats.wal_records_skipped, 0u);
+  EXPECT_EQ(stats.torn_bytes, 0u);
+  EXPECT_EQ(recovered->generation(), reference->generation());
+  EXPECT_EQ(recovered->unique_chains(), reference->unique_chains());
+  EXPECT_EQ(full_report(*recovered), full_report(*reference));
+}
+
+TEST_F(SvcWalRecoveryTest, KillNineMidAppendRecoversByteIdentical) {
+  const std::string wal = fresh_wal("kill9.wal");
+
+  // The child lives the crash: arm durability, fold two batches, start
+  // committing a third, die by SIGKILL with only 7 bytes of its record on
+  // disk. _exit codes distinguish child-side setup failures from the one
+  // legitimate death.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    auto state = make_state();
+    svc::DurabilityOptions durability;
+    durability.wal_path = wal;
+    if (!state->recover_and_arm(durability, nullptr, nullptr)) _exit(10);
+    state->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "batch-1");
+    state->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509, "batch-2");
+
+    svc::WalRecord torn;
+    torn.seq = 3;
+    torn.idempotency_key = "batch-3";
+    torn.ssl_rows = (*batches_)[2].ssl;
+    torn.x509_rows = (*batches_)[2].x509;
+    const std::string framed = svc::encode_wal_record(torn);
+    const int fd = ::open(wal.c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0) _exit(11);
+    if (::write(fd, framed.data(), 7) != 7) _exit(12);
+    ::fsync(fd);
+    ::raise(SIGKILL);
+    _exit(13);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited with " << (WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The survivor recovers the two acknowledged batches, truncates the torn
+  // third, and answers exactly like a run that folded those two batches and
+  // never crashed.
+  auto recovered = make_state();
+  svc::DurabilityOptions durability;
+  durability.wal_path = wal;
+  svc::RecoveryStats stats;
+  std::string error;
+  ASSERT_TRUE(recovered->recover_and_arm(durability, &stats, &error)) << error;
+  EXPECT_EQ(stats.wal_records_seen, 2u);
+  EXPECT_EQ(stats.wal_records_applied, 2u);
+  EXPECT_EQ(stats.torn_bytes, 7u);
+
+  auto reference = make_state();
+  reference->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "batch-1");
+  reference->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509, "batch-2");
+  EXPECT_EQ(recovered->generation(), reference->generation());
+  EXPECT_EQ(full_report(*recovered), full_report(*reference));
+
+  // The interrupted batch retries against the recovered state with the same
+  // idempotency key and folds exactly once — it never made it to the WAL.
+  const svc::AppendResult retried =
+      recovered->ingest_append((*batches_)[2].ssl, (*batches_)[2].x509,
+                               "batch-3");
+  EXPECT_FALSE(retried.duplicate);
+  reference->ingest_append((*batches_)[2].ssl, (*batches_)[2].x509, "batch-3");
+  EXPECT_EQ(full_report(*recovered), full_report(*reference));
+}
+
+TEST_F(SvcWalRecoveryTest, CompactionBoundsReplayToTheWalTail) {
+  const std::string wal = fresh_wal("compact.wal");
+
+  auto durable = make_state();
+  svc::DurabilityOptions durability;
+  durability.wal_path = wal;
+  durability.snapshot_every = 2;
+  std::string error;
+  ASSERT_TRUE(durable->recover_and_arm(durability, nullptr, &error)) << error;
+  ingest_all(*durable);  // batches 1+2 compact; batch 3 stays in the WAL
+
+  ASSERT_TRUE(core::read_file_text(svc::snapshot_path_for(wal)).has_value());
+  const auto replay = svc::WriteAheadLog::replay(wal, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].seq, 3u);
+
+  auto recovered = make_state();
+  svc::RecoveryStats stats;
+  ASSERT_TRUE(recovered->recover_and_arm(durability, &stats, &error)) << error;
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.wal_records_seen, 1u);
+  EXPECT_EQ(stats.wal_records_applied, 1u);
+  EXPECT_EQ(stats.wal_records_skipped, 0u);
+
+  auto reference = make_state();
+  ingest_all(*reference);
+  EXPECT_EQ(recovered->generation(), reference->generation());
+  EXPECT_EQ(full_report(*recovered), full_report(*reference));
+
+  // The idempotency ledger survives the snapshot/replay round trip: a
+  // retried batch is recognized after recovery too.
+  const svc::AppendResult retry =
+      recovered->ingest_append((*batches_)[2].ssl, (*batches_)[2].x509,
+                               "batch-3");
+  EXPECT_TRUE(retry.duplicate);
+  EXPECT_EQ(recovered->generation(), reference->generation());
+}
+
+TEST_F(SvcWalRecoveryTest, CrashBetweenSnapshotAndWalResetIsHarmless) {
+  const std::string wal = fresh_wal("midcompact.wal");
+
+  // Run compaction normally (snapshot written, WAL reset)...
+  auto durable = make_state();
+  svc::DurabilityOptions durability;
+  durability.wal_path = wal;
+  durability.snapshot_every = 2;
+  std::string error;
+  ASSERT_TRUE(durable->recover_and_arm(durability, nullptr, &error)) << error;
+  durable->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "batch-1");
+  durable->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509, "batch-2");
+  durable.reset();
+
+  // ...then reconstruct the disk state of a crash BETWEEN the two steps:
+  // the snapshot exists AND the pre-reset WAL still holds the records it
+  // absorbed. The framed bytes are deterministic, so the pre-compaction WAL
+  // can be rebuilt exactly.
+  std::string stale = svc::encode_wal_header();
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    svc::WalRecord record;
+    record.seq = seq;
+    record.idempotency_key = "batch-" + std::to_string(seq);
+    record.ssl_rows = (*batches_)[seq - 1].ssl;
+    record.x509_rows = (*batches_)[seq - 1].x509;
+    stale += svc::encode_wal_record(record);
+  }
+  ASSERT_TRUE(write_file(wal, stale));
+
+  // Recovery must skip every absorbed record (seq <= snapshot frontier) and
+  // land on the same state as a clean run of the two batches.
+  auto recovered = make_state();
+  svc::RecoveryStats stats;
+  ASSERT_TRUE(recovered->recover_and_arm(durability, &stats, &error)) << error;
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.wal_records_seen, 2u);
+  EXPECT_EQ(stats.wal_records_applied, 0u);
+  EXPECT_EQ(stats.wal_records_skipped, 2u);
+
+  auto reference = make_state();
+  reference->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "batch-1");
+  reference->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509, "batch-2");
+  EXPECT_EQ(recovered->generation(), reference->generation());
+  EXPECT_EQ(full_report(*recovered), full_report(*reference));
+}
+
+}  // namespace
+}  // namespace certchain

@@ -1,6 +1,13 @@
 // certchain-query: one-shot client for a running certchain-serve daemon.
 //
-//   certchain-query --port <n> [--host <ip>] <command> [args]
+//   certchain-query --port <n> [--host <ip>] [--timeout <ms>]
+//                   [--retries <n>] [--idempotency-key <key>] <command> [args]
+//
+// --timeout bounds every socket operation; --retries arms bounded
+// exponential backoff (OVERLOADED always retried; transport failures only
+// for idempotent requests). --idempotency-key makes `ingest` safe to retry:
+// the server folds the batch exactly once no matter how many times the
+// request arrives (DESIGN.md §13.4).
 //
 // commands:
 //   ping
@@ -29,7 +36,9 @@ namespace {
 
 void print_usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port <n> [--host <ip>] <command> [args]\n"
+               "usage: %s --port <n> [--host <ip>] [--timeout <ms>]\n"
+               "       [--retries <n>] [--idempotency-key <key>] <command> "
+               "[args]\n"
                "commands: ping | classify <dn> | categorize <pem-file|-> |\n"
                "          report [section] | ingest <ssl.log> <x509.log> |\n"
                "          metrics | shutdown\n",
@@ -96,11 +105,15 @@ int main(int argc, char** argv) {
   using namespace certchain;
 
   std::string host = "127.0.0.1";
+  std::string idempotency_key;
   unsigned long port = 0;
+  unsigned long timeout_ms = 0;
+  unsigned long retries = 0;
   int arg = 1;
   for (; arg < argc; ++arg) {
     const std::string_view flag = argv[arg];
-    if (flag == "--port" || flag == "--host") {
+    if (flag == "--port" || flag == "--host" || flag == "--timeout" ||
+        flag == "--retries" || flag == "--idempotency-key") {
       if (arg + 1 >= argc) {
         print_usage(argv[0]);
         return 2;
@@ -108,13 +121,28 @@ int main(int argc, char** argv) {
       const char* value = argv[++arg];
       if (flag == "--host") {
         host = value;
-      } else {
-        char* end = nullptr;
-        port = std::strtoul(value, &end, 10);
-        if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+        continue;
+      }
+      if (flag == "--idempotency-key") {
+        idempotency_key = value;
+        continue;
+      }
+      char* end = nullptr;
+      const unsigned long number = std::strtoul(value, &end, 10);
+      if (end == nullptr || *end != '\0') {
+        print_usage(argv[0]);
+        return 2;
+      }
+      if (flag == "--port") {
+        port = number;
+        if (port == 0 || port > 65535) {
           print_usage(argv[0]);
           return 2;
         }
+      } else if (flag == "--timeout") {
+        timeout_ms = number;
+      } else {
+        retries = number;
       }
     } else {
       break;
@@ -128,6 +156,12 @@ int main(int argc, char** argv) {
   const int extra = argc - arg - 1;
 
   svc::Client client;
+  client.set_timeout_ms(static_cast<std::uint32_t>(timeout_ms));
+  if (retries > 0) {
+    svc::RetryOptions retry;
+    retry.max_attempts = static_cast<std::size_t>(retries) + 1;
+    client.set_retry(retry);
+  }
   std::string error;
   if (!client.connect(host, static_cast<std::uint16_t>(port), &error)) {
     std::fprintf(stderr, "certchain-query: %s\n", error.c_str());
@@ -160,7 +194,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     return render_response(
-        client.ingest_append(body_rows(ssl_text), body_rows(x509_text)), false);
+        client.ingest_append(body_rows(ssl_text), body_rows(x509_text),
+                             idempotency_key),
+        false);
   }
   if (command == "metrics" && extra == 0) {
     return render_response(client.metrics(), false);

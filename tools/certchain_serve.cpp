@@ -12,6 +12,13 @@
 // same records — the server folds and analyzes through the very same
 // pipeline code.
 //
+// With --wal the daemon is crash-recoverable: every ingest_append commits to
+// a write-ahead log before folding, --snapshot-every bounds replay cost via
+// compaction snapshots, and a restart restores snapshot + WAL tail to a
+// corpus whose reports are byte-identical to a never-crashed run
+// (DESIGN.md §13). --request-deadline-ms / --idle-timeout-ms bound every way
+// a slow or stalled peer can pin a server thread.
+//
 // On success prints exactly one line to stdout:
 //
 //   listening on 127.0.0.1:<port>
@@ -36,6 +43,7 @@
 #include "datagen/scenario.hpp"
 #include "netsim/pki_world.hpp"
 #include "obs/run_context.hpp"
+#include "obs/stopwatch.hpp"
 #include "svc/server.hpp"
 #include "zeek/log_io.hpp"
 
@@ -61,6 +69,14 @@ void print_usage(const char* argv0) {
       "  --threads <n>         request workers (0 = all hardware threads)\n"
       "  --queue <n>           admission queue capacity (default 64)\n"
       "  --max-connections <n> concurrent connection cap (default 64)\n"
+      "  --wal <path>          write-ahead-log every ingest_append; on start,\n"
+      "                        recover snapshot + WAL back into the corpus\n"
+      "  --snapshot-every <n>  compact the WAL into a snapshot every n appends\n"
+      "                        (0 = never; requires --wal)\n"
+      "  --request-deadline-ms <n>  per-request deadline: stalled frames,\n"
+      "                        queued requests and response writes all time\n"
+      "                        out with DEADLINE_EXCEEDED (0 = none)\n"
+      "  --idle-timeout-ms <n> close idle connections after n ms (0 = never)\n"
       "  --demo                serve a synthesized demo corpus\n"
       "  --demo-connections <n> demo corpus size (default 4000)\n",
       argv0, argv0);
@@ -81,6 +97,7 @@ int main(int argc, char** argv) {
   using namespace certchain;
 
   svc::ServerOptions server_options;
+  svc::DurabilityOptions durability;
   std::string port_file;
   std::size_t demo_connections = 4000;
   bool demo = false;
@@ -91,7 +108,9 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (flag == "--port" || flag == "--port-file" ||
                flag == "--threads" || flag == "--queue" ||
-               flag == "--max-connections" || flag == "--demo-connections") {
+               flag == "--max-connections" || flag == "--demo-connections" ||
+               flag == "--wal" || flag == "--snapshot-every" ||
+               flag == "--request-deadline-ms" || flag == "--idle-timeout-ms") {
       if (arg + 1 >= argc) {
         print_usage(argv[0]);
         return 2;
@@ -99,6 +118,10 @@ int main(int argc, char** argv) {
       const char* value = argv[++arg];
       if (flag == "--port-file") {
         port_file = value;
+        continue;
+      }
+      if (flag == "--wal") {
+        durability.wal_path = value;
         continue;
       }
       char* end = nullptr;
@@ -115,12 +138,22 @@ int main(int argc, char** argv) {
         server_options.queue_capacity = static_cast<std::size_t>(number);
       } else if (flag == "--max-connections") {
         server_options.max_connections = static_cast<std::size_t>(number);
+      } else if (flag == "--snapshot-every") {
+        durability.snapshot_every = static_cast<std::size_t>(number);
+      } else if (flag == "--request-deadline-ms") {
+        server_options.request_deadline_ms = static_cast<std::uint32_t>(number);
+      } else if (flag == "--idle-timeout-ms") {
+        server_options.idle_timeout_ms = static_cast<std::uint32_t>(number);
       } else {
         demo_connections = static_cast<std::size_t>(number);
       }
     } else {
       break;
     }
+  }
+  if (durability.wal_path.empty() && durability.snapshot_every != 0) {
+    std::fprintf(stderr, "certchain-serve: --snapshot-every requires --wal\n");
+    return 2;
   }
   if ((demo && argc - arg != 0) || (!demo && argc - arg != 2)) {
     print_usage(argv[0]);
@@ -173,12 +206,51 @@ int main(int argc, char** argv) {
   svc::ServiceState state(world.stores(), world.ct_logs(), vendors,
                           &world.cross_signs());
   state.load(ssl_records, x509_records);
-  std::fprintf(stderr, "corpus ready: %zu unique chains, generation %llu\n",
-               state.unique_chains(),
-               static_cast<unsigned long long>(state.generation()));
 
   svc::SyncTelemetry telemetry;
   telemetry.set_config("tool", "certchain-serve");
+
+  // Crash recovery: restore snapshot + WAL tail before taking traffic, so
+  // the first answer already reflects every acknowledged pre-crash append.
+  // A failed recovery refuses to serve — silently dropping acknowledged
+  // appends would be worse than not starting.
+  if (!durability.wal_path.empty()) {
+    const obs::Stopwatch recovery_watch;
+    svc::RecoveryStats recovery;
+    std::string recovery_error;
+    if (!state.recover_and_arm(durability, &recovery, &recovery_error)) {
+      std::fprintf(stderr, "certchain-serve: recovery failed: %s\n",
+                   recovery_error.c_str());
+      return 1;
+    }
+    telemetry.observe_timing("svc.recovery.ms", recovery_watch.elapsed_ms());
+    telemetry.set_config("svc.wal", durability.wal_path);
+    telemetry.set_config("svc.snapshot_every",
+                         std::to_string(durability.snapshot_every));
+    // The replay triple reconciles like every other stage: every intact WAL
+    // record either folded or was already absorbed (snapshot / duplicate).
+    telemetry.count("stage.svc.wal.replay.in", recovery.wal_records_seen);
+    telemetry.count("stage.svc.wal.replay.admitted",
+                    recovery.wal_records_applied);
+    telemetry.count("stage.svc.wal.replay.dropped",
+                    recovery.wal_records_skipped);
+    if (recovery.torn_bytes > 0) {
+      telemetry.count("svc.wal.torn_bytes", recovery.torn_bytes);
+    }
+    std::fprintf(stderr,
+                 "recovery: snapshot=%s wal_records=%llu applied=%llu "
+                 "skipped=%llu torn_bytes=%llu generation=%llu\n",
+                 recovery.snapshot_loaded ? "yes" : "no",
+                 static_cast<unsigned long long>(recovery.wal_records_seen),
+                 static_cast<unsigned long long>(recovery.wal_records_applied),
+                 static_cast<unsigned long long>(recovery.wal_records_skipped),
+                 static_cast<unsigned long long>(recovery.torn_bytes),
+                 static_cast<unsigned long long>(recovery.generation));
+  }
+
+  std::fprintf(stderr, "corpus ready: %zu unique chains, generation %llu\n",
+               state.unique_chains(),
+               static_cast<unsigned long long>(state.generation()));
   svc::Server server(state, telemetry, server_options);
   std::string error;
   if (!server.start(&error)) {
