@@ -1,5 +1,8 @@
 #include "core/stream_checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdint>
 
@@ -226,12 +229,33 @@ bool write_file_atomic(const std::string& path, std::string_view text) {
   if (file == nullptr) return false;
   const bool written =
       std::fwrite(text.data(), 1, text.size(), file) == text.size();
-  const bool flushed = std::fclose(file) == 0;
-  if (!written || !flushed) {
+  // fclose alone only reaches the page cache; the rename below must never
+  // publish a file whose bytes could still vanish in a power loss — the
+  // svc compaction resets the WAL immediately after this returns.
+  const bool durable = written && std::fflush(file) == 0 &&
+                       ::fsync(::fileno(file)) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!durable || !closed) {
     std::remove(tmp_path.c_str());
     return false;
   }
-  return std::rename(tmp_path.c_str(), path.c_str()) == 0;
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  // The rename itself lives in the directory entry: sync that too, so the
+  // publish survives power loss. Best-effort — the file's own fsync above
+  // is the hard requirement, and a lost rename merely resurfaces the old
+  // file, which every caller treats as "recovery replays more".
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
 }
 
 std::optional<std::string> read_file_text(const std::string& path) {

@@ -64,9 +64,10 @@ bool write_stream_checkpoint(const std::string& path,
 std::optional<std::string> read_file_text(const std::string& path);
 
 /// Atomic-enough whole-file replace for the single-writer case: writes
-/// `<path>.tmp`, then renames over `path`. The svc snapshot and WAL
-/// compaction reuse this (DESIGN.md §13); a crash mid-write leaves either
-/// the old file or the new one, never a torn mix.
+/// `<path>.tmp`, fsyncs it, renames over `path`, then fsyncs the containing
+/// directory (best-effort). The svc snapshot and WAL compaction reuse this
+/// (DESIGN.md §13); a crash — process kill or power loss — leaves either
+/// the old file or the complete new one, never a torn mix.
 bool write_file_atomic(const std::string& path, std::string_view text);
 
 }  // namespace certchain::core

@@ -61,6 +61,7 @@ void ServiceState::load(const std::vector<zeek::SslLogRecord>& ssl,
   generation_ = 0;
   appended_x509_rows_.clear();
   applied_.clear();
+  applied_order_.clear();
   refresh_analysis_locked();
 }
 
@@ -77,6 +78,7 @@ bool ServiceState::recover_and_arm(const DurabilityOptions& options,
   RecoveryStats local;
   RecoveryStats& out = stats != nullptr ? *stats : local;
   out = RecoveryStats{};
+  applied_ledger_max_ = options.applied_ledger_max;
 
   // Phase 1: snapshot, if one exists. A missing snapshot just means the WAL
   // carries everything since the base load.
@@ -92,8 +94,16 @@ bool ServiceState::recover_and_arm(const DurabilityOptions& options,
     generation_ = snapshot.generation;
     appended_x509_rows_ = snapshot.appended_x509_rows;
     applied_.clear();
-    for (const AppliedAppend& applied : snapshot.applied) {
-      applied_[applied.key] = applied;
+    applied_order_.clear();
+    // Feed the ledger back in commit order (wal_seq) so FIFO eviction after
+    // recovery drops the same entries it would have dropped live.
+    std::vector<AppliedAppend> entries = snapshot.applied;
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const AppliedAppend& a, const AppliedAppend& b) {
+                       return a.wal_seq < b.wal_seq;
+                     });
+    for (AppliedAppend& entry : entries) {
+      remember_applied_locked(std::move(entry));
     }
   }
 
@@ -131,8 +141,7 @@ bool ServiceState::recover_and_arm(const DurabilityOptions& options,
     folded = true;
     ++out.wal_records_applied;
     if (!record.idempotency_key.empty()) {
-      applied_[record.idempotency_key] =
-          to_applied(record.idempotency_key, result);
+      remember_applied_locked(to_applied(record.idempotency_key, result));
     }
   }
   // One analysis pass at the end covers every replayed fold; the snapshot
@@ -210,7 +219,7 @@ AppendResult ServiceState::ingest_append(
   AppendResult result = fold_batch_locked(ssl_rows, x509_rows, /*refresh=*/true);
   result.wal_seq = seq;
   if (!idempotency_key.empty()) {
-    applied_[idempotency_key] = to_applied(idempotency_key, result);
+    remember_applied_locked(to_applied(idempotency_key, result));
   }
   if (durable_) {
     ++appends_since_snapshot_;
@@ -244,13 +253,13 @@ AppendResult ServiceState::fold_batch_locked(
     const std::vector<std::string>& x509_rows, bool refresh) {
   AppendResult result;
   std::vector<zeek::X509LogRecord> x509;
+  std::vector<const std::string*> x509_raw;  // raw row per parsed record
   x509.reserve(x509_rows.size());
+  x509_raw.reserve(x509_rows.size());
   for (const std::string& row : x509_rows) {
     if (auto record = zeek::parse_x509_row(row)) {
       x509.push_back(*std::move(record));
-      // Only rows that parse are worth snapshotting: the snapshot decoder
-      // re-parses them to rebuild the joiner.
-      if (durable_) appended_x509_rows_.push_back(row);
+      x509_raw.push_back(&row);
     } else {
       ++result.x509_malformed;
     }
@@ -269,7 +278,16 @@ AppendResult ServiceState::fold_batch_locked(
 
   // X509 rows index before the SSL rows join, so an append can introduce a
   // chain and its connections together (same contract as the batch fold).
-  for (const zeek::X509LogRecord& record : x509) joiner_.add(record);
+  for (std::size_t i = 0; i < x509.size(); ++i) {
+    // Snapshot only rows whose fuid actually inserts: add() is
+    // first-observation-wins, so a re-observed fuid contributes nothing a
+    // snapshot replay could miss — and retried or overlapping batches stop
+    // growing the snapshot.
+    if (durable_ && joiner_.certificates().count(x509[i].fuid) == 0) {
+      appended_x509_rows_.push_back(*x509_raw[i]);
+    }
+    joiner_.add(x509[i]);
+  }
   for (const zeek::SslLogRecord& record : ssl) {
     corpus_.add(joiner_.join(record));
   }
@@ -288,8 +306,12 @@ void ServiceState::maybe_compact_locked() {
   snapshot.generation = generation_;
   snapshot.wal_seq = wal_.next_seq() - 1;  // last committed seq
   snapshot.appended_x509_rows = appended_x509_rows_;
-  snapshot.applied.reserve(applied_.size());
-  for (const auto& [key, applied] : applied_) snapshot.applied.push_back(applied);
+  snapshot.applied.reserve(applied_order_.size());
+  // Commit order, so a restored ledger evicts in the same order this one
+  // would have.
+  for (const std::string& key : applied_order_) {
+    snapshot.applied.push_back(applied_.at(key));
+  }
 
   // Snapshot first, reset second — a crash between the two leaves both the
   // snapshot and a WAL whose records the snapshot already absorbed; replay's
@@ -300,6 +322,16 @@ void ServiceState::maybe_compact_locked() {
   std::string reset_error;
   wal_.reset(&reset_error);  // tolerated: see above
   appends_since_snapshot_ = 0;
+}
+
+void ServiceState::remember_applied_locked(AppliedAppend applied) {
+  applied_order_.push_back(applied.key);
+  applied_[applied.key] = std::move(applied);
+  while (applied_ledger_max_ != 0 &&
+         applied_order_.size() > applied_ledger_max_) {
+    applied_.erase(applied_order_.front());
+    applied_order_.pop_front();
+  }
 }
 
 }  // namespace certchain::svc

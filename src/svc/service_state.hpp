@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <shared_mutex>
@@ -65,6 +66,13 @@ struct DurabilityOptions {
   std::string wal_path;
   /// Compact (snapshot + WAL reset) after this many appends; 0 = never.
   std::size_t snapshot_every = 0;
+  /// Bound on the idempotency ledger: only the most recent N applied keys
+  /// are remembered, evicted FIFO in commit order (0 = unbounded). Keeps
+  /// ledger memory and snapshot size from growing with the daemon's
+  /// lifetime; the trade-off is that a retry arriving after more than N
+  /// newer keyed appends re-folds — pick N well above any client's retry
+  /// horizon.
+  std::size_t applied_ledger_max = 65536;
 };
 
 /// What a recovery pass found, for operator logs and telemetry.
@@ -153,6 +161,10 @@ class ServiceState {
   /// failed compaction leaves the WAL intact, so recovery still works — it
   /// just replays more.
   void maybe_compact_locked();
+  /// Records one applied keyed append in the idempotency ledger, evicting
+  /// the oldest entries past applied_ledger_max_ (FIFO: applied_order_
+  /// carries the keys in commit order).
+  void remember_applied_locked(AppliedAppend applied);
 
   const truststore::TrustStoreSet* stores_;
   const chain::CrossSignRegistry* registry_;
@@ -170,8 +182,14 @@ class ServiceState {
   bool durable_ = false;
   std::size_t snapshot_every_ = 0;
   std::size_t appends_since_snapshot_ = 0;
-  std::vector<std::string> appended_x509_rows_;  // raw rows since load()
+  /// Raw X509 rows since load() whose fuid was new to the joiner when they
+  /// folded — the minimal set that rebuilds the joiner on snapshot restore
+  /// (LogJoiner::add is first-observation-wins, so a re-observed fuid
+  /// contributes nothing a replay could miss).
+  std::vector<std::string> appended_x509_rows_;
   std::map<std::string, AppliedAppend> applied_; // idempotency ledger
+  std::deque<std::string> applied_order_;        // ledger keys, commit order
+  std::size_t applied_ledger_max_ = 0;
 };
 
 }  // namespace certchain::svc

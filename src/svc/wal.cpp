@@ -149,8 +149,20 @@ std::optional<WalReplay> WriteAheadLog::replay(const std::string& path,
     return replay;
   }
 
-  if (text->size() < kWalHeaderBytes ||
-      text->compare(0, kWalMagic.size(), kWalMagic) != 0) {
+  if (text->size() < kWalHeaderBytes) {
+    // Shorter than the header itself: a crash between open(O_CREAT) and the
+    // header fsync on first arming. If what made it to disk is a prefix of
+    // our header the file is an empty log awaiting its re-stamp by open();
+    // anything else is a foreign file we must not truncate over.
+    if (encode_wal_header().compare(0, text->size(), *text) != 0) {
+      return fail("wal header is not a " + std::string(kWalMagic) +
+                  " prefix: " + path);
+    }
+    replay.header_valid = true;
+    replay.torn_bytes = text->size();
+    return replay;
+  }
+  if (text->compare(0, kWalMagic.size(), kWalMagic) != 0) {
     return fail("wal header is not " + std::string(kWalMagic) + ": " + path);
   }
   const std::uint8_t version =
@@ -207,16 +219,11 @@ bool WriteAheadLog::open(const std::string& path, std::uint64_t good_bytes,
 
   const off_t end = ::lseek(fd_, 0, SEEK_END);
   if (end < 0) return fail("lseek(" + path + ")");
-  if (end == 0) {
-    // Fresh file: stamp the header.
-    if (!write_fully(fd_, encode_wal_header())) return fail("write header");
-    if (::fsync(fd_) != 0) return fail("fsync header");
-    bytes_on_disk_ = kWalHeaderBytes;
-    return true;
-  }
 
-  // Existing file: drop the torn tail replay() reported, then append after
-  // the intact prefix.
+  // Anything replay() could not vouch for is dropped: the torn tail of an
+  // existing log, or the partial header of a file that died before its
+  // first fsync (good_bytes < kWalHeaderBytes reads as "no header").
+  if (good_bytes < kWalHeaderBytes) good_bytes = 0;
   if (static_cast<std::uint64_t>(end) > good_bytes) {
     if (::ftruncate(fd_, static_cast<off_t>(good_bytes)) != 0) {
       return fail("ftruncate(" + path + ")");
@@ -224,6 +231,12 @@ bool WriteAheadLog::open(const std::string& path, std::uint64_t good_bytes,
     if (::fsync(fd_) != 0) return fail("fsync truncate");
   }
   if (::lseek(fd_, 0, SEEK_END) < 0) return fail("lseek end");
+  if (good_bytes == 0) {
+    // Fresh (or re-stamped) file: write the header.
+    if (!write_fully(fd_, encode_wal_header())) return fail("write header");
+    if (::fsync(fd_) != 0) return fail("fsync header");
+    good_bytes = kWalHeaderBytes;
+  }
   bytes_on_disk_ = good_bytes;
   return true;
 }
@@ -233,18 +246,56 @@ bool WriteAheadLog::append(WalRecord& record, std::string* error) {
     if (error != nullptr) *error = "wal is not open";
     return false;
   }
-  record.seq = next_seq_;
-  const std::string framed = encode_wal_record(record);
-  if (!write_fully(fd_, framed)) {
+  if (poisoned_) {
     if (error != nullptr) {
-      *error = std::string("wal write: ") + std::strerror(errno);
+      *error = "wal is poisoned by an earlier failed append; recover before "
+               "appending";
     }
     return false;
   }
-  if (::fsync(fd_) != 0) {
+  record.seq = next_seq_;
+  const std::string framed = encode_wal_record(record);
+
+  std::string io_error;
+  bool allow_rollback = true;
+  bool committed;
+  if (injected_fault_ != InjectedFault::kNone) {
+    // Test shim: land half the frame on disk, then report failure — the
+    // shape ENOSPC mid-record leaves behind.
+    const InjectedFault fault =
+        std::exchange(injected_fault_, InjectedFault::kNone);
+    write_fully(fd_, std::string_view(framed).substr(0, framed.size() / 2));
+    io_error = "wal write: injected fault";
+    allow_rollback = fault != InjectedFault::kTornWriteNoRollback;
+    committed = false;
+  } else if (!write_fully(fd_, framed)) {
+    io_error = std::string("wal write: ") + std::strerror(errno);
+    committed = false;
+  } else if (::fsync(fd_) != 0) {
+    io_error = std::string("wal fsync: ") + std::strerror(errno);
+    committed = false;
+  } else {
+    committed = true;
+  }
+
+  if (!committed) {
+    // A failed write may have landed part of the frame; a failed fsync
+    // leaves bytes of unknown durability. Either way the file now holds
+    // bytes past the last committed record, and a later successful append
+    // written after them would be discarded by replay as the torn tail —
+    // losing an acknowledged record. Roll the file back to the committed
+    // prefix; if even that fails, poison the log so every further append
+    // fails closed until recovery truncates the damage.
+    const bool rolled_back =
+        allow_rollback &&
+        ::ftruncate(fd_, static_cast<off_t>(bytes_on_disk_)) == 0 &&
+        ::fsync(fd_) == 0 && ::lseek(fd_, 0, SEEK_END) >= 0;
+    if (!rolled_back) poisoned_ = true;
     if (error != nullptr) {
-      *error = std::string("wal fsync: ") + std::strerror(errno);
+      *error = io_error + (poisoned_ ? "; rollback failed, wal poisoned"
+                                     : "; rolled back");
     }
+    record.seq = 0;  // not committed; the seq will be reused
     return false;
   }
   ++next_seq_;
@@ -276,6 +327,9 @@ void WriteAheadLog::close() {
   }
   path_.clear();
   bytes_on_disk_ = 0;
+  // Poison belongs to the damaged open file; the next open() re-validates
+  // the on-disk state (replay + truncate) before accepting appends again.
+  poisoned_ = false;
 }
 
 // --- snapshot ---------------------------------------------------------------

@@ -82,9 +82,12 @@ class WriteAheadLog {
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
   /// Replays an existing WAL file. A missing file is a valid empty log
-  /// (records empty, header_valid true). Returns nullopt with `error` set
-  /// only on real I/O failure or a foreign/unsupported header — damaged
-  /// record bytes are never an error, they are the torn tail.
+  /// (records empty, header_valid true), and so is a file shorter than the
+  /// header whose bytes are a prefix of a valid header — the state a crash
+  /// between open(O_CREAT) and the header fsync leaves behind; open()
+  /// re-stamps it. Returns nullopt with `error` set only on real I/O
+  /// failure or a foreign/unsupported header — damaged record bytes are
+  /// never an error, they are the torn tail.
   static std::optional<WalReplay> replay(const std::string& path,
                                          std::string* error);
 
@@ -95,8 +98,27 @@ class WriteAheadLog {
             std::uint64_t next_seq, std::string* error);
 
   /// Commits one record: encode, length+checksum frame, write, fsync.
-  /// Assigns and returns the record's seq via `record.seq`.
+  /// Assigns and returns the record's seq via `record.seq`. On failure the
+  /// file is rolled back (ftruncate) to the last committed record so damage
+  /// can never sit beneath a later acknowledged append; if the rollback
+  /// itself fails the log is poisoned and every further append refuses
+  /// until a restart recovers. Either way the failed record's seq is not
+  /// consumed — a retry reuses it.
   bool append(WalRecord& record, std::string* error);
+
+  /// A poisoned log holds unaccounted bytes it could not truncate away; it
+  /// accepts no appends (fail closed) until recovery reopens it.
+  bool poisoned() const { return poisoned_; }
+
+  /// Test-only fault injection: the next append() writes only half its
+  /// frame and then reports failure — the shape ENOSPC leaves — so tests
+  /// can exercise the rollback path on a healthy disk. With
+  /// `rollback_fails`, the rollback is skipped as if ftruncate failed,
+  /// leaving the log poisoned.
+  void inject_torn_append_for_test(bool rollback_fails = false) {
+    injected_fault_ = rollback_fails ? InjectedFault::kTornWriteNoRollback
+                                     : InjectedFault::kTornWrite;
+  }
 
   /// Atomically replaces the log with a fresh, empty one (post-snapshot
   /// compaction). The seq counter keeps counting — seq is global to the
@@ -111,10 +133,14 @@ class WriteAheadLog {
   std::uint64_t bytes_on_disk() const { return bytes_on_disk_; }
 
  private:
+  enum class InjectedFault { kNone, kTornWrite, kTornWriteNoRollback };
+
   int fd_ = -1;
   std::string path_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t bytes_on_disk_ = 0;
+  bool poisoned_ = false;
+  InjectedFault injected_fault_ = InjectedFault::kNone;
 };
 
 /// Encodes one record's framed bytes (record header + JSON payload) —

@@ -193,7 +193,7 @@ TEST(SvcWalFraming, SequenceRegressionEndsReplay) {
   ::unlink(path.c_str());
 }
 
-TEST(SvcWalFraming, ForeignOrTruncatedHeaderRefusesReplay) {
+TEST(SvcWalFraming, ForeignHeaderRefusesReplay) {
   const std::string path = temp_path("foreign.wal");
 
   ASSERT_TRUE(write_file(path, "XWAL\x01\x00\x00\x00"));
@@ -206,8 +206,115 @@ TEST(SvcWalFraming, ForeignOrTruncatedHeaderRefusesReplay) {
   ASSERT_TRUE(write_file(path, wrong_version));
   EXPECT_FALSE(svc::WriteAheadLog::replay(path, &error).has_value());
 
-  ASSERT_TRUE(write_file(path, "CWA"));  // shorter than the header itself
+  ASSERT_TRUE(write_file(path, "XWA"));  // short AND foreign: still refused
   EXPECT_FALSE(svc::WriteAheadLog::replay(path, &error).has_value());
+  ::unlink(path.c_str());
+}
+
+TEST(SvcWalFraming, PartialHeaderReadsAsEmptyLogAndReopens) {
+  // A crash between open(O_CREAT) and the header fsync leaves an empty or
+  // partially-headered file. That must not brick the daemon: replay reads
+  // it as an empty log and open() re-stamps the header.
+  const std::string path = temp_path("partial_header.wal");
+
+  for (std::size_t length = 0; length < svc::kWalHeaderBytes; ++length) {
+    ASSERT_TRUE(write_file(path, svc::encode_wal_header().substr(0, length)));
+    std::string error;
+    const auto replay = svc::WriteAheadLog::replay(path, &error);
+    ASSERT_TRUE(replay.has_value()) << "length " << length << ": " << error;
+    EXPECT_TRUE(replay->header_valid) << "length " << length;
+    EXPECT_TRUE(replay->records.empty());
+    EXPECT_EQ(replay->good_bytes, 0u) << "length " << length;
+    EXPECT_EQ(replay->torn_bytes, length);
+
+    svc::WriteAheadLog wal;
+    ASSERT_TRUE(wal.open(path, replay->good_bytes, 1, &error)) << error;
+    EXPECT_EQ(wal.bytes_on_disk(), svc::kWalHeaderBytes);
+    svc::WalRecord record = make_record(0, "k1");
+    ASSERT_TRUE(wal.append(record, &error)) << error;
+    wal.close();
+
+    const auto reread = svc::WriteAheadLog::replay(path, &error);
+    ASSERT_TRUE(reread.has_value()) << error;
+    ASSERT_EQ(reread->records.size(), 1u) << "length " << length;
+    EXPECT_EQ(reread->torn_bytes, 0u);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(SvcWalFraming, FailedAppendRollsTheFileBack) {
+  // An append that tears mid-record (ENOSPC's shape) must leave no bytes
+  // past the committed prefix — otherwise the next acknowledged append
+  // would be written after damage and discarded by replay as torn tail.
+  const std::string path = temp_path("rollback.wal");
+  ::unlink(path.c_str());
+
+  svc::WriteAheadLog wal;
+  std::string error;
+  ASSERT_TRUE(wal.open(path, 0, 1, &error)) << error;
+  svc::WalRecord first = make_record(0, "k1");
+  ASSERT_TRUE(wal.append(first, &error)) << error;
+  const std::uint64_t committed = wal.bytes_on_disk();
+
+  wal.inject_torn_append_for_test();
+  svc::WalRecord torn = make_record(0, "k2");
+  EXPECT_FALSE(wal.append(torn, &error));
+  EXPECT_NE(error.find("rolled back"), std::string::npos) << error;
+  EXPECT_FALSE(wal.poisoned());
+  EXPECT_EQ(wal.bytes_on_disk(), committed);
+  EXPECT_EQ(torn.seq, 0u);  // the seq was not consumed
+
+  // The retry commits cleanly right after the rollback, on the same seq.
+  svc::WalRecord retry = make_record(0, "k2");
+  ASSERT_TRUE(wal.append(retry, &error)) << error;
+  EXPECT_EQ(retry.seq, 2u);
+  wal.close();
+
+  const auto replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[1].seq, 2u);
+  EXPECT_EQ(replay->records[1].idempotency_key, "k2");
+  EXPECT_EQ(replay->torn_bytes, 0u);
+  ::unlink(path.c_str());
+}
+
+TEST(SvcWalFraming, FailedRollbackPoisonsTheLogUntilRecovery) {
+  const std::string path = temp_path("poison.wal");
+  ::unlink(path.c_str());
+
+  svc::WriteAheadLog wal;
+  std::string error;
+  ASSERT_TRUE(wal.open(path, 0, 1, &error)) << error;
+  svc::WalRecord first = make_record(0, "k1");
+  ASSERT_TRUE(wal.append(first, &error)) << error;
+
+  wal.inject_torn_append_for_test(/*rollback_fails=*/true);
+  svc::WalRecord torn = make_record(0, "k2");
+  EXPECT_FALSE(wal.append(torn, &error));
+  EXPECT_NE(error.find("poisoned"), std::string::npos) << error;
+  EXPECT_TRUE(wal.poisoned());
+
+  // Fail closed: the poisoned log refuses every append, even a healthy one.
+  svc::WalRecord refused = make_record(0, "k3");
+  EXPECT_FALSE(wal.append(refused, &error));
+  EXPECT_NE(error.find("poisoned"), std::string::npos) << error;
+  wal.close();
+
+  // Recovery sees the half-written frame as the torn tail, truncates it,
+  // and the log serves appends again.
+  const auto replay = svc::WriteAheadLog::replay(path, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_GT(replay->torn_bytes, 0u);
+  ASSERT_TRUE(wal.open(path, replay->good_bytes,
+                       replay->records.back().seq + 1, &error))
+      << error;
+  EXPECT_FALSE(wal.poisoned());
+  svc::WalRecord after = make_record(0, "k2");
+  ASSERT_TRUE(wal.append(after, &error)) << error;
+  EXPECT_EQ(after.seq, 2u);
+  wal.close();
   ::unlink(path.c_str());
 }
 
@@ -580,6 +687,100 @@ TEST_F(SvcWalRecoveryTest, CrashBetweenSnapshotAndWalResetIsHarmless) {
   auto reference = make_state();
   reference->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "batch-1");
   reference->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509, "batch-2");
+  EXPECT_EQ(recovered->generation(), reference->generation());
+  EXPECT_EQ(full_report(*recovered), full_report(*reference));
+}
+
+TEST_F(SvcWalRecoveryTest, LedgerBoundEvictsOldestKeysFirst) {
+  const std::string wal = fresh_wal("ledger.wal");
+  auto state = make_state();
+  svc::DurabilityOptions durability;
+  durability.wal_path = wal;
+  durability.applied_ledger_max = 2;
+  std::string error;
+  ASSERT_TRUE(state->recover_and_arm(durability, nullptr, &error)) << error;
+
+  ingest_all(*state);  // keys batch-1..batch-3; the bound keeps the last two
+  const std::uint64_t generation = state->generation();
+
+  // The most recent keys still answer as duplicates...
+  EXPECT_TRUE(state
+                  ->ingest_append((*batches_)[2].ssl, (*batches_)[2].x509,
+                                  "batch-3")
+                  .duplicate);
+  EXPECT_TRUE(state
+                  ->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509,
+                                  "batch-2")
+                  .duplicate);
+  EXPECT_EQ(state->generation(), generation);
+
+  // ...while the evicted oldest key re-folds: the documented trade-off of
+  // a bounded ledger (pick the bound above the client retry horizon).
+  const svc::AppendResult evicted =
+      state->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "batch-1");
+  EXPECT_FALSE(evicted.duplicate);
+  EXPECT_EQ(state->generation(), generation + 1);
+}
+
+TEST_F(SvcWalRecoveryTest, LedgerBoundSurvivesSnapshotRecovery) {
+  const std::string wal = fresh_wal("ledger_recover.wal");
+  svc::DurabilityOptions durability;
+  durability.wal_path = wal;
+  durability.snapshot_every = 2;  // snapshot carries the (bounded) ledger
+  durability.applied_ledger_max = 2;
+  {
+    auto durable = make_state();
+    std::string error;
+    ASSERT_TRUE(durable->recover_and_arm(durability, nullptr, &error)) << error;
+    ingest_all(*durable);
+  }
+
+  auto recovered = make_state();
+  std::string error;
+  ASSERT_TRUE(recovered->recover_and_arm(durability, nullptr, &error)) << error;
+  const std::uint64_t generation = recovered->generation();
+  EXPECT_TRUE(recovered
+                  ->ingest_append((*batches_)[2].ssl, (*batches_)[2].x509,
+                                  "batch-3")
+                  .duplicate);
+  EXPECT_EQ(recovered->generation(), generation);
+  EXPECT_FALSE(recovered
+                   ->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509,
+                                   "batch-1")
+                   .duplicate);
+  EXPECT_EQ(recovered->generation(), generation + 1);
+}
+
+TEST_F(SvcWalRecoveryTest, RepeatedRowsAcrossAppendsRecoverIdentically) {
+  // The snapshot records an appended X509 row only when its fuid was new to
+  // the joiner (first observation wins), so overlapping batches must not
+  // change what recovery rebuilds — through both the snapshot and the
+  // WAL-tail replay path.
+  const std::string wal = fresh_wal("repeat.wal");
+  svc::DurabilityOptions durability;
+  durability.wal_path = wal;
+  durability.snapshot_every = 2;  // appends 1+2 compact; append 3 replays
+
+  auto reference = make_state();
+  reference->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "A");
+  reference->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "B");
+  reference->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509, "C");
+
+  {
+    auto durable = make_state();
+    std::string error;
+    ASSERT_TRUE(durable->recover_and_arm(durability, nullptr, &error)) << error;
+    durable->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "A");
+    durable->ingest_append((*batches_)[0].ssl, (*batches_)[0].x509, "B");
+    durable->ingest_append((*batches_)[1].ssl, (*batches_)[1].x509, "C");
+    EXPECT_EQ(full_report(*durable), full_report(*reference));
+  }
+
+  auto recovered = make_state();
+  svc::RecoveryStats stats;
+  std::string error;
+  ASSERT_TRUE(recovered->recover_and_arm(durability, &stats, &error)) << error;
+  EXPECT_TRUE(stats.snapshot_loaded);
   EXPECT_EQ(recovered->generation(), reference->generation());
   EXPECT_EQ(full_report(*recovered), full_report(*reference));
 }

@@ -73,6 +73,8 @@ void print_usage(const char* argv0) {
       "                        recover snapshot + WAL back into the corpus\n"
       "  --snapshot-every <n>  compact the WAL into a snapshot every n appends\n"
       "                        (0 = never; requires --wal)\n"
+      "  --applied-ledger-max <n>  remember at most n idempotency keys,\n"
+      "                        oldest evicted first (default 65536; 0 = all)\n"
       "  --request-deadline-ms <n>  per-request deadline: stalled frames,\n"
       "                        queued requests and response writes all time\n"
       "                        out with DEADLINE_EXCEEDED (0 = none)\n"
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
                flag == "--threads" || flag == "--queue" ||
                flag == "--max-connections" || flag == "--demo-connections" ||
                flag == "--wal" || flag == "--snapshot-every" ||
+               flag == "--applied-ledger-max" ||
                flag == "--request-deadline-ms" || flag == "--idle-timeout-ms") {
       if (arg + 1 >= argc) {
         print_usage(argv[0]);
@@ -140,6 +143,8 @@ int main(int argc, char** argv) {
         server_options.max_connections = static_cast<std::size_t>(number);
       } else if (flag == "--snapshot-every") {
         durability.snapshot_every = static_cast<std::size_t>(number);
+      } else if (flag == "--applied-ledger-max") {
+        durability.applied_ledger_max = static_cast<std::size_t>(number);
       } else if (flag == "--request-deadline-ms") {
         server_options.request_deadline_ms = static_cast<std::uint32_t>(number);
       } else if (flag == "--idle-timeout-ms") {
