@@ -1,0 +1,375 @@
+// Extension — CT log scale: incremental vs. recursive Merkle tree
+// (DESIGN.md §14.1, §14.6).
+//
+// Grows two RFC 6962 trees over identical leaf byte streams to
+// CERTCHAIN_CT_ENTRIES leaves (default one million), publishing a signed
+// tree head every CERTCHAIN_CT_BATCH appends the way a log front-end does:
+//
+//   legacy       ct::MerkleTree — stores leaf bytes, recomputes the MTH
+//                recursively, so every per-batch STH costs O(n);
+//   incremental  ct::IncrementalMerkleTree — cached subtree hashes, leaf
+//                hashes only, amortized O(log n) per append including the
+//                STH, and a ct::Monitor audits the growing tree from a
+//                concurrent thread the whole time (consistency proofs +
+//                sampled inclusion proofs against every head it observes).
+//
+// Then proves inclusion for seeded-random samples out of both finished
+// trees. The two final roots must be bit-identical (the differential
+// anchor), the monitor must report zero violations, and the run fails
+// loudly otherwise. --json-out writes a certchain.bench.ct v1 document
+// with appends/sec, proofs/sec, speedups, monitor counters and peak RSS —
+// BENCH_ct.json in the repo root is this document at the 1M default.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "ct/merkle.hpp"
+#include "ct/merkle_inc.hpp"
+#include "ct/monitor.hpp"
+#include "obs/json.hpp"
+#include "obs/resource.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using certchain::ct::Digest256;
+
+struct PhaseResult {
+  double append_wall_ms = 0.0;
+  double proof_wall_ms = 0.0;
+  std::size_t entries = 0;
+  std::size_t sth_count = 0;
+  std::size_t proof_samples = 0;
+  double appends_per_sec = 0.0;
+  double proofs_per_sec = 0.0;
+  Digest256 final_root;
+  bool proofs_verified = true;
+};
+
+/// The incremental tree shared between the append loop and the monitor
+/// thread. A real log front-end serializes its write path the same way.
+struct SharedTree {
+  mutable std::mutex mutex;
+  certchain::ct::IncrementalMerkleTree tree;
+};
+
+class SharedTreeClient : public certchain::ct::LogClient {
+ public:
+  explicit SharedTreeClient(const SharedTree& shared) : shared_(&shared) {}
+
+  std::string log_id() const override { return "bench-inc-log"; }
+
+  certchain::ct::TreeHead tree_head() const override {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    return {shared_->tree.size(), shared_->tree.root_hash()};
+  }
+
+  std::optional<std::vector<Digest256>> consistency(
+      std::size_t m, std::size_t n) const override {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    if (m > n || n > shared_->tree.size()) return std::nullopt;
+    return shared_->tree.consistency_proof(m, n);
+  }
+
+  std::optional<InclusionAnswer> inclusion(std::size_t index,
+                                           std::size_t n) const override {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    if (n > shared_->tree.size() || index >= n) return std::nullopt;
+    return InclusionAnswer{shared_->tree.leaf_hash_at(index),
+                           shared_->tree.inclusion_proof(index, n)};
+  }
+
+ private:
+  const SharedTree* shared_;
+};
+
+/// Deterministic leaf byte stream; both trees consume the identical
+/// sequence, which is what makes the final-root comparison meaningful.
+std::string leaf_data(std::size_t index, std::uint64_t word) {
+  return "ct-bench/" + std::to_string(index) + "/" + std::to_string(word);
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace certchain;
+
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ext_ct [--json-out <path>]\n"
+                   "unknown argument: %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  const std::size_t entries = env_size("CERTCHAIN_CT_ENTRIES", 1'000'000);
+  const std::size_t batch = std::max<std::size_t>(
+      1, env_size("CERTCHAIN_CT_BATCH", 4096));
+  const std::size_t proof_samples =
+      std::max<std::size_t>(1, env_size("CERTCHAIN_CT_PROOFS", 20000));
+  // Legacy proofs are O(n) each; sample enough for a stable rate without
+  // letting the legacy phase dominate the run.
+  const std::size_t legacy_proof_samples = std::min<std::size_t>(
+      proof_samples, std::max<std::size_t>(1, env_size("CERTCHAIN_CT_LEGACY_PROOFS", 256)));
+  const std::uint64_t seed = env_size("CERTCHAIN_CT_SEED", 20200901);
+
+  bench::print_header(
+      "Ext: CT log at scale — incremental vs. recursive Merkle tree",
+      "per-batch STHs over identical leaves; monitor audits the incremental "
+      "tree concurrently");
+  std::fprintf(stderr,
+               "[certchain] entries=%zu batch=%zu proofs=%zu (legacy %zu) "
+               "seed=%llu\n",
+               entries, batch, proof_samples, legacy_proof_samples,
+               static_cast<unsigned long long>(seed));
+
+  // ---- Legacy phase: recursive tree, O(n) STH per batch -------------------
+  PhaseResult legacy;
+  legacy.entries = entries;
+  ct::MerkleTree legacy_tree;
+  {
+    util::Rng rng(seed);
+    const obs::Stopwatch watch;
+    for (std::size_t i = 0; i < entries; ++i) {
+      legacy_tree.append(leaf_data(i, rng.next_u64()));
+      if ((i + 1) % batch == 0 || i + 1 == entries) {
+        legacy.final_root = legacy_tree.root_hash();
+        ++legacy.sth_count;
+      }
+    }
+    legacy.append_wall_ms = watch.elapsed_ms();
+  }
+  legacy.appends_per_sec =
+      entries * 1000.0 / std::max(legacy.append_wall_ms, 1e-9);
+  {
+    util::Rng rng(seed ^ 0xabcdef);
+    util::Rng data_rng(seed);
+    std::vector<std::uint64_t> words(entries);
+    for (std::size_t i = 0; i < entries; ++i) words[i] = data_rng.next_u64();
+    const obs::Stopwatch watch;
+    for (std::size_t i = 0; i < legacy_proof_samples; ++i) {
+      const std::size_t index = rng.next_below(entries);
+      const auto proof = legacy_tree.inclusion_proof(index);
+      if (!ct::verify_inclusion(leaf_data(index, words[index]), index, entries,
+                                proof, legacy.final_root)) {
+        legacy.proofs_verified = false;
+      }
+    }
+    legacy.proof_wall_ms = watch.elapsed_ms();
+  }
+  legacy.proof_samples = legacy_proof_samples;
+  legacy.proofs_per_sec =
+      legacy_proof_samples * 1000.0 / std::max(legacy.proof_wall_ms, 1e-9);
+  std::fprintf(stderr, "[certchain] legacy phase done in %.0f ms\n",
+               legacy.append_wall_ms + legacy.proof_wall_ms);
+
+  // ---- Incremental phase: cached subtrees, monitor polling concurrently --
+  PhaseResult incremental;
+  incremental.entries = entries;
+  SharedTree shared;
+  ct::MonitorConfig monitor_config;
+  monitor_config.inclusion_samples = 4;
+  monitor_config.seed = seed;
+  obs::RunContext monitor_context;
+  ct::Monitor monitor(monitor_config, &monitor_context.metrics);
+  monitor.watch(std::make_shared<SharedTreeClient>(shared));
+
+  std::atomic<bool> append_done{false};
+  std::thread monitor_thread([&monitor, &append_done] {
+    while (!append_done.load(std::memory_order_relaxed)) {
+      monitor.poll_once();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  {
+    util::Rng rng(seed);
+    const obs::Stopwatch watch;
+    std::size_t appended = 0;
+    while (appended < entries) {
+      const std::size_t stop = std::min(entries, appended + batch);
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      for (; appended < stop; ++appended) {
+        shared.tree.append(leaf_data(appended, rng.next_u64()));
+      }
+      incremental.final_root = shared.tree.root_hash();
+      ++incremental.sth_count;
+    }
+    incremental.append_wall_ms = watch.elapsed_ms();
+  }
+  append_done.store(true, std::memory_order_relaxed);
+  monitor_thread.join();
+  monitor.poll_once();  // one clean audit of the finished tree
+  incremental.appends_per_sec =
+      entries * 1000.0 / std::max(incremental.append_wall_ms, 1e-9);
+
+  {
+    util::Rng rng(seed ^ 0xabcdef);
+    const obs::Stopwatch watch;
+    for (std::size_t i = 0; i < proof_samples; ++i) {
+      const std::size_t index = rng.next_below(entries);
+      const auto proof = shared.tree.inclusion_proof(index, entries);
+      if (!ct::verify_inclusion_hash(shared.tree.leaf_hash_at(index), index,
+                                     entries, proof, incremental.final_root)) {
+        incremental.proofs_verified = false;
+      }
+    }
+    incremental.proof_wall_ms = watch.elapsed_ms();
+  }
+  incremental.proof_samples = proof_samples;
+  incremental.proofs_per_sec =
+      proof_samples * 1000.0 / std::max(incremental.proof_wall_ms, 1e-9);
+
+  const ct::MonitorStatus monitor_status = monitor.status();
+  const bool roots_match = legacy.final_root == incremental.final_root;
+  const double append_speedup =
+      incremental.appends_per_sec / std::max(legacy.appends_per_sec, 1e-9);
+  const double proof_speedup =
+      incremental.proofs_per_sec / std::max(legacy.proofs_per_sec, 1e-9);
+  const std::uint64_t peak_rss = obs::peak_rss_bytes();
+
+  bench::print_section("Append throughput (per-batch STH included)");
+  util::TextTable appends({"Tree", "Entries", "STHs", "Wall ms", "Appends/s"});
+  appends.add_row({"legacy recursive", std::to_string(legacy.entries),
+                   std::to_string(legacy.sth_count),
+                   util::format_double(legacy.append_wall_ms, 1),
+                   util::format_double(legacy.appends_per_sec, 0)});
+  appends.add_row({"incremental", std::to_string(incremental.entries),
+                   std::to_string(incremental.sth_count),
+                   util::format_double(incremental.append_wall_ms, 1),
+                   util::format_double(incremental.appends_per_sec, 0)});
+  std::printf("%s\n", appends.render().c_str());
+
+  bench::print_section("Inclusion proof throughput (final tree)");
+  util::TextTable proofs({"Tree", "Samples", "Wall ms", "Proofs/s", "Verified"});
+  proofs.add_row({"legacy recursive", std::to_string(legacy.proof_samples),
+                  util::format_double(legacy.proof_wall_ms, 1),
+                  util::format_double(legacy.proofs_per_sec, 0),
+                  legacy.proofs_verified ? "yes" : "NO"});
+  proofs.add_row({"incremental", std::to_string(incremental.proof_samples),
+                  util::format_double(incremental.proof_wall_ms, 1),
+                  util::format_double(incremental.proofs_per_sec, 0),
+                  incremental.proofs_verified ? "yes" : "NO"});
+  std::printf("%s\n", proofs.render().c_str());
+
+  bench::print_section("Concurrent monitor (incremental phase)");
+  std::printf(
+      "polls=%llu sth_verified=%llu inclusion_checks=%llu "
+      "inclusion_failures=%llu violations=%zu\n\n",
+      static_cast<unsigned long long>(monitor_status.polls),
+      static_cast<unsigned long long>(monitor_status.sth_verified),
+      static_cast<unsigned long long>(monitor_status.inclusion_checks),
+      static_cast<unsigned long long>(monitor_status.inclusion_failures),
+      monitor_status.violation_count);
+
+  std::printf("Speedup: %.1fx appends/s, %.1fx proofs/s; roots %s; peak RSS %.1f MiB\n",
+              append_speedup, proof_speedup,
+              roots_match ? "match" : "DIFFER",
+              static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+
+  if (!json_out.empty()) {
+    obs::json::Writer writer;
+    writer.begin_object();
+    writer.key("schema");
+    writer.value_string("certchain.bench.ct");
+    writer.key("version");
+    writer.value_uint(1);
+    writer.key("entries");
+    writer.value_uint(entries);
+    writer.key("batch");
+    writer.value_uint(batch);
+    writer.key("seed");
+    writer.value_uint(seed);
+    const auto phase_json = [&writer](const PhaseResult& phase) {
+      writer.begin_object();
+      writer.key("entries");
+      writer.value_uint(phase.entries);
+      writer.key("sth_count");
+      writer.value_uint(phase.sth_count);
+      writer.key("append_wall_ms");
+      writer.value_number(phase.append_wall_ms);
+      writer.key("appends_per_sec");
+      writer.value_number(phase.appends_per_sec);
+      writer.key("proof_samples");
+      writer.value_uint(phase.proof_samples);
+      writer.key("proof_wall_ms");
+      writer.value_number(phase.proof_wall_ms);
+      writer.key("proofs_per_sec");
+      writer.value_number(phase.proofs_per_sec);
+      writer.key("proofs_verified");
+      writer.value_bool(phase.proofs_verified);
+      writer.key("final_root");
+      writer.value_string(phase.final_root.to_hex());
+      writer.end_object();
+    };
+    writer.key("legacy");
+    phase_json(legacy);
+    writer.key("incremental");
+    phase_json(incremental);
+    writer.key("speedup");
+    writer.begin_object();
+    writer.key("appends");
+    writer.value_number(append_speedup);
+    writer.key("proofs");
+    writer.value_number(proof_speedup);
+    writer.end_object();
+    writer.key("monitor");
+    writer.begin_object();
+    writer.key("polls");
+    writer.value_uint(monitor_status.polls);
+    writer.key("sth_verified");
+    writer.value_uint(monitor_status.sth_verified);
+    writer.key("inclusion_checks");
+    writer.value_uint(monitor_status.inclusion_checks);
+    writer.key("inclusion_failures");
+    writer.value_uint(monitor_status.inclusion_failures);
+    writer.key("violations");
+    writer.value_uint(monitor_status.violation_count);
+    writer.end_object();
+    writer.key("roots_match");
+    writer.value_bool(roots_match);
+    writer.key("peak_rss_bytes");
+    writer.value_uint(peak_rss);
+    writer.end_object();
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bench_ext_ct: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    out << std::move(writer).str() << '\n';
+    std::fprintf(stderr, "[certchain] wrote %s\n", json_out.c_str());
+  }
+
+  const bool ok = roots_match && legacy.proofs_verified &&
+                  incremental.proofs_verified &&
+                  monitor_status.violation_count == 0;
+  std::printf("Accounting: %s\n",
+              ok ? "roots identical, every sampled proof verified, monitor "
+                   "clean"
+                 : "FAILURE — root divergence, failed proof, or monitor "
+                   "violation");
+  return ok ? 0 : 1;
+}

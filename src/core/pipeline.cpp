@@ -150,6 +150,15 @@ StudyReport StudyPipeline::analyze_corpus(const CorpusIndex& corpus,
   publish_stage(obs, "graphs", structure_in, structure_in, 0);
   detail::publish_graph_counters(obs, report);
 
+  // Stage 5: per-issuer-category CT compliance over the unique chains.
+  {
+    auto timer = stage_timer(obs, "ct_compliance");
+    const CtComplianceAnalyzer ct_analyzer(*stores_, *ct_logs_);
+    report.ct_compliance = ct_analyzer.analyze(corpus);
+  }
+  publish_stage(obs, "ct_compliance", report.unique_chains, report.unique_chains, 0);
+  detail::publish_ct_compliance_counters(obs, report);
+
   return report;
 }
 

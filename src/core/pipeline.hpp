@@ -23,6 +23,7 @@
 #include "chain/categorizer.hpp"
 #include "chain/cross_sign_registry.hpp"
 #include "core/corpus.hpp"
+#include "core/ct_compliance.hpp"
 #include "core/ingest.hpp"
 #include "core/hybrid_analysis.hpp"
 #include "core/interception.hpp"
@@ -83,6 +84,10 @@ struct StudyReport {
   PkiGraph hybrid_graph;        // Figure 5
   PkiGraph non_public_graph;    // Figure 7
   PkiGraph interception_graph;  // Figure 8
+
+  /// §4.2 extended: per-issuer-category CT compliance over unique chains
+  /// (public / non-public hierarchical / self-contained).
+  CtComplianceReport ct_compliance;
 
   /// Data-quality accounting; populated by every raw-text-bearing input
   /// (text, sources, files) — the paths that can observe line damage.

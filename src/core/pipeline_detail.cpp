@@ -160,4 +160,22 @@ void publish_graph_counters(obs::RunContext* obs, const StudyReport& report) {
   graph_counters("interception", report.interception_graph);
 }
 
+void publish_ct_compliance_counters(obs::RunContext* obs,
+                                    const StudyReport& report) {
+  if (obs == nullptr) return;
+  obs::MetricsRegistry& metrics = obs->metrics;
+  const auto bucket_counters = [&metrics](const char* name,
+                                          const CtComplianceBucket& bucket) {
+    const std::string prefix = std::string("ct.compliance.") + name + ".";
+    metrics.count(prefix + "chains", bucket.chains);
+    metrics.count(prefix + "ct_logged", bucket.ct_logged);
+    metrics.count(prefix + "with_scts", bucket.with_scts);
+    metrics.count(prefix + "policy_compliant", bucket.policy_compliant);
+  };
+  bucket_counters("public", report.ct_compliance.public_db);
+  bucket_counters("non_public_hierarchical",
+                  report.ct_compliance.non_public_hierarchical);
+  bucket_counters("self_contained", report.ct_compliance.self_contained);
+}
+
 }  // namespace certchain::core::detail

@@ -65,6 +65,8 @@ void publish_categorize_counters(obs::RunContext* obs, const StudyReport& report
 void publish_structure_counters(obs::RunContext* obs,
                                 const CategorySlices& slices);
 void publish_graph_counters(obs::RunContext* obs, const StudyReport& report);
+void publish_ct_compliance_counters(obs::RunContext* obs,
+                                    const StudyReport& report);
 
 /// Records-in count for the structure/graphs stages: the three analyzed
 /// category slices.

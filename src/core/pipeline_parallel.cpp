@@ -384,6 +384,37 @@ StudyReport StudyPipeline::analyze_corpus_on_pool(par::ThreadPool& pool,
   publish_stage(obs, "graphs", structure_in, structure_in, 0);
   detail::publish_graph_counters(obs, report);
 
+  // Stage 5: CT compliance, sharded over the same materialized observation
+  // order as categorization; per-shard reports merge additively, so the
+  // result is identical to the serial fold.
+  {
+    auto timer = stage_timer(obs, "ct_compliance");
+    const CtComplianceAnalyzer ct_analyzer(*stores_, *ct_logs_);
+    std::vector<const ChainObservation*> observations;
+    observations.reserve(corpus.chains().size());
+    for (const auto& [chain_id, observation] : corpus.chains()) {
+      observations.push_back(&observation);
+    }
+    std::vector<CtComplianceReport> partials(shard_count);
+    std::vector<double> wall(shard_count, 0.0);
+    par::parallel_for_chunks(
+        &pool, observations.size(), shard_count,
+        [&partials, &wall, &observations, &ct_analyzer](
+            std::size_t chunk, std::size_t begin, std::size_t end) {
+          obs::Stopwatch watch;
+          for (std::size_t i = begin; i < end; ++i) {
+            ct_analyzer.add(*observations[i], partials[chunk]);
+          }
+          wall[chunk] = watch.elapsed_ms();
+        });
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      attach_shard_span(obs, "ct_compliance", i, wall[i]);
+      report.ct_compliance.merge_from(partials[i]);
+    }
+  }
+  publish_stage(obs, "ct_compliance", report.unique_chains, report.unique_chains, 0);
+  detail::publish_ct_compliance_counters(obs, report);
+
   return report;
 }
 

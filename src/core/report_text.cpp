@@ -87,6 +87,26 @@ void render_non_public(std::string& out, const StudyReport& report) {
          util::percent(nonpub.bc_omitted_later_fraction(), 1.0) + "%\n\n";
 }
 
+void render_ct_compliance(std::string& out, const StudyReport& report) {
+  const CtComplianceReport& ct = report.ct_compliance;
+  out += util::render_banner("CT compliance by issuer category (Sec. 4.2)");
+  util::TextTable table({"Issuer category", "Chains", "Connections", "CT-logged",
+                         "With SCTs", "Policy-OK"});
+  const auto row = [&table](const char* name, const CtComplianceBucket& bucket) {
+    table.add_row({name, util::with_commas(bucket.chains),
+                   util::with_commas(bucket.connections),
+                   util::with_commas(bucket.ct_logged),
+                   util::with_commas(bucket.with_scts),
+                   util::with_commas(bucket.policy_compliant)});
+  };
+  row("public", ct.public_db);
+  row("non-public hierarchical", ct.non_public_hierarchical);
+  row("self-contained", ct.self_contained);
+  out += table.render();
+  out += "CT-logged leaves: " + util::with_commas(ct.total_ct_logged()) + "/" +
+         util::with_commas(ct.total_chains()) + " unique chains\n\n";
+}
+
 void render_graphs(std::string& out, const StudyReport& report) {
   out += util::render_banner("PKI graphs (Figures 5/7/8)");
   const auto line = [&](const char* name, const PkiGraph& graph) {
@@ -139,6 +159,7 @@ std::string render_report_text(const StudyReport& report,
   if (options.interception) render_interception(out, report);
   if (options.hybrid) render_hybrid(out, report);
   if (options.non_public) render_non_public(out, report);
+  if (options.ct_compliance) render_ct_compliance(out, report);
   if (options.graphs) render_graphs(out, report);
   if (options.data_quality) render_data_quality(out, report);
   if (options.telemetry != nullptr) {

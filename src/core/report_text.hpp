@@ -23,6 +23,7 @@ struct ReportTextOptions {
   bool interception = true;      // Table 1-style
   bool hybrid = true;            // Table 3/6/7 digest
   bool non_public = true;        // §4.3 digest
+  bool ct_compliance = true;     // §4.2 per-issuer-category CT analytics
   bool graphs = false;           // node/edge summaries
   /// Ingestion accounting; emitted only when the run consumed raw log text
   /// or streams (parsed-record runs have nothing to report on).

@@ -7,12 +7,44 @@
 
 namespace certchain::ct {
 
+namespace {
+
+/// Allocation-free re-verification of one candidate entry against a query
+/// (both already lowercased): exact name equality, or an RFC 6125 wildcard
+/// covering exactly one extra left label — the same predicate as
+/// x509::wildcard_matches, inlined so million-entry scans stay cold-free.
+bool entry_covers(const std::vector<std::string>& domains,
+                  std::string_view query) {
+  for (const std::string& d : domains) {
+    if (d == query) return true;
+    if (!util::starts_with(d, "*.")) continue;
+    const std::string_view suffix = std::string_view(d).substr(1);  // ".example"
+    if (!util::ends_with(query, suffix)) continue;
+    const std::string_view label = query.substr(0, query.size() - suffix.size());
+    if (!label.empty() && label.find('.') == std::string_view::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 CtLog::CtLog(std::string name)
     : name_(std::move(name)), log_id_(util::digest256_hex("ct-log-id/" + name_)) {}
 
 std::string CtLog::entry_leaf_bytes(const x509::Certificate& cert) {
   // The tree commits to the full certificate content.
   return cert.tbs_bytes() + cert.signature.value;
+}
+
+std::size_t CtLog::index_entry(LogEntry entry, const Digest256& leaf) {
+  const std::size_t index = tree_.append_leaf_hash(leaf);
+  entry.index = index;
+  for (const std::string& domain : entry.domains) {
+    domains_.add(domain, static_cast<std::uint32_t>(index), entry.validity);
+  }
+  by_fingerprint_.emplace(entry.certificate_fingerprint, index);
+  entries_.push_back(std::move(entry));
+  return index;
 }
 
 x509::EmbeddedSct CtLog::submit(const x509::Certificate& cert, util::SimTime now) {
@@ -23,7 +55,6 @@ x509::EmbeddedSct CtLog::submit(const x509::Certificate& cert, util::SimTime now
   }
 
   LogEntry entry;
-  entry.index = tree_.append(entry_leaf_bytes(cert));
   entry.certificate_fingerprint = fingerprint;
   entry.serial = cert.serial;
   entry.issuer = cert.issuer;
@@ -39,17 +70,12 @@ x509::EmbeddedSct CtLog::submit(const x509::Certificate& cert, util::SimTime now
     }
   }
 
-  const std::size_t index = entries_.size();
-  for (const std::string& domain : entry.domains) {
-    if (util::starts_with(domain, "*.")) {
-      wildcard_entries_.push_back(index);
-    } else {
-      by_exact_domain_[domain].push_back(index);
-    }
-  }
-  by_fingerprint_.emplace(fingerprint, index);
-  entries_.push_back(std::move(entry));
+  index_entry(std::move(entry), leaf_hash(entry_leaf_bytes(cert)));
   return x509::EmbeddedSct{log_id_, now};
+}
+
+std::size_t CtLog::append_entry(LogEntry entry, const Digest256& leaf) {
+  return index_entry(std::move(entry), leaf);
 }
 
 bool CtLog::contains(const x509::Certificate& cert) const {
@@ -57,7 +83,14 @@ bool CtLog::contains(const x509::Certificate& cert) const {
 }
 
 bool CtLog::contains_fingerprint(std::string_view fingerprint) const {
-  return by_fingerprint_.contains(std::string(fingerprint));
+  return by_fingerprint_.find(fingerprint) != by_fingerprint_.end();
+}
+
+std::optional<std::size_t> CtLog::entry_index_for(
+    std::string_view fingerprint) const {
+  const auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool CtLog::contains_matching(const x509::Certificate& cert) const {
@@ -84,26 +117,14 @@ bool CtLog::contains_matching(const x509::Certificate& cert) const {
 
 std::vector<const LogEntry*> CtLog::entries_for_domain(std::string_view domain) const {
   std::vector<const LogEntry*> out;
-  std::set<std::size_t> seen;
   const std::string lowered = util::to_lower(domain);
-  const auto it = by_exact_domain_.find(lowered);
-  if (it != by_exact_domain_.end()) {
-    for (const std::size_t index : it->second) {
-      if (seen.insert(index).second) out.push_back(&entries_[index]);
-    }
+  // Candidates are already sorted + deduplicated; wildcard-bucket hits are
+  // re-verified against the entry's own patterns so semantics match the
+  // legacy full scan exactly.
+  for (const std::uint32_t index : domains_.candidates(lowered)) {
+    const LogEntry& entry = entries_[index];
+    if (entry_covers(entry.domains, lowered)) out.push_back(&entry);
   }
-  for (const std::size_t index : wildcard_entries_) {
-    if (seen.contains(index)) continue;
-    for (const std::string& pattern : entries_[index].domains) {
-      if (x509::wildcard_matches(pattern, lowered)) {
-        seen.insert(index);
-        out.push_back(&entries_[index]);
-        break;
-      }
-    }
-  }
-  std::sort(out.begin(), out.end(),
-            [](const LogEntry* a, const LogEntry* b) { return a->index < b->index; });
   return out;
 }
 
@@ -111,31 +132,36 @@ std::vector<x509::DistinguishedName> CtLog::issuers_for_domain(
     std::string_view domain, const util::TimeRange& period) const {
   std::vector<x509::DistinguishedName> issuers;
   std::set<std::string> seen;
-  for (const LogEntry* entry : entries_for_domain(domain)) {
-    if (!entry->validity.overlaps(period)) continue;
-    if (seen.insert(entry->issuer.canonical()).second) {
-      issuers.push_back(entry->issuer);
+  const std::string lowered = util::to_lower(domain);
+  for (const std::uint32_t index : domains_.candidates(lowered, period)) {
+    const LogEntry& entry = entries_[index];
+    if (!entry_covers(entry.domains, lowered)) continue;
+    if (!entry.validity.overlaps(period)) continue;
+    if (seen.insert(entry.issuer.canonical()).second) {
+      issuers.push_back(entry.issuer);
     }
   }
   return issuers;
 }
 
 std::vector<Digest256> CtLog::prove_inclusion(const x509::Certificate& cert) const {
-  const auto it = by_fingerprint_.find(cert.fingerprint());
-  if (it == by_fingerprint_.end()) return {};
-  return tree_.inclusion_proof(entries_[it->second].index);
+  const auto index = entry_index_for(cert.fingerprint());
+  if (!index) return {};
+  return tree_.inclusion_proof(*index);
 }
 
-std::vector<Digest256> CtLog::prove_consistency(std::size_t old_size) const {
-  return tree_.consistency_proof(old_size, tree_.size());
+std::optional<std::vector<Digest256>> CtLog::prove_consistency(
+    std::size_t old_size, std::size_t new_size) const {
+  if (old_size > new_size || new_size > tree_.size()) return std::nullopt;
+  return tree_.consistency_proof(old_size, new_size);
 }
 
 bool CtLog::check_inclusion(const x509::Certificate& cert,
                             const std::vector<Digest256>& proof) const {
-  const auto it = by_fingerprint_.find(cert.fingerprint());
-  if (it == by_fingerprint_.end()) return false;
-  return verify_inclusion(entry_leaf_bytes(cert), entries_[it->second].index,
-                          tree_.size(), proof, tree_.root_hash());
+  const auto index = entry_index_for(cert.fingerprint());
+  if (!index) return false;
+  return verify_inclusion(entry_leaf_bytes(cert), *index, tree_.size(), proof,
+                          tree_.root_hash());
 }
 
 CtLogSet::CtLogSet(std::size_t count, std::string_view prefix) {
@@ -152,12 +178,17 @@ const CtLog* CtLogSet::find_log(std::string_view log_id) const {
   return nullptr;
 }
 
-x509::Certificate CtLogSet::submit_and_embed(const x509::Certificate& cert,
-                                             util::SimTime now,
-                                             std::size_t log_count) {
+x509::Certificate CtLogSet::submit_and_embed(
+    const x509::Certificate& cert, util::SimTime now,
+    std::optional<std::size_t> log_count) {
   x509::Certificate embedded = cert;
   embedded.scts.clear();
-  const std::size_t n = std::min(log_count, logs_.size());
+  // Default: exactly what the Chrome-style policy demands for this lifetime,
+  // so long-lived certificates come out compliant without the caller doing
+  // the policy math.
+  const std::size_t requested =
+      log_count.value_or(required_sct_count(cert.validity.duration()));
+  const std::size_t n = std::min(requested, logs_.size());
   for (std::size_t i = 0; i < n; ++i) {
     // Logs record the certificate *without* the embedded SCTs (precert
     // semantics): submit the original.

@@ -6,9 +6,12 @@
 //   2. CT-logging compliance (§4.2) — non-public-DB leaves anchored to public
 //      trust roots and used on public-facing domains must be CT-logged; the
 //      paper confirms all 26 such leaves were.
-// CtLog couples a Merkle tree (src/ct/merkle) with a domain index so both
-// queries run against the same append-only structure, and issues SCTs on
-// submission the way a real log front-end does.
+// CtLog couples an incremental Merkle tree (src/ct/merkle_inc, O(log n)
+// appends and proofs, leaf hashes only) with a sharded domain+validity index
+// (src/ct/domain_index) so both queries run against the same append-only
+// structure at million-entry scale, and issues SCTs on submission the way a
+// real log front-end does. The ct::Monitor (src/ct/monitor) tails these
+// accessors to audit consistency between signed tree heads.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +21,9 @@
 #include <string_view>
 #include <vector>
 
+#include "ct/domain_index.hpp"
 #include "ct/merkle.hpp"
+#include "ct/merkle_inc.hpp"
 #include "util/time.hpp"
 #include "x509/certificate.hpp"
 
@@ -36,6 +41,13 @@ struct LogEntry {
   util::SimTime logged_at = 0;
 };
 
+/// A signed-tree-head snapshot: the tree size and the MTH over it. (The
+/// simulation carries no signatures; the digest plays the signed root.)
+struct TreeHead {
+  std::size_t tree_size = 0;
+  Digest256 root;
+};
+
 /// A single CT log.
 class CtLog {
  public:
@@ -51,9 +63,19 @@ class CtLog {
   /// per certificate fingerprint (resubmission returns the original SCT).
   x509::EmbeddedSct submit(const x509::Certificate& cert, util::SimTime now);
 
+  /// Bulk ingestion fast path (datagen, bench): appends a pre-built entry
+  /// whose leaf hash the caller already computed, skipping certificate
+  /// construction entirely. Returns the assigned index. Not idempotent —
+  /// the caller owns fingerprint uniqueness.
+  std::size_t append_entry(LogEntry entry, const Digest256& leaf);
+
   /// True if this exact certificate is logged.
   bool contains(const x509::Certificate& cert) const;
   bool contains_fingerprint(std::string_view fingerprint) const;
+
+  /// Entry index for a fingerprint, if logged. The svc ct_prove_inclusion
+  /// endpoint keys on this to answer NOT_FOUND as a typed error.
+  std::optional<std::size_t> entry_index_for(std::string_view fingerprint) const;
 
   /// Field-level lookup: true if an entry matches the certificate's subject,
   /// issuer, serial and validity. This is how log data (which carries no key
@@ -72,8 +94,30 @@ class CtLog {
 
   /// Signed-tree-head style accessors.
   Digest256 root_hash() const { return tree_.root_hash(); }
+  Digest256 root_hash(std::size_t n) const { return tree_.root_hash(n); }
+  TreeHead tree_head() const { return TreeHead{tree_.size(), tree_.root_hash()}; }
+  const Digest256& leaf_hash_at(std::size_t index) const {
+    return tree_.leaf_hash_at(index);
+  }
+
   std::vector<Digest256> prove_inclusion(const x509::Certificate& cert) const;
-  std::vector<Digest256> prove_consistency(std::size_t old_size) const;
+  /// Audit path for entry `index` in the tree of the first `n` entries.
+  std::vector<Digest256> prove_inclusion_at(std::size_t index,
+                                            std::size_t n) const {
+    return tree_.inclusion_proof(index, n);
+  }
+
+  /// Consistency proof from `old_size` to the current tree. Bounds-checked:
+  /// an old_size beyond the current tree (a monitor that saw a *larger* tree
+  /// than we hold — the rollback case) yields nullopt instead of throwing.
+  std::optional<std::vector<Digest256>> prove_consistency(
+      std::size_t old_size) const {
+    return prove_consistency(old_size, tree_.size());
+  }
+  /// Consistency proof between the trees of the first `old_size` and first
+  /// `new_size` entries; nullopt when either bound is out of range.
+  std::optional<std::vector<Digest256>> prove_consistency(
+      std::size_t old_size, std::size_t new_size) const;
 
   /// Verifies an inclusion proof against the current tree head.
   bool check_inclusion(const x509::Certificate& cert,
@@ -83,16 +127,18 @@ class CtLog {
 
  private:
   static std::string entry_leaf_bytes(const x509::Certificate& cert);
+  /// Shared indexing tail of submit/append_entry: appends the leaf hash,
+  /// stamps entry.index, indexes fingerprint and domains.
+  std::size_t index_entry(LogEntry entry, const Digest256& leaf);
 
   std::string name_;
   std::string log_id_;
-  MerkleTree tree_;
+  IncrementalMerkleTree tree_;
   std::vector<LogEntry> entries_;
-  std::map<std::string, std::size_t> by_fingerprint_;
-  // registrable-suffix index would be overkill; we index by exact SAN label
-  // and scan wildcards, which is fine at study scale.
-  std::map<std::string, std::vector<std::size_t>> by_exact_domain_;
-  std::vector<std::size_t> wildcard_entries_;
+  // Transparent comparator: lookups are heterogeneous string_view probes,
+  // no per-query std::string allocation.
+  std::map<std::string, std::size_t, std::less<>> by_fingerprint_;
+  DomainIndex domains_;
 };
 
 /// A set of logs plus the Chrome-style CT policy the paper references [20]:
@@ -111,9 +157,14 @@ class CtLogSet {
   const CtLog* find_log(std::string_view log_id) const;
 
   /// Submits to the first `log_count` logs and embeds the SCTs in a copy of
-  /// the certificate, returning it (the "CT-compliant issuance" flow).
-  x509::Certificate submit_and_embed(const x509::Certificate& cert,
-                                     util::SimTime now, std::size_t log_count = 2);
+  /// the certificate, returning it (the "CT-compliant issuance" flow). By
+  /// default the SCT count follows the Chrome policy for the certificate's
+  /// lifetime — required_sct_count(cert.validity.duration()) — so >180-day
+  /// certificates are issued policy-compliant; pass an explicit count to
+  /// override (e.g. to model under-logged issuance).
+  x509::Certificate submit_and_embed(
+      const x509::Certificate& cert, util::SimTime now,
+      std::optional<std::size_t> log_count = std::nullopt);
 
   /// Chrome-style requirement: 2 SCTs for lifetimes <= 180 days, else 3.
   static std::size_t required_sct_count(util::SimTime lifetime_seconds);

@@ -118,10 +118,16 @@ std::vector<Digest256> MerkleTree::consistency_proof(std::size_t m,
 
 bool verify_inclusion(std::string_view leaf_data, std::size_t index, std::size_t n,
                       const std::vector<Digest256>& proof, const Digest256& root) {
+  return verify_inclusion_hash(leaf_hash(leaf_data), index, n, proof, root);
+}
+
+bool verify_inclusion_hash(const Digest256& leaf, std::size_t index, std::size_t n,
+                           const std::vector<Digest256>& proof,
+                           const Digest256& root) {
   if (n == 0 || index >= n) return false;
   std::size_t fn = index;
   std::size_t sn = n - 1;
-  Digest256 r = leaf_hash(leaf_data);
+  Digest256 r = leaf;
   for (const Digest256& v : proof) {
     if (sn == 0) return false;
     if ((fn & 1) == 1 || fn == sn) {

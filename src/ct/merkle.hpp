@@ -63,6 +63,12 @@ class MerkleTree {
 bool verify_inclusion(std::string_view leaf_data, std::size_t index, std::size_t n,
                       const std::vector<Digest256>& proof, const Digest256& root);
 
+/// Same check starting from a precomputed leaf hash. Monitors work from leaf
+/// hashes served by the log — they never hold the full leaf bytes.
+bool verify_inclusion_hash(const Digest256& leaf, std::size_t index, std::size_t n,
+                           const std::vector<Digest256>& proof,
+                           const Digest256& root);
+
 /// Verifies a consistency proof between roots of sizes m and n.
 bool verify_consistency(std::size_t m, std::size_t n, const Digest256& old_root,
                         const Digest256& new_root,

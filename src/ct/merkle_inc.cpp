@@ -1,0 +1,126 @@
+#include "ct/merkle_inc.hpp"
+
+#include <stdexcept>
+
+namespace certchain::ct {
+
+namespace {
+
+/// Largest power of two strictly less than n (n >= 2) — the RFC 6962 split.
+std::size_t split_point(std::size_t n) {
+  std::size_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+}  // namespace
+
+std::size_t IncrementalMerkleTree::append_leaf_hash(const Digest256& leaf) {
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].push_back(leaf);
+  const std::size_t index = levels_[0].size() - 1;
+
+  // Binary-counter carry: while the index at the current level is odd, the
+  // pair (i-1, i) just became complete — hash it one level up.
+  std::size_t i = index;
+  std::size_t level = 0;
+  while ((i & 1) == 1) {
+    if (levels_.size() == level + 1) levels_.emplace_back();
+    levels_[level + 1].push_back(
+        node_hash(levels_[level][i - 1], levels_[level][i]));
+    i >>= 1;
+    ++level;
+  }
+  return index;
+}
+
+const Digest256& IncrementalMerkleTree::leaf_hash_at(std::size_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("IncrementalMerkleTree::leaf_hash_at: bad index");
+  }
+  return levels_[0][index];
+}
+
+Digest256 IncrementalMerkleTree::range_hash(std::size_t begin,
+                                            std::size_t end) const {
+  const std::size_t n = end - begin;
+  if (n == 0) return util::digest256("");
+  if (n == 1) return levels_[0][begin];
+  // A perfect aligned range [i * 2^j, (i + 1) * 2^j) is cached at level j.
+  // Power-of-two width + begin aligned to the width <=> cache hit, because
+  // the carry loop filled levels_[j][begin >> j] when leaf end-1 arrived
+  // (its level-0 index ends in j ones).
+  if ((n & (n - 1)) == 0 && (begin & (n - 1)) == 0) {
+    std::size_t level = 0;
+    for (std::size_t w = n; w > 1; w >>= 1) ++level;
+    return levels_[level][begin >> level];
+  }
+  const std::size_t k = split_point(n);
+  // The left half is perfect and aligned whenever the range ever splits on
+  // the right spine of the tree, so this recursion is O(log n) deep with an
+  // O(1) left branch at every step.
+  return node_hash(range_hash(begin, begin + k), range_hash(begin + k, end));
+}
+
+Digest256 IncrementalMerkleTree::root_hash(std::size_t n) const {
+  if (n > size()) {
+    throw std::out_of_range("IncrementalMerkleTree::root_hash: n > size");
+  }
+  return range_hash(0, n);
+}
+
+std::vector<Digest256> IncrementalMerkleTree::range_inclusion(
+    std::size_t index, std::size_t begin, std::size_t end) const {
+  const std::size_t n = end - begin;
+  if (n <= 1) return {};
+  const std::size_t k = split_point(n);
+  std::vector<Digest256> path;
+  if (index < k) {
+    path = range_inclusion(index, begin, begin + k);
+    path.push_back(range_hash(begin + k, end));
+  } else {
+    path = range_inclusion(index - k, begin + k, end);
+    path.push_back(range_hash(begin, begin + k));
+  }
+  return path;
+}
+
+std::vector<Digest256> IncrementalMerkleTree::inclusion_proof(
+    std::size_t index, std::size_t n) const {
+  if (n > size() || index >= n) {
+    throw std::out_of_range("IncrementalMerkleTree::inclusion_proof: bad index/size");
+  }
+  return range_inclusion(index, 0, n);
+}
+
+std::vector<Digest256> IncrementalMerkleTree::subproof(std::size_t m,
+                                                       std::size_t begin,
+                                                       std::size_t end,
+                                                       bool whole) const {
+  const std::size_t n = end - begin;
+  if (m == n) {
+    if (whole) return {};
+    return {range_hash(begin, end)};
+  }
+  const std::size_t k = split_point(n);
+  std::vector<Digest256> proof;
+  if (m <= k) {
+    proof = subproof(m, begin, begin + k, whole);
+    proof.push_back(range_hash(begin + k, end));
+  } else {
+    proof = subproof(m - k, begin + k, end, false);
+    proof.push_back(range_hash(begin, begin + k));
+  }
+  return proof;
+}
+
+std::vector<Digest256> IncrementalMerkleTree::consistency_proof(
+    std::size_t m, std::size_t n) const {
+  if (m > n || n > size()) {
+    throw std::out_of_range("IncrementalMerkleTree::consistency_proof: bad sizes");
+  }
+  if (m == 0 || m == n) return {};
+  return subproof(m, 0, n, true);
+}
+
+}  // namespace certchain::ct

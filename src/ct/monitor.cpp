@@ -1,0 +1,178 @@
+#include "ct/monitor.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace certchain::ct {
+
+std::optional<std::vector<Digest256>> CtLogView::consistency(
+    std::size_t m, std::size_t n) const {
+  return log_->prove_consistency(m, n);
+}
+
+std::optional<LogClient::InclusionAnswer> CtLogView::inclusion(
+    std::size_t index, std::size_t n) const {
+  if (n > log_->size() || index >= n) return std::nullopt;
+  return InclusionAnswer{log_->leaf_hash_at(index),
+                         log_->prove_inclusion_at(index, n)};
+}
+
+const char* violation_kind_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kRollback: return "rollback";
+    case Violation::Kind::kRootMismatch: return "root_mismatch";
+    case Violation::Kind::kConsistency: return "consistency";
+    case Violation::Kind::kInclusion: return "inclusion";
+  }
+  return "unknown";
+}
+
+Monitor::Monitor(MonitorConfig config, obs::MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics) {}
+
+void Monitor::watch(std::shared_ptr<LogClient> client) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  watched_.push_back(Watched{std::move(client), false, TreeHead{}});
+}
+
+void Monitor::record(Violation violation) {
+  if (metrics_ != nullptr) {
+    metrics_->count("ct.monitor.violations");
+    switch (violation.kind) {
+      case Violation::Kind::kRollback:
+        metrics_->count("ct.monitor.rollbacks");
+        break;
+      case Violation::Kind::kRootMismatch:
+        metrics_->count("ct.monitor.root_mismatches");
+        break;
+      case Violation::Kind::kConsistency:
+        metrics_->count("ct.monitor.consistency_violations");
+        break;
+      case Violation::Kind::kInclusion:
+        metrics_->count("ct.monitor.inclusion_failures");
+        break;
+    }
+  }
+  violations_.push_back(std::move(violation));
+}
+
+std::size_t Monitor::audit_locked(Watched& watched, util::Rng& rng) {
+  const std::size_t before = violations_.size();
+  const TreeHead head = watched.client->tree_head();
+  const std::string log_id = watched.client->log_id();
+
+  const auto head_verified = [this] {
+    sth_verified_++;
+    if (metrics_ != nullptr) metrics_->count("ct.monitor.sth_verified");
+  };
+
+  bool head_ok = true;
+  if (!watched.has_checkpoint) {
+    // First observation: nothing to compare against; the head becomes the
+    // baseline the next poll must extend.
+    head_verified();
+  } else if (head.tree_size < watched.checkpoint.tree_size) {
+    head_ok = false;
+    record(Violation{Violation::Kind::kRollback, log_id,
+                     watched.checkpoint.tree_size, head.tree_size,
+                     "tree size shrank below checkpoint"});
+  } else if (head.tree_size == watched.checkpoint.tree_size) {
+    if (head.root == watched.checkpoint.root) {
+      head_verified();
+    } else {
+      head_ok = false;
+      record(Violation{Violation::Kind::kRootMismatch, log_id,
+                       watched.checkpoint.tree_size, head.tree_size,
+                       "same tree size, different root"});
+    }
+  } else {
+    const auto proof =
+        watched.client->consistency(watched.checkpoint.tree_size, head.tree_size);
+    const bool consistent =
+        proof.has_value() &&
+        verify_consistency(watched.checkpoint.tree_size, head.tree_size,
+                           watched.checkpoint.root, head.root, *proof);
+    if (consistent) {
+      head_verified();
+    } else {
+      head_ok = false;
+      record(Violation{Violation::Kind::kConsistency, log_id,
+                       watched.checkpoint.tree_size, head.tree_size,
+                       proof.has_value() ? "consistency proof failed to verify"
+                                         : "log refused consistency proof"});
+    }
+  }
+
+  // Sampled inclusion audit against the advertised head: even a consistent
+  // head is worthless if the log cannot prove the entries it claims.
+  if (head.tree_size > 0) {
+    for (std::size_t s = 0; s < config_.inclusion_samples; ++s) {
+      const std::size_t index = rng.next_below(head.tree_size);
+      inclusion_checks_++;
+      if (metrics_ != nullptr) metrics_->count("ct.monitor.inclusion_checks");
+      const auto answer = watched.client->inclusion(index, head.tree_size);
+      const bool proven =
+          answer.has_value() &&
+          verify_inclusion_hash(answer->leaf, index, head.tree_size,
+                                answer->path, head.root);
+      if (!proven) {
+        inclusion_failures_++;
+        record(Violation{Violation::Kind::kInclusion, log_id,
+                         watched.checkpoint.tree_size, head.tree_size,
+                         "sampled entry " + std::to_string(index) +
+                             " failed inclusion proof"});
+      }
+    }
+  }
+
+  // Advance the checkpoint only past heads that verified — a misbehaving
+  // log stays pinned to the last good checkpoint and keeps alarming.
+  if (head_ok) {
+    watched.checkpoint = head;
+    watched.has_checkpoint = true;
+  }
+  return violations_.size() - before;
+}
+
+std::size_t Monitor::poll_once() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  polls_++;
+  if (metrics_ != nullptr) metrics_->count("ct.monitor.polls");
+  util::Rng rng(config_.seed ^ (polls_ * 0x9e3779b97f4a7c15ULL));
+  std::size_t fresh = 0;
+  for (Watched& watched : watched_) {
+    fresh += audit_locked(watched, rng);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("ct.monitor.watched_logs",
+                        static_cast<double>(watched_.size()));
+  }
+  return fresh;
+}
+
+std::vector<Violation> Monitor::violations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return violations_;
+}
+
+MonitorStatus Monitor::status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MonitorStatus status;
+  status.polls = polls_;
+  status.sth_verified = sth_verified_;
+  status.inclusion_checks = inclusion_checks_;
+  status.inclusion_failures = inclusion_failures_;
+  status.violation_count = violations_.size();
+  status.checkpoints.reserve(watched_.size());
+  for (const Watched& watched : watched_) {
+    MonitorStatus::Checkpoint checkpoint;
+    checkpoint.log_id = watched.client->log_id();
+    checkpoint.tree_size = watched.has_checkpoint ? watched.checkpoint.tree_size : 0;
+    if (watched.has_checkpoint) checkpoint.root = watched.checkpoint.root;
+    status.checkpoints.push_back(std::move(checkpoint));
+  }
+  return status;
+}
+
+}  // namespace certchain::ct

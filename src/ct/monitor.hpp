@@ -1,0 +1,160 @@
+// Continuous CT monitor/auditor (DESIGN.md §14.3).
+//
+// A CT monitor tails one or more logs and holds them to the append-only
+// contract: every new signed tree head must be consistent with the last one
+// the monitor saw (RFC 6962 §5.3), and entries the log claims to hold must
+// actually be provable against the advertised root. Monitor keeps one
+// checkpoint (tree_size, root) per watched log and, on every poll:
+//
+//   1. fetches the current tree head;
+//   2. flags a *rollback* if the tree shrank, a *root mismatch* if the size
+//      held but the root changed, and a *consistency violation* if the log
+//      cannot produce a verifying consistency proof from the checkpoint to
+//      the new head (the history-rewrite case);
+//   3. samples K seeded-random entries and verifies their inclusion proofs
+//      against the new head (leaf-hash based — the monitor never holds leaf
+//      bytes), flagging *inclusion failures*;
+//   4. advances the checkpoint only when the head verified cleanly, so a
+//      misbehaving log keeps tripping the alarm instead of being forgiven.
+//
+// Logs are reached through the LogClient interface so tests can substitute
+// deliberately history-rewriting fakes, and a future remote monitor can wrap
+// the svc ct_sth/ct_prove_inclusion endpoints. Every outcome is counted in
+// an obs::MetricsRegistry under ct.monitor.* — the svc ct_monitor_status
+// endpoint and the certchain_ctmon tool surface those counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ct/ct_log.hpp"
+#include "util/rng.hpp"
+
+namespace certchain::obs {
+class MetricsRegistry;
+}
+
+namespace certchain::ct {
+
+/// Read-side view of a log, as a monitor sees it. All sizes are entry
+/// counts; proofs are answered for *observed* tree sizes, so an honest
+/// client answers for any size it ever advertised.
+class LogClient {
+ public:
+  struct InclusionAnswer {
+    Digest256 leaf;                // leaf hash of the sampled entry
+    std::vector<Digest256> path;   // audit path in the tree of size n
+  };
+
+  virtual ~LogClient() = default;
+  virtual std::string log_id() const = 0;
+  virtual TreeHead tree_head() const = 0;
+  /// Consistency proof between previously observed sizes m <= n. nullopt
+  /// means the log refused/cannot prove — itself a violation signal.
+  virtual std::optional<std::vector<Digest256>> consistency(
+      std::size_t m, std::size_t n) const = 0;
+  /// Leaf hash + audit path for `index` in the tree of the first `n` entries.
+  virtual std::optional<InclusionAnswer> inclusion(std::size_t index,
+                                                   std::size_t n) const = 0;
+};
+
+/// LogClient over an in-process CtLog (the honest adapter). The log must
+/// outlive the view.
+class CtLogView : public LogClient {
+ public:
+  explicit CtLogView(const CtLog& log) : log_(&log) {}
+
+  std::string log_id() const override { return log_->log_id(); }
+  TreeHead tree_head() const override { return log_->tree_head(); }
+  std::optional<std::vector<Digest256>> consistency(
+      std::size_t m, std::size_t n) const override;
+  std::optional<InclusionAnswer> inclusion(std::size_t index,
+                                           std::size_t n) const override;
+
+ private:
+  const CtLog* log_;
+};
+
+struct MonitorConfig {
+  /// Inclusion proofs sampled per log per poll (0 disables sampling).
+  std::size_t inclusion_samples = 4;
+  /// Seed for the sampling schedule; forked per poll so schedules are
+  /// deterministic but non-repeating.
+  std::uint64_t seed = 0x0c711;
+};
+
+/// One detected violation of the log's append-only contract.
+struct Violation {
+  enum class Kind {
+    kRollback,      // tree shrank below the checkpoint
+    kRootMismatch,  // same size, different root
+    kConsistency,   // no verifying consistency proof checkpoint -> head
+    kInclusion,     // sampled entry failed its inclusion proof
+  };
+  Kind kind = Kind::kConsistency;
+  std::string log_id;
+  std::size_t checkpoint_size = 0;
+  std::size_t observed_size = 0;
+  std::string detail;
+};
+
+const char* violation_kind_name(Violation::Kind kind);
+
+/// Point-in-time summary for status endpoints.
+struct MonitorStatus {
+  std::uint64_t polls = 0;
+  std::uint64_t sth_verified = 0;
+  std::uint64_t inclusion_checks = 0;
+  std::uint64_t inclusion_failures = 0;
+  std::size_t violation_count = 0;
+  struct Checkpoint {
+    std::string log_id;
+    std::size_t tree_size = 0;
+    Digest256 root;
+  };
+  std::vector<Checkpoint> checkpoints;  // in watch order
+};
+
+class Monitor {
+ public:
+  explicit Monitor(MonitorConfig config = {},
+                   obs::MetricsRegistry* metrics = nullptr);
+
+  /// Adds a log to the watch list. The first poll establishes its baseline
+  /// checkpoint.
+  void watch(std::shared_ptr<LogClient> client);
+
+  /// Audits every watched log once; returns the number of new violations.
+  /// Thread-safe against status()/violations() from other threads.
+  std::size_t poll_once();
+
+  std::vector<Violation> violations() const;
+  MonitorStatus status() const;
+
+ private:
+  struct Watched {
+    std::shared_ptr<LogClient> client;
+    bool has_checkpoint = false;
+    TreeHead checkpoint;
+  };
+
+  void record(Violation violation);
+  std::size_t audit_locked(Watched& watched, util::Rng& rng);
+
+  MonitorConfig config_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  std::vector<Watched> watched_;
+  std::vector<Violation> violations_;
+  std::uint64_t polls_ = 0;
+  std::uint64_t sth_verified_ = 0;
+  std::uint64_t inclusion_checks_ = 0;
+  std::uint64_t inclusion_failures_ = 0;
+};
+
+}  // namespace certchain::ct

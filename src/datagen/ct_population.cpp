@@ -1,0 +1,86 @@
+#include "datagen/ct_population.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace certchain::datagen {
+
+namespace {
+
+std::vector<x509::DistinguishedName> issuer_pool(
+    const CtPopulationConfig& config) {
+  std::vector<x509::DistinguishedName> pool;
+  pool.reserve(config.issuers_per_category * 3);
+  for (std::size_t i = 0; i < config.issuers_per_category; ++i) {
+    pool.push_back(x509::DistinguishedName{}
+                       .add("CN", "Sim Public CA " + std::to_string(i))
+                       .add("O", "Public Trust Services")
+                       .add("C", "US"));
+  }
+  for (std::size_t i = 0; i < config.issuers_per_category; ++i) {
+    pool.push_back(x509::DistinguishedName{}
+                       .add("CN", "Campus Private CA " + std::to_string(i))
+                       .add("O", "Campus IT")
+                       .add("C", "DE"));
+  }
+  for (std::size_t i = 0; i < config.issuers_per_category; ++i) {
+    // Self-contained devices: issuer == subject (appliance style).
+    pool.push_back(x509::DistinguishedName{}
+                       .add("CN", "appliance-" + std::to_string(i) + ".local"));
+  }
+  return pool;
+}
+
+}  // namespace
+
+std::size_t populate_ct_log(ct::CtLog& log, const CtPopulationConfig& config) {
+  util::Rng rng(config.seed);
+  const std::vector<x509::DistinguishedName> issuers = issuer_pool(config);
+  const std::size_t base_index = log.size();
+
+  for (std::size_t i = 0; i < config.entries; ++i) {
+    ct::LogEntry entry;
+    const std::uint64_t serial_word = rng.next_u64();
+    entry.serial = "ct-serial-" + std::to_string(serial_word);
+    entry.certificate_fingerprint =
+        util::digest256_hex("ct-population/" + log.name() + "/" +
+                            std::to_string(base_index + i) + "/" +
+                            std::to_string(serial_word));
+    entry.issuer = issuers[rng.next_below(issuers.size())];
+
+    const std::size_t campus = rng.next_below(64);
+    const std::size_t svc = base_index + i;
+    const std::string host = "svc" + std::to_string(svc) + ".campus" +
+                             std::to_string(campus) + ".example";
+    entry.subject = x509::DistinguishedName{}.add("CN", host);
+    if (config.wildcard_every != 0 && i % config.wildcard_every == 0) {
+      entry.domains.push_back("*.campus" + std::to_string(campus) + ".example");
+    } else {
+      entry.domains.push_back(host);
+    }
+    const std::size_t extra =
+        config.extra_domain_max == 0 ? 0 : rng.next_below(config.extra_domain_max + 1);
+    for (std::size_t d = 0; d < extra; ++d) {
+      entry.domains.push_back("alt" + std::to_string(d) + "." + host);
+    }
+
+    const util::SimTime begin =
+        static_cast<util::SimTime>(rng.next_below(365)) * util::kSecondsPerDay;
+    const util::SimTime lifetime_days = 30 + rng.next_below(360);
+    entry.validity =
+        util::TimeRange{begin, begin + lifetime_days * util::kSecondsPerDay};
+    entry.logged_at = begin;
+
+    // The leaf hash commits to the synthetic identity; real certificate
+    // bytes are never materialized on this path.
+    const ct::Digest256 leaf =
+        ct::leaf_hash(entry.certificate_fingerprint + "|" + entry.serial + "|" + host);
+    log.append_entry(std::move(entry), leaf);
+  }
+  return config.entries;
+}
+
+}  // namespace certchain::datagen

@@ -160,7 +160,8 @@ std::optional<Response> Client::call(MessageType request,
            {ErrorCode::kBadMagic, ErrorCode::kBadVersion, ErrorCode::kBadType,
             ErrorCode::kOversized, ErrorCode::kBadPayload,
             ErrorCode::kOverloaded, ErrorCode::kShuttingDown,
-            ErrorCode::kInternal, ErrorCode::kDeadlineExceeded}) {
+            ErrorCode::kInternal, ErrorCode::kDeadlineExceeded,
+            ErrorCode::kNotFound}) {
         if (code->string == error_code_name(candidate)) {
           response.error = candidate;
           break;
@@ -282,6 +283,29 @@ std::optional<Response> Client::ingest_append(
 
 std::optional<Response> Client::metrics() {
   return call_with_retry(MessageType::kMetrics, "", /*idempotent=*/true);
+}
+
+std::optional<Response> Client::ct_sth() {
+  return call_with_retry(MessageType::kCtSth, "", /*idempotent=*/true);
+}
+
+std::optional<Response> Client::ct_prove_inclusion(std::string_view fingerprint,
+                                                   std::string_view log_id) {
+  Writer writer;
+  writer.begin_object();
+  writer.key("fingerprint");
+  writer.value_string(fingerprint);
+  if (!log_id.empty()) {
+    writer.key("log_id");
+    writer.value_string(log_id);
+  }
+  writer.end_object();
+  return call_with_retry(MessageType::kCtProveInclusion,
+                         std::move(writer).str(), /*idempotent=*/true);
+}
+
+std::optional<Response> Client::ct_monitor_status() {
+  return call_with_retry(MessageType::kCtMonitorStatus, "", /*idempotent=*/true);
 }
 
 std::optional<Response> Client::shutdown() {

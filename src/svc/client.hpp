@@ -130,6 +130,13 @@ class Client {
       const std::vector<std::string>& x509_rows,
       std::string_view idempotency_key = "");
   std::optional<Response> metrics();
+  /// CT endpoints (§14.5): current tree heads of every log; an inclusion
+  /// proof for a logged fingerprint (typed NOT_FOUND otherwise, searching
+  /// one log by id or all when log_id is empty); monitor counters.
+  std::optional<Response> ct_sth();
+  std::optional<Response> ct_prove_inclusion(std::string_view fingerprint,
+                                             std::string_view log_id = "");
+  std::optional<Response> ct_monitor_status();
   std::optional<Response> shutdown();
 
  private:

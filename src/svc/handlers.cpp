@@ -142,6 +142,7 @@ std::optional<core::ReportTextOptions> section_options(const std::string& name) 
   options.interception = false;
   options.hybrid = false;
   options.non_public = false;
+  options.ct_compliance = false;
   options.graphs = false;
   options.data_quality = false;
   if (name == "totals") options.totals = true;
@@ -149,6 +150,7 @@ std::optional<core::ReportTextOptions> section_options(const std::string& name) 
   else if (name == "interception") options.interception = true;
   else if (name == "hybrid") options.hybrid = true;
   else if (name == "non_public") options.non_public = true;
+  else if (name == "ct") options.ct_compliance = true;
   else if (name == "graphs") options.graphs = true;
   else if (name == "full") options = core::ReportTextOptions{};
   else return std::nullopt;
@@ -345,6 +347,100 @@ std::string RequestHandlers::dispatch(const Frame& request,
     case MessageType::kMetrics: {
       // The payload *is* the certchain.obs.metrics document.
       return encode_frame(MessageType::kMetricsOk, telemetry_->export_json());
+    }
+
+    case MessageType::kCtSth: {
+      writer.begin_object();
+      writer.key("logs");
+      writer.begin_array();
+      for (const auto& [log_id, head] : state_->ct_sths()) {
+        writer.begin_object();
+        writer.key("log_id");
+        writer.value_string(log_id);
+        writer.key("tree_size");
+        writer.value_uint(head.tree_size);
+        writer.key("root");
+        writer.value_string(head.root.to_hex());
+        writer.end_object();
+      }
+      writer.end_array();
+      writer.end_object();
+      return encode_frame(MessageType::kCtSthOk, writer.str());
+    }
+
+    case MessageType::kCtProveInclusion: {
+      const Value* fingerprint = payload->find("fingerprint");
+      if (fingerprint == nullptr || !fingerprint->is_string() ||
+          fingerprint->string.empty()) {
+        return encode_error(
+            ErrorCode::kBadPayload,
+            "ct_prove_inclusion needs a string \"fingerprint\" field");
+      }
+      const Value* log_id = payload->find("log_id");
+      if (log_id != nullptr && !log_id->is_string()) {
+        return encode_error(ErrorCode::kBadPayload,
+                            "\"log_id\" must be a string");
+      }
+      const auto answer = state_->ct_prove_inclusion(
+          fingerprint->string, log_id != nullptr ? log_id->string : "");
+      if (!answer.has_value()) {
+        // The typed miss: a well-formed query for a fingerprint no log
+        // holds. Clients distinguish this from payload damage.
+        return encode_error(ErrorCode::kNotFound,
+                            "fingerprint is not logged: " + fingerprint->string);
+      }
+      writer.begin_object();
+      writer.key("log_id");
+      writer.value_string(answer->log_id);
+      writer.key("index");
+      writer.value_uint(answer->index);
+      writer.key("tree_size");
+      writer.value_uint(answer->tree_size);
+      writer.key("root");
+      writer.value_string(answer->root.to_hex());
+      writer.key("proof");
+      writer.begin_array();
+      for (const ct::Digest256& node : answer->proof) {
+        writer.value_string(node.to_hex());
+      }
+      writer.end_array();
+      writer.end_object();
+      return encode_frame(MessageType::kCtProveInclusionOk, writer.str());
+    }
+
+    case MessageType::kCtMonitorStatus: {
+      const ct::Monitor* monitor = state_->ct_monitor();
+      writer.begin_object();
+      writer.key("armed");
+      writer.value_bool(monitor != nullptr);
+      if (monitor != nullptr) {
+        const ct::MonitorStatus status = monitor->status();
+        writer.key("polls");
+        writer.value_uint(status.polls);
+        writer.key("sth_verified");
+        writer.value_uint(status.sth_verified);
+        writer.key("inclusion_checks");
+        writer.value_uint(status.inclusion_checks);
+        writer.key("inclusion_failures");
+        writer.value_uint(status.inclusion_failures);
+        writer.key("violations");
+        writer.value_uint(status.violation_count);
+        writer.key("checkpoints");
+        writer.begin_array();
+        for (const auto& checkpoint : status.checkpoints) {
+          writer.begin_object();
+          writer.key("log_id");
+          writer.value_string(checkpoint.log_id);
+          writer.key("tree_size");
+          writer.value_uint(checkpoint.tree_size);
+          writer.key("root");
+          writer.value_string(checkpoint.root.to_hex());
+          writer.end_object();
+        }
+        writer.end_array();
+      }
+      writer.end_object();
+      return encode_frame(MessageType::kCtMonitorStatusOk, writer.str());
     }
 
     case MessageType::kShutdown: {

@@ -8,7 +8,7 @@ bool is_request_type(std::uint8_t type) { return type >= 0x01 && type <= 0x7E; }
 
 bool is_known_request(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MessageType::kPing) &&
-         type <= static_cast<std::uint8_t>(MessageType::kShutdown);
+         type <= static_cast<std::uint8_t>(MessageType::kCtMonitorStatus);
 }
 
 MessageType response_for(MessageType request) {
@@ -24,6 +24,9 @@ std::string_view message_type_name(MessageType type) {
     case MessageType::kIngestAppend: return "ingest_append";
     case MessageType::kMetrics: return "metrics";
     case MessageType::kShutdown: return "shutdown";
+    case MessageType::kCtSth: return "ct_sth";
+    case MessageType::kCtProveInclusion: return "ct_prove_inclusion";
+    case MessageType::kCtMonitorStatus: return "ct_monitor_status";
     case MessageType::kPingOk: return "ping_ok";
     case MessageType::kClassifyIssuerOk: return "classify_issuer_ok";
     case MessageType::kCategorizeChainOk: return "categorize_chain_ok";
@@ -31,6 +34,9 @@ std::string_view message_type_name(MessageType type) {
     case MessageType::kIngestAppendOk: return "ingest_append_ok";
     case MessageType::kMetricsOk: return "metrics_ok";
     case MessageType::kShutdownOk: return "shutdown_ok";
+    case MessageType::kCtSthOk: return "ct_sth_ok";
+    case MessageType::kCtProveInclusionOk: return "ct_prove_inclusion_ok";
+    case MessageType::kCtMonitorStatusOk: return "ct_monitor_status_ok";
     case MessageType::kError: return "error";
   }
   return "unknown";
@@ -47,6 +53,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
   }
   return "UNKNOWN";
 }
@@ -133,7 +140,7 @@ DecodeResult FrameReader::next() {
   result.frame.payload = buffer_.substr(kHeaderBytes, length);
   buffer_.erase(0, kHeaderBytes + length);
   if (!is_known_request(type) && type != static_cast<std::uint8_t>(MessageType::kError) &&
-      !(type >= 0x81 && type <= 0x87)) {
+      !(type >= 0x81 && type <= 0x8A)) {
     // The frame was well-delimited, so the stream stays in sync: report the
     // unknown type as a recoverable error and keep decoding after it.
     result.status = DecodeResult::Status::kError;

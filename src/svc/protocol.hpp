@@ -42,6 +42,9 @@ enum class MessageType : std::uint8_t {
   kIngestAppend = 0x05,
   kMetrics = 0x06,
   kShutdown = 0x07,
+  kCtSth = 0x08,
+  kCtProveInclusion = 0x09,
+  kCtMonitorStatus = 0x0A,
   // Responses: request type | 0x80.
   kPingOk = 0x81,
   kClassifyIssuerOk = 0x82,
@@ -50,6 +53,9 @@ enum class MessageType : std::uint8_t {
   kIngestAppendOk = 0x85,
   kMetricsOk = 0x86,
   kShutdownOk = 0x87,
+  kCtSthOk = 0x88,
+  kCtProveInclusionOk = 0x89,
+  kCtMonitorStatusOk = 0x8A,
   kError = 0xFF,
 };
 
@@ -72,6 +78,7 @@ enum class ErrorCode : std::uint8_t {
   kShuttingDown,  // server is draining; no new work accepted
   kInternal,      // handler failed unexpectedly
   kDeadlineExceeded,  // request (or its frame) missed the server's deadline
+  kNotFound,      // the referenced entity (e.g. CT fingerprint) is not known
 };
 
 std::string_view error_code_name(ErrorCode code);

@@ -47,6 +47,7 @@ ServiceState::ServiceState(const truststore::TrustStoreSet& stores,
                            const core::VendorDirectory& vendors,
                            const chain::CrossSignRegistry* registry)
     : stores_(&stores),
+      ct_logs_(&ct_logs),
       registry_(registry),
       pipeline_(stores, ct_logs, vendors, registry) {}
 
@@ -241,6 +242,46 @@ std::size_t ServiceState::unique_chains() const {
 core::CorpusTotals ServiceState::totals() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   return corpus_.totals();
+}
+
+std::vector<std::pair<std::string, ct::TreeHead>> ServiceState::ct_sths() const {
+  // The log set is immutable while serving — no corpus lock needed.
+  std::vector<std::pair<std::string, ct::TreeHead>> heads;
+  heads.reserve(ct_logs_->log_count());
+  for (std::size_t i = 0; i < ct_logs_->log_count(); ++i) {
+    const ct::CtLog& log = ct_logs_->log(i);
+    heads.emplace_back(log.log_id(), log.tree_head());
+  }
+  return heads;
+}
+
+std::optional<ServiceState::CtInclusionAnswer> ServiceState::ct_prove_inclusion(
+    std::string_view fingerprint, std::string_view log_id) const {
+  for (std::size_t i = 0; i < ct_logs_->log_count(); ++i) {
+    const ct::CtLog& log = ct_logs_->log(i);
+    if (!log_id.empty() && log.log_id() != log_id) continue;
+    const auto index = log.entry_index_for(fingerprint);
+    if (!index) continue;
+    CtInclusionAnswer answer;
+    answer.log_id = log.log_id();
+    answer.index = *index;
+    answer.tree_size = log.size();
+    answer.root = log.root_hash();
+    answer.proof = log.prove_inclusion_at(*index, log.size());
+    return answer;
+  }
+  return std::nullopt;
+}
+
+ct::Monitor& ServiceState::arm_ct_monitor(const ct::MonitorConfig& config,
+                                          obs::MetricsRegistry* metrics) {
+  if (ct_monitor_ == nullptr) {
+    ct_monitor_ = std::make_unique<ct::Monitor>(config, metrics);
+    for (std::size_t i = 0; i < ct_logs_->log_count(); ++i) {
+      ct_monitor_->watch(std::make_shared<ct::CtLogView>(ct_logs_->log(i)));
+    }
+  }
+  return *ct_monitor_;
 }
 
 void ServiceState::refresh_analysis_locked() {

@@ -23,9 +23,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chain/categorizer.hpp"
@@ -33,6 +35,7 @@
 #include "chain/matcher.hpp"
 #include "core/pipeline.hpp"
 #include "core/report_text.hpp"
+#include "ct/monitor.hpp"
 #include "svc/wal.hpp"
 
 namespace certchain::svc {
@@ -148,6 +151,36 @@ class ServiceState {
   core::CorpusTotals totals() const;
   bool durable() const { return durable_; }
 
+  // --- CT subsystem (DESIGN.md §14.5) -------------------------------------
+  // The CtLogSet is immutable while serving (issuance happened at world
+  // build time), so these need no corpus lock; the monitor carries its own
+  // mutex for the background poll thread.
+
+  /// Current signed tree heads of every known log, in log order.
+  std::vector<std::pair<std::string, ct::TreeHead>> ct_sths() const;
+
+  /// Inclusion proof for a logged certificate fingerprint. Searches the
+  /// named log (by id) or, with an empty log_id, every log in order.
+  /// nullopt when no log holds the fingerprint — the handler answers
+  /// NOT_FOUND.
+  struct CtInclusionAnswer {
+    std::string log_id;
+    std::size_t index = 0;
+    std::size_t tree_size = 0;
+    ct::Digest256 root;
+    std::vector<ct::Digest256> proof;
+  };
+  std::optional<CtInclusionAnswer> ct_prove_inclusion(
+      std::string_view fingerprint, std::string_view log_id = {}) const;
+
+  /// Arms the continuous monitor over every log in the set. Idempotent;
+  /// returns the monitor for the caller's poll loop.
+  ct::Monitor& arm_ct_monitor(const ct::MonitorConfig& config = {},
+                              obs::MetricsRegistry* metrics = nullptr);
+  /// The armed monitor, or nullptr before arm_ct_monitor.
+  ct::Monitor* ct_monitor() { return ct_monitor_.get(); }
+  const ct::Monitor* ct_monitor() const { return ct_monitor_.get(); }
+
  private:
   void refresh_analysis_locked();
   /// Parses + folds one batch under the exclusive lock (shared by live
@@ -167,8 +200,10 @@ class ServiceState {
   void remember_applied_locked(AppliedAppend applied);
 
   const truststore::TrustStoreSet* stores_;
+  const ct::CtLogSet* ct_logs_;
   const chain::CrossSignRegistry* registry_;
   core::StudyPipeline pipeline_;
+  std::unique_ptr<ct::Monitor> ct_monitor_;
 
   mutable std::shared_mutex mutex_;
   zeek::LogJoiner joiner_;          // grows across appends

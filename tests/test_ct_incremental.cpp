@@ -1,0 +1,164 @@
+// Differential suite: the incremental Merkle tree (cached subtree hashes,
+// O(log n) appends/proofs) must be digest-identical to the legacy recursive
+// MerkleTree at every size, for every historical root, and for every
+// inclusion/consistency proof — the legacy tree is the executable RFC 6962
+// reference. Schedules are seeded and property-style: random append counts,
+// random proof queries, verifier round-trips.
+#include "ct/merkle_inc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ct/merkle.hpp"
+#include "util/rng.hpp"
+
+namespace certchain::ct {
+namespace {
+
+std::string leaf(std::size_t index, std::uint64_t word) {
+  return "leaf/" + std::to_string(index) + "/" + std::to_string(word);
+}
+
+TEST(CtIncremental, EmptyAndSingleLeafMatchLegacy) {
+  MerkleTree legacy;
+  IncrementalMerkleTree incremental;
+  EXPECT_EQ(incremental.size(), 0u);
+  EXPECT_EQ(incremental.root_hash(), legacy.root_hash());
+
+  legacy.append("only");
+  incremental.append("only");
+  EXPECT_EQ(incremental.root_hash(), legacy.root_hash());
+  EXPECT_TRUE(incremental.inclusion_proof(0, 1).empty());
+}
+
+TEST(CtIncremental, RootsMatchLegacyAtEverySize) {
+  util::Rng rng(0xc71);
+  MerkleTree legacy;
+  IncrementalMerkleTree incremental;
+  for (std::size_t i = 0; i < 130; ++i) {
+    const std::string data = leaf(i, rng.next_u64());
+    legacy.append(data);
+    incremental.append(data);
+    ASSERT_EQ(incremental.root_hash(), legacy.root_hash()) << "size=" << i + 1;
+  }
+  // Every historical root, not just the current one.
+  for (std::size_t n = 0; n <= legacy.size(); ++n) {
+    ASSERT_EQ(incremental.root_hash(n), legacy.root_hash(n)) << "n=" << n;
+  }
+}
+
+TEST(CtIncremental, AppendLeafHashMatchesAppend) {
+  MerkleTree legacy;
+  IncrementalMerkleTree by_data;
+  IncrementalMerkleTree by_hash;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const std::string data = leaf(i, i * 7919);
+    legacy.append(data);
+    by_data.append(data);
+    by_hash.append_leaf_hash(leaf_hash(data));
+    ASSERT_EQ(by_data.root_hash(), legacy.root_hash());
+    ASSERT_EQ(by_hash.root_hash(), legacy.root_hash());
+    ASSERT_EQ(by_hash.leaf_hash_at(i), leaf_hash(data));
+  }
+}
+
+TEST(CtIncremental, InclusionProofsMatchLegacyAndVerify) {
+  util::Rng rng(0x1dc7);
+  MerkleTree legacy;
+  IncrementalMerkleTree incremental;
+  std::vector<std::string> data;
+  for (std::size_t i = 0; i < 97; ++i) {
+    data.push_back(leaf(i, rng.next_u64()));
+    legacy.append(data.back());
+    incremental.append(data.back());
+  }
+  // Proofs against the current head and against historical heads.
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.next_below(incremental.size());
+    const std::size_t index = rng.next_below(n);
+    const auto proof = incremental.inclusion_proof(index, n);
+    ASSERT_EQ(proof, legacy.inclusion_proof(index, n));
+    EXPECT_TRUE(verify_inclusion(data[index], index, n, proof,
+                                 incremental.root_hash(n)));
+    EXPECT_TRUE(verify_inclusion_hash(incremental.leaf_hash_at(index), index, n,
+                                      proof, incremental.root_hash(n)));
+    // A proof for one index must not verify for a different leaf.
+    const std::size_t other = (index + 1) % n;
+    if (other != index) {
+      EXPECT_FALSE(verify_inclusion(data[other], index, n, proof,
+                                    incremental.root_hash(n)));
+    }
+  }
+}
+
+TEST(CtIncremental, ConsistencyProofsMatchLegacyAndVerify) {
+  util::Rng rng(0x5eed);
+  MerkleTree legacy;
+  IncrementalMerkleTree incremental;
+  for (std::size_t i = 0; i < 113; ++i) {
+    const std::string data = leaf(i, rng.next_u64());
+    legacy.append(data);
+    incremental.append(data);
+  }
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.next_below(incremental.size());
+    const std::size_t m = 1 + rng.next_below(n);
+    const auto proof = incremental.consistency_proof(m, n);
+    ASSERT_EQ(proof, legacy.consistency_proof(m, n));
+    EXPECT_TRUE(verify_consistency(m, n, incremental.root_hash(m),
+                                   incremental.root_hash(n), proof));
+    // Tampered old root must not verify (except the trivial m == n proof).
+    if (m != n) {
+      Digest256 wrong = incremental.root_hash(m);
+      wrong.words[0] ^= 1;
+      EXPECT_FALSE(
+          verify_consistency(m, n, wrong, incremental.root_hash(n), proof));
+    }
+  }
+}
+
+TEST(CtIncremental, RandomGrowthSchedulesStayIdentical) {
+  // Property-style: interleave random-size append bursts with root/proof
+  // checks, across several seeds.
+  for (const std::uint64_t seed : {1ull, 42ull, 20200901ull, 0xfeedfaceull}) {
+    util::Rng rng(seed);
+    MerkleTree legacy;
+    IncrementalMerkleTree incremental;
+    std::size_t next_index = 0;
+    for (std::size_t burst = 0; burst < 12; ++burst) {
+      const std::size_t count = 1 + rng.next_below(50);
+      for (std::size_t i = 0; i < count; ++i, ++next_index) {
+        const std::string data = leaf(next_index, rng.next_u64());
+        legacy.append(data);
+        incremental.append(data);
+      }
+      ASSERT_EQ(incremental.size(), legacy.size());
+      ASSERT_EQ(incremental.root_hash(), legacy.root_hash())
+          << "seed=" << seed << " burst=" << burst;
+      const std::size_t index = rng.next_below(incremental.size());
+      ASSERT_EQ(incremental.inclusion_proof(index, incremental.size()),
+                legacy.inclusion_proof(index, legacy.size()));
+      const std::size_t m = 1 + rng.next_below(incremental.size());
+      ASSERT_EQ(incremental.consistency_proof(m, incremental.size()),
+                legacy.consistency_proof(m, legacy.size()));
+    }
+  }
+}
+
+TEST(CtIncremental, OutOfRangeArgumentsThrowLikeLegacy) {
+  IncrementalMerkleTree incremental;
+  incremental.append("a");
+  incremental.append("b");
+  EXPECT_THROW(incremental.root_hash(3), std::out_of_range);
+  EXPECT_THROW(incremental.leaf_hash_at(2), std::out_of_range);
+  EXPECT_THROW(incremental.inclusion_proof(2, 2), std::out_of_range);
+  EXPECT_THROW(incremental.inclusion_proof(0, 3), std::out_of_range);
+  EXPECT_THROW(incremental.consistency_proof(3, 2), std::out_of_range);
+  EXPECT_THROW(incremental.consistency_proof(1, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace certchain::ct

@@ -119,7 +119,68 @@ TEST(CtLog, ConsistencyProofAcrossGrowth) {
   const std::size_t old_size = log.size();
   for (int i = 5; i < 12; ++i) log.submit(pki.leaf("c" + std::to_string(i) + ".ex"), 2);
   const auto proof = log.prove_consistency(old_size);
-  EXPECT_TRUE(verify_consistency(old_size, log.size(), old_root, log.root_hash(), proof));
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(verify_consistency(old_size, log.size(), old_root, log.root_hash(), *proof));
+}
+
+TEST(CtLog, ConsistencyProofOutOfRangeIsNullopt) {
+  TestPki pki;
+  CtLog log("test-log");
+  for (int i = 0; i < 4; ++i) log.submit(pki.leaf("n" + std::to_string(i) + ".ex"), 1);
+  // A monitor that saw a larger tree than we hold (the rollback case) asks
+  // for a proof we cannot produce — typed refusal, not a throw.
+  EXPECT_FALSE(log.prove_consistency(log.size() + 1).has_value());
+  EXPECT_FALSE(log.prove_consistency(3, log.size() + 5).has_value());
+  EXPECT_FALSE(log.prove_consistency(4, 2).has_value());
+  EXPECT_TRUE(log.prove_consistency(2, 4).has_value());
+}
+
+TEST(CtLog, EntryIndexForFingerprint) {
+  TestPki pki;
+  CtLog log("test-log");
+  const x509::Certificate leaf = pki.leaf("indexed.example");
+  log.submit(pki.leaf("first.example"), 1);
+  log.submit(leaf, 2);
+  const auto index = log.entry_index_for(leaf.fingerprint());
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(*index, 1u);
+  EXPECT_FALSE(log.entry_index_for("not-a-fingerprint").has_value());
+}
+
+TEST(CtLog, DomainIndexMatchesBruteForceScan) {
+  // Differential: the sharded domain index answers exactly what a linear
+  // scan over every entry's domain list answers, for exact names, wildcard
+  // patterns, multi-label queries, and case-folded probes.
+  TestPki pki;
+  CtLog log("test-log");
+  const std::vector<std::string> hosts = {
+      "a.example",        "b.a.example",     "www.shop.example",
+      "*.shop.example",   "shop.example",    "deep.b.a.example",
+      "*.deep.example",   "x.deep.example",  "odd-host.example"};
+  for (const std::string& host : hosts) {
+    x509::DistinguishedName subject;
+    subject.add("CN", host);
+    log.submit(pki.intermediate_ca.issue_leaf(subject, host, test_validity()), 1);
+  }
+
+  const std::vector<std::string> queries = {
+      "a.example",      "b.a.example",    "c.a.example",
+      "www.shop.example", "zzz.shop.example", "shop.example",
+      "deep.b.a.example", "x.deep.example",   "y.deep.example",
+      "a.b.shop.example", "A.EXAMPLE",        "*.shop.example",
+      "unrelated.test"};
+  for (const std::string& query : queries) {
+    std::vector<const LogEntry*> expected;
+    for (const LogEntry& entry : log.entries()) {
+      for (const std::string& domain : entry.domains) {
+        if (x509::wildcard_matches(domain, query)) {
+          expected.push_back(&entry);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(log.entries_for_domain(query), expected) << "query=" << query;
+  }
 }
 
 TEST(CtLogSet, SubmitAndEmbedAttachesDistinctScts) {
@@ -130,6 +191,30 @@ TEST(CtLogSet, SubmitAndEmbedAttachesDistinctScts) {
   ASSERT_EQ(cert.scts.size(), 2u);
   EXPECT_NE(cert.scts[0].log_id, cert.scts[1].log_id);
   EXPECT_TRUE(logs.logged_anywhere(cert));
+}
+
+TEST(CtLogSet, SubmitAndEmbedDefaultsToPolicyCount) {
+  // With no explicit count the embed follows the Chrome-style policy for the
+  // certificate's lifetime: 2 SCTs at <= 180 days, 3 beyond.
+  TestPki pki;
+  CtLogSet logs(3);
+
+  x509::Certificate short_lived = pki.leaf("short.example");
+  short_lived.validity = {util::make_time(2021, 1, 1), util::make_time(2021, 4, 1)};
+  const x509::Certificate short_embedded = logs.submit_and_embed(short_lived, 42);
+  EXPECT_EQ(short_embedded.scts.size(), 2u);
+  EXPECT_TRUE(logs.complies(short_embedded));
+
+  x509::Certificate long_lived = pki.leaf("long.example");
+  long_lived.validity = {util::make_time(2021, 1, 1), util::make_time(2022, 6, 1)};
+  const x509::Certificate long_embedded = logs.submit_and_embed(long_lived, 42);
+  EXPECT_EQ(long_embedded.scts.size(), 3u);
+  EXPECT_TRUE(logs.complies(long_embedded));
+
+  // The explicit override still models under-logged issuance.
+  const x509::Certificate underlogged =
+      logs.submit_and_embed(pki.leaf("under.example"), 42, 1);
+  EXPECT_EQ(underlogged.scts.size(), 1u);
 }
 
 TEST(CtLogSet, PolicyThresholdsByLifetime) {

@@ -1,0 +1,255 @@
+// ct::Monitor behaviour: an honest growing log never alarms; history
+// rewrites, rollbacks, root mismatches, refused proofs and broken inclusion
+// answers each trip their own violation kind; and the checkpoint only
+// advances past heads that verified, so a misbehaving log keeps alarming
+// instead of being forgiven.
+#include "ct/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "../tests/helpers.hpp"
+#include "ct/merkle_inc.hpp"
+#include "obs/metrics.hpp"
+
+namespace certchain::ct {
+namespace {
+
+using certchain::testing::TestPki;
+
+/// A log front-end the tests can make lie in every §14.3 failure mode. It
+/// keeps two divergent histories: `honest` (what earlier polls saw) and
+/// `rewritten` (every leaf altered, so the two trees share no roots and a
+/// rewritten head can never be proven consistent with an honest checkpoint).
+class FakeRewritingLog : public LogClient {
+ public:
+  enum class Mode {
+    kHonest,         // answer from the honest tree
+    kRewritten,      // answer from the rewritten history
+    kRollback,       // advertise an old honest head
+    kRootLie,        // honest size, corrupted root
+    kRefuseProofs,   // honest head, consistency() answers nullopt
+    kBreakInclusion, // honest head, inclusion answers the wrong leaf hash
+  };
+
+  std::string log_id() const override { return "fake-log"; }
+
+  void append(const std::string& data) {
+    honest_.append(data);
+    rewritten_.append("rewritten!" + data);
+  }
+
+  void set_mode(Mode mode) { mode_ = mode; }
+  void set_rollback_size(std::size_t n) { rollback_size_ = n; }
+
+  TreeHead tree_head() const override {
+    switch (mode_) {
+      case Mode::kRewritten:
+        return {rewritten_.size(), rewritten_.root_hash()};
+      case Mode::kRollback:
+        return {rollback_size_, honest_.root_hash(rollback_size_)};
+      case Mode::kRootLie: {
+        TreeHead head{honest_.size(), honest_.root_hash()};
+        head.root.words[0] ^= 0xbad;
+        return head;
+      }
+      default:
+        return {honest_.size(), honest_.root_hash()};
+    }
+  }
+
+  std::optional<std::vector<Digest256>> consistency(
+      std::size_t m, std::size_t n) const override {
+    if (mode_ == Mode::kRefuseProofs) return std::nullopt;
+    const IncrementalMerkleTree& tree = active_tree();
+    if (m > n || n > tree.size()) return std::nullopt;
+    return tree.consistency_proof(m, n);
+  }
+
+  std::optional<InclusionAnswer> inclusion(std::size_t index,
+                                           std::size_t n) const override {
+    const IncrementalMerkleTree& tree = active_tree();
+    if (n > tree.size() || index >= n) return std::nullopt;
+    InclusionAnswer answer{tree.leaf_hash_at(index),
+                           tree.inclusion_proof(index, n)};
+    if (mode_ == Mode::kBreakInclusion) answer.leaf.words[0] ^= 0xbad;
+    return answer;
+  }
+
+ private:
+  const IncrementalMerkleTree& active_tree() const {
+    return mode_ == Mode::kRewritten ? rewritten_ : honest_;
+  }
+
+  IncrementalMerkleTree honest_;
+  IncrementalMerkleTree rewritten_;
+  Mode mode_ = Mode::kHonest;
+  std::size_t rollback_size_ = 0;
+};
+
+std::shared_ptr<FakeRewritingLog> fake_with(std::size_t entries) {
+  auto fake = std::make_shared<FakeRewritingLog>();
+  for (std::size_t i = 0; i < entries; ++i) {
+    fake->append("entry-" + std::to_string(i));
+  }
+  return fake;
+}
+
+TEST(CtMonitor, HonestGrowingLogNeverAlarms) {
+  TestPki pki;
+  CtLog log("watched");
+  for (int i = 0; i < 6; ++i) {
+    log.submit(pki.leaf("pre" + std::to_string(i) + ".example"), 1);
+  }
+  Monitor monitor;
+  monitor.watch(std::make_shared<CtLogView>(log));
+
+  EXPECT_EQ(monitor.poll_once(), 0u);  // baseline
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      log.submit(
+          pki.leaf("r" + std::to_string(round) + "n" + std::to_string(i) + ".example"),
+          2);
+    }
+    EXPECT_EQ(monitor.poll_once(), 0u);
+  }
+  const MonitorStatus status = monitor.status();
+  EXPECT_EQ(status.polls, 4u);
+  EXPECT_EQ(status.sth_verified, 4u);
+  EXPECT_EQ(status.inclusion_failures, 0u);
+  EXPECT_GT(status.inclusion_checks, 0u);
+  ASSERT_EQ(status.checkpoints.size(), 1u);
+  EXPECT_EQ(status.checkpoints[0].tree_size, log.size());
+  EXPECT_EQ(status.checkpoints[0].root, log.root_hash());
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(CtMonitor, HistoryRewriteTripsConsistencyAndPinsCheckpoint) {
+  auto fake = fake_with(8);
+  Monitor monitor;
+  monitor.watch(fake);
+  ASSERT_EQ(monitor.poll_once(), 0u);  // checkpoint at honest size 8
+
+  // The log rewrites history and keeps growing: same append count, different
+  // leaves. Its own proofs are internally consistent, but cannot connect the
+  // honest checkpoint to the rewritten head.
+  for (int i = 0; i < 4; ++i) fake->append("post-" + std::to_string(i));
+  fake->set_mode(FakeRewritingLog::Mode::kRewritten);
+  EXPECT_GE(monitor.poll_once(), 1u);
+
+  const auto violations = monitor.violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kConsistency);
+  EXPECT_EQ(violations[0].checkpoint_size, 8u);
+  EXPECT_EQ(violations[0].observed_size, 12u);
+  EXPECT_EQ(violations[0].detail, "consistency proof failed to verify");
+
+  // The checkpoint did not advance — the next rewritten poll alarms again.
+  EXPECT_EQ(monitor.status().checkpoints[0].tree_size, 8u);
+  EXPECT_GE(monitor.poll_once(), 1u);
+
+  // Back to honest history: the checkpoint still verifies forward.
+  fake->set_mode(FakeRewritingLog::Mode::kHonest);
+  EXPECT_EQ(monitor.poll_once(), 0u);
+  EXPECT_EQ(monitor.status().checkpoints[0].tree_size, 12u);
+}
+
+TEST(CtMonitor, RollbackFlagged) {
+  auto fake = fake_with(10);
+  Monitor monitor;
+  monitor.watch(fake);
+  ASSERT_EQ(monitor.poll_once(), 0u);
+
+  fake->set_mode(FakeRewritingLog::Mode::kRollback);
+  fake->set_rollback_size(6);
+  EXPECT_GE(monitor.poll_once(), 1u);
+  const auto violations = monitor.violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kRollback);
+  EXPECT_EQ(violations[0].checkpoint_size, 10u);
+  EXPECT_EQ(violations[0].observed_size, 6u);
+}
+
+TEST(CtMonitor, RootMismatchFlagged) {
+  auto fake = fake_with(9);
+  Monitor monitor;
+  monitor.watch(fake);
+  ASSERT_EQ(monitor.poll_once(), 0u);
+
+  fake->set_mode(FakeRewritingLog::Mode::kRootLie);
+  EXPECT_GE(monitor.poll_once(), 1u);
+  const auto violations = monitor.violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kRootMismatch);
+}
+
+TEST(CtMonitor, RefusedConsistencyProofIsViolation) {
+  auto fake = fake_with(5);
+  Monitor monitor;
+  monitor.watch(fake);
+  ASSERT_EQ(monitor.poll_once(), 0u);
+
+  for (int i = 0; i < 3; ++i) fake->append("grow-" + std::to_string(i));
+  fake->set_mode(FakeRewritingLog::Mode::kRefuseProofs);
+  EXPECT_GE(monitor.poll_once(), 1u);
+  const auto violations = monitor.violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kConsistency);
+  EXPECT_EQ(violations[0].detail, "log refused consistency proof");
+}
+
+TEST(CtMonitor, BrokenInclusionAnswersFlagged) {
+  auto fake = fake_with(16);
+  MonitorConfig config;
+  config.inclusion_samples = 3;
+  Monitor monitor(config);
+  monitor.watch(fake);
+  fake->set_mode(FakeRewritingLog::Mode::kBreakInclusion);
+  // Even the baseline poll samples inclusion; every sample fails.
+  EXPECT_EQ(monitor.poll_once(), 3u);
+  const MonitorStatus status = monitor.status();
+  EXPECT_EQ(status.inclusion_checks, 3u);
+  EXPECT_EQ(status.inclusion_failures, 3u);
+  for (const Violation& violation : monitor.violations()) {
+    EXPECT_EQ(violation.kind, Violation::Kind::kInclusion);
+  }
+}
+
+TEST(CtMonitor, MetricsCountEveryOutcome) {
+  obs::MetricsRegistry metrics;
+  auto fake = fake_with(7);
+  MonitorConfig config;
+  config.inclusion_samples = 2;
+  Monitor monitor(config, &metrics);
+  monitor.watch(fake);
+
+  monitor.poll_once();  // clean baseline
+  fake->set_mode(FakeRewritingLog::Mode::kRootLie);
+  monitor.poll_once();  // root mismatch
+  fake->set_mode(FakeRewritingLog::Mode::kRollback);
+  fake->set_rollback_size(3);
+  monitor.poll_once();  // rollback
+
+  EXPECT_EQ(metrics.counter("ct.monitor.polls"), 3u);
+  EXPECT_EQ(metrics.counter("ct.monitor.sth_verified"), 1u);
+  EXPECT_EQ(metrics.counter("ct.monitor.root_mismatches"), 1u);
+  EXPECT_EQ(metrics.counter("ct.monitor.rollbacks"), 1u);
+  EXPECT_EQ(metrics.counter("ct.monitor.violations"),
+            monitor.violations().size());
+  EXPECT_EQ(metrics.counter("ct.monitor.inclusion_checks"), 6u);
+  EXPECT_EQ(metrics.gauge("ct.monitor.watched_logs"), 1.0);
+}
+
+TEST(CtMonitor, ViolationKindNames) {
+  EXPECT_STREQ(violation_kind_name(Violation::Kind::kRollback), "rollback");
+  EXPECT_STREQ(violation_kind_name(Violation::Kind::kRootMismatch),
+               "root_mismatch");
+  EXPECT_STREQ(violation_kind_name(Violation::Kind::kConsistency),
+               "consistency");
+  EXPECT_STREQ(violation_kind_name(Violation::Kind::kInclusion), "inclusion");
+}
+
+}  // namespace
+}  // namespace certchain::ct

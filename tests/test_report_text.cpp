@@ -57,6 +57,7 @@ TEST(ReportText, AllSectionsRender) {
   EXPECT_NE(text.find("TLS interception"), std::string::npos);
   EXPECT_NE(text.find("Hybrid chain structures"), std::string::npos);
   EXPECT_NE(text.find("Non-public-DB-only"), std::string::npos);
+  EXPECT_NE(text.find("CT compliance by issuer category"), std::string::npos);
   EXPECT_NE(text.find("PKI graphs"), std::string::npos);
   EXPECT_NE(text.find("unique chains: 3"), std::string::npos);
   EXPECT_NE(text.find("Public-DB-only"), std::string::npos);

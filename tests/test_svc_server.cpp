@@ -170,6 +170,7 @@ TEST_F(SvcServerTest, ReportSectionsMatchBatchPipelineByteForByte) {
   categories_only.interception = false;
   categories_only.hybrid = false;
   categories_only.non_public = false;
+  categories_only.ct_compliance = false;
   categories_only.graphs = false;
   categories_only.data_quality = false;
   const auto categories = client.report_section("categories");
@@ -438,6 +439,102 @@ TEST_F(SvcServerTest, StalledMidFramePeerGetsDeadlineExceededAndClose) {
   const auto pong = probe.ping();
   ASSERT_TRUE(pong.has_value());
   EXPECT_TRUE(pong->ok);
+}
+
+TEST_F(SvcServerTest, CtSthAndInclusionProofAnswerAndVerify) {
+  start_server(logs_->ssl.size(), {});
+  svc::Client client = connect();
+
+  // ct_sth: one head per log, byte-identical to the in-process trees.
+  const ct::CtLogSet& ct_logs = scenario_->world.ct_logs();
+  const auto sth = client.ct_sth();
+  ASSERT_TRUE(sth.has_value());
+  ASSERT_TRUE(sth->ok) << sth->error_message;
+  const obs::json::Value* heads = sth->payload.find("logs");
+  ASSERT_NE(heads, nullptr);
+  ASSERT_EQ(heads->array.size(), ct_logs.log_count());
+  for (std::size_t i = 0; i < ct_logs.log_count(); ++i) {
+    const obs::json::Value& head = heads->array[i];
+    EXPECT_EQ(head.find("log_id")->string, ct_logs.log(i).log_id());
+    EXPECT_EQ(uint_field(head, "tree_size"), ct_logs.log(i).size());
+    EXPECT_EQ(head.find("root")->string, ct_logs.log(i).root_hash().to_hex());
+  }
+
+  // ct_prove_inclusion for a fingerprint the first log actually holds; the
+  // returned proof must verify client-side against the returned head.
+  const ct::CtLog& log0 = ct_logs.log(0);
+  ASSERT_GT(log0.size(), 0u);
+  const std::string fingerprint =
+      log0.entries().front().certificate_fingerprint;
+  const auto proven = client.ct_prove_inclusion(fingerprint);
+  ASSERT_TRUE(proven.has_value());
+  ASSERT_TRUE(proven->ok) << proven->error_message;
+  EXPECT_EQ(proven->payload.find("log_id")->string, log0.log_id());
+  const std::size_t index = uint_field(proven->payload, "index");
+  const std::size_t tree_size = uint_field(proven->payload, "tree_size");
+  EXPECT_EQ(tree_size, log0.size());
+  ct::Digest256 root;
+  ASSERT_TRUE(
+      ct::Digest256::from_hex(proven->payload.find("root")->string, root));
+  std::vector<ct::Digest256> proof;
+  for (const obs::json::Value& node : proven->payload.find("proof")->array) {
+    ct::Digest256 digest;
+    ASSERT_TRUE(ct::Digest256::from_hex(node.string, digest));
+    proof.push_back(digest);
+  }
+  EXPECT_TRUE(ct::verify_inclusion_hash(log0.leaf_hash_at(index), index,
+                                        tree_size, proof, root));
+
+  // A well-formed query for an unlogged fingerprint is the typed miss...
+  const auto missing = client.ct_prove_inclusion("deadbeef-not-logged");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->frame.type, svc::MessageType::kError);
+  EXPECT_EQ(missing->error, svc::ErrorCode::kNotFound);
+
+  // ...and a malformed one is payload damage, not NOT_FOUND.
+  const auto empty = client.ct_prove_inclusion("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->error, svc::ErrorCode::kBadPayload);
+
+  // Constraining the search to a named log still answers.
+  const auto named = client.ct_prove_inclusion(fingerprint, log0.log_id());
+  ASSERT_TRUE(named.has_value());
+  EXPECT_TRUE(named->ok);
+  const auto wrong_log = client.ct_prove_inclusion(fingerprint, "no-such-log");
+  ASSERT_TRUE(wrong_log.has_value());
+  EXPECT_EQ(wrong_log->error, svc::ErrorCode::kNotFound);
+  expect_triple_reconciles();
+}
+
+TEST_F(SvcServerTest, CtMonitorStatusBeforeAndAfterArming) {
+  start_server(logs_->ssl.size(), {});
+
+  svc::Client client = connect();
+  const auto unarmed = client.ct_monitor_status();
+  ASSERT_TRUE(unarmed.has_value());
+  ASSERT_TRUE(unarmed->ok) << unarmed->error_message;
+  EXPECT_FALSE(unarmed->payload.find("armed")->boolean);
+
+  // Arm and poll twice; the endpoint must report the counters and one clean
+  // checkpoint per log.
+  ct::Monitor& monitor = state_->arm_ct_monitor();
+  monitor.poll_once();
+  monitor.poll_once();
+  const auto armed = client.ct_monitor_status();
+  ASSERT_TRUE(armed.has_value());
+  ASSERT_TRUE(armed->ok) << armed->error_message;
+  EXPECT_TRUE(armed->payload.find("armed")->boolean);
+  EXPECT_EQ(uint_field(armed->payload, "polls"), 2u);
+  EXPECT_EQ(uint_field(armed->payload, "violations"), 0u);
+  const ct::CtLogSet& ct_logs = scenario_->world.ct_logs();
+  const obs::json::Value* checkpoints = armed->payload.find("checkpoints");
+  ASSERT_NE(checkpoints, nullptr);
+  ASSERT_EQ(checkpoints->array.size(), ct_logs.log_count());
+  for (std::size_t i = 0; i < ct_logs.log_count(); ++i) {
+    EXPECT_EQ(uint_field(checkpoints->array[i], "tree_size"),
+              ct_logs.log(i).size());
+  }
+  expect_triple_reconciles();
 }
 
 TEST_F(SvcServerTest, IdleConnectionIsClosedQuietly) {

@@ -14,9 +14,12 @@
 //   classify <issuer-dn>           §3.2.1 issuer classification
 //   categorize <pem-file|->        categorize a delivered chain (PEM bundle)
 //   report [section]               totals|categories|interception|hybrid|
-//                                  non_public|graphs|full (default full)
+//                                  non_public|ct|graphs|full (default full)
 //   ingest <ssl.log> <x509.log>    append log rows to the live corpus
 //   metrics                        the server's certchain.obs.metrics JSON
+//   ct-sth                         current signed tree heads of every CT log
+//   ct-prove <fingerprint> [log-id] inclusion proof (NOT_FOUND if unlogged)
+//   ct-status                      CT monitor counters and checkpoints
 //   shutdown                       ask the daemon to drain and exit
 //
 // Prints the response payload (JSON; for `report` the rendered text) to
@@ -41,7 +44,8 @@ void print_usage(const char* argv0) {
                "[args]\n"
                "commands: ping | classify <dn> | categorize <pem-file|-> |\n"
                "          report [section] | ingest <ssl.log> <x509.log> |\n"
-               "          metrics | shutdown\n",
+               "          metrics | ct-sth | ct-prove <fingerprint> [log-id] |\n"
+               "          ct-status | shutdown\n",
                argv0);
 }
 
@@ -200,6 +204,17 @@ int main(int argc, char** argv) {
   }
   if (command == "metrics" && extra == 0) {
     return render_response(client.metrics(), false);
+  }
+  if (command == "ct-sth" && extra == 0) {
+    return render_response(client.ct_sth(), false);
+  }
+  if (command == "ct-prove" && (extra == 1 || extra == 2)) {
+    const std::string log_id = extra == 2 ? argv[arg + 2] : "";
+    return render_response(client.ct_prove_inclusion(argv[arg + 1], log_id),
+                           false);
+  }
+  if (command == "ct-status" && extra == 0) {
+    return render_response(client.ct_monitor_status(), false);
   }
   if (command == "shutdown" && extra == 0) {
     return render_response(client.shutdown(), false);

@@ -32,6 +32,9 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +82,10 @@ void print_usage(const char* argv0) {
       "                        queued requests and response writes all time\n"
       "                        out with DEADLINE_EXCEEDED (0 = none)\n"
       "  --idle-timeout-ms <n> close idle connections after n ms (0 = never)\n"
+      "  --ct-monitor          arm the continuous CT monitor over the served\n"
+      "                        logs; ct_monitor_status reports its counters\n"
+      "  --ct-poll-ms <n>      monitor poll interval (default 1000; needs\n"
+      "                        --ct-monitor)\n"
       "  --demo                serve a synthesized demo corpus\n"
       "  --demo-connections <n> demo corpus size (default 4000)\n",
       argv0, argv0);
@@ -103,17 +110,22 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::size_t demo_connections = 4000;
   bool demo = false;
+  bool ct_monitor = false;
+  std::uint32_t ct_poll_ms = 1000;
   int arg = 1;
   for (; arg < argc; ++arg) {
     const std::string_view flag = argv[arg];
     if (flag == "--demo") {
       demo = true;
+    } else if (flag == "--ct-monitor") {
+      ct_monitor = true;
     } else if (flag == "--port" || flag == "--port-file" ||
                flag == "--threads" || flag == "--queue" ||
                flag == "--max-connections" || flag == "--demo-connections" ||
                flag == "--wal" || flag == "--snapshot-every" ||
                flag == "--applied-ledger-max" ||
-               flag == "--request-deadline-ms" || flag == "--idle-timeout-ms") {
+               flag == "--request-deadline-ms" || flag == "--idle-timeout-ms" ||
+               flag == "--ct-poll-ms") {
       if (arg + 1 >= argc) {
         print_usage(argv[0]);
         return 2;
@@ -149,6 +161,8 @@ int main(int argc, char** argv) {
         server_options.request_deadline_ms = static_cast<std::uint32_t>(number);
       } else if (flag == "--idle-timeout-ms") {
         server_options.idle_timeout_ms = static_cast<std::uint32_t>(number);
+      } else if (flag == "--ct-poll-ms") {
+        ct_poll_ms = static_cast<std::uint32_t>(number);
       } else {
         demo_connections = static_cast<std::size_t>(number);
       }
@@ -256,10 +270,46 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "corpus ready: %zu unique chains, generation %llu\n",
                state.unique_chains(),
                static_cast<unsigned long long>(state.generation()));
+
+  // Continuous CT auditing (DESIGN.md §14.3): the monitor polls the served
+  // logs on its own thread while requests flow. Arm before the server takes
+  // traffic so ct_monitor_status never races the unique_ptr install; the
+  // Monitor itself is internally locked, and the poll thread folds its
+  // per-poll deltas through the thread-safe telemetry facade so the metrics
+  // endpoint sees ct.monitor.* move.
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor_thread;
+  if (ct_monitor) {
+    ct::Monitor& monitor = state.arm_ct_monitor();
+    telemetry.set_config("svc.ct_monitor", "on");
+    telemetry.set_config("svc.ct_poll_ms", std::to_string(ct_poll_ms));
+    monitor_thread = std::thread([&monitor, &telemetry, &monitor_stop,
+                                  poll_ms = ct_poll_ms] {
+      while (!monitor_stop.load(std::memory_order_relaxed)) {
+        const std::size_t fresh = monitor.poll_once();
+        telemetry.count("ct.monitor.polls");
+        if (fresh > 0) telemetry.count("ct.monitor.violations", fresh);
+        for (std::uint32_t waited = 0;
+             waited < poll_ms && !monitor_stop.load(std::memory_order_relaxed);
+             waited += 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min<std::uint32_t>(50, poll_ms - waited)));
+        }
+      }
+    });
+    std::fprintf(stderr, "ct monitor armed: polling every %u ms\n", ct_poll_ms);
+  }
+
+  const auto stop_monitor = [&monitor_stop, &monitor_thread] {
+    monitor_stop.store(true, std::memory_order_relaxed);
+    if (monitor_thread.joinable()) monitor_thread.join();
+  };
+
   svc::Server server(state, telemetry, server_options);
   std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "certchain-serve: %s\n", error.c_str());
+    stop_monitor();
     return 1;
   }
 
@@ -269,6 +319,7 @@ int main(int argc, char** argv) {
     if (!out) {
       std::fprintf(stderr, "certchain-serve: cannot write %s\n",
                    port_file.c_str());
+      stop_monitor();
       return 1;
     }
   }
@@ -294,6 +345,7 @@ int main(int argc, char** argv) {
   });
 
   server.wait();  // returns once the drain (signal- or wire-initiated) is done
+  stop_monitor();
   ::close(signal_pipe[1]);  // wakes the watcher if no signal ever arrived
   signal_watcher.join();
   ::close(signal_pipe[0]);
