@@ -1,11 +1,24 @@
-// Extension — closed-loop serving throughput and latency (DESIGN.md §12):
-// start svc::Server over the calibrated corpus at 1/4/hw request workers,
-// drive it from closed-loop loopback clients (each sends the next request
-// only after the previous response), and report requests/second plus the
-// server-side per-endpoint latency distribution (p50/p90/p99 from the
-// `svc.endpoint.<name>.ms` timing histograms). Every configuration asserts
-// the stage.svc.requests.{in,admitted,dropped} manifest triple reconciles —
-// throughput numbers over lost requests would be meaningless.
+// Extension — closed-loop serving throughput and latency (DESIGN.md §12, §15):
+// start svc::Server over the calibrated corpus, drive it from closed-loop
+// loopback connections (each connection has at most one request in flight),
+// and report requests/second plus the server-side per-endpoint
+// latency distribution (p50/p90/p99 from the `svc.endpoint.<name>.ms` timing
+// histograms). The sweep covers the classic 4-client worker scaling points
+// (1/4/hw workers) plus a high-connection-count configuration (256 clients by
+// default, CERTCHAIN_SERVE_CLIENTS to override) that exercises the epoll
+// event loop the way per-connection reader threads never could. The load is
+// driven wrk-style: a handful of driver threads each own a slice of the
+// connections and pump them in send-all-then-read-all waves, so a
+// 256-connection point measures the server's 256-socket event loop rather
+// than the bench host's ability to schedule 256 client threads. Every
+// configuration asserts the stage.svc.requests.{in,admitted,dropped} manifest
+// triple reconciles — throughput numbers over lost requests would be
+// meaningless.
+//
+// `--smoke` shrinks the sweep to the single high-connection configuration
+// with a few requests per client: the CI serve-stress-smoke lane runs that
+// under TSan, where the point is the interleavings (hundreds of sockets, all
+// loop-owned, racing the RCU publish path), not the numbers.
 //
 // CERTCHAIN_METRICS=<path-prefix> additionally writes the standard
 // certchain.obs.metrics JSON export of each configuration to
@@ -17,6 +30,7 @@
 #include <algorithm>
 #include <atomic>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -30,6 +44,14 @@
 #include "svc/telemetry.hpp"
 
 namespace {
+
+/// One point of the sweep: how many workers serve how many closed-loop
+/// clients, and how hard each client pushes.
+struct LoadConfig {
+  std::size_t workers = 1;
+  int clients = 4;
+  int requests_per_client = 250;
+};
 
 struct LoadResult {
   double wall_ms = 0.0;
@@ -48,19 +70,20 @@ struct LoadResult {
   std::vector<Endpoint> endpoints;
 };
 
-/// The whole sweep as one schema-versioned JSON document.
+/// The whole sweep as one schema-versioned JSON document. Version 2 moved
+/// clients/requests_per_client into each configuration (the sweep is no
+/// longer uniform: the high-connection point runs a different client count).
 std::string sweep_json(const certchain::datagen::ScenarioConfig& config,
                        std::size_t ssl_rows, std::size_t x509_rows,
                        std::size_t unique_chains, std::size_t hardware,
-                       int clients, int requests_per_client,
-                       const std::vector<std::size_t>& worker_counts,
+                       const std::vector<LoadConfig>& load_configs,
                        const std::vector<LoadResult>& results) {
   certchain::obs::json::Writer writer;
   writer.begin_object();
   writer.key("schema");
   writer.value_string("certchain.bench.serve");
   writer.key("version");
-  writer.value_uint(1);
+  writer.value_uint(2);
   writer.key("scenario");
   writer.begin_object();
   writer.key("chain_scale");
@@ -81,20 +104,21 @@ std::string sweep_json(const certchain::datagen::ScenarioConfig& config,
   writer.end_object();
   writer.key("load");
   writer.begin_object();
-  writer.key("clients");
-  writer.value_uint(static_cast<std::uint64_t>(clients));
-  writer.key("requests_per_client");
-  writer.value_uint(static_cast<std::uint64_t>(requests_per_client));
   writer.key("hardware_workers");
   writer.value_uint(hardware);
   writer.end_object();
   writer.key("configurations");
   writer.begin_array();
   for (std::size_t i = 0; i < results.size(); ++i) {
+    const LoadConfig& load = load_configs[i];
     const LoadResult& result = results[i];
     writer.begin_object();
     writer.key("workers");
-    writer.value_uint(worker_counts[i]);
+    writer.value_uint(load.workers);
+    writer.key("clients");
+    writer.value_uint(static_cast<std::uint64_t>(load.clients));
+    writer.key("requests_per_client");
+    writer.value_uint(static_cast<std::uint64_t>(load.requests_per_client));
     writer.key("wall_ms");
     writer.value_number(result.wall_ms);
     writer.key("requests");
@@ -136,13 +160,16 @@ int main(int argc, char** argv) {
   using namespace certchain;
 
   std::string json_out;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json-out" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_ext_serve [--json-out <path>]\n"
+                   "usage: bench_ext_serve [--json-out <path>] [--smoke]\n"
                    "unknown argument: %s\n",
                    argv[i]);
       return 2;
@@ -150,7 +177,8 @@ int main(int argc, char** argv) {
   }
   bench::print_header(
       "Ext: certchain-serve closed-loop throughput and latency",
-      "loopback clients vs. 1/4/hw request workers; manifest triple checked");
+      "loopback clients vs. 1/4/hw request workers + a high-connection "
+      "event-loop point; manifest triple checked");
 
   const datagen::ScenarioConfig config = bench::config_from_env();
   auto scenario = datagen::build_study_scenario(config);
@@ -171,15 +199,18 @@ int main(int argc, char** argv) {
     if (issuers.size() >= 8) break;
   }
 
-  constexpr int kClients = 4;
-  constexpr int kRequestsPerClient = 250;
-
-  const auto run_load = [&](std::size_t workers) {
+  const auto run_load = [&](const LoadConfig& load) {
     LoadResult result;
     svc::SyncTelemetry telemetry;
     svc::ServerOptions options;
-    options.workers = workers;
-    options.queue_capacity = 256;
+    options.workers = load.workers;
+    // Scale the admission bound and connection cap with the client count: a
+    // closed-loop client holds at most one request in flight, so capacity ==
+    // clients guarantees OVERLOADED never fires and every error is real.
+    options.queue_capacity =
+        std::max<std::size_t>(256, static_cast<std::size_t>(load.clients));
+    options.max_connections =
+        std::max<std::size_t>(64, static_cast<std::size_t>(load.clients) + 8);
     svc::Server server(state, telemetry, options);
     std::string error;
     if (!server.start(&error)) {
@@ -187,35 +218,82 @@ int main(int argc, char** argv) {
       return result;
     }
 
+    // Pre-encoded request frames for the 4-endpoint mix (same payloads the
+    // typed svc::Client helpers send), so the drivers spend their cycles on
+    // sockets, not JSON building.
+    std::vector<std::string> classify_wires;
+    for (const std::string& issuer : issuers) {
+      obs::json::Writer writer;
+      writer.begin_object();
+      writer.key("issuer");
+      writer.value_string(issuer);
+      writer.end_object();
+      classify_wires.push_back(svc::encode_frame(
+          svc::MessageType::kClassifyIssuer, std::move(writer).str()));
+    }
+    const std::string ping_wire =
+        svc::encode_frame(svc::MessageType::kPing, "");
+    const std::string metrics_wire =
+        svc::encode_frame(svc::MessageType::kMetrics, "");
+    const std::string report_wire = svc::encode_frame(
+        svc::MessageType::kReportSection, "{\"section\":\"totals\"}");
+    const auto request_wire = [&](int c, int i) -> const std::string& {
+      switch ((c + i) % 4) {
+        case 0: return ping_wire;
+        case 1:
+          return classify_wires[static_cast<std::size_t>(i) %
+                                classify_wires.size()];
+        case 2: return report_wire;
+        default: return metrics_wire;
+      }
+    };
+
+    // wrk-style drivers: each thread owns connections c ≡ d (mod drivers)
+    // and pumps them in waves — send one request on every connection, then
+    // read every response — so each connection stays closed-loop (one in
+    // flight) while the server juggles all of them at once.
+    const std::size_t driver_threads =
+        std::min<std::size_t>(static_cast<std::size_t>(load.clients),
+                              std::max<std::size_t>(par::resolve_threads(0) * 2, 4));
     std::atomic<std::uint64_t> errors{0};
     const obs::Stopwatch stopwatch;
-    std::vector<std::thread> clients;
-    for (int c = 0; c < kClients; ++c) {
-      clients.emplace_back([&, c] {
-        svc::Client client;
-        if (!client.connect("127.0.0.1", server.port())) {
-          errors.fetch_add(kRequestsPerClient);
-          return;
-        }
-        for (int i = 0; i < kRequestsPerClient; ++i) {
-          std::optional<svc::Response> response;
-          switch ((c + i) % 4) {
-            case 0: response = client.ping(); break;
-            case 1:
-              response = client.classify_issuer(
-                  issuers[static_cast<std::size_t>(i) % issuers.size()]);
-              break;
-            case 2: response = client.report_section("totals"); break;
-            default: response = client.metrics(); break;
+    std::vector<std::thread> drivers;
+    drivers.reserve(driver_threads);
+    for (std::size_t d = 0; d < driver_threads; ++d) {
+      drivers.emplace_back([&, d] {
+        std::vector<std::unique_ptr<svc::Client>> conns;
+        std::vector<int> ids;
+        for (int c = static_cast<int>(d); c < load.clients;
+             c += static_cast<int>(driver_threads)) {
+          auto client = std::make_unique<svc::Client>();
+          if (!client->connect("127.0.0.1", server.port())) {
+            errors.fetch_add(
+                static_cast<std::uint64_t>(load.requests_per_client));
+            continue;
           }
-          if (!response.has_value() || !response->ok) errors.fetch_add(1);
+          conns.push_back(std::move(client));
+          ids.push_back(c);
+        }
+        for (int i = 0; i < load.requests_per_client; ++i) {
+          for (std::size_t k = 0; k < conns.size(); ++k) {
+            if (!conns[k]->send_raw(request_wire(ids[k], i))) {
+              errors.fetch_add(1);
+            }
+          }
+          for (std::size_t k = 0; k < conns.size(); ++k) {
+            const auto frame = conns[k]->read_frame();
+            if (!frame.has_value() ||
+                frame->type == svc::MessageType::kError) {
+              errors.fetch_add(1);
+            }
+          }
         }
       });
     }
-    for (std::thread& thread : clients) thread.join();
+    for (std::thread& thread : drivers) thread.join();
     result.wall_ms = stopwatch.elapsed_ms();
-    result.requests =
-        static_cast<std::uint64_t>(kClients) * kRequestsPerClient;
+    result.requests = static_cast<std::uint64_t>(load.clients) *
+                      static_cast<std::uint64_t>(load.requests_per_client);
     result.errors = errors.load();
 
     server.request_stop();
@@ -239,25 +317,42 @@ int main(int argc, char** argv) {
   };
 
   const std::size_t hardware = par::resolve_threads(0);
-  std::vector<std::size_t> worker_counts = {1, 4};
-  if (std::find(worker_counts.begin(), worker_counts.end(), hardware) ==
-      worker_counts.end()) {
-    worker_counts.push_back(hardware);
+  int stress_clients = 256;
+  if (const char* env = std::getenv("CERTCHAIN_SERVE_CLIENTS")) {
+    stress_clients = std::max(1, std::atoi(env));
+  }
+
+  std::vector<LoadConfig> load_configs;
+  if (smoke) {
+    // One configuration, little work per client: the interesting part is
+    // hundreds of loop-owned sockets racing, not throughput.
+    load_configs.push_back({hardware, stress_clients, 4});
+  } else {
+    std::vector<std::size_t> worker_counts = {1, 4};
+    if (std::find(worker_counts.begin(), worker_counts.end(), hardware) ==
+        worker_counts.end()) {
+      worker_counts.push_back(hardware);
+    }
+    for (const std::size_t workers : worker_counts) {
+      load_configs.push_back({workers, 4, 250});
+    }
+    load_configs.push_back({hardware, stress_clients, 50});
   }
 
   const char* metrics_prefix = std::getenv("CERTCHAIN_METRICS");
   bool all_ok = true;
 
-  bench::print_section("Closed-loop throughput (4 clients, 1000 requests)");
+  bench::print_section("Closed-loop throughput");
   util::TextTable throughput(
-      {"Workers", "Wall ms", "Req/s", "Errors", "Triple"});
+      {"Workers", "Clients", "Req", "Wall ms", "Req/s", "Errors", "Triple"});
   std::vector<LoadResult> results;
-  for (const std::size_t workers : worker_counts) {
-    LoadResult result = run_load(workers);
-    const std::string label = std::to_string(workers) +
-                              (workers == hardware ? " (hw)" : "");
+  for (const LoadConfig& load : load_configs) {
+    LoadResult result = run_load(load);
+    const std::string label = std::to_string(load.workers) +
+                              (load.workers == hardware ? " (hw)" : "");
     throughput.add_row(
-        {label, util::format_double(result.wall_ms, 1),
+        {label, std::to_string(load.clients), std::to_string(result.requests),
+         util::format_double(result.wall_ms, 1),
          util::format_double(result.requests * 1000.0 /
                                  std::max(result.wall_ms, 1e-9),
                              0),
@@ -266,7 +361,7 @@ int main(int argc, char** argv) {
     all_ok = all_ok && result.reconciles && result.errors == 0;
     if (metrics_prefix != nullptr) {
       const std::string path =
-          std::string(metrics_prefix) + std::to_string(workers) + ".json";
+          std::string(metrics_prefix) + std::to_string(load.workers) + ".json";
       std::ofstream out(path, std::ios::binary);
       out << result.metrics_json;
       std::fprintf(stderr, "[certchain] wrote %s\n", path.c_str());
@@ -275,7 +370,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", throughput.render().c_str());
 
-  bench::print_section("Server-side endpoint latency (hw workers)");
+  bench::print_section("Server-side endpoint latency (last configuration)");
   util::TextTable latency({"Endpoint", "Count", "p50 ms", "p90 ms", "p99 ms"});
   for (const LoadResult::Endpoint& endpoint : results.back().endpoints) {
     latency.add_row({endpoint.name, std::to_string(endpoint.count),
@@ -288,8 +383,7 @@ int main(int argc, char** argv) {
   if (!json_out.empty()) {
     const std::string document =
         sweep_json(config, logs.ssl.size(), logs.x509.size(),
-                   state.unique_chains(), hardware, kClients,
-                   kRequestsPerClient, worker_counts, results);
+                   state.unique_chains(), hardware, load_configs, results);
     std::ofstream out(json_out, std::ios::binary);
     if (!out) {
       std::fprintf(stderr, "bench_ext_serve: cannot write %s\n",

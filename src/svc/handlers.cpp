@@ -195,6 +195,9 @@ std::string RequestHandlers::dispatch(const Frame& request,
   Writer writer;
   switch (request.type) {
     case MessageType::kPing: {
+      // One snapshot acquisition: generation and unique_chains come from the
+      // same published generation, never torn across a concurrent append.
+      const ServiceState::SnapshotPtr snapshot = state_->acquire_snapshot();
       writer.begin_object();
       writer.key("ok");
       writer.value_bool(true);
@@ -203,9 +206,9 @@ std::string RequestHandlers::dispatch(const Frame& request,
       writer.key("version");
       writer.value_uint(kWireVersion);
       writer.key("generation");
-      writer.value_uint(state_->generation());
+      writer.value_uint(snapshot->generation);
       writer.key("unique_chains");
-      writer.value_uint(state_->unique_chains());
+      writer.value_uint(snapshot->unique_chains);
       writer.end_object();
       return encode_frame(MessageType::kPingOk, writer.str());
     }
@@ -278,13 +281,16 @@ std::string RequestHandlers::dispatch(const Frame& request,
         return encode_error(ErrorCode::kBadPayload,
                             "unknown report section \"" + name + "\"");
       }
+      // Generation and text render from the same snapshot: the reported
+      // generation always labels exactly the corpus the text describes.
+      const ServiceState::SnapshotPtr snapshot = state_->acquire_snapshot();
       writer.begin_object();
       writer.key("section");
       writer.value_string(name);
       writer.key("generation");
-      writer.value_uint(state_->generation());
+      writer.value_uint(snapshot->generation);
       writer.key("text");
-      writer.value_string(state_->report_section(*options));
+      writer.value_string(core::render_report_text(snapshot->report, *options));
       writer.end_object();
       return encode_frame(MessageType::kReportSectionOk, writer.str());
     }

@@ -1,33 +1,45 @@
-// The concurrent query server behind certchain_serve (DESIGN.md §12.4).
+// The concurrent query server behind certchain_serve (DESIGN.md §15).
 //
 // Thread model, end to end:
 //
-//   acceptor thread ── accept() ──> one reader thread per connection
-//   reader thread ── FrameReader ──> admission queue (bounded) ── pop ──>
-//   request workers (par::ThreadPool::submit loops) ── promise ──> reader
-//   thread writes the response (single writer per socket, so responses on a
-//   connection always match request order without correlation ids)
+//   event-loop thread ── epoll/poll ──> owns the listen socket, the wake
+//   pipe, and every connection socket (all non-blocking). It accepts,
+//   reads, decodes frames incrementally (FrameReader), runs admission, and
+//   writes responses — partial reads and partial writes are resumed where
+//   they left off. Read-only frames (ping, classify, report, metrics, CT
+//   queries) are answered inline on the loop thread — an RCU snapshot read
+//   is microseconds of work, cheaper than a worker round-trip. Mutating or
+//   unbounded frames (ingest_append, categorize_chain, shutdown) dispatch to
+//   request workers (par::ThreadPool::submit loops) ── completion queue ──>
+//   back to the loop, which serializes responses per connection in request
+//   order (a per-connection sequence number; out-of-order completions wait
+//   in a ready-map until contiguous, so pipelined requests on one
+//   connection always answer in the order they arrived).
 //
 // Backpressure is explicit: every decoded request counts into the
 // `stage.svc.requests.in` counter and then either enters the bounded
 // admission queue (`...admitted`) or is answered immediately with a typed
 // OVERLOADED / SHUTTING_DOWN error (`...dropped`), so the obs::RunManifest
 // triple reconciles exactly (in == admitted + dropped) at any instant the
-// registry is read.
+// registry is read. Admission runs on the loop thread, so the triple is
+// updated in the same order frames arrive.
 //
 // Deadlines (request_deadline_ms / idle_timeout_ms) bound every way a peer
-// can hold a reader thread: the read loop polls instead of blocking, a frame
-// that stalls mid-arrival earns a typed DEADLINE_EXCEEDED and a close, an
-// idle connection is closed quietly, an admitted request that waited out its
-// deadline in the queue is answered DEADLINE_EXCEEDED by the worker (still
-// admitted, so the triple reconciles), and a send timeout keeps a peer that
-// stopped reading from blocking response writes.
+// can hold server state: a frame that stalls mid-arrival earns a typed
+// DEADLINE_EXCEEDED and a close, an idle connection (nothing buffered,
+// nothing in flight) is closed quietly, an admitted request that waited out
+// its deadline in the queue is answered DEADLINE_EXCEEDED by the worker
+// (still admitted, so the triple reconciles), and a connection whose
+// outbound bytes make no progress within the request deadline (the peer
+// stopped reading) is closed — the non-blocking analogue of the old
+// SO_SNDTIMEO send timeout.
 //
-// Graceful drain (request_stop, then wait): the acceptor stops accepting,
-// connection sockets get shutdown(SHUT_RD) so blocked reads return while
-// in-flight responses still write, the workers finish everything already
-// admitted, and only then do the threads join and the sockets close. A
-// kShutdown request triggers the same sequence from inside a worker.
+// Graceful drain (request_stop, then wait): the loop stops accepting,
+// frames already decoded or still arriving are answered SHUTTING_DOWN, the
+// workers finish everything already admitted, the loop flushes every
+// pending response, and only then do connections close and threads join. A
+// kShutdown request triggers the same sequence from its worker's
+// completion.
 #pragma once
 
 #include <atomic>
@@ -35,13 +47,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <future>
-#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "par/thread_pool.hpp"
 #include "svc/handlers.hpp"
@@ -51,6 +64,47 @@
 
 namespace certchain::svc {
 
+/// Readiness poller behind the event loop: epoll(7) on Linux, poll(2)
+/// everywhere else. Fds are registered under an opaque u64 key (the loop
+/// uses monotonic connection ids, never raw fds, so a recycled fd number
+/// can never route events to the wrong connection).
+class Poller {
+ public:
+  struct Event {
+    std::uint64_t key = 0;
+    bool readable = false;
+    bool writable = false;
+    bool broken = false;  // error/hangup: the fd is beyond use
+  };
+
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool valid() const;
+  void add(int fd, std::uint64_t key, bool want_read, bool want_write);
+  void modify(int fd, std::uint64_t key, bool want_read, bool want_write);
+  void remove(int fd, std::uint64_t key);
+  /// Fills `events`; returns the number ready (0 on timeout, -1 on error).
+  int wait(std::vector<Event>& events, int timeout_ms);
+  /// Which backend compiled in ("epoll" or "poll") — exported as config.
+  static const char* backend();
+
+ private:
+#ifdef __linux__
+  int epoll_fd_ = -1;
+#else
+  struct Watched {
+    int fd;
+    std::uint64_t key;
+    bool want_read;
+    bool want_write;
+  };
+  std::vector<Watched> watched_;
+#endif
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";  // loopback only by design
   std::uint16_t port = 0;          // 0 = kernel-assigned ephemeral port
@@ -59,10 +113,11 @@ struct ServerOptions {
   std::size_t max_connections = 64;
   /// Per-request deadline, 0 = none. Covers (a) the time a started frame may
   /// take to finish arriving — a peer that trickles or stalls mid-frame gets
-  /// a typed DEADLINE_EXCEEDED and a close instead of pinning the reader
-  /// thread forever — (b) the time an admitted request may sit in the queue
-  /// before a worker picks it up, and (c) the socket send timeout, so a peer
-  /// that stops reading cannot block a response write indefinitely.
+  /// a typed DEADLINE_EXCEEDED and a close instead of pinning loop state
+  /// forever — (b) the time an admitted request may sit in the queue
+  /// before a worker picks it up, and (c) outbound progress: queued response
+  /// bytes that advance by nothing for a whole deadline mean the peer
+  /// stopped reading, and the connection closes.
   std::uint32_t request_deadline_ms = 0;
   /// Close connections with no started frame after this long, 0 = never.
   /// Idle closes are quiet (no error frame): an idle peer did nothing wrong.
@@ -78,7 +133,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the acceptor + request workers. Returns
+  /// Binds, listens, and spawns the event loop + request workers. Returns
   /// false (with `error` filled) when the socket setup fails.
   bool start(std::string* error = nullptr);
 
@@ -96,32 +151,84 @@ class Server {
   void wait();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// An admitted request travelling to the workers.
   struct PendingRequest {
+    std::uint64_t connection_id = 0;
+    std::uint64_t seq = 0;  // per-connection response slot
     Frame frame;
     // Queue-wait deadline: a worker that dequeues the request past this
     // point answers DEADLINE_EXCEEDED instead of running the handler. The
     // request stays "admitted" — the triple still reconciles.
-    std::chrono::steady_clock::time_point deadline{};
+    Clock::time_point deadline{};
     bool has_deadline = false;
-    // (encoded response frame, shutdown requested by this request)
-    std::promise<std::pair<std::string, bool>> promise;
   };
 
+  /// A finished response travelling back to the loop.
+  struct Completion {
+    std::uint64_t connection_id = 0;
+    std::uint64_t seq = 0;
+    std::string response;
+    bool shutdown_requested = false;
+  };
+
+  /// Everything the loop knows about one connection. Owned by the loop
+  /// thread exclusively — no lock guards any of it.
   struct Connection {
     int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
+    FrameReader reader;
+    // Outbound bytes not yet accepted by the socket. offset avoids
+    // erase-from-front churn; the buffer compacts when fully drained.
+    std::string outbox;
+    std::size_t outbox_offset = 0;
+    // Response ordering: every emitted frame (worker response, typed
+    // rejection, loop-generated error) claims the next slot of next_seq;
+    // slots append to the outbox strictly in order (next_write_seq), and
+    // worker completions that finish out of order wait in `ready`.
+    std::uint64_t next_seq = 0;
+    std::uint64_t next_write_seq = 0;
+    std::map<std::uint64_t, std::string> ready;
+    bool frame_deadline_armed = false;
+    Clock::time_point frame_deadline{};
+    Clock::time_point last_activity{};
+    // Outbound progress deadline; armed while the outbox holds bytes,
+    // re-armed every time a send accepts at least one byte.
+    bool write_deadline_armed = false;
+    Clock::time_point write_deadline{};
+    bool read_closed = false;       // EOF seen, or the loop stopped reading
+    bool close_after_flush = false; // close once every claimed slot is sent
+    bool want_write = false;        // EPOLLOUT currently armed in the poller
   };
 
-  void acceptor_loop();
-  void connection_loop(Connection* connection);
+  void loop();
+  void accept_ready();
+  void read_ready(std::uint64_t id);
+  void drain_completions();
+  /// Admission for one decoded frame: typed rejection or worker dispatch.
+  /// Returns false when the connection was closed (and erased) underneath.
+  bool serve_frame(Connection& connection, std::uint64_t id, Frame frame);
+  /// Claims the next response slot on the connection for `bytes` and pumps.
+  /// Returns false when the connection was closed (and erased) underneath.
+  bool emit(Connection& connection, std::uint64_t id, std::string bytes);
+  /// Appends newly contiguous ready slots to the outbox and flushes.
+  /// Returns false when the connection was closed (and erased) underneath.
+  bool pump_output(Connection& connection, std::uint64_t id);
+  /// Non-blocking send of whatever the socket accepts; arms EPOLLOUT and
+  /// the write-progress deadline when bytes remain. Returns false when the
+  /// connection was closed (and erased) underneath.
+  bool flush_outbox(Connection& connection, std::uint64_t id);
+  /// Applies frame/idle/write deadlines; closes what expired.
+  void enforce_deadlines(Clock::time_point now);
+  /// Nearest poller timeout across every armed deadline (-1 = forever).
+  int next_timeout_ms(Clock::time_point now) const;
+  void decode_buffered(Connection& connection, std::uint64_t id);
+  void close_connection(std::uint64_t id);
+  bool fully_flushed(const Connection& connection) const {
+    return connection.next_write_seq == connection.next_seq &&
+           connection.outbox_offset >= connection.outbox.size();
+  }
   void worker_loop();
-  /// Handles one decoded request frame on a connection: admission, typed
-  /// rejection, or enqueue + wait + write. Returns false when the connection
-  /// should close (a shutdown response was just written).
-  bool serve_request(int fd, Frame frame);
-  void reap_finished_connections_locked();
-  bool write_all(int fd, std::string_view bytes) const;
 
   ServiceState* state_;
   SyncTelemetry* telemetry_;
@@ -129,16 +236,22 @@ class Server {
   RequestHandlers handlers_;
 
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // self-pipe: wakes the acceptor's poll()
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: workers/stop wake the poller
   std::uint16_t port_ = 0;
   bool started_ = false;
 
-  std::thread acceptor_;
+  std::thread loop_thread_;
   std::unique_ptr<par::ThreadPool> pool_;
 
-  std::mutex connections_mutex_;
-  std::list<Connection> connections_;
-  std::size_t active_connections_ = 0;
+  // Loop-thread-private state (no locks): connections keyed by monotonic id.
+  Poller poller_;
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_connection_id_ = kFirstConnectionKey;
+  bool accepting_ = true;
+
+  static constexpr std::uint64_t kListenKey = 0;
+  static constexpr std::uint64_t kWakeKey = 1;
+  static constexpr std::uint64_t kFirstConnectionKey = 16;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -147,7 +260,11 @@ class Server {
   std::size_t live_workers_ = 0;
   std::condition_variable workers_done_cv_;
 
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
   std::atomic<bool> draining_{false};
+  std::atomic<bool> teardown_{false};  // wait() ordered every conn to finish
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;
   bool teardown_in_progress_ = false;  // exactly one wait() runs the teardown

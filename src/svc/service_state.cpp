@@ -1,7 +1,6 @@
 #include "svc/service_state.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -42,6 +41,26 @@ AppendResult to_duplicate_result(const AppliedAppend& applied) {
 
 }  // namespace
 
+void ServiceState::SnapshotTracker::on_publish() {
+  const std::int64_t now = live.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const std::uint64_t total =
+      published.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (telemetry != nullptr) {
+    telemetry->count("svc.snapshot.published");
+    telemetry->set_gauge("svc.snapshot.live", static_cast<double>(now));
+  }
+  (void)total;
+}
+
+void ServiceState::SnapshotTracker::on_release() {
+  const std::int64_t now = live.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (telemetry != nullptr) {
+    telemetry->set_gauge("svc.snapshot.live", static_cast<double>(now));
+  }
+}
+
 ServiceState::ServiceState(const truststore::TrustStoreSet& stores,
                            const ct::CtLogSet& ct_logs,
                            const core::VendorDirectory& vendors,
@@ -49,11 +68,48 @@ ServiceState::ServiceState(const truststore::TrustStoreSet& stores,
     : stores_(&stores),
       ct_logs_(&ct_logs),
       registry_(registry),
-      pipeline_(stores, ct_logs, vendors, registry) {}
+      pipeline_(stores, ct_logs, vendors, registry),
+      tracker_(std::make_shared<SnapshotTracker>()) {
+  // Never serve a null snapshot: before load() the state answers as an
+  // empty, unanalyzed corpus (load() replaces this with generation 0).
+  auto* tracker = tracker_.get();
+  auto bootstrap = SnapshotPtr(
+      new AnalysisSnapshot(),
+      [control = tracker_](const AnalysisSnapshot* snapshot) {
+        delete snapshot;
+        control->on_release();
+      });
+  tracker->live.fetch_add(1, std::memory_order_acq_rel);
+  snapshot_.store(std::move(bootstrap), std::memory_order_release);
+}
+
+ServiceState::~ServiceState() {
+  // Releases after this point (our own snapshot below, or a straggling
+  // reader that outlives us) must not touch the telemetry object.
+  attach_telemetry(nullptr);
+}
+
+void ServiceState::attach_telemetry(SyncTelemetry* telemetry) {
+  std::lock_guard<std::mutex> lock(tracker_->mutex);
+  tracker_->telemetry = telemetry;
+  if (telemetry != nullptr) {
+    telemetry->set_gauge(
+        "svc.snapshot.live",
+        static_cast<double>(tracker_->live.load(std::memory_order_acquire)));
+  }
+}
+
+std::int64_t ServiceState::live_snapshots() const {
+  return tracker_->live.load(std::memory_order_acquire);
+}
+
+std::uint64_t ServiceState::snapshots_published() const {
+  return tracker_->published.load(std::memory_order_acquire);
+}
 
 void ServiceState::load(const std::vector<zeek::SslLogRecord>& ssl,
                         const std::vector<zeek::X509LogRecord>& x509) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   joiner_ = zeek::LogJoiner(x509);
   corpus_ = core::CorpusIndex();
   for (const zeek::SslLogRecord& record : ssl) {
@@ -63,12 +119,12 @@ void ServiceState::load(const std::vector<zeek::SslLogRecord>& ssl,
   appended_x509_rows_.clear();
   applied_.clear();
   applied_order_.clear();
-  refresh_analysis_locked();
+  publish_analysis_locked();
 }
 
 bool ServiceState::recover_and_arm(const DurabilityOptions& options,
                                    RecoveryStats* stats, std::string* error) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   const auto fail = [&](const std::string& message) {
     if (error != nullptr) *error = message;
     durable_ = false;
@@ -137,7 +193,7 @@ bool ServiceState::recover_and_arm(const DurabilityOptions& options,
     // Batch boundaries are preserved: join completeness depends on which
     // X509 records the joiner held when each batch folded.
     AppendResult result =
-        fold_batch_locked(record.ssl_rows, record.x509_rows, /*refresh=*/false);
+        fold_batch_locked(record.ssl_rows, record.x509_rows, /*publish=*/false);
     result.wal_seq = record.seq;
     folded = true;
     ++out.wal_records_applied;
@@ -145,9 +201,9 @@ bool ServiceState::recover_and_arm(const DurabilityOptions& options,
       remember_applied_locked(to_applied(record.idempotency_key, result));
     }
   }
-  // One analysis pass at the end covers every replayed fold; the snapshot
-  // alone also needs it (load() analyzed only the base corpus).
-  if (out.snapshot_loaded || folded) refresh_analysis_locked();
+  // One analysis + publication at the end covers every replayed fold; the
+  // snapshot alone also needs it (load() analyzed only the base corpus).
+  if (out.snapshot_loaded || folded) publish_analysis_locked();
 
   std::string open_error;
   if (!wal_.open(options.wal_path, replayed->good_bytes, last_seq + 1,
@@ -165,11 +221,11 @@ truststore::IssuerClass ServiceState::classify_issuer(
 
 ChainVerdict ServiceState::categorize_chain(
     const chain::CertificateChain& submitted) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const SnapshotPtr snapshot = acquire_snapshot();
   ChainVerdict verdict;
-  verdict.generation = generation_;
-  verdict.category =
-      chain::categorize_chain(submitted, *stores_, interception_issuers_);
+  verdict.generation = snapshot->generation;
+  verdict.category = chain::categorize_chain(submitted, *stores_,
+                                             snapshot->interception_issuers);
   // The matched-path verdict mirrors the batch analyzers' conventions:
   // hybrid chains get the §4.2 leaf-plausibility test, the non-public and
   // interception analyses disable it (§4.3).
@@ -186,15 +242,15 @@ ChainVerdict ServiceState::categorize_chain(
 
 std::string ServiceState::report_section(
     const core::ReportTextOptions& options) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return core::render_report_text(report_, options);
+  const SnapshotPtr snapshot = acquire_snapshot();
+  return core::render_report_text(snapshot->report, options);
 }
 
 AppendResult ServiceState::ingest_append(
     const std::vector<std::string>& ssl_rows,
     const std::vector<std::string>& x509_rows,
     const std::string& idempotency_key) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
 
   if (!idempotency_key.empty()) {
     const auto it = applied_.find(idempotency_key);
@@ -217,7 +273,7 @@ AppendResult ServiceState::ingest_append(
     seq = record.seq;
   }
 
-  AppendResult result = fold_batch_locked(ssl_rows, x509_rows, /*refresh=*/true);
+  AppendResult result = fold_batch_locked(ssl_rows, x509_rows, /*publish=*/true);
   result.wal_seq = seq;
   if (!idempotency_key.empty()) {
     remember_applied_locked(to_applied(idempotency_key, result));
@@ -229,23 +285,8 @@ AppendResult ServiceState::ingest_append(
   return result;
 }
 
-std::uint64_t ServiceState::generation() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return generation_;
-}
-
-std::size_t ServiceState::unique_chains() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return corpus_.unique_chain_count();
-}
-
-core::CorpusTotals ServiceState::totals() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return corpus_.totals();
-}
-
 std::vector<std::pair<std::string, ct::TreeHead>> ServiceState::ct_sths() const {
-  // The log set is immutable while serving — no corpus lock needed.
+  // The log set is immutable while serving — no corpus snapshot needed.
   std::vector<std::pair<std::string, ct::TreeHead>> heads;
   heads.reserve(ct_logs_->log_count());
   for (std::size_t i = 0; i < ct_logs_->log_count(); ++i) {
@@ -284,14 +325,31 @@ ct::Monitor& ServiceState::arm_ct_monitor(const ct::MonitorConfig& config,
   return *ct_monitor_;
 }
 
-void ServiceState::refresh_analysis_locked() {
-  report_ = pipeline_.analyze(corpus_);
-  interception_issuers_ = report_.interception.issuer_set();
+void ServiceState::publish_analysis_locked() {
+  // Build the whole next generation off to the side...
+  auto next = std::make_unique<AnalysisSnapshot>();
+  next->report = pipeline_.analyze(corpus_);
+  next->interception_issuers = next->report.interception.issuer_set();
+  next->generation = generation_;
+  next->unique_chains = corpus_.unique_chain_count();
+  next->totals = corpus_.totals();
+
+  // ...then publish it with a single atomic store. The deleter routes the
+  // eventual release (possibly on a reader thread, possibly after this
+  // state died) through the shared tracker, which is what keeps the
+  // `svc.snapshot.live` gauge honest.
+  SnapshotPtr published(
+      next.release(), [control = tracker_](const AnalysisSnapshot* snapshot) {
+        delete snapshot;
+        control->on_release();
+      });
+  tracker_->on_publish();
+  snapshot_.store(std::move(published), std::memory_order_release);
 }
 
 AppendResult ServiceState::fold_batch_locked(
     const std::vector<std::string>& ssl_rows,
-    const std::vector<std::string>& x509_rows, bool refresh) {
+    const std::vector<std::string>& x509_rows, bool publish) {
   AppendResult result;
   std::vector<zeek::X509LogRecord> x509;
   std::vector<const std::string*> x509_raw;  // raw row per parsed record
@@ -333,7 +391,7 @@ AppendResult ServiceState::fold_batch_locked(
     corpus_.add(joiner_.join(record));
   }
   ++generation_;
-  if (refresh) refresh_analysis_locked();
+  if (publish) publish_analysis_locked();
   result.generation = generation_;
   result.unique_chains = corpus_.unique_chain_count();
   result.connections = corpus_.totals().connections;

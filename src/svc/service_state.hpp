@@ -1,15 +1,24 @@
-// The live corpus behind certchain_serve (DESIGN.md §12.3, durability §13).
+// The live corpus behind certchain_serve (DESIGN.md §12.3, durability §13,
+// lock-free reads §15).
 //
-// ServiceState keeps everything a query needs warm between requests: the
-// deduplicated CorpusIndex, the joined certificate index (fuid -> cert, so
-// later appends can reference earlier certificates), the full StudyReport of
-// the current corpus, and the interception issuer set the chain categorizer
-// consumes. Queries take a shared lock; ingest_append takes the exclusive
-// lock, folds the new rows through the same LogJoiner/CorpusIndex machinery
-// the batch pipeline uses, and eagerly re-analyzes — so every answer after an
-// append reflects a complete, consistent analysis generation, never a
-// half-updated one. The generation counter stamps responses so clients (and
-// the concurrency suite) can tell which corpus state answered them.
+// ServiceState keeps everything a query needs warm between requests and
+// serves it RCU-style: the entire read-side world — the analyzed StudyReport,
+// the interception issuer set the chain categorizer consumes, the corpus
+// totals and the generation stamp — lives in one immutable AnalysisSnapshot
+// published through an atomic shared_ptr. Readers grab the current snapshot
+// with a single atomic load and answer from it with **zero locks**; a reader
+// that is mid-request keeps its snapshot alive (and byte-stable) no matter
+// how many newer generations the writer publishes, and the snapshot is freed
+// the instant its last reader drops it. `svc.snapshot.published` counts
+// publications and the `svc.snapshot.live` gauge tracks how many generations
+// are currently pinned (1 = only the current one).
+//
+// Writes stay serialized: ingest_append takes the writer mutex, folds the
+// new rows through the same LogJoiner/CorpusIndex machinery the batch
+// pipeline uses into writer-private state, re-analyzes eagerly, then builds
+// the next snapshot off to the side and publishes it with one atomic store —
+// so every answer reflects a complete, consistent analysis generation, never
+// a half-updated one. Readers never wait for the (expensive) re-analysis.
 //
 // Durability (opt-in via recover_and_arm): every append is committed to a
 // write-ahead log before the fold, a snapshot compacts the log every N
@@ -17,15 +26,17 @@
 // state whose report is byte-identical to a never-crashed run. Appends may
 // carry an idempotency key; a key seen before (in memory, or replayed from
 // the WAL after a crash) short-circuits to the original result, so client
-// retries fold exactly once.
+// retries fold exactly once. The WAL-commit-before-fold order is unchanged:
+// the new analysis generation is published only after the WAL commit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +47,7 @@
 #include "core/pipeline.hpp"
 #include "core/report_text.hpp"
 #include "ct/monitor.hpp"
+#include "svc/telemetry.hpp"
 #include "svc/wal.hpp"
 
 namespace certchain::svc {
@@ -88,17 +100,34 @@ struct RecoveryStats {
   std::uint64_t generation = 0;           // generation after recovery
 };
 
+/// One immutable, fully analyzed view of the corpus. Everything a read-only
+/// request needs lives here, so a single atomic shared_ptr load yields a
+/// self-consistent answer set: the report text, the interception issuer set,
+/// the generation stamp, and the corpus counters all belong to the same
+/// analysis pass. Snapshots are never mutated after publication — a reader
+/// holding one can render from it for as long as it likes while newer
+/// generations come and go.
+struct AnalysisSnapshot {
+  core::StudyReport report;
+  chain::InterceptionIssuerSet interception_issuers;
+  std::uint64_t generation = 0;
+  std::size_t unique_chains = 0;
+  core::CorpusTotals totals;
+};
+
 class ServiceState {
  public:
+  using SnapshotPtr = std::shared_ptr<const AnalysisSnapshot>;
+
   /// The referenced databases must outlive the state (same contract as
   /// StudyPipeline's).
   ServiceState(const truststore::TrustStoreSet& stores,
                const ct::CtLogSet& ct_logs, const core::VendorDirectory& vendors,
                const chain::CrossSignRegistry* registry = nullptr);
+  ~ServiceState();
 
   /// Loads the initial corpus from parsed records, replacing any previous
-  /// state, and runs the first analysis. Not thread-safe against concurrent
-  /// queries — call before the server starts serving.
+  /// state, runs the first analysis, and publishes generation 0.
   void load(const std::vector<zeek::SslLogRecord>& ssl,
             const std::vector<zeek::X509LogRecord>& x509);
 
@@ -112,20 +141,29 @@ class ServiceState {
   bool recover_and_arm(const DurabilityOptions& options, RecoveryStats* stats,
                        std::string* error);
 
+  /// The current analysis snapshot: one atomic load, no lock. Hold the
+  /// returned pointer for the duration of one request so every value you
+  /// read belongs to the same generation; drop it promptly so superseded
+  /// generations can be freed.
+  SnapshotPtr acquire_snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
   /// §3.2.1 issuer classification. The databases are immutable, so this
-  /// needs no corpus lock at all.
+  /// needs no snapshot at all.
   truststore::IssuerClass classify_issuer(
       const x509::DistinguishedName& issuer) const;
 
   /// Categorizes a submitted chain exactly the way the batch pipeline
   /// categorizes corpus chains — same categorize_chain call against the
   /// live interception issuer set — plus the matched-path analysis, hybrid
-  /// classification and lints. Shared lock.
+  /// classification and lints. Lock-free: answers from one snapshot.
   ChainVerdict categorize_chain(const chain::CertificateChain& chain) const;
 
   /// Renders the selected report sections from the warm StudyReport.
-  /// Shared lock; byte-identical to rendering a batch run over the same
-  /// folded records.
+  /// Lock-free; byte-identical to rendering a batch run over the same
+  /// folded records. (Callers that also need the generation should
+  /// acquire_snapshot() once and read both from it.)
   std::string report_section(const core::ReportTextOptions& options) const;
 
   /// Parses raw Zeek TSV body rows and folds them into the live corpus.
@@ -133,8 +171,10 @@ class ServiceState {
   /// a server must not die on one bad row). X509 rows are indexed before the
   /// SSL rows join, so an append can introduce a chain and its
   /// connections together; SSL rows referencing fuids never seen remain
-  /// incomplete joins, exactly as in batch. Exclusive lock + eager
-  /// re-analysis before returning.
+  /// incomplete joins, exactly as in batch. Takes the writer mutex, folds
+  /// and re-analyzes off to the side, then publishes the new snapshot with
+  /// one atomic store — concurrent readers are never blocked and never see
+  /// a half-updated corpus.
   ///
   /// When durability is armed the batch is committed to the WAL before the
   /// fold; a WAL write failure throws std::runtime_error with nothing folded
@@ -145,16 +185,34 @@ class ServiceState {
                              const std::vector<std::string>& x509_rows,
                              const std::string& idempotency_key = "");
 
-  // --- snapshot accessors (shared lock) ----------------------------------
-  std::uint64_t generation() const;
-  std::size_t unique_chains() const;
-  core::CorpusTotals totals() const;
+  // --- snapshot accessors (each one atomic load, no lock) -----------------
+  std::uint64_t generation() const { return acquire_snapshot()->generation; }
+  std::size_t unique_chains() const {
+    return acquire_snapshot()->unique_chains;
+  }
+  core::CorpusTotals totals() const { return acquire_snapshot()->totals; }
   bool durable() const { return durable_; }
+
+  // --- snapshot lifecycle observability (DESIGN.md §15.2) -----------------
+
+  /// Mirrors snapshot lifecycle events into `telemetry`: the
+  /// `svc.snapshot.published` counter and the `svc.snapshot.live` gauge
+  /// (updated on every publication and every release, including releases on
+  /// reader threads). Pass nullptr to detach; the caller must detach before
+  /// the telemetry object is destroyed. The server attaches on start() and
+  /// detaches when its teardown completes.
+  void attach_telemetry(SyncTelemetry* telemetry);
+
+  /// How many analysis generations are currently alive (the published one
+  /// plus any pinned by in-flight readers). Test observability.
+  std::int64_t live_snapshots() const;
+  /// How many snapshots have ever been published (load + every append).
+  std::uint64_t snapshots_published() const;
 
   // --- CT subsystem (DESIGN.md §14.5) -------------------------------------
   // The CtLogSet is immutable while serving (issuance happened at world
-  // build time), so these need no corpus lock; the monitor carries its own
-  // mutex for the background poll thread.
+  // build time), so these need no corpus snapshot; the monitor carries its
+  // own mutex for the background poll thread.
 
   /// Current signed tree heads of every known log, in log order.
   std::vector<std::pair<std::string, ct::TreeHead>> ct_sths() const;
@@ -182,14 +240,30 @@ class ServiceState {
   const ct::Monitor* ct_monitor() const { return ct_monitor_.get(); }
 
  private:
-  void refresh_analysis_locked();
-  /// Parses + folds one batch under the exclusive lock (shared by live
+  /// Counts live/published snapshots and mirrors them into the attached
+  /// telemetry. Shared by the state and every snapshot's deleter, so a
+  /// release on a reader thread (after the state moved on, or even after it
+  /// died) still lands: the control block outlives both.
+  struct SnapshotTracker {
+    std::atomic<std::int64_t> live{0};
+    std::atomic<std::uint64_t> published{0};
+    std::mutex mutex;                    // guards telemetry (attach/detach)
+    SyncTelemetry* telemetry = nullptr;  // nullptr = detached
+
+    void on_publish();
+    void on_release();
+  };
+
+  /// Builds the analyzed snapshot of the current writer-side corpus and
+  /// publishes it (single atomic store). Caller holds writer_mutex_.
+  void publish_analysis_locked();
+  /// Parses + folds one batch under the writer mutex (shared by live
   /// appends and WAL replay, so both produce identical corpus states).
-  /// `refresh` defers the re-analysis during replay, where one pass at the
-  /// end suffices.
+  /// `publish` defers the re-analysis + publication during replay, where
+  /// one pass at the end suffices.
   AppendResult fold_batch_locked(const std::vector<std::string>& ssl_rows,
                                  const std::vector<std::string>& x509_rows,
-                                 bool refresh);
+                                 bool publish);
   /// Writes the compaction snapshot and resets the WAL. Best-effort: a
   /// failed compaction leaves the WAL intact, so recovery still works — it
   /// just replays more.
@@ -205,14 +279,17 @@ class ServiceState {
   core::StudyPipeline pipeline_;
   std::unique_ptr<ct::Monitor> ct_monitor_;
 
-  mutable std::shared_mutex mutex_;
+  // --- read side: the published snapshot ----------------------------------
+  std::atomic<SnapshotPtr> snapshot_;
+  std::shared_ptr<SnapshotTracker> tracker_;
+
+  // --- write side (all guarded by writer_mutex_) ---------------------------
+  mutable std::mutex writer_mutex_;
   zeek::LogJoiner joiner_;          // grows across appends
   core::CorpusIndex corpus_;
-  core::StudyReport report_;        // warm analysis of corpus_
-  chain::InterceptionIssuerSet interception_issuers_;
   std::uint64_t generation_ = 0;    // bumps on every successful append
 
-  // --- durability (all guarded by mutex_ once serving starts) -------------
+  // --- durability (guarded by writer_mutex_ once serving starts) -----------
   WriteAheadLog wal_;
   bool durable_ = false;
   std::size_t snapshot_every_ = 0;

@@ -2,11 +2,26 @@
 //
 // obs::RunContext and MetricsRegistry are deliberately single-threaded (the
 // batch pipeline merges shard-local registries at barriers instead of
-// locking, DESIGN.md §10). A server has no barriers — connection threads and
+// locking, DESIGN.md §10). A server has no barriers — the event loop and
 // request workers record concurrently — so the svc layer funnels every
 // update through this small mutex-guarded wrapper. Request handling is
 // milliseconds of work per lock acquisition; the lock is not a bottleneck
 // at the queue depths the admission control allows.
+//
+// Serving metric families recorded through this facade (DESIGN.md §15):
+//
+//   stage.svc.requests.{in,admitted,dropped}  admission triple (reconciles)
+//   svc.endpoint.<name>.{requests,errors,ms}  per-endpoint outcomes/latency
+//   svc.connections.{accepted,rejected,closed,stalled_closed,idle_closed}
+//   svc.connections.active                    gauge
+//   svc.snapshot.published                    RCU generations published
+//   svc.snapshot.live                         gauge: snapshots not yet freed
+//                                             (1 when quiescent; >1 while
+//                                             readers pin old generations)
+//   svc.eventloop.wakeups                     poller returns with ready events
+//   svc.eventloop.completions                 worker responses routed back
+//   svc.eventloop.partial_writes              flushes that left bytes queued
+//                                             (peer socket buffer full)
 #pragma once
 
 #include <cstdint>

@@ -6,8 +6,13 @@
 // server or leak its connection slots.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "../tests/helpers.hpp"
@@ -281,6 +286,106 @@ TEST_F(SvcProtocolServerTest, MissingFieldsGetBadPayload) {
   EXPECT_EQ(empty_append->error, ErrorCode::kBadPayload);
 }
 
+TEST_F(SvcProtocolServerTest, PipelinedRequestsAnswerInArrivalOrder) {
+  // Four frames in one write: two served by workers, one answered by the
+  // event loop itself (the recoverable bad-type error), one more worker
+  // frame. The per-connection sequence machinery must interleave
+  // loop-emitted errors and worker completions back into arrival order.
+  svc::Client client = connect();
+  std::string bad_type = svc::encode_frame(MessageType::kPing, "{}");
+  bad_type[5] = 0x42;
+  const std::string wire = svc::encode_frame(MessageType::kPing, "{}") +
+                           bad_type +
+                           svc::encode_frame(MessageType::kMetrics, "{}") +
+                           svc::encode_frame(MessageType::kPing, "{}");
+  ASSERT_TRUE(client.send_raw(wire));
+
+  const MessageType expected[] = {MessageType::kPingOk, MessageType::kError,
+                                  MessageType::kMetricsOk,
+                                  MessageType::kPingOk};
+  for (const MessageType want : expected) {
+    const auto reply = client.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, want);
+    if (want == MessageType::kError) {
+      EXPECT_EQ(error_code_of(reply->payload), ErrorCode::kBadType);
+    }
+  }
+}
+
+TEST_F(SvcProtocolServerTest, ByteAtATimeDeliveryStillAnswersInOrder) {
+  // The peer dribbles two pipelined requests one byte at a time with pauses,
+  // so the loop sees dozens of partial reads and must resume the frame
+  // decoder mid-header and mid-payload every time.
+  svc::Client client = connect();
+  const std::string wire =
+      svc::encode_frame(MessageType::kPing, "{\"dribbled\":true}") +
+      svc::encode_frame(MessageType::kMetrics, "");
+  for (std::size_t at = 0; at < wire.size(); ++at) {
+    ASSERT_TRUE(client.send_raw(std::string_view(wire).substr(at, 1)));
+    if (at % 5 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto pong = client.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, MessageType::kPingOk);
+  const auto metrics = client.read_frame();
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->type, MessageType::kMetricsOk);
+}
+
+TEST_F(SvcProtocolServerTest,
+       MidPayloadStallGetsDeadlineExceededWhileOthersKeepServing) {
+  // One connection stalls halfway through a declared payload; a healthy
+  // connection pings throughout. The stalled peer earns a typed
+  // DEADLINE_EXCEEDED and a close; the healthy one never notices.
+  svc::SyncTelemetry stall_telemetry;
+  svc::ServerOptions options;
+  options.workers = 2;
+  options.request_deadline_ms = 120;
+  svc::Server server(*state_, stall_telemetry, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  svc::Client healthy;
+  ASSERT_TRUE(healthy.connect("127.0.0.1", server.port(), &error)) << error;
+  svc::Client staller;
+  staller.set_timeout_ms(2000);
+  ASSERT_TRUE(staller.connect("127.0.0.1", server.port(), &error)) << error;
+
+  const std::string wire =
+      svc::encode_frame(MessageType::kPing, "{\"stalled\":true}");
+  ASSERT_TRUE(staller.send_raw(
+      std::string_view(wire).substr(0, svc::kHeaderBytes + 4)));
+
+  std::atomic<bool> stop_pinging{false};
+  std::thread pinger([&] {
+    while (!stop_pinging.load()) {
+      const auto pong = healthy.ping();
+      ASSERT_TRUE(pong.has_value());
+      EXPECT_TRUE(pong->ok);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  const auto reply = staller.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MessageType::kError);
+  EXPECT_EQ(error_code_of(reply->payload), ErrorCode::kDeadlineExceeded);
+  EXPECT_FALSE(staller.read_frame().has_value());  // then the close
+
+  stop_pinging.store(true);
+  pinger.join();
+  EXPECT_EQ(stall_telemetry.counter("svc.connections.stalled_closed"), 1u);
+  // The stalled frame never completed, so it never entered the admission
+  // triple; everything that did was a healthy ping.
+  EXPECT_EQ(stall_telemetry.counter("stage.svc.requests.in"),
+            stall_telemetry.counter("stage.svc.requests.admitted"));
+  server.request_stop();
+  server.wait();
+}
+
 TEST_F(SvcProtocolServerTest, DamageStormNeverKillsTheServer) {
   // A burst of independently damaged connections; afterwards the server
   // still answers and its accounting still reconciles.
@@ -314,8 +419,11 @@ TEST_F(SvcProtocolServerTest, SeededRandomFrameCorpusNeverCrashesOrHangs) {
   // A seeded corpus of damaged wire bytes — truncated frames, lied-about
   // lengths, single bit flips, pure garbage — against a server with a short
   // request deadline, so even a valid-prefix-then-silence frame resolves
-  // quickly. Every connection must end in a typed error frame, a real
-  // response, or a clean close; never a crash, never an unbounded hang.
+  // quickly. Every third connection dribbles its bytes in 1-3 byte chunks
+  // with pauses (partial writes landing mid-header and mid-payload), so the
+  // same damage also exercises the event loop's incremental decode path.
+  // Every connection must end in a typed error frame, a real response, or a
+  // clean close; never a crash, never an unbounded hang.
   svc::SyncTelemetry fuzz_telemetry;
   svc::ServerOptions options;
   options.workers = 2;
@@ -351,7 +459,21 @@ TEST_F(SvcProtocolServerTest, SeededRandomFrameCorpusNeverCrashesOrHangs) {
     svc::Client client;
     client.set_timeout_ms(500);  // bounds each read; a hang fails the test
     ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error)) << error;
-    if (!wire.empty()) client.send_raw(wire);
+    if (i % 3 == 0) {
+      for (std::size_t at = 0; at < wire.size();) {
+        const std::size_t end =
+            std::min(wire.size(), at + 1 + rng.next_below(3));
+        if (!client.send_raw(std::string_view(wire).substr(at, end - at))) {
+          break;  // server already hung up on provable damage — fine
+        }
+        at = end;
+        if (at % 8 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    } else if (!wire.empty()) {
+      client.send_raw(wire);
+    }
     // Drain whatever comes back: every frame must be decodable, and every
     // error frame must carry a recognized typed code slug.
     for (int reads = 0; reads < 3; ++reads) {

@@ -13,9 +13,12 @@
 //  * drain — kShutdown answers, then the server drains and refuses new work.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -535,6 +538,214 @@ TEST_F(SvcServerTest, CtMonitorStatusBeforeAndAfterArming) {
               ct_logs.log(i).size());
   }
   expect_triple_reconciles();
+}
+
+/// The handler's "totals" section selection, mirrored exactly: only the
+/// totals block renders.
+core::ReportTextOptions totals_only_options() {
+  core::ReportTextOptions options;
+  options.totals = true;
+  options.categories = false;
+  options.interception = false;
+  options.hybrid = false;
+  options.non_public = false;
+  options.ct_compliance = false;
+  options.graphs = false;
+  options.data_quality = false;
+  return options;
+}
+
+// The RCU linearizability contract (ISSUE 8 satellite): while a writer
+// streams ingest_append batches, every concurrently served report_section
+// response must be byte-identical to what a quiet replay of the same append
+// schedule renders AT THAT RESPONSE'S GENERATION — i.e. responses are never
+// torn across a publish, never mix generations, and every observer's
+// generation sequence is monotone. The expected per-generation bytes come
+// from an offline ServiceState fed the identical batches up front.
+TEST_F(SvcServerTest, ConcurrentReadsAreByteIdenticalToTheirGenerationsBatchRun) {
+  const std::size_t half = logs_->ssl.size() / 2;
+  constexpr std::size_t kBatch = 40;
+
+  // Offline oracle: replay the exact append schedule, capture every
+  // generation's "totals" bytes. Generation g == expected[g].
+  std::vector<std::vector<std::string>> batches;
+  for (std::size_t begin = half; begin < logs_->ssl.size(); begin += kBatch) {
+    const std::size_t end = std::min(begin + kBatch, logs_->ssl.size());
+    std::vector<std::string> rows;
+    for (std::size_t i = begin; i < end; ++i) {
+      rows.push_back(ssl_row(logs_->ssl[i]));
+    }
+    batches.push_back(std::move(rows));
+  }
+  std::vector<std::string> expected;
+  {
+    svc::ServiceState oracle(scenario_->world.stores(),
+                             scenario_->world.ct_logs(), scenario_->vendors,
+                             &scenario_->world.cross_signs());
+    std::vector<zeek::SslLogRecord> initial(
+        logs_->ssl.begin(),
+        logs_->ssl.begin() + static_cast<std::ptrdiff_t>(half));
+    oracle.load(initial, logs_->x509);
+    expected.push_back(oracle.report_section(totals_only_options()));
+    for (const std::vector<std::string>& rows : batches) {
+      oracle.ingest_append(rows, {});
+      expected.push_back(oracle.report_section(totals_only_options()));
+    }
+  }
+
+  svc::ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 256;
+  start_server(half, options);
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kRequestsPerThread = 30;
+  std::atomic<int> failures{0};
+  std::mutex diagnosis_mutex;
+  std::string diagnosis;
+  const auto report_failure = [&](const std::string& what) {
+    failures.fetch_add(1);
+    std::lock_guard<std::mutex> lock(diagnosis_mutex);
+    if (diagnosis.empty()) diagnosis = what;
+  };
+
+  std::thread writer([&] {
+    svc::Client client = connect();
+    for (const std::vector<std::string>& rows : batches) {
+      const auto response = client.ingest_append(rows, {});
+      if (!response.has_value() || !response->ok) {
+        report_failure("ingest_append failed mid-stream");
+      }
+    }
+  });
+
+  const std::string issuer_dn = "CN=Test Issuing CA,O=TestPKI,C=US";
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&, t] {
+      svc::Client client = connect();  // one connection = one observer
+      std::uint64_t last_generation = 0;
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        if ((t + i) % 4 == 3) {
+          // classify_issuer answers from immutable stores: generation-free,
+          // but it must keep answering mid-publish without a hiccup.
+          const auto response = client.classify_issuer(issuer_dn);
+          if (!response.has_value() || !response->ok) {
+            report_failure("classify_issuer failed under writer stress");
+          }
+          continue;
+        }
+        const auto response = client.report_section("totals");
+        if (!response.has_value() || !response->ok) {
+          report_failure("report_section failed under writer stress");
+          continue;
+        }
+        const obs::json::Value* generation =
+            response->payload.find("generation");
+        const obs::json::Value* text = response->payload.find("text");
+        if (generation == nullptr || text == nullptr) {
+          report_failure("response missing generation/text");
+          continue;
+        }
+        const std::uint64_t g = static_cast<std::uint64_t>(generation->num);
+        if (g < last_generation) {
+          report_failure("generation ran backwards for one observer");
+          continue;
+        }
+        last_generation = g;
+        if (g >= expected.size()) {
+          report_failure("generation beyond the append schedule");
+          continue;
+        }
+        // The heart of the test: bytes must match generation g's quiet
+        // replay exactly. A torn read (text from one generation, stamp from
+        // another) or a half-published analysis cannot pass this.
+        if (text->string != expected[g]) {
+          report_failure("generation " + std::to_string(g) +
+                         " rendered bytes differ from its batch replay");
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& thread : readers) thread.join();
+  EXPECT_EQ(failures.load(), 0) << diagnosis;
+
+  // Converged: the final generation's bytes are the full batch fold's bytes.
+  svc::Client client = connect();
+  const auto final_totals = client.report_section("totals");
+  ASSERT_TRUE(final_totals.has_value());
+  ASSERT_TRUE(final_totals->ok);
+  EXPECT_EQ(final_totals->payload.find("text")->string, expected.back());
+  EXPECT_EQ(uint_field(final_totals->payload, "generation"),
+            static_cast<std::uint64_t>(batches.size()));
+  expect_triple_reconciles();
+}
+
+// Snapshot pinning (ISSUE 8 satellite): a slow reader holding generation G's
+// snapshot keeps rendering G's exact bytes while the writer publishes
+// G+1..G+k; superseded generations are freed as soon as nobody holds them,
+// observed through live_snapshots() and the svc.snapshot.live gauge.
+TEST_F(SvcServerTest, SlowReaderPinsItsGenerationUntilReleased) {
+  const std::size_t half = logs_->ssl.size() / 2;
+  std::vector<zeek::SslLogRecord> initial(
+      logs_->ssl.begin(),
+      logs_->ssl.begin() + static_cast<std::ptrdiff_t>(half));
+
+  svc::ServiceState state(scenario_->world.stores(), scenario_->world.ct_logs(),
+                          scenario_->vendors, &scenario_->world.cross_signs());
+  svc::SyncTelemetry telemetry;
+  state.attach_telemetry(&telemetry);
+  state.load(initial, logs_->x509);
+  EXPECT_EQ(state.live_snapshots(), 1);
+  EXPECT_EQ(telemetry.gauge("svc.snapshot.live"), 1.0);
+  const std::uint64_t published_after_load = state.snapshots_published();
+
+  // The slow reader grabs generation 0 and sits on it.
+  svc::ServiceState::SnapshotPtr pinned = state.acquire_snapshot();
+  EXPECT_EQ(pinned->generation, 0u);
+  const std::string pinned_bytes =
+      core::render_report_text(pinned->report, totals_only_options());
+  EXPECT_EQ(state.live_snapshots(), 1) << "pinning the current snapshot "
+                                          "creates no extra generation";
+
+  // The writer publishes k newer generations underneath it.
+  constexpr std::size_t kBatch = 40;
+  constexpr std::size_t kPublishes = 3;
+  std::size_t begin = half;
+  for (std::size_t k = 0; k < kPublishes; ++k) {
+    const std::size_t end = std::min(begin + kBatch, logs_->ssl.size());
+    std::vector<std::string> rows;
+    for (std::size_t i = begin; i < end; ++i) {
+      rows.push_back(ssl_row(logs_->ssl[i]));
+    }
+    begin = end;
+    state.ingest_append(rows, {});
+  }
+  EXPECT_EQ(state.generation(), kPublishes);
+  EXPECT_EQ(state.snapshots_published(), published_after_load + kPublishes);
+
+  // The pinned snapshot is untouched — same generation, same bytes — while
+  // fresh acquisitions already see the new world.
+  EXPECT_EQ(pinned->generation, 0u);
+  EXPECT_EQ(core::render_report_text(pinned->report, totals_only_options()),
+            pinned_bytes);
+  EXPECT_NE(state.report_section(totals_only_options()), pinned_bytes);
+
+  // Exactly two generations are alive: the current one and the pinned one.
+  // The intermediates (G+1..G+k-1) died the moment they were superseded.
+  EXPECT_EQ(state.live_snapshots(), 2);
+  EXPECT_EQ(telemetry.gauge("svc.snapshot.live"), 2.0);
+
+  // The last reader dropping generation 0 frees it on the spot.
+  pinned.reset();
+  EXPECT_EQ(state.live_snapshots(), 1);
+  EXPECT_EQ(telemetry.gauge("svc.snapshot.live"), 1.0);
+  EXPECT_EQ(telemetry.counter("svc.snapshot.published"),
+            published_after_load + kPublishes);
+
+  state.attach_telemetry(nullptr);
 }
 
 TEST_F(SvcServerTest, IdleConnectionIsClosedQuietly) {

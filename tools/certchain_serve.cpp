@@ -4,13 +4,17 @@
 //   certchain-serve [options] <ssl.log> <x509.log>
 //   certchain-serve --demo [options]
 //
-// Loads the corpus once, keeps the analyzed state warm (CorpusIndex, trust
-// classification, interception verdicts, the full StudyReport), then answers
-// certchain.svc.wire queries on a loopback TCP socket: classify_issuer,
-// categorize_chain, report_section, ingest_append, metrics, ping, shutdown.
-// Query results are byte-identical to a batch certchain-analyze run over the
-// same records — the server folds and analyzes through the very same
-// pipeline code.
+// Loads the corpus once, keeps the analyzed state warm as an immutable RCU
+// snapshot (CorpusIndex fold, trust classification, interception verdicts,
+// the full StudyReport — republished atomically on every append, DESIGN.md
+// §15), then answers certchain.svc.wire queries on a loopback TCP socket:
+// classify_issuer, categorize_chain, report_section, ingest_append, metrics,
+// ping, shutdown. Reads take no lock — every query answers from one
+// generation's snapshot — and all sockets are owned by a single epoll/poll
+// event loop, so thousands of connections cost no extra threads. Query
+// results are byte-identical to a batch certchain-analyze run over the same
+// records — the server folds and analyzes through the very same pipeline
+// code.
 //
 // With --wal the daemon is crash-recoverable: every ingest_append commits to
 // a write-ahead log before folding, --snapshot-every bounds replay cost via
@@ -325,6 +329,12 @@ int main(int argc, char** argv) {
   }
   std::printf("listening on 127.0.0.1:%u\n", server.port());
   std::fflush(stdout);
+  std::fprintf(stderr,
+               "event loop: %s backend, %zu request workers, "
+               "%zu-connection cap\n",
+               svc::Poller::backend(),
+               par::resolve_threads(server_options.workers),
+               server_options.max_connections);
 
   // SIGTERM/SIGINT start the same graceful drain a kShutdown request does.
   int signal_pipe[2];
