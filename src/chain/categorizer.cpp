@@ -34,6 +34,39 @@ ChainCategory categorize_chain(const CertificateChain& chain,
   return ChainCategory::kNonPublicDbOnly;
 }
 
+std::set<core::DnId> issuer_ids_for(const InterceptionIssuerSet& issuers,
+                                    const core::DnPool& pool) {
+  std::set<core::DnId> ids;
+  for (const std::string& canonical : issuers) {
+    const core::DnId id = pool.find_canonical(canonical);
+    if (id != core::kInvalidDnId) ids.insert(id);
+  }
+  return ids;
+}
+
+ChainCategory categorize_chain(const CertificateChain& chain,
+                               truststore::IssuerClassifier& classifier,
+                               const InterceptionIssuerSet& interception_issuers,
+                               const std::set<core::DnId>& interception_issuer_ids) {
+  bool any_public = false;
+  bool any_non_public = false;
+  for (const x509::Certificate& cert : chain) {
+    const bool intercepted =
+        cert.issuer_id != core::kInvalidDnId
+            ? interception_issuer_ids.contains(cert.issuer_id)
+            : interception_issuers.contains(cert.issuer.canonical());
+    if (intercepted) return ChainCategory::kTlsInterception;
+    if (classifier.classify(cert) == IssuerClass::kPublicDb) {
+      any_public = true;
+    } else {
+      any_non_public = true;
+    }
+  }
+  if (any_public && any_non_public) return ChainCategory::kHybrid;
+  if (any_public) return ChainCategory::kPublicDbOnly;
+  return ChainCategory::kNonPublicDbOnly;
+}
+
 std::string_view hybrid_structure_name(HybridStructure structure) {
   switch (structure) {
     case HybridStructure::kCompleteNonPubToPub:

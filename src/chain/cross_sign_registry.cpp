@@ -7,7 +7,7 @@ void CrossSignRegistry::add_pair(const x509::DistinguishedName& issuer,
   pairs_.emplace(issuer.canonical(), subject.canonical());
 }
 
-const std::string* CrossSignRegistry::find_root(const std::string& canonical) const {
+const std::string* CrossSignRegistry::find_root(std::string_view canonical) const {
   auto it = parent_.find(canonical);
   if (it == parent_.end()) return nullptr;
   while (it->second != it->first) {
@@ -20,8 +20,8 @@ const std::string* CrossSignRegistry::find_root(const std::string& canonical) co
 
 void CrossSignRegistry::add_equivalence(const x509::DistinguishedName& a,
                                         const x509::DistinguishedName& b) {
-  const std::string ca = a.canonical();
-  const std::string cb = b.canonical();
+  const std::string& ca = a.canonical();
+  const std::string& cb = b.canonical();
   parent_.try_emplace(ca, ca);
   parent_.try_emplace(cb, cb);
   const std::string* root_a = find_root(ca);
@@ -43,9 +43,9 @@ std::size_t CrossSignRegistry::equivalence_count() const {
 
 bool CrossSignRegistry::covers(const x509::DistinguishedName& issuer,
                                const x509::DistinguishedName& subject) const {
-  const std::string ci = issuer.canonical();
-  const std::string cs = subject.canonical();
-  if (pairs_.contains({ci, cs})) return true;
+  const std::string_view ci = issuer.canonical();
+  const std::string_view cs = subject.canonical();
+  if (pairs_.find(std::make_pair(ci, cs)) != pairs_.end()) return true;
   const std::string* root_i = find_root(ci);
   const std::string* root_s = find_root(cs);
   return root_i != nullptr && root_s != nullptr && *root_i == *root_s;

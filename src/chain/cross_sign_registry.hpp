@@ -12,6 +12,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "x509/distinguished_name.hpp"
@@ -49,12 +50,28 @@ class CrossSignRegistry {
   }
 
  private:
-  const std::string* find_root(const std::string& canonical) const;
+  const std::string* find_root(std::string_view canonical) const;
 
-  std::set<std::pair<std::string, std::string>> pairs_;
+  /// Transparent lexicographic compare over (DN, DN) pairs: std::pair has no
+  /// heterogeneous operator<, so covers() could not otherwise probe with a
+  /// pair of string_views.
+  struct PairLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      const std::string_view a_first = a.first, a_second = a.second;
+      const std::string_view b_first = b.first, b_second = b.second;
+      if (a_first != b_first) return a_first < b_first;
+      return a_second < b_second;
+    }
+  };
+
+  // Transparent comparators: covers() probes with the certificates' cached
+  // canonical forms without building key strings or pairs of them.
+  std::set<std::pair<std::string, std::string>, PairLess> pairs_;
   // Union-find over canonical DNs, path-compressed on mutation only (lookup
   // is const); groups are tiny so the linear find is fine.
-  std::map<std::string, std::string> parent_;
+  std::map<std::string, std::string, std::less<>> parent_;
 };
 
 }  // namespace certchain::chain

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "util/hash.hpp"
+
 namespace certchain::core {
 
 namespace {
@@ -34,6 +36,31 @@ bool read_string_set(const obs::json::Value& object, const char* key,
   return true;
 }
 
+/// The per-connection usage tail shared by both fold entry points: first/last
+/// seen, establishment, client/server endpoints, SNI. Must stay the single
+/// definition so the fused path cannot drift from add(JoinedConnection).
+void fold_usage(ChainObservation& observation, const zeek::SslLogRecord& ssl) {
+  if (observation.connections == 0) {
+    observation.first_seen = ssl.ts;
+    observation.last_seen = ssl.ts;
+  } else {
+    observation.first_seen = std::min(observation.first_seen, ssl.ts);
+    observation.last_seen = std::max(observation.last_seen, ssl.ts);
+  }
+  ++observation.connections;
+  if (ssl.established) ++observation.established;
+  observation.client_ips.insert(ssl.id_orig_h);
+  observation.server_keys.insert(ssl.id_resp_h + ":" +
+                                 std::to_string(ssl.id_resp_p));
+  observation.ports.add(ssl.id_resp_p);
+  if (ssl.server_name.empty()) {
+    ++observation.without_sni;
+  } else {
+    ++observation.with_sni;
+    observation.domains.insert(ssl.server_name);
+  }
+}
+
 }  // namespace
 
 void CorpusIndex::add(const zeek::JoinedConnection& connection) {
@@ -50,26 +77,87 @@ void CorpusIndex::add(const zeek::JoinedConnection& connection) {
   }
 
   ChainObservation& observation = chains_[connection.chain.id()];
+  if (observation.connections == 0) observation.chain = connection.chain;
+  fold_usage(observation, connection.ssl);
+}
+
+void CorpusIndex::add(const zeek::LogJoiner& joiner,
+                      const zeek::SslLogRecord& ssl) {
+  ++totals_.connections;
+  if (ssl.version == "TLSv13") ++totals_.tls13_connections;
+
+  // The memo is only valid against the joiner state it was built from: the
+  // joiner grows over time, and growth can resolve a previously-missing fuid.
+  if (fold_joiner_ != &joiner ||
+      fold_joiner_size_ != joiner.certificate_count()) {
+    fold_memo_.clear();
+    fold_joiner_ = &joiner;
+    fold_joiner_size_ = joiner.certificate_count();
+  }
+
+  fold_key_.clear();
+  for (const std::string& fuid : ssl.cert_chain_fuids) {
+    fold_key_.append(fuid);
+    fold_key_.push_back('\0');  // fuids are printable; NUL cannot collide
+  }
+
+  FoldMemoEntry entry;
+  const auto memo_it = fold_memo_.find(std::string_view(fold_key_));
+  if (memo_it != fold_memo_.end()) {
+    entry = memo_it->second;
+  } else {
+    entry.observation = resolve_and_register(joiner, ssl, entry.missing);
+    fold_memo_.emplace(fold_key_, entry);
+  }
+
+  if (entry.missing) ++totals_.incomplete_joins;
+  if (entry.observation == nullptr) return;  // no fuid resolved: totals only
+  ++totals_.with_certificates;
+  fold_usage(*entry.observation, ssl);
+}
+
+ChainObservation* CorpusIndex::resolve_and_register(
+    const zeek::LogJoiner& joiner, const zeek::SslLogRecord& ssl,
+    bool& missing) {
+  const std::map<std::string, x509::Certificate>& by_fuid =
+      joiner.certificates();
+  fold_certs_.clear();
+  for (const std::string& fuid : ssl.cert_chain_fuids) {
+    const auto it = by_fuid.find(fuid);
+    if (it == by_fuid.end()) {
+      missing = true;
+    } else {
+      fold_certs_.push_back(&it->second);
+    }
+  }
+  if (fold_certs_.empty()) return nullptr;
+
+  fold_id_bytes_.clear();
+  for (const x509::Certificate* cert : fold_certs_) {
+    // Joiner-built certificates are fingerprint-sealed, so this is a memo
+    // read; the fallback recomputes for certificates that never were.
+    const std::string& fingerprint =
+        cert->fingerprint_memo.empty() ? (fold_fingerprint_ = cert->fingerprint())
+                                       : cert->fingerprint_memo;
+    if (certificate_fingerprints_.insert(fingerprint).second) {
+      ++totals_.distinct_certificates;
+    }
+    // Mirrors CertificateChain::id() byte for byte: same bytes, same digest,
+    // same chain identity as the copying path.
+    fold_id_bytes_.append(fingerprint);
+    fold_id_bytes_.push_back('|');
+  }
+
+  ChainObservation& observation = chains_[util::digest256_hex(fold_id_bytes_)];
   if (observation.connections == 0) {
-    observation.chain = connection.chain;
-    observation.first_seen = connection.ssl.ts;
-    observation.last_seen = connection.ssl.ts;
-  } else {
-    observation.first_seen = std::min(observation.first_seen, connection.ssl.ts);
-    observation.last_seen = std::max(observation.last_seen, connection.ssl.ts);
+    // First observation of this chain id: the one place the certificates are
+    // deep-copied (once per unique chain, not once per connection).
+    std::vector<x509::Certificate> certs;
+    certs.reserve(fold_certs_.size());
+    for (const x509::Certificate* cert : fold_certs_) certs.push_back(*cert);
+    observation.chain = chain::CertificateChain(std::move(certs));
   }
-  ++observation.connections;
-  if (connection.ssl.established) ++observation.established;
-  observation.client_ips.insert(connection.ssl.id_orig_h);
-  observation.server_keys.insert(connection.ssl.id_resp_h + ":" +
-                                 std::to_string(connection.ssl.id_resp_p));
-  observation.ports.add(connection.ssl.id_resp_p);
-  if (connection.ssl.server_name.empty()) {
-    ++observation.without_sni;
-  } else {
-    ++observation.with_sni;
-    observation.domains.insert(connection.ssl.server_name);
-  }
+  return &observation;
 }
 
 void CorpusIndex::add_all(const std::vector<zeek::JoinedConnection>& connections) {
@@ -102,6 +190,7 @@ void CorpusIndex::merge_from(CorpusIndex&& other) {
   }
   other.chains_.clear();
   other.totals_ = CorpusTotals{};
+  other.reset_fold_memo();  // its memo pointed into the map just cleared
 }
 
 void CorpusIndex::write_snapshot(obs::json::Writer& writer) const {
@@ -177,6 +266,7 @@ bool CorpusIndex::restore_snapshot(
     chains_.clear();
     certificate_fingerprints_.clear();
     totals_ = CorpusTotals{};
+    reset_fold_memo();
     if (error != nullptr) *error = message;
     return false;
   };
@@ -184,6 +274,7 @@ bool CorpusIndex::restore_snapshot(
   chains_.clear();
   certificate_fingerprints_.clear();
   totals_ = CorpusTotals{};
+  reset_fold_memo();
   if (!value.is_object()) return fail("corpus snapshot is not an object");
 
   const obs::json::Value* totals = value.find("totals");

@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "chain/chain.hpp"
@@ -56,10 +59,36 @@ struct CorpusTotals {
 
 class CorpusIndex {
  public:
+  CorpusIndex() = default;
+  // The fold memo points into chains_: map nodes survive moves, so the
+  // defaulted moves are sound, but a copy must not inherit pointers into the
+  // source — copies start with a cold memo.
+  CorpusIndex(const CorpusIndex& other)
+      : chains_(other.chains_),
+        certificate_fingerprints_(other.certificate_fingerprints_),
+        totals_(other.totals_) {}
+  CorpusIndex& operator=(const CorpusIndex& other) {
+    chains_ = other.chains_;
+    certificate_fingerprints_ = other.certificate_fingerprints_;
+    totals_ = other.totals_;
+    reset_fold_memo();
+    return *this;
+  }
+  CorpusIndex(CorpusIndex&&) = default;
+  CorpusIndex& operator=(CorpusIndex&&) = default;
+
   /// Folds connections in. Connections without certificates (TLS 1.3,
   /// resumed) contribute to totals only.
   void add(const zeek::JoinedConnection& connection);
   void add_all(const std::vector<zeek::JoinedConnection>& connections);
+
+  /// Fused join+fold — the hot ingest path (DESIGN.md §16). Resolves the
+  /// row's fuids against the joiner and folds the connection in place:
+  /// no JoinedConnection is materialized, so the SSL record and the
+  /// certificates are never copied per row; a chain is deep-copied exactly
+  /// once, when its id is first observed. Byte-identical in effect to
+  /// add(joiner.join(ssl)).
+  void add(const zeek::LogJoiner& joiner, const zeek::SslLogRecord& ssl);
 
   /// Folds another index in, destructively. Every per-chain and corpus-wide
   /// field is an order-independent reduction (sums, set unions, min/max over
@@ -98,6 +127,47 @@ class CorpusIndex {
   std::map<std::string, ChainObservation> chains_;  // by chain id
   std::set<std::string> certificate_fingerprints_;
   CorpusTotals totals_;
+
+  /// Slow half of the fused fold: resolves fuids, digests the chain id, and
+  /// registers the chain — runs once per distinct fuid list, not per row.
+  ChainObservation* resolve_and_register(const zeek::LogJoiner& joiner,
+                                         const zeek::SslLogRecord& ssl,
+                                         bool& missing);
+
+  void reset_fold_memo() {
+    fold_memo_.clear();
+    fold_joiner_ = nullptr;
+    fold_joiner_size_ = 0;
+  }
+
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view text) const {
+      return std::hash<std::string_view>{}(text);
+    }
+  };
+  /// What one fuid list folds to under the current joiner: the chain's
+  /// observation slot (nullptr when no fuid resolved) and whether any fuid
+  /// was missing. ChainObservation pointers are std::map nodes — stable.
+  struct FoldMemoEntry {
+    ChainObservation* observation = nullptr;
+    bool missing = false;
+  };
+
+  // Scratch reused across fused add(joiner, ssl) calls so the per-row fold
+  // stays allocation-free (one CorpusIndex is only ever fed from one thread).
+  std::vector<const x509::Certificate*> fold_certs_;
+  std::string fold_id_bytes_;
+  std::string fold_fingerprint_;
+  std::string fold_key_;
+  // Fuid-list memo, valid only for one (joiner, certificate_count) snapshot:
+  // the joiner can grow between folds (svc appends X509 rows incrementally),
+  // and growth can turn a missing fuid into a resolved one.
+  const zeek::LogJoiner* fold_joiner_ = nullptr;
+  std::size_t fold_joiner_size_ = 0;
+  std::unordered_map<std::string, FoldMemoEntry, TransparentHash,
+                     std::equal_to<>>
+      fold_memo_;
 };
 
 }  // namespace certchain::core

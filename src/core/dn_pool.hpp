@@ -1,0 +1,154 @@
+// The interned-DN pool and the Dn handle (DESIGN.md §16).
+//
+// Every distinguished name the ingest path sees is canonicalized exactly
+// once — at intern time — and mapped to a dense DnId. From then on
+// classification, chain categorization, interception lookups, and corpus
+// merges compare 32-bit ids instead of re-canonicalizing strings.
+//
+// Two intern entry points serve the two ingest shapes:
+//
+//   intern(raw)    raw RFC 4514 bytes from a log field. A raw-bytes memo
+//                  (arena-backed keys) skips DN parsing entirely when the
+//                  same spelling recurs — the common case, since X509 rows
+//                  repeat a small set of issuers thousands of times. A
+//                  malformed DN degrades to a single CN=<raw> RDN, byte-for-
+//                  byte the lenient behaviour the joiner always had.
+//   intern(name)   an already-parsed DistinguishedName, keyed by its
+//                  canonical form.
+//
+// Ids are pool-local. The sharded parallel engine gives each shard its own
+// pool and merges them with absorb(), which returns an old-id -> new-id map
+// the merge loop applies to the shard's records — the id-remap merge
+// protocol that keeps parallel runs byte-identical to serial ones.
+//
+// Distinct spellings that canonicalize equally ("CN=Example" vs
+// "cn=example") share one id but keep their own parsed form: name_for_raw()
+// returns the parse of *those* bytes, so certificates built through the pool
+// render exactly as they would without it (byte-identity of reports).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dn_id.hpp"
+#include "x509/distinguished_name.hpp"
+
+namespace certchain::core {
+
+class DnPool {
+ public:
+  DnPool() = default;
+  DnPool(const DnPool&) = delete;
+  DnPool& operator=(const DnPool&) = delete;
+  DnPool(DnPool&&) = default;
+  DnPool& operator=(DnPool&&) = default;
+
+  /// Id plus the parse of exactly one raw spelling. For a spelling that
+  /// collides canonically with an earlier entry, `name` is the variant parse
+  /// of *these* bytes, not the pool entry — display fidelity is preserved.
+  struct Interned {
+    DnId id = kInvalidDnId;
+    const x509::DistinguishedName* name = nullptr;
+  };
+
+  /// Interns the raw RFC 4514 text of one log field (lenient). Repeated
+  /// spellings hit the raw-bytes memo and never touch the parser.
+  DnId intern(std::string_view raw) { return intern_raw(raw).id; }
+
+  /// Interns an already-parsed DN by canonical form.
+  DnId intern(const x509::DistinguishedName& name);
+
+  /// Raw-bytes intern returning both the id and the spelling's parse — the
+  /// joiner's entry point (one hash lookup covers both).
+  Interned intern_raw(std::string_view raw);
+
+  /// The parse of exactly these raw bytes (interning them if new).
+  const x509::DistinguishedName& name_for_raw(std::string_view raw) {
+    return *intern_raw(raw).name;
+  }
+
+  /// Id for a canonical form already present, or kInvalidDnId.
+  DnId find_canonical(std::string_view canonical) const;
+
+  /// The first-interned DistinguishedName behind `id`.
+  const x509::DistinguishedName& name(DnId id) const { return *entries_[id]; }
+
+  /// Canonical form of `id`; a view into pool-owned storage.
+  std::string_view canonical(DnId id) const { return entries_[id]->canonical(); }
+
+  /// RFC 4514 display form of `id` (materialized on first intern).
+  std::string_view display(DnId id) const { return displays_[id]; }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Merges `other` into this pool. Returns the id-map: result[i] is the id
+  /// in *this* pool of other's id i. Applying it to a shard's records is the
+  /// shard-merge protocol (pipeline_parallel.cpp).
+  std::vector<DnId> absorb(const DnPool& other);
+
+ private:
+  /// Bump-allocating byte arena for memo keys; views into it stay valid for
+  /// the pool's lifetime.
+  std::string_view arena_store(std::string_view bytes);
+
+  DnId intern_parsed(x509::DistinguishedName name);
+  Interned memo_raw(std::string_view raw);
+
+  // Entries are heap-allocated so views into their canonical strings survive
+  // deque growth and pool moves.
+  std::deque<std::unique_ptr<x509::DistinguishedName>> entries_;
+  std::deque<std::string> displays_;  // entries_[i].to_string(), same index
+  // Variant parses: spellings whose canonical form was already interned.
+  std::deque<std::unique_ptr<x509::DistinguishedName>> variants_;
+
+  std::unordered_map<std::string_view, DnId> by_canonical_;
+  std::unordered_map<std::string_view, Interned> by_raw_;
+
+  std::vector<std::unique_ptr<char[]>> arena_chunks_;
+  std::size_t arena_used_ = 0;
+  std::size_t arena_capacity_ = 0;
+};
+
+/// A pool-qualified DN handle — the public vocabulary for issuer identity
+/// across classify_issuer / categorize_chain / InterceptionDetector. Same
+/// pool: equality is one integer compare. Different pools (or detached
+/// handles): falls back to canonical-view comparison, so handles stay safe
+/// to mix.
+class Dn {
+ public:
+  Dn() = default;
+  Dn(DnId id, const DnPool* pool) : id_(id), pool_(pool) {}
+
+  DnId id() const { return id_; }
+  const DnPool* pool() const { return pool_; }
+  bool valid() const { return pool_ != nullptr && id_ != kInvalidDnId; }
+
+  /// Canonical form (matching key). Empty for an invalid handle.
+  std::string_view view() const {
+    return valid() ? pool_->canonical(id_) : std::string_view{};
+  }
+
+  /// RFC 4514 display form.
+  std::string_view display() const {
+    return valid() ? pool_->display(id_) : std::string_view{};
+  }
+
+  /// The parsed name (valid handles only).
+  const x509::DistinguishedName& name() const { return pool_->name(id_); }
+
+  friend bool operator==(const Dn& a, const Dn& b) {
+    if (a.pool_ == b.pool_) return a.id_ == b.id_;
+    return a.view() == b.view();
+  }
+  friend bool operator!=(const Dn& a, const Dn& b) { return !(a == b); }
+
+ private:
+  DnId id_ = kInvalidDnId;
+  const DnPool* pool_ = nullptr;
+};
+
+}  // namespace certchain::core

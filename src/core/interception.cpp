@@ -49,7 +49,7 @@ std::vector<InterceptionCategoryRow> InterceptionReport::category_rows() const {
 }
 
 bool InterceptionDetector::is_interception_candidate(
-    const chain::CertificateChain& chain, const std::string& domain) const {
+    const chain::CertificateChain& chain, std::string_view domain) const {
   if (chain.empty() || domain.empty()) return false;
   const x509::Certificate& leaf = chain.first();
   // Step 1: leaf issuer absent from every public database.
@@ -64,6 +64,22 @@ bool InterceptionDetector::is_interception_candidate(
   if (ct_issuers.empty()) return false;
   for (const x509::DistinguishedName& recorded : ct_issuers) {
     if (recorded.matches(leaf.issuer)) return false;  // observed issuer is on file
+  }
+  return true;
+}
+
+bool InterceptionDetector::is_interception_candidate(
+    core::Dn leaf_issuer, const util::TimeRange& leaf_validity,
+    std::string_view domain) const {
+  if (!leaf_issuer.valid() || domain.empty()) return false;
+  if (stores_->classify_issuer(leaf_issuer) ==
+      truststore::IssuerClass::kPublicDb) {
+    return false;
+  }
+  const auto ct_issuers = ct_logs_->issuers_for_domain(domain, leaf_validity);
+  if (ct_issuers.empty()) return false;
+  for (const x509::DistinguishedName& recorded : ct_issuers) {
+    if (recorded.matches(leaf_issuer.name())) return false;
   }
   return true;
 }
@@ -94,7 +110,7 @@ void fold_observation(const InterceptionDetector& detector,
   if (!candidate) return;
 
   const x509::Certificate& leaf = observation.chain.first();
-  const std::string canonical = leaf.issuer.canonical();
+  const std::string& canonical = leaf.issuer.canonical();
   const auto directory_entry = directory.find(canonical);
   if (directory_entry == directory.end()) {
     fold.unconfirmed_candidates.insert(canonical);

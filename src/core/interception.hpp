@@ -16,6 +16,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "chain/categorizer.hpp"
@@ -39,8 +40,9 @@ struct VendorInfo {
   std::string category;  // Table 1 category label
 };
 
-/// Canonical issuer DN -> vendor info.
-using VendorDirectory = std::map<std::string, VendorInfo>;
+/// Canonical issuer DN -> vendor info. Transparent comparator: detection
+/// probes with the leaf's cached canonical form (a view) per candidate.
+using VendorDirectory = std::map<std::string, VendorInfo, std::less<>>;
 
 /// Per-issuer interception finding.
 struct InterceptionFinding {
@@ -112,7 +114,15 @@ class InterceptionDetector {
   /// databases and CT records a different issuer for `domain` during the
   /// leaf's validity.
   bool is_interception_candidate(const chain::CertificateChain& chain,
-                                 const std::string& domain) const;
+                                 std::string_view domain) const;
+
+  /// Pool-handle primitive: the same test with the leaf's issuer given as a
+  /// Dn (classification goes through the canonical-form overload, the CT
+  /// cross-reference through the pooled parse). Invalid handles are never
+  /// candidates.
+  bool is_interception_candidate(core::Dn leaf_issuer,
+                                 const util::TimeRange& leaf_validity,
+                                 std::string_view domain) const;
 
  private:
   const truststore::TrustStoreSet* stores_;

@@ -7,6 +7,7 @@
 #include "core/pipeline_detail.hpp"
 #include "obs/run_context.hpp"
 #include "par/thread_pool.hpp"
+#include "truststore/issuer_classifier.hpp"
 #include "zeek/joiner.hpp"
 #include "zeek/log_stream.hpp"
 
@@ -63,27 +64,37 @@ StudyReport StudyPipeline::run_records(
 
 StudyReport StudyPipeline::run_records_serial(
     const std::vector<zeek::SslLogRecord>& ssl,
-    const std::vector<zeek::X509LogRecord>& x509, obs::RunContext* obs) const {
+    const std::vector<zeek::X509LogRecord>& x509, obs::RunContext* obs,
+    DnPool* dn_pool) const {
   auto pipeline_timer = stage_timer(obs, "pipeline");
 
-  // Stage 0: join SSL and X509 rows and deduplicate chains.
-  const zeek::LogJoiner joiner(x509);
+  // Stage 0: join SSL and X509 rows and deduplicate chains. The joiner runs
+  // on the run's DnPool (the caller's, or a run-local one): each distinct DN
+  // spelling parses once, and every joined certificate is fingerprint-sealed
+  // and id-stamped before the fold sees it.
+  DnPool local_pool;
+  DnPool* pool = dn_pool != nullptr ? dn_pool : &local_pool;
+  zeek::LogJoiner joiner;
+  joiner.set_dn_pool(pool);
+  for (const zeek::X509LogRecord& record : x509) joiner.add(record);
   CorpusIndex corpus;
   {
     auto timer = stage_timer(obs, "join");
-    for (const zeek::SslLogRecord& record : ssl) corpus.add(joiner.join(record));
+    for (const zeek::SslLogRecord& record : ssl) corpus.add(joiner, record);
   }
-  return analyze_corpus(corpus, obs);
+  return analyze_corpus(corpus, obs, pool);
 }
 
 StudyReport StudyPipeline::analyze(const CorpusIndex& corpus,
-                                   obs::RunContext* obs) const {
+                                   obs::RunContext* obs,
+                                   const DnPool* dn_pool) const {
   auto pipeline_timer = stage_timer(obs, "pipeline");
-  return analyze_corpus(corpus, obs);
+  return analyze_corpus(corpus, obs, dn_pool);
 }
 
 StudyReport StudyPipeline::analyze_corpus(const CorpusIndex& corpus,
-                                          obs::RunContext* obs) const {
+                                          obs::RunContext* obs,
+                                          const DnPool* dn_pool) const {
   StudyReport report;
   report.totals = corpus.totals();
   report.unique_chains = corpus.unique_chain_count();
@@ -104,14 +115,27 @@ StudyReport StudyPipeline::analyze_corpus(const CorpusIndex& corpus,
   publish_stage(obs, "enrich", report.unique_chains, report.unique_chains, 0);
   detail::publish_enrich_counters(obs, report);
 
-  // Stage 2: chain categorization + usage statistics + Figure 1 data.
+  // Stage 2: chain categorization + usage statistics + Figure 1 data. With a
+  // pool the per-certificate work is a DnId set probe plus a memo load; the
+  // string path remains for poolless corpora, with identical verdicts.
   detail::CategorySlices slices;
   {
     auto timer = stage_timer(obs, "categorize");
     detail::CategorizeFold fold;
-    for (const auto& [chain_id, observation] : corpus.chains()) {
-      fold.add(observation, chain::categorize_chain(observation.chain, *stores_,
-                                                    interception_issuers));
+    if (dn_pool != nullptr) {
+      truststore::IssuerClassifier classifier(*stores_, *dn_pool);
+      const std::set<DnId> interception_ids =
+          chain::issuer_ids_for(interception_issuers, *dn_pool);
+      for (const auto& [chain_id, observation] : corpus.chains()) {
+        fold.add(observation,
+                 chain::categorize_chain(observation.chain, classifier,
+                                         interception_issuers, interception_ids));
+      }
+    } else {
+      for (const auto& [chain_id, observation] : corpus.chains()) {
+        fold.add(observation, chain::categorize_chain(observation.chain, *stores_,
+                                                      interception_issuers));
+      }
     }
     slices = std::move(fold.slices);
     fold.finish(report);
@@ -234,17 +258,31 @@ StudyReport StudyPipeline::run_text_serial(std::string_view ssl_log_text,
   ingest.populated = true;
   ingest.mode = options.mode;
 
+  // One pool for the whole run: the readers stamp record ids as rows parse
+  // (ids minted in stream order — the interning differential asserts the
+  // sharded path remaps to exactly these), the joiner reuses the same pool's
+  // raw-bytes memo, and the analysis stages compare its ids.
+  DnPool dn_pool;
   std::vector<zeek::SslLogRecord> ssl;
   std::vector<zeek::X509LogRecord> x509;
+  // Reserving from the newline count (a slight overcount: headers) keeps the
+  // record vectors from doubling through ~2x the needed footprint while rows
+  // accumulate — growth reallocation briefly holds old and new buffers.
+  ssl.reserve(static_cast<std::size_t>(
+      std::count(ssl_log_text.begin(), ssl_log_text.end(), '\n')));
+  x509.reserve(static_cast<std::size_t>(
+      std::count(x509_log_text.begin(), x509_log_text.end(), '\n')));
   {
     obs::StageTimer timer(*ctx, "ingest");
     auto ssl_reader = zeek::make_streaming_ssl_reader(
         [&ssl](zeek::SslLogRecord record) { ssl.push_back(std::move(record)); });
+    ssl_reader.set_dn_pool(&dn_pool);
     drive_stream(ssl_reader, ssl_log_text, "ssl", options, ctx->metrics,
                  ingest.ssl, ingest);
 
     auto x509_reader = zeek::make_streaming_x509_reader(
         [&x509](zeek::X509LogRecord record) { x509.push_back(std::move(record)); });
+    x509_reader.set_dn_pool(&dn_pool);
     drive_stream(x509_reader, x509_log_text, "x509", options, ctx->metrics,
                  ingest.x509, ingest);
   }
@@ -255,7 +293,7 @@ StudyReport StudyPipeline::run_text_serial(std::string_view ssl_log_text,
                 ingest.ssl.records + ingest.x509.records,
                 ingest.skipped_total());
 
-  StudyReport report = run_records_serial(ssl, x509, obs);
+  StudyReport report = run_records_serial(ssl, x509, obs, &dn_pool);
   report.ingest = std::move(ingest);
   return report;
 }

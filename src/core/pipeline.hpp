@@ -24,6 +24,7 @@
 #include "chain/cross_sign_registry.hpp"
 #include "core/corpus.hpp"
 #include "core/ct_compliance.hpp"
+#include "core/dn_pool.hpp"
 #include "core/ingest.hpp"
 #include "core/hybrid_analysis.hpp"
 #include "core/interception.hpp"
@@ -133,9 +134,12 @@ class StudyPipeline {
   /// §12): svc::ServiceState keeps a live CorpusIndex warm across
   /// ingest_append calls and re-analyzes it here — producing exactly the
   /// StudyReport a batch run over the same folded connections would, which
-  /// is what the serve-vs-batch differential suite asserts.
-  StudyReport analyze(const CorpusIndex& corpus,
-                      obs::RunContext* obs = nullptr) const;
+  /// is what the serve-vs-batch differential suite asserts. When the corpus
+  /// certificates carry interned ids, pass their pool as `dn_pool` and
+  /// categorization runs on integer compares (identical verdicts, DESIGN.md
+  /// §16); a null pool keeps the canonical-string path.
+  StudyReport analyze(const CorpusIndex& corpus, obs::RunContext* obs = nullptr,
+                      const DnPool* dn_pool = nullptr) const;
 
   /// Figure 1 outlier rule: drop unique chains longer than this when they
   /// were observed exactly once.
@@ -146,9 +150,15 @@ class StudyPipeline {
   StudyReport run_records(const std::vector<zeek::SslLogRecord>& ssl,
                           const std::vector<zeek::X509LogRecord>& x509,
                           const RunOptions& options, obs::RunContext* obs) const;
+  /// `dn_pool` (optional everywhere below) is the run's interning pool: the
+  /// joiner parses each distinct DN spelling once through it and the analysis
+  /// stages compare ids. Callers that already interned their records (the
+  /// text paths) pass theirs; a null pool makes the driver create a run-local
+  /// one.
   StudyReport run_records_serial(const std::vector<zeek::SslLogRecord>& ssl,
                                  const std::vector<zeek::X509LogRecord>& x509,
-                                 obs::RunContext* obs) const;
+                                 obs::RunContext* obs,
+                                 DnPool* dn_pool = nullptr) const;
   StudyReport run_text(std::string_view ssl_log_text,
                        std::string_view x509_log_text, const RunOptions& options,
                        obs::RunContext* obs) const;
@@ -168,16 +178,18 @@ class StudyPipeline {
   // strategy once joining is done). Publishes the join/enrich/categorize/
   // structure/graphs stage triples and counters; the caller owns the
   // enclosing "pipeline" stage timer.
-  StudyReport analyze_corpus(const CorpusIndex& corpus, obs::RunContext* obs) const;
+  StudyReport analyze_corpus(const CorpusIndex& corpus, obs::RunContext* obs,
+                             const DnPool* dn_pool = nullptr) const;
   StudyReport analyze_corpus_on_pool(par::ThreadPool& pool,
                                      const CorpusIndex& corpus,
-                                     obs::RunContext* obs) const;
+                                     obs::RunContext* obs,
+                                     const DnPool* dn_pool = nullptr) const;
 
   /// The sharded analysis path; `pool` carries the worker count.
   StudyReport run_on_pool(par::ThreadPool& pool,
                           const std::vector<zeek::SslLogRecord>& ssl,
                           const std::vector<zeek::X509LogRecord>& x509,
-                          obs::RunContext* obs) const;
+                          obs::RunContext* obs, DnPool* dn_pool = nullptr) const;
 
   const truststore::TrustStoreSet* stores_;
   const ct::CtLogSet* ct_logs_;

@@ -12,6 +12,7 @@
 #include <functional>
 #include <iterator>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "obs/stopwatch.hpp"
 #include "par/shard.hpp"
 #include "par/thread_pool.hpp"
+#include "truststore/issuer_classifier.hpp"
 #include "zeek/joiner.hpp"
 #include "zeek/log_stream.hpp"
 
@@ -54,7 +56,7 @@ void ingest_stream_sharded(par::ThreadPool& pool, std::string_view text,
                            const std::string& expected_fields,
                            const IngestOptions& options, obs::RunContext& ctx,
                            IngestStreamStats& stats, IngestReport& report,
-                           std::vector<Record>& out) {
+                           std::vector<Record>& out, DnPool* dn_pool) {
   using Reader = zeek::StreamingLogReader<Record>;
   const std::size_t shard_count = pool.size();
   const std::vector<par::TextShard> shards =
@@ -87,13 +89,16 @@ void ingest_stream_sharded(par::ThreadPool& pool, std::string_view text,
     }
   }
 
-  // Phase 2: primed parallel parse into per-shard slots.
+  // Phase 2: primed parallel parse into per-shard slots. Each shard interns
+  // DNs into its own pool (no sharing, no locks); the id-remap merge below
+  // reconciles the shard-local ids.
   struct ShardSlot {
     std::vector<Record> records;
     obs::MetricsRegistry metrics;
     std::vector<typename Reader::LineError> errors;
     std::size_t lines_skipped = 0;
     double wall_ms = 0.0;
+    DnPool dn_pool;
   };
   std::vector<ShardSlot> slots(shards.size());
   const std::string prefix = std::string("ingest.") + stream_name + ".";
@@ -101,12 +106,13 @@ void ingest_stream_sharded(par::ThreadPool& pool, std::string_view text,
     std::vector<std::function<void()>> tasks;
     tasks.reserve(shards.size());
     for (std::size_t i = 0; i < shards.size(); ++i) {
-      tasks.push_back([&, i] {
+      tasks.push_back([&, i, dn_pool] {
         obs::Stopwatch watch;
         ShardSlot& slot = slots[i];
         Reader reader(expected_fields, [&slot](Record record) {
           slot.records.push_back(std::move(record));
         });
+        if (dn_pool != nullptr) reader.set_dn_pool(&slot.dn_pool);
         reader.prime(entry_in_body[i] != 0, entry_offset[i]);
         const std::string_view shard = shards[i].text;
         const std::size_t chunk = options.feed_chunk_bytes == 0
@@ -150,6 +156,15 @@ void ingest_stream_sharded(par::ThreadPool& pool, std::string_view text,
     ctx.metrics.merge_from(slot.metrics);
     attach_shard_span(&ctx, span_stage.c_str(), i, slot.wall_ms);
     total_skipped += slot.lines_skipped;
+    if (dn_pool != nullptr) {
+      // Id-remap merge protocol (DESIGN.md §16): absorb the shard pool in
+      // shard order and rewrite the shard-local ids. Because each shard's
+      // ids follow first-occurrence order within the shard, absorbing in
+      // shard order reproduces exactly the ids a serial reader would have
+      // minted over the whole stream.
+      const std::vector<DnId> id_map = dn_pool->absorb(slot.dn_pool);
+      for (Record& record : slot.records) zeek::remap_dn_ids(record, id_map);
+    }
     out.insert(out.end(), std::make_move_iterator(slot.records.begin()),
                std::make_move_iterator(slot.records.end()));
   }
@@ -205,23 +220,27 @@ StudyReport StudyPipeline::run_text(std::string_view ssl_log_text,
   ingest.populated = true;
   ingest.mode = options.ingest.mode;
 
+  // The run pool. Shard readers intern into private pools; the merge absorbs
+  // them in shard order (ssl stream first, then x509 — the serial drive
+  // order), so the merged ids match the serial text path's exactly.
+  DnPool dn_pool;
   std::vector<zeek::SslLogRecord> ssl;
   std::vector<zeek::X509LogRecord> x509;
   {
     obs::StageTimer timer(*ctx, "ingest");
     ingest_stream_sharded<zeek::SslLogRecord>(
         pool, ssl_log_text, "ssl", zeek::ssl_log_fields(), options.ingest,
-        *ctx, ingest.ssl, ingest, ssl);
+        *ctx, ingest.ssl, ingest, ssl, &dn_pool);
     ingest_stream_sharded<zeek::X509LogRecord>(
         pool, x509_log_text, "x509", zeek::x509_log_fields(), options.ingest,
-        *ctx, ingest.x509, ingest, x509);
+        *ctx, ingest.x509, ingest, x509, &dn_pool);
   }
   publish_stage(ctx, "ingest",
                 ingest.ssl.records + ingest.x509.records + ingest.skipped_total(),
                 ingest.ssl.records + ingest.x509.records,
                 ingest.skipped_total());
 
-  StudyReport report = run_on_pool(pool, ssl, x509, obs);
+  StudyReport report = run_on_pool(pool, ssl, x509, obs, &dn_pool);
   report.ingest = std::move(ingest);
   return report;
 }
@@ -229,14 +248,21 @@ StudyReport StudyPipeline::run_text(std::string_view ssl_log_text,
 StudyReport StudyPipeline::run_on_pool(par::ThreadPool& pool,
                                        const std::vector<zeek::SslLogRecord>& ssl,
                                        const std::vector<zeek::X509LogRecord>& x509,
-                                       obs::RunContext* obs) const {
+                                       obs::RunContext* obs,
+                                       DnPool* dn_pool) const {
   auto pipeline_timer = stage_timer(obs, "pipeline");
   const std::size_t shard_count = pool.size();
 
-  // Stage 0: the joiner index is built once and shared read-only; SSL rows
-  // fold into per-shard corpora, merged in shard order (order-independent
-  // reductions + cross-shard certificate dedupe inside merge_from).
-  const zeek::LogJoiner joiner(x509);
+  // Stage 0: the joiner index is built once — on the coordinator, against
+  // the run's DnPool, so the pool is complete and read-only before any
+  // worker touches it — and shared read-only; SSL rows fold into per-shard
+  // corpora, merged in shard order (order-independent reductions +
+  // cross-shard certificate dedupe inside merge_from).
+  DnPool local_pool;
+  DnPool* run_pool = dn_pool != nullptr ? dn_pool : &local_pool;
+  zeek::LogJoiner joiner;
+  joiner.set_dn_pool(run_pool);
+  for (const zeek::X509LogRecord& record : x509) joiner.add(record);
   CorpusIndex corpus;
   {
     auto timer = stage_timer(obs, "join");
@@ -248,7 +274,7 @@ StudyReport StudyPipeline::run_on_pool(par::ThreadPool& pool,
                                           std::size_t end) {
           obs::Stopwatch watch;
           for (std::size_t i = begin; i < end; ++i) {
-            partials[chunk].add(joiner.join(ssl[i]));
+            partials[chunk].add(joiner, ssl[i]);
           }
           wall[chunk] = watch.elapsed_ms();
         });
@@ -257,12 +283,13 @@ StudyReport StudyPipeline::run_on_pool(par::ThreadPool& pool,
       corpus.merge_from(std::move(partials[i]));
     }
   }
-  return analyze_corpus_on_pool(pool, corpus, obs);
+  return analyze_corpus_on_pool(pool, corpus, obs, run_pool);
 }
 
 StudyReport StudyPipeline::analyze_corpus_on_pool(par::ThreadPool& pool,
                                                   const CorpusIndex& corpus,
-                                                  obs::RunContext* obs) const {
+                                                  obs::RunContext* obs,
+                                                  const DnPool* dn_pool) const {
   StudyReport report;
   const std::size_t shard_count = pool.size();
   report.totals = corpus.totals();
@@ -296,19 +323,44 @@ StudyReport StudyPipeline::analyze_corpus_on_pool(par::ThreadPool& pool,
     }
     std::vector<detail::CategorizeFold> folds(shard_count);
     std::vector<double> wall(shard_count, 0.0);
-    par::parallel_for_chunks(
-        &pool, observations.size(), shard_count,
-        [&folds, &wall, &observations, &interception_issuers, this](
-            std::size_t chunk, std::size_t begin, std::size_t end) {
-          obs::Stopwatch watch;
-          for (std::size_t i = begin; i < end; ++i) {
-            const ChainObservation& observation = *observations[i];
-            folds[chunk].add(observation,
-                             chain::categorize_chain(observation.chain, *stores_,
-                                                     interception_issuers));
-          }
-          wall[chunk] = watch.elapsed_ms();
-        });
+    if (dn_pool != nullptr) {
+      // Shared read-only pool + id set; one classifier per shard (its memo
+      // mutates on lookup, so instances are not shared across workers).
+      const std::set<DnId> interception_ids =
+          chain::issuer_ids_for(interception_issuers, *dn_pool);
+      par::parallel_for_chunks(
+          &pool, observations.size(), shard_count,
+          [&folds, &wall, &observations, &interception_issuers,
+           &interception_ids, dn_pool, this](std::size_t chunk,
+                                             std::size_t begin,
+                                             std::size_t end) {
+            obs::Stopwatch watch;
+            truststore::IssuerClassifier classifier(*stores_, *dn_pool);
+            for (std::size_t i = begin; i < end; ++i) {
+              const ChainObservation& observation = *observations[i];
+              folds[chunk].add(observation,
+                               chain::categorize_chain(observation.chain,
+                                                       classifier,
+                                                       interception_issuers,
+                                                       interception_ids));
+            }
+            wall[chunk] = watch.elapsed_ms();
+          });
+    } else {
+      par::parallel_for_chunks(
+          &pool, observations.size(), shard_count,
+          [&folds, &wall, &observations, &interception_issuers, this](
+              std::size_t chunk, std::size_t begin, std::size_t end) {
+            obs::Stopwatch watch;
+            for (std::size_t i = begin; i < end; ++i) {
+              const ChainObservation& observation = *observations[i];
+              folds[chunk].add(observation,
+                               chain::categorize_chain(observation.chain, *stores_,
+                                                       interception_issuers));
+            }
+            wall[chunk] = watch.elapsed_ms();
+          });
+    }
     detail::CategorizeFold fold;
     for (std::size_t i = 0; i < shard_count; ++i) {
       attach_shard_span(obs, "categorize", i, wall[i]);

@@ -153,6 +153,11 @@ StudyReport StudyPipeline::run_streaming(LogSource& ssl_source,
   const StreamCounterFrame ssl_frame(ctx->metrics, "ssl");
   const StreamCounterFrame x509_frame(ctx->metrics, "x509");
 
+  // The run's DnPool: one sequential consumer, so the readers and the
+  // incremental joiner share it directly — no shard pools, no remap. Its
+  // residency is bounded by the distinct-DN population, far below the
+  // certificate index this engine already keeps.
+  DnPool dn_pool;
   CorpusIndex corpus;
   std::string buffer;
   {
@@ -164,6 +169,7 @@ StudyReport StudyPipeline::run_streaming(LogSource& ssl_source,
         [&x509_records](zeek::X509LogRecord record) {
           x509_records.push_back(std::move(record));
         });
+    x509_reader.set_dn_pool(&dn_pool);
     std::uint64_t x509_digest = util::fnv1a64({});
     {
       std::uint64_t chunk_index = 0;
@@ -189,7 +195,11 @@ StudyReport StudyPipeline::run_streaming(LogSource& ssl_source,
     std::optional<zeek::LogJoiner> joiner_storage;
     {
       obs::StageTimer join_timer(*ctx, "join");
-      joiner_storage.emplace(x509_records);
+      joiner_storage.emplace();
+      joiner_storage->set_dn_pool(&dn_pool);
+      for (const zeek::X509LogRecord& record : x509_records) {
+        joiner_storage->add(record);
+      }
     }
     const zeek::LogJoiner& joiner = *joiner_storage;
     x509_records.clear();
@@ -198,8 +208,9 @@ StudyReport StudyPipeline::run_streaming(LogSource& ssl_source,
     CorpusIndex* current = nullptr;
     auto ssl_reader = zeek::make_streaming_ssl_reader(
         [&joiner, &current](zeek::SslLogRecord record) {
-          current->add(joiner.join(record));
+          current->add(joiner, record);
         });
+    ssl_reader.set_dn_pool(&dn_pool);
 
     std::uint64_t ssl_digest = util::fnv1a64({});
     std::uint64_t ssl_offset = 0;
@@ -308,14 +319,14 @@ StudyReport StudyPipeline::run_streaming(LogSource& ssl_source,
   const std::size_t threads = par::resolve_threads(options.threads);
   if (threads <= 1) {
     auto pipeline_timer = stage_timer(obs, "pipeline");
-    report = analyze_corpus(corpus, obs);
+    report = analyze_corpus(corpus, obs, &dn_pool);
   } else {
     par::ThreadPool pool(threads);
     if (obs != nullptr) {
       obs->set_config("par.threads", static_cast<std::uint64_t>(pool.size()));
     }
     auto pipeline_timer = stage_timer(obs, "pipeline");
-    report = analyze_corpus_on_pool(pool, corpus, obs);
+    report = analyze_corpus_on_pool(pool, corpus, obs, &dn_pool);
   }
   report.ingest = std::move(ingest);
 

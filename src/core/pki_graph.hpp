@@ -76,7 +76,7 @@ class PkiGraph {
 
  private:
   std::vector<PkiGraphNode> nodes_;
-  std::map<std::string, std::size_t> by_fingerprint_;
+  std::map<std::string, std::size_t, std::less<>> by_fingerprint_;
   std::set<std::pair<std::size_t, std::size_t>> co_edges_;
   std::set<std::pair<std::size_t, std::size_t>> links_;
 };

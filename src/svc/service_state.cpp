@@ -70,6 +70,7 @@ ServiceState::ServiceState(const truststore::TrustStoreSet& stores,
       registry_(registry),
       pipeline_(stores, ct_logs, vendors, registry),
       tracker_(std::make_shared<SnapshotTracker>()) {
+  joiner_.set_dn_pool(&dn_pool_);
   // Never serve a null snapshot: before load() the state answers as an
   // empty, unanalyzed corpus (load() replaces this with generation 0).
   auto* tracker = tracker_.get();
@@ -110,10 +111,12 @@ std::uint64_t ServiceState::snapshots_published() const {
 void ServiceState::load(const std::vector<zeek::SslLogRecord>& ssl,
                         const std::vector<zeek::X509LogRecord>& x509) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
-  joiner_ = zeek::LogJoiner(x509);
+  joiner_ = zeek::LogJoiner();
+  joiner_.set_dn_pool(&dn_pool_);
+  for (const zeek::X509LogRecord& record : x509) joiner_.add(record);
   corpus_ = core::CorpusIndex();
   for (const zeek::SslLogRecord& record : ssl) {
-    corpus_.add(joiner_.join(record));
+    corpus_.add(joiner_, record);
   }
   generation_ = 0;
   appended_x509_rows_.clear();
@@ -328,7 +331,7 @@ ct::Monitor& ServiceState::arm_ct_monitor(const ct::MonitorConfig& config,
 void ServiceState::publish_analysis_locked() {
   // Build the whole next generation off to the side...
   auto next = std::make_unique<AnalysisSnapshot>();
-  next->report = pipeline_.analyze(corpus_);
+  next->report = pipeline_.analyze(corpus_, nullptr, &dn_pool_);
   next->interception_issuers = next->report.interception.issuer_set();
   next->generation = generation_;
   next->unique_chains = corpus_.unique_chain_count();
@@ -388,7 +391,7 @@ AppendResult ServiceState::fold_batch_locked(
     joiner_.add(x509[i]);
   }
   for (const zeek::SslLogRecord& record : ssl) {
-    corpus_.add(joiner_.join(record));
+    corpus_.add(joiner_, record);
   }
   ++generation_;
   if (publish) publish_analysis_locked();

@@ -44,6 +44,7 @@
 #include "chain/categorizer.hpp"
 #include "chain/linter.hpp"
 #include "chain/matcher.hpp"
+#include "core/dn_pool.hpp"
 #include "core/pipeline.hpp"
 #include "core/report_text.hpp"
 #include "ct/monitor.hpp"
@@ -285,6 +286,12 @@ class ServiceState {
 
   // --- write side (all guarded by writer_mutex_) ---------------------------
   mutable std::mutex writer_mutex_;
+  /// The service's DN interning pool (DESIGN.md §16). Declared before
+  /// joiner_ so it outlives it; every certificate the joiner builds across
+  /// appends carries this pool's ids, and re-analysis classifies issuers by
+  /// id. load() resets the corpus but keeps the pool — ids stay stable for
+  /// the life of the state, stale entries are just idle memory.
+  core::DnPool dn_pool_;
   zeek::LogJoiner joiner_;          // grows across appends
   core::CorpusIndex corpus_;
   std::uint64_t generation_ = 0;    // bumps on every successful append

@@ -33,11 +33,11 @@ void TrustStore::add(const x509::Certificate& cert) {
 }
 
 bool TrustStore::contains_fingerprint(std::string_view fingerprint) const {
-  return by_fingerprint_.contains(std::string(fingerprint));
+  return by_fingerprint_.find(fingerprint) != by_fingerprint_.end();
 }
 
-bool TrustStore::contains_subject(const x509::DistinguishedName& name) const {
-  return by_subject_.contains(name.canonical());
+bool TrustStore::contains_subject(std::string_view canonical) const {
+  return by_subject_.find(canonical) != by_subject_.end();
 }
 
 std::vector<const x509::Certificate*> TrustStore::find_by_subject(
@@ -70,12 +70,13 @@ std::size_t Ccadb::eligible_count() const {
   return count;
 }
 
-bool Ccadb::contains_subject(const x509::DistinguishedName& name) const {
-  return eligible_by_subject_.contains(name.canonical());
+bool Ccadb::contains_subject(std::string_view canonical) const {
+  return eligible_by_subject_.find(canonical) != eligible_by_subject_.end();
 }
 
 bool Ccadb::contains_fingerprint(std::string_view fingerprint) const {
-  return eligible_by_fingerprint_.contains(std::string(fingerprint));
+  return eligible_by_fingerprint_.find(fingerprint) !=
+         eligible_by_fingerprint_.end();
 }
 
 std::vector<const x509::Certificate*> Ccadb::find_by_subject(
@@ -115,11 +116,11 @@ void TrustStoreSet::add_to_all_programs(const x509::Certificate& root) {
 }
 
 IssuerClass TrustStoreSet::classify_issuer(
-    const x509::DistinguishedName& issuer_name) const {
+    std::string_view issuer_canonical) const {
   for (const TrustStore& store : stores_) {
-    if (store.contains_subject(issuer_name)) return IssuerClass::kPublicDb;
+    if (store.contains_subject(issuer_canonical)) return IssuerClass::kPublicDb;
   }
-  if (ccadb_.contains_subject(issuer_name)) return IssuerClass::kPublicDb;
+  if (ccadb_.contains_subject(issuer_canonical)) return IssuerClass::kPublicDb;
   return IssuerClass::kNonPublicDb;
 }
 

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/dn_pool.hpp"
 #include "x509/certificate.hpp"
 
 namespace certchain::truststore {
@@ -52,7 +53,11 @@ class TrustStore {
   bool contains_fingerprint(std::string_view fingerprint) const;
 
   /// True if any stored certificate's subject matches `name`.
-  bool contains_subject(const x509::DistinguishedName& name) const;
+  bool contains_subject(const x509::DistinguishedName& name) const {
+    return contains_subject(std::string_view(name.canonical()));
+  }
+  /// Same lookup keyed directly by a canonical DN form (no DN required).
+  bool contains_subject(std::string_view canonical) const;
 
   /// All stored certificates whose subject matches `name` (path building may
   /// need several, e.g. re-keyed roots with the same DN).
@@ -65,8 +70,10 @@ class TrustStore {
  private:
   RootProgram program_;
   std::vector<x509::Certificate> certs_;
-  std::map<std::string, std::vector<std::size_t>> by_subject_;  // canonical DN
-  std::map<std::string, std::size_t> by_fingerprint_;
+  // Transparent comparators: lookups take string_views (interned canonical
+  // forms, fingerprint views) without materializing key strings.
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_subject_;
+  std::map<std::string, std::size_t, std::less<>> by_fingerprint_;
 };
 
 /// One CCADB record: an intermediate (or root) disclosed by a program member.
@@ -93,7 +100,10 @@ class Ccadb {
   std::size_t record_count() const { return records_.size(); }
   std::size_t eligible_count() const;
 
-  bool contains_subject(const x509::DistinguishedName& name) const;
+  bool contains_subject(const x509::DistinguishedName& name) const {
+    return contains_subject(std::string_view(name.canonical()));
+  }
+  bool contains_subject(std::string_view canonical) const;
   bool contains_fingerprint(std::string_view fingerprint) const;
 
   std::vector<const x509::Certificate*> find_by_subject(
@@ -103,8 +113,8 @@ class Ccadb {
 
  private:
   std::vector<CcadbRecord> records_;
-  std::map<std::string, std::vector<std::size_t>> eligible_by_subject_;
-  std::map<std::string, std::size_t> eligible_by_fingerprint_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> eligible_by_subject_;
+  std::map<std::string, std::size_t, std::less<>> eligible_by_fingerprint_;
 };
 
 /// The union view over every public database the study consults.
@@ -121,12 +131,19 @@ class TrustStoreSet {
   void add_to_all_programs(const x509::Certificate& root);
 
   /// §3.2.1: public-DB iff the issuer name appears in >= 1 root store or in
-  /// an eligible CCADB record.
-  IssuerClass classify_issuer(const x509::DistinguishedName& issuer_name) const;
+  /// an eligible CCADB record. The canonical-form overload is the primitive;
+  /// the DN and pool-handle overloads delegate to it.
+  IssuerClass classify_issuer(std::string_view issuer_canonical) const;
+  IssuerClass classify_issuer(const x509::DistinguishedName& issuer_name) const {
+    return classify_issuer(std::string_view(issuer_name.canonical()));
+  }
+  IssuerClass classify_issuer(core::Dn issuer) const {
+    return classify_issuer(issuer.view());
+  }
 
   /// Classification of a certificate = classification of its issuer.
   IssuerClass classify_certificate(const x509::Certificate& cert) const {
-    return classify_issuer(cert.issuer);
+    return classify_issuer(std::string_view(cert.issuer.canonical()));
   }
 
   /// True if this exact certificate is a trust anchor in some program store.

@@ -83,6 +83,7 @@ std::string Certificate::tbs_bytes() const {
 }
 
 std::string Certificate::fingerprint() const {
+  if (!fingerprint_memo.empty()) return fingerprint_memo;
   std::string bytes = tbs_bytes();
   // The fingerprint is the identity of the certificate *as delivered*, so it
   // does cover the embedded SCT list (unlike the signature).
@@ -97,6 +98,11 @@ std::string Certificate::fingerprint() const {
       .push_back('\x1e');
   bytes.append("sig=").append(signature.value).push_back('\x1e');
   return util::digest256_hex(bytes);
+}
+
+void Certificate::seal_fingerprint() {
+  fingerprint_memo.clear();
+  fingerprint_memo = fingerprint();
 }
 
 bool wildcard_matches(std::string_view pattern, std::string_view domain) {

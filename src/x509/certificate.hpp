@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/dn_id.hpp"
 #include "crypto/sim_crypto.hpp"
 #include "util/time.hpp"
 #include "x509/distinguished_name.hpp"
@@ -90,9 +91,25 @@ struct Certificate {
   /// (reproduces the Appendix D parse-error chain).
   bool malformed_encoding = false;
 
+  /// Interned issuer/subject ids when this certificate was built through a
+  /// core::DnPool (the joiner's ingest path), kInvalidDnId otherwise. Ids are
+  /// pool-local derived state — excluded from equality, remapped on shard
+  /// merges (DESIGN.md §16).
+  core::DnId issuer_id = core::kInvalidDnId;
+  core::DnId subject_id = core::kInvalidDnId;
+
+  /// Cached fingerprint, filled by seal_fingerprint(). Derived state like the
+  /// ids: excluded from equality, empty on hand-built certificates.
+  std::string fingerprint_memo;
+
   /// Issuer and subject canonically equal (the study's self-signed test —
   /// "issuer and subject are identical", §4.3).
-  bool is_self_signed() const { return issuer.matches(subject); }
+  bool is_self_signed() const {
+    if (issuer_id != core::kInvalidDnId && subject_id != core::kInvalidDnId) {
+      return issuer_id == subject_id;
+    }
+    return issuer.matches(subject);
+  }
 
   /// True if basicConstraints marks this certificate as a CA.
   bool is_ca() const { return basic_constraints.present && basic_constraints.is_ca; }
@@ -109,13 +126,33 @@ struct Certificate {
 
   /// Content fingerprint (digest of tbs + signature), hex. Used as the
   /// certificate identity throughout the pipeline, like a SHA-256
-  /// fingerprint would be in practice.
+  /// fingerprint would be in practice. Answers from fingerprint_memo when
+  /// sealed; recomputes otherwise (tests mutate certificates and expect the
+  /// fingerprint to follow, so there is no implicit memoization).
   std::string fingerprint() const;
+
+  /// Computes and caches the fingerprint. Call once the certificate is
+  /// final — the joiner seals every cert it constructs so per-connection
+  /// corpus folds stop re-digesting identical certificates.
+  void seal_fingerprint();
 
   /// Matches SAN entries (exact or single-label wildcard "*.example.com").
   bool covers_domain(std::string_view domain) const;
 
-  bool operator==(const Certificate&) const = default;
+  /// Semantic equality: every signed/observed field, but not the derived
+  /// pool ids or the fingerprint memo.
+  bool operator==(const Certificate& other) const {
+    return version == other.version && serial == other.serial &&
+           issuer == other.issuer && subject == other.subject &&
+           validity == other.validity && public_key == other.public_key &&
+           signature == other.signature &&
+           basic_constraints == other.basic_constraints &&
+           name_constraints == other.name_constraints &&
+           key_usage == other.key_usage &&
+           subject_alt_names == other.subject_alt_names &&
+           scts == other.scts &&
+           malformed_encoding == other.malformed_encoding;
+  }
 };
 
 /// True if `pattern` (exact name or "*.x.y") matches `domain` per RFC 6125

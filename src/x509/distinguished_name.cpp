@@ -55,7 +55,10 @@ std::string canonical_value(std::string_view value) {
 
 }  // namespace
 
-DistinguishedName::DistinguishedName(std::vector<Rdn> rdns) : rdns_(std::move(rdns)) {}
+DistinguishedName::DistinguishedName(std::vector<Rdn> rdns)
+    : rdns_(std::move(rdns)) {
+  rebuild_canonical();
+}
 
 std::optional<DistinguishedName> DistinguishedName::parse(std::string_view text) {
   std::vector<Rdn> rdns;
@@ -161,7 +164,7 @@ std::string DistinguishedName::to_string() const {
   return out;
 }
 
-std::string DistinguishedName::canonical() const {
+void DistinguishedName::rebuild_canonical() {
   std::string out;
   for (std::size_t i = 0; i < rdns_.size(); ++i) {
     if (i != 0) out.push_back('\n');  // unambiguous separator
@@ -169,11 +172,11 @@ std::string DistinguishedName::canonical() const {
     out.push_back('=');
     out.append(canonical_value(rdns_[i].value));
   }
-  return out;
+  canonical_ = std::move(out);
 }
 
 bool DistinguishedName::matches(const DistinguishedName& other) const {
-  return canonical() == other.canonical();
+  return canonical_ == other.canonical_;
 }
 
 std::optional<std::string> DistinguishedName::attribute(std::string_view type) const {
@@ -185,12 +188,16 @@ std::optional<std::string> DistinguishedName::attribute(std::string_view type) c
 }
 
 DistinguishedName& DistinguishedName::add(std::string type, std::string value) {
+  if (!rdns_.empty()) canonical_.push_back('\n');
+  canonical_.append(canonical_type(type));
+  canonical_.push_back('=');
+  canonical_.append(canonical_value(value));
   rdns_.push_back(Rdn{std::move(type), std::move(value)});
   return *this;
 }
 
 std::uint64_t DistinguishedName::canonical_hash() const {
-  return certchain::util::fnv1a64(canonical());
+  return certchain::util::fnv1a64(canonical_);
 }
 
 }  // namespace certchain::x509

@@ -46,7 +46,9 @@ class DistinguishedName {
   /// Canonical form for matching: attribute types uppercased and values
   /// lowercased with internal whitespace collapsed. Two names with equal
   /// canonical forms are considered the same entity (X.500 caseIgnoreMatch).
-  std::string canonical() const;
+  /// Computed once when the RDN sequence is built — comparison sites get a
+  /// reference, never an allocation (DESIGN.md §16).
+  const std::string& canonical() const { return canonical_; }
 
   /// Matching per canonical form.
   bool matches(const DistinguishedName& other) const;
@@ -67,14 +69,20 @@ class DistinguishedName {
   /// Appends an RDN (builder-style use).
   DistinguishedName& add(std::string type, std::string value);
 
-  /// Strict structural equality (types + values as written).
-  bool operator==(const DistinguishedName&) const = default;
+  /// Strict structural equality (types + values as written). The cached
+  /// canonical form is derived state and deliberately not compared.
+  bool operator==(const DistinguishedName& other) const {
+    return rdns_ == other.rdns_;
+  }
 
   /// Stable 64-bit hash of the canonical form.
   std::uint64_t canonical_hash() const;
 
  private:
+  void rebuild_canonical();
+
   std::vector<Rdn> rdns_;
+  std::string canonical_;  // derived from rdns_, kept in lockstep
 };
 
 /// Escapes one attribute value per RFC 4514.

@@ -1,5 +1,6 @@
 #include "zeek/joiner.hpp"
 
+#include "core/dn_pool.hpp"
 #include "util/strings.hpp"
 
 namespace certchain::zeek {
@@ -37,12 +38,25 @@ crypto::SignatureAlgorithm parse_sig_alg(const std::string& name) {
 
 }  // namespace
 
-x509::Certificate certificate_from_record(const X509LogRecord& record) {
+x509::Certificate certificate_from_record(const X509LogRecord& record,
+                                          core::DnPool* pool) {
   x509::Certificate cert;
   cert.version = record.version;
   cert.serial = record.serial;
-  cert.issuer = parse_dn_lenient(record.issuer);
-  cert.subject = parse_dn_lenient(record.subject);
+  if (pool != nullptr) {
+    // Raw-bytes memo: each distinct spelling parses once, ever. The stored
+    // parse is of *these* bytes, so rendering is unchanged vs. the poolless
+    // path even for canonically colliding spellings.
+    const core::DnPool::Interned issuer = pool->intern_raw(record.issuer);
+    const core::DnPool::Interned subject = pool->intern_raw(record.subject);
+    cert.issuer = *issuer.name;
+    cert.subject = *subject.name;
+    cert.issuer_id = issuer.id;
+    cert.subject_id = subject.id;
+  } else {
+    cert.issuer = parse_dn_lenient(record.issuer);
+    cert.subject = parse_dn_lenient(record.subject);
+  }
   cert.validity = util::TimeRange{record.not_before, record.not_after};
   cert.public_key.algorithm = parse_key_alg(record.key_alg);
   cert.public_key.material.clear();  // X509.log carries no key material
@@ -87,8 +101,15 @@ LogJoiner::LogJoiner(const std::vector<X509LogRecord>& certificates) {
 
 void LogJoiner::add(const X509LogRecord& certificate) {
   // First observation wins; fuids are content-derived so duplicates carry
-  // identical fields anyway.
-  by_fuid_.emplace(certificate.fuid, certificate_from_record(certificate));
+  // identical fields anyway. try_emplace skips certificate construction
+  // entirely on the duplicate path.
+  const auto [it, inserted] = by_fuid_.try_emplace(certificate.fuid);
+  if (!inserted) return;
+  it->second = certificate_from_record(certificate, dn_pool_);
+  // The joined certificate is immutable from here on; sealing makes every
+  // later fingerprint() — one per cert per connection in the corpus fold —
+  // a memo read instead of a digest.
+  it->second.seal_fingerprint();
 }
 
 JoinedConnection LogJoiner::join(const SslLogRecord& ssl) const {

@@ -29,7 +29,10 @@ struct JoinedConnection {
 /// Converts one X509.log row to a key-less x509::Certificate. Issuer/subject
 /// strings that fail DN parsing degrade to a single unparsed-CN RDN so the
 /// pipeline still sees the row (mirrors how string-level tooling behaves).
-x509::Certificate certificate_from_record(const X509LogRecord& record);
+/// With a pool, DN parsing is memoized by raw bytes and the certificate
+/// carries interned issuer/subject ids (DESIGN.md §16).
+x509::Certificate certificate_from_record(const X509LogRecord& record,
+                                          core::DnPool* pool = nullptr);
 
 /// Projects a certificate to its X509.log row (used by the simulator).
 X509LogRecord record_from_certificate(const x509::Certificate& cert,
@@ -43,6 +46,13 @@ class LogJoiner {
   /// they arrive, then joins the SSL rows of the same append).
   LogJoiner() = default;
   explicit LogJoiner(const std::vector<X509LogRecord>& certificates);
+
+  /// Attaches an interning pool (not owned; must outlive the joiner). Every
+  /// certificate built from then on parses its DNs at most once per distinct
+  /// spelling, carries DnIds, and is fingerprint-sealed so per-connection
+  /// corpus folds stop re-digesting identical certificates.
+  void set_dn_pool(core::DnPool* pool) { dn_pool_ = pool; }
+  core::DnPool* dn_pool() const { return dn_pool_; }
 
   /// Registers one certificate row; a re-observed fuid keeps the first
   /// record (fuids are content-addressed in practice).
@@ -62,6 +72,7 @@ class LogJoiner {
 
  private:
   std::map<std::string, x509::Certificate> by_fuid_;
+  core::DnPool* dn_pool_ = nullptr;
 };
 
 }  // namespace certchain::zeek

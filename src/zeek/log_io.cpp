@@ -1,5 +1,7 @@
 #include "zeek/log_io.hpp"
 
+#include <algorithm>
+#include <array>
 #include <charconv>
 #include <cstdio>
 
@@ -47,10 +49,21 @@ std::string render_vector(const std::vector<std::string>& items) {
 std::vector<std::string> parse_vector(std::string_view text) {
   if (text == kEmpty || text == kUnset) return {};
   std::vector<std::string> out;
-  for (const std::string& part : util::split(text, ',')) {
-    out.push_back(unescape_field(part));
+  out.reserve(1 + static_cast<std::size_t>(
+                      std::count(text.begin(), text.end(), ',')));
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(',', start);
+    const std::string_view part =
+        text.substr(start, pos == std::string_view::npos ? pos : pos - start);
+    if (part.find('\\') == std::string_view::npos) {
+      out.emplace_back(part);  // fast path: nothing to unescape
+    } else {
+      out.push_back(unescape_field(part));
+    }
+    if (pos == std::string_view::npos) return out;
+    start = pos + 1;
   }
-  return out;
 }
 
 std::string escape_field(std::string_view value) {
@@ -214,12 +227,19 @@ void set_error(std::string* error, std::string_view message) {
   if (error != nullptr) *error = std::string(message);
 }
 
+/// Unescapes into an owned string; the no-backslash fast path (virtually
+/// every field) is a single copy with no scan-and-rebuild.
+std::string unescape_owned(std::string_view value) {
+  if (value.find('\\') == std::string_view::npos) return std::string(value);
+  return tsv::unescape_field(value);
+}
+
 }  // namespace
 
 std::optional<SslLogRecord> parse_ssl_row(std::string_view line,
                                           std::string* error) {
-  const auto cells = util::split(line, '\t');
-  if (cells.size() != 15) {
+  std::array<std::string_view, 15> cells;
+  if (!util::split_exact(line, '\t', cells.data(), cells.size())) {
     set_error(error, "wrong column count");
     return std::nullopt;
   }
@@ -239,24 +259,24 @@ std::optional<SslLogRecord> parse_ssl_row(std::string_view line,
   record.id_orig_p = static_cast<std::uint16_t>(*orig_p);
   record.id_resp_h = cells[4];
   record.id_resp_p = static_cast<std::uint16_t>(*resp_p);
-  record.version = cells[6] == tsv::kUnset ? "" : cells[6];
-  record.cipher = cells[7] == tsv::kUnset ? "" : cells[7];
-  record.server_name =
-      cells[8] == tsv::kUnset ? "" : tsv::unescape_field(cells[8]);
+  record.version = cells[6] == tsv::kUnset ? std::string_view{} : cells[6];
+  record.cipher = cells[7] == tsv::kUnset ? std::string_view{} : cells[7];
+  if (cells[8] != tsv::kUnset) record.server_name = unescape_owned(cells[8]);
   record.resumed = *resumed;
   record.established = *established;
   record.cert_chain_fuids = tsv::parse_vector(cells[11]);
-  record.subject = cells[12] == tsv::kUnset ? "" : tsv::unescape_field(cells[12]);
-  record.issuer = cells[13] == tsv::kUnset ? "" : tsv::unescape_field(cells[13]);
-  record.validation_status =
-      cells[14] == tsv::kUnset ? "" : tsv::unescape_field(cells[14]);
+  if (cells[12] != tsv::kUnset) record.subject = unescape_owned(cells[12]);
+  if (cells[13] != tsv::kUnset) record.issuer = unescape_owned(cells[13]);
+  if (cells[14] != tsv::kUnset) {
+    record.validation_status = unescape_owned(cells[14]);
+  }
   return record;
 }
 
 std::optional<X509LogRecord> parse_x509_row(std::string_view line,
                                             std::string* error) {
-  const auto cells = util::split(line, '\t');
-  if (cells.size() != 14) {
+  std::array<std::string_view, 14> cells;
+  if (!util::split_exact(line, '\t', cells.data(), cells.size())) {
     set_error(error, "wrong column count");
     return std::nullopt;
   }
@@ -274,8 +294,8 @@ std::optional<X509LogRecord> parse_x509_row(std::string_view line,
   record.fuid = cells[1];
   record.version = static_cast<int>(*version);
   record.serial = cells[3];
-  record.subject = tsv::unescape_field(cells[4]);
-  record.issuer = tsv::unescape_field(cells[5]);
+  record.subject = unescape_owned(cells[4]);
+  record.issuer = unescape_owned(cells[5]);
   record.not_before = *not_before;
   record.not_after = *not_after;
   record.key_alg = cells[8];
@@ -303,20 +323,28 @@ std::optional<X509LogRecord> parse_x509_row(std::string_view line,
 
 namespace {
 
-/// Shared header-aware batch loop over body rows.
+/// Shared header-aware batch loop over body rows. Lines are views into
+/// `text` — the whole log is scanned without copying a single line.
 template <typename Record, typename RowParser>
 std::vector<Record> parse_log(std::string_view text, std::string_view expected_fields,
                               ParseDiagnostics* diagnostics, RowParser&& parse_row) {
   std::vector<Record> records;
   bool fields_ok = false;
   std::size_t line_number = 0;
-  for (const std::string& line : util::split(text, '\n')) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t newline = text.find('\n', start);
+    const std::string_view line =
+        newline == std::string_view::npos
+            ? text.substr(start)
+            : text.substr(start, newline - start);
+    start = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
     ++line_number;
     if (diagnostics != nullptr) ++diagnostics->total_lines;
     if (line.empty()) continue;
     if (line.front() == '#') {
       if (util::starts_with(line, "#fields\t")) {
-        fields_ok = std::string_view(line).substr(8) == expected_fields;
+        fields_ok = line.substr(8) == expected_fields;
         if (!fields_ok) record_error(diagnostics, line_number, "unknown #fields layout");
       }
       continue;

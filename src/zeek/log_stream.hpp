@@ -58,6 +58,11 @@ class StreamingLogReader {
       : expected_fields_(std::move(expected_fields)),
         callback_(std::move(callback)) {}
 
+  /// Attaches a DN pool: every emitted record gets its subject/issuer
+  /// interned (intern_dn_fields) before the callback sees it. Not part of
+  /// checkpoint state — a restored reader re-attaches its pool.
+  void set_dn_pool(core::DnPool* pool) { dn_pool_ = pool; }
+
   /// Primes the reader to take over mid-stream at a line-aligned shard
   /// boundary: `in_body` is the header state prevailing at the boundary
   /// (computed by scan_shard_header_state over the preceding shards) and
@@ -169,6 +174,7 @@ class StreamingLogReader {
     std::string error;
     if (auto record = parse_row(line, &error)) {
       ++records_emitted_;
+      if (dn_pool_ != nullptr) intern_dn_fields(*record, *dn_pool_);
       callback_(*std::move(record));
     } else {
       ++lines_skipped_;
@@ -186,6 +192,7 @@ class StreamingLogReader {
 
   std::string expected_fields_;
   Callback callback_;
+  core::DnPool* dn_pool_ = nullptr;
   std::string buffer_;
   bool in_body_ = false;
   std::size_t line_offset_ = 0;

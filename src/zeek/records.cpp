@@ -1,0 +1,37 @@
+#include "zeek/records.hpp"
+
+#include "core/dn_pool.hpp"
+
+namespace certchain::zeek {
+
+void intern_dn_fields(SslLogRecord& record, core::DnPool& pool) {
+  // SSL rows mirror the leaf's names only when Zeek saw certificates; "-"
+  // parses to an empty field and stays uninterned.
+  if (!record.subject.empty()) record.subject_id = pool.intern(record.subject);
+  if (!record.issuer.empty()) record.issuer_id = pool.intern(record.issuer);
+}
+
+void intern_dn_fields(X509LogRecord& record, core::DnPool& pool) {
+  record.subject_id = pool.intern(record.subject);
+  record.issuer_id = pool.intern(record.issuer);
+}
+
+namespace {
+
+core::DnId remap_one(core::DnId id, const std::vector<core::DnId>& id_map) {
+  return id < id_map.size() ? id_map[id] : id;
+}
+
+}  // namespace
+
+void remap_dn_ids(SslLogRecord& record, const std::vector<core::DnId>& id_map) {
+  record.subject_id = remap_one(record.subject_id, id_map);
+  record.issuer_id = remap_one(record.issuer_id, id_map);
+}
+
+void remap_dn_ids(X509LogRecord& record, const std::vector<core::DnId>& id_map) {
+  record.subject_id = remap_one(record.subject_id, id_map);
+  record.issuer_id = remap_one(record.issuer_id, id_map);
+}
+
+}  // namespace certchain::zeek

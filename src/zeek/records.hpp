@@ -13,7 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "core/dn_id.hpp"
 #include "util/time.hpp"
+
+namespace certchain::core {
+class DnPool;
+}  // namespace certchain::core
 
 namespace certchain::zeek {
 
@@ -44,7 +49,25 @@ struct SslLogRecord {
   /// string); used when learning cross-sign pairs (App. D.1).
   std::string validation_status;
 
-  bool operator==(const SslLogRecord&) const = default;
+  /// Interned ids of subject/issuer when the record passed through a
+  /// core::DnPool (intern_dn_fields), kInvalidDnId otherwise. Pool-local
+  /// derived state: excluded from equality, remapped on shard merges.
+  core::DnId subject_id = core::kInvalidDnId;
+  core::DnId issuer_id = core::kInvalidDnId;
+
+  /// Semantic equality over the logged fields; the derived pool ids are
+  /// deliberately not compared.
+  bool operator==(const SslLogRecord& other) const {
+    return ts == other.ts && uid == other.uid &&
+           id_orig_h == other.id_orig_h && id_orig_p == other.id_orig_p &&
+           id_resp_h == other.id_resp_h && id_resp_p == other.id_resp_p &&
+           version == other.version && cipher == other.cipher &&
+           server_name == other.server_name && resumed == other.resumed &&
+           established == other.established &&
+           cert_chain_fuids == other.cert_chain_fuids &&
+           subject == other.subject && issuer == other.issuer &&
+           validation_status == other.validation_status;
+  }
 };
 
 /// One observed certificate (X509.log row).
@@ -71,7 +94,34 @@ struct X509LogRecord {
   /// SAN DNS names.
   std::vector<std::string> san_dns;
 
-  bool operator==(const X509LogRecord&) const = default;
+  /// Interned ids of subject/issuer (see SslLogRecord); filled by
+  /// intern_dn_fields on the pool-aware ingest path.
+  core::DnId subject_id = core::kInvalidDnId;
+  core::DnId issuer_id = core::kInvalidDnId;
+
+  /// Semantic equality over the logged fields; pool ids excluded.
+  bool operator==(const X509LogRecord& other) const {
+    return ts == other.ts && fuid == other.fuid && version == other.version &&
+           serial == other.serial && subject == other.subject &&
+           issuer == other.issuer && not_before == other.not_before &&
+           not_after == other.not_after && key_alg == other.key_alg &&
+           sig_alg == other.sig_alg && key_length == other.key_length &&
+           basic_constraints_ca == other.basic_constraints_ca &&
+           basic_constraints_path_len == other.basic_constraints_path_len &&
+           san_dns == other.san_dns;
+  }
 };
+
+/// Interns the record's DN fields into `pool` and stamps the ids. The
+/// raw-bytes memo inside the pool makes the repeat case (the overwhelming
+/// majority) two hash lookups, no DN parsing.
+void intern_dn_fields(SslLogRecord& record, core::DnPool& pool);
+void intern_dn_fields(X509LogRecord& record, core::DnPool& pool);
+
+/// Rewrites shard-local DnIds through an absorb() id-map (old id -> merged
+/// id) — the record half of the shard-merge protocol (DESIGN.md §16). Ids
+/// outside the map (including kInvalidDnId) are left untouched.
+void remap_dn_ids(SslLogRecord& record, const std::vector<core::DnId>& id_map);
+void remap_dn_ids(X509LogRecord& record, const std::vector<core::DnId>& id_map);
 
 }  // namespace certchain::zeek

@@ -1,0 +1,361 @@
+// DnPool unit + differential coverage (DESIGN.md §16).
+//
+// Four layers of proof, from the pool outward:
+//   1. Intern/lookup round-trips and canonicalize-once semantics: distinct
+//      spellings that canonicalize equally share one id, while
+//      name_for_raw() preserves each spelling's own parse (display
+//      fidelity).
+//   2. The absorb() id-map: remapping a shard pool's ids through the map
+//      must land every entry on the merged pool's id for the same canonical
+//      form, and absorbing shard pools in shard order must reproduce — id
+//      for id — the pool a serial reader builds over the whole stream.
+//   3. The record half of the merge protocol: sharded StreamingLogReader
+//      ingest (own pool per shard, absorb + remap_dn_ids at merge) must
+//      yield records whose subject_id/issuer_id are byte-identical to a
+//      serial read's, including a shard boundary primed mid-body.
+//   4. End to end: over a DN-dense datagen population, serial, sharded
+//      parallel, and streaming pipeline runs must render byte-identical
+//      reports.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dn_id.hpp"
+#include "core/dn_pool.hpp"
+#include "core/log_source.hpp"
+#include "core/pipeline.hpp"
+#include "core/report_text.hpp"
+#include "datagen/scenario.hpp"
+#include "x509/distinguished_name.hpp"
+#include "zeek/log_io.hpp"
+#include "zeek/log_stream.hpp"
+#include "zeek/records.hpp"
+
+namespace certchain {
+namespace {
+
+using core::DnId;
+using core::DnPool;
+using core::kInvalidDnId;
+
+TEST(DnPool, InternRoundTripsAndDeduplicates) {
+  DnPool pool;
+  const DnId a = pool.intern("CN=Example CA,O=Example Org,C=US");
+  const DnId b = pool.intern("CN=Other CA,O=Example Org,C=US");
+  EXPECT_NE(a, kInvalidDnId);
+  EXPECT_NE(b, kInvalidDnId);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+
+  // Repeating the exact spelling hits the raw memo: same id, no growth.
+  EXPECT_EQ(pool.intern("CN=Example CA,O=Example Org,C=US"), a);
+  EXPECT_EQ(pool.size(), 2u);
+
+  // Accessors agree with a fresh parse of the same bytes.
+  const x509::DistinguishedName parsed =
+      x509::DistinguishedName::parse_or_die("CN=Example CA,O=Example Org,C=US");
+  EXPECT_EQ(pool.canonical(a), std::string_view(parsed.canonical()));
+  EXPECT_EQ(pool.display(a), parsed.to_string());
+  EXPECT_EQ(pool.name(a), parsed);
+
+  // find_canonical projects back; unknown canonicals miss.
+  EXPECT_EQ(pool.find_canonical(parsed.canonical()), a);
+  EXPECT_EQ(pool.find_canonical("cn=never interned"), kInvalidDnId);
+
+  // Interning the parsed form maps onto the raw-interned entry.
+  EXPECT_EQ(pool.intern(parsed), a);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(DnPool, CanonicalizesOnceAtInternTime) {
+  DnPool pool;
+  const DnId base = pool.intern("CN=Example CA,O=Example Org");
+  // Case changes and whitespace runs canonicalize away: one id for all
+  // spellings, even though every spelling is a distinct raw-memo key.
+  EXPECT_EQ(pool.intern("cn=example ca,o=example org"), base);
+  EXPECT_EQ(pool.intern("CN=EXAMPLE   CA,O=Example Org"), base);
+  EXPECT_EQ(pool.size(), 1u);
+
+  // Display fidelity under canonical collision: the pool entry keeps the
+  // first spelling, but name_for_raw() parses *these* bytes.
+  EXPECT_EQ(pool.display(base), "CN=Example CA,O=Example Org");
+  const x509::DistinguishedName& variant =
+      pool.name_for_raw("cn=example ca,o=example org");
+  EXPECT_EQ(variant.to_string(), "cn=example ca,o=example org");
+  EXPECT_EQ(std::string_view(variant.canonical()), pool.canonical(base));
+}
+
+TEST(DnPool, DnHandleEquality) {
+  DnPool pool;
+  DnPool other;
+  const core::Dn a(pool.intern("CN=Shared"), &pool);
+  const core::Dn b(pool.intern("cn=shared"), &pool);
+  const core::Dn c(pool.intern("CN=Different"), &pool);
+  EXPECT_EQ(a, b);  // same pool: integer compare
+  EXPECT_NE(a, c);
+
+  // Cross-pool handles fall back to canonical-view comparison.
+  const core::Dn foreign(other.intern("CN=SHARED"), &other);
+  EXPECT_EQ(a, foreign);
+
+  const core::Dn invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_EQ(invalid.view(), "");
+  EXPECT_NE(a, invalid);
+  EXPECT_EQ(invalid, core::Dn());
+}
+
+TEST(DnPool, AbsorbRemapsShardIdsOntoMergedPool) {
+  DnPool merged;
+  merged.intern("CN=Already Here");
+  merged.intern("CN=Shared Issuer");
+
+  DnPool shard;
+  shard.intern("CN=Shared Issuer");   // duplicate of a merged entry
+  shard.intern("CN=Shard Only One");  // new to merged
+  shard.intern("cn=already here");    // canonical duplicate, new spelling
+  shard.intern("CN=Shard Only Two");
+
+  const std::vector<DnId> id_map = merged.absorb(shard);
+  ASSERT_EQ(id_map.size(), shard.size());
+  // Every shard id must land on the merged id of the same canonical form,
+  // with new entries appended in shard first-occurrence order.
+  for (DnId old_id = 0; old_id < shard.size(); ++old_id) {
+    const DnId new_id = id_map[old_id];
+    ASSERT_NE(new_id, kInvalidDnId);
+    EXPECT_EQ(merged.canonical(new_id), shard.canonical(old_id)) << old_id;
+  }
+  EXPECT_EQ(merged.size(), 4u);
+  EXPECT_EQ(id_map[0], merged.find_canonical(shard.canonical(0)));
+  EXPECT_LT(id_map[1], merged.size());
+  EXPECT_LT(id_map[3], merged.size());
+  EXPECT_LT(id_map[1], id_map[3]);  // shard order preserved for new entries
+}
+
+TEST(DnPool, RemapDnIdsRewritesRecordsAndLeavesInvalidAlone) {
+  const std::vector<DnId> id_map = {7, 3};
+  zeek::X509LogRecord x509;
+  x509.subject_id = 0;
+  x509.issuer_id = 1;
+  zeek::remap_dn_ids(x509, id_map);
+  EXPECT_EQ(x509.subject_id, 7u);
+  EXPECT_EQ(x509.issuer_id, 3u);
+
+  zeek::SslLogRecord ssl;  // never interned: ids stay invalid
+  zeek::remap_dn_ids(ssl, id_map);
+  EXPECT_EQ(ssl.subject_id, kInvalidDnId);
+  EXPECT_EQ(ssl.issuer_id, kInvalidDnId);
+}
+
+TEST(DnPool, CollisionHeavyCorpusSharesIds) {
+  // Re-spell every issuer/subject a datagen scenario produces (case flips,
+  // padded whitespace): the pool must keep one id per canonical form no
+  // matter how many spellings arrive.
+  datagen::ScenarioConfig config;
+  config.seed = 4242;
+  config.chain_scale = 1.0 / 500.0;
+  config.total_connections = 500;
+  config.client_count = 40;
+  config.include_length_outliers = false;
+  const auto scenario = datagen::build_study_scenario(config);
+  const netsim::GeneratedLogs logs = scenario->generate_logs();
+  ASSERT_FALSE(logs.x509.empty());
+
+  const auto upper = [](std::string_view text) {
+    std::string out(text);
+    for (char& c : out) c = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(c)));
+    return out;
+  };
+
+  DnPool pool;
+  std::size_t checked = 0;
+  for (const zeek::X509LogRecord& record : logs.x509) {
+    const DnId subject = pool.intern(record.subject);
+    const DnId issuer = pool.intern(record.issuer);
+    EXPECT_EQ(pool.intern(upper(record.subject)), subject);
+    EXPECT_EQ(pool.intern(upper(record.issuer)), issuer);
+    ++checked;
+  }
+  ASSERT_GT(checked, 0u);
+
+  // Pool size equals the number of distinct canonical forms, not spellings.
+  std::size_t unique_canonicals = 0;
+  for (DnId id = 0; id < pool.size(); ++id) {
+    EXPECT_EQ(pool.find_canonical(pool.canonical(id)), id);
+    ++unique_canonicals;
+  }
+  EXPECT_EQ(unique_canonicals, pool.size());
+}
+
+/// Serial read of a log text: every record lands in `out`, DNs interned
+/// through `pool`.
+template <typename Reader, typename Record>
+void read_all(std::string_view text, const std::string& fields, DnPool* pool,
+              std::vector<Record>& out) {
+  Reader reader(fields, [&](Record record) { out.push_back(std::move(record)); });
+  if (pool != nullptr) reader.set_dn_pool(pool);
+  reader.feed(text);
+  reader.finish();
+}
+
+/// Sharded read: split `text` at a line boundary near the middle, give each
+/// shard its own pool and a primed reader, then merge via absorb() +
+/// remap_dn_ids — the exact protocol pipeline_parallel.cpp runs.
+template <typename Reader, typename Record>
+void read_sharded(std::string_view text, const std::string& fields,
+                  DnPool& merged, std::vector<Record>& out) {
+  std::size_t cut = text.find('\n', text.size() / 2);
+  ASSERT_NE(cut, std::string_view::npos);
+  ++cut;
+  const std::string_view shards[2] = {text.substr(0, cut), text.substr(cut)};
+
+  std::vector<Record> shard_records[2];
+  DnPool shard_pools[2];
+  std::size_t line_offset = 0;
+  bool in_body = false;
+  for (int i = 0; i < 2; ++i) {
+    Reader reader(fields, [&, i](Record record) {
+      shard_records[i].push_back(std::move(record));
+    });
+    reader.set_dn_pool(&shard_pools[i]);
+    reader.prime(in_body, line_offset);
+    reader.feed(shards[i]);
+    reader.finish();
+    const zeek::ShardHeaderScan scan =
+        zeek::scan_shard_header_state(shards[i], fields);
+    line_offset += scan.newlines;
+    if (scan.has_directive) in_body = scan.exit_in_body;
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    const std::vector<DnId> id_map = merged.absorb(shard_pools[i]);
+    for (Record& record : shard_records[i]) {
+      zeek::remap_dn_ids(record, id_map);
+      out.push_back(std::move(record));
+    }
+  }
+}
+
+TEST(DnPoolDifferential, ShardedInterningMatchesSerialIdForId) {
+  datagen::ScenarioConfig config;
+  config.seed = 20200901;
+  config.chain_scale = 1.0 / 2000.0;
+  config.total_connections = 2000;
+  config.client_count = 150;
+  config.include_length_outliers = false;
+  const auto scenario = datagen::build_study_scenario(config);
+  const netsim::GeneratedLogs logs = scenario->generate_logs();
+
+  zeek::SslLogWriter ssl_writer;
+  for (const auto& record : logs.ssl) ssl_writer.add(record);
+  const std::string ssl_text = ssl_writer.finish();
+  zeek::X509LogWriter x509_writer;
+  for (const auto& record : logs.x509) x509_writer.add(record);
+  const std::string x509_text = x509_writer.finish();
+
+  // Serial reference: one pool over ssl then x509, the run_text_serial order.
+  DnPool serial_pool;
+  std::vector<zeek::SslLogRecord> serial_ssl;
+  std::vector<zeek::X509LogRecord> serial_x509;
+  read_all<zeek::StreamingSslReader>(ssl_text, zeek::ssl_log_fields(),
+                                     &serial_pool, serial_ssl);
+  read_all<zeek::StreamingX509Reader>(x509_text, zeek::x509_log_fields(),
+                                      &serial_pool, serial_x509);
+  ASSERT_FALSE(serial_ssl.empty());
+  ASSERT_FALSE(serial_x509.empty());
+  ASSERT_GT(serial_pool.size(), 0u);
+
+  // Sharded: per-shard pools absorbed in shard order, ssl stream then x509.
+  DnPool merged_pool;
+  std::vector<zeek::SslLogRecord> sharded_ssl;
+  std::vector<zeek::X509LogRecord> sharded_x509;
+  read_sharded<zeek::StreamingSslReader>(ssl_text, zeek::ssl_log_fields(),
+                                         merged_pool, sharded_ssl);
+  read_sharded<zeek::StreamingX509Reader>(x509_text, zeek::x509_log_fields(),
+                                          merged_pool, sharded_x509);
+
+  // The merged pool must be the serial pool, entry for entry: absorbing
+  // per-shard first-occurrence sequences in shard order reproduces the
+  // global first-occurrence sequence.
+  ASSERT_EQ(merged_pool.size(), serial_pool.size());
+  for (DnId id = 0; id < serial_pool.size(); ++id) {
+    EXPECT_EQ(merged_pool.canonical(id), serial_pool.canonical(id)) << id;
+    EXPECT_EQ(merged_pool.display(id), serial_pool.display(id)) << id;
+  }
+
+  // And every remapped record id must match the serial read exactly.
+  ASSERT_EQ(sharded_ssl.size(), serial_ssl.size());
+  for (std::size_t i = 0; i < serial_ssl.size(); ++i) {
+    EXPECT_EQ(sharded_ssl[i].subject_id, serial_ssl[i].subject_id) << i;
+    EXPECT_EQ(sharded_ssl[i].issuer_id, serial_ssl[i].issuer_id) << i;
+    EXPECT_EQ(sharded_ssl[i], serial_ssl[i]) << i;
+  }
+  ASSERT_EQ(sharded_x509.size(), serial_x509.size());
+  for (std::size_t i = 0; i < serial_x509.size(); ++i) {
+    EXPECT_EQ(sharded_x509[i].subject_id, serial_x509[i].subject_id) << i;
+    EXPECT_EQ(sharded_x509[i].issuer_id, serial_x509[i].issuer_id) << i;
+    EXPECT_EQ(sharded_x509[i], serial_x509[i]) << i;
+  }
+}
+
+TEST(DnPoolDifferential, SerialParallelStreamingReportsByteIdentical) {
+  // DN-dense population: many distinct chains relative to connection count,
+  // so the pool carries thousands of entries through every engine.
+  datagen::ScenarioConfig config;
+  config.seed = 99173;
+  config.chain_scale = 1.0 / 40.0;
+  config.total_connections = 3000;
+  config.client_count = 200;
+  config.include_length_outliers = false;
+  const auto scenario = datagen::build_study_scenario(config);
+  const netsim::GeneratedLogs logs = scenario->generate_logs();
+
+  zeek::SslLogWriter ssl_writer;
+  for (const auto& record : logs.ssl) ssl_writer.add(record);
+  const std::string ssl_text = ssl_writer.finish();
+  zeek::X509LogWriter x509_writer;
+  for (const auto& record : logs.x509) x509_writer.add(record);
+  const std::string x509_text = x509_writer.finish();
+
+  const core::StudyPipeline pipeline(
+      scenario->world.stores(), scenario->world.ct_logs(), scenario->vendors,
+      &scenario->world.cross_signs());
+  core::ReportTextOptions text_options;
+  text_options.graphs = true;
+
+  core::RunOptions serial_options;
+  serial_options.threads = 1;
+  const std::string serial_text = render_report_text(
+      pipeline.run(core::StudyInput::text(ssl_text, x509_text), serial_options),
+      text_options);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    core::RunOptions options;
+    options.threads = threads;
+    EXPECT_EQ(render_report_text(
+                  pipeline.run(core::StudyInput::text(ssl_text, x509_text),
+                               options),
+                  text_options),
+              serial_text)
+        << threads << " threads";
+  }
+
+  core::RunOptions stream_options;
+  stream_options.threads = 1;
+  stream_options.chunk_bytes = 16 * 1024;
+  EXPECT_EQ(render_report_text(
+                pipeline.run(core::StudyInput::sources(
+                                 core::make_text_source(ssl_text),
+                                 core::make_text_source(x509_text)),
+                             stream_options),
+                text_options),
+            serial_text);
+}
+
+}  // namespace
+}  // namespace certchain
