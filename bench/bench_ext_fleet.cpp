@@ -1,0 +1,321 @@
+// Extension — continuous revisit fleet throughput (DESIGN.md §17):
+// targets/second through the rate-limited multi-epoch re-scan path, plus
+// the per-epoch ingest_append fold latency into a live ServiceState.
+//
+// This is the regression gate for the fleet subsystem: the committed
+// BENCH_fleet.json records the scan and fold rates, and the fleet-smoke CI
+// lane replays a small campaign and checks the report digest.
+//
+// Methodology mirrors bench_ext_ingest: every measurement runs in a forked
+// child so ru_maxrss is a clean per-phase high-water mark:
+//
+//   scan child   builds the drifted populations once (untimed — the drifter
+//                materializes every epoch eagerly), then times each
+//                run_epoch: resilient scans + retries + token-bucket waits
+//                (virtual, never slept) + summary fold. Headline
+//                targets/sec and peak RSS come from here; the digest of
+//                render_fleet_section anchors byte-identity across runs.
+//   fold child   regenerates the same campaign (untimed), loads the base
+//                corpus into a ServiceState (untimed), then times one
+//                idempotent ingest_append per epoch — the live-server side
+//                of the fleet loop, reanalysis included.
+//
+// `--smoke` shrinks the corpus for CI; `--json-out <path>` writes the
+// machine-readable certchain.bench.fleet document.
+//
+// Knobs: CERTCHAIN_CONNECTIONS / CERTCHAIN_SCALE / CERTCHAIN_SEED (corpus),
+//        CERTCHAIN_FLEET_EPOCHS (revisit epochs).
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "bench_common.hpp"
+#include "core/epoch_delta.hpp"
+#include "datagen/epoch_drift.hpp"
+#include "fleet/fleet.hpp"
+#include "netsim/faults.hpp"
+#include "obs/json.hpp"
+#include "svc/service_state.hpp"
+#include "util/hash.hpp"
+
+namespace {
+
+using namespace certchain;
+
+constexpr std::uint64_t kFleetSeed = 20241101;
+constexpr double kFaultRate = 0.02;
+
+/// Everything a measured child reports back through its pipe.
+struct ChildPayload {
+  double scan_ms = 0.0;        // summed run_epoch wall time
+  double fold_ms = 0.0;        // summed ingest_append wall time
+  std::uint64_t targets = 0;   // targets scanned across every epoch
+  std::uint64_t ssl_rows = 0;  // rows emitted / folded across every epoch
+  std::uint64_t x509_rows = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t section_digest = 0;  // fnv1a64(render_fleet_section)
+};
+
+struct ChildResult {
+  ChildPayload payload;
+  long max_rss_kib = 0;
+  bool ok = false;
+};
+
+template <typename Child>
+ChildResult measure_in_child(Child&& child) {
+  ChildResult result;
+  int fds[2];
+  if (pipe(fds) != 0) return result;
+  const pid_t pid = fork();
+  if (pid < 0) return result;
+  if (pid == 0) {
+    close(fds[0]);
+    const ChildPayload payload = child();
+    (void)!write(fds[1], &payload, sizeof payload);
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  ChildPayload payload{};
+  const ssize_t got = read(fds[0], &payload, sizeof payload);
+  close(fds[0]);
+  int status = 0;
+  struct rusage usage {};
+  wait4(pid, &status, 0, &usage);
+  result.payload = payload;
+  result.max_rss_kib = usage.ru_maxrss;
+  result.ok = got == sizeof payload && WIFEXITED(status) &&
+              WEXITSTATUS(status) == 0;
+  return result;
+}
+
+double per_sec(std::uint64_t count, double wall_ms) {
+  return static_cast<double>(count) * 1000.0 / std::max(wall_ms, 1e-9);
+}
+
+std::string bench_json(const datagen::ScenarioConfig& config, bool smoke,
+                       std::size_t epochs, const ChildResult& scan,
+                       const ChildResult& fold) {
+  const ChildPayload& s = scan.payload;
+  obs::json::Writer writer;
+  writer.begin_object();
+  writer.key("schema");
+  writer.value_string("certchain.bench.fleet");
+  writer.key("version");
+  writer.value_uint(1);
+  writer.key("smoke");
+  writer.value_bool(smoke);
+  writer.key("scenario");
+  writer.begin_object();
+  writer.key("chain_scale");
+  writer.value_number(config.chain_scale);
+  writer.key("connections");
+  writer.value_uint(config.total_connections);
+  writer.key("seed");
+  writer.value_uint(config.seed);
+  writer.end_object();
+  writer.key("campaign");
+  writer.begin_object();
+  writer.key("epochs");
+  writer.value_uint(epochs);
+  writer.key("fleet_seed");
+  writer.value_uint(kFleetSeed);
+  writer.key("fault_rate");
+  writer.value_number(kFaultRate);
+  writer.key("targets_scanned");
+  writer.value_uint(s.targets);
+  writer.key("rate_limited");
+  writer.value_uint(s.rate_limited);
+  writer.key("ssl_rows");
+  writer.value_uint(s.ssl_rows);
+  writer.key("x509_rows");
+  writer.value_uint(s.x509_rows);
+  writer.key("section_digest");
+  writer.value_uint(s.section_digest);
+  writer.end_object();
+  writer.key("phases");
+  writer.begin_object();
+  writer.key("scan");
+  writer.begin_object();
+  writer.key("wall_ms");
+  writer.value_number(s.scan_ms);
+  writer.key("targets_per_sec");
+  writer.value_number(per_sec(s.targets, s.scan_ms));
+  writer.key("peak_rss_bytes");
+  writer.value_uint(static_cast<std::uint64_t>(scan.max_rss_kib) * 1024);
+  writer.end_object();
+  writer.key("epoch_fold");
+  writer.begin_object();
+  writer.key("wall_ms");
+  writer.value_number(fold.payload.fold_ms);
+  writer.key("ms_per_epoch");
+  writer.value_number(fold.payload.fold_ms /
+                      std::max<double>(1.0, static_cast<double>(epochs)));
+  writer.key("rows_per_sec");
+  writer.value_number(per_sec(fold.payload.ssl_rows + fold.payload.x509_rows,
+                              fold.payload.fold_ms));
+  writer.key("peak_rss_bytes");
+  writer.value_uint(static_cast<std::uint64_t>(fold.max_rss_kib) * 1024);
+  writer.end_object();
+  writer.end_object();
+  writer.key("targets_per_sec");
+  writer.value_number(per_sec(s.targets, s.scan_ms));
+  writer.end_object();
+  return std::move(writer).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ext_fleet [--json-out <path>] [--smoke]\n"
+                   "unknown argument: %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  bench::print_header(
+      "Ext: continuous revisit fleet throughput",
+      "targets/sec through the rate-limited multi-epoch re-scan, plus the "
+      "per-epoch live-server fold (forked children, clean ru_maxrss)");
+
+  datagen::ScenarioConfig config = bench::config_from_env();
+  if (smoke && std::getenv("CERTCHAIN_CONNECTIONS") == nullptr) {
+    config.total_connections = 30000;
+  }
+  std::size_t epochs = smoke ? 3 : 4;
+  if (const char* env = std::getenv("CERTCHAIN_FLEET_EPOCHS")) {
+    epochs = static_cast<std::size_t>(std::max(1, std::atoi(env)));
+  }
+
+  // Shared campaign shape: drifted populations + seeded faults, exactly the
+  // certchain-fleet defaults. Scenario build and the eager drifter run
+  // untimed; only the run_epoch spans are charged to the scan clock.
+  const auto run_campaign = [&](ChildPayload& payload, auto&& per_epoch) {
+    auto scenario = datagen::build_study_scenario(config);
+    datagen::EpochDriftConfig drift;
+    drift.seed = kFleetSeed;
+    const datagen::EpochDrifter drifter(*scenario, drift, epochs);
+    netsim::FaultPlan plan(kFleetSeed ^ 0xF1EE7,
+                           netsim::FaultRates::uniform(kFaultRate));
+    fleet::FleetConfig fleet_config;
+    fleet_config.seed = kFleetSeed;
+    fleet::ScanFleet fleet(fleet_config, scenario->world.stores());
+    for (std::size_t epoch = 0; epoch < drifter.epoch_count(); ++epoch) {
+      const obs::Stopwatch watch;
+      const fleet::EpochOutcome outcome =
+          fleet.run_epoch(drifter.epoch(epoch), plan);
+      payload.scan_ms += watch.elapsed_ms();
+      per_epoch(*scenario, outcome);
+    }
+    payload.section_digest =
+        util::fnv1a64(core::render_fleet_section(fleet.summaries()));
+  };
+
+  // Headline: the scan path itself, epoch by epoch.
+  const ChildResult scan = measure_in_child([&] {
+    ChildPayload payload;
+    run_campaign(payload, [&](datagen::Scenario&,
+                              const fleet::EpochOutcome& outcome) {
+      payload.targets += outcome.summary.health.scanned;
+      payload.ssl_rows += outcome.ssl_rows.size();
+      payload.x509_rows += outcome.x509_rows.size();
+      payload.rate_limited += outcome.rate_limited;
+    });
+    return payload;
+  });
+  if (!scan.ok) {
+    std::fprintf(stderr, "bench_ext_fleet: scan measurement failed\n");
+    return 1;
+  }
+
+  // Secondary: each epoch folded into a live ServiceState, reanalysis and
+  // all — the latency a served fleet pays per completed epoch.
+  const ChildResult fold = measure_in_child([&] {
+    ChildPayload payload;
+    std::unique_ptr<svc::ServiceState> state;
+    run_campaign(payload, [&](datagen::Scenario& scenario,
+                              const fleet::EpochOutcome& outcome) {
+      if (state == nullptr) {
+        state = std::make_unique<svc::ServiceState>(
+            scenario.world.stores(), scenario.world.ct_logs(), scenario.vendors,
+            &scenario.world.cross_signs());
+        const netsim::GeneratedLogs logs = scenario.generate_logs();
+        state->load(logs.ssl, logs.x509);
+      }
+      const obs::Stopwatch watch;
+      state->ingest_append(outcome.ssl_rows, outcome.x509_rows,
+                           "bench-epoch-" +
+                               std::to_string(outcome.summary.index));
+      state->record_fleet_epoch(outcome.summary);
+      payload.fold_ms += watch.elapsed_ms();
+      payload.ssl_rows += outcome.ssl_rows.size();
+      payload.x509_rows += outcome.x509_rows.size();
+    });
+    return payload;
+  });
+  if (!fold.ok) {
+    std::fprintf(stderr, "bench_ext_fleet: fold measurement failed\n");
+    return 1;
+  }
+
+  const ChildPayload& s = scan.payload;
+  bench::print_section("Fleet campaign (" + std::to_string(epochs) +
+                       " epochs)");
+  util::TextTable table({"Phase", "Count", "Wall ms", "Per sec",
+                         "Peak RSS MiB"});
+  table.add_row({"scan (headline targets/s)", util::with_commas(s.targets),
+                 util::format_double(s.scan_ms, 1),
+                 util::format_double(per_sec(s.targets, s.scan_ms), 0),
+                 util::format_double(
+                     static_cast<double>(scan.max_rss_kib) / 1024.0, 1)});
+  table.add_row(
+      {"epoch fold (rows/s)",
+       util::with_commas(fold.payload.ssl_rows + fold.payload.x509_rows),
+       util::format_double(fold.payload.fold_ms, 1),
+       util::format_double(per_sec(fold.payload.ssl_rows +
+                                       fold.payload.x509_rows,
+                                   fold.payload.fold_ms),
+                           0),
+       util::format_double(static_cast<double>(fold.max_rss_kib) / 1024.0,
+                           1)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Campaign: %s targets over %zu epochs, %s rate-limited, %s ssl "
+              "+ %s x509 rows, section digest %016llx\n",
+              util::with_commas(s.targets).c_str(), epochs,
+              util::with_commas(s.rate_limited).c_str(),
+              util::with_commas(s.ssl_rows).c_str(),
+              util::with_commas(s.x509_rows).c_str(),
+              static_cast<unsigned long long>(s.section_digest));
+
+  if (!json_out.empty()) {
+    const std::string document = bench_json(config, smoke, epochs, scan, fold);
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bench_ext_fleet: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    out << document << '\n';
+    std::fprintf(stderr, "[certchain] wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}

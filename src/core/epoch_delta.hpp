@@ -1,0 +1,110 @@
+// Epoch-over-epoch revisit analytics for the continuous scan fleet.
+//
+// The paper's §5 revisit is a single before/after comparison; the fleet
+// generalizes it to N scheduled epochs. Each epoch folds into an
+// EpochSummary — scan health plus the issuer-category mix of every
+// reachable target and a per-target record (leaf fingerprint / subject /
+// key material) — and consecutive summaries diff into an EpochDelta:
+// the Let's-Encrypt share shift, hierarchical non-public growth, and chain
+// churn (appeared / disappeared / re-keyed / re-issued fingerprints).
+//
+// Everything here is deterministic: summaries key targets through ordered
+// maps, renders use fixed-precision formatting, and the JSON round-trip
+// (write_epoch_summary_json / parse_epoch_summary) is lossless for every
+// field the renderers read — so a summary shipped over the svc wire renders
+// byte-identical to the fleet-side original.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/revisit.hpp"
+#include "obs/json.hpp"
+#include "scanner/resilient_scanner.hpp"
+#include "truststore/trust_store.hpp"
+
+namespace certchain::core {
+
+/// What one target served during one epoch (reachable targets only).
+struct EpochTargetRecord {
+  std::string target;            // "domain:port" or "ip:port"
+  std::string leaf_fingerprint;
+  std::string leaf_subject;      // canonical DN
+  std::string leaf_issuer;       // canonical DN
+  std::string leaf_key;          // public-key material (re-key detection)
+  std::size_t chain_length = 0;
+  bool degraded = false;         // salvaged partial bundle
+  bool lets_encrypt = false;     // subset of all_public
+  bool all_public = false;
+  bool all_non_public = false;
+  bool hierarchical_non_public = false;  // all_non_public && length > 1
+};
+
+/// One completed fleet epoch: campaign health plus the category mix.
+struct EpochSummary {
+  std::size_t index = 0;
+  RevisitScanHealth health;
+
+  // Issuer-category mix over the reachable targets.
+  std::size_t reachable = 0;
+  std::size_t lets_encrypt = 0;
+  std::size_t other_public = 0;            // all-public but not Let's Encrypt
+  std::size_t all_non_public = 0;
+  std::size_t hierarchical_non_public = 0; // subset of all_non_public
+  std::size_t mixed = 0;                   // neither all-public nor all-non-public
+
+  /// Per-target records, keyed by scan target (deterministic iteration).
+  std::map<std::string, EpochTargetRecord> targets;
+
+  double lets_encrypt_share() const;  // of reachable; 0 when none reachable
+};
+
+/// Folds one epoch's scan results (in campaign target order) into a summary.
+/// `ledger` is this epoch's share of the scanner ledger (delta_since).
+EpochSummary summarize_epoch(
+    std::size_t index,
+    const std::vector<std::pair<std::string, scanner::ResilientScanResult>>& scans,
+    const scanner::ScanLedger& ledger,
+    const truststore::TrustStoreSet& stores);
+
+/// The diff between two consecutive epochs.
+struct EpochDelta {
+  std::size_t from_index = 0;
+  std::size_t to_index = 0;
+
+  long long reachable_shift = 0;
+  long long lets_encrypt_shift = 0;
+  double lets_encrypt_share_from = 0.0;
+  double lets_encrypt_share_to = 0.0;
+  long long hierarchical_non_public_shift = 0;
+
+  // Chain churn, by target (sorted).
+  std::vector<std::string> appeared;     // reachable now, not before
+  std::vector<std::string> disappeared;  // reachable before, not now
+  std::vector<std::string> re_keyed;     // new fingerprint, new key material
+  std::vector<std::string> re_issued;    // new fingerprint, same key material
+  std::size_t unchanged = 0;             // same leaf fingerprint
+};
+
+EpochDelta compute_epoch_delta(const EpochSummary& from, const EpochSummary& to);
+
+/// Deterministic text renders (report section + svc endpoint bodies).
+std::string render_epoch_summary(const EpochSummary& epoch);
+std::string render_epoch_delta(const EpochDelta& delta);
+
+/// The "fleet" report section: every epoch summary plus each consecutive
+/// delta. Empty-epoch renders still emit the header so digests are stable.
+std::string render_fleet_section(const std::vector<EpochSummary>& epochs);
+
+/// Lossless JSON round-trip for shipping summaries over the svc wire.
+void write_epoch_summary_json(obs::json::Writer& writer, const EpochSummary& epoch);
+std::optional<EpochSummary> parse_epoch_summary(const obs::json::Value& value);
+
+/// JSON body for the epoch_delta endpoint (includes the rendered text).
+void write_epoch_delta_json(obs::json::Writer& writer, const EpochDelta& delta);
+
+}  // namespace certchain::core

@@ -1,5 +1,6 @@
 #include "core/hybrid_analysis.hpp"
 
+#include <optional>
 #include <set>
 
 #include "util/strings.hpp"
@@ -74,7 +75,8 @@ bool cert_matches_cn(const x509::Certificate& cert, std::string_view cn_fragment
 
 StructureColumn HybridAnalyzer::build_structure_column(
     const ChainObservation& observation,
-    const chain::HybridClassification& cls) const {
+    const chain::HybridClassification& cls,
+    truststore::IssuerClassifier* classifier) const {
   StructureColumn column;
   column.chain_id = observation.chain.id().substr(0, 12);
   const auto& chain = observation.chain;
@@ -109,7 +111,11 @@ StructureColumn HybridAnalyzer::build_structure_column(
       bool any_public = false;
       bool any_non_public = false;
       for (std::size_t j = my_run->begin; j <= my_run->end; ++j) {
-        if (stores_->classify_certificate(chain.at(j)) == IssuerClass::kPublicDb) {
+        const IssuerClass cls_j =
+            classifier != nullptr
+                ? classifier->classify(chain.at(j))
+                : stores_->classify_certificate(chain.at(j));
+        if (cls_j == IssuerClass::kPublicDb) {
           any_public = true;
         } else {
           any_non_public = true;
@@ -127,6 +133,13 @@ StructureColumn HybridAnalyzer::build_structure_column(
 HybridReport HybridAnalyzer::analyze(
     const std::vector<const ChainObservation*>& hybrid_chains) const {
   HybridReport report;
+  // One memoized classifier for the whole slice (when a pool was supplied):
+  // every Figure 4 column shares the DnId memo, so each distinct issuer is
+  // classified once per analyze() call instead of once per certificate.
+  std::optional<truststore::IssuerClassifier> column_classifier;
+  if (dn_pool_ != nullptr) column_classifier.emplace(*stores_, *dn_pool_);
+  truststore::IssuerClassifier* memo =
+      column_classifier.has_value() ? &*column_classifier : nullptr;
   std::map<std::string, std::set<std::string>> anchored_entities;  // sector -> entities
   std::map<std::string, std::size_t> anchored_counts;              // sector -> chains
   std::set<std::string> clients_complete;
@@ -184,7 +197,8 @@ HybridReport HybridAnalyzer::analyze(
         report.usage_contains.established += observation->established;
         clients_contains.insert(observation->client_ips.begin(),
                                 observation->client_ips.end());
-        report.figure4_columns.push_back(build_structure_column(*observation, cls));
+        report.figure4_columns.push_back(
+            build_structure_column(*observation, cls, memo));
 
         // Misconfiguration signatures (Appendix F.2).
         for (const std::size_t index : cls.paths.unnecessary_certificates) {

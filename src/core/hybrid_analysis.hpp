@@ -15,7 +15,9 @@
 
 #include "chain/categorizer.hpp"
 #include "core/corpus.hpp"
+#include "core/dn_pool.hpp"
 #include "ct/ct_log.hpp"
+#include "truststore/issuer_classifier.hpp"
 #include "truststore/trust_store.hpp"
 
 namespace certchain::core {
@@ -112,21 +114,32 @@ struct HybridReport {
 
 class HybridAnalyzer {
  public:
+  /// A non-null `dn_pool` routes the Figure 4 issuer-class lookups through a
+  /// DnId-memoized IssuerClassifier (DESIGN.md §16); certificates without an
+  /// interned issuer id fall back to the string path, so the report is
+  /// byte-identical with or without the pool.
   HybridAnalyzer(const truststore::TrustStoreSet& stores,
                  const ct::CtLogSet& ct_logs,
-                 const chain::CrossSignRegistry* registry = nullptr)
-      : stores_(&stores), ct_logs_(&ct_logs), registry_(registry) {}
+                 const chain::CrossSignRegistry* registry = nullptr,
+                 const core::DnPool* dn_pool = nullptr)
+      : stores_(&stores), ct_logs_(&ct_logs), registry_(registry),
+        dn_pool_(dn_pool) {}
 
   HybridReport analyze(const std::vector<const ChainObservation*>& hybrid_chains) const;
 
-  /// Builds the Figure 4 column for one analyzed chain.
-  StructureColumn build_structure_column(const ChainObservation& observation,
-                                         const chain::HybridClassification& cls) const;
+  /// Builds the Figure 4 column for one analyzed chain. `classifier`, when
+  /// given, memoizes the per-run issuer-class lookups; analyze() threads one
+  /// instance through every column so the memo carries across chains.
+  StructureColumn build_structure_column(
+      const ChainObservation& observation,
+      const chain::HybridClassification& cls,
+      truststore::IssuerClassifier* classifier = nullptr) const;
 
  private:
   const truststore::TrustStoreSet* stores_;
   const ct::CtLogSet* ct_logs_;
   const chain::CrossSignRegistry* registry_;
+  const core::DnPool* dn_pool_;
 };
 
 }  // namespace certchain::core

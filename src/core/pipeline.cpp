@@ -149,7 +149,8 @@ StudyReport StudyPipeline::analyze_corpus(const CorpusIndex& corpus,
   // Stage 3: per-category structure analysis.
   {
     auto timer = stage_timer(obs, "structure");
-    const HybridAnalyzer hybrid_analyzer(*stores_, *ct_logs_, registry_);
+    const HybridAnalyzer hybrid_analyzer(*stores_, *ct_logs_, registry_,
+                                         dn_pool);
     report.hybrid = hybrid_analyzer.analyze(slices[ChainCategory::kHybrid]);
 
     const NonPublicAnalyzer non_public_analyzer(registry_);
@@ -165,11 +166,12 @@ StudyReport StudyPipeline::analyze_corpus(const CorpusIndex& corpus,
   // Stage 4: PKI relationship graphs.
   {
     auto timer = stage_timer(obs, "graphs");
-    report.hybrid_graph = build_pki_graph(slices[ChainCategory::kHybrid], *stores_);
-    report.non_public_graph =
-        build_pki_graph(slices[ChainCategory::kNonPublicDbOnly], *stores_);
-    report.interception_graph =
-        build_pki_graph(slices[ChainCategory::kTlsInterception], *stores_);
+    report.hybrid_graph =
+        build_pki_graph(slices[ChainCategory::kHybrid], *stores_, dn_pool);
+    report.non_public_graph = build_pki_graph(
+        slices[ChainCategory::kNonPublicDbOnly], *stores_, dn_pool);
+    report.interception_graph = build_pki_graph(
+        slices[ChainCategory::kTlsInterception], *stores_, dn_pool);
   }
   publish_stage(obs, "graphs", structure_in, structure_in, 0);
   detail::publish_graph_counters(obs, report);

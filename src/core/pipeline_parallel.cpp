@@ -390,9 +390,11 @@ StudyReport StudyPipeline::analyze_corpus_on_pool(par::ThreadPool& pool,
     auto timer = stage_timer(obs, "structure");
     std::vector<double> wall(3, 0.0);
     std::vector<std::function<void()>> tasks;
-    tasks.push_back([this, &report, &hybrid_slice, &wall] {
+    tasks.push_back([this, &report, &hybrid_slice, &wall, dn_pool] {
       obs::Stopwatch watch;
-      const HybridAnalyzer analyzer(*stores_, *ct_logs_, registry_);
+      // The analyzer builds its own per-call classifier, so the shared pool
+      // is read-only here and safe alongside the other structure tasks.
+      const HybridAnalyzer analyzer(*stores_, *ct_logs_, registry_, dn_pool);
       report.hybrid = analyzer.analyze(hybrid_slice);
       wall[0] = watch.elapsed_ms();
     });
@@ -422,14 +424,16 @@ StudyReport StudyPipeline::analyze_corpus_on_pool(par::ThreadPool& pool,
   {
     auto timer = stage_timer(obs, "graphs");
     std::vector<std::function<void()>> tasks;
-    tasks.push_back([this, &report, &hybrid_slice] {
-      report.hybrid_graph = build_pki_graph(hybrid_slice, *stores_);
+    tasks.push_back([this, &report, &hybrid_slice, dn_pool] {
+      report.hybrid_graph = build_pki_graph(hybrid_slice, *stores_, dn_pool);
     });
-    tasks.push_back([this, &report, &non_public_slice] {
-      report.non_public_graph = build_pki_graph(non_public_slice, *stores_);
+    tasks.push_back([this, &report, &non_public_slice, dn_pool] {
+      report.non_public_graph =
+          build_pki_graph(non_public_slice, *stores_, dn_pool);
     });
-    tasks.push_back([this, &report, &interception_slice] {
-      report.interception_graph = build_pki_graph(interception_slice, *stores_);
+    tasks.push_back([this, &report, &interception_slice, dn_pool] {
+      report.interception_graph =
+          build_pki_graph(interception_slice, *stores_, dn_pool);
     });
     pool.run_batch(std::move(tasks));
   }

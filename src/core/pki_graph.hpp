@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/corpus.hpp"
+#include "core/dn_pool.hpp"
+#include "truststore/issuer_classifier.hpp"
 #include "truststore/trust_store.hpp"
 
 namespace certchain::core {
@@ -67,9 +69,12 @@ class PkiGraph {
   /// edges (all-pairs is quadratic; see note_chain).
   static constexpr std::size_t kMaxCoOccurrenceChain = 64;
 
-  // Construction API (used by build_pki_graph).
+  // Construction API (used by build_pki_graph). With a classifier the
+  // issuer-class lookup is a DnId memo load (§16) instead of a canonical-
+  // string probe; verdicts are identical either way.
   std::size_t intern_node(const x509::Certificate& cert,
-                          const truststore::TrustStoreSet& stores);
+                          const truststore::TrustStoreSet& stores,
+                          truststore::IssuerClassifier* classifier = nullptr);
   void note_chain(const std::vector<std::size_t>& node_indices,
                   const std::vector<bool>& pair_matched);
   void promote_role(std::size_t index, CertRole role);
@@ -86,9 +91,13 @@ class PkiGraph {
 /// a root; a certificate that issues another observed certificate (or is
 /// CA:TRUE) is an intermediate; everything else is a leaf. Chains longer
 /// than `max_length` are excluded entirely (the Figure 1 outlier chains
-/// would otherwise flood the graph with thousands of junk nodes).
+/// would otherwise flood the graph with thousands of junk nodes). A non-null
+/// `dn_pool` routes issuer classification through a DnId-memoized
+/// IssuerClassifier; certificates without an interned issuer id fall back to
+/// the string path, so graphs are byte-identical with or without the pool.
 PkiGraph build_pki_graph(const std::vector<const ChainObservation*>& chains,
                          const truststore::TrustStoreSet& stores,
+                         const core::DnPool* dn_pool = nullptr,
                          std::size_t max_length = 30);
 
 }  // namespace certchain::core

@@ -1,0 +1,208 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+
+#include "obs/metrics.hpp"
+#include "scanner/scanner.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "zeek/joiner.hpp"
+#include "zeek/log_io.hpp"
+#include "zeek/records.hpp"
+
+namespace certchain::fleet {
+
+namespace {
+
+/// One deduplicated scan target.
+struct Target {
+  std::string name;   // "domain:port" or "ip:port"
+  std::string domain; // empty on the IP route
+  std::string ip;
+  std::uint16_t port = 443;
+};
+
+std::vector<Target> build_targets(
+    const std::vector<netsim::ServerEndpoint>& population) {
+  std::vector<Target> targets;
+  targets.reserve(population.size());
+  std::set<std::string> seen;
+  for (const netsim::ServerEndpoint& endpoint : population) {
+    Target target;
+    target.domain = endpoint.domain;
+    target.ip = endpoint.ip;
+    target.port = endpoint.port;
+    const std::string& host = endpoint.domain.empty() ? endpoint.ip : endpoint.domain;
+    target.name = host + ":" + std::to_string(endpoint.port);
+    if (seen.insert(target.name).second) targets.push_back(std::move(target));
+  }
+  return targets;
+}
+
+}  // namespace
+
+ScanFleet::ScanFleet(FleetConfig config, const truststore::TrustStoreSet& stores,
+                     obs::MetricsRegistry* metrics)
+    : config_(std::move(config)),
+      stores_(&stores),
+      metrics_(metrics),
+      pool_(std::max<std::size_t>(1, config_.workers)) {}
+
+ScanFleet::~ScanFleet() = default;
+
+std::uint64_t ScanFleet::acquire_token(const std::string& target,
+                                       std::uint64_t now_ms) {
+  const double rate = std::max(config_.rate.tokens_per_second, 1e-9);
+  const double burst = std::max(config_.rate.burst, 1.0);
+  Bucket& bucket = buckets_[target];
+  if (!bucket.primed) {
+    bucket.primed = true;
+    bucket.tokens = burst;
+    bucket.last_ms = now_ms;
+  }
+  if (now_ms > bucket.last_ms) {
+    const double refill =
+        static_cast<double>(now_ms - bucket.last_ms) * rate / 1000.0;
+    bucket.tokens = std::min(burst, bucket.tokens + refill);
+    bucket.last_ms = now_ms;
+  }
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return 0;
+  }
+  // Not enough tokens: the scan waits (virtually) until one accrues.
+  const double deficit = 1.0 - bucket.tokens;
+  const auto wait_ms =
+      static_cast<std::uint64_t>(std::ceil(deficit * 1000.0 / rate));
+  bucket.tokens = 0.0;
+  bucket.last_ms = now_ms + wait_ms;
+  return wait_ms;
+}
+
+EpochOutcome ScanFleet::run_epoch(
+    const std::vector<netsim::ServerEndpoint>& population,
+    netsim::FaultPlan& plan) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint32_t epoch_index = static_cast<std::uint32_t>(epoch_);
+  plan.set_epoch(epoch_index);
+
+  const std::vector<Target> targets = build_targets(population);
+  const scanner::ActiveScanner scanner(population);
+
+  EpochOutcome outcome;
+  const std::uint64_t epoch_start_ms =
+      static_cast<std::uint64_t>(epoch_) * config_.interval_ms;
+  std::vector<std::uint64_t> waits(targets.size(), 0);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    waits[i] = acquire_token(targets[i].name, epoch_start_ms);
+    if (waits[i] > 0) {
+      ++outcome.rate_limited;
+      outcome.rate_wait_ms += waits[i];
+    }
+  }
+
+  // One ResilientScanner per target, jitter-seeded from (fleet seed, epoch,
+  // target): results do not depend on worker count or chunk boundaries.
+  std::vector<scanner::ResilientScanResult> results(targets.size());
+  std::vector<scanner::ScanLedger> ledgers(targets.size());
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(targets.size(), config_.workers * 4));
+  par::parallel_for_chunks(
+      &pool_, targets.size(), chunks,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const Target& target = targets[i];
+          scanner::RetryPolicy policy = config_.retry;
+          policy.jitter_seed = config_.seed ^ util::stable_salt(target.name) ^
+                               (0x9E3779B97F4A7C15ULL * (epoch_ + 1));
+          scanner::ResilientScanner resilient(scanner, plan, policy, nullptr);
+          results[i] = target.domain.empty()
+                           ? resilient.scan_ip(target.ip, target.port)
+                           : resilient.scan_domain(target.domain, target.port);
+          results[i].elapsed_ms += static_cast<std::uint32_t>(waits[i]);
+          ledgers[i] = resilient.ledger();
+        }
+      });
+
+  std::vector<std::pair<std::string, scanner::ResilientScanResult>> scans;
+  scans.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    outcome.ledger.merge(ledgers[i]);
+    scans.emplace_back(targets[i].name, results[i]);
+  }
+
+  // Synthesize the Zeek view of this campaign: one SSL row per reachable
+  // target, one X509 row per never-before-seen certificate (fleet-wide
+  // registry, mirroring the simulator's per-run fuid registry).
+  const util::SimTime ts =
+      config_.base_ts +
+      static_cast<util::SimTime>(epoch_) *
+          std::max<util::SimTime>(1, config_.interval_ms / 1000);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const scanner::ResilientScanResult& result = results[i];
+    if (!result.reachable()) continue;
+    const Target& target = targets[i];
+
+    zeek::SslLogRecord ssl;
+    ssl.ts = ts;
+    ssl.uid = util::zeek_style_conn_uid(conn_counter_, config_.seed);
+    ssl.id_orig_h = config_.orig_h;
+    ssl.id_orig_p = static_cast<std::uint16_t>(40000 + (conn_counter_ % 20000));
+    ++conn_counter_;
+    ssl.id_resp_h = target.ip;
+    ssl.id_resp_p = target.port;
+    ssl.version = "TLSv12";
+    ssl.cipher = "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256";
+    ssl.resumed = false;
+    ssl.established = true;
+    if (!target.domain.empty()) ssl.server_name = target.domain;
+
+    const chain::CertificateChain& chain = result.scan.chain;
+    for (const x509::Certificate& cert : chain) {
+      const std::string fingerprint = cert.fingerprint();
+      auto it = fuid_by_fingerprint_.find(fingerprint);
+      if (it == fuid_by_fingerprint_.end()) {
+        const std::string fuid = util::zeek_style_fuid(fingerprint);
+        it = fuid_by_fingerprint_.emplace(fingerprint, fuid).first;
+        outcome.x509_rows.push_back(
+            zeek::render_x509_row(zeek::record_from_certificate(cert, ts, fuid)));
+      }
+      ssl.cert_chain_fuids.push_back(it->second);
+    }
+    if (!chain.empty()) {
+      ssl.subject = chain.first().subject.to_string();
+      ssl.issuer = chain.first().issuer.to_string();
+    }
+    outcome.ssl_rows.push_back(zeek::render_ssl_row(ssl));
+  }
+
+  outcome.summary = core::summarize_epoch(epoch_, scans, outcome.ledger, *stores_);
+  cumulative_.merge(outcome.ledger);
+  summaries_.push_back(outcome.summary);
+  ++epoch_;
+
+  if (metrics_ != nullptr) {
+    metrics_->count("fleet.epochs_completed");
+    metrics_->count("fleet.targets.scanned", outcome.ledger.targets);
+    metrics_->count("fleet.targets.failed", outcome.ledger.failures);
+    metrics_->count("fleet.targets.salvaged", outcome.ledger.salvaged);
+    metrics_->count("fleet.rate.limited", outcome.rate_limited);
+    metrics_->count("fleet.rate.wait_ms", outcome.rate_wait_ms);
+    metrics_->count("fleet.rows.ssl", outcome.ssl_rows.size());
+    metrics_->count("fleet.rows.x509", outcome.x509_rows.size());
+    for (const auto& result : results) {
+      metrics_->observe("fleet.scan.virtual_ms",
+                        static_cast<double>(result.elapsed_ms));
+    }
+    const auto wall_end = std::chrono::steady_clock::now();
+    metrics_->observe_timing(
+        "fleet.epoch.ms",
+        std::chrono::duration<double, std::milli>(wall_end - wall_start).count());
+  }
+  return outcome;
+}
+
+}  // namespace certchain::fleet

@@ -1,0 +1,118 @@
+// The continuous revisit fleet (ROADMAP: multi-epoch active re-scans).
+//
+// A ScanFleet re-scans a simulated server population on a schedule: one
+// `run_epoch` call per scheduled epoch, each against whatever population
+// view the caller supplies (typically datagen::EpochDrifter output) under a
+// seeded netsim::FaultPlan. Inside an epoch the fleet
+//
+//   - rate-limits per target with token buckets over the fleet's virtual
+//     clock (politeness: a target contacted faster than its bucket refills
+//     charges a virtual wait, never a wall-clock one);
+//   - scans concurrently on a par::ThreadPool, one ResilientScanner per
+//     target with a target-derived jitter seed, so results are byte-stable
+//     no matter how many workers run or how chunks land;
+//   - folds results into a core::EpochSummary plus Zeek SSL/X509 body rows
+//     rendered through the same writers the simulator uses — feeding the
+//     rows through svc ingest_append reproduces, byte for byte, a batch
+//     run over the concatenated epochs (proven by the Fleet differential
+//     suite);
+//   - accounts every movement in per-epoch and cumulative ScanLedgers and
+//     mirrors them as `fleet.*` metrics.
+//
+// Determinism: same config seed + same fault plan + same populations ⇒
+// byte-identical summaries, rows, and ledgers across runs and thread
+// counts. Only `fleet.epoch.ms` (wall time) varies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/epoch_delta.hpp"
+#include "netsim/endpoint.hpp"
+#include "netsim/faults.hpp"
+#include "par/thread_pool.hpp"
+#include "scanner/resilient_scanner.hpp"
+#include "truststore/trust_store.hpp"
+#include "util/time.hpp"
+
+namespace certchain::obs {
+class MetricsRegistry;
+}  // namespace certchain::obs
+
+namespace certchain::fleet {
+
+/// Per-target token bucket knobs. Tokens refill continuously at
+/// `tokens_per_second` up to `burst`; each scan costs one token.
+struct RateLimit {
+  double tokens_per_second = 20.0;
+  double burst = 2.0;
+};
+
+struct FleetConfig {
+  std::size_t workers = 4;
+  /// Virtual spacing between epoch starts (drives bucket refill and row
+  /// timestamps; epochs never sleep wall-clock time).
+  std::uint32_t interval_ms = 60000;
+  RateLimit rate;
+  scanner::RetryPolicy retry;
+  std::uint64_t seed = 20241101;
+  /// Timestamp of epoch 0's rows; epoch e stamps base_ts + e·interval.
+  util::SimTime base_ts = 1730419200;  // 2024-11-01 00:00:00 UTC
+  /// Source address the synthesized SSL rows carry.
+  std::string orig_h = "10.99.0.1";
+};
+
+/// Everything one completed epoch produced.
+struct EpochOutcome {
+  core::EpochSummary summary;
+  scanner::ScanLedger ledger;          // this epoch's share of the accounting
+  std::vector<std::string> ssl_rows;   // Zeek body rows, no trailing newline
+  std::vector<std::string> x509_rows;  // one per first-seen certificate
+  std::uint64_t rate_limited = 0;      // scans that waited on their bucket
+  std::uint64_t rate_wait_ms = 0;      // total virtual wait
+};
+
+class ScanFleet {
+ public:
+  ScanFleet(FleetConfig config, const truststore::TrustStoreSet& stores,
+            obs::MetricsRegistry* metrics = nullptr);
+  ~ScanFleet();
+
+  /// Scans one epoch of the population under `plan` (the plan's epoch is set
+  /// to this campaign's index, so fault draws are independent per epoch).
+  EpochOutcome run_epoch(const std::vector<netsim::ServerEndpoint>& population,
+                         netsim::FaultPlan& plan);
+
+  std::size_t epochs_completed() const { return epoch_; }
+  const scanner::ScanLedger& ledger() const { return cumulative_; }
+  const std::vector<core::EpochSummary>& summaries() const { return summaries_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::uint64_t last_ms = 0;
+    bool primed = false;
+  };
+
+  /// Charges one token at virtual time `now_ms`; returns the wait in ms.
+  std::uint64_t acquire_token(const std::string& target, std::uint64_t now_ms);
+
+  FleetConfig config_;
+  const truststore::TrustStoreSet* stores_;
+  obs::MetricsRegistry* metrics_;
+  par::ThreadPool pool_;
+
+  std::size_t epoch_ = 0;
+  scanner::ScanLedger cumulative_;
+  std::vector<core::EpochSummary> summaries_;
+  std::map<std::string, Bucket> buckets_;
+  /// Fleet-wide first-seen registry: certificates emit one X509 row ever,
+  /// exactly like the simulator's per-run fuid registry.
+  std::map<std::string, std::string> fuid_by_fingerprint_;
+  std::uint64_t conn_counter_ = 0;
+};
+
+}  // namespace certchain::fleet

@@ -281,6 +281,31 @@ std::optional<Response> Client::ingest_append(
                          /*idempotent=*/!idempotency_key.empty());
 }
 
+std::optional<Response> Client::ingest_append_epoch(
+    const std::vector<std::string>& ssl_rows,
+    const std::vector<std::string>& x509_rows,
+    std::string_view idempotency_key, std::string_view fleet_epoch_json) {
+  Writer writer;
+  writer.begin_object();
+  writer.key("ssl_rows");
+  writer.begin_array();
+  for (const std::string& row : ssl_rows) writer.value_string(row);
+  writer.end_array();
+  writer.key("x509_rows");
+  writer.begin_array();
+  for (const std::string& row : x509_rows) writer.value_string(row);
+  writer.end_array();
+  if (!idempotency_key.empty()) {
+    writer.key("idempotency_key");
+    writer.value_string(idempotency_key);
+  }
+  writer.key("fleet_epoch");
+  writer.value_raw(fleet_epoch_json);
+  writer.end_object();
+  return call_with_retry(MessageType::kIngestAppend, std::move(writer).str(),
+                         /*idempotent=*/!idempotency_key.empty());
+}
+
 std::optional<Response> Client::metrics() {
   return call_with_retry(MessageType::kMetrics, "", /*idempotent=*/true);
 }
@@ -306,6 +331,24 @@ std::optional<Response> Client::ct_prove_inclusion(std::string_view fingerprint,
 
 std::optional<Response> Client::ct_monitor_status() {
   return call_with_retry(MessageType::kCtMonitorStatus, "", /*idempotent=*/true);
+}
+
+std::optional<Response> Client::fleet_status() {
+  return call_with_retry(MessageType::kFleetStatus, "", /*idempotent=*/true);
+}
+
+std::optional<Response> Client::epoch_delta(std::optional<std::size_t> epoch) {
+  std::string payload;
+  if (epoch.has_value()) {
+    Writer writer;
+    writer.begin_object();
+    writer.key("epoch");
+    writer.value_uint(*epoch);
+    writer.end_object();
+    payload = std::move(writer).str();
+  }
+  return call_with_retry(MessageType::kEpochDelta, std::move(payload),
+                         /*idempotent=*/true);
 }
 
 std::optional<Response> Client::shutdown() {

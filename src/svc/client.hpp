@@ -129,6 +129,14 @@ class Client {
       const std::vector<std::string>& ssl_rows,
       const std::vector<std::string>& x509_rows,
       std::string_view idempotency_key = "");
+  /// ingest_append with a fleet-epoch rider: the rows and the completed
+  /// epoch's summary (pre-rendered JSON object, see
+  /// core::write_epoch_summary_json) land in one request, so a retry
+  /// re-feeds both idempotently.
+  std::optional<Response> ingest_append_epoch(
+      const std::vector<std::string>& ssl_rows,
+      const std::vector<std::string>& x509_rows,
+      std::string_view idempotency_key, std::string_view fleet_epoch_json);
   std::optional<Response> metrics();
   /// CT endpoints (§14.5): current tree heads of every log; an inclusion
   /// proof for a logged fingerprint (typed NOT_FOUND otherwise, searching
@@ -137,6 +145,10 @@ class Client {
   std::optional<Response> ct_prove_inclusion(std::string_view fingerprint,
                                              std::string_view log_id = "");
   std::optional<Response> ct_monitor_status();
+  /// Fleet endpoints (§17): completed-epoch registry and the delta ending at
+  /// `epoch` (nullopt = latest; typed NOT_FOUND for unknown indices).
+  std::optional<Response> fleet_status();
+  std::optional<Response> epoch_delta(std::optional<std::size_t> epoch = {});
   std::optional<Response> shutdown();
 
  private:

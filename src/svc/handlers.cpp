@@ -276,21 +276,29 @@ std::string RequestHandlers::dispatch(const Frame& request,
       const Value* section = payload->find("section");
       const std::string name =
           section != nullptr && section->is_string() ? section->string : "full";
-      const auto options = section_options(name);
-      if (!options.has_value()) {
-        return encode_error(ErrorCode::kBadPayload,
-                            "unknown report section \"" + name + "\"");
-      }
       // Generation and text render from the same snapshot: the reported
       // generation always labels exactly the corpus the text describes.
       const ServiceState::SnapshotPtr snapshot = state_->acquire_snapshot();
+      std::string text;
+      if (name == "fleet") {
+        // The fleet section lives beside the StudyReport: it renders the
+        // snapshot's epoch registry, not the corpus analyzers.
+        text = core::render_fleet_section(snapshot->fleet_epochs);
+      } else {
+        const auto options = section_options(name);
+        if (!options.has_value()) {
+          return encode_error(ErrorCode::kBadPayload,
+                              "unknown report section \"" + name + "\"");
+        }
+        text = core::render_report_text(snapshot->report, *options);
+      }
       writer.begin_object();
       writer.key("section");
       writer.value_string(name);
       writer.key("generation");
       writer.value_uint(snapshot->generation);
       writer.key("text");
-      writer.value_string(core::render_report_text(snapshot->report, *options));
+      writer.value_string(text);
       writer.end_object();
       return encode_frame(MessageType::kReportSectionOk, writer.str());
     }
@@ -313,8 +321,26 @@ std::string RequestHandlers::dispatch(const Frame& request,
                             "\"idempotency_key\" must be a string");
       }
       const std::string idempotency_key = key != nullptr ? key->string : "";
+      // Optional rider: a completed fleet epoch summary folded in the same
+      // request as its rows. Validated before the append so a bad summary
+      // rejects the whole request instead of half-applying it.
+      const Value* epoch_field = payload->find("fleet_epoch");
+      std::optional<core::EpochSummary> epoch;
+      if (epoch_field != nullptr) {
+        epoch = core::parse_epoch_summary(*epoch_field);
+        if (!epoch.has_value()) {
+          return encode_error(ErrorCode::kBadPayload,
+                              "\"fleet_epoch\" is not a valid epoch summary");
+        }
+      }
       const AppendResult result =
           state_->ingest_append(*ssl_rows, *x509_rows, idempotency_key);
+      if (epoch.has_value()) {
+        // Runs on duplicates too: record_fleet_epoch is idempotent by epoch
+        // index, so a retried or post-recovery re-fed epoch lands once.
+        state_->record_fleet_epoch(*std::move(epoch));
+        telemetry_->count("svc.ingest.fleet_epochs");
+      }
       if (result.duplicate) {
         // A client retry of a batch already folded: answer with the original
         // result, count nothing into the ingest totals again.
@@ -447,6 +473,75 @@ std::string RequestHandlers::dispatch(const Frame& request,
       }
       writer.end_object();
       return encode_frame(MessageType::kCtMonitorStatusOk, writer.str());
+    }
+
+    case MessageType::kFleetStatus: {
+      const ServiceState::SnapshotPtr snapshot = state_->acquire_snapshot();
+      const std::vector<core::EpochSummary>& epochs = snapshot->fleet_epochs;
+      writer.begin_object();
+      writer.key("generation");
+      writer.value_uint(snapshot->generation);
+      writer.key("epochs");
+      writer.value_uint(epochs.size());
+      writer.key("summaries");
+      writer.begin_array();
+      for (const core::EpochSummary& epoch : epochs) {
+        writer.begin_object();
+        writer.key("index");
+        writer.value_uint(epoch.index);
+        writer.key("scanned");
+        writer.value_uint(epoch.health.scanned);
+        writer.key("reachable");
+        writer.value_uint(epoch.reachable);
+        writer.key("unreachable");
+        writer.value_uint(epoch.health.unreachable);
+        writer.key("lets_encrypt");
+        writer.value_uint(epoch.lets_encrypt);
+        writer.key("lets_encrypt_share");
+        writer.value_number(epoch.lets_encrypt_share());
+        writer.key("hierarchical_non_public");
+        writer.value_uint(epoch.hierarchical_non_public);
+        writer.end_object();
+      }
+      writer.end_array();
+      writer.key("text");
+      writer.value_string(core::render_fleet_section(epochs));
+      writer.end_object();
+      return encode_frame(MessageType::kFleetStatusOk, writer.str());
+    }
+
+    case MessageType::kEpochDelta: {
+      const Value* epoch_field = payload->find("epoch");
+      const ServiceState::SnapshotPtr snapshot = state_->acquire_snapshot();
+      const std::vector<core::EpochSummary>& epochs = snapshot->fleet_epochs;
+      // "epoch" selects the delta's destination index; absent = latest.
+      std::size_t to_index;
+      if (epoch_field == nullptr) {
+        if (epochs.size() < 2) {
+          return encode_error(ErrorCode::kNotFound,
+                              "fewer than two completed epochs — no delta yet");
+        }
+        to_index = epochs.back().index;
+      } else if (epoch_field->is_number() && epoch_field->num >= 0) {
+        to_index = static_cast<std::size_t>(epoch_field->num);
+      } else {
+        return encode_error(ErrorCode::kBadPayload,
+                            "\"epoch\" must be a non-negative number");
+      }
+      const core::EpochSummary* from = nullptr;
+      const core::EpochSummary* to = nullptr;
+      for (const core::EpochSummary& epoch : epochs) {
+        if (to_index > 0 && epoch.index == to_index - 1) from = &epoch;
+        if (epoch.index == to_index) to = &epoch;
+      }
+      if (to == nullptr || from == nullptr) {
+        // The typed miss: a well-formed query for an epoch pair the fleet
+        // has not completed (or index 0, which has no predecessor).
+        return encode_error(ErrorCode::kNotFound,
+                            "no delta for epoch " + std::to_string(to_index));
+      }
+      core::write_epoch_delta_json(writer, core::compute_epoch_delta(*from, *to));
+      return encode_frame(MessageType::kEpochDeltaOk, writer.str());
     }
 
     case MessageType::kShutdown: {

@@ -8,7 +8,7 @@ bool is_request_type(std::uint8_t type) { return type >= 0x01 && type <= 0x7E; }
 
 bool is_known_request(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MessageType::kPing) &&
-         type <= static_cast<std::uint8_t>(MessageType::kCtMonitorStatus);
+         type <= static_cast<std::uint8_t>(MessageType::kEpochDelta);
 }
 
 MessageType response_for(MessageType request) {
@@ -27,6 +27,8 @@ std::string_view message_type_name(MessageType type) {
     case MessageType::kCtSth: return "ct_sth";
     case MessageType::kCtProveInclusion: return "ct_prove_inclusion";
     case MessageType::kCtMonitorStatus: return "ct_monitor_status";
+    case MessageType::kFleetStatus: return "fleet_status";
+    case MessageType::kEpochDelta: return "epoch_delta";
     case MessageType::kPingOk: return "ping_ok";
     case MessageType::kClassifyIssuerOk: return "classify_issuer_ok";
     case MessageType::kCategorizeChainOk: return "categorize_chain_ok";
@@ -37,6 +39,8 @@ std::string_view message_type_name(MessageType type) {
     case MessageType::kCtSthOk: return "ct_sth_ok";
     case MessageType::kCtProveInclusionOk: return "ct_prove_inclusion_ok";
     case MessageType::kCtMonitorStatusOk: return "ct_monitor_status_ok";
+    case MessageType::kFleetStatusOk: return "fleet_status_ok";
+    case MessageType::kEpochDeltaOk: return "epoch_delta_ok";
     case MessageType::kError: return "error";
   }
   return "unknown";
@@ -140,7 +144,7 @@ DecodeResult FrameReader::next() {
   result.frame.payload = buffer_.substr(kHeaderBytes, length);
   buffer_.erase(0, kHeaderBytes + length);
   if (!is_known_request(type) && type != static_cast<std::uint8_t>(MessageType::kError) &&
-      !(type >= 0x81 && type <= 0x8A)) {
+      !(type >= 0x81 && type <= 0x8C)) {
     // The frame was well-delimited, so the stream stays in sync: report the
     // unknown type as a recoverable error and keep decoding after it.
     result.status = DecodeResult::Status::kError;

@@ -45,6 +45,8 @@ enum class MessageType : std::uint8_t {
   kCtSth = 0x08,
   kCtProveInclusion = 0x09,
   kCtMonitorStatus = 0x0A,
+  kFleetStatus = 0x0B,
+  kEpochDelta = 0x0C,
   // Responses: request type | 0x80.
   kPingOk = 0x81,
   kClassifyIssuerOk = 0x82,
@@ -56,6 +58,8 @@ enum class MessageType : std::uint8_t {
   kCtSthOk = 0x88,
   kCtProveInclusionOk = 0x89,
   kCtMonitorStatusOk = 0x8A,
+  kFleetStatusOk = 0x8B,
+  kEpochDeltaOk = 0x8C,
   kError = 0xFF,
 };
 

@@ -521,7 +521,9 @@ bool Server::serve_frame(Connection& connection, std::uint64_t id,
                          frame.type == MessageType::kMetrics ||
                          frame.type == MessageType::kCtSth ||
                          frame.type == MessageType::kCtProveInclusion ||
-                         frame.type == MessageType::kCtMonitorStatus;
+                         frame.type == MessageType::kCtMonitorStatus ||
+                         frame.type == MessageType::kFleetStatus ||
+                         frame.type == MessageType::kEpochDelta;
   if (read_only && options_.queue_capacity > 0) {
     telemetry_->count("stage.svc.requests.admitted");
     bool shutdown_requested = false;  // read-only handlers never set it

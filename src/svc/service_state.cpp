@@ -122,6 +122,7 @@ void ServiceState::load(const std::vector<zeek::SslLogRecord>& ssl,
   appended_x509_rows_.clear();
   applied_.clear();
   applied_order_.clear();
+  fleet_epochs_.clear();
   publish_analysis_locked();
 }
 
@@ -288,6 +289,38 @@ AppendResult ServiceState::ingest_append(
   return result;
 }
 
+void ServiceState::record_fleet_epoch(core::EpochSummary summary) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  bool replaced = false;
+  for (core::EpochSummary& existing : fleet_epochs_) {
+    if (existing.index == summary.index) {
+      existing = std::move(summary);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    fleet_epochs_.push_back(std::move(summary));
+    std::stable_sort(fleet_epochs_.begin(), fleet_epochs_.end(),
+                     [](const core::EpochSummary& a, const core::EpochSummary& b) {
+                       return a.index < b.index;
+                     });
+  }
+
+  // The corpus did not change (the epoch's rows were already folded via
+  // ingest_append), so the next snapshot is a copy of the current one with
+  // the updated epoch registry — no re-analysis.
+  auto next = std::make_unique<AnalysisSnapshot>(*acquire_snapshot());
+  next->fleet_epochs = fleet_epochs_;
+  SnapshotPtr published(
+      next.release(), [control = tracker_](const AnalysisSnapshot* snapshot) {
+        delete snapshot;
+        control->on_release();
+      });
+  tracker_->on_publish();
+  snapshot_.store(std::move(published), std::memory_order_release);
+}
+
 std::vector<std::pair<std::string, ct::TreeHead>> ServiceState::ct_sths() const {
   // The log set is immutable while serving — no corpus snapshot needed.
   std::vector<std::pair<std::string, ct::TreeHead>> heads;
@@ -336,6 +369,7 @@ void ServiceState::publish_analysis_locked() {
   next->generation = generation_;
   next->unique_chains = corpus_.unique_chain_count();
   next->totals = corpus_.totals();
+  next->fleet_epochs = fleet_epochs_;
 
   // ...then publish it with a single atomic store. The deleter routes the
   // eventual release (possibly on a reader thread, possibly after this

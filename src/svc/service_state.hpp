@@ -45,6 +45,7 @@
 #include "chain/linter.hpp"
 #include "chain/matcher.hpp"
 #include "core/dn_pool.hpp"
+#include "core/epoch_delta.hpp"
 #include "core/pipeline.hpp"
 #include "core/report_text.hpp"
 #include "ct/monitor.hpp"
@@ -114,6 +115,10 @@ struct AnalysisSnapshot {
   std::uint64_t generation = 0;
   std::size_t unique_chains = 0;
   core::CorpusTotals totals;
+  /// Completed fleet epochs (index order). The fleet_status / epoch_delta
+  /// endpoints and the "fleet" report section answer from this list, so a
+  /// reader sees epochs and corpus state from the same publication.
+  std::vector<core::EpochSummary> fleet_epochs;
 };
 
 class ServiceState {
@@ -185,6 +190,14 @@ class ServiceState {
   AppendResult ingest_append(const std::vector<std::string>& ssl_rows,
                              const std::vector<std::string>& x509_rows,
                              const std::string& idempotency_key = "");
+
+  /// Registers one completed fleet epoch and republishes the snapshot (no
+  /// re-analysis: the corpus is unchanged — typically the epoch's rows were
+  /// just folded via ingest_append). Idempotent by epoch index: re-feeding
+  /// an epoch (client retry, post-recovery re-run) replaces its summary.
+  /// The epoch registry is in-memory only; after a crash the fleet re-feeds
+  /// it alongside its idempotent row appends (DESIGN.md §17.3).
+  void record_fleet_epoch(core::EpochSummary summary);
 
   // --- snapshot accessors (each one atomic load, no lock) -----------------
   std::uint64_t generation() const { return acquire_snapshot()->generation; }
@@ -295,6 +308,7 @@ class ServiceState {
   zeek::LogJoiner joiner_;          // grows across appends
   core::CorpusIndex corpus_;
   std::uint64_t generation_ = 0;    // bumps on every successful append
+  std::vector<core::EpochSummary> fleet_epochs_;  // writer-side epoch registry
 
   // --- durability (guarded by writer_mutex_ once serving starts) -----------
   WriteAheadLog wal_;

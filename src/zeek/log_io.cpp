@@ -162,9 +162,7 @@ std::optional<std::uint64_t> parse_u64(std::string_view text) {
 
 }  // namespace
 
-SslLogWriter::SslLogWriter() = default;
-
-void SslLogWriter::add(const SslLogRecord& record) {
+std::string render_ssl_row(const SslLogRecord& record) {
   std::string row;
   append_field(row, tsv::render_time(record.ts), true);
   append_field(row, record.uid);
@@ -181,18 +179,10 @@ void SslLogWriter::add(const SslLogRecord& record) {
   append_field(row, tsv::escape_field(record.subject));
   append_field(row, tsv::escape_field(record.issuer));
   append_field(row, tsv::escape_field(record.validation_status));
-  row.push_back('\n');
-  body_.append(row);
-  ++count_;
+  return row;
 }
 
-std::string SslLogWriter::finish() const {
-  return header("ssl", kSslFields, kSslTypes) + body_ + "#close\n";
-}
-
-X509LogWriter::X509LogWriter() = default;
-
-void X509LogWriter::add(const X509LogRecord& record) {
+std::string render_x509_row(const X509LogRecord& record) {
   std::string row;
   append_field(row, tsv::render_time(record.ts), true);
   append_field(row, record.fuid);
@@ -212,8 +202,26 @@ void X509LogWriter::add(const X509LogRecord& record) {
                         ? std::to_string(*record.basic_constraints_path_len)
                         : std::string(tsv::kUnset));
   append_field(row, tsv::render_vector(record.san_dns));
-  row.push_back('\n');
-  body_.append(row);
+  return row;
+}
+
+SslLogWriter::SslLogWriter() = default;
+
+void SslLogWriter::add(const SslLogRecord& record) {
+  body_.append(render_ssl_row(record));
+  body_.push_back('\n');
+  ++count_;
+}
+
+std::string SslLogWriter::finish() const {
+  return header("ssl", kSslFields, kSslTypes) + body_ + "#close\n";
+}
+
+X509LogWriter::X509LogWriter() = default;
+
+void X509LogWriter::add(const X509LogRecord& record) {
+  body_.append(render_x509_row(record));
+  body_.push_back('\n');
   ++count_;
 }
 

@@ -32,6 +32,14 @@ std::string escape_field(std::string_view value);
 std::string unescape_field(std::string_view value);
 }  // namespace tsv
 
+/// Renders one SSL.log body row (no trailing newline). The writers append
+/// these verbatim; external producers (the revisit fleet) use them to
+/// synthesize ingest batches byte-identical to writer-produced logs.
+std::string render_ssl_row(const SslLogRecord& record);
+
+/// Renders one X509.log body row (no trailing newline).
+std::string render_x509_row(const X509LogRecord& record);
+
 /// Serializes SSL.log.
 class SslLogWriter {
  public:

@@ -20,6 +20,9 @@
 //   ct-sth                         current signed tree heads of every CT log
 //   ct-prove <fingerprint> [log-id] inclusion proof (NOT_FOUND if unlogged)
 //   ct-status                      CT monitor counters and checkpoints
+//   fleet-status                   completed revisit epochs (§17)
+//   epoch-delta [epoch]            delta ending at <epoch> (default latest;
+//                                  NOT_FOUND for unknown indices)
 //   shutdown                       ask the daemon to drain and exit
 //
 // Prints the response payload (JSON; for `report` the rendered text) to
@@ -45,7 +48,8 @@ void print_usage(const char* argv0) {
                "commands: ping | classify <dn> | categorize <pem-file|-> |\n"
                "          report [section] | ingest <ssl.log> <x509.log> |\n"
                "          metrics | ct-sth | ct-prove <fingerprint> [log-id] |\n"
-               "          ct-status | shutdown\n",
+               "          ct-status | fleet-status | epoch-delta [epoch] |\n"
+               "          shutdown\n",
                argv0);
 }
 
@@ -215,6 +219,22 @@ int main(int argc, char** argv) {
   }
   if (command == "ct-status" && extra == 0) {
     return render_response(client.ct_monitor_status(), false);
+  }
+  if (command == "fleet-status" && extra == 0) {
+    return render_response(client.fleet_status(), false);
+  }
+  if (command == "epoch-delta" && extra <= 1) {
+    std::optional<std::size_t> epoch;
+    if (extra == 1) {
+      char* end = nullptr;
+      const unsigned long number = std::strtoul(argv[arg + 1], &end, 10);
+      if (end == nullptr || *end != '\0' || *argv[arg + 1] == '\0') {
+        print_usage(argv[0]);
+        return 2;
+      }
+      epoch = static_cast<std::size_t>(number);
+    }
+    return render_response(client.epoch_delta(epoch), false);
   }
   if (command == "shutdown" && extra == 0) {
     return render_response(client.shutdown(), false);
